@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: interconnect burst length. With burst-sticky arbitration a
+ * streaming accelerator (gemm) can hold the bus for whole bursts,
+ * which helps DMA efficiency but starves latency-bound neighbours
+ * (stencil's dependent accesses) in a mixed system — quantifying why
+ * the prototype's single-beat interleaving is kind to heterogeneous
+ * mixes.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench/common.hh"
+
+using namespace capcheck;
+using system::SystemMode;
+
+int
+main()
+{
+    bench::printHeader("Ablation: interconnect burst length",
+                       "platform design choice (Section 5.2.1)");
+
+    const std::vector<std::string> mix = {
+        "gemm_ncubed", "gemm_ncubed", "stencil2d", "stencil2d",
+        "viterbi",     "backprop",    "bfs_bulk",  "spmv_crs",
+    };
+
+    TextTable table({"Burst beats", "Mixed-system cycles",
+                     "vs burst 1"});
+
+    Cycles baseline = 0;
+    for (const unsigned burst : {1u, 4u, 16u, 64u}) {
+        system::SocConfig cfg;
+        cfg.mode = SystemMode::ccpuCaccel;
+        cfg.xbarMaxBurst = burst;
+        const auto r = system::SocSystem(cfg).runMixed(mix);
+        if (burst == 1)
+            baseline = r.totalCycles;
+        table.addRow(
+            {std::to_string(burst), std::to_string(r.totalCycles),
+             fmtPercent(static_cast<double>(r.totalCycles) /
+                            static_cast<double>(baseline) -
+                        1.0)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpectation: longer bursts change completion time "
+                 "only marginally when the bus is the bottleneck, but "
+                 "they skew fairness between streaming and "
+                 "latency-bound accelerators.\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation (Section 6.3): the TinyML / custom-functional-unit (CFU)
+ * end of the design space — a microcontroller-class system with a
+ * single small accelerator and a CapChecker sized for its handful of
+ * pointers. The paper's anchor: such a checker costs fewer than 100
+ * LUTs next to a ~10k LUT system.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench/common.hh"
+#include "model/area_power.hh"
+
+using namespace capcheck;
+using system::SystemMode;
+
+int
+main()
+{
+    bench::printHeader("Ablation: CFU-class TinyML system",
+                       "Section 6.3 (CFU discussion)");
+
+    // One aes CFU (a single 128-byte context pointer) on a
+    // microcontroller: one instance, one task, a minimal table.
+    system::SocConfig cfg;
+    cfg.numInstances = 1;
+
+    cfg.mode = SystemMode::ccpuAccel;
+    const auto base = system::SocSystem(cfg).runBenchmark("aes", 1);
+
+    cfg.mode = SystemMode::ccpuCaccel;
+    cfg.capTableEntries = 2;
+    const auto prot = system::SocSystem(cfg).runBenchmark("aes", 1);
+
+    const auto system_luts = model::AreaPowerModel::microcontrollerLuts();
+    const auto checker_luts = model::AreaPowerModel::capCheckerLuts(2);
+
+    TextTable table({"Metric", "Value"});
+    table.addRow({"system area (LUTs)", std::to_string(system_luts)});
+    table.addRow({"2-entry CapChecker (LUTs)",
+                  std::to_string(checker_luts)});
+    table.addRow({"area overhead",
+                  fmtPercent(static_cast<double>(checker_luts) /
+                             static_cast<double>(system_luts))});
+    table.addRow({"unprotected cycles",
+                  std::to_string(base.totalCycles)});
+    table.addRow({"protected cycles",
+                  std::to_string(prot.totalCycles)});
+    table.addRow({"perf overhead",
+                  fmtPercent(prot.overheadVs(base))});
+    table.addRow({"results correct",
+                  prot.functionallyCorrect ? "yes" : "NO"});
+    table.print(std::cout);
+
+    std::cout << "\nPaper anchors: <100 LUTs of checker on a ~10k LUT "
+                 "TinyML system (we model "
+              << checker_luts << " LUTs, "
+              << fmtPercent(static_cast<double>(checker_luts) /
+                            static_cast<double>(system_luts))
+              << " of the system).\n";
+    return 0;
+}

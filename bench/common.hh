@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ */
+
+#ifndef CAPCHECK_BENCH_COMMON_HH
+#define CAPCHECK_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+#include "base/table.hh"
+#include "system/soc_system.hh"
+#include "workloads/kernel.hh"
+
+namespace capcheck::bench
+{
+
+inline void
+printHeader(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "\n=== " << what << " (reproduces " << paper_ref
+              << ") ===\n";
+}
+
+/** Run one benchmark under one mode with default parameters. */
+inline system::RunResult
+runMode(const std::string &benchmark, system::SystemMode mode,
+        unsigned num_tasks = 0, std::uint64_t seed = 1)
+{
+    system::SocConfig cfg;
+    cfg.mode = mode;
+    cfg.seed = seed;
+    system::SocSystem soc(cfg);
+    return soc.runBenchmark(benchmark, num_tasks);
+}
+
+} // namespace capcheck::bench
+
+#endif // CAPCHECK_BENCH_COMMON_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Fig. 7: accelerator speedup over CPU execution for every
+ * MachSuite benchmark on the proposed (ccpu+caccel) system, 8
+ * accelerator instances.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench/common.hh"
+
+using namespace capcheck;
+using system::SystemMode;
+
+int
+main()
+{
+    bench::printHeader("Fig. 7: accelerator speedup per benchmark",
+                       "Fig. 7");
+
+    TextTable table({"Benchmark", "cpu cycles", "ccpu+caccel cycles",
+                     "Speedup", "Correct"});
+
+    for (const std::string &name : workloads::allKernelNames()) {
+        const auto cpu = bench::runMode(name, SystemMode::cpu);
+        const auto accel = bench::runMode(name, SystemMode::ccpuCaccel);
+        table.addRow({name, std::to_string(cpu.totalCycles),
+                      std::to_string(accel.totalCycles),
+                      fmtSpeedup(accel.speedupVs(cpu)),
+                      (cpu.functionallyCorrect &&
+                       accel.functionallyCorrect)
+                          ? "yes"
+                          : "NO"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper expectation: backprop and viterbi exceed "
+                 "2000x; md_knn, stencil2d, bfs_bulk and bfs_queue are "
+                 "memory-bound and show the lowest speedups (the bfs/"
+                 "stencil pair below 1x).\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Fig. 8: performance, power, and circuit-area overhead of
+ * adding the CapChecker (ccpu+caccel vs ccpu+accel), per benchmark
+ * plus the geometric mean. Area and power come from the analytic FPGA
+ * model (DESIGN.md records this substitution for Vivado P&R reports).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "base/table.hh"
+#include "bench/common.hh"
+#include "model/area_power.hh"
+
+using namespace capcheck;
+using system::SystemMode;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 8: overhead of adding the CapChecker per benchmark",
+        "Fig. 8");
+
+    TextTable table({"Benchmark", "Perf overhead", "Power overhead",
+                     "Area overhead", "base cycles", "w/ checker"});
+
+    std::vector<double> perf_ratios;
+    std::vector<double> power_ratios;
+    std::vector<double> area_ratios;
+
+    for (const std::string &name : workloads::allKernelNames()) {
+        const auto base = bench::runMode(name, SystemMode::ccpuAccel);
+        const auto with = bench::runMode(name, SystemMode::ccpuCaccel);
+        const double perf = with.overheadVs(base);
+
+        // Area: CPU + accelerator pool, with/without the CapChecker.
+        const auto &spec = workloads::kernelSpec(name);
+        const std::uint64_t base_luts =
+            model::AreaPowerModel::cpuLuts(true) +
+            model::AreaPowerModel::accelLuts(spec, 8);
+        const std::uint64_t cap_luts =
+            model::AreaPowerModel::capCheckerLuts(256);
+        const double area =
+            static_cast<double>(cap_luts) /
+            static_cast<double>(base_luts);
+
+        // Power: switching activity = DMA beats per cycle.
+        const double act_base =
+            static_cast<double>(base.dmaBeats) /
+            static_cast<double>(base.totalCycles);
+        const double act_with =
+            static_cast<double>(with.dmaBeats) /
+            static_cast<double>(with.totalCycles);
+        const double p_base =
+            model::AreaPowerModel::totalPowerW(base_luts, act_base);
+        const double p_with =
+            model::AreaPowerModel::totalPowerW(base_luts, act_with) +
+            model::AreaPowerModel::capCheckerPowerW(256, act_with);
+        const double power = p_with / p_base - 1.0;
+
+        perf_ratios.push_back(1.0 + perf);
+        power_ratios.push_back(1.0 + power);
+        area_ratios.push_back(1.0 + area);
+
+        table.addRow({name, fmtPercent(perf), fmtPercent(power),
+                      fmtPercent(area),
+                      std::to_string(base.totalCycles),
+                      std::to_string(with.totalCycles)});
+    }
+
+    table.addRow({"geomean",
+                  fmtPercent(system::geometricMean(perf_ratios) - 1.0),
+                  fmtPercent(system::geometricMean(power_ratios) - 1.0),
+                  fmtPercent(system::geometricMean(area_ratios) - 1.0),
+                  "-", "-"});
+    table.print(std::cout);
+
+    std::cout << "\nPaper expectation: performance overhead within 5% "
+                 "for most benchmarks (1.4% mean), md_knn the outlier "
+                 "because its absolute run is short; area overhead "
+                 "~15% (256-entry CapChecker ~30k LUTs); power "
+                 "overhead small.\n";
+    return 0;
+}

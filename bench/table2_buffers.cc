@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Table 2: data buffer sizes held in the CapChecker per
+ * benchmark with 8 accelerator instances. The numbers come from
+ * actually running the trusted driver: eight tasks are allocated per
+ * benchmark and the installed capability-table entries are inspected.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "base/table.hh"
+#include "bench/common.hh"
+#include "cheri/captree.hh"
+#include "driver/driver.hh"
+#include "mem/allocator.hh"
+#include "mem/tagged_memory.hh"
+#include "workloads/kernel.hh"
+
+using namespace capcheck;
+
+int
+main()
+{
+    bench::printHeader("Table 2: buffer footprint per benchmark",
+                       "Table 2");
+    std::cout << "(8 accelerator instances, 256-entry CapChecker; "
+                 "buffer counts/sizes observed from live driver "
+                 "allocations)\n\n";
+
+    constexpr unsigned instances = 8;
+
+    TextTable table({"Benchmark", "Buffer count", "Min bytes",
+                     "Max bytes", "Table entries used"});
+
+    bool all_fit = true;
+    for (const std::string &name : workloads::allKernelNames()) {
+        TaggedMemory mem(64ull << 20);
+        RegionAllocator heap(1 << 20, (64ull << 20) - (1 << 20));
+        cheri::CapTree tree;
+        const auto app = tree.derive(
+            tree.rootNode(), cheri::CapNodeKind::cpuTask,
+            tree.capOf(tree.rootNode()).setBounds(1 << 20, 63ull << 20),
+            "app");
+
+        capchecker::CapChecker checker;
+        driver::Driver driver(mem, heap, tree, /*cheri=*/true,
+                              &checker);
+        accel::Accelerator accel(name, workloads::kernelSpec(name),
+                                 instances);
+
+        std::vector<driver::TaskHandle> handles;
+        std::uint64_t min_bytes = ~0ull;
+        std::uint64_t max_bytes = 0;
+        unsigned count = 0;
+        for (unsigned t = 0; t < instances; ++t) {
+            auto handle = driver.allocateTask(accel, t, app);
+            if (!handle) {
+                std::cerr << "allocation failed for " << name << "\n";
+                return 1;
+            }
+            for (const BufferMapping &buf : handle->buffers) {
+                min_bytes = std::min(min_bytes, buf.size);
+                max_bytes = std::max(max_bytes, buf.size);
+                ++count;
+            }
+            handles.push_back(std::move(*handle));
+        }
+
+        all_fit &= checker.capTable().used() <= 256;
+        table.addRow({name, std::to_string(count),
+                      std::to_string(min_bytes),
+                      std::to_string(max_bytes),
+                      std::to_string(checker.capTable().used())});
+
+        for (auto &handle : handles)
+            driver.deallocateTask(handle, false);
+    }
+
+    table.print(std::cout);
+    std::cout << "\nAll benchmarks fit the 256-entry CapChecker: "
+              << (all_fit ? "yes" : "NO") << "\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The paper's motivating example (Fig. 2) as an executable story: a
+ * victim application decodes confidential data on an accelerator while
+ * an attacker task on the same accelerator pool tries to (1) eavesdrop
+ * on the victim's buffers and (2) forge a CPU capability by
+ * overwriting one stored in shared memory.
+ *
+ * Run against every protection scheme to see who stops what:
+ *
+ *   ./attack_blocked
+ */
+
+#include <iostream>
+
+#include "security/attack.hh"
+
+using namespace capcheck;
+using namespace capcheck::security;
+
+namespace
+{
+
+void
+show(const char *title, const AttackOutcome &outcome)
+{
+    std::cout << "    " << title << " -> grade "
+              << gradeSymbol(outcome.grade) << "\n";
+    for (const Probe &probe : outcome.probes) {
+        std::cout << "      - " << probe.name << ": "
+                  << (probe.allowed ? "REACHED" : "blocked") << "\n";
+    }
+    if (!outcome.note.empty())
+        std::cout << "      note: " << outcome.note << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout
+        << "Fig. 2 attack walkthrough: an 'eavesdropper' task tries to\n"
+           "read another task's data and to forge a CHERI capability.\n";
+
+    for (const SchemeKind kind : allSchemes) {
+        std::cout << "\n== scheme: " << schemeName(kind) << " ==\n";
+        AttackLab lab(kind);
+
+        std::cout << "  [1] buffer overflow from the attacker's own "
+                     "buffer:\n";
+        show("out-of-bounds read/write", lab.bufferOverflow());
+
+        std::cout << "  [2] dereferencing an untrusted pointer value:\n";
+        show("attacker-controlled 64-bit address",
+             lab.untrustedPointer());
+
+        std::cout << "  [3] forging a stored CPU capability:\n";
+        show("overwrite capability bytes via DMA",
+             lab.capabilityForging());
+    }
+
+    std::cout
+        << "\nSummary: without protection everything is reachable; the\n"
+           "IOMMU still exposes page-sharing neighbours and preserved\n"
+           "capability tags; only the CapChecker confines the task to\n"
+           "its objects (Fine) or its own task's objects (Coarse) and\n"
+           "clears tags on every accelerator write, making forged\n"
+           "capabilities impossible to mint.\n";
+    return 0;
+}

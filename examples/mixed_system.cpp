@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A realistic SoC mixing heterogeneous accelerators (Fig. 9's setup):
+ * eight different MachSuite accelerators run concurrent tasks behind a
+ * single shared CapChecker. Shows per-configuration wall clock, bus
+ * utilization, and capability-table pressure.
+ *
+ *   ./mixed_system
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "system/soc_system.hh"
+
+using namespace capcheck;
+using namespace capcheck::system;
+
+int
+main()
+{
+    const std::vector<std::string> mix = {
+        "aes",       "gemm_ncubed", "fft_strided", "viterbi",
+        "spmv_crs",  "sort_radix",  "stencil2d",   "backprop",
+    };
+
+    std::cout << "Mixed-accelerator SoC with " << mix.size()
+              << " different accelerators:\n  ";
+    for (const auto &name : mix)
+        std::cout << name << " ";
+    std::cout << "\n\n";
+
+    SocConfig cfg;
+    cfg.seed = 7;
+
+    cfg.mode = SystemMode::ccpuAccel;
+    const RunResult base = SocSystem(cfg).runMixed(mix);
+    cfg.mode = SystemMode::ccpuCaccel;
+    const RunResult prot = SocSystem(cfg).runMixed(mix);
+    cfg.provenance = capchecker::Provenance::coarse;
+    const RunResult coarse = SocSystem(cfg).runMixed(mix);
+
+    auto report = [&](const char *label, const RunResult &r) {
+        std::cout << "  " << label << ": " << r.totalCycles
+                  << " cycles, " << r.dmaBeats << " DMA beats ("
+                  << (100.0 * static_cast<double>(r.dmaBeats) /
+                      static_cast<double>(r.totalCycles))
+                  << "% bus utilization), "
+                  << (r.functionallyCorrect ? "all results correct"
+                                            : "RESULTS WRONG")
+                  << "\n";
+    };
+
+    report("ccpu+accel (unprotected) ", base);
+    report("ccpu+caccel (Fine)       ", prot);
+    report("ccpu+caccel (Coarse)     ", coarse);
+
+    std::cout << "\n  protection overhead (Fine):   "
+              << prot.overheadVs(base) * 100 << "%\n"
+              << "  protection overhead (Coarse): "
+              << coarse.overheadVs(base) * 100 << "%\n"
+              << "  capability-table entries:     "
+              << prot.peakTableEntries << " / 256\n";
+
+    std::cout << "\nEight mutually distrusting applications shared one "
+                 "memory system; each task could only touch the "
+                 "buffers whose capabilities its driver installed.\n";
+    return (base.functionallyCorrect && prot.functionallyCorrect &&
+            coarse.functionallyCorrect)
+               ? 0
+               : 1;
+}

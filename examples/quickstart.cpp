@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quickstart: run one MachSuite benchmark on the CHERI-protected
+ * heterogeneous system and compare it against the unprotected
+ * configuration.
+ *
+ *   ./quickstart [benchmark]       (default: gemm_ncubed)
+ *
+ * This is the smallest end-to-end use of the public API: pick a
+ * configuration, build a SocSystem, run a benchmark, inspect the
+ * result.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "system/soc_system.hh"
+#include "workloads/kernel.hh"
+
+using namespace capcheck;
+using namespace capcheck::system;
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "gemm_ncubed";
+
+    std::cout << "CapCheckerSim quickstart: " << benchmark
+              << " with 8 accelerator instances\n\n";
+
+    // 1. The plain CPU baseline (all eight tasks run sequentially).
+    SocConfig cfg;
+    cfg.mode = SystemMode::cpu;
+    const RunResult cpu = SocSystem(cfg).runBenchmark(benchmark);
+
+    // 2. CHERI CPU + CHERI-unaware accelerators (fast but unprotected).
+    cfg.mode = SystemMode::ccpuAccel;
+    const RunResult unprotected = SocSystem(cfg).runBenchmark(benchmark);
+
+    // 3. The paper's system: the same accelerators behind a CapChecker.
+    cfg.mode = SystemMode::ccpuCaccel;
+    const RunResult prot = SocSystem(cfg).runBenchmark(benchmark);
+
+    auto report = [](const char *label, const RunResult &r) {
+        std::cout << "  " << label << ": " << r.totalCycles
+                  << " cycles (driver alloc " << r.driverAllocCycles
+                  << ", kernel " << r.kernelCycles << ", dealloc "
+                  << r.driverDeallocCycles << "), "
+                  << (r.functionallyCorrect ? "results correct"
+                                            : "RESULTS WRONG")
+                  << ", " << r.exceptions << " protection exceptions\n";
+    };
+    report("cpu          ", cpu);
+    report("ccpu+accel   ", unprotected);
+    report("ccpu+caccel  ", prot);
+
+    std::cout << "\n  accelerator speedup over CPU: "
+              << prot.speedupVs(cpu) << "x\n"
+              << "  cost of pointer-level protection: "
+              << prot.overheadVs(unprotected) * 100 << "%\n"
+              << "  capability-table entries used: "
+              << prot.peakTableEntries << " / 256\n";
+
+    std::cout << "\nEvery DMA beat the accelerators issued was checked "
+                 "against a CHERI capability installed by the trusted "
+                 "driver; the protection cost above is the whole "
+                 "price.\n";
+    return prot.functionallyCorrect ? 0 : 1;
+}

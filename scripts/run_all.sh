@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate everything: build, test, and reproduce every table/figure.
+# Usage: scripts/run_all.sh [build-dir]
+set -euo pipefail
+
+BUILD=${1:-build}
+cd "$(dirname "$0")/.."
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+echo
+echo "=== Reproducing all tables and figures ==="
+for b in "$BUILD"/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+        "$b"
+    fi
+done
+
+echo
+echo "=== Examples ==="
+for e in quickstart attack_blocked mixed_system capability_tree inspect; do
+    "$BUILD/examples/$e" > /dev/null && echo "$e: OK"
+done

@@ -1,0 +1,46 @@
+#include "accel/accelerator.hh"
+
+#include "base/logging.hh"
+
+namespace capcheck::accel
+{
+
+Accelerator::Accelerator(std::string name,
+                         const workloads::KernelSpec &spec,
+                         unsigned num_instances)
+    : _name(std::move(name)), _spec(spec), instances(num_instances)
+{
+    if (num_instances == 0)
+        fatal("accelerator %s needs at least one instance",
+              _name.c_str());
+    for (InstanceRegs &regs : instances)
+        regs.objBase.assign(spec.buffers.size(), 0);
+}
+
+std::optional<unsigned>
+Accelerator::claimInstance(TaskId task)
+{
+    for (unsigned i = 0; i < instances.size(); ++i) {
+        if (!instances[i].busy) {
+            instances[i].busy = true;
+            instances[i].task = task;
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Accelerator::releaseInstance(unsigned idx)
+{
+    InstanceRegs &regs = instances.at(idx);
+    if (!regs.busy)
+        panic("accelerator %s: releasing idle instance %u",
+              _name.c_str(), idx);
+    // Clear control registers so a subsequent task mapped onto the same
+    // functional unit cannot reuse stale pointers (Fig. 6 (2)).
+    regs = InstanceRegs{};
+    regs.objBase.assign(_spec.buffers.size(), 0);
+}
+
+} // namespace capcheck::accel

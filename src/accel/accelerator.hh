@@ -1,0 +1,76 @@
+/**
+ * @file
+ * An accelerator functional-unit pool: one hardware accelerator block
+ * per benchmark, exposing several identical instances (eight in the
+ * paper's evaluation), each usable by an independent task. The driver
+ * claims a free instance (stalling when all are busy, Fig. 6 step 1)
+ * and programs its control registers — buffer base pointers and the
+ * start strobe — over MMIO.
+ */
+
+#ifndef CAPCHECK_ACCEL_ACCELERATOR_HH
+#define CAPCHECK_ACCEL_ACCELERATOR_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "workloads/buffer_spec.hh"
+
+namespace capcheck::accel
+{
+
+class Accelerator
+{
+  public:
+    /** Per-instance control registers (MMIO-mapped for the driver). */
+    struct InstanceRegs
+    {
+        bool busy = false;
+        bool started = false;
+        TaskId task = invalidTaskId;
+        /** One base-pointer register per kernel buffer. */
+        std::vector<Addr> objBase;
+    };
+
+    Accelerator(std::string name, const workloads::KernelSpec &spec,
+                unsigned num_instances);
+
+    const std::string &name() const { return _name; }
+    const workloads::KernelSpec &spec() const { return _spec; }
+    unsigned numInstances() const
+    {
+        return static_cast<unsigned>(instances.size());
+    }
+
+    /**
+     * Find and claim a free instance.
+     * @return instance index, or nullopt when all are busy.
+     */
+    std::optional<unsigned> claimInstance(TaskId task);
+
+    /** Release an instance and clear its control registers (Fig. 6 (2)). */
+    void releaseInstance(unsigned idx);
+
+    InstanceRegs &regs(unsigned idx) { return instances.at(idx); }
+    const InstanceRegs &regs(unsigned idx) const
+    {
+        return instances.at(idx);
+    }
+
+    /** Count of MMIO register writes needed to program one instance. */
+    unsigned controlRegCount() const
+    {
+        return static_cast<unsigned>(_spec.buffers.size()) + 1;
+    }
+
+  private:
+    std::string _name;
+    const workloads::KernelSpec &_spec;
+    std::vector<InstanceRegs> instances;
+};
+
+} // namespace capcheck::accel
+
+#endif // CAPCHECK_ACCEL_ACCELERATOR_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The DMA/datapath trace an accelerator instance produces when a kernel
+ * runs under the trace-recording envelope. The timing player replays
+ * this against the simulated memory system.
+ */
+
+#ifndef CAPCHECK_ACCEL_TRACE_HH
+#define CAPCHECK_ACCEL_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "mem/packet.hh"
+
+namespace capcheck::accel
+{
+
+struct TraceOp
+{
+    enum class Kind
+    {
+        access,  ///< one DMA beat on an external buffer
+        delay,   ///< datapath busy for @c cycles
+        barrier, ///< wait for all outstanding responses
+    };
+
+    Kind kind = Kind::delay;
+
+    // access fields
+    MemCmd cmd = MemCmd::read;
+    ObjectId obj = invalidObjectId;
+    std::uint64_t off = 0;
+    std::uint32_t size = 0;
+
+    // delay field
+    Cycles cycles = 0;
+
+    static TraceOp
+    access(MemCmd cmd, ObjectId obj, std::uint64_t off,
+           std::uint32_t size)
+    {
+        TraceOp op;
+        op.kind = Kind::access;
+        op.cmd = cmd;
+        op.obj = obj;
+        op.off = off;
+        op.size = size;
+        return op;
+    }
+
+    static TraceOp
+    delay(Cycles cycles)
+    {
+        TraceOp op;
+        op.kind = Kind::delay;
+        op.cycles = cycles;
+        return op;
+    }
+
+    static TraceOp
+    barrier()
+    {
+        TraceOp op;
+        op.kind = Kind::barrier;
+        return op;
+    }
+};
+
+struct InstanceTrace
+{
+    std::vector<TraceOp> ops;
+
+    std::uint64_t
+    accessBeats() const
+    {
+        std::uint64_t n = 0;
+        for (const TraceOp &op : ops)
+            n += op.kind == TraceOp::Kind::access;
+        return n;
+    }
+
+    Cycles
+    delayCycles() const
+    {
+        Cycles n = 0;
+        for (const TraceOp &op : ops) {
+            if (op.kind == TraceOp::Kind::delay)
+                n += op.cycles;
+        }
+        return n;
+    }
+};
+
+} // namespace capcheck::accel
+
+#endif // CAPCHECK_ACCEL_TRACE_HH

@@ -1,0 +1,129 @@
+#include "accel/trace_accessor.hh"
+
+#include "base/logging.hh"
+
+namespace capcheck::accel
+{
+
+TraceAccessor::TraceAccessor(TaggedMemory &mem,
+                             const workloads::KernelSpec &spec,
+                             std::vector<BufferMapping> buffers)
+    : mem(mem), spec(spec), buffers(std::move(buffers))
+{
+    if (this->buffers.size() != spec.buffers.size())
+        fatal("TraceAccessor: mapping count mismatch for %s",
+              spec.name.c_str());
+}
+
+Addr
+TraceAccessor::resolve(ObjectId obj, std::uint64_t off,
+                       std::uint32_t size)
+{
+    if (obj >= buffers.size())
+        panic("accel access to unknown object %u", obj);
+    if (off + size > buffers[obj].size)
+        panic("accel access out of buffer: %s obj=%u off=%llu size=%u",
+              spec.name.c_str(), obj,
+              static_cast<unsigned long long>(off), size);
+    return buffers[obj].base + off;
+}
+
+void
+TraceAccessor::flushDelay()
+{
+    if (pendingOps == 0)
+        return;
+    const std::uint64_t ilp = spec.timing.ilp;
+    trace.ops.push_back(TraceOp::delay((pendingOps + ilp - 1) / ilp));
+    pendingOps = 0;
+}
+
+void
+TraceAccessor::recordAccess(MemCmd cmd, ObjectId obj, std::uint64_t off,
+                            std::uint32_t size)
+{
+    if (spec.buffer(obj).placement != workloads::BufferPlacement::external)
+        return; // BRAM-resident: no DMA beat
+    flushDelay();
+    trace.ops.push_back(TraceOp::access(cmd, obj, off, size));
+}
+
+void
+TraceAccessor::load(ObjectId obj, std::uint64_t off, void *dst,
+                    std::uint32_t size)
+{
+    mem.read(resolve(obj, off, size), dst, size);
+    recordAccess(MemCmd::read, obj, off, size);
+}
+
+void
+TraceAccessor::store(ObjectId obj, std::uint64_t off, const void *src,
+                     std::uint32_t size)
+{
+    mem.write(resolve(obj, off, size), src, size);
+    recordAccess(MemCmd::write, obj, off, size);
+}
+
+void
+TraceAccessor::copy(ObjectId dst_obj, std::uint64_t dst_off,
+                    ObjectId src_obj, std::uint64_t src_off,
+                    std::uint64_t len)
+{
+    // Functional move.
+    std::vector<std::uint8_t> tmp(len);
+    mem.read(resolve(src_obj, src_off, 0), tmp.data(), len);
+    if (src_off + len > buffers[src_obj].size ||
+        dst_off + len > buffers[dst_obj].size)
+        panic("accel copy out of buffer");
+    mem.write(resolve(dst_obj, dst_off, 0), tmp.data(), len);
+
+    // Timing: BRAM-to-BRAM moves are a wide on-chip copy; external
+    // endpoints cost one beat per 8 bytes.
+    using workloads::BufferPlacement;
+    const bool src_ext = spec.buffer(src_obj).placement ==
+                         BufferPlacement::external;
+    const bool dst_ext = spec.buffer(dst_obj).placement ==
+                         BufferPlacement::external;
+    for (std::uint64_t b = 0; b < len; b += 8) {
+        const auto size =
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                8, len - b));
+        if (src_ext)
+            recordAccess(MemCmd::read, src_obj, src_off + b, size);
+        if (dst_ext)
+            recordAccess(MemCmd::write, dst_obj, dst_off + b, size);
+    }
+    if (!src_ext && !dst_ext)
+        pendingOps += len / 16 + 1; // wide local copy
+}
+
+void
+TraceAccessor::computeInt(std::uint64_t n)
+{
+    pendingOps += n;
+}
+
+void
+TraceAccessor::computeFp(std::uint64_t n)
+{
+    pendingOps += n;
+}
+
+void
+TraceAccessor::barrier()
+{
+    flushDelay();
+    if (!trace.ops.empty() &&
+        trace.ops.back().kind == TraceOp::Kind::barrier)
+        return; // coalesce
+    trace.ops.push_back(TraceOp::barrier());
+}
+
+InstanceTrace
+TraceAccessor::take()
+{
+    flushDelay();
+    return std::move(trace);
+}
+
+} // namespace capcheck::accel

@@ -1,0 +1,201 @@
+#include "accel/trace_player.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/trace.hh"
+#include "capchecker/capchecker.hh"
+
+namespace capcheck::accel
+{
+
+TracePlayer::TracePlayer(EventQueue &eq, stats::StatGroup *parent_stats,
+                         std::string name,
+                         const workloads::KernelSpec &spec,
+                         InstanceTrace trace,
+                         std::vector<BufferMapping> buffers, TaskId task,
+                         PortId port, AxiInterconnect &xbar,
+                         AddressingMode addressing)
+    : TickingObject(eq, std::move(name), parent_stats,
+                    Event::requestPrio),
+      spec(spec), trace(std::move(trace)), buffers(std::move(buffers)),
+      taskId(task), port(port), xbar(xbar), addressing(addressing),
+      beatsIssued(stats, "beats", "DMA beats issued"),
+      deniedResponses(stats, "denied", "beats denied by protection")
+{
+    xbar.setResponseHandler(port, this);
+    buildStreams();
+}
+
+void
+TracePlayer::buildStreams()
+{
+    using workloads::BufferAccess;
+    using workloads::BufferPlacement;
+
+    for (ObjectId obj = 0; obj < spec.buffers.size(); ++obj) {
+        const workloads::BufferDef &def = spec.buffers[obj];
+        if (def.placement != BufferPlacement::streamed)
+            continue;
+        for (std::uint64_t off = 0; off < def.size; off += 8) {
+            const auto size = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(8, def.size - off));
+            if (def.access != BufferAccess::writeOnly)
+                inBeats.push_back(
+                    StreamBeat{MemCmd::read, obj, off, size});
+            if (def.access != BufferAccess::readOnly)
+                outBeats.push_back(
+                    StreamBeat{MemCmd::write, obj, off, size});
+        }
+    }
+}
+
+void
+TracePlayer::start(Cycles when)
+{
+    if (phase != Phase::idle)
+        panic("%s: started twice", name().c_str());
+    phase = Phase::streamIn;
+    busyUntil = when + spec.timing.startupCycles;
+    const Cycles now = curCycle();
+    activate(busyUntil > now ? busyUntil - now : 1);
+}
+
+bool
+TracePlayer::issue(MemCmd cmd, ObjectId obj, std::uint64_t off,
+                   std::uint32_t size)
+{
+    if (!xbar.canOffer(port))
+        return false;
+
+    MemRequest req;
+    req.cmd = cmd;
+    req.size = size;
+    req.srcPort = port;
+    req.task = taskId;
+    const Addr phys = buffers[obj].base + off;
+    if (addressing.objectInAddress) {
+        req.addr =
+            (Addr{obj} << capchecker::CapChecker::coarseAddrBits) | phys;
+        req.object = invalidObjectId;
+    } else {
+        req.addr = phys;
+        req.object = addressing.objectMetadata ? obj : invalidObjectId;
+    }
+    req.id = nextReqId++;
+
+    xbar.offer(port, req);
+    ++outstanding;
+    ++beatsIssued;
+    return true;
+}
+
+void
+TracePlayer::handleResponse(const MemResponse &resp)
+{
+    if (outstanding == 0)
+        panic("%s: response with nothing outstanding", name().c_str());
+    --outstanding;
+    if (!resp.ok) {
+        ++deniedResponses;
+        // The CapChecker blocked this access: the instance aborts and
+        // the driver will observe the exception flag.
+        _failed = true;
+        CAPCHECK_DPRINTF(debug::accel, "%s: beat denied, aborting",
+                         name().c_str());
+    }
+    activate(1);
+}
+
+void
+TracePlayer::finish()
+{
+    phase = Phase::done;
+    _finishCycle = curCycle();
+    if (doneFn)
+        doneFn();
+}
+
+bool
+TracePlayer::tick()
+{
+    if (phase == Phase::idle || phase == Phase::done)
+        return false;
+
+    if (_failed) {
+        // Abort: stop issuing, wait for in-flight beats to drain.
+        if (outstanding == 0) {
+            finish();
+            return false;
+        }
+        return false; // reactivated by responses
+    }
+
+    if (busyUntil > curCycle()) {
+        activate(busyUntil - curCycle());
+        return false;
+    }
+
+    switch (phase) {
+      case Phase::streamIn:
+      case Phase::streamOut: {
+        const std::vector<StreamBeat> &beats =
+            phase == Phase::streamIn ? inBeats : outBeats;
+        if (streamIndex >= beats.size()) {
+            if (outstanding > 0)
+                return false; // drain before switching phase
+            if (phase == Phase::streamIn) {
+                phase = Phase::body;
+                opIndex = 0;
+                return true;
+            }
+            finish();
+            return false;
+        }
+        if (outstanding >= streamCredits)
+            return false; // reactivated by a response
+        const StreamBeat &beat = beats[streamIndex];
+        if (issue(beat.cmd, beat.obj, beat.off, beat.size))
+            ++streamIndex;
+        return true;
+      }
+
+      case Phase::body: {
+        if (opIndex >= trace.ops.size()) {
+            phase = Phase::streamOut;
+            streamIndex = 0;
+            return true;
+        }
+        const TraceOp &op = trace.ops[opIndex];
+        switch (op.kind) {
+          case TraceOp::Kind::delay:
+            ++opIndex;
+            if (op.cycles == 0)
+                return true;
+            busyUntil = curCycle() + op.cycles;
+            activate(op.cycles);
+            return false;
+          case TraceOp::Kind::barrier:
+            if (outstanding > 0)
+                return false; // reactivated by responses
+            ++opIndex;
+            return true;
+          case TraceOp::Kind::access:
+            if (outstanding >= spec.timing.maxOutstanding)
+                return false;
+            if (issue(op.cmd, op.obj, op.off, op.size))
+                ++opIndex;
+            return true;
+        }
+        return true;
+      }
+
+      case Phase::drain:
+      case Phase::idle:
+      case Phase::done:
+        break;
+    }
+    return false;
+}
+
+} // namespace capcheck::accel

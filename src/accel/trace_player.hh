@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Timing replay of an accelerator instance: streams input buffers in,
+ * replays the recorded datapath/DMA trace with bounded outstanding
+ * requests, and streams outputs back. All DMA goes through the
+ * instance's interconnect master port, carrying the provenance the
+ * CapChecker mode expects.
+ */
+
+#ifndef CAPCHECK_ACCEL_TRACE_PLAYER_HH
+#define CAPCHECK_ACCEL_TRACE_PLAYER_HH
+
+#include <functional>
+#include <vector>
+
+#include "accel/trace.hh"
+#include "cpu/cpu_model.hh" // BufferMapping
+#include "mem/interconnect.hh"
+#include "workloads/buffer_spec.hh"
+
+namespace capcheck::accel
+{
+
+/** How the player encodes object provenance into requests. */
+struct AddressingMode
+{
+    /** Attach object ids as request metadata (CapChecker Fine). */
+    bool objectMetadata = true;
+    /** Fold the object id into address bits 63:56 (CapChecker Coarse). */
+    bool objectInAddress = false;
+};
+
+class TracePlayer : public TickingObject, public ResponseHandler
+{
+  public:
+    /** DMA engine credits for bulk stream transfers. */
+    static constexpr unsigned streamCredits = 16;
+
+    TracePlayer(EventQueue &eq, stats::StatGroup *parent_stats,
+                std::string name, const workloads::KernelSpec &spec,
+                InstanceTrace trace,
+                std::vector<BufferMapping> buffers, TaskId task,
+                PortId port, AxiInterconnect &xbar,
+                AddressingMode addressing);
+
+    /** Begin execution at @p when (after driver setup). */
+    void start(Cycles when);
+
+    bool done() const { return phase == Phase::done; }
+    bool failed() const { return _failed; }
+    Cycles finishCycle() const { return _finishCycle; }
+    TaskId task() const { return taskId; }
+
+    /** Invoked once when the instance finishes (or aborts). */
+    void onDone(std::function<void()> fn) { doneFn = std::move(fn); }
+
+    void handleResponse(const MemResponse &resp) override;
+    bool tick() override;
+
+  private:
+    enum class Phase
+    {
+        idle,
+        streamIn,
+        body,
+        streamOut,
+        drain,
+        done,
+    };
+
+    struct StreamBeat
+    {
+        MemCmd cmd;
+        ObjectId obj;
+        std::uint64_t off;
+        std::uint32_t size;
+    };
+
+    void buildStreams();
+    bool issue(MemCmd cmd, ObjectId obj, std::uint64_t off,
+               std::uint32_t size);
+    void finish();
+
+    const workloads::KernelSpec &spec;
+    InstanceTrace trace;
+    std::vector<BufferMapping> buffers;
+    TaskId taskId;
+    PortId port;
+    AxiInterconnect &xbar;
+    AddressingMode addressing;
+
+    Phase phase = Phase::idle;
+    std::vector<StreamBeat> inBeats;
+    std::vector<StreamBeat> outBeats;
+    std::size_t streamIndex = 0;
+    std::size_t opIndex = 0;
+    unsigned outstanding = 0;
+    Cycles busyUntil = 0;
+    bool _failed = false;
+    Cycles _finishCycle = 0;
+    std::uint64_t nextReqId = 0;
+    std::function<void()> doneFn;
+
+    stats::Scalar beatsIssued;
+    stats::Scalar deniedResponses;
+};
+
+} // namespace capcheck::accel
+
+#endif // CAPCHECK_ACCEL_TRACE_PLAYER_HH

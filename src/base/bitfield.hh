@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the capability codec and the
+ * protection hardware models.
+ */
+
+#ifndef CAPCHECK_BASE_BITFIELD_HH
+#define CAPCHECK_BASE_BITFIELD_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace capcheck
+{
+
+/** Mask with the low @p n bits set (n may be 0..64). */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [first, last] (inclusive, first >= last) of @p val. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned first, unsigned last)
+{
+    return (val >> last) & mask(first - last + 1);
+}
+
+/** Extract a single bit of @p val. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned bit)
+{
+    return (val >> bit) & 1;
+}
+
+/**
+ * Insert @p src into bits [first, last] of @p dst and return the result.
+ */
+constexpr std::uint64_t
+insertBits(std::uint64_t dst, unsigned first, unsigned last,
+           std::uint64_t src)
+{
+    const std::uint64_t m = mask(first - last + 1);
+    return (dst & ~(m << last)) | ((src & m) << last);
+}
+
+/** Sign-extend the low @p n bits of @p val to 64 bits. */
+constexpr std::int64_t
+sext(std::uint64_t val, unsigned n)
+{
+    const unsigned shift = 64 - n;
+    return static_cast<std::int64_t>(val << shift) >> shift;
+}
+
+/** True when @p val is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Round @p val up to the next multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundUp(std::uint64_t val, std::uint64_t align)
+{
+    return (val + align - 1) & ~(align - 1);
+}
+
+/** Round @p val down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundDown(std::uint64_t val, std::uint64_t align)
+{
+    return val & ~(align - 1);
+}
+
+/** Ceil(log2(val)) for val >= 1. */
+constexpr unsigned
+ceilLog2(std::uint64_t val)
+{
+    return val <= 1 ? 0
+                    : 64 - static_cast<unsigned>(std::countl_zero(val - 1));
+}
+
+/** Floor(log2(val)) for val >= 1. */
+constexpr unsigned
+floorLog2(std::uint64_t val)
+{
+    return 63 - static_cast<unsigned>(std::countl_zero(val));
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace capcheck
+
+#endif // CAPCHECK_BASE_BITFIELD_HH

@@ -1,0 +1,24 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+
+namespace capcheck
+{
+namespace detail
+{
+
+void
+logMessage(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
+
+void
+raiseError(const char *prefix, const std::string &msg)
+{
+    logMessage(prefix, msg);
+    throw SimError(std::string(prefix) + ": " + msg);
+}
+
+} // namespace detail
+} // namespace capcheck

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic/fatal for errors,
+ * warn/inform for status. panic() signals an internal simulator bug and
+ * aborts; fatal() signals a user/configuration error and exits cleanly.
+ */
+
+#ifndef CAPCHECK_BASE_LOGGING_HH
+#define CAPCHECK_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace capcheck
+{
+
+/** Thrown by panic()/fatal() so tests can assert on error paths. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &what) : std::runtime_error(what) {}
+};
+
+namespace detail
+{
+
+void logMessage(const char *prefix, const std::string &msg);
+
+[[noreturn]] void raiseError(const char *prefix, const std::string &msg);
+
+template <typename... Args>
+std::string
+formatString(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        int n = std::snprintf(nullptr, 0, fmt, args...);
+        if (n < 0)
+            return std::string(fmt);
+        std::string out(static_cast<size_t>(n), '\0');
+        std::snprintf(out.data(), out.size() + 1, fmt, args...);
+        return out;
+    }
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation (a simulator bug) and raise
+ * SimError. printf-style formatting.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    detail::raiseError("panic", detail::formatString(fmt, args...));
+}
+
+/**
+ * Report an unrecoverable user or configuration error and raise SimError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    detail::raiseError("fatal", detail::formatString(fmt, args...));
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    detail::logMessage("warn", detail::formatString(fmt, args...));
+}
+
+/** Report ordinary status. */
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    detail::logMessage("info", detail::formatString(fmt, args...));
+}
+
+/** Panic unless the given invariant holds. */
+#define CAPCHECK_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::capcheck::panic("assertion failed: %s", #cond);               \
+    } while (0)
+
+} // namespace capcheck
+
+#endif // CAPCHECK_BASE_LOGGING_HH

@@ -1,0 +1,169 @@
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace capcheck::stats
+{
+
+StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    group.addStat(this);
+}
+
+void
+Scalar::dump(std::ostream &os) const
+{
+    os << _value;
+}
+
+Distribution::Distribution(StatGroup &group, std::string name,
+                           std::string desc, double min, double max,
+                           std::size_t num_buckets)
+    : StatBase(group, std::move(name), std::move(desc)),
+      lo(min), hi(max),
+      bucketWidth((max - min) / static_cast<double>(num_buckets)),
+      buckets(num_buckets, 0)
+{
+    if (num_buckets == 0 || max <= min)
+        panic("Distribution %s: bad bucket configuration", this->name());
+    reset();
+}
+
+void
+Distribution::sample(double v, std::uint64_t count)
+{
+    if (_samples == 0) {
+        _minSeen = v;
+        _maxSeen = v;
+    } else {
+        _minSeen = std::min(_minSeen, v);
+        _maxSeen = std::max(_maxSeen, v);
+    }
+    _samples += count;
+    sum += v * static_cast<double>(count);
+
+    if (v < lo) {
+        underflow += count;
+    } else if (v >= hi) {
+        overflow += count;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo) / bucketWidth);
+        idx = std::min(idx, buckets.size() - 1);
+        buckets[idx] += count;
+    }
+}
+
+double
+Distribution::mean() const
+{
+    return _samples ? sum / static_cast<double>(_samples) : 0;
+}
+
+void
+Distribution::dump(std::ostream &os) const
+{
+    os << "samples=" << _samples << " mean=" << mean()
+       << " min=" << _minSeen << " max=" << _maxSeen;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    underflow = 0;
+    overflow = 0;
+    _samples = 0;
+    sum = 0;
+    _minSeen = 0;
+    _maxSeen = 0;
+}
+
+Formula::Formula(StatGroup &group, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(group, std::move(name), std::move(desc)), fn(std::move(fn))
+{
+}
+
+void
+Formula::dump(std::ostream &os) const
+{
+    os << value();
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : _name(std::move(name)), parent(parent)
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent)
+        parent->removeChild(this);
+}
+
+std::string
+StatGroup::path() const
+{
+    if (!parent || parent->path().empty())
+        return _name;
+    return parent->path() + "." + _name;
+}
+
+void
+StatGroup::addStat(StatBase *stat)
+{
+    statList.push_back(stat);
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children.push_back(child);
+}
+
+void
+StatGroup::removeChild(StatGroup *child)
+{
+    std::erase(children, child);
+}
+
+const StatBase *
+StatGroup::find(const std::string &leaf) const
+{
+    for (const auto *stat : statList) {
+        if (stat->name() == leaf)
+            return stat;
+    }
+    return nullptr;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const std::string prefix = path().empty() ? "" : path() + ".";
+    for (const auto *stat : statList) {
+        os << std::left << std::setw(48) << (prefix + stat->name()) << " ";
+        stat->dump(os);
+        os << "   # " << stat->desc() << "\n";
+    }
+    for (const auto *child : children)
+        child->dump(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *stat : statList)
+        stat->reset();
+    for (auto *child : children)
+        child->resetAll();
+}
+
+} // namespace capcheck::stats

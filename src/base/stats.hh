@@ -1,0 +1,151 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package. Components own a StatGroup;
+ * scalar counters, averages, distributions and derived formulas register
+ * themselves with the group and can be dumped as text.
+ */
+
+#ifndef CAPCHECK_BASE_STATS_HH
+#define CAPCHECK_BASE_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capcheck::stats
+{
+
+class StatGroup;
+
+/** Base class for all statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Render the statistic's value(s) into @p os, one line per value. */
+    virtual void dump(std::ostream &os) const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** Monotonic (well, arbitrary) scalar counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { _value += 1; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const { return _value; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/** Fixed-bucket distribution over [min, max]. */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatGroup &group, std::string name, std::string desc,
+                 double min, double max, std::size_t num_buckets);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t samples() const { return _samples; }
+    double mean() const;
+    double minSeen() const { return _minSeen; }
+    double maxSeen() const { return _maxSeen; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    double lo;
+    double hi;
+    double bucketWidth;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t _samples = 0;
+    double sum = 0;
+    double _minSeen = 0;
+    double _maxSeen = 0;
+};
+
+/** Value computed on demand from other state (e.g. a ratio of scalars). */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup &group, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn ? fn() : 0; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn;
+};
+
+/**
+ * A named collection of statistics. Groups nest; dump() walks the tree.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Fully qualified dotted path from the root group. */
+    std::string path() const;
+
+    void addStat(StatBase *stat);
+    void addChild(StatGroup *child);
+    void removeChild(StatGroup *child);
+
+    /** Find a statistic in this group by leaf name; nullptr if absent. */
+    const StatBase *find(const std::string &leaf) const;
+
+    /** Dump this group's stats and all children, prefixed with paths. */
+    void dump(std::ostream &os) const;
+
+    /** Recursively reset all stats. */
+    void resetAll();
+
+  private:
+    std::string _name;
+    StatGroup *parent;
+    std::vector<StatBase *> statList;
+    std::vector<StatGroup *> children;
+};
+
+} // namespace capcheck::stats
+
+#endif // CAPCHECK_BASE_STATS_HH

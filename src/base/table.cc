@@ -1,0 +1,74 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace capcheck
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header.size())
+        panic("TextTable row arity %zu != header arity %zu", row.size(),
+              header.size());
+    body.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : body) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c]
+               << std::string(width[c] - row[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    print_row(header);
+    os << "|";
+    for (std::size_t c = 0; c < header.size(); ++c)
+        os << std::string(width[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : body)
+        print_row(row);
+}
+
+std::string
+fmtDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double ratio, int digits)
+{
+    return fmtDouble(ratio * 100.0, digits) + "%";
+}
+
+std::string
+fmtSpeedup(double v, int digits)
+{
+    return fmtDouble(v, digits) + "x";
+}
+
+} // namespace capcheck

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses, so each bench
+ * binary can print rows shaped like the paper's tables and figures.
+ */
+
+#ifndef CAPCHECK_BASE_TABLE_HH
+#define CAPCHECK_BASE_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capcheck
+{
+
+/** Accumulates rows of strings and pretty-prints an aligned table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return body.size(); }
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double with @p digits significant decimal places. */
+std::string fmtDouble(double v, int digits = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.014 -> "1.40%". */
+std::string fmtPercent(double ratio, int digits = 2);
+
+/** Format a speedup, e.g. 2041.3 -> "2041.30x". */
+std::string fmtSpeedup(double v, int digits = 2);
+
+} // namespace capcheck
+
+#endif // CAPCHECK_BASE_TABLE_HH

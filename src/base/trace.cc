@@ -1,0 +1,85 @@
+#include "base/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace capcheck::trace
+{
+
+namespace
+{
+
+std::vector<DebugFlag *> &
+registry()
+{
+    static std::vector<DebugFlag *> flags;
+    return flags;
+}
+
+} // namespace
+
+DebugFlag::DebugFlag(const char *name) : _name(name)
+{
+    registry().push_back(this);
+}
+
+const std::vector<DebugFlag *> &
+DebugFlag::all()
+{
+    return registry();
+}
+
+bool
+DebugFlag::enableByName(const std::string &name)
+{
+    bool found = false;
+    for (DebugFlag *flag : registry()) {
+        if (name == "All" || name == flag->_name) {
+            flag->enable();
+            found = true;
+        }
+    }
+    return found;
+}
+
+void
+DebugFlag::applyEnvironment()
+{
+    const char *env = std::getenv("CAPCHECK_DEBUG");
+    if (!env)
+        return;
+    std::string list(env);
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string name =
+            list.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (!name.empty() && !enableByName(name))
+            warn("unknown debug flag '%s'", name.c_str());
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+}
+
+void
+emit(const DebugFlag &flag, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s\n", flag.name(), message.c_str());
+}
+
+} // namespace capcheck::trace
+
+namespace capcheck::debug
+{
+
+trace::DebugFlag capchecker("CapChecker");
+trace::DebugFlag driver("Driver");
+trace::DebugFlag accel("Accel");
+trace::DebugFlag mem("Mem");
+trace::DebugFlag security("Security");
+
+} // namespace capcheck::debug

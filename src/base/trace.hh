@@ -1,0 +1,81 @@
+/**
+ * @file
+ * gem5-style debug tracing. Components print through DPRINTF-like
+ * macros gated on named debug flags; flags are enabled
+ * programmatically or through the CAPCHECK_DEBUG environment variable
+ * (comma-separated list, e.g. CAPCHECK_DEBUG=CapChecker,Driver).
+ * Disabled flags cost one branch.
+ */
+
+#ifndef CAPCHECK_BASE_TRACE_HH
+#define CAPCHECK_BASE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace capcheck::trace
+{
+
+/** A named debug flag; define one per subsystem at namespace scope. */
+class DebugFlag
+{
+  public:
+    explicit DebugFlag(const char *name);
+
+    bool enabled() const { return _enabled; }
+    const char *name() const { return _name; }
+
+    void
+    enable(bool on = true)
+    {
+        _enabled = on;
+    }
+
+    /** All registered flags. */
+    static const std::vector<DebugFlag *> &all();
+
+    /** Enable a flag by name (or "All"). @return false if unknown. */
+    static bool enableByName(const std::string &name);
+
+    /** Apply the CAPCHECK_DEBUG environment variable. */
+    static void applyEnvironment();
+
+  private:
+    const char *_name;
+    bool _enabled = false;
+};
+
+/** Emit one trace line: "<flag>: <message>". */
+void emit(const DebugFlag &flag, const std::string &message);
+
+} // namespace capcheck::trace
+
+/**
+ * Print when @p flag is enabled. printf-style.
+ * Usage: CAPCHECK_DPRINTF(debug::capchecker, "denied %s", ...);
+ */
+#define CAPCHECK_DPRINTF(flag, ...)                                       \
+    do {                                                                  \
+        if ((flag).enabled()) {                                          \
+            ::capcheck::trace::emit(                                     \
+                (flag),                                                  \
+                ::capcheck::detail::formatString(__VA_ARGS__));          \
+        }                                                                 \
+    } while (0)
+
+namespace capcheck::debug
+{
+
+/** @{ Debug flags for the simulator's subsystems. */
+extern trace::DebugFlag capchecker;
+extern trace::DebugFlag driver;
+extern trace::DebugFlag accel;
+extern trace::DebugFlag mem;
+extern trace::DebugFlag security;
+/** @} */
+
+} // namespace capcheck::debug
+
+#endif // CAPCHECK_BASE_TRACE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef CAPCHECK_BASE_TYPES_HH
+#define CAPCHECK_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace capcheck
+{
+
+/** A physical (or, here, flat shared) memory address. */
+using Addr = std::uint64_t;
+
+/** A duration or timestamp measured in clock cycles. */
+using Cycles = std::uint64_t;
+
+/** 128-bit unsigned integer, used for 65-bit capability tops. */
+using u128 = unsigned __int128;
+
+/** Identifier of a computing task, CPU- or accelerator-hosted. */
+using TaskId = std::uint32_t;
+
+/** Identifier of an object (buffer) within a task. */
+using ObjectId = std::uint32_t;
+
+/** Identifier of a hardware master port on the interconnect. */
+using PortId = std::uint32_t;
+
+/** Sentinel for "no task". */
+inline constexpr TaskId invalidTaskId = ~TaskId{0};
+
+/** Sentinel for "no object". */
+inline constexpr ObjectId invalidObjectId = ~ObjectId{0};
+
+} // namespace capcheck
+
+#endif // CAPCHECK_BASE_TYPES_HH

@@ -1,0 +1,57 @@
+#include "capchecker/cap_cache.hh"
+
+#include "base/logging.hh"
+
+namespace capcheck::capchecker
+{
+
+CapCache::CapCache(unsigned entries, Cycles walk_cycles)
+    : lines(entries), _walkCycles(walk_cycles)
+{
+    if (entries == 0)
+        fatal("CapCache needs at least one entry");
+}
+
+Cycles
+CapCache::access(TaskId task, ObjectId object)
+{
+    ++useClock;
+
+    Line *victim = &lines.front();
+    for (Line &line : lines) {
+        if (line.valid && line.task == task && line.object == object) {
+            line.lastUse = useClock;
+            ++_hits;
+            return 0;
+        }
+        if (!line.valid ||
+            (victim->valid && line.lastUse < victim->lastUse))
+            victim = &line;
+    }
+
+    ++_misses;
+    victim->valid = true;
+    victim->task = task;
+    victim->object = object;
+    victim->lastUse = useClock;
+    return _walkCycles;
+}
+
+void
+CapCache::invalidateTask(TaskId task)
+{
+    for (Line &line : lines) {
+        if (line.valid && line.task == task)
+            line = Line{};
+    }
+}
+
+void
+CapCache::flush()
+{
+    for (Line &line : lines)
+        line = Line{};
+    useClock = 0;
+}
+
+} // namespace capcheck::capchecker

@@ -1,0 +1,102 @@
+#include "capchecker/cap_table.hh"
+
+#include "base/logging.hh"
+
+namespace capcheck::capchecker
+{
+
+CapTable::CapTable(unsigned num_entries) : entries(num_entries)
+{
+    if (num_entries == 0)
+        fatal("CapTable needs at least one entry");
+}
+
+CapTable::Entry *
+CapTable::find(TaskId task, ObjectId object)
+{
+    for (Entry &entry : entries) {
+        if (entry.valid && entry.task == task && entry.object == object)
+            return &entry;
+    }
+    return nullptr;
+}
+
+std::optional<unsigned>
+CapTable::install(TaskId task, ObjectId object,
+                  const cheri::Capability &cap)
+{
+    if (!cap.tag())
+        fatal("CapTable: refusing to install an untagged capability");
+
+    // Re-installing for the same (task, object) overwrites in place.
+    if (Entry *existing = find(task, object)) {
+        existing->exception = false;
+        cap.compress(existing->pesbt, existing->cursor);
+        existing->tag = cap.tag();
+        existing->decoded = cap;
+        return static_cast<unsigned>(existing - entries.data());
+    }
+
+    for (unsigned i = 0; i < entries.size(); ++i) {
+        Entry &entry = entries[i];
+        if (entry.valid)
+            continue;
+        entry.valid = true;
+        entry.exception = false;
+        entry.task = task;
+        entry.object = object;
+        cap.compress(entry.pesbt, entry.cursor);
+        entry.tag = cap.tag();
+        // The hardware decoder recovers bounds/permissions from the
+        // compressed form; decode what was actually stored.
+        entry.decoded = cheri::Capability::fromCompressed(
+            entry.tag, entry.pesbt, entry.cursor);
+        ++liveCount;
+        return i;
+    }
+    return std::nullopt;
+}
+
+const CapTable::Entry *
+CapTable::lookup(TaskId task, ObjectId object) const
+{
+    for (const Entry &entry : entries) {
+        if (entry.valid && entry.task == task && entry.object == object)
+            return &entry;
+    }
+    return nullptr;
+}
+
+void
+CapTable::markException(TaskId task, ObjectId object)
+{
+    if (Entry *entry = find(task, object))
+        entry->exception = true;
+}
+
+unsigned
+CapTable::evictTask(TaskId task)
+{
+    unsigned freed = 0;
+    for (Entry &entry : entries) {
+        if (entry.valid && entry.task == task) {
+            entry = Entry{};
+            ++freed;
+        }
+    }
+    liveCount -= freed;
+    return freed;
+}
+
+std::vector<unsigned>
+CapTable::exceptionEntries() const
+{
+    std::vector<unsigned> out;
+    for (unsigned i = 0; i < entries.size(); ++i) {
+        if (entries[i].valid && entries[i].exception)
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace capcheck::capchecker

@@ -1,0 +1,111 @@
+#include "capchecker/mmio.hh"
+
+#include "base/logging.hh"
+
+namespace capcheck::capchecker
+{
+
+void
+CapCheckerMmio::storeCap(const cheri::Capability &cap)
+{
+    // A capability store is two bus beats on the capability
+    // interconnect (128 bits + tag).
+    _cycles += 2 * mmioAccessCycles;
+    capWindow = cap;
+}
+
+void
+CapCheckerMmio::writeReg(Addr offset, std::uint64_t value)
+{
+    _cycles += mmioAccessCycles;
+    switch (offset) {
+      case regTask:
+        taskReg = value;
+        break;
+      case regObject:
+        objectReg = value;
+        break;
+      case regCmd:
+        executeCommand(value);
+        break;
+      case regCap:
+        // Plain data writes into the capability window clear its tag —
+        // the same anti-forgery rule as main memory.
+        capWindow = capWindow.cleared();
+        break;
+      default:
+        panic("CapCheckerMmio: write to bad offset 0x%llx",
+              static_cast<unsigned long long>(offset));
+    }
+}
+
+std::uint64_t
+CapCheckerMmio::readReg(Addr offset)
+{
+    _cycles += mmioAccessCycles;
+    if (offset != regStatus)
+        panic("CapCheckerMmio: read from bad offset 0x%llx",
+              static_cast<unsigned long long>(offset));
+
+    std::uint64_t status = 0;
+    if (checker.exceptionFlagSet())
+        status |= statusExceptionFlag;
+    if (checker.capTable().used() == checker.capTable().capacity())
+        status |= statusTableFull;
+    if (lastCmdOk)
+        status |= statusLastCmdOk;
+    return status;
+}
+
+void
+CapCheckerMmio::executeCommand(std::uint64_t cmd)
+{
+    switch (cmd) {
+      case cmdInstall: {
+        if (!capWindow.tag()) {
+            // The control logic verifies the tag (Section 5.3).
+            lastCmdOk = false;
+            return;
+        }
+        // Associative search for a free entry.
+        _cycles += 2;
+        const auto idx = checker.installCapability(
+            static_cast<TaskId>(taskReg),
+            static_cast<ObjectId>(objectReg), capWindow);
+        lastCmdOk = idx.has_value();
+        break;
+      }
+      case cmdEvictTask:
+        _cycles += 2;
+        checker.evictTask(static_cast<TaskId>(taskReg));
+        lastCmdOk = true;
+        break;
+      case cmdClearException:
+        checker.clearExceptionFlag();
+        lastCmdOk = true;
+        break;
+      default:
+        lastCmdOk = false;
+        break;
+    }
+}
+
+bool
+CapCheckerMmio::installSequence(TaskId task, ObjectId obj,
+                                const cheri::Capability &cap)
+{
+    storeCap(cap);
+    writeReg(regTask, task);
+    writeReg(regObject, obj);
+    writeReg(regCmd, cmdInstall);
+    return (readReg(regStatus) & statusLastCmdOk) != 0;
+}
+
+void
+CapCheckerMmio::evictSequence(TaskId task)
+{
+    writeReg(regTask, task);
+    writeReg(regCmd, cmdEvictTask);
+}
+
+} // namespace capcheck::capchecker

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Register-level programming model of the CapChecker's capability MMIO
+ * interface (the separate capability interconnect at the top of
+ * Fig. 2). The CPU programs the checker by storing a capability into
+ * the CAP window (a tagged, capability-width store — the only way a
+ * valid capability can enter the repository) and then writing the task
+ * and object indices and a command. Every access costs MMIO cycles;
+ * the driver's install/evict costs in the timing model come from these
+ * sequences.
+ */
+
+#ifndef CAPCHECK_CAPCHECKER_MMIO_HH
+#define CAPCHECK_CAPCHECKER_MMIO_HH
+
+#include "capchecker/capchecker.hh"
+
+namespace capcheck::capchecker
+{
+
+class CapCheckerMmio
+{
+  public:
+    /** Register offsets within the MMIO window. */
+    enum RegOffset : Addr
+    {
+        regCap = 0x00,    ///< 16-byte capability window (tagged store)
+        regTask = 0x10,   ///< target task id
+        regObject = 0x18, ///< target object id
+        regCmd = 0x20,    ///< command strobe
+        regStatus = 0x28, ///< status (read)
+    };
+
+    enum Command : std::uint64_t
+    {
+        cmdInstall = 1,
+        cmdEvictTask = 2,
+        cmdClearException = 3,
+    };
+
+    /** Status register bits. */
+    enum StatusBits : std::uint64_t
+    {
+        statusExceptionFlag = 1u << 0,
+        statusTableFull = 1u << 1,
+        statusLastCmdOk = 1u << 2,
+    };
+
+    /** Cycles per single MMIO register access over the dedicated
+     *  capability interconnect (short point-to-point path). */
+    static constexpr Cycles mmioAccessCycles = 2;
+
+    explicit CapCheckerMmio(CapChecker &checker) : checker(checker) {}
+
+    /**
+     * Store a capability into the CAP window. Only tagged stores are
+     * meaningful; an untagged store leaves the window invalid.
+     */
+    void storeCap(const cheri::Capability &cap);
+
+    /** Plain 64-bit register write. */
+    void writeReg(Addr offset, std::uint64_t value);
+
+    /** Plain 64-bit register read. */
+    std::uint64_t readReg(Addr offset);
+
+    /** Cycles consumed by MMIO traffic so far. */
+    Cycles cyclesUsed() const { return _cycles; }
+    void resetCycles() { _cycles = 0; }
+
+    /** @{ Convenience sequences (what the driver actually runs). */
+    bool installSequence(TaskId task, ObjectId obj,
+                         const cheri::Capability &cap);
+    void evictSequence(TaskId task);
+    /** @} */
+
+  private:
+    void executeCommand(std::uint64_t cmd);
+
+    CapChecker &checker;
+    Cycles _cycles = 0;
+
+    cheri::Capability capWindow;
+    std::uint64_t taskReg = 0;
+    std::uint64_t objectReg = 0;
+    bool lastCmdOk = false;
+};
+
+} // namespace capcheck::capchecker
+
+#endif // CAPCHECK_CAPCHECKER_MMIO_HH

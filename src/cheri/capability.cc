@@ -1,0 +1,267 @@
+#include "cheri/capability.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace capcheck::cheri
+{
+
+const char *
+capFaultName(CapFault fault)
+{
+    switch (fault) {
+      case CapFault::none:
+        return "none";
+      case CapFault::tagViolation:
+        return "tag violation";
+      case CapFault::sealViolation:
+        return "seal violation";
+      case CapFault::permitLoadViolation:
+        return "permit-load violation";
+      case CapFault::permitStoreViolation:
+        return "permit-store violation";
+      case CapFault::permitExecuteViolation:
+        return "permit-execute violation";
+      case CapFault::permitLoadCapViolation:
+        return "permit-load-cap violation";
+      case CapFault::permitStoreCapViolation:
+        return "permit-store-cap violation";
+      case CapFault::boundsViolation:
+        return "bounds violation";
+      case CapFault::representabilityViolation:
+        return "representability violation";
+    }
+    return "unknown fault";
+}
+
+std::uint32_t
+requiredPerms(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::load:
+        return permLoad;
+      case AccessKind::store:
+        return permStore;
+      case AccessKind::execute:
+        return permExecute;
+      case AccessKind::loadCap:
+        return permLoad | permLoadCap;
+      case AccessKind::storeCap:
+        return permStore | permStoreCap;
+    }
+    return 0;
+}
+
+Capability
+Capability::root()
+{
+    Capability cap;
+    cap._tag = true;
+    cap._perms = permAll;
+    cap._otype = otypeUnsealed;
+    cap._base = 0;
+    cap._top = u128(1) << 64;
+    cap._addr = 0;
+    return cap;
+}
+
+Capability
+Capability::fromCompressed(bool tag, std::uint64_t pesbt_raw,
+                           std::uint64_t cursor)
+{
+    Pesbt pesbt{pesbt_raw};
+    const CcBounds bounds = ccDecode(pesbt, cursor);
+
+    Capability cap;
+    cap._tag = tag;
+    cap._perms = pesbt.perms();
+    cap._otype = pesbt.otype();
+    cap._base = bounds.base;
+    cap._top = bounds.top;
+    cap._addr = cursor;
+    return cap;
+}
+
+bool
+Capability::isNull() const
+{
+    return !_tag && _perms == 0 && _base == 0 && _top == 0 && _addr == 0;
+}
+
+bool
+Capability::hasPerms(std::uint32_t mask) const
+{
+    return (_perms & mask) == mask;
+}
+
+bool
+Capability::inBounds(Addr addr, std::uint64_t size) const
+{
+    const u128 lo = addr;
+    const u128 hi = lo + size;
+    return lo >= _base && hi <= _top;
+}
+
+CapFault
+Capability::checkAccess(AccessKind kind, Addr addr,
+                        std::uint64_t size) const
+{
+    if (!_tag)
+        return CapFault::tagViolation;
+    if (sealed())
+        return CapFault::sealViolation;
+
+    const std::uint32_t need = requiredPerms(kind);
+    if ((_perms & need) != need) {
+        switch (kind) {
+          case AccessKind::load:
+            return CapFault::permitLoadViolation;
+          case AccessKind::store:
+            return CapFault::permitStoreViolation;
+          case AccessKind::execute:
+            return CapFault::permitExecuteViolation;
+          case AccessKind::loadCap:
+            return (_perms & permLoad)
+                       ? CapFault::permitLoadCapViolation
+                       : CapFault::permitLoadViolation;
+          case AccessKind::storeCap:
+            return (_perms & permStore)
+                       ? CapFault::permitStoreCapViolation
+                       : CapFault::permitStoreViolation;
+        }
+    }
+    if (!inBounds(addr, size))
+        return CapFault::boundsViolation;
+    return CapFault::none;
+}
+
+Capability
+Capability::setBounds(Addr new_base, std::uint64_t length,
+                      bool exact) const
+{
+    Capability cap = *this;
+    const u128 new_top = u128(new_base) + length;
+
+    // Monotonicity: the requested region must nest within the source.
+    if (!_tag || sealed() || u128(new_base) < _base || new_top > _top) {
+        cap._tag = false;
+    }
+
+    const CcEncodeResult enc = ccEncode(new_base, new_top);
+    if (exact && !enc.exact)
+        cap._tag = false;
+
+    const CcBounds rounded = ccDecode(enc.pesbt, new_base);
+    // Outward rounding must still nest inside the source bounds.
+    if (cap._tag && (rounded.base < _base || rounded.top > _top))
+        cap._tag = false;
+
+    cap._base = rounded.base;
+    cap._top = rounded.top;
+    cap._addr = new_base;
+    return cap;
+}
+
+Capability
+Capability::andPerms(std::uint32_t mask) const
+{
+    Capability cap = *this;
+    if (sealed())
+        cap._tag = false;
+    cap._perms &= mask;
+    return cap;
+}
+
+Capability
+Capability::setAddr(Addr new_addr) const
+{
+    Capability cap = *this;
+    cap._addr = new_addr;
+    if (sealed())
+        cap._tag = false;
+
+    // The move must keep the compressed form decoding to the same
+    // bounds; otherwise the result is untagged (CHERI representability).
+    std::uint64_t pesbt_raw;
+    std::uint64_t cursor;
+    compress(pesbt_raw, cursor);
+    if (!ccIsRepresentable(Pesbt{pesbt_raw}, cursor, new_addr))
+        cap._tag = false;
+    return cap;
+}
+
+Capability
+Capability::incAddr(std::int64_t delta) const
+{
+    return setAddr(_addr + static_cast<std::uint64_t>(delta));
+}
+
+Capability
+Capability::seal(const Capability &authority, std::uint32_t otype) const
+{
+    Capability cap = *this;
+    if (!_tag || sealed() || !authority.tag() || authority.sealed() ||
+        !authority.hasPerms(permSeal) ||
+        !authority.inBounds(authority.addr(), 1) ||
+        otype >= otypeUnsealed) {
+        cap._tag = false;
+    }
+    cap._otype = otype;
+    return cap;
+}
+
+Capability
+Capability::unseal(const Capability &authority) const
+{
+    Capability cap = *this;
+    if (!_tag || !sealed() || !authority.tag() || authority.sealed() ||
+        !authority.hasPerms(permUnseal) ||
+        authority.addr() != _otype) {
+        cap._tag = false;
+    }
+    cap._otype = otypeUnsealed;
+    return cap;
+}
+
+Capability
+Capability::cleared() const
+{
+    Capability cap = *this;
+    cap._tag = false;
+    return cap;
+}
+
+void
+Capability::compress(std::uint64_t &pesbt_raw, std::uint64_t &cursor) const
+{
+    CcEncodeResult enc = ccEncode(_base, _top);
+    enc.pesbt.setPerms(_perms);
+    enc.pesbt.setOtype(_otype);
+    pesbt_raw = enc.pesbt.raw;
+    cursor = _addr;
+}
+
+bool
+Capability::subsetOf(const Capability &parent) const
+{
+    return u128(_base) >= u128(parent._base) && _top <= parent._top &&
+           (_perms & ~parent._perms) == 0;
+}
+
+std::string
+Capability::toString() const
+{
+    std::ostringstream os;
+    os << (_tag ? "cap[v" : "cap[-") << " " << permsToString(_perms)
+       << std::hex << " base=0x" << _base << " top=0x";
+    if (_top >> 64)
+        os << "1_";
+    os << static_cast<std::uint64_t>(_top) << " addr=0x" << _addr;
+    if (sealed())
+        os << " otype=" << std::dec << _otype;
+    os << "]";
+    return os.str();
+}
+
+} // namespace capcheck::cheri

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The architectural (unpacked) view of a CHERI capability and the
+ * monotonic manipulation operations the CPU exposes. Rights can never be
+ * increased: every derivation either narrows bounds/permissions or clears
+ * the tag.
+ */
+
+#ifndef CAPCHECK_CHERI_CAPABILITY_HH
+#define CAPCHECK_CHERI_CAPABILITY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+#include "cheri/compressed.hh"
+#include "cheri/perms.hh"
+
+namespace capcheck::cheri
+{
+
+/** Kinds of memory access a capability may authorize. */
+enum class AccessKind
+{
+    load,
+    store,
+    execute,
+    loadCap,
+    storeCap,
+};
+
+/** Why a capability check failed (mirrors CHERI exception causes). */
+enum class CapFault
+{
+    none,
+    tagViolation,
+    sealViolation,
+    permitLoadViolation,
+    permitStoreViolation,
+    permitExecuteViolation,
+    permitLoadCapViolation,
+    permitStoreCapViolation,
+    boundsViolation,
+    representabilityViolation,
+};
+
+/** Human-readable fault name. */
+const char *capFaultName(CapFault fault);
+
+/** The permission required for an access kind, as a Perm mask. */
+std::uint32_t requiredPerms(AccessKind kind);
+
+/**
+ * A 128-bit CHERI capability in unpacked (decoded) form, plus the
+ * out-of-band tag. The compressed memory representation is produced by
+ * compress() and recovered with Capability::fromCompressed().
+ */
+class Capability
+{
+  public:
+    /** The canonical untagged null capability. */
+    Capability() = default;
+
+    /**
+     * The almighty root capability covering the whole address space with
+     * all permissions; created once at boot by the OS (Fig. 4's root).
+     */
+    static Capability root();
+
+    /** Unpack a compressed capability loaded from tagged memory. */
+    static Capability fromCompressed(bool tag, std::uint64_t pesbt,
+                                     std::uint64_t cursor);
+
+    bool tag() const { return _tag; }
+    std::uint32_t perms() const { return _perms; }
+    std::uint32_t otype() const { return _otype; }
+    bool sealed() const { return _otype != otypeUnsealed; }
+    Addr base() const { return _base; }
+    u128 top() const { return _top; }
+    u128 length() const { return _top - _base; }
+    Addr addr() const { return _addr; }
+
+    bool isNull() const;
+    bool hasPerms(std::uint32_t mask) const;
+
+    /** True when [addr, addr+size) lies inside the bounds. */
+    bool inBounds(Addr addr, std::uint64_t size) const;
+
+    /**
+     * Full dereference check for an access of @p size bytes at @p addr.
+     * @return CapFault::none when the access is authorized.
+     */
+    CapFault checkAccess(AccessKind kind, Addr addr,
+                         std::uint64_t size) const;
+
+    /**
+     * Derive a capability with bounds [new_base, new_base + length).
+     * Monotonic: requesting bounds outside the source's yields an
+     * untagged result. Inexact requests round outward only within the
+     * source bounds; with @p exact the result is untagged if rounding
+     * would be needed.
+     */
+    Capability setBounds(Addr new_base, std::uint64_t length,
+                         bool exact = false) const;
+
+    /** Derive a capability with permissions masked by @p mask. */
+    Capability andPerms(std::uint32_t mask) const;
+
+    /**
+     * Move the cursor. An unrepresentable move (one that would change
+     * the decoded bounds of the compressed form) clears the tag.
+     */
+    Capability setAddr(Addr new_addr) const;
+
+    /** Cursor arithmetic via setAddr. */
+    Capability incAddr(std::int64_t delta) const;
+
+    /** Seal with an object type (requires permSeal on @p authority). */
+    Capability seal(const Capability &authority,
+                    std::uint32_t otype) const;
+
+    /** Unseal (requires permUnseal on @p authority, matching otype). */
+    Capability unseal(const Capability &authority) const;
+
+    /** Return a copy with the tag cleared. */
+    Capability cleared() const;
+
+    /** Compress into the two 64-bit memory words (metadata, cursor). */
+    void compress(std::uint64_t &pesbt, std::uint64_t &cursor) const;
+
+    /**
+     * True if this capability's rights are a subset of @p parent's:
+     * bounds nested, permissions included. Used by the capability-tree
+     * audit and the monotonicity property tests.
+     */
+    bool subsetOf(const Capability &parent) const;
+
+    std::string toString() const;
+
+    bool operator==(const Capability &other) const = default;
+
+  private:
+    bool _tag = false;
+    std::uint32_t _perms = 0;
+    std::uint32_t _otype = otypeUnsealed;
+    Addr _base = 0;
+    u128 _top = 0;
+    Addr _addr = 0;
+};
+
+} // namespace capcheck::cheri
+
+#endif // CAPCHECK_CHERI_CAPABILITY_HH

@@ -1,0 +1,179 @@
+#include "cheri/captree.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace capcheck::cheri
+{
+
+const char *
+capNodeKindName(CapNodeKind kind)
+{
+    switch (kind) {
+      case CapNodeKind::root:
+        return "root";
+      case CapNodeKind::cpuTask:
+        return "cpu-task";
+      case CapNodeKind::accelTask:
+        return "accel-task";
+      case CapNodeKind::buffer:
+        return "buffer";
+    }
+    return "?";
+}
+
+CapTree::CapTree()
+{
+    Node root;
+    root.live = true;
+    root.kind = CapNodeKind::root;
+    root.cap = Capability::root();
+    root.label = "os-root";
+    nodes.push_back(std::move(root));
+    liveCount = 1;
+}
+
+void
+CapTree::checkLive(CapNodeId node) const
+{
+    if (node >= nodes.size() || !nodes[node].live)
+        panic("CapTree: dead or invalid node %u", node);
+}
+
+CapNodeId
+CapTree::derive(CapNodeId parent, CapNodeKind kind, const Capability &cap,
+                std::string label)
+{
+    checkLive(parent);
+    const CapNodeKind pkind = nodes[parent].kind;
+
+    switch (kind) {
+      case CapNodeKind::root:
+        fatal("CapTree: cannot derive a second root");
+      case CapNodeKind::cpuTask:
+        if (pkind != CapNodeKind::root && pkind != CapNodeKind::cpuTask)
+            fatal("CapTree: CPU task must derive from root or CPU task");
+        break;
+      case CapNodeKind::accelTask:
+        // Accelerator tasks are instantiated by CPU tasks (threat-model
+        // assumption 2: no dynamic memory management on accelerators).
+        if (pkind != CapNodeKind::cpuTask)
+            fatal("CapTree: accelerator task must derive from a CPU task");
+        break;
+      case CapNodeKind::buffer:
+        if (pkind != CapNodeKind::cpuTask &&
+            pkind != CapNodeKind::accelTask) {
+            fatal("CapTree: buffer must derive from a task");
+        }
+        break;
+    }
+
+    Node node;
+    node.live = true;
+    node.kind = kind;
+    node.parent = parent;
+    node.cap = cap;
+    node.label = std::move(label);
+    nodes.push_back(std::move(node));
+    ++liveCount;
+    return static_cast<CapNodeId>(nodes.size() - 1);
+}
+
+void
+CapTree::remove(CapNodeId node)
+{
+    checkLive(node);
+    if (node == rootNode())
+        fatal("CapTree: cannot remove the root");
+    if (!childrenOf(node).empty())
+        fatal("CapTree: node %u still has children", node);
+    nodes[node].live = false;
+    --liveCount;
+}
+
+const Capability &
+CapTree::capOf(CapNodeId node) const
+{
+    checkLive(node);
+    return nodes[node].cap;
+}
+
+CapNodeKind
+CapTree::kindOf(CapNodeId node) const
+{
+    checkLive(node);
+    return nodes[node].kind;
+}
+
+CapNodeId
+CapTree::parentOf(CapNodeId node) const
+{
+    checkLive(node);
+    return nodes[node].parent;
+}
+
+const std::string &
+CapTree::labelOf(CapNodeId node) const
+{
+    checkLive(node);
+    return nodes[node].label;
+}
+
+std::vector<CapNodeId>
+CapTree::childrenOf(CapNodeId node) const
+{
+    checkLive(node);
+    std::vector<CapNodeId> out;
+    for (CapNodeId i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].live && nodes[i].parent == node)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::size_t
+CapTree::size() const
+{
+    return liveCount;
+}
+
+std::vector<CapNodeId>
+CapTree::audit() const
+{
+    std::vector<CapNodeId> bad;
+    for (CapNodeId i = 1; i < nodes.size(); ++i) {
+        const Node &node = nodes[i];
+        if (!node.live)
+            continue;
+        const Node &parent = nodes[node.parent];
+        if (!node.cap.tag() || !parent.live ||
+            !node.cap.subsetOf(parent.cap)) {
+            bad.push_back(i);
+        }
+    }
+    return bad;
+}
+
+void
+CapTree::renderNode(std::ostream &os, CapNodeId node,
+                    unsigned depth) const
+{
+    os << std::string(depth * 2, ' ') << capNodeKindName(nodes[node].kind);
+    if (!nodes[node].label.empty())
+        os << " '" << nodes[node].label << "'";
+    os << " " << nodes[node].cap.toString() << "\n";
+    for (CapNodeId child : childrenOf(node))
+        renderNode(os, child, depth + 1);
+}
+
+std::string
+CapTree::toString() const
+{
+    std::ostringstream os;
+    renderNode(os, rootNode(), 0);
+    return os.str();
+}
+
+} // namespace capcheck::cheri

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Capability derivation tree (Fig. 4 of the paper). The tree records how
+ * every live capability was derived — from the boot-time root down
+ * through CPU tasks, accelerator tasks, and their data buffers — and can
+ * audit that the whole system respects monotonicity: every node's rights
+ * are a subset of its parent's.
+ */
+
+#ifndef CAPCHECK_CHERI_CAPTREE_HH
+#define CAPCHECK_CHERI_CAPTREE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cheri/capability.hh"
+
+namespace capcheck::cheri
+{
+
+/** What a tree node represents in the system of Fig. 4. */
+enum class CapNodeKind
+{
+    root,      ///< OS boot capability
+    cpuTask,   ///< a CPU process/thread/function
+    accelTask, ///< dedicated use of an accelerator functional unit
+    buffer,    ///< a data buffer
+};
+
+const char *capNodeKindName(CapNodeKind kind);
+
+/** Handle to a node in a CapTree. */
+using CapNodeId = std::uint32_t;
+
+inline constexpr CapNodeId invalidCapNode = ~CapNodeId{0};
+
+/**
+ * An audit tree of capability derivations.
+ */
+class CapTree
+{
+  public:
+    /** Create a tree whose root is the boot capability. */
+    CapTree();
+
+    /** The root node (always id 0). */
+    CapNodeId rootNode() const { return 0; }
+
+    /**
+     * Record a derivation: @p cap was derived from @p parent.
+     * @return the new node's id.
+     * An accelerator task node may only be created under a CPU task, and
+     * a buffer only under a CPU or accelerator task — matching the
+     * paper's rule that pointers are always created by CPU tasks.
+     */
+    CapNodeId derive(CapNodeId parent, CapNodeKind kind,
+                     const Capability &cap, std::string label = {});
+
+    /** Remove a leaf node (revocation of that capability). */
+    void remove(CapNodeId node);
+
+    const Capability &capOf(CapNodeId node) const;
+    CapNodeKind kindOf(CapNodeId node) const;
+    CapNodeId parentOf(CapNodeId node) const;
+    const std::string &labelOf(CapNodeId node) const;
+    std::vector<CapNodeId> childrenOf(CapNodeId node) const;
+
+    /** Number of live nodes. */
+    std::size_t size() const;
+
+    /**
+     * Audit monotonicity: every live node's capability must be tagged
+     * and a subset of its parent's.
+     * @return ids of violating nodes (empty means the tree is sound).
+     */
+    std::vector<CapNodeId> audit() const;
+
+    /** Render the tree as indented text for diagnostics/examples. */
+    std::string toString() const;
+
+  private:
+    struct Node
+    {
+        bool live = false;
+        CapNodeKind kind = CapNodeKind::root;
+        CapNodeId parent = invalidCapNode;
+        Capability cap;
+        std::string label;
+    };
+
+    void checkLive(CapNodeId node) const;
+    void renderNode(std::ostream &os, CapNodeId node,
+                    unsigned depth) const;
+
+    std::vector<Node> nodes;
+    std::size_t liveCount = 0;
+};
+
+} // namespace capcheck::cheri
+
+#endif // CAPCHECK_CHERI_CAPTREE_HH

@@ -1,0 +1,253 @@
+#include "cheri/compressed.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace capcheck::cheri
+{
+
+namespace
+{
+
+constexpr unsigned mw = CcLayout::mantissaWidth; // 14
+constexpr std::uint32_t mwMask = (1u << mw) - 1;
+
+// Field positions inside the metadata word.
+constexpr unsigned bShift = 0;   // B: [13:0]
+constexpr unsigned tShift = 14;  // T: [25:14]
+constexpr unsigned ieShift = 26; // IE: [26]
+constexpr unsigned otypeShift = 30;  // otype: [47:30]
+constexpr unsigned permsShift = 48;  // perms: [63:48]
+
+/** ceil(log2(x)) over a 65+ bit quantity. */
+unsigned
+ceilLog2u128(u128 x)
+{
+    if (x <= 1)
+        return 0;
+    unsigned n = 0;
+    u128 v = x - 1;
+    while (v) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+std::uint32_t
+Pesbt::perms() const
+{
+    return static_cast<std::uint32_t>(bits(raw, 63, permsShift));
+}
+
+std::uint32_t
+Pesbt::otype() const
+{
+    return static_cast<std::uint32_t>(bits(raw, 47, otypeShift));
+}
+
+bool
+Pesbt::internalExp() const
+{
+    return bits(raw, ieShift) != 0;
+}
+
+std::uint32_t
+Pesbt::tField() const
+{
+    return static_cast<std::uint32_t>(bits(raw, 25, tShift));
+}
+
+std::uint32_t
+Pesbt::bField() const
+{
+    return static_cast<std::uint32_t>(bits(raw, 13, bShift));
+}
+
+void
+Pesbt::setPerms(std::uint32_t perms)
+{
+    raw = insertBits(raw, 63, permsShift, perms);
+}
+
+void
+Pesbt::setOtype(std::uint32_t otype)
+{
+    raw = insertBits(raw, 47, otypeShift, otype);
+}
+
+void
+Pesbt::setBoundsFields(bool ie, std::uint32_t t, std::uint32_t b)
+{
+    raw = insertBits(raw, ieShift, ieShift, ie ? 1 : 0);
+    raw = insertBits(raw, 25, tShift, t);
+    raw = insertBits(raw, 13, bShift, b);
+}
+
+CcBounds
+ccDecode(Pesbt pesbt, Addr addr)
+{
+    unsigned exp = 0;
+    std::uint32_t b14;
+    std::uint32_t t_lo; // low 12 bits of T
+    if (pesbt.internalExp()) {
+        const std::uint32_t t_field = pesbt.tField();
+        const std::uint32_t b_field = pesbt.bField();
+        exp = ((t_field & 7) << 3) | (b_field & 7);
+        if (exp > CcLayout::maxExp)
+            exp = CcLayout::maxExp;
+        t_lo = t_field & ~7u;
+        b14 = b_field & ~7u;
+    } else {
+        t_lo = pesbt.tField();
+        b14 = pesbt.bField();
+    }
+
+    // Reconstruct T[13:12] from B plus the length carry; with an internal
+    // exponent the implied length MSB is set.
+    const std::uint32_t l_carry = (t_lo < (b14 & 0xfffu)) ? 1 : 0;
+    const std::uint32_t l_msb = pesbt.internalExp() ? 1 : 0;
+    const std::uint32_t t14 =
+        t_lo | ((((b14 >> 12) + l_carry + l_msb) & 3u) << 12);
+
+    // Representable-region edge and per-field correction terms.
+    const std::uint32_t a_mid =
+        static_cast<std::uint32_t>((addr >> exp) & mwMask);
+    const std::uint32_t r = (b14 - 0x1000u) & mwMask;
+    const int a_hi = (a_mid < r) ? 1 : 0;
+    const int cb = ((b14 < r) ? 1 : 0) - a_hi;
+    const int ct = (((t14 & mwMask) < r) ? 1 : 0) - a_hi;
+
+    const unsigned span_shift = exp + mw; // may reach 66
+    u128 a_top = 0;
+    if (span_shift < 64)
+        a_top = addr >> span_shift;
+
+    const u128 one = 1;
+    u128 base128 = 0;
+    u128 top128 = 0;
+    if (span_shift >= 66) {
+        // Degenerate: entire address space inside one mantissa granule.
+        base128 = u128(b14) << exp;
+        top128 = u128(t14) << exp;
+    } else {
+        const u128 region = one << span_shift;
+        // Signed block index arithmetic, kept in 128 bits; a negative
+        // index wraps (the final 64/65-bit masking folds it away).
+        auto blocks = [&](int c) -> u128 {
+            if (c >= 0)
+                return a_top + static_cast<unsigned>(c);
+            return a_top - static_cast<unsigned>(-c);
+        };
+        base128 = blocks(cb) * region + (u128(b14) << exp);
+        top128 = blocks(ct) * region + (u128(t14) << exp);
+    }
+
+    // 65-bit top correction (keeps top within [base, base + 2^64]).
+    const u128 two64 = one << 64;
+    top128 &= (one << 65) - 1;
+    base128 &= two64 - 1;
+    if (exp < CcLayout::maxExp - 1) {
+        const unsigned top_hi2 =
+            static_cast<unsigned>((top128 >> 63) & 3);
+        const unsigned base_hi =
+            static_cast<unsigned>((base128 >> 63) & 1);
+        if (static_cast<int>(top_hi2) - static_cast<int>(base_hi) > 1)
+            top128 ^= two64;
+    }
+    if (top128 > two64)
+        top128 &= two64 - 1; // fold impossible overshoot
+
+    return CcBounds{static_cast<Addr>(base128), top128};
+}
+
+CcEncodeResult
+ccEncode(Addr base, u128 top)
+{
+    const u128 one = 1;
+    const u128 two64 = one << 64;
+    if (top > two64)
+        fatal("ccEncode: top beyond 2^64");
+    if (u128(base) > top)
+        fatal("ccEncode: base beyond top");
+
+    const u128 length = top - base;
+
+    // Exact, exponent-free encoding for small objects.
+    if (length < (one << (mw - 2))) { // < 2^12
+        Pesbt pesbt;
+        pesbt.setBoundsFields(false,
+                              static_cast<std::uint32_t>(top & 0xfffu),
+                              static_cast<std::uint32_t>(base & mwMask));
+        const CcBounds got = ccDecode(pesbt, base);
+        if (got.base == base && got.top == top)
+            return CcEncodeResult{pesbt, true};
+        // Fall through to the internal-exponent path (possible when the
+        // region straddles a 2^14 block such that the carry logic cannot
+        // represent it exactly at E=0).
+    }
+
+    // Internal exponent: mantissas aligned to 2^(E+3). Search upward from
+    // the smallest exponent that can span the length.
+    unsigned exp_start = 0;
+    if (length > 0) {
+        const unsigned need = ceilLog2u128(length);
+        exp_start = (need > (mw - 1)) ? (need - (mw - 1)) : 0;
+        if (exp_start > 3)
+            exp_start -= 3; // conservative underestimate; loop fixes up
+        else
+            exp_start = 0;
+    }
+
+    for (unsigned exp = exp_start; exp <= CcLayout::maxExp; ++exp) {
+        const u128 align = one << (exp + 3);
+        const Addr rbase =
+            static_cast<Addr>(u128(base) & ~(align - 1));
+        u128 rtop = (top + align - 1) & ~(align - 1);
+        if (rtop > two64)
+            rtop = two64;
+        if (rtop - rbase > (one << (exp + mw)))
+            continue; // rounded length does not fit this exponent
+
+        const std::uint32_t b14 =
+            static_cast<std::uint32_t>((rbase >> exp) & mwMask & ~7u);
+        const std::uint32_t t_lo =
+            static_cast<std::uint32_t>((rtop >> exp) & 0xfffu & ~7u);
+
+        Pesbt pesbt;
+        pesbt.setBoundsFields(true, t_lo | ((exp >> 3) & 7u),
+                              b14 | (exp & 7u));
+        const CcBounds got = ccDecode(pesbt, base);
+        if (got.base == rbase && got.top == rtop && got.base <= base &&
+            got.top >= top) {
+            return CcEncodeResult{
+                pesbt, got.base == base && got.top == top};
+        }
+    }
+
+    panic("ccEncode: no representable encoding for [%llx, +%llx)",
+          static_cast<unsigned long long>(base),
+          static_cast<unsigned long long>(length));
+}
+
+std::uint64_t
+ccRequiredAlignment(std::uint64_t length)
+{
+    if (length < (1ull << 12))
+        return 1;
+    // Smallest E such that length fits in a 14-bit mantissa at 2^(E+3)
+    // alignment: length <= 2^(E+14).
+    const unsigned need = ceilLog2(length);
+    const unsigned exp = (need > 13) ? (need - 13) : 0;
+    return 1ull << (exp + 3);
+}
+
+bool
+ccIsRepresentable(Pesbt pesbt, Addr old_addr, Addr new_addr)
+{
+    return ccDecode(pesbt, old_addr) == ccDecode(pesbt, new_addr);
+}
+
+} // namespace capcheck::cheri

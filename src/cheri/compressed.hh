@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CHERI-Concentrate style 128-bit capability compression for 64-bit
+ * addresses (Woodruff et al., IEEE ToC 2019; layout per Fig. 3 of the
+ * paper). A capability occupies two 64-bit words plus an out-of-band tag:
+ *
+ *   word 1 (metadata, "pesbt"):
+ *     [63:48] perms (16)     [47:30] otype (18)     [29:27] reserved
+ *     [26]    IE             [25:14] T (12)         [13:0]  B (14)
+ *   word 0: 64-bit address (cursor)
+ *
+ * Bounds are stored floating-point style: mantissas B/T at scale 2^E.
+ * When IE=1 the exponent's six bits live in T[2:0]:B[2:0] and the
+ * mantissas lose their low three bits (alignment 2^(E+3)); when IE=0 the
+ * exponent is zero and bounds are byte-exact for lengths < 4096. The top
+ * two bits of T are reconstructed from B plus a length carry; base and
+ * top are rebuilt relative to the address with the standard CC
+ * multi-region correction terms.
+ *
+ * The encoder picks the smallest exponent whose decode covers the
+ * requested bounds and verifies itself by decoding, so
+ * decode(encode(b, t)) always yields [b', t'] with b' <= b and t' >= t,
+ * exact whenever the requested bounds are representable.
+ */
+
+#ifndef CAPCHECK_CHERI_COMPRESSED_HH
+#define CAPCHECK_CHERI_COMPRESSED_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace capcheck::cheri
+{
+
+/** Object type of an unsealed capability. */
+inline constexpr std::uint32_t otypeUnsealed = 0x3ffff;
+
+/** Field geometry of the 128-bit format. */
+struct CcLayout
+{
+    static constexpr unsigned mantissaWidth = 14; ///< B field width
+    static constexpr unsigned tFieldWidth = 12;   ///< stored T width
+    static constexpr unsigned expWidth = 6;       ///< exponent bits
+    static constexpr unsigned maxExp = 52;        ///< covers 2^66 spans
+};
+
+/** Decoded bounds: [base, top), top is a 65-bit quantity (<= 2^64). */
+struct CcBounds
+{
+    Addr base = 0;
+    u128 top = 0;
+
+    bool
+    operator==(const CcBounds &other) const
+    {
+        return base == other.base && top == other.top;
+    }
+};
+
+/** The in-memory metadata word of a compressed capability. */
+struct Pesbt
+{
+    std::uint64_t raw = 0;
+
+    std::uint32_t perms() const;
+    std::uint32_t otype() const;
+    bool internalExp() const;
+    std::uint32_t tField() const; ///< stored 12-bit T
+    std::uint32_t bField() const; ///< stored 14-bit B
+
+    void setPerms(std::uint32_t perms);
+    void setOtype(std::uint32_t otype);
+    void setBoundsFields(bool ie, std::uint32_t t, std::uint32_t b);
+};
+
+/**
+ * Decode the bounds of a compressed capability relative to @p addr.
+ * Pure function of (metadata, addr); the same metadata decodes to the
+ * same bounds for every address inside the representable region.
+ */
+CcBounds ccDecode(Pesbt pesbt, Addr addr);
+
+/** Result of an encoding attempt. */
+struct CcEncodeResult
+{
+    Pesbt pesbt;
+    bool exact = false; ///< decoded bounds equal the request exactly
+};
+
+/**
+ * Encode bounds [base, top) into the metadata word, rounding outward to
+ * the nearest representable bounds if necessary. @p top may be 2^64.
+ * Permissions/otype in the result are zeroed; callers set them after.
+ */
+CcEncodeResult ccEncode(Addr base, u128 top);
+
+/**
+ * Alignment (in bytes) that CC requires to represent a region of
+ * @p length bytes exactly: 1 for lengths < 4096, else 2^(E+3).
+ * This determines the protection granularity reported in Table 1.
+ */
+std::uint64_t ccRequiredAlignment(std::uint64_t length);
+
+/**
+ * True when @p new_addr decodes to the same bounds as @p old_addr under
+ * @p pesbt — i.e. the address move keeps the capability representable.
+ */
+bool ccIsRepresentable(Pesbt pesbt, Addr old_addr, Addr new_addr);
+
+} // namespace capcheck::cheri
+
+#endif // CAPCHECK_CHERI_COMPRESSED_HH

@@ -1,0 +1,31 @@
+#include "cheri/perms.hh"
+
+namespace capcheck::cheri
+{
+
+std::string
+permsToString(std::uint32_t perms)
+{
+    struct Flag
+    {
+        std::uint32_t bit;
+        char ch;
+    };
+    static constexpr Flag flags[] = {
+        {permGlobal, 'G'},        {permExecute, 'X'},
+        {permLoad, 'R'},          {permStore, 'W'},
+        {permLoadCap, 'r'},       {permStoreCap, 'w'},
+        {permStoreLocalCap, 'l'}, {permSeal, 's'},
+        {permInvoke, 'i'},        {permUnseal, 'u'},
+        {permSetCid, 'c'},        {permSysRegs, 'S'},
+    };
+
+    std::string out;
+    for (const auto &flag : flags)
+        out.push_back((perms & flag.bit) ? flag.ch : '-');
+    for (int i = 0; i < 4; ++i)
+        out.push_back((perms & (1u << (12 + i))) ? ('0' + i) : '-');
+    return out;
+}
+
+} // namespace capcheck::cheri

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CHERI permission bits. The layout follows the 128-bit capability format
+ * for 64-bit addresses (Fig. 3 of the paper / CHERI ISAv9): 12
+ * architectural permissions plus 4 user-defined ones, 16 bits total.
+ */
+
+#ifndef CAPCHECK_CHERI_PERMS_HH
+#define CAPCHECK_CHERI_PERMS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace capcheck::cheri
+{
+
+/** Architectural permission bits (one-hot values). */
+enum Perm : std::uint32_t
+{
+    permGlobal = 1u << 0,        ///< may be stored via non-local caps
+    permExecute = 1u << 1,       ///< may be used to fetch instructions
+    permLoad = 1u << 2,          ///< may load data
+    permStore = 1u << 3,         ///< may store data
+    permLoadCap = 1u << 4,       ///< loads preserve capability tags
+    permStoreCap = 1u << 5,      ///< stores may write tagged capabilities
+    permStoreLocalCap = 1u << 6, ///< may store non-global capabilities
+    permSeal = 1u << 7,          ///< may seal capabilities
+    permInvoke = 1u << 8,        ///< may be used in CInvoke
+    permUnseal = 1u << 9,        ///< may unseal capabilities
+    permSetCid = 1u << 10,       ///< may set compartment ID
+    permSysRegs = 1u << 11,      ///< may access system registers
+};
+
+/** Mask of all architectural permissions. */
+inline constexpr std::uint32_t permAllArch = (1u << 12) - 1;
+
+/** Mask of the 4 software-defined permissions (bits 12..15). */
+inline constexpr std::uint32_t permAllUser = 0xfu << 12;
+
+/** All permission bits representable in the 16-bit field. */
+inline constexpr std::uint32_t permAll = permAllArch | permAllUser;
+
+/** Permissions a data buffer capability for an accelerator would carry. */
+inline constexpr std::uint32_t permDataRW =
+    permGlobal | permLoad | permStore;
+
+/** Read-only data permissions. */
+inline constexpr std::uint32_t permDataRO = permGlobal | permLoad;
+
+/** Write-only data permissions. */
+inline constexpr std::uint32_t permDataWO = permGlobal | permStore;
+
+/** Render a permission mask like "GRWE..." for diagnostics. */
+std::string permsToString(std::uint32_t perms);
+
+} // namespace capcheck::cheri
+
+#endif // CAPCHECK_CHERI_PERMS_HH

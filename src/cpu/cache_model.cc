@@ -1,0 +1,58 @@
+#include "cpu/cache_model.hh"
+
+#include <algorithm>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace capcheck
+{
+
+CacheModel::CacheModel(std::uint64_t size_bytes, std::uint64_t line_bytes,
+                       unsigned ways)
+    : lineSize(line_bytes), offsetBits(floorLog2(line_bytes)),
+      numWays(ways),
+      numSets(ways ? size_bytes / line_bytes / ways : 0),
+      ways(numSets * ways)
+{
+    if (!isPowerOf2(size_bytes) || !isPowerOf2(line_bytes) || ways == 0 ||
+        numSets == 0 || !isPowerOf2(numSets))
+        fatal("CacheModel: bad geometry %llu/%llu/%u",
+              static_cast<unsigned long long>(size_bytes),
+              static_cast<unsigned long long>(line_bytes), ways);
+}
+
+bool
+CacheModel::access(Addr addr)
+{
+    const std::uint64_t line = addr >> offsetBits;
+    const std::uint64_t set = line % numSets;
+    Way *const begin = &ways[set * numWays];
+    ++useClock;
+
+    Way *victim = begin;
+    for (Way *way = begin; way != begin + numWays; ++way) {
+        if (way->tag == line + 1) {
+            way->lastUse = useClock;
+            ++_hits;
+            return true;
+        }
+        if (way->lastUse < victim->lastUse ||
+            (way->tag == 0 && victim->tag != 0))
+            victim = way;
+    }
+
+    victim->tag = line + 1;
+    victim->lastUse = useClock;
+    ++_misses;
+    return false;
+}
+
+void
+CacheModel::flush()
+{
+    std::fill(ways.begin(), ways.end(), Way{});
+    useClock = 0;
+}
+
+} // namespace capcheck

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Scalar in-order CPU cost model (Flute-class softcore). The CPU is the
+ * only bus master while it runs a kernel, so its cycle count is an
+ * analytic function of the access/op stream — no event simulation
+ * needed. With CHERI enabled the model additionally
+ *  - performs a full capability check on every access (the functional
+ *    guarantee of a CHERI CPU),
+ *  - charges a tag-fetch penalty on a fraction of cache misses, and
+ *  - runs bulk copies at capability width (16 B) instead of 8 B, which
+ *    is why gemm_blocked runs *faster* under CHERI (Fig. 10(g)).
+ */
+
+#ifndef CAPCHECK_CPU_CPU_MODEL_HH
+#define CAPCHECK_CPU_CPU_MODEL_HH
+
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "cheri/capability.hh"
+#include "cpu/cache_model.hh"
+#include "mem/tagged_memory.hh"
+#include "workloads/accessor.hh"
+#include "workloads/buffer_spec.hh"
+
+namespace capcheck
+{
+
+/** Per-operation cycle costs of the scalar core. */
+struct CpuCostParams
+{
+    Cycles intOp = 1;
+    Cycles fpOp = 15;        ///< non-pipelined scalar FPU
+    Cycles loadHit = 1;
+    Cycles storeHit = 1;
+    Cycles missPenalty = 30; ///< DRAM round trip
+    Cycles copyPerWord = 3;  ///< load+store of one copy word
+    /** CHERI: extra tag-fetch cycles charged every N-th miss. */
+    unsigned cheriTagMissInterval = 2;
+    /** CHERI: capability derivation cost per buffer at task setup. */
+    Cycles cheriCapSetup = 12;
+};
+
+/** A buffer's location in shared memory. */
+struct BufferMapping
+{
+    Addr base = 0;
+    std::uint64_t size = 0;
+    cheri::Capability cap; ///< CPU-held capability for the buffer
+};
+
+/**
+ * MemoryAccessor envelope that executes a kernel functionally against
+ * TaggedMemory while accumulating CPU cycles.
+ */
+class CpuAccessor : public workloads::MemoryAccessor
+{
+  public:
+    /**
+     * @param cheri_enabled model a CHERI CPU (ccpu) vs plain RISC-V.
+     */
+    CpuAccessor(TaggedMemory &mem, std::vector<BufferMapping> buffers,
+                bool cheri_enabled,
+                const CpuCostParams &params = CpuCostParams{});
+
+    void load(ObjectId obj, std::uint64_t off, void *dst,
+              std::uint32_t size) override;
+    void store(ObjectId obj, std::uint64_t off, const void *src,
+               std::uint32_t size) override;
+    void copy(ObjectId dst_obj, std::uint64_t dst_off, ObjectId src_obj,
+              std::uint64_t src_off, std::uint64_t len) override;
+    void computeInt(std::uint64_t n) override;
+    void computeFp(std::uint64_t n) override;
+
+    /** Charge task-entry costs (capability setup under CHERI). */
+    void chargeTaskSetup();
+
+    Cycles cycles() const { return _cycles; }
+    std::uint64_t loads() const { return _loads; }
+    std::uint64_t stores() const { return _stores; }
+    std::uint64_t cacheMisses() const { return cache.misses(); }
+    bool cheriEnabled() const { return cheri; }
+    const CpuCostParams &costParams() const { return params; }
+
+    /** Flush the cache (between sequential tasks on the same core). */
+    void flushCache() { cache.flush(); }
+
+  private:
+    Addr resolve(ObjectId obj, std::uint64_t off, std::uint32_t size,
+                 bool is_store);
+    void chargeAccess(Addr addr, bool is_store);
+
+    TaggedMemory &mem;
+    std::vector<BufferMapping> buffers;
+    bool cheri;
+    CpuCostParams params;
+    CacheModel cache;
+
+    Cycles _cycles = 0;
+    std::uint64_t _loads = 0;
+    std::uint64_t _stores = 0;
+    std::uint64_t missCount = 0;
+};
+
+} // namespace capcheck
+
+#endif // CAPCHECK_CPU_CPU_MODEL_HH

@@ -1,0 +1,102 @@
+#include "mem/allocator.hh"
+
+#include <algorithm>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "cheri/compressed.hh"
+
+namespace capcheck
+{
+
+RegionAllocator::RegionAllocator(Addr base, std::uint64_t size,
+                                 std::uint64_t guard_bytes)
+    : base(base), size(size), guardBytes(guard_bytes)
+{
+    if (size == 0)
+        fatal("RegionAllocator: empty region");
+    freeSpans[base] = size;
+}
+
+void
+RegionAllocator::insertFree(Addr start, std::uint64_t len)
+{
+    if (len == 0)
+        return;
+    auto [it, inserted] = freeSpans.emplace(start, len);
+    if (!inserted)
+        panic("RegionAllocator: double free at 0x%llx",
+              static_cast<unsigned long long>(start));
+
+    // Coalesce with successor.
+    auto next = std::next(it);
+    if (next != freeSpans.end() && it->first + it->second == next->first) {
+        it->second += next->second;
+        freeSpans.erase(next);
+    }
+    // Coalesce with predecessor.
+    if (it != freeSpans.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            freeSpans.erase(it);
+        }
+    }
+}
+
+std::optional<Addr>
+RegionAllocator::allocate(std::uint64_t user_size, std::uint64_t align)
+{
+    if (user_size == 0)
+        return std::nullopt;
+    if (align == 0) {
+        // Exact-capability alignment, but never share a tag granule.
+        align = std::max<std::uint64_t>(
+            cheri::ccRequiredAlignment(user_size), 16);
+    }
+    if (!isPowerOf2(align))
+        fatal("RegionAllocator: alignment must be a power of two");
+
+    for (auto it = freeSpans.begin(); it != freeSpans.end(); ++it) {
+        const Addr span_start = it->first;
+        const std::uint64_t span_len = it->second;
+        const Addr aligned = roundUp(span_start, align);
+        const std::uint64_t need =
+            (aligned - span_start) + user_size + guardBytes;
+        if (need > span_len)
+            continue;
+
+        freeSpans.erase(it);
+        // Return the leading alignment slack to the free list.
+        insertFree(span_start, aligned - span_start);
+        const std::uint64_t reserved = user_size + guardBytes;
+        insertFree(aligned + reserved, span_len -
+                   (aligned - span_start) - reserved);
+
+        live[aligned] = Alloc{user_size, aligned, reserved};
+        allocated += user_size;
+        return aligned;
+    }
+    return std::nullopt;
+}
+
+void
+RegionAllocator::free(Addr addr)
+{
+    const auto it = live.find(addr);
+    if (it == live.end())
+        panic("RegionAllocator: freeing unknown address 0x%llx",
+              static_cast<unsigned long long>(addr));
+    allocated -= it->second.userSize;
+    insertFree(it->second.spanStart, it->second.spanLen);
+    live.erase(it);
+}
+
+std::uint64_t
+RegionAllocator::sizeOf(Addr addr) const
+{
+    const auto it = live.find(addr);
+    return it == live.end() ? 0 : it->second.userSize;
+}
+
+} // namespace capcheck

@@ -1,0 +1,104 @@
+#include "mem/interconnect.hh"
+
+#include "base/logging.hh"
+
+namespace capcheck
+{
+
+AxiInterconnect::AxiInterconnect(EventQueue &eq,
+                                 stats::StatGroup *parent_stats,
+                                 unsigned num_masters,
+                                 TimingConsumer &downstream,
+                                 unsigned max_burst)
+    : TickingObject(eq, "xbar", parent_stats, Event::arbitratePrio),
+      downstream(downstream), masters(num_masters),
+      maxBurst(max_burst ? max_burst : 1),
+      grants(stats, "grants", "requests granted onto the bus"),
+      stallCycles(stats, "stallCycles",
+                  "cycles the winning request could not move downstream")
+{
+    if (num_masters == 0)
+        fatal("AxiInterconnect needs at least one master");
+}
+
+bool
+AxiInterconnect::canOffer(PortId port) const
+{
+    return !masters.at(port).pending.has_value();
+}
+
+bool
+AxiInterconnect::offer(PortId port, const MemRequest &req)
+{
+    MasterSlot &slot = masters.at(port);
+    if (slot.pending)
+        return false;
+    slot.pending = req;
+    activate(1);
+    return true;
+}
+
+void
+AxiInterconnect::setResponseHandler(PortId port, ResponseHandler *handler)
+{
+    masters.at(port).handler = handler;
+}
+
+void
+AxiInterconnect::handleResponse(const MemResponse &resp)
+{
+    MasterSlot &slot = masters.at(resp.srcPort);
+    if (!slot.handler)
+        panic("xbar: response for port %u with no handler", resp.srcPort);
+    slot.handler->handleResponse(resp);
+}
+
+bool
+AxiInterconnect::tick()
+{
+    // Burst-sticky arbitration: a master holding a burst keeps the bus
+    // while it has back-to-back beats and burst budget left.
+    if (burstLeft > 0 && masters[burstOwner].pending) {
+        MasterSlot &slot = masters[burstOwner];
+        if (downstream.tryAccept(*slot.pending)) {
+            ++grants;
+            --burstLeft;
+            slot.pending.reset();
+        } else {
+            ++stallCycles;
+        }
+    } else {
+        burstLeft = 0;
+        bool any_pending = false;
+        // Round-robin: scan from rrNext for the first waiting master.
+        for (unsigned i = 0; i < masters.size(); ++i) {
+            const unsigned port = (rrNext + i) % masters.size();
+            MasterSlot &slot = masters[port];
+            if (!slot.pending)
+                continue;
+            any_pending = true;
+            if (downstream.tryAccept(*slot.pending)) {
+                ++grants;
+                slot.pending.reset();
+                rrNext = (port + 1) % masters.size();
+                if (maxBurst > 1) {
+                    burstOwner = port;
+                    burstLeft = maxBurst - 1;
+                }
+            } else {
+                ++stallCycles;
+            }
+            break; // one beat per cycle, granted or stalled
+        }
+        if (!any_pending)
+            return false;
+    }
+    // Keep ticking while any master still holds a request.
+    for (const MasterSlot &slot : masters) {
+        if (slot.pending)
+            return true;
+    }
+    return false;
+}
+
+} // namespace capcheck

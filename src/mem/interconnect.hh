@@ -1,0 +1,84 @@
+/**
+ * @file
+ * AXI-style shared interconnect. Matching the paper's prototype, the
+ * interconnect admits one memory access per clock cycle; masters
+ * contend through round-robin arbitration. Each master slot has a
+ * single-entry request buffer (an AXI address channel that stalls until
+ * the crossbar accepts the beat). Responses are routed back to the
+ * issuing master by port id.
+ */
+
+#ifndef CAPCHECK_MEM_INTERCONNECT_HH
+#define CAPCHECK_MEM_INTERCONNECT_HH
+
+#include <optional>
+#include <vector>
+
+#include "base/stats.hh"
+#include "mem/packet.hh"
+#include "sim/clocked.hh"
+
+namespace capcheck
+{
+
+class AxiInterconnect : public TickingObject, public ResponseHandler
+{
+  public:
+    /**
+     * @param num_masters master slots (accelerator ports).
+     * @param downstream where granted requests go (CapChecker or the
+     *        memory controller).
+     * @param max_burst beats a granted master may keep the bus for
+     *        while it has back-to-back requests (AXI burst-style
+     *        sticky arbitration). 1 = pure round-robin per beat.
+     */
+    AxiInterconnect(EventQueue &eq, stats::StatGroup *parent_stats,
+                    unsigned num_masters, TimingConsumer &downstream,
+                    unsigned max_burst = 1);
+
+    unsigned numMasters() const { return masters.size(); }
+
+    /**
+     * Offer a request into master slot @p port.
+     * @return false when that slot's buffer is full this cycle.
+     */
+    bool offer(PortId port, const MemRequest &req);
+
+    /** True when master slot @p port can take a request. */
+    bool canOffer(PortId port) const;
+
+    /** Register the response handler for a master slot. */
+    void setResponseHandler(PortId port, ResponseHandler *handler);
+
+    /** ResponseHandler: deliver a response back to its master. */
+    void handleResponse(const MemResponse &resp) override;
+
+    bool tick() override;
+
+    /** Total beats granted. */
+    std::uint64_t beatsGranted() const
+    {
+        return static_cast<std::uint64_t>(grants.value());
+    }
+
+  private:
+    struct MasterSlot
+    {
+        std::optional<MemRequest> pending;
+        ResponseHandler *handler = nullptr;
+    };
+
+    TimingConsumer &downstream;
+    std::vector<MasterSlot> masters;
+    unsigned rrNext = 0;
+    unsigned maxBurst;
+    unsigned burstLeft = 0;
+    unsigned burstOwner = 0;
+
+    stats::Scalar grants;
+    stats::Scalar stallCycles;
+};
+
+} // namespace capcheck
+
+#endif // CAPCHECK_MEM_INTERCONNECT_HH

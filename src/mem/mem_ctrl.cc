@@ -1,0 +1,58 @@
+#include "mem/mem_ctrl.hh"
+
+#include "base/logging.hh"
+
+namespace capcheck
+{
+
+MemoryController::MemoryController(EventQueue &eq,
+                                   stats::StatGroup *parent_stats,
+                                   Cycles latency)
+    : SimObject(eq, "memctrl", parent_stats),
+      _latency(latency), respondEvent(*this),
+      served(stats, "served", "requests served"),
+      readBeats(stats, "readBeats", "read beats"),
+      writeBeats(stats, "writeBeats", "write beats")
+{
+    if (latency == 0)
+        fatal("MemoryController latency must be >= 1");
+}
+
+bool
+MemoryController::tryAccept(const MemRequest &req)
+{
+    // One accept per cycle models the single DRAM channel.
+    if (lastAcceptCycle == curCycle())
+        return false;
+    lastAcceptCycle = curCycle();
+
+    ++served;
+    if (req.cmd == MemCmd::read)
+        ++readBeats;
+    else
+        ++writeBeats;
+
+    MemResponse resp;
+    resp.id = req.id;
+    resp.srcPort = req.srcPort;
+    resp.ok = true;
+    pipeline.push_back(Inflight{curCycle() + _latency, resp});
+    if (!respondEvent.scheduled())
+        eq.schedule(&respondEvent, pipeline.front().due);
+    return true;
+}
+
+void
+MemoryController::deliver()
+{
+    if (!upstream)
+        panic("MemoryController: no upstream response handler set");
+    while (!pipeline.empty() && pipeline.front().due <= curCycle()) {
+        upstream->handleResponse(pipeline.front().resp);
+        pipeline.pop_front();
+    }
+    if (!pipeline.empty())
+        eq.schedule(&respondEvent, pipeline.front().due);
+}
+
+} // namespace capcheck

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pipelined memory controller model: accepts at most one request per
+ * cycle and returns each response a fixed latency later. Bandwidth is
+ * therefore one beat per cycle — the paper's stated platform limit —
+ * while latency is hidden for deeply pipelined masters.
+ */
+
+#ifndef CAPCHECK_MEM_MEM_CTRL_HH
+#define CAPCHECK_MEM_MEM_CTRL_HH
+
+#include <deque>
+
+#include "base/stats.hh"
+#include "mem/packet.hh"
+#include "sim/clocked.hh"
+
+namespace capcheck
+{
+
+class MemoryController : public SimObject, public TimingConsumer
+{
+  public:
+    /** Default access latency in cycles (DRAM via AXI on the FPGA). */
+    static constexpr Cycles defaultLatency = 30;
+
+    MemoryController(EventQueue &eq, stats::StatGroup *parent_stats,
+                     Cycles latency = defaultLatency);
+
+    /** Set where responses are delivered (typically the interconnect). */
+    void setUpstream(ResponseHandler &handler) { upstream = &handler; }
+
+    /** TimingConsumer: accept one request per cycle. */
+    bool tryAccept(const MemRequest &req) override;
+
+    Cycles latency() const { return _latency; }
+
+    std::uint64_t
+    requestsServed() const
+    {
+        return static_cast<std::uint64_t>(served.value());
+    }
+
+  private:
+    class RespondEvent : public Event
+    {
+      public:
+        RespondEvent(MemoryController &owner)
+            : Event(Event::responsePrio), owner(owner)
+        {
+        }
+
+        void process() override { owner.deliver(); }
+        std::string description() const override { return "mem-respond"; }
+
+      private:
+        MemoryController &owner;
+    };
+
+    void deliver();
+
+    ResponseHandler *upstream = nullptr;
+    Cycles _latency;
+    Cycles lastAcceptCycle = ~Cycles{0};
+
+    /** In-flight responses, ordered by due cycle. */
+    struct Inflight
+    {
+        Cycles due;
+        MemResponse resp;
+    };
+    std::deque<Inflight> pipeline;
+    RespondEvent respondEvent;
+
+    stats::Scalar served;
+    stats::Scalar readBeats;
+    stats::Scalar writeBeats;
+};
+
+} // namespace capcheck
+
+#endif // CAPCHECK_MEM_MEM_CTRL_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Memory request/response types carried across the simulated AXI
+ * interconnect, including the provenance metadata (task and object IDs)
+ * that the CapChecker's Fine mode consumes.
+ */
+
+#ifndef CAPCHECK_MEM_PACKET_HH
+#define CAPCHECK_MEM_PACKET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace capcheck
+{
+
+/** Memory command. */
+enum class MemCmd
+{
+    read,
+    write,
+};
+
+const char *memCmdName(MemCmd cmd);
+
+/**
+ * A single beat on the interconnect. The paper's platform admits one
+ * memory access per clock cycle, so requests are not split into bursts
+ * here; @c size is the beat's byte count (<= 64).
+ */
+struct MemRequest
+{
+    MemCmd cmd = MemCmd::read;
+    Addr addr = 0;
+    std::uint32_t size = 0;
+
+    /** Master port that issued the request (interconnect provenance). */
+    PortId srcPort = 0;
+    /** Accelerator task the request belongs to. */
+    TaskId task = invalidTaskId;
+    /**
+     * Object the access intends to touch. In Fine mode this arrives as
+     * hardware interface metadata; in Coarse mode it is recovered from
+     * the top bits of the address.
+     */
+    ObjectId object = invalidObjectId;
+
+    /** Unique id for response matching. */
+    std::uint64_t id = 0;
+
+    std::string toString() const;
+};
+
+/** Response delivered back to the issuing master. */
+struct MemResponse
+{
+    std::uint64_t id = 0;
+    PortId srcPort = 0;
+    bool ok = true; ///< false when a protection check rejected the access
+};
+
+/**
+ * Downstream interface: components that accept timed requests
+ * (CapChecker, interconnect, memory controller).
+ */
+class TimingConsumer
+{
+  public:
+    virtual ~TimingConsumer() = default;
+
+    /**
+     * Offer a request this cycle.
+     * @return false when the consumer is busy; the caller retries later.
+     */
+    virtual bool tryAccept(const MemRequest &req) = 0;
+};
+
+/** Upstream interface: components that receive responses. */
+class ResponseHandler
+{
+  public:
+    virtual ~ResponseHandler() = default;
+
+    virtual void handleResponse(const MemResponse &resp) = 0;
+};
+
+} // namespace capcheck
+
+#endif // CAPCHECK_MEM_PACKET_HH

@@ -1,0 +1,118 @@
+#include "mem/tagged_memory.hh"
+
+#include <cstring>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace capcheck
+{
+
+TaggedMemory::TaggedMemory(std::uint64_t size_bytes)
+    : data(size_bytes, 0), tags(divCeil(size_bytes, capGranule), false)
+{
+    if (size_bytes == 0 || size_bytes % capGranule != 0)
+        fatal("TaggedMemory size must be a non-zero multiple of %llu",
+              static_cast<unsigned long long>(capGranule));
+}
+
+void
+TaggedMemory::checkRange(Addr addr, std::uint64_t len) const
+{
+    if (addr + len > data.size() || addr + len < addr)
+        panic("TaggedMemory access out of range: 0x%llx+%llu",
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(len));
+}
+
+void
+TaggedMemory::write(Addr addr, const void *src, std::uint64_t len)
+{
+    checkRange(addr, len);
+    std::memcpy(data.data() + addr, src, len);
+    clearTags(addr, len);
+}
+
+void
+TaggedMemory::writeRawDma(Addr addr, const void *src, std::uint64_t len)
+{
+    checkRange(addr, len);
+    std::memcpy(data.data() + addr, src, len);
+}
+
+void
+TaggedMemory::read(Addr addr, void *dst, std::uint64_t len) const
+{
+    checkRange(addr, len);
+    std::memcpy(dst, data.data() + addr, len);
+}
+
+void
+TaggedMemory::writeCap(Addr addr, const cheri::Capability &cap)
+{
+    if (addr % capGranule != 0)
+        panic("capability store to unaligned address 0x%llx",
+              static_cast<unsigned long long>(addr));
+    checkRange(addr, capGranule);
+
+    std::uint64_t pesbt;
+    std::uint64_t cursor;
+    cap.compress(pesbt, cursor);
+    std::memcpy(data.data() + addr, &cursor, 8);
+    std::memcpy(data.data() + addr + 8, &pesbt, 8);
+    tags[addr / capGranule] = cap.tag();
+}
+
+cheri::Capability
+TaggedMemory::readCap(Addr addr) const
+{
+    if (addr % capGranule != 0)
+        panic("capability load from unaligned address 0x%llx",
+              static_cast<unsigned long long>(addr));
+    checkRange(addr, capGranule);
+
+    std::uint64_t cursor;
+    std::uint64_t pesbt;
+    std::memcpy(&cursor, data.data() + addr, 8);
+    std::memcpy(&pesbt, data.data() + addr + 8, 8);
+    return cheri::Capability::fromCompressed(tags[addr / capGranule],
+                                             pesbt, cursor);
+}
+
+bool
+TaggedMemory::tagAt(Addr addr) const
+{
+    checkRange(addr, 1);
+    return tags[addr / capGranule];
+}
+
+void
+TaggedMemory::clearTags(Addr addr, std::uint64_t len)
+{
+    if (len == 0)
+        return;
+    checkRange(addr, len);
+    const std::uint64_t first = addr / capGranule;
+    const std::uint64_t last = (addr + len - 1) / capGranule;
+    for (std::uint64_t g = first; g <= last; ++g)
+        tags[g] = false;
+}
+
+std::uint64_t
+TaggedMemory::countTags() const
+{
+    std::uint64_t count = 0;
+    for (const bool tag : tags)
+        count += tag;
+    return count;
+}
+
+void
+TaggedMemory::scrub(Addr addr, std::uint64_t len)
+{
+    checkRange(addr, len);
+    std::memset(data.data() + addr, 0, len);
+    clearTags(addr, len);
+}
+
+} // namespace capcheck

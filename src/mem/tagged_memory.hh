@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Byte-addressable shared main memory with CHERI capability tags: one
+ * out-of-band tag bit per 16-byte granule (the "shadow section" of
+ * Section 5.2.1). Tag discipline is enforced here rather than trusted to
+ * callers: any data write clears the tags of every granule it touches;
+ * only the dedicated capability-store path can set a tag, and only when
+ * storing an aligned, valid capability.
+ */
+
+#ifndef CAPCHECK_MEM_TAGGED_MEMORY_HH
+#define CAPCHECK_MEM_TAGGED_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "cheri/capability.hh"
+
+namespace capcheck
+{
+
+class TaggedMemory
+{
+  public:
+    /** Bytes covered by one capability tag. */
+    static constexpr std::uint64_t capGranule = 16;
+
+    explicit TaggedMemory(std::uint64_t size_bytes);
+
+    std::uint64_t size() const { return data.size(); }
+
+    /** @{ Data access. Writes clear every overlapping granule tag. */
+    void write(Addr addr, const void *src, std::uint64_t len);
+    void read(Addr addr, void *dst, std::uint64_t len) const;
+
+    /**
+     * Tag-oblivious DMA write: data bytes change but existing granule
+     * tags are left untouched. This models a naive accelerator
+     * integration whose DMA path bypasses the tag discipline — the
+     * enabling condition for the Fig. 2 capability-forging attack.
+     * Only the CapChecker's interposed path uses tag-clearing writes.
+     */
+    void writeRawDma(Addr addr, const void *src, std::uint64_t len);
+
+    template <typename T>
+    void
+    writeValue(Addr addr, T value)
+    {
+        write(addr, &value, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    readValue(Addr addr) const
+    {
+        T value;
+        read(addr, &value, sizeof(T));
+        return value;
+    }
+    /** @} */
+
+    /**
+     * Store a capability at a 16-byte aligned address. The granule tag
+     * is set only if @p cap is tagged; storing an untagged capability
+     * writes its bytes and clears the tag.
+     */
+    void writeCap(Addr addr, const cheri::Capability &cap);
+
+    /**
+     * Load a capability from a 16-byte aligned address. The result is
+     * tagged only if the granule tag is set.
+     */
+    cheri::Capability readCap(Addr addr) const;
+
+    /** Tag of the granule containing @p addr. */
+    bool tagAt(Addr addr) const;
+
+    /** Clear the tags of all granules overlapping [addr, addr+len). */
+    void clearTags(Addr addr, std::uint64_t len);
+
+    /** Count of set tags over the whole memory (for audits/tests). */
+    std::uint64_t countTags() const;
+
+    /** Zero a region (and clear its tags) — driver buffer scrubbing. */
+    void scrub(Addr addr, std::uint64_t len);
+
+  private:
+    void checkRange(Addr addr, std::uint64_t len) const;
+
+    std::vector<std::uint8_t> data;
+    std::vector<bool> tags;
+};
+
+} // namespace capcheck
+
+#endif // CAPCHECK_MEM_TAGGED_MEMORY_HH

@@ -1,0 +1,76 @@
+#include "model/area_power.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace capcheck::model
+{
+
+std::uint64_t
+AreaPowerModel::capCheckerLuts(unsigned table_entries)
+{
+    // Anchors: 256 entries ~ 30 k LUTs (decoder + associative table);
+    // a CFU-class repository of a couple of entries < 100 LUTs. Tiny
+    // configurations skip the associative CAM entirely (fixed-index
+    // registers), so they sit on a much cheaper curve.
+    if (table_entries <= 2)
+        return 40 + static_cast<std::uint64_t>(table_entries) * 25;
+    return 40 + static_cast<std::uint64_t>(table_entries) * 117;
+}
+
+std::uint64_t
+AreaPowerModel::cpuLuts(bool cheri)
+{
+    // Flute RV64 softcore with FPU; the CHERI extension adds the
+    // capability pipeline and tag plumbing (~20 %).
+    return cheri ? 54000 : 45000;
+}
+
+std::uint64_t
+AreaPowerModel::microcontrollerLuts()
+{
+    // A CFU-Playground-class system: small RV32 core, bus fabric, and
+    // one custom functional unit.
+    return 10000;
+}
+
+std::uint64_t
+AreaPowerModel::accelLuts(const workloads::KernelSpec &spec,
+                          unsigned instances)
+{
+    // HLS datapath area grows sub-linearly with unroll (wide lanes
+    // share control), plus burst/control logic per buffer port and a
+    // fixed per-instance harness.
+    const double lanes = std::sqrt(static_cast<double>(
+        spec.timing.ilp));
+    const std::uint64_t per_instance =
+        6000 + static_cast<std::uint64_t>(2200.0 * lanes) +
+        700ull * spec.buffers.size();
+    return per_instance * instances;
+}
+
+double
+AreaPowerModel::staticPowerW(std::uint64_t luts)
+{
+    return 0.6 + static_cast<double>(luts) * 2.5e-6;
+}
+
+double
+AreaPowerModel::dynamicPowerW(std::uint64_t luts, double activity)
+{
+    const double a = std::clamp(activity, 0.0, 1.0);
+    return static_cast<double>(luts) * 9.0e-6 * a;
+}
+
+double
+AreaPowerModel::capCheckerPowerW(unsigned table_entries,
+                                 double activity)
+{
+    // The capability table is SRAM-like: low static draw and only the
+    // looked-up entry toggles per beat.
+    const auto luts = static_cast<double>(capCheckerLuts(table_entries));
+    const double a = std::clamp(activity, 0.0, 1.0);
+    return luts * 1.0e-6 + luts * 2.2e-6 * a;
+}
+
+} // namespace capcheck::model

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analytic FPGA resource and power model, calibrated to the paper's
+ * published anchors (Section 6.3): a 256-entry CapChecker occupies
+ * ~30 k LUTs; a CFU-class CapChecker fits in under 100 LUTs next to a
+ * ~10 k LUT microcontroller system; adding the CapChecker costs ~15 %
+ * area and a small, benchmark-dependent amount of power. We cannot
+ * rerun Vivado P&R, so Fig. 8's area/power series are regenerated from
+ * this model (the substitution is recorded in DESIGN.md).
+ */
+
+#ifndef CAPCHECK_MODEL_AREA_POWER_HH
+#define CAPCHECK_MODEL_AREA_POWER_HH
+
+#include <cstdint>
+
+#include "workloads/buffer_spec.hh"
+
+namespace capcheck::model
+{
+
+struct AreaPowerModel
+{
+    /** LUTs of the CapChecker as a function of table entries. */
+    static std::uint64_t capCheckerLuts(unsigned table_entries);
+
+    /** LUTs of the CPU core (Flute, with or without CHERI). */
+    static std::uint64_t cpuLuts(bool cheri);
+
+    /**
+     * LUTs of a TinyML-class microcontroller system (core + CFU
+     * harness, Section 6.3's ~10k LUT anchor).
+     */
+    static std::uint64_t microcontrollerLuts();
+
+    /**
+     * LUTs of one accelerator pool: scales with datapath parallelism
+     * and buffer count (HLS control/burst logic), times instances.
+     */
+    static std::uint64_t accelLuts(const workloads::KernelSpec &spec,
+                                   unsigned instances);
+
+    /** Static power (W) for a given LUT count. */
+    static double staticPowerW(std::uint64_t luts);
+
+    /**
+     * Dynamic power (W): proportional to resources times switching
+     * activity (busy beats per cycle, in [0, 1]).
+     */
+    static double dynamicPowerW(std::uint64_t luts, double activity);
+
+    /** Total power. */
+    static double
+    totalPowerW(std::uint64_t luts, double activity)
+    {
+        return staticPowerW(luts) + dynamicPowerW(luts, activity);
+    }
+
+    /** Power drawn by the CapChecker itself (SRAM-like table). */
+    static double capCheckerPowerW(unsigned table_entries,
+                                   double activity);
+};
+
+} // namespace capcheck::model
+
+#endif // CAPCHECK_MODEL_AREA_POWER_HH

@@ -1,0 +1,74 @@
+#include "protect/check_stage.hh"
+
+#include "base/logging.hh"
+
+namespace capcheck::protect
+{
+
+CheckStage::CheckStage(EventQueue &eq, stats::StatGroup *parent_stats,
+                       ProtectionChecker &checker,
+                       TimingConsumer &downstream)
+    : TickingObject(eq, "checkstage", parent_stats, Event::checkPrio),
+      checker(checker), downstream(downstream),
+      checked(stats, "checked", "requests checked"),
+      denied(stats, "denied", "requests denied"),
+      stallCycles(stats, "stallCycles",
+                  "cycles the stage head waited for downstream")
+{
+}
+
+bool
+CheckStage::tryAccept(const MemRequest &req)
+{
+    // One new request per cycle (the check pipeline's issue rate).
+    if (lastAcceptCycle == curCycle())
+        return false;
+    if (pipe.size() > checker.checkLatency() + 4)
+        return false; // downstream badly stalled
+
+    lastAcceptCycle = curCycle();
+    ++checked;
+    const CheckResult verdict = checker.check(req);
+    if (!verdict.allowed)
+        ++denied;
+
+    const Cycles latency =
+        checker.checkLatency() + checker.lastExtraLatency();
+    if (latency == 0 && verdict.allowed && pipe.empty()) {
+        // Transparent pass-through (the "no method" configuration).
+        return downstream.tryAccept(req);
+    }
+
+    pipe.push_back(Staged{req, verdict.allowed, curCycle() + latency});
+    activate(latency ? latency : 1);
+    return true;
+}
+
+bool
+CheckStage::tick()
+{
+    while (!pipe.empty() && pipe.front().due <= curCycle()) {
+        Staged &head = pipe.front();
+        if (!head.allowed) {
+            if (!upstream)
+                panic("CheckStage: denial with no upstream handler");
+            MemResponse resp;
+            resp.id = head.req.id;
+            resp.srcPort = head.req.srcPort;
+            resp.ok = false;
+            upstream->handleResponse(resp);
+            pipe.pop_front();
+            continue;
+        }
+        if (downstream.tryAccept(head.req)) {
+            pipe.pop_front();
+            // Only one forward per cycle (single downstream channel).
+            break;
+        }
+        ++stallCycles;
+        break;
+    }
+    return !pipe.empty();
+}
+
+} // namespace capcheck::protect

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Timing wrapper placing a ProtectionChecker between the interconnect
+ * and the memory controller. Throughput is one request per cycle
+ * (pipelined); each request spends the checker's latency in the stage.
+ * Denied requests never reach memory — an error response goes back to
+ * the issuing master instead.
+ */
+
+#ifndef CAPCHECK_PROTECT_CHECK_STAGE_HH
+#define CAPCHECK_PROTECT_CHECK_STAGE_HH
+
+#include <deque>
+
+#include "protect/checker.hh"
+#include "sim/clocked.hh"
+
+namespace capcheck::protect
+{
+
+class CheckStage : public TickingObject, public TimingConsumer
+{
+  public:
+    CheckStage(EventQueue &eq, stats::StatGroup *parent_stats,
+               ProtectionChecker &checker, TimingConsumer &downstream);
+
+    /** Where denial responses are delivered (the interconnect). */
+    void setUpstream(ResponseHandler &handler) { upstream = &handler; }
+
+    bool tryAccept(const MemRequest &req) override;
+    bool tick() override;
+
+    std::uint64_t
+    denials() const
+    {
+        return static_cast<std::uint64_t>(denied.value());
+    }
+
+  private:
+    struct Staged
+    {
+        MemRequest req;
+        bool allowed;
+        Cycles due;
+    };
+
+    ProtectionChecker &checker;
+    TimingConsumer &downstream;
+    ResponseHandler *upstream = nullptr;
+    std::deque<Staged> pipe;
+    Cycles lastAcceptCycle = ~Cycles{0};
+
+    stats::Scalar checked;
+    stats::Scalar denied;
+    stats::Scalar stallCycles;
+};
+
+} // namespace capcheck::protect
+
+#endif // CAPCHECK_PROTECT_CHECK_STAGE_HH

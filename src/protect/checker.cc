@@ -1,0 +1,7 @@
+#include "protect/checker.hh"
+
+// Interface-only translation unit: keeps the vtable anchored here.
+
+namespace capcheck::protect
+{
+} // namespace capcheck::protect

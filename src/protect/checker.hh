@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Common interface for the I/O memory protection schemes the paper
+ * compares (Table 1): no protection, IOPMP, IOMMU, and the CapChecker.
+ * A checker gives a functional allow/deny verdict per accelerator
+ * memory request, declares its tag discipline (whether accelerator
+ * writes clear capability tags — the anti-forgery property only the
+ * CapChecker has), and reports its static properties for Table 1.
+ */
+
+#ifndef CAPCHECK_PROTECT_CHECKER_HH
+#define CAPCHECK_PROTECT_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+#include "mem/packet.hh"
+
+namespace capcheck::protect
+{
+
+/** Verdict for one accelerator memory request. */
+struct CheckResult
+{
+    bool allowed = false;
+    std::string reason; ///< diagnostic, empty when allowed
+
+    static CheckResult
+    allow()
+    {
+        return CheckResult{true, {}};
+    }
+
+    static CheckResult
+    deny(std::string reason)
+    {
+        return CheckResult{false, std::move(reason)};
+    }
+};
+
+/** Static properties, one column of the paper's Table 1. */
+struct SchemeProperties
+{
+    std::string name;
+    bool spatialEnforcement = false;
+    std::uint64_t granularityBytes = 0; ///< 0 = no enforcement
+    bool commonObjectRepresentation = false;
+    bool unforgeable = false;
+    /** "yes", "no" or "semi" in the paper's table. */
+    std::string scalable = "no";
+    std::string addressTranslation = "no";
+    bool suitsMicrocontrollers = false;
+    bool suitsApplicationProcessors = false;
+};
+
+class ProtectionChecker
+{
+  public:
+    virtual ~ProtectionChecker() = default;
+
+    /** Functional verdict for an accelerator request. */
+    virtual CheckResult check(const MemRequest &req) = 0;
+
+    /**
+     * Whether accelerator-side writes clear capability tags in memory.
+     * Only a CHERI-aware interposer does; the others leave the tag
+     * path untouched, which is what makes forging possible.
+     */
+    virtual bool clearsTagsOnWrite() const { return false; }
+
+    /** Pipeline latency the checker adds per request (cycles). */
+    virtual Cycles checkLatency() const { return 0; }
+
+    /**
+     * Additional latency incurred by the most recent check() — e.g. an
+     * IOTLB page walk or a capability-cache miss. Zero for schemes
+     * whose state is entirely on-chip.
+     */
+    virtual Cycles lastExtraLatency() const { return 0; }
+
+    /** Entries (table rows / TLB slots / regions) currently in use. */
+    virtual std::size_t entriesUsed() const { return 0; }
+
+    /** Static property column for Table 1. */
+    virtual SchemeProperties properties() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace capcheck::protect
+
+#endif // CAPCHECK_PROTECT_CHECKER_HH

@@ -1,0 +1,77 @@
+#include "protect/checker_bank.hh"
+
+#include "base/logging.hh"
+
+namespace capcheck::protect
+{
+
+CheckerBank::CheckerBank(unsigned num_checkers,
+                         const capchecker::CapChecker::Params &params)
+{
+    if (num_checkers == 0)
+        fatal("CheckerBank needs at least one checker");
+    for (unsigned i = 0; i < num_checkers; ++i)
+        checkers.push_back(
+            std::make_unique<capchecker::CapChecker>(params));
+}
+
+capchecker::CapChecker &
+CheckerBank::at(PortId port)
+{
+    if (port >= checkers.size())
+        panic("CheckerBank: no checker for port %u", port);
+    return *checkers[port];
+}
+
+CheckResult
+CheckerBank::check(const MemRequest &req)
+{
+    lastPort = req.srcPort;
+    return at(req.srcPort).check(req);
+}
+
+Cycles
+CheckerBank::checkLatency() const
+{
+    return checkers.front()->checkLatency();
+}
+
+Cycles
+CheckerBank::lastExtraLatency() const
+{
+    return checkers[lastPort < checkers.size() ? lastPort : 0]
+        ->lastExtraLatency();
+}
+
+std::size_t
+CheckerBank::entriesUsed() const
+{
+    std::size_t used = 0;
+    for (const auto &checker : checkers)
+        used += checker->entriesUsed();
+    return used;
+}
+
+bool
+CheckerBank::exceptionFlagSet() const
+{
+    for (const auto &checker : checkers) {
+        if (checker->exceptionFlagSet())
+            return true;
+    }
+    return false;
+}
+
+SchemeProperties
+CheckerBank::properties() const
+{
+    return checkers.front()->properties();
+}
+
+std::string
+CheckerBank::name() const
+{
+    return checkers.front()->name() + "-bank";
+}
+
+} // namespace capcheck::protect

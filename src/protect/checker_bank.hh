@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A bank of per-accelerator CapCheckers (the Section 5.2.1 design
+ * alternative to the single shared checker): each interconnect master
+ * gets an exclusive checker, and requests route to their master's
+ * checker. On the prototype's single-beat interconnect this buys no
+ * bandwidth — only area — which the abl_shared_checker harness
+ * quantifies.
+ */
+
+#ifndef CAPCHECK_PROTECT_CHECKER_BANK_HH
+#define CAPCHECK_PROTECT_CHECKER_BANK_HH
+
+#include <memory>
+#include <vector>
+
+#include "capchecker/capchecker.hh"
+
+namespace capcheck::protect
+{
+
+class CheckerBank : public ProtectionChecker
+{
+  public:
+    CheckerBank(unsigned num_checkers,
+                const capchecker::CapChecker::Params &params);
+
+    capchecker::CapChecker &at(PortId port);
+
+    CheckResult check(const MemRequest &req) override;
+
+    bool clearsTagsOnWrite() const override { return true; }
+    Cycles checkLatency() const override;
+    Cycles lastExtraLatency() const override;
+    std::size_t entriesUsed() const override;
+
+    bool exceptionFlagSet() const;
+
+    SchemeProperties properties() const override;
+    std::string name() const override;
+
+  private:
+    std::vector<std::unique_ptr<capchecker::CapChecker>> checkers;
+    PortId lastPort = 0;
+};
+
+} // namespace capcheck::protect
+
+#endif // CAPCHECK_PROTECT_CHECKER_BANK_HH

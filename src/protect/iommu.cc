@@ -1,0 +1,92 @@
+#include "protect/iommu.hh"
+
+#include <algorithm>
+
+namespace capcheck::protect
+{
+
+Iommu::Iommu(unsigned iotlb_entries) : tlbCapacity(iotlb_entries)
+{
+}
+
+unsigned
+Iommu::mapRange(TaskId task, Addr base, std::uint64_t size,
+                bool writable)
+{
+    unsigned created = 0;
+    const std::uint64_t first = base / pageSize;
+    const std::uint64_t last = (base + size - 1) / pageSize;
+    for (std::uint64_t page = first; page <= last; ++page) {
+        if (pageTable.emplace(Pte{task, page}, writable).second)
+            ++created;
+    }
+    return created;
+}
+
+void
+Iommu::unmapTask(TaskId task)
+{
+    std::erase_if(pageTable, [task](const auto &kv) {
+        return kv.first.task == task;
+    });
+    std::erase_if(iotlb,
+                  [task](const Pte &pte) { return pte.task == task; });
+}
+
+CheckResult
+Iommu::check(const MemRequest &req)
+{
+    _lastWalk = 0;
+    const std::uint64_t first = req.addr / pageSize;
+    const std::uint64_t last =
+        (req.addr + (req.size ? req.size - 1 : 0)) / pageSize;
+
+    for (std::uint64_t page = first; page <= last; ++page) {
+        const Pte key{req.task, page};
+        const bool in_tlb =
+            std::find(iotlb.begin(), iotlb.end(), key) != iotlb.end();
+        if (in_tlb) {
+            ++_tlbHits;
+        } else {
+            ++_tlbMisses;
+            _lastWalk += 4 * 30; // 4-level walk, DRAM latency each
+        }
+
+        const auto it = pageTable.find(key);
+        if (it == pageTable.end())
+            return CheckResult::deny("iommu: unmapped page");
+        if (req.cmd == MemCmd::write && !it->second)
+            return CheckResult::deny("iommu: read-only page");
+
+        if (!in_tlb) {
+            if (iotlb.size() >= tlbCapacity)
+                iotlb.erase(iotlb.begin());
+            iotlb.push_back(key);
+        }
+    }
+    return CheckResult::allow();
+}
+
+std::size_t
+Iommu::entriesUsed() const
+{
+    return pageTable.size();
+}
+
+SchemeProperties
+Iommu::properties() const
+{
+    SchemeProperties p;
+    p.name = "iommu";
+    p.spatialEnforcement = true;
+    p.granularityBytes = pageSize;
+    p.commonObjectRepresentation = false;
+    p.unforgeable = false;
+    p.scalable = "yes";
+    p.addressTranslation = "yes";
+    p.suitsMicrocontrollers = false;
+    p.suitsApplicationProcessors = true;
+    return p;
+}
+
+} // namespace capcheck::protect

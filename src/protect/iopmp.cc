@@ -1,0 +1,64 @@
+#include "protect/iopmp.hh"
+
+namespace capcheck::protect
+{
+
+Iopmp::Iopmp(unsigned num_regions) : limit(num_regions)
+{
+}
+
+std::optional<unsigned>
+Iopmp::addRegion(const Region &region)
+{
+    if (regions.size() >= limit)
+        return std::nullopt;
+    regions.push_back(region);
+    return static_cast<unsigned>(regions.size() - 1);
+}
+
+void
+Iopmp::removeTaskRegions(TaskId task)
+{
+    std::erase_if(regions,
+                  [task](const Region &r) { return r.task == task; });
+}
+
+CheckResult
+Iopmp::check(const MemRequest &req)
+{
+    for (const Region &r : regions) {
+        if (r.task != req.task)
+            continue;
+        if (req.addr >= r.base && req.addr + req.size <= r.base + r.size) {
+            const bool write = req.cmd == MemCmd::write;
+            if ((write && r.allowWrite) || (!write && r.allowRead))
+                return CheckResult::allow();
+            return CheckResult::deny("iopmp: permission violation");
+        }
+    }
+    return CheckResult::deny("iopmp: no matching region");
+}
+
+std::size_t
+Iopmp::entriesUsed() const
+{
+    return regions.size();
+}
+
+SchemeProperties
+Iopmp::properties() const
+{
+    SchemeProperties p;
+    p.name = "iopmp";
+    p.spatialEnforcement = true;
+    p.granularityBytes = 1;
+    p.commonObjectRepresentation = false;
+    p.unforgeable = false;
+    p.scalable = "no"; // associative comparators do not scale
+    p.addressTranslation = "no";
+    p.suitsMicrocontrollers = true;
+    p.suitsApplicationProcessors = false;
+    return p;
+}
+
+} // namespace capcheck::protect

@@ -1,0 +1,22 @@
+#include "protect/no_protection.hh"
+
+namespace capcheck::protect
+{
+
+SchemeProperties
+NoProtection::properties() const
+{
+    SchemeProperties p;
+    p.name = "none";
+    p.spatialEnforcement = false;
+    p.granularityBytes = 0;
+    p.commonObjectRepresentation = false;
+    p.unforgeable = false;
+    p.scalable = "yes";
+    p.addressTranslation = "no";
+    p.suitsMicrocontrollers = true;
+    p.suitsApplicationProcessors = true;
+    return p;
+}
+
+} // namespace capcheck::protect

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The "no method" baseline: every accelerator access reaches memory —
+ * the vanilla embedded-system configuration of Fig. 1(a).
+ */
+
+#ifndef CAPCHECK_PROTECT_NO_PROTECTION_HH
+#define CAPCHECK_PROTECT_NO_PROTECTION_HH
+
+#include "protect/checker.hh"
+
+namespace capcheck::protect
+{
+
+class NoProtection : public ProtectionChecker
+{
+  public:
+    CheckResult
+    check(const MemRequest &) override
+    {
+        return CheckResult::allow();
+    }
+
+    SchemeProperties properties() const override;
+
+    std::string
+    name() const override
+    {
+        return "none";
+    }
+};
+
+} // namespace capcheck::protect
+
+#endif // CAPCHECK_PROTECT_NO_PROTECTION_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Accelerator-specialized protection baseline in the style of sNPU
+ * (Feng et al., ISCA 2024): the interposer knows, per task, the union
+ * of memory regions that task may touch — task-granularity ("TA")
+ * protection with no per-object intent, and a protection scheme
+ * private to the accelerator (no common object representation with the
+ * CPU, hence forgeable from the CPU's perspective).
+ */
+
+#ifndef CAPCHECK_PROTECT_TASK_BOUND_HH
+#define CAPCHECK_PROTECT_TASK_BOUND_HH
+
+#include <vector>
+
+#include "protect/checker.hh"
+
+namespace capcheck::protect
+{
+
+class TaskBound : public ProtectionChecker
+{
+  public:
+    struct Region
+    {
+        TaskId task = invalidTaskId;
+        Addr base = 0;
+        std::uint64_t size = 0;
+    };
+
+    void
+    addRegion(TaskId task, Addr base, std::uint64_t size)
+    {
+        regions.push_back(Region{task, base, size});
+    }
+
+    void
+    removeTask(TaskId task)
+    {
+        std::erase_if(regions, [task](const Region &r) {
+            return r.task == task;
+        });
+    }
+
+    CheckResult
+    check(const MemRequest &req) override
+    {
+        for (const Region &r : regions) {
+            if (r.task == req.task && req.addr >= r.base &&
+                req.addr + req.size <= r.base + r.size)
+                return CheckResult::allow();
+        }
+        return CheckResult::deny("task-bound: outside task regions");
+    }
+
+    Cycles checkLatency() const override { return 1; }
+    std::size_t entriesUsed() const override { return regions.size(); }
+
+    SchemeProperties
+    properties() const override
+    {
+        SchemeProperties p;
+        p.name = name();
+        p.spatialEnforcement = true;
+        p.granularityBytes = 1;
+        p.commonObjectRepresentation = false;
+        p.unforgeable = false;
+        p.scalable = "no"; // tied to one accelerator architecture
+        p.addressTranslation = "no";
+        p.suitsMicrocontrollers = true;
+        p.suitsApplicationProcessors = false;
+        return p;
+    }
+
+    std::string
+    name() const override
+    {
+        return "snpu-like";
+    }
+
+  private:
+    std::vector<Region> regions;
+};
+
+} // namespace capcheck::protect
+
+#endif // CAPCHECK_PROTECT_TASK_BOUND_HH

@@ -1,0 +1,560 @@
+#include "security/attack.hh"
+
+#include <cstring>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace capcheck::security
+{
+
+namespace
+{
+
+constexpr TaskId attackerTask = 0;
+constexpr TaskId victimTask = 1;
+constexpr std::uint64_t pageSize = protect::Iommu::pageSize;
+
+} // namespace
+
+const char *
+schemeName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::none:
+        return "none";
+      case SchemeKind::iopmp:
+        return "iopmp";
+      case SchemeKind::iommu:
+        return "iommu";
+      case SchemeKind::snpu:
+        return "snpu";
+      case SchemeKind::capCoarse:
+        return "coarse";
+      case SchemeKind::capFine:
+        return "fine";
+    }
+    return "?";
+}
+
+const char *
+gradeSymbol(Grade grade)
+{
+    switch (grade) {
+      case Grade::none:
+        return "X";
+      case Grade::page:
+        return "PG";
+      case Grade::task:
+        return "TA";
+      case Grade::object:
+        return "OB";
+      case Grade::protectedFull:
+        return "ok";
+      case Grade::notApplicable:
+        return "NA";
+    }
+    return "?";
+}
+
+AttackLab::AttackLab(SchemeKind kind) : kind(kind), mem(1 << 20)
+{
+    build();
+}
+
+void
+AttackLab::build()
+{
+    // Layout: page P0 holds (bottom to top) a victim buffer, the
+    // attacker's two buffers, and another victim buffer; a granule
+    // inside attacker buffer B holds a CPU-stored capability. Page P1
+    // holds a victim buffer of its own. Having victims both below and
+    // above the attacker's pointers lets the under- and overflow
+    // scenarios probe in their natural directions.
+    bufSize = 256;
+    const Addr p0 = 0x10000;
+    const Addr p1 = p0 + pageSize;
+    victimLow = p0 + 0x080;
+    bufB = p0 + 0x200;
+    bufA = p0 + 0x300;
+    capSlot = bufB + 0xf0; // last granule of B
+    victimSamePage = p0 + 0x800;
+    victimOtherPage = p1;
+
+    // A victim-task capability (a pointer to its private buffer) lives
+    // in shared memory where the attacker's buffer B overlaps it —
+    // e.g. a pointer table the CPU shares with the device.
+    const cheri::Capability victim_ptr =
+        cheri::Capability::root()
+            .setBounds(victimOtherPage, bufSize)
+            .andPerms(cheri::permDataRW);
+    mem.writeCap(capSlot, victim_ptr);
+
+    switch (kind) {
+      case SchemeKind::none:
+        noProt = std::make_unique<protect::NoProtection>();
+        activeChecker = noProt.get();
+        break;
+      case SchemeKind::iopmp:
+        iopmp = std::make_unique<protect::Iopmp>(16);
+        iopmp->addRegion({attackerTask, bufA, bufSize, true, true});
+        iopmp->addRegion({attackerTask, bufB, bufSize, true, true});
+        iopmp->addRegion({victimTask, victimLow, bufSize, true, true});
+        iopmp->addRegion({victimTask, victimSamePage, bufSize, true,
+                          true});
+        iopmp->addRegion({victimTask, victimOtherPage, bufSize, true,
+                          true});
+        activeChecker = iopmp.get();
+        break;
+      case SchemeKind::iommu:
+        iommu = std::make_unique<protect::Iommu>();
+        // The attacker's buffers live in P0, so P0 is mapped for it —
+        // along with everything else that happens to share the page.
+        iommu->mapRange(attackerTask, bufA, bufSize, true);
+        iommu->mapRange(attackerTask, bufB, bufSize, true);
+        iommu->mapRange(victimTask, victimLow, bufSize, true);
+        iommu->mapRange(victimTask, victimSamePage, bufSize, true);
+        iommu->mapRange(victimTask, victimOtherPage, bufSize, true);
+        activeChecker = iommu.get();
+        break;
+      case SchemeKind::snpu:
+        snpu = std::make_unique<protect::TaskBound>();
+        snpu->addRegion(attackerTask, bufA, bufSize);
+        snpu->addRegion(attackerTask, bufB, bufSize);
+        snpu->addRegion(victimTask, victimLow, bufSize);
+        snpu->addRegion(victimTask, victimSamePage, bufSize);
+        snpu->addRegion(victimTask, victimOtherPage, bufSize);
+        activeChecker = snpu.get();
+        break;
+      case SchemeKind::capCoarse:
+      case SchemeKind::capFine: {
+        capchecker::CapChecker::Params params;
+        params.provenance = kind == SchemeKind::capFine
+                                ? capchecker::Provenance::fine
+                                : capchecker::Provenance::coarse;
+        capChecker = std::make_unique<capchecker::CapChecker>(params);
+        const cheri::Capability root = cheri::Capability::root();
+        capChecker->installCapability(
+            attackerTask, 0,
+            root.setBounds(bufA, bufSize)
+                .andPerms(cheri::permDataRW));
+        capChecker->installCapability(
+            attackerTask, 1,
+            root.setBounds(bufB, bufSize)
+                .andPerms(cheri::permDataRW));
+        capChecker->installCapability(
+            victimTask, 0,
+            root.setBounds(victimSamePage, bufSize)
+                .andPerms(cheri::permDataRW));
+        capChecker->installCapability(
+            victimTask, 1,
+            root.setBounds(victimOtherPage, bufSize)
+                .andPerms(cheri::permDataRW));
+        capChecker->installCapability(
+            victimTask, 2,
+            root.setBounds(victimLow, bufSize)
+                .andPerms(cheri::permDataRW));
+        activeChecker = capChecker.get();
+        break;
+      }
+    }
+}
+
+bool
+AttackLab::tryAccess(TaskId task, ObjectId intended_obj, Addr phys,
+                     MemCmd cmd, std::uint32_t size, const void *data)
+{
+    MemRequest req;
+    req.cmd = cmd;
+    req.size = size;
+    req.srcPort = task; // source id on the interconnect == task here
+    req.task = task;
+
+    if (kind == SchemeKind::capCoarse) {
+        // The address is data: the attacker controls all 64 bits,
+        // including the object-ID top bits.
+        req.addr =
+            (Addr{intended_obj} << capchecker::CapChecker::coarseAddrBits) |
+            phys;
+        req.object = invalidObjectId;
+    } else if (kind == SchemeKind::capFine) {
+        // Object provenance is hardware metadata: the attacker can
+        // pick addresses, not which port/object the access uses.
+        req.addr = phys;
+        req.object = intended_obj;
+    } else {
+        req.addr = phys;
+        req.object = intended_obj;
+    }
+
+    const protect::CheckResult verdict = activeChecker->check(req);
+    if (!verdict.allowed)
+        return false;
+
+    // Perform the functional effect with the scheme's tag discipline.
+    if (cmd == MemCmd::write && data) {
+        if (activeChecker->clearsTagsOnWrite())
+            mem.write(phys, data, size);
+        else
+            mem.writeRawDma(phys, data, size);
+    }
+    return true;
+}
+
+Grade
+AttackLab::gradeFromReach(bool sibling, bool same_page_victim,
+                          bool other_page_victim) const
+{
+    if (other_page_victim)
+        return Grade::none;
+    if (same_page_victim)
+        return Grade::page;
+    if (sibling)
+        return Grade::task;
+    return Grade::object;
+}
+
+AttackOutcome
+AttackLab::bufferOverflow()
+{
+    // The accelerator indexes buffer A with an attacker-controlled
+    // 64-bit index: addr = &A[idx]. Any target is expressible as an
+    // index, including (in Coarse mode) values whose scaled offset
+    // carries into the object-ID bits.
+    const std::uint64_t payload = 0x4141414141414141ull;
+    auto probe_rw = [&](Addr target) {
+        // Coarse object bits follow the arithmetic: the attacker can
+        // aim at any object id of its own task.
+        ObjectId carried_obj = 0;
+        if (kind == SchemeKind::capCoarse) {
+            // idx chosen so (A.base + idx) mod 2^56 == target and the
+            // top bits select the sibling object when profitable.
+            if (target >= bufB && target < bufB + bufSize)
+                carried_obj = 1;
+        }
+        const bool read_ok =
+            tryAccess(attackerTask, carried_obj, target, MemCmd::read,
+                      8);
+        const bool write_ok =
+            tryAccess(attackerTask, carried_obj, target, MemCmd::write,
+                      8, &payload);
+        return read_ok || write_ok;
+    };
+
+    AttackOutcome outcome;
+    const bool in_bounds = probe_rw(bufA + 8);
+    const bool sibling = probe_rw(bufB + 8);
+    const bool same_page = probe_rw(victimSamePage + 8);
+    const bool other_page = probe_rw(victimOtherPage + 8);
+    outcome.probes = {
+        {"own buffer (sanity)", in_bounds},
+        {"same-task sibling buffer", sibling},
+        {"victim buffer, shared page", same_page},
+        {"victim buffer, private page", other_page},
+    };
+    if (!in_bounds) {
+        outcome.grade = Grade::notApplicable;
+        outcome.note = "scheme broke legitimate accesses";
+        return outcome;
+    }
+    outcome.grade = gradeFromReach(sibling, same_page, other_page);
+    return outcome;
+}
+
+AttackOutcome
+AttackLab::untrustedPointer()
+{
+    // The accelerator dereferences a pointer taken verbatim from
+    // untrusted input: all 64 bits are attacker data. In Fine mode the
+    // object binding is hardware port metadata the attacker cannot
+    // choose — the dereference site is bound to object 0.
+    auto probe = [&](Addr target, ObjectId coarse_obj) {
+        const ObjectId obj =
+            kind == SchemeKind::capFine ? 0 : coarse_obj;
+        return tryAccess(attackerTask, obj, target, MemCmd::read, 8);
+    };
+
+    AttackOutcome outcome;
+    const bool sibling = probe(bufB + 16, 1);
+    const bool same_page = probe(victimSamePage + 16, 1);
+    const bool other_page = probe(victimOtherPage + 16, 1);
+    const bool os_memory = probe(0x1000, 2); // outside any buffer
+    outcome.probes = {
+        {"same-task sibling buffer", sibling},
+        {"victim buffer, shared page", same_page},
+        {"victim buffer, private page", other_page},
+        {"OS memory", os_memory},
+    };
+    outcome.grade =
+        os_memory ? Grade::none
+                  : gradeFromReach(sibling, same_page, other_page);
+    return outcome;
+}
+
+AttackOutcome
+AttackLab::bufferUnderflow()
+{
+    // Negative offsets from the attacker's A pointer: first the
+    // sibling buffer B just below it, then the victim buffer at the
+    // bottom of the shared page, then below the page entirely.
+    const std::uint64_t payload = 0x4242424242424242ull;
+    auto probe = [&](Addr target, ObjectId coarse_obj) {
+        const ObjectId obj =
+            kind == SchemeKind::capFine ? 0 : coarse_obj;
+        const bool read_ok =
+            tryAccess(attackerTask, obj, target, MemCmd::read, 8);
+        const bool write_ok = tryAccess(attackerTask, obj, target,
+                                        MemCmd::write, 8, &payload);
+        return read_ok || write_ok;
+    };
+
+    AttackOutcome outcome;
+    const bool in_bounds = probe(bufA + 8, 0);
+    const bool sibling = probe(bufB + 8, 1); // B sits below A
+    const bool same_page_victim = probe(victimLow + 8, 1);
+    const bool below_page = probe(0xf008, 2); // page below P0
+    outcome.probes = {
+        {"own buffer (sanity)", in_bounds},
+        {"sibling buffer below", sibling},
+        {"victim buffer at page bottom", same_page_victim},
+        {"below the attacker's page", below_page},
+    };
+    if (!in_bounds) {
+        outcome.grade = Grade::notApplicable;
+        return outcome;
+    }
+    outcome.grade =
+        gradeFromReach(sibling, same_page_victim, below_page);
+    return outcome;
+}
+
+AttackOutcome
+AttackLab::writeWhatWhere()
+{
+    // Attacker-chosen value to attacker-chosen address; verify the
+    // functional effect where the scheme lets the write through.
+    const std::uint64_t what = 0xd00df00dcafef00dull;
+    auto probe = [&](Addr where, ObjectId coarse_obj) {
+        const ObjectId obj =
+            kind == SchemeKind::capFine ? 0 : coarse_obj;
+        const std::uint64_t before =
+            mem.readValue<std::uint64_t>(where);
+        const bool allowed = tryAccess(attackerTask, obj, where,
+                                       MemCmd::write, 8, &what);
+        const std::uint64_t after = mem.readValue<std::uint64_t>(where);
+        // A granted write must actually land; a denied one must leave
+        // memory untouched. Either failure is a lab bug.
+        if (allowed && after != what)
+            panic("write-what-where: granted write did not land");
+        if (!allowed && after != before)
+            panic("write-what-where: denied write mutated memory");
+        return allowed;
+    };
+
+    AttackOutcome outcome;
+    const bool sibling = probe(bufB + 0x20, 1);
+    const bool same_page_victim = probe(victimSamePage + 0x20, 1);
+    const bool other_page_victim = probe(victimOtherPage + 0x20, 2);
+    outcome.probes = {
+        {"write into sibling buffer", sibling},
+        {"write into same-page victim", same_page_victim},
+        {"write into other-page victim", other_page_victim},
+    };
+    outcome.grade = gradeFromReach(sibling, same_page_victim,
+                                   other_page_victim);
+    return outcome;
+}
+
+AttackOutcome
+AttackLab::indexValidation()
+{
+    // addr = &A[idx] with a 32-bit index taken from input data and
+    // scaled by the element size: idx*4 spans +-8 GiB around A, so
+    // any in-memory target is expressible (including, in Coarse mode,
+    // carries into the object-id bits once idx exceeds 2^54).
+    auto probe = [&](Addr target, ObjectId coarse_obj) {
+        const std::int64_t idx =
+            (static_cast<std::int64_t>(target) -
+             static_cast<std::int64_t>(bufA)) /
+            4;
+        const Addr addr =
+            bufA + static_cast<std::uint64_t>(idx) * 4;
+        const ObjectId obj =
+            kind == SchemeKind::capFine ? 0 : coarse_obj;
+        return tryAccess(attackerTask, obj, addr, MemCmd::read, 4);
+    };
+
+    AttackOutcome outcome;
+    const bool sibling = probe(bufB + 16, 1);
+    const bool same_page_victim = probe(victimSamePage + 16, 1);
+    const bool other_page_victim = probe(victimOtherPage + 16, 2);
+    outcome.probes = {
+        {"index reaches sibling buffer", sibling},
+        {"index reaches same-page victim", same_page_victim},
+        {"index reaches other-page victim", other_page_victim},
+    };
+    outcome.grade = gradeFromReach(sibling, same_page_victim,
+                                   other_page_victim);
+    return outcome;
+}
+
+AttackOutcome
+AttackLab::integerOverflow()
+{
+    // The classic 680 chain: a 32-bit size computation (count *
+    // element_size) wraps to a small value, the bounds check against
+    // the wrapped size passes, but the access loop uses the unwrapped
+    // count — producing offsets far beyond the buffer.
+    const std::uint32_t count = 0x40000001u; // *4 wraps to 4
+    const std::uint32_t wrapped = count * 4u; // = 4: "fits"
+    AttackOutcome outcome;
+    if (wrapped > bufSize) {
+        outcome.grade = Grade::notApplicable;
+        return outcome;
+    }
+
+    // The loop's 64-bit effective offsets walk out of the buffer; use
+    // representative iterations that land on our probe targets.
+    auto probe = [&](Addr target, ObjectId coarse_obj) {
+        const ObjectId obj =
+            kind == SchemeKind::capFine ? 0 : coarse_obj;
+        return tryAccess(attackerTask, obj, target, MemCmd::write, 4,
+                         &wrapped);
+    };
+    const bool sibling = probe(bufB + 8, 1);
+    const bool same_page_victim = probe(victimSamePage + 8, 1);
+    const bool other_page_victim = probe(victimOtherPage + 8, 2);
+    outcome.probes = {
+        {"wrapped-size write reaches sibling", sibling},
+        {"wrapped-size write reaches same-page victim",
+         same_page_victim},
+        {"wrapped-size write reaches other-page victim",
+         other_page_victim},
+    };
+    outcome.grade = gradeFromReach(sibling, same_page_victim,
+                                   other_page_victim);
+    return outcome;
+}
+
+AttackOutcome
+AttackLab::incorrectLength()
+{
+    // memcpy(dst=A, src, len) where len is the *source's* size: a
+    // contiguous run from A's base of attacker-chosen length. The
+    // worst case (matching the paper's single worst-case grade per
+    // row) lets the attacker also steer the scaled cursor, so Coarse's
+    // object-id bits are in play once the run is long enough.
+    auto sweep_reaches = [&](Addr target,
+                             ObjectId coarse_obj) -> bool {
+        // Does a contiguous run from A of length (target - A + 8)
+        // get its final beat granted?
+        const ObjectId obj =
+            kind == SchemeKind::capFine ? 0 : coarse_obj;
+        return tryAccess(attackerTask, obj, target, MemCmd::read, 8);
+    };
+
+    AttackOutcome outcome;
+    const bool sibling = sweep_reaches(bufB + bufSize - 8, 1);
+    const bool same_page_victim =
+        sweep_reaches(victimSamePage + bufSize - 8, 1);
+    const bool other_page_victim =
+        sweep_reaches(victimOtherPage + 8, 2);
+    outcome.probes = {
+        {"run covers sibling buffer", sibling},
+        {"run covers same-page victim", same_page_victim},
+        {"run covers other-page victim", other_page_victim},
+    };
+    outcome.grade = gradeFromReach(sibling, same_page_victim,
+                                   other_page_victim);
+    return outcome;
+}
+
+AttackOutcome
+AttackLab::capabilityForging()
+{
+    // Craft the 16-byte image of an almighty capability and write it
+    // over the victim pointer stored in attacker-writable memory.
+    std::uint64_t pesbt;
+    std::uint64_t cursor;
+    cheri::Capability::root().compress(pesbt, cursor);
+    std::uint8_t image[16];
+    std::memcpy(image, &cursor, 8);
+    std::memcpy(image + 8, &pesbt, 8);
+
+    // In every mode, the slot is inside attacker buffer B, so the
+    // write itself is legitimate for B's owner.
+    const bool wrote = tryAccess(attackerTask, 1, capSlot, MemCmd::write,
+                                 16, image);
+
+    // The CPU later loads the capability and dereferences it.
+    const cheri::Capability loaded = mem.readCap(capSlot);
+    const bool forged = wrote && loaded.tag() &&
+                        loaded.length() > 4096; // bounds grew
+
+    AttackOutcome outcome;
+    outcome.probes = {
+        {"overwrite stored capability bytes", wrote},
+        {"CPU still observes a tagged capability", loaded.tag()},
+        {"capability now grants attacker-chosen bounds", forged},
+    };
+    outcome.grade = forged ? Grade::none : Grade::protectedFull;
+    outcome.note = forged
+                       ? "tag survived a device write: forgery succeeded"
+                       : (wrote ? "write landed but the tag was cleared"
+                                : "write was blocked outright");
+    return outcome;
+}
+
+AttackOutcome
+AttackLab::useAfterFree()
+{
+    // The driver tears the attacker task down (eviction/unmap), then
+    // the device tries to keep using its old buffer.
+    switch (kind) {
+      case SchemeKind::none:
+        break;
+      case SchemeKind::iopmp:
+        iopmp->removeTaskRegions(attackerTask);
+        break;
+      case SchemeKind::iommu:
+        iommu->unmapTask(attackerTask);
+        break;
+      case SchemeKind::snpu:
+        snpu->removeTask(attackerTask);
+        break;
+      case SchemeKind::capCoarse:
+      case SchemeKind::capFine:
+        capChecker->evictTask(attackerTask);
+        break;
+    }
+
+    const bool reached =
+        tryAccess(attackerTask, 0, bufA + 8, MemCmd::read, 8);
+    AttackOutcome outcome;
+    outcome.probes = {{"DMA to freed buffer", reached}};
+    outcome.grade = reached ? Grade::none : Grade::protectedFull;
+
+    // Restore the environment for subsequent scenarios.
+    build();
+    return outcome;
+}
+
+AttackOutcome
+AttackLab::fixedAddressPointer()
+{
+    // CWE 587/824: the device dereferences a hard-coded / uninitialized
+    // pointer (zero page or an arbitrary constant).
+    const bool zero = tryAccess(attackerTask, 0, 0x0, MemCmd::read, 8);
+    const bool constant =
+        tryAccess(attackerTask, 0, 0xdead0, MemCmd::read, 8);
+    AttackOutcome outcome;
+    outcome.probes = {
+        {"dereference address 0", zero},
+        {"dereference arbitrary constant", constant},
+    };
+    outcome.grade = (zero || constant) ? Grade::none
+                                       : Grade::protectedFull;
+    return outcome;
+}
+
+} // namespace capcheck::security

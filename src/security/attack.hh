@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Executable attack scenarios for the security analysis of Table 3 and
+ * the Fig. 2 motivating example. An AttackLab instantiates a two-task
+ * environment (an attacker task with two buffers, a victim task with a
+ * buffer in the attacker's page and one in a private page, and a CPU
+ * capability stored in shared memory), configures one protection
+ * scheme, and launches attacks as real memory requests. Outcomes are
+ * graded by what the attacker could actually reach.
+ */
+
+#ifndef CAPCHECK_SECURITY_ATTACK_HH
+#define CAPCHECK_SECURITY_ATTACK_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capchecker/capchecker.hh"
+#include "mem/tagged_memory.hh"
+#include "protect/iommu.hh"
+#include "protect/iopmp.hh"
+#include "protect/no_protection.hh"
+#include "protect/task_bound.hh"
+
+namespace capcheck::security
+{
+
+/** The compared schemes, in Table 3 column order. */
+enum class SchemeKind
+{
+    none,
+    iopmp,
+    iommu,
+    snpu,
+    capCoarse,
+    capFine,
+};
+
+inline constexpr std::array<SchemeKind, 6> allSchemes = {
+    SchemeKind::none,   SchemeKind::iopmp,     SchemeKind::iommu,
+    SchemeKind::snpu,   SchemeKind::capCoarse, SchemeKind::capFine,
+};
+
+const char *schemeName(SchemeKind kind);
+
+/** Protection grade of an outcome (Table 3 cell). */
+enum class Grade
+{
+    none,          ///< X  — attack unrestricted
+    page,          ///< PG — contained only at page granularity
+    task,          ///< TA — contained at task granularity
+    object,        ///< OB — contained at object granularity
+    protectedFull, ///< check-mark — attack defeated outright
+    notApplicable, ///< NA
+};
+
+const char *gradeSymbol(Grade grade);
+
+struct Probe
+{
+    std::string name;
+    bool allowed = false;
+};
+
+struct AttackOutcome
+{
+    Grade grade = Grade::none;
+    std::vector<Probe> probes;
+    std::string note;
+};
+
+class AttackLab
+{
+  public:
+    explicit AttackLab(SchemeKind kind);
+
+    SchemeKind scheme() const { return kind; }
+    protect::ProtectionChecker &checker() { return *activeChecker; }
+
+    /**
+     * Group (a) core rows (119/120/122/125/126/131/466/788): out-of-
+     * bounds access through a buffer pointer with an attacker-
+     * controlled 64-bit index — probes the same-task sibling buffer, a
+     * victim buffer sharing the page, and a victim buffer in another
+     * page, for both reads and writes.
+     */
+    AttackOutcome bufferOverflow();
+
+    /**
+     * CWE 124/127/786: buffer under-write/under-read — negative
+     * offsets from the attacker's pointer, reaching the sibling buffer
+     * and a victim buffer placed *below* it in the same page.
+     */
+    AttackOutcome bufferUnderflow();
+
+    /**
+     * CWE 123/787: write-what-where — an attacker-chosen value written
+     * to an attacker-chosen address; where allowed, the write's
+     * functional effect is verified to have landed.
+     */
+    AttackOutcome writeWhatWhere();
+
+    /**
+     * CWE 129: unvalidated array index, scaled by the element size
+     * (addr = base + idx * 4 with idx from input data).
+     */
+    AttackOutcome indexValidation();
+
+    /**
+     * CWE 680: integer overflow to buffer overflow — a 32-bit length
+     * product wraps, the resulting "small" allocation is then indexed
+     * with the unwrapped bound.
+     */
+    AttackOutcome integerOverflow();
+
+    /**
+     * CWE 805/806: buffer access with an incorrect length (e.g. the
+     * source buffer's size used on the destination): a contiguous run
+     * from the buffer start with attacker-chosen length.
+     */
+    AttackOutcome incorrectLength();
+
+    /**
+     * CWE 822/823: the accelerator dereferences a fully attacker-
+     * controlled pointer value (any 64 bits, including Coarse-mode
+     * object-ID top bits).
+     */
+    AttackOutcome untrustedPointer();
+
+    /**
+     * The Fig. 2 forging attack: overwrite a valid CPU capability
+     * stored in a buffer the accelerator may write, then see whether
+     * the CPU would still observe a *tagged* capability with attacker-
+     * chosen bounds.
+     */
+    AttackOutcome capabilityForging();
+
+    /** CWE 416: DMA into buffers of a task already deallocated. */
+    AttackOutcome useAfterFree();
+
+    /** CWE 587/824: dereference of a fixed/uninitialized address. */
+    AttackOutcome fixedAddressPointer();
+
+  private:
+    /** Issue one attacker request through the active scheme. */
+    bool tryAccess(TaskId task, ObjectId intended_obj, Addr phys,
+                   MemCmd cmd, std::uint32_t size,
+                   const void *data = nullptr);
+
+    Grade gradeFromReach(bool sibling, bool same_page_victim,
+                         bool other_page_victim) const;
+
+    void build();
+
+    SchemeKind kind;
+    TaggedMemory mem;
+
+    std::unique_ptr<protect::NoProtection> noProt;
+    std::unique_ptr<protect::Iopmp> iopmp;
+    std::unique_ptr<protect::Iommu> iommu;
+    std::unique_ptr<protect::TaskBound> snpu;
+    std::unique_ptr<capchecker::CapChecker> capChecker;
+    protect::ProtectionChecker *activeChecker = nullptr;
+
+    // Layout (see attack.cc).
+    Addr victimLow = 0;  ///< victim buffer below the attacker's, page P0
+    Addr bufB = 0;       ///< attacker buffer (holds the stored cap)
+    Addr bufA = 0;       ///< attacker buffer the pointers derive from
+    Addr capSlot = 0;
+    Addr victimSamePage = 0;  ///< victim buffer above, page P0
+    Addr victimOtherPage = 0; ///< victim buffer, private page P1
+    std::uint64_t bufSize = 0;
+};
+
+} // namespace capcheck::security
+
+#endif // CAPCHECK_SECURITY_ATTACK_HH

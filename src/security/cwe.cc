@@ -1,0 +1,99 @@
+#include "security/cwe.hh"
+
+namespace capcheck::security
+{
+
+const char *
+cweGroupName(CweGroup group)
+{
+    switch (group) {
+      case CweGroup::a:
+        return "a";
+      case CweGroup::b:
+        return "b";
+      case CweGroup::c:
+        return "c";
+      case CweGroup::d:
+        return "d";
+      case CweGroup::e:
+        return "e";
+      case CweGroup::f:
+        return "f";
+    }
+    return "?";
+}
+
+const std::vector<CweEntry> &
+cweCatalog()
+{
+    static const std::vector<CweEntry> catalog = {
+        // Group (a): buffer over-reads / overwrites.
+        {119, "Improper Restriction of Operations within Buffer Bounds",
+         CweGroup::a},
+        {120, "Classic Buffer Overflow", CweGroup::a},
+        {122, "Heap-based Buffer Overflow", CweGroup::a},
+        {123, "Write-what-where Condition", CweGroup::a},
+        {124, "Buffer Underwrite", CweGroup::a},
+        {125, "Out-of-bounds Read", CweGroup::a},
+        {126, "Buffer Over-read", CweGroup::a},
+        {127, "Buffer Under-read", CweGroup::a},
+        {129, "Improper Validation of Array Index", CweGroup::a},
+        {131, "Incorrect Calculation of Buffer Size", CweGroup::a},
+        {466, "Return of Pointer Value Outside of Expected Range",
+         CweGroup::a},
+        {680, "Integer Overflow to Buffer Overflow", CweGroup::a},
+        {786, "Access of Memory Location Before Start of Buffer",
+         CweGroup::a},
+        {787, "Out-of-bounds Write", CweGroup::a},
+        {788, "Access of Memory Location After End of Buffer",
+         CweGroup::a},
+        {805, "Buffer Access with Incorrect Length Value", CweGroup::a},
+        {806, "Buffer Access Using Size of Source Buffer", CweGroup::a},
+        {761, "Free of Pointer not at Start of Buffer", CweGroup::a},
+        {822, "Untrusted Pointer Dereference", CweGroup::a},
+        {823, "Use of Out-of-range Pointer Offset", CweGroup::a},
+
+        // Group (b): protected by all schemes.
+        {416, "Use After Free", CweGroup::b},
+        {587, "Assignment of a Fixed Address to a Pointer", CweGroup::b},
+        {824, "Access of Uninitialized Pointer", CweGroup::b},
+
+        // Group (c): temporal, handled by the trusted driver.
+        {244, "Improper Clearing of Heap Memory Before Release",
+         CweGroup::c},
+        {415, "Double Free", CweGroup::c},
+        {590, "Free of Memory not on the Heap", CweGroup::c},
+        {690, "Unchecked Return Value to NULL Pointer Dereference",
+         CweGroup::c},
+        {763, "Release of Invalid Pointer or Reference", CweGroup::c},
+
+        // Group (d): stack memory — accelerator-internal.
+        {121, "Stack-based Buffer Overflow", CweGroup::d},
+        {562, "Return of Stack Variable Address", CweGroup::d},
+        {789, "Memory Allocation with Excessive Size Value",
+         CweGroup::d},
+
+        // Group (e): environment-specific.
+        {134, "Use of Externally-Controlled Format String", CweGroup::e},
+        {762, "Mismatched Memory Management Routines", CweGroup::e},
+
+        // Group (f): unprotected by all compared methods.
+        {188, "Reliance on Data/Memory Layout", CweGroup::f},
+        {198, "Use of Incorrect Byte Ordering", CweGroup::f},
+        {401, "Missing Release of Memory (Memory Leak)", CweGroup::f},
+        {825, "Expired Pointer Dereference", CweGroup::f},
+    };
+    return catalog;
+}
+
+const CweEntry *
+findCwe(unsigned id)
+{
+    for (const CweEntry &entry : cweCatalog()) {
+        if (entry.id == id)
+            return &entry;
+    }
+    return nullptr;
+}
+
+} // namespace capcheck::security

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The Common Weakness Enumeration entries of the paper's Table 3,
+ * organized into the paper's six groups (a)-(f) by how heterogeneous
+ * accelerator systems treat them.
+ */
+
+#ifndef CAPCHECK_SECURITY_CWE_HH
+#define CAPCHECK_SECURITY_CWE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capcheck::security
+{
+
+/** The paper's row groups. */
+enum class CweGroup
+{
+    a, ///< spatial violations, protected at differing granularity
+    b, ///< protected by all schemes (with trusted-driver lifecycle)
+    c, ///< temporal issues handled by the trusted driver
+    d, ///< stack memory: not applicable (accelerator-internal state)
+    e, ///< environment-specific: not applicable
+    f, ///< unprotected by all compared methods
+};
+
+const char *cweGroupName(CweGroup group);
+
+struct CweEntry
+{
+    unsigned id;
+    std::string name;
+    CweGroup group;
+};
+
+/** All Table 3 entries, in the paper's order. */
+const std::vector<CweEntry> &cweCatalog();
+
+/** Look up an entry by CWE id; nullptr if not in the table. */
+const CweEntry *findCwe(unsigned id);
+
+} // namespace capcheck::security
+
+#endif // CAPCHECK_SECURITY_CWE_HH

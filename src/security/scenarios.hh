@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Assembles the full Table 3 matrix: every CWE row of the paper's
+ * security analysis against every scheme column. Group (a) and (b)
+ * cells are produced by *executing* the attack scenarios in AttackLab;
+ * groups (c)-(f) are analytical (they concern driver software
+ * properties or are out of scope for all schemes, as in the paper).
+ */
+
+#ifndef CAPCHECK_SECURITY_SCENARIOS_HH
+#define CAPCHECK_SECURITY_SCENARIOS_HH
+
+#include <array>
+#include <vector>
+
+#include "security/attack.hh"
+#include "security/cwe.hh"
+
+namespace capcheck::security
+{
+
+struct Table3Cell
+{
+    Grade grade = Grade::notApplicable;
+    bool executed = false; ///< produced by a live attack (vs analysis)
+};
+
+struct Table3Row
+{
+    CweEntry entry;
+    std::array<Table3Cell, allSchemes.size()> cells;
+};
+
+/** Build the whole matrix (runs all executable attacks). */
+std::vector<Table3Row> buildTable3();
+
+/** The Fig. 2 end-to-end forging demo against one scheme. */
+AttackOutcome runForgingDemo(SchemeKind kind);
+
+} // namespace capcheck::security
+
+#endif // CAPCHECK_SECURITY_SCENARIOS_HH

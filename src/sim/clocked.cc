@@ -1,0 +1,51 @@
+#include "sim/clocked.hh"
+
+namespace capcheck
+{
+
+SimObject::SimObject(EventQueue &eq, std::string name,
+                     stats::StatGroup *parent_stats)
+    : eq(eq), _name(std::move(name)), stats(_name, parent_stats)
+{
+}
+
+TickingObject::TickingObject(EventQueue &eq, std::string name,
+                             stats::StatGroup *parent_stats,
+                             int tick_priority)
+    : SimObject(eq, std::move(name), parent_stats),
+      tickEvent(*this, tick_priority)
+{
+}
+
+TickingObject::~TickingObject()
+{
+    if (tickEvent.scheduled())
+        eq.deschedule(&tickEvent);
+}
+
+void
+TickingObject::activate(Cycles delta)
+{
+    const Cycles when = eq.curCycle() + delta;
+    if (tickEvent.scheduled()) {
+        if (tickEvent.when() <= when)
+            return;
+        eq.deschedule(&tickEvent);
+    }
+    eq.schedule(&tickEvent, when);
+}
+
+void
+TickingObject::TickEvent::process()
+{
+    if (owner.tick())
+        owner.activate(1);
+}
+
+std::string
+TickingObject::TickEvent::description() const
+{
+    return "tick:" + owner.name();
+}
+
+} // namespace capcheck

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Self-scheduling clocked components. A TickingObject owns a tick event;
+ * it runs once per cycle while active and deschedules itself when idle,
+ * so the event queue can skip dead time.
+ */
+
+#ifndef CAPCHECK_SIM_CLOCKED_HH
+#define CAPCHECK_SIM_CLOCKED_HH
+
+#include <string>
+
+#include "base/stats.hh"
+#include "sim/eventq.hh"
+
+namespace capcheck
+{
+
+/**
+ * Base class for named simulated objects; owns a stats group nested under
+ * its parent's.
+ */
+class SimObject
+{
+  public:
+    SimObject(EventQueue &eq, std::string name,
+              stats::StatGroup *parent_stats);
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    EventQueue &eventq() { return eq; }
+    Cycles curCycle() const { return eq.curCycle(); }
+    stats::StatGroup &statGroup() { return stats; }
+
+  protected:
+    EventQueue &eq;
+
+  private:
+    std::string _name;
+
+  protected:
+    stats::StatGroup stats;
+};
+
+/**
+ * A SimObject evaluated once per cycle while it has work to do.
+ */
+class TickingObject : public SimObject
+{
+  public:
+    TickingObject(EventQueue &eq, std::string name,
+                  stats::StatGroup *parent_stats,
+                  int tick_priority = Event::defaultPrio);
+    ~TickingObject() override;
+
+    /**
+     * Per-cycle evaluation.
+     * @return true to tick again next cycle, false to go idle.
+     */
+    virtual bool tick() = 0;
+
+    /** Ensure the object ticks on cycle curCycle() + @p delta. */
+    void activate(Cycles delta = 1);
+
+    bool active() const { return tickEvent.scheduled(); }
+
+  private:
+    class TickEvent : public Event
+    {
+      public:
+        TickEvent(TickingObject &owner, int priority)
+            : Event(priority), owner(owner)
+        {
+        }
+
+        void process() override;
+        std::string description() const override;
+
+      private:
+        TickingObject &owner;
+    };
+
+    TickEvent tickEvent;
+};
+
+} // namespace capcheck
+
+#endif // CAPCHECK_SIM_CLOCKED_HH

@@ -1,0 +1,96 @@
+#include "sim/eventq.hh"
+
+#include "base/logging.hh"
+
+namespace capcheck
+{
+
+Event::~Event()
+{
+    // The owner must deschedule before destruction; the queue holds raw
+    // pointers. Destroying a scheduled event is an ownership bug.
+    if (_scheduled)
+        warn("event destroyed while scheduled: %s", description().c_str());
+}
+
+void
+EventQueue::schedule(Event *event, Cycles when)
+{
+    if (event->_scheduled)
+        panic("scheduling already-scheduled event: %s",
+              event->description().c_str());
+    if (when < _curCycle)
+        panic("scheduling event in the past (%llu < %llu): %s",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_curCycle),
+              event->description().c_str());
+
+    event->_when = when;
+    event->_sequence = nextSequence++;
+    event->_scheduled = true;
+    heap.push(Entry{when, event->priority(), event->_sequence, event});
+    ++live;
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    if (!event->_scheduled)
+        panic("descheduling non-scheduled event: %s",
+              event->description().c_str());
+    // Lazy deletion: mark unscheduled; the heap entry is dropped when
+    // popped (matched via the sequence number).
+    event->_scheduled = false;
+    --live;
+}
+
+void
+EventQueue::reschedule(Event *event, Cycles when)
+{
+    if (event->_scheduled)
+        deschedule(event);
+    schedule(event, when);
+}
+
+void
+EventQueue::serviceOne()
+{
+    const Entry entry = heap.top();
+    heap.pop();
+
+    Event *event = entry.event;
+    // Skip stale entries left behind by deschedule()/reschedule().
+    if (!event->_scheduled || event->_sequence != entry.sequence)
+        return;
+
+    _curCycle = entry.when;
+    event->_scheduled = false;
+    --live;
+    event->process();
+}
+
+Cycles
+EventQueue::run(Cycles limit)
+{
+    while (!heap.empty()) {
+        if (heap.top().when > limit) {
+            // Drop nothing; the caller may resume later.
+            _curCycle = limit;
+            return _curCycle;
+        }
+        serviceOne();
+    }
+    return _curCycle;
+}
+
+void
+EventQueue::step()
+{
+    if (heap.empty())
+        return;
+    const Cycles cycle = heap.top().when;
+    while (!heap.empty() && heap.top().when == cycle)
+        serviceOne();
+}
+
+} // namespace capcheck

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Discrete-event simulation kernel. Time is measured in clock cycles of
+ * the single system clock domain (the paper's prototype runs the CPU,
+ * interconnect, CapChecker and accelerators off one clock).
+ *
+ * Events scheduled for the same cycle fire in (priority, sequence) order,
+ * which keeps the simulation deterministic regardless of container
+ * internals.
+ */
+
+#ifndef CAPCHECK_SIM_EVENTQ_HH
+#define CAPCHECK_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace capcheck
+{
+
+class EventQueue;
+
+/**
+ * A schedulable event. Subclass and override process(), or use
+ * LambdaEvent for ad-hoc callbacks.
+ */
+class Event
+{
+  public:
+    /** Standard priorities; lower values fire first within a cycle. */
+    enum Priority : int
+    {
+        responsePrio = 10, ///< memory responses arrive first
+        checkPrio = 20,    ///< protection checks
+        arbitratePrio = 30,///< interconnect arbitration
+        requestPrio = 40,  ///< new requests issue
+        defaultPrio = 50,
+        statsPrio = 90,
+    };
+
+    explicit Event(int priority = defaultPrio) : _priority(priority) {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    virtual void process() = 0;
+
+    /** Human-readable event description, used in panic messages. */
+    virtual std::string description() const { return "generic event"; }
+
+    bool scheduled() const { return _scheduled; }
+    Cycles when() const { return _when; }
+    int priority() const { return _priority; }
+
+  private:
+    friend class EventQueue;
+
+    Cycles _when = 0;
+    std::uint64_t _sequence = 0;
+    int _priority;
+    bool _scheduled = false;
+};
+
+/** Event wrapping a std::function. */
+class LambdaEvent : public Event
+{
+  public:
+    explicit LambdaEvent(std::function<void()> fn,
+                         int priority = defaultPrio)
+        : Event(priority), fn(std::move(fn))
+    {
+    }
+
+    void process() override { fn(); }
+    std::string description() const override { return "lambda event"; }
+
+  private:
+    std::function<void()> fn;
+};
+
+/**
+ * The event queue. One instance per simulated system.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulation time in cycles. */
+    Cycles curCycle() const { return _curCycle; }
+
+    /** Schedule @p event at absolute cycle @p when (>= curCycle()). */
+    void schedule(Event *event, Cycles when);
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event *event);
+
+    /** Re-schedule an already scheduled event to a new time. */
+    void reschedule(Event *event, Cycles when);
+
+    /** True when no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return live; }
+
+    /**
+     * Run until the queue drains or @p limit cycles elapse.
+     * @return the cycle after the last processed event.
+     */
+    Cycles run(Cycles limit = ~Cycles{0});
+
+    /** Process events for exactly one cycle (the earliest pending one). */
+    void step();
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        int priority;
+        std::uint64_t sequence;
+        Event *event;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (priority != other.priority)
+                return priority > other.priority;
+            return sequence > other.sequence;
+        }
+    };
+
+    void serviceOne();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    Cycles _curCycle = 0;
+    std::uint64_t nextSequence = 0;
+    std::size_t live = 0;
+};
+
+} // namespace capcheck
+
+#endif // CAPCHECK_SIM_EVENTQ_HH

@@ -1,0 +1,44 @@
+#include "system/run_result.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace capcheck::system
+{
+
+double
+RunResult::speedupVs(const RunResult &baseline) const
+{
+    if (totalCycles == 0)
+        return 0;
+    return static_cast<double>(baseline.totalCycles) /
+           static_cast<double>(totalCycles);
+}
+
+double
+RunResult::overheadVs(const RunResult &baseline) const
+{
+    if (baseline.totalCycles == 0)
+        return 0;
+    return static_cast<double>(totalCycles) /
+               static_cast<double>(baseline.totalCycles) -
+           1.0;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double log_sum = 0;
+    for (const double v : values) {
+        if (v <= 0)
+            fatal("geometricMean: non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace capcheck::system

@@ -1,0 +1,44 @@
+#include "system/soc_config.hh"
+
+namespace capcheck::system
+{
+
+const char *
+systemModeName(SystemMode mode)
+{
+    switch (mode) {
+      case SystemMode::cpu:
+        return "cpu";
+      case SystemMode::ccpu:
+        return "ccpu";
+      case SystemMode::cpuAccel:
+        return "cpu+accel";
+      case SystemMode::ccpuAccel:
+        return "ccpu+accel";
+      case SystemMode::ccpuCaccel:
+        return "ccpu+caccel";
+    }
+    return "?";
+}
+
+bool
+modeUsesAccel(SystemMode mode)
+{
+    return mode == SystemMode::cpuAccel || mode == SystemMode::ccpuAccel ||
+           mode == SystemMode::ccpuCaccel;
+}
+
+bool
+modeUsesCheriCpu(SystemMode mode)
+{
+    return mode == SystemMode::ccpu || mode == SystemMode::ccpuAccel ||
+           mode == SystemMode::ccpuCaccel;
+}
+
+bool
+modeUsesCapChecker(SystemMode mode)
+{
+    return mode == SystemMode::ccpuCaccel;
+}
+
+} // namespace capcheck::system

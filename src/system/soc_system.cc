@@ -1,0 +1,349 @@
+#include "system/soc_system.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "accel/accelerator.hh"
+#include "accel/trace_accessor.hh"
+#include "accel/trace_player.hh"
+#include "base/logging.hh"
+#include "cheri/captree.hh"
+#include "driver/driver.hh"
+#include "mem/allocator.hh"
+#include "mem/interconnect.hh"
+#include "mem/mem_ctrl.hh"
+#include "mem/tagged_memory.hh"
+#include "protect/check_stage.hh"
+#include "protect/checker_bank.hh"
+#include "protect/no_protection.hh"
+#include "workloads/kernel.hh"
+
+namespace capcheck::system
+{
+
+namespace
+{
+
+/** Heap layout: leave the low megabyte to the "OS". */
+constexpr Addr heapBase = 1ull << 20;
+
+/** Derive the application CPU task under the OS root (Fig. 4). */
+cheri::CapNodeId
+makeAppTask(cheri::CapTree &tree, std::uint64_t mem_bytes)
+{
+    const cheri::Capability app_cap =
+        tree.capOf(tree.rootNode())
+            .setBounds(heapBase, mem_bytes - heapBase)
+            .andPerms(cheri::permDataRW | cheri::permLoadCap |
+                      cheri::permStoreCap | cheri::permGlobal);
+    return tree.derive(tree.rootNode(), cheri::CapNodeKind::cpuTask,
+                       app_cap, "app");
+}
+
+} // namespace
+
+SocSystem::SocSystem(const SocConfig &config) : cfg(config)
+{
+}
+
+RunResult
+SocSystem::runBenchmark(const std::string &benchmark, unsigned num_tasks)
+{
+    if (num_tasks == 0)
+        num_tasks = cfg.numInstances;
+
+    std::vector<TaskPlan> plan;
+    for (unsigned t = 0; t < num_tasks; ++t)
+        plan.push_back(TaskPlan{benchmark, 0});
+
+    if (!modeUsesAccel(cfg.mode))
+        return runCpuOnly(plan);
+    return runWithAccelerators(plan, {benchmark}, cfg.numInstances);
+}
+
+RunResult
+SocSystem::runMixed(const std::vector<std::string> &benchmarks)
+{
+    std::vector<TaskPlan> plan;
+    for (unsigned i = 0; i < benchmarks.size(); ++i)
+        plan.push_back(TaskPlan{benchmarks[i], i});
+
+    if (!modeUsesAccel(cfg.mode))
+        return runCpuOnly(plan);
+    return runWithAccelerators(plan, benchmarks, 1);
+}
+
+RunResult
+SocSystem::runCpuOnly(const std::vector<TaskPlan> &plan)
+{
+    const bool cheri = modeUsesCheriCpu(cfg.mode);
+
+    TaggedMemory mem(cfg.memBytes);
+    RegionAllocator heap(heapBase, cfg.memBytes - heapBase);
+    cheri::CapTree tree;
+    const cheri::CapNodeId app = makeAppTask(tree, cfg.memBytes);
+    const cheri::Capability authority = tree.capOf(app);
+
+    RunResult result;
+    result.benchmark = plan.size() == 1 ? plan[0].benchmark : "mixed";
+    result.mode = cfg.mode;
+    result.numTasks = static_cast<unsigned>(plan.size());
+    result.functionallyCorrect = true;
+
+    Rng rng(cfg.seed);
+    for (const TaskPlan &task : plan) {
+        const auto kernel = workloads::createKernel(task.benchmark);
+        const workloads::KernelSpec &spec = kernel->spec();
+
+        // Allocate buffers and derive capabilities (on a CHERI CPU).
+        std::vector<BufferMapping> buffers;
+        for (const workloads::BufferDef &def : spec.buffers) {
+            const auto base = heap.allocate(def.size);
+            if (!base)
+                fatal("cpu run: out of heap for %s",
+                      task.benchmark.c_str());
+            BufferMapping mapping;
+            mapping.base = *base;
+            mapping.size = def.size;
+            if (cheri)
+                mapping.cap = authority.setBounds(*base, def.size);
+            buffers.push_back(mapping);
+        }
+
+        // Input generation (untimed region, common to all configs).
+        CpuAccessor init_acc(mem, buffers, /*cheri=*/false,
+                             cfg.cpuCosts);
+        kernel->init(init_acc, rng);
+        result.initCycles += init_acc.cycles();
+
+        // Timed region: the kernel itself.
+        CpuAccessor acc(mem, buffers, cheri, cfg.cpuCosts);
+        acc.chargeTaskSetup();
+        kernel->run(acc);
+        result.kernelCycles += acc.cycles();
+
+        CpuAccessor check_acc(mem, buffers, /*cheri=*/false,
+                              cfg.cpuCosts);
+        result.functionallyCorrect &= kernel->check(check_acc);
+
+        for (const BufferMapping &buf : buffers)
+            heap.free(buf.base);
+    }
+
+    result.totalCycles = result.kernelCycles;
+    return result;
+}
+
+RunResult
+SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
+                               const std::vector<std::string> &pools,
+                               unsigned instances_per_pool)
+{
+    const bool cheri = modeUsesCheriCpu(cfg.mode);
+    const bool with_checker = modeUsesCapChecker(cfg.mode);
+
+    // --- Platform (Fig. 2) ---
+    TaggedMemory mem(cfg.memBytes);
+    RegionAllocator heap(heapBase, cfg.memBytes - heapBase,
+                         cfg.guardBytes);
+    cheri::CapTree tree;
+    const cheri::CapNodeId app = makeAppTask(tree, cfg.memBytes);
+
+    EventQueue eq;
+    stats::StatGroup stat_root("soc");
+
+    std::unique_ptr<capchecker::CapChecker> checker;
+    std::unique_ptr<protect::CheckerBank> bank;
+    std::unique_ptr<protect::NoProtection> passthrough;
+    protect::ProtectionChecker *protection;
+    if (with_checker) {
+        capchecker::CapChecker::Params params;
+        params.tableEntries = cfg.capTableEntries;
+        params.provenance = cfg.provenance;
+        params.checkCycles = cfg.checkCycles;
+        params.cacheEntries = cfg.capCacheEntries;
+        params.cacheWalkCycles = cfg.capCacheWalkCycles;
+        if (cfg.perAccelCheckers) {
+            bank = std::make_unique<protect::CheckerBank>(
+                static_cast<unsigned>(plan.size()), params);
+            protection = bank.get();
+        } else {
+            checker = std::make_unique<capchecker::CapChecker>(params);
+            protection = checker.get();
+        }
+    } else {
+        passthrough = std::make_unique<protect::NoProtection>();
+        protection = passthrough.get();
+    }
+
+    // The checker the driver programs for a given task.
+    auto checker_for = [&](TaskId task) -> capchecker::CapChecker * {
+        if (!with_checker)
+            return nullptr;
+        return bank ? &bank->at(task) : checker.get();
+    };
+
+    MemoryController memctrl(eq, &stat_root, cfg.memLatency);
+    protect::CheckStage check_stage(eq, &stat_root, *protection,
+                                    memctrl);
+    AxiInterconnect xbar(eq, &stat_root,
+                         static_cast<unsigned>(plan.size()),
+                         check_stage, cfg.xbarMaxBurst);
+    memctrl.setUpstream(xbar);
+    check_stage.setUpstream(xbar);
+
+    std::vector<std::unique_ptr<accel::Accelerator>> accels;
+    for (const std::string &name : pools) {
+        accels.push_back(std::make_unique<accel::Accelerator>(
+            name, workloads::kernelSpec(name), instances_per_pool));
+    }
+
+    // One trusted-driver context per task (with per-accelerator
+    // checkers each context programs its own checker over MMIO).
+    std::vector<std::unique_ptr<driver::Driver>> drivers;
+
+    // --- Task setup: functional execution + trace extraction ---
+    RunResult result;
+    result.benchmark = pools.size() == 1 ? pools[0] : "mixed";
+    result.mode = cfg.mode;
+    result.numTasks = static_cast<unsigned>(plan.size());
+    result.functionallyCorrect = true;
+
+    accel::AddressingMode addressing;
+    addressing.objectMetadata =
+        with_checker &&
+        cfg.provenance == capchecker::Provenance::fine;
+    addressing.objectInAddress =
+        with_checker &&
+        cfg.provenance == capchecker::Provenance::coarse;
+
+    struct LiveTask
+    {
+        unsigned planIndex = 0;
+        std::unique_ptr<workloads::Kernel> kernel;
+        driver::TaskHandle handle;
+        std::unique_ptr<accel::TracePlayer> player;
+        driver::Driver *driver = nullptr;
+    };
+
+    // Tasks run in waves: the driver allocates as many as resources
+    // (functional units, capability-table entries) allow; when it
+    // would stall (Fig. 6's "stalls until one becomes available"), the
+    // current wave runs to completion and its deallocations free the
+    // resources for the next wave. With the paper's 256-entry table
+    // every benchmark fits in a single wave.
+    Rng rng(cfg.seed);
+    std::vector<unsigned> pending(plan.size());
+    for (unsigned t = 0; t < plan.size(); ++t)
+        pending[t] = t;
+
+    Cycles wave_start = 0;
+    while (!pending.empty()) {
+        std::vector<LiveTask> wave;
+        std::vector<unsigned> deferred;
+        Cycles alloc_end = wave_start;
+
+        for (const unsigned t : pending) {
+            LiveTask task;
+            task.planIndex = t;
+            task.kernel = workloads::createKernel(plan[t].benchmark);
+            accel::Accelerator &accel =
+                *accels.at(plan[t].accelIndex);
+
+            drivers.push_back(std::make_unique<driver::Driver>(
+                mem, heap, tree, cheri, checker_for(t), nullptr,
+                nullptr, cfg.driverCosts));
+            task.driver = drivers.back().get();
+
+            auto handle = task.driver->allocateTask(accel, t, app);
+            if (!handle) {
+                // Out of FUs or table entries: defer to a later wave.
+                deferred.push_back(t);
+                continue;
+            }
+            task.handle = std::move(*handle);
+
+            // Application-side input initialization on the CPU
+            // (untimed region, identical across configurations).
+            CpuAccessor init_acc(mem, task.handle.buffers,
+                                 /*cheri=*/false, cfg.cpuCosts);
+            task.kernel->init(init_acc, rng);
+            result.initCycles += init_acc.cycles();
+
+            // Functional execution under the trace recorder.
+            accel::TraceAccessor tracer(mem, accel.spec(),
+                                        task.handle.buffers);
+            task.kernel->run(tracer);
+
+            task.player = std::make_unique<accel::TracePlayer>(
+                eq, &stat_root,
+                plan[t].benchmark + "#" + std::to_string(t),
+                accel.spec(), tracer.take(), task.handle.buffers, t,
+                /*port=*/t, xbar, addressing);
+
+            alloc_end += task.handle.allocCycles;
+            result.driverAllocCycles += task.handle.allocCycles;
+            wave.push_back(std::move(task));
+        }
+
+        if (wave.empty())
+            fatal("driver cannot allocate any task (table of %u "
+                  "entries too small for a single task?)",
+                  cfg.capTableEntries);
+
+        // The driver programs tasks one after another over MMIO; the
+        // measured region starts the wave's instances together once
+        // setup completes (the bare-metal testbed's protocol).
+        for (LiveTask &task : wave)
+            task.player->start(alloc_end);
+
+        if (with_checker) {
+            result.peakTableEntries = std::max(
+                result.peakTableEntries, protection->entriesUsed());
+        }
+
+        // --- Timing simulation of this wave ---
+        eq.run();
+
+        Cycles last_finish = alloc_end;
+        for (LiveTask &task : wave) {
+            if (!task.player->done())
+                fatal("accelerator task did not finish (deadlock?)");
+            last_finish =
+                std::max(last_finish, task.player->finishCycle());
+        }
+        result.kernelCycles = last_finish;
+
+        // Functional verification before buffers are released.
+        for (LiveTask &task : wave) {
+            CpuAccessor check_acc(mem, task.handle.buffers,
+                                  /*cheri=*/false, cfg.cpuCosts);
+            result.functionallyCorrect &=
+                task.kernel->check(check_acc);
+        }
+
+        // --- Teardown (Fig. 6 (2)) ---
+        for (LiveTask &task : wave) {
+            const bool failed = task.player->failed();
+            result.exceptions += failed;
+            result.driverDeallocCycles +=
+                task.driver->deallocateTask(task.handle, failed);
+        }
+
+        wave_start = last_finish;
+        pending = std::move(deferred);
+    }
+
+    result.dmaBeats = xbar.beatsGranted();
+    result.totalCycles =
+        result.kernelCycles + result.driverDeallocCycles;
+
+    if (cfg.collectStats) {
+        std::ostringstream os;
+        stat_root.dump(os);
+        result.statsText = os.str();
+    }
+    return result;
+}
+
+} // namespace capcheck::system

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Full-system harness: assembles the prototype platform of Fig. 2 —
+ * CHERI (or plain) CPU, shared tagged memory, AXI interconnect, the
+ * configured protection interposer, and one or more accelerator
+ * functional-unit pools — and runs MachSuite benchmarks on it in any
+ * of the five evaluation configurations.
+ */
+
+#ifndef CAPCHECK_SYSTEM_SOC_SYSTEM_HH
+#define CAPCHECK_SYSTEM_SOC_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "system/run_result.hh"
+
+namespace capcheck::system
+{
+
+class SocSystem
+{
+  public:
+    explicit SocSystem(const SocConfig &config);
+
+    const SocConfig &config() const { return cfg; }
+
+    /**
+     * Run @p num_tasks concurrent copies of one benchmark (default:
+     * one per accelerator instance, the paper's setup). On CPU-only
+     * configurations the tasks run sequentially on the core.
+     */
+    RunResult runBenchmark(const std::string &benchmark,
+                           unsigned num_tasks = 0);
+
+    /**
+     * Run a mixed system (Fig. 9): one accelerator pool per named
+     * benchmark, one task each, all concurrent.
+     */
+    RunResult runMixed(const std::vector<std::string> &benchmarks);
+
+  private:
+    struct TaskPlan
+    {
+        std::string benchmark;
+        unsigned accelIndex = 0;
+    };
+
+    RunResult runCpuOnly(const std::vector<TaskPlan> &plan);
+    RunResult runWithAccelerators(const std::vector<TaskPlan> &plan,
+                                  const std::vector<std::string> &pools,
+                                  unsigned instances_per_pool);
+
+    SocConfig cfg;
+};
+
+} // namespace capcheck::system
+
+#endif // CAPCHECK_SYSTEM_SOC_SYSTEM_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The MemoryAccessor interface: every MachSuite kernel is written once
+ * against this interface and executed under different "envelopes" —
+ * the CPU cost model, the accelerator trace recorder, or an untimed
+ * host accessor. Accesses name a buffer object plus a byte offset; the
+ * envelope maps that to a shared-memory address, applies protection
+ * checks, performs the functional access, and accounts time.
+ */
+
+#ifndef CAPCHECK_WORKLOADS_ACCESSOR_HH
+#define CAPCHECK_WORKLOADS_ACCESSOR_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "base/types.hh"
+
+namespace capcheck::workloads
+{
+
+class MemoryAccessor
+{
+  public:
+    virtual ~MemoryAccessor() = default;
+
+    /** @{ Raw byte access at @p off inside buffer @p obj. */
+    virtual void load(ObjectId obj, std::uint64_t off, void *dst,
+                      std::uint32_t size) = 0;
+    virtual void store(ObjectId obj, std::uint64_t off, const void *src,
+                       std::uint32_t size) = 0;
+    /** @} */
+
+    /**
+     * Bulk copy between buffers. On a CHERI CPU this runs at capability
+     * width (16 B per iteration) instead of 8 B — the effect the paper
+     * credits for gemm_blocked running faster on the CHERI CPU.
+     */
+    virtual void copy(ObjectId dst_obj, std::uint64_t dst_off,
+                      ObjectId src_obj, std::uint64_t src_off,
+                      std::uint64_t len);
+
+    /** Account @p n integer/logic operations of datapath work. */
+    virtual void computeInt(std::uint64_t n) = 0;
+
+    /** Account @p n floating-point operations. */
+    virtual void computeFp(std::uint64_t n) = 0;
+
+    /**
+     * A sequential dependence point: on an accelerator, all outstanding
+     * memory responses must land before work continues (loop-carried
+     * dependence). The CPU model is already sequential.
+     */
+    virtual void barrier() {}
+
+    /** @{ Typed element helpers: index in units of T. */
+    template <typename T>
+    T
+    ld(ObjectId obj, std::uint64_t index)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        load(obj, index * sizeof(T), &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    st(ObjectId obj, std::uint64_t index, T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        store(obj, index * sizeof(T), &value, sizeof(T));
+    }
+    /** @} */
+};
+
+} // namespace capcheck::workloads
+
+#endif // CAPCHECK_WORKLOADS_ACCESSOR_HH

@@ -1,0 +1,57 @@
+#include "workloads/buffer_spec.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace capcheck::workloads
+{
+
+std::uint64_t
+KernelSpec::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const BufferDef &buf : buffers)
+        total += buf.size;
+    return total;
+}
+
+std::uint64_t
+KernelSpec::minBufferBytes() const
+{
+    std::uint64_t out = ~std::uint64_t{0};
+    for (const BufferDef &buf : buffers)
+        out = std::min(out, buf.size);
+    return buffers.empty() ? 0 : out;
+}
+
+std::uint64_t
+KernelSpec::maxBufferBytes() const
+{
+    std::uint64_t out = 0;
+    for (const BufferDef &buf : buffers)
+        out = std::max(out, buf.size);
+    return out;
+}
+
+const BufferDef &
+KernelSpec::buffer(ObjectId obj) const
+{
+    if (obj >= buffers.size())
+        panic("kernel %s has no buffer %u", name.c_str(), obj);
+    return buffers[obj];
+}
+
+Table2Row
+makeTable2Row(const KernelSpec &spec, unsigned num_instances)
+{
+    Table2Row row;
+    row.benchmark = spec.name;
+    row.bufferCount =
+        static_cast<std::uint32_t>(spec.buffers.size()) * num_instances;
+    row.minBytes = spec.minBufferBytes();
+    row.maxBytes = spec.maxBufferBytes();
+    return row;
+}
+
+} // namespace capcheck::workloads

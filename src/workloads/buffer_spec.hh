@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Static description of a kernel's buffers and accelerator datapath:
+ * what the trusted driver needs to allocate (Table 2 of the paper) and
+ * what the accelerator timing model needs to replay (Section 6.1's
+ * "diverse accelerator behaviors").
+ */
+
+#ifndef CAPCHECK_WORKLOADS_BUFFER_SPEC_HH
+#define CAPCHECK_WORKLOADS_BUFFER_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace capcheck::workloads
+{
+
+/** How a buffer is accessed by the accelerator. */
+enum class BufferAccess
+{
+    readOnly,
+    writeOnly,
+    readWrite,
+};
+
+/**
+ * Where a buffer lives from the accelerator datapath's view: HLS either
+ * streams an array into on-chip BRAM (one DMA pass in, one out) or
+ * issues an individual DMA beat per element access (m_axi-style).
+ */
+enum class BufferPlacement
+{
+    streamed,
+    external,
+};
+
+struct BufferDef
+{
+    std::string name;
+    std::uint64_t size = 0;
+    BufferAccess access = BufferAccess::readWrite;
+    BufferPlacement placement = BufferPlacement::streamed;
+};
+
+/** Accelerator datapath timing parameters (set per benchmark). */
+struct AccelTiming
+{
+    /**
+     * Datapath parallelism: operations retired per cycle once the
+     * pipeline is full (HLS unroll x pipelining).
+     */
+    std::uint32_t ilp = 8;
+
+    /**
+     * Outstanding DMA requests the datapath sustains on external
+     * buffers. 1 models dependent (pointer-chasing) access patterns,
+     * larger values model independent pipelined address generation.
+     */
+    std::uint32_t maxOutstanding = 8;
+
+    /** Pipeline fill cost charged once per task. */
+    std::uint32_t startupCycles = 16;
+};
+
+/**
+ * A kernel's static footprint: its buffers plus datapath parameters.
+ */
+struct KernelSpec
+{
+    std::string name;
+    std::vector<BufferDef> buffers;
+    AccelTiming timing;
+
+    std::uint64_t totalBytes() const;
+    std::uint64_t minBufferBytes() const;
+    std::uint64_t maxBufferBytes() const;
+
+    const BufferDef &buffer(ObjectId obj) const;
+};
+
+/**
+ * One row of the paper's Table 2 for a benchmark run with
+ * @p num_instances accelerator instances (buffer counts aggregate over
+ * instances; sizes do not).
+ */
+struct Table2Row
+{
+    std::string benchmark;
+    std::uint32_t bufferCount = 0;
+    std::uint64_t minBytes = 0;
+    std::uint64_t maxBytes = 0;
+};
+
+Table2Row makeTable2Row(const KernelSpec &spec, unsigned num_instances);
+
+} // namespace capcheck::workloads
+
+#endif // CAPCHECK_WORKLOADS_BUFFER_SPEC_HH

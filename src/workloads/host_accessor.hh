@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Untimed functional accessor: buffers are plain host byte arrays.
+ * Used for kernel unit testing and anywhere functional behaviour is
+ * needed without a simulated system underneath.
+ */
+
+#ifndef CAPCHECK_WORKLOADS_HOST_ACCESSOR_HH
+#define CAPCHECK_WORKLOADS_HOST_ACCESSOR_HH
+
+#include <cstring>
+#include <vector>
+
+#include "base/logging.hh"
+#include "workloads/accessor.hh"
+#include "workloads/buffer_spec.hh"
+
+namespace capcheck::workloads
+{
+
+class HostAccessor : public MemoryAccessor
+{
+  public:
+    /** Allocate zeroed host buffers matching @p spec. */
+    explicit HostAccessor(const KernelSpec &spec)
+    {
+        for (const BufferDef &buf : spec.buffers)
+            buffers.emplace_back(buf.size, 0);
+    }
+
+    void
+    load(ObjectId obj, std::uint64_t off, void *dst,
+         std::uint32_t size) override
+    {
+        checkRange(obj, off, size);
+        std::memcpy(dst, buffers[obj].data() + off, size);
+    }
+
+    void
+    store(ObjectId obj, std::uint64_t off, const void *src,
+          std::uint32_t size) override
+    {
+        checkRange(obj, off, size);
+        std::memcpy(buffers[obj].data() + off, src, size);
+    }
+
+    void computeInt(std::uint64_t) override {}
+    void computeFp(std::uint64_t) override {}
+
+    /** Direct access for tests. */
+    const std::vector<std::uint8_t> &bufferData(ObjectId obj) const
+    {
+        return buffers.at(obj);
+    }
+
+  private:
+    void
+    checkRange(ObjectId obj, std::uint64_t off, std::uint32_t size) const
+    {
+        if (obj >= buffers.size() || off + size > buffers[obj].size())
+            panic("host access out of range: obj=%u off=%llu size=%u",
+                  obj, static_cast<unsigned long long>(off), size);
+    }
+
+    std::vector<std::vector<std::uint8_t>> buffers;
+};
+
+} // namespace capcheck::workloads
+
+#endif // CAPCHECK_WORKLOADS_HOST_ACCESSOR_HH

@@ -1,0 +1,75 @@
+#include "workloads/kernel.hh"
+
+#include <map>
+
+#include "base/logging.hh"
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads
+{
+
+namespace
+{
+
+const std::map<std::string, KernelFactory> &
+registry()
+{
+    using namespace kernels;
+    static const std::map<std::string, KernelFactory> factories = {
+        {"aes", makeAes},
+        {"backprop", makeBackprop},
+        {"bfs_bulk", makeBfsBulk},
+        {"bfs_queue", makeBfsQueue},
+        {"fft_strided", makeFftStrided},
+        {"fft_transpose", makeFftTranspose},
+        {"gemm_blocked", makeGemmBlocked},
+        {"gemm_ncubed", makeGemmNcubed},
+        {"kmp", makeKmp},
+        {"md_grid", makeMdGrid},
+        {"md_knn", makeMdKnn},
+        {"nw", makeNw},
+        {"sort_merge", makeSortMerge},
+        {"sort_radix", makeSortRadix},
+        {"spmv_crs", makeSpmvCrs},
+        {"spmv_ellpack", makeSpmvEllpack},
+        {"stencil2d", makeStencil2d},
+        {"stencil3d", makeStencil3d},
+        {"viterbi", makeViterbi},
+    };
+    return factories;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+allKernelNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &[name, factory] : registry())
+            out.push_back(name);
+        return out;
+    }();
+    return names;
+}
+
+std::unique_ptr<Kernel>
+createKernel(const std::string &name)
+{
+    const auto it = registry().find(name);
+    if (it == registry().end())
+        fatal("unknown benchmark kernel '%s'", name.c_str());
+    return it->second();
+}
+
+const KernelSpec &
+kernelSpec(const std::string &name)
+{
+    static std::map<std::string, KernelSpec> cache;
+    auto it = cache.find(name);
+    if (it == cache.end())
+        it = cache.emplace(name, createKernel(name)->spec()).first;
+    return it->second;
+}
+
+} // namespace capcheck::workloads

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Kernel base class and registry for the 19 MachSuite benchmarks
+ * (Reagen et al., IISWC 2014) used in the paper's evaluation. Each
+ * kernel provides input generation, the algorithm itself (written
+ * against MemoryAccessor so one implementation serves both the CPU
+ * model and the accelerator model), and an output check against an
+ * independently computed reference.
+ */
+
+#ifndef CAPCHECK_WORKLOADS_KERNEL_HH
+#define CAPCHECK_WORKLOADS_KERNEL_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "workloads/accessor.hh"
+#include "workloads/buffer_spec.hh"
+
+namespace capcheck::workloads
+{
+
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    /** Static footprint and datapath parameters. */
+    virtual const KernelSpec &spec() const = 0;
+
+    /**
+     * Generate input data into the buffers. Runs on the host/CPU side
+     * (buffers are initialized by the application before the task
+     * starts, per Fig. 6).
+     */
+    virtual void init(MemoryAccessor &mem, Rng &rng) = 0;
+
+    /** Execute the algorithm. */
+    virtual void run(MemoryAccessor &mem) = 0;
+
+    /**
+     * Validate the outputs against a reference computed from the saved
+     * inputs. @return true when the result is correct.
+     */
+    virtual bool check(MemoryAccessor &mem) = 0;
+};
+
+/** Factory signature for kernels. */
+using KernelFactory = std::function<std::unique_ptr<Kernel>()>;
+
+/** All benchmark names, in the paper's Table 2 order. */
+const std::vector<std::string> &allKernelNames();
+
+/** Create a kernel by benchmark name; fatal() on unknown names. */
+std::unique_ptr<Kernel> createKernel(const std::string &name);
+
+/** Static spec lookup without instantiating the kernel. */
+const KernelSpec &kernelSpec(const std::string &name);
+
+} // namespace capcheck::workloads
+
+#endif // CAPCHECK_WORKLOADS_KERNEL_HH

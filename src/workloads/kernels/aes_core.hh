@@ -1,0 +1,39 @@
+/**
+ * @file
+ * AES-256 cipher primitives shared by the aes kernel and its tests
+ * (which validate the implementation against the FIPS-197 known-answer
+ * vectors). Pure functions over fixed-size arrays; no I/O.
+ */
+
+#ifndef CAPCHECK_WORKLOADS_KERNELS_AES_CORE_HH
+#define CAPCHECK_WORKLOADS_KERNELS_AES_CORE_HH
+
+#include <array>
+#include <cstdint>
+
+namespace capcheck::workloads::kernels::aes
+{
+
+constexpr unsigned keyBytes = 32;
+constexpr unsigned blockBytes = 16;
+constexpr unsigned rounds = 14; // AES-256
+
+using Block = std::array<std::uint8_t, blockBytes>;
+using Key = std::array<std::uint8_t, keyBytes>;
+using Schedule = std::array<std::uint8_t, 16 * (rounds + 1)>;
+
+/** The AES S-box. */
+extern const std::uint8_t sbox[256];
+
+/** GF(2^8) doubling. */
+std::uint8_t xtime(std::uint8_t x);
+
+/** AES-256 key expansion (FIPS-197 section 5.2). */
+Schedule expandKey(const Key &key);
+
+/** Encrypt one block (FIPS-197 section 5.1). */
+Block encryptBlock(Block block, const Schedule &schedule);
+
+} // namespace capcheck::workloads::kernels::aes
+
+#endif // CAPCHECK_WORKLOADS_KERNELS_AES_CORE_HH

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * MachSuite "backprop": one epoch of online SGD training of a
+ * two-layer perceptron (16 -> 163 -> 8 with sigmoid activations).
+ * Buffer sizes match Table 2 (min 12 B meta, max 10432 B weights).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned nIn = 16;
+constexpr unsigned nHid = 163;
+constexpr unsigned nOut = 8;
+constexpr unsigned nSamples = 32;
+constexpr float learningRate = 0.01f;
+
+float
+sigmoid(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+struct Model
+{
+    std::vector<float> w1; // nIn x nHid
+    std::vector<float> w2; // nHid x nOut
+    std::vector<float> b1; // nHid
+    std::vector<float> b2; // nOut
+};
+
+/**
+ * Pure reference for one training epoch; check() replays this on saved
+ * inputs and compares against the accelerator's result.
+ */
+void
+referenceEpoch(Model &m, const std::vector<float> &xs,
+               const std::vector<float> &ts)
+{
+    std::vector<float> hid(nHid);
+    std::vector<float> out(nOut);
+    std::vector<float> dout(nOut);
+    std::vector<float> dhid(nHid);
+
+    for (unsigned s = 0; s < nSamples; ++s) {
+        const float *x = &xs[s * nIn];
+        const float *t = &ts[s * nOut];
+
+        for (unsigned j = 0; j < nHid; ++j) {
+            float acc = m.b1[j];
+            for (unsigned i = 0; i < nIn; ++i)
+                acc += x[i] * m.w1[i * nHid + j];
+            hid[j] = sigmoid(acc);
+        }
+        for (unsigned k = 0; k < nOut; ++k) {
+            float acc = m.b2[k];
+            for (unsigned j = 0; j < nHid; ++j)
+                acc += hid[j] * m.w2[j * nOut + k];
+            out[k] = sigmoid(acc);
+        }
+
+        for (unsigned k = 0; k < nOut; ++k)
+            dout[k] = (out[k] - t[k]) * out[k] * (1.0f - out[k]);
+        for (unsigned j = 0; j < nHid; ++j) {
+            float acc = 0;
+            for (unsigned k = 0; k < nOut; ++k)
+                acc += dout[k] * m.w2[j * nOut + k];
+            dhid[j] = acc * hid[j] * (1.0f - hid[j]);
+        }
+
+        for (unsigned j = 0; j < nHid; ++j) {
+            for (unsigned k = 0; k < nOut; ++k)
+                m.w2[j * nOut + k] -= learningRate * dout[k] * hid[j];
+        }
+        for (unsigned k = 0; k < nOut; ++k)
+            m.b2[k] -= learningRate * dout[k];
+        for (unsigned i = 0; i < nIn; ++i) {
+            for (unsigned j = 0; j < nHid; ++j)
+                m.w1[i * nHid + j] -= learningRate * dhid[j] * x[i];
+        }
+        for (unsigned j = 0; j < nHid; ++j)
+            m.b1[j] -= learningRate * dhid[j];
+    }
+}
+
+class BackpropKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "backprop",
+            {
+                {"meta", 12, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"w1", nIn * nHid * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"w2", nHid * nOut * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"b1", nHid * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"b2", nOut * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"x", nSamples * nIn * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"t", nSamples * nOut * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/128, /*maxOutstanding=*/8,
+                        /*startupCycles=*/32},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        auto uniform = [&rng] {
+            return static_cast<float>(rng.nextDouble()) - 0.5f;
+        };
+
+        model.w1.resize(nIn * nHid);
+        model.w2.resize(nHid * nOut);
+        model.b1.resize(nHid);
+        model.b2.resize(nOut);
+        inputs.resize(nSamples * nIn);
+        targets.resize(nSamples * nOut);
+
+        mem.st<std::int32_t>(meta, 0, nIn);
+        mem.st<std::int32_t>(meta, 1, nHid);
+        mem.st<std::int32_t>(meta, 2, nOut);
+
+        for (unsigned i = 0; i < model.w1.size(); ++i)
+            mem.st<float>(w1, i, model.w1[i] = uniform());
+        for (unsigned i = 0; i < model.w2.size(); ++i)
+            mem.st<float>(w2, i, model.w2[i] = uniform());
+        for (unsigned i = 0; i < nHid; ++i)
+            mem.st<float>(b1, i, model.b1[i] = uniform());
+        for (unsigned i = 0; i < nOut; ++i)
+            mem.st<float>(b2, i, model.b2[i] = uniform());
+        for (unsigned i = 0; i < inputs.size(); ++i)
+            mem.st<float>(x, i, inputs[i] = uniform());
+        for (unsigned i = 0; i < targets.size(); ++i)
+            mem.st<float>(t, i, targets[i] = uniform() > 0 ? 1.f : 0.f);
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        std::vector<float> hid(nHid);
+        std::vector<float> out(nOut);
+        std::vector<float> dout(nOut);
+        std::vector<float> dhid(nHid);
+
+        for (unsigned s = 0; s < nSamples; ++s) {
+            // Forward: input -> hidden.
+            for (unsigned j = 0; j < nHid; ++j) {
+                float acc = mem.ld<float>(b1, j);
+                for (unsigned i = 0; i < nIn; ++i) {
+                    acc += mem.ld<float>(x, s * nIn + i) *
+                           mem.ld<float>(w1, i * nHid + j);
+                }
+                hid[j] = sigmoid(acc);
+            }
+            mem.computeFp(nHid * (2 * nIn + 4));
+
+            // Forward: hidden -> output.
+            for (unsigned k = 0; k < nOut; ++k) {
+                float acc = mem.ld<float>(b2, k);
+                for (unsigned j = 0; j < nHid; ++j)
+                    acc += hid[j] * mem.ld<float>(w2, j * nOut + k);
+                out[k] = sigmoid(acc);
+            }
+            mem.computeFp(nOut * (2 * nHid + 4));
+
+            // Output deltas.
+            for (unsigned k = 0; k < nOut; ++k) {
+                dout[k] = (out[k] - mem.ld<float>(t, s * nOut + k)) *
+                          out[k] * (1.0f - out[k]);
+            }
+            mem.computeFp(nOut * 4);
+
+            // Hidden deltas.
+            for (unsigned j = 0; j < nHid; ++j) {
+                float acc = 0;
+                for (unsigned k = 0; k < nOut; ++k)
+                    acc += dout[k] * mem.ld<float>(w2, j * nOut + k);
+                dhid[j] = acc * hid[j] * (1.0f - hid[j]);
+            }
+            mem.computeFp(nHid * (2 * nOut + 3));
+
+            // SGD updates.
+            for (unsigned j = 0; j < nHid; ++j) {
+                for (unsigned k = 0; k < nOut; ++k) {
+                    const float w = mem.ld<float>(w2, j * nOut + k);
+                    mem.st<float>(w2, j * nOut + k,
+                                  w - learningRate * dout[k] * hid[j]);
+                }
+            }
+            mem.computeFp(nHid * nOut * 3);
+            for (unsigned k = 0; k < nOut; ++k) {
+                mem.st<float>(b2, k, mem.ld<float>(b2, k) -
+                                         learningRate * dout[k]);
+            }
+            for (unsigned i = 0; i < nIn; ++i) {
+                const float xi = mem.ld<float>(x, s * nIn + i);
+                for (unsigned j = 0; j < nHid; ++j) {
+                    const float w = mem.ld<float>(w1, i * nHid + j);
+                    mem.st<float>(w1, i * nHid + j,
+                                  w - learningRate * dhid[j] * xi);
+                }
+            }
+            mem.computeFp(nIn * nHid * 3);
+            for (unsigned j = 0; j < nHid; ++j) {
+                mem.st<float>(b1, j, mem.ld<float>(b1, j) -
+                                         learningRate * dhid[j]);
+            }
+            mem.computeFp((nHid + nOut) * 2);
+            mem.barrier(); // samples are processed sequentially
+        }
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        Model ref = model;
+        referenceEpoch(ref, inputs, targets);
+
+        auto close = [](float a, float b) {
+            return std::fabs(a - b) <= 1e-3f + 1e-3f * std::fabs(b);
+        };
+        for (unsigned i = 0; i < ref.w1.size(); ++i) {
+            if (!close(mem.ld<float>(w1, i), ref.w1[i]))
+                return false;
+        }
+        for (unsigned i = 0; i < ref.w2.size(); ++i) {
+            if (!close(mem.ld<float>(w2, i), ref.w2[i]))
+                return false;
+        }
+        for (unsigned i = 0; i < nHid; ++i) {
+            if (!close(mem.ld<float>(b1, i), ref.b1[i]))
+                return false;
+        }
+        for (unsigned i = 0; i < nOut; ++i) {
+            if (!close(mem.ld<float>(b2, i), ref.b2[i]))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId meta = 0;
+    static constexpr ObjectId w1 = 1;
+    static constexpr ObjectId w2 = 2;
+    static constexpr ObjectId b1 = 3;
+    static constexpr ObjectId b2 = 4;
+    static constexpr ObjectId x = 5;
+    static constexpr ObjectId t = 6;
+
+    Model model;
+    std::vector<float> inputs;
+    std::vector<float> targets;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeBackprop()
+{
+    return std::make_unique<BackpropKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * MachSuite "bfs_bulk": breadth-first search by whole-graph sweeps per
+ * horizon. The graph is irregular, so the accelerator issues one DMA
+ * beat per element (external placement) with dependent addressing —
+ * this is one of the memory-bound benchmarks of Section 6.1.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/graph_util.hh"
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned numNodes = 4096;
+constexpr unsigned maxLevels = 10;
+
+class BfsBulkKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "bfs_bulk",
+            {
+                {"edge_begin", numNodes * 4, BufferAccess::readOnly,
+                 BufferPlacement::external},
+                {"edge_end", numNodes * 4, BufferAccess::readOnly,
+                 BufferPlacement::external},
+                {"edges", numNodes * 4, BufferAccess::readOnly,
+                 BufferPlacement::external},
+                {"level", numNodes, BufferAccess::readWrite,
+                 BufferPlacement::external},
+                {"level_counts", maxLevels * 4, BufferAccess::writeOnly,
+                 BufferPlacement::external},
+            },
+            AccelTiming{/*ilp=*/4, /*maxOutstanding=*/1,
+                        /*startupCycles=*/16},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        graph = makeRandomTree(numNodes, rng);
+        for (unsigned n = 0; n < numNodes; ++n) {
+            mem.st<std::int32_t>(edgeBegin, n, graph.edgeBegin[n]);
+            mem.st<std::int32_t>(edgeEnd, n, graph.edgeEnd[n]);
+            mem.st<std::int8_t>(level, n, n == 0 ? 0 : -1);
+        }
+        for (unsigned e = 0; e < graph.edges.size(); ++e)
+            mem.st<std::int32_t>(edges, e, graph.edges[e]);
+        for (unsigned h = 0; h < maxLevels; ++h)
+            mem.st<std::int32_t>(levelCounts, h, 0);
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        for (unsigned horizon = 0; horizon + 1 < maxLevels; ++horizon) {
+            std::int32_t count = 0;
+            for (unsigned node = 0; node < numNodes; ++node) {
+                if (mem.ld<std::int8_t>(level, node) !=
+                    static_cast<std::int8_t>(horizon))
+                    continue;
+
+                const auto begin = mem.ld<std::int32_t>(edgeBegin, node);
+                const auto end = mem.ld<std::int32_t>(edgeEnd, node);
+                for (std::int32_t e = begin; e < end; ++e) {
+                    const auto dst = mem.ld<std::int32_t>(edges, e);
+                    // Dependent load-then-store on the frontier.
+                    mem.barrier();
+                    if (mem.ld<std::int8_t>(level, dst) == -1) {
+                        mem.st<std::int8_t>(
+                            level, dst,
+                            static_cast<std::int8_t>(horizon + 1));
+                        ++count;
+                    }
+                }
+                mem.computeInt(2 + (end - begin));
+            }
+            mem.st<std::int32_t>(levelCounts, horizon + 1, count);
+            mem.barrier();
+            if (count == 0)
+                break;
+        }
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        std::vector<std::int32_t> ref_counts;
+        const std::vector<std::int8_t> ref =
+            referenceBfsLevels(graph, numNodes, maxLevels, &ref_counts);
+
+        for (unsigned n = 0; n < numNodes; ++n) {
+            if (mem.ld<std::int8_t>(level, n) != ref[n])
+                return false;
+        }
+        for (unsigned h = 1; h < maxLevels; ++h) {
+            if (mem.ld<std::int32_t>(levelCounts, h) != ref_counts[h] &&
+                ref_counts[h] != 0)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId edgeBegin = 0;
+    static constexpr ObjectId edgeEnd = 1;
+    static constexpr ObjectId edges = 2;
+    static constexpr ObjectId level = 3;
+    static constexpr ObjectId levelCounts = 4;
+
+    CsrGraph graph;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeBfsBulk()
+{
+    return std::make_unique<BfsBulkKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

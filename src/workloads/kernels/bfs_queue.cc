@@ -1,0 +1,142 @@
+/**
+ * @file
+ * MachSuite "bfs_queue": breadth-first search with a work queue. The
+ * queue itself is an accelerator-internal (BRAM) structure — a "stack
+ * object" in the paper's CWE analysis — while the graph stays in
+ * shared memory and is accessed beat-by-beat.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "workloads/kernels/graph_util.hh"
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned numNodes = 4096;
+constexpr unsigned maxLevels = 10;
+
+class BfsQueueKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "bfs_queue",
+            {
+                {"edge_begin", numNodes * 4, BufferAccess::readOnly,
+                 BufferPlacement::external},
+                {"edge_end", numNodes * 4, BufferAccess::readOnly,
+                 BufferPlacement::external},
+                {"edges", numNodes * 4, BufferAccess::readOnly,
+                 BufferPlacement::external},
+                {"level", numNodes, BufferAccess::readWrite,
+                 BufferPlacement::external},
+                {"level_counts", maxLevels * 4, BufferAccess::writeOnly,
+                 BufferPlacement::external},
+            },
+            AccelTiming{/*ilp=*/4, /*maxOutstanding=*/1,
+                        /*startupCycles=*/16},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        graph = makeRandomTree(numNodes, rng);
+        for (unsigned n = 0; n < numNodes; ++n) {
+            mem.st<std::int32_t>(edgeBegin, n, graph.edgeBegin[n]);
+            mem.st<std::int32_t>(edgeEnd, n, graph.edgeEnd[n]);
+            mem.st<std::int8_t>(level, n, n == 0 ? 0 : -1);
+        }
+        for (unsigned e = 0; e < graph.edges.size(); ++e)
+            mem.st<std::int32_t>(edges, e, graph.edges[e]);
+        for (unsigned h = 0; h < maxLevels; ++h)
+            mem.st<std::int32_t>(levelCounts, h, 0);
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        // The queue lives in accelerator-local BRAM: no DMA traffic.
+        std::deque<std::int32_t> queue;
+        std::vector<std::int32_t> counts(maxLevels, 0);
+        queue.push_back(0);
+        counts[0] = 1;
+
+        while (!queue.empty()) {
+            const std::int32_t node = queue.front();
+            queue.pop_front();
+
+            const auto lvl = mem.ld<std::int8_t>(level, node);
+            if (lvl + 1 >= static_cast<int>(maxLevels))
+                continue;
+
+            const auto begin = mem.ld<std::int32_t>(edgeBegin, node);
+            const auto end = mem.ld<std::int32_t>(edgeEnd, node);
+            mem.barrier(); // edge range gates the inner loop
+            for (std::int32_t e = begin; e < end; ++e) {
+                const auto dst = mem.ld<std::int32_t>(edges, e);
+                mem.barrier();
+                if (mem.ld<std::int8_t>(level, dst) == -1) {
+                    mem.st<std::int8_t>(
+                        level, dst, static_cast<std::int8_t>(lvl + 1));
+                    ++counts[static_cast<unsigned>(lvl) + 1];
+                    queue.push_back(dst);
+                }
+            }
+            mem.computeInt(4 + (end - begin));
+        }
+
+        for (unsigned h = 0; h < maxLevels; ++h)
+            mem.st<std::int32_t>(levelCounts, h, counts[h]);
+        mem.barrier();
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        std::vector<std::int32_t> ref_counts;
+        const std::vector<std::int8_t> ref =
+            referenceBfsLevels(graph, numNodes, maxLevels, &ref_counts);
+
+        for (unsigned n = 0; n < numNodes; ++n) {
+            if (mem.ld<std::int8_t>(level, n) != ref[n])
+                return false;
+        }
+        // The queue variant records the root in level_counts[0].
+        if (mem.ld<std::int32_t>(levelCounts, 0) != 1)
+            return false;
+        for (unsigned h = 1; h < maxLevels; ++h) {
+            if (mem.ld<std::int32_t>(levelCounts, h) != ref_counts[h])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId edgeBegin = 0;
+    static constexpr ObjectId edgeEnd = 1;
+    static constexpr ObjectId edges = 2;
+    static constexpr ObjectId level = 3;
+    static constexpr ObjectId levelCounts = 4;
+
+    CsrGraph graph;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeBfsQueue()
+{
+    return std::make_unique<BfsQueueKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * MachSuite "fft_strided": 512-point radix-2 complex FFT with strided
+ * butterfly passes and precomputed twiddle tables (output is in
+ * bit-reversed order, as in the original benchmark). The input is first
+ * staged into the work buffers so the original signal is preserved.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned fftSize = 512;
+
+/** Pure reference of the same strided algorithm. */
+void
+referenceFft(std::vector<double> &real, std::vector<double> &img,
+             const std::vector<double> &real_twid,
+             const std::vector<double> &img_twid)
+{
+    unsigned log = 0;
+    for (unsigned span = fftSize >> 1; span; span >>= 1, ++log) {
+        for (unsigned odd = span; odd < fftSize; ++odd) {
+            odd |= span;
+            const unsigned even = odd ^ span;
+
+            double temp = real[even] + real[odd];
+            real[odd] = real[even] - real[odd];
+            real[even] = temp;
+
+            temp = img[even] + img[odd];
+            img[odd] = img[even] - img[odd];
+            img[even] = temp;
+
+            const unsigned rootindex = (even << log) & (fftSize - 1);
+            if (rootindex) {
+                temp = real_twid[rootindex] * real[odd] -
+                       img_twid[rootindex] * img[odd];
+                img[odd] = real_twid[rootindex] * img[odd] +
+                           img_twid[rootindex] * real[odd];
+                real[odd] = temp;
+            }
+        }
+    }
+}
+
+class FftStridedKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "fft_strided",
+            {
+                {"real", fftSize * 8, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"img", fftSize * 8, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"real_twid", fftSize * 8, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"img_twid", fftSize * 8, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"work_r", fftSize * 8, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"work_i", fftSize * 8, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/32, /*maxOutstanding=*/8,
+                        /*startupCycles=*/24},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        inReal.resize(fftSize);
+        inImg.resize(fftSize);
+        twidReal.assign(fftSize, 0);
+        twidImg.assign(fftSize, 0);
+
+        for (unsigned i = 0; i < fftSize; ++i) {
+            inReal[i] = rng.nextDouble() * 2 - 1;
+            inImg[i] = rng.nextDouble() * 2 - 1;
+            mem.st<double>(real, i, inReal[i]);
+            mem.st<double>(img, i, inImg[i]);
+        }
+        for (unsigned i = 0; i < fftSize / 2; ++i) {
+            const double angle =
+                -2.0 * std::numbers::pi * i / fftSize;
+            twidReal[i] = std::cos(angle);
+            twidImg[i] = std::sin(angle);
+        }
+        for (unsigned i = 0; i < fftSize; ++i) {
+            mem.st<double>(realTwid, i, twidReal[i]);
+            mem.st<double>(imgTwid, i, twidImg[i]);
+        }
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        // Preserve the input signal in the work buffers.
+        mem.copy(workR, 0, real, 0, fftSize * 8);
+        mem.copy(workI, 0, img, 0, fftSize * 8);
+
+        unsigned log = 0;
+        for (unsigned span = fftSize >> 1; span; span >>= 1, ++log) {
+            for (unsigned odd = span; odd < fftSize; ++odd) {
+                odd |= span;
+                const unsigned even = odd ^ span;
+
+                double re = mem.ld<double>(real, even);
+                double ro = mem.ld<double>(real, odd);
+                double ie = mem.ld<double>(img, even);
+                double io = mem.ld<double>(img, odd);
+
+                double temp = re + ro;
+                ro = re - ro;
+                re = temp;
+                temp = ie + io;
+                io = ie - io;
+                ie = temp;
+                mem.computeFp(4);
+
+                const unsigned rootindex = (even << log) & (fftSize - 1);
+                if (rootindex) {
+                    const double tr = mem.ld<double>(realTwid, rootindex);
+                    const double ti = mem.ld<double>(imgTwid, rootindex);
+                    temp = tr * ro - ti * io;
+                    io = tr * io + ti * ro;
+                    ro = temp;
+                    mem.computeFp(6);
+                }
+                mem.computeInt(4);
+
+                mem.st<double>(real, even, re);
+                mem.st<double>(real, odd, ro);
+                mem.st<double>(img, even, ie);
+                mem.st<double>(img, odd, io);
+            }
+            mem.barrier(); // next span depends on this pass
+        }
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        std::vector<double> ref_r = inReal;
+        std::vector<double> ref_i = inImg;
+        referenceFft(ref_r, ref_i, twidReal, twidImg);
+
+        auto close = [](double a, double b) {
+            return std::fabs(a - b) <= 1e-9 + 1e-9 * std::fabs(b);
+        };
+        for (unsigned i = 0; i < fftSize; ++i) {
+            if (!close(mem.ld<double>(real, i), ref_r[i]) ||
+                !close(mem.ld<double>(img, i), ref_i[i]))
+                return false;
+            // The staged copy must hold the untouched input.
+            if (mem.ld<double>(workR, i) != inReal[i] ||
+                mem.ld<double>(workI, i) != inImg[i])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId real = 0;
+    static constexpr ObjectId img = 1;
+    static constexpr ObjectId realTwid = 2;
+    static constexpr ObjectId imgTwid = 3;
+    static constexpr ObjectId workR = 4;
+    static constexpr ObjectId workI = 5;
+
+    std::vector<double> inReal;
+    std::vector<double> inImg;
+    std::vector<double> twidReal;
+    std::vector<double> twidImg;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeFftStrided()
+{
+    return std::make_unique<FftStridedKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

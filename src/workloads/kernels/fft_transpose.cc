@@ -1,0 +1,154 @@
+/**
+ * @file
+ * MachSuite "fft_transpose": 512-point FFT that stages the signal into
+ * accelerator-local memory with a transposing (bit-reversal) permute,
+ * computes all butterflies on-chip with twiddles generated in the
+ * datapath, and streams the spectrum back. Two 2048-byte float buffers
+ * per instance (Table 2).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned fftSize = 512;
+constexpr unsigned logSize = 9;
+
+unsigned
+bitReverse(unsigned v, unsigned bits)
+{
+    unsigned out = 0;
+    for (unsigned i = 0; i < bits; ++i)
+        out |= ((v >> i) & 1u) << (bits - 1 - i);
+    return out;
+}
+
+/** In-place iterative radix-2 FFT on local arrays (natural order in,
+ *  natural order out via the initial bit-reversal permute). */
+void
+localFft(std::vector<float> &re, std::vector<float> &im)
+{
+    for (unsigned i = 0; i < fftSize; ++i) {
+        const unsigned j = bitReverse(i, logSize);
+        if (j > i) {
+            std::swap(re[i], re[j]);
+            std::swap(im[i], im[j]);
+        }
+    }
+    for (unsigned len = 2; len <= fftSize; len <<= 1) {
+        const double angle = -2.0 * std::numbers::pi / len;
+        for (unsigned blk = 0; blk < fftSize; blk += len) {
+            for (unsigned k = 0; k < len / 2; ++k) {
+                const float wr =
+                    static_cast<float>(std::cos(angle * k));
+                const float wi =
+                    static_cast<float>(std::sin(angle * k));
+                const unsigned a = blk + k;
+                const unsigned b = blk + k + len / 2;
+                const float tr = re[b] * wr - im[b] * wi;
+                const float ti = re[b] * wi + im[b] * wr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+            }
+        }
+    }
+}
+
+class FftTransposeKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "fft_transpose",
+            {
+                {"real", fftSize * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"img", fftSize * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/64, /*maxOutstanding=*/8,
+                        /*startupCycles=*/24},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        inReal.resize(fftSize);
+        inImg.resize(fftSize);
+        for (unsigned i = 0; i < fftSize; ++i) {
+            inReal[i] = static_cast<float>(rng.nextDouble() * 2 - 1);
+            inImg[i] = static_cast<float>(rng.nextDouble() * 2 - 1);
+            mem.st<float>(real, i, inReal[i]);
+            mem.st<float>(img, i, inImg[i]);
+        }
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        // Stage into local BRAM (the transposing load).
+        std::vector<float> re(fftSize);
+        std::vector<float> im(fftSize);
+        for (unsigned i = 0; i < fftSize; ++i) {
+            re[i] = mem.ld<float>(real, i);
+            im[i] = mem.ld<float>(img, i);
+        }
+        mem.computeInt(fftSize); // permute address generation
+
+        localFft(re, im);
+        // n/2 log n butterflies, 10 flops each, plus twiddle generation.
+        mem.computeFp(fftSize / 2 * logSize * 10 + fftSize * 4);
+
+        for (unsigned i = 0; i < fftSize; ++i) {
+            mem.st<float>(real, i, re[i]);
+            mem.st<float>(img, i, im[i]);
+        }
+        mem.barrier();
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        std::vector<float> ref_r = inReal;
+        std::vector<float> ref_i = inImg;
+        localFft(ref_r, ref_i);
+
+        for (unsigned i = 0; i < fftSize; ++i) {
+            if (mem.ld<float>(real, i) != ref_r[i] ||
+                mem.ld<float>(img, i) != ref_i[i])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId real = 0;
+    static constexpr ObjectId img = 1;
+
+    std::vector<float> inReal;
+    std::vector<float> inImg;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeFftTranspose()
+{
+    return std::make_unique<FftTransposeKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

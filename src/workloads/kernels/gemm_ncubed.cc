@@ -1,0 +1,117 @@
+/**
+ * @file
+ * MachSuite "gemm_ncubed": naive triple-loop 64x64 single-precision
+ * matrix multiply, C = A * B. Three 16 KiB buffers per instance.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned dim = 64;
+
+std::vector<float>
+referenceGemm(const std::vector<float> &a, const std::vector<float> &b)
+{
+    std::vector<float> c(dim * dim, 0.0f);
+    for (unsigned i = 0; i < dim; ++i) {
+        for (unsigned j = 0; j < dim; ++j) {
+            float acc = 0;
+            for (unsigned k = 0; k < dim; ++k)
+                acc += a[i * dim + k] * b[k * dim + j];
+            c[i * dim + j] = acc;
+        }
+    }
+    return c;
+}
+
+class GemmNcubedKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "gemm_ncubed",
+            {
+                {"A", dim * dim * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"B", dim * dim * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"C", dim * dim * 4, BufferAccess::writeOnly,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/64, /*maxOutstanding=*/8,
+                        /*startupCycles=*/32},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        matA.resize(dim * dim);
+        matB.resize(dim * dim);
+        for (unsigned i = 0; i < dim * dim; ++i) {
+            matA[i] = static_cast<float>(rng.nextDouble() * 2 - 1);
+            matB[i] = static_cast<float>(rng.nextDouble() * 2 - 1);
+            mem.st<float>(bufA, i, matA[i]);
+            mem.st<float>(bufB, i, matB[i]);
+            mem.st<float>(bufC, i, 0.0f);
+        }
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        for (unsigned i = 0; i < dim; ++i) {
+            for (unsigned j = 0; j < dim; ++j) {
+                float acc = 0;
+                for (unsigned k = 0; k < dim; ++k) {
+                    acc += mem.ld<float>(bufA, i * dim + k) *
+                           mem.ld<float>(bufB, k * dim + j);
+                }
+                mem.computeFp(2 * dim);
+                mem.st<float>(bufC, i * dim + j, acc);
+            }
+        }
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        const std::vector<float> ref = referenceGemm(matA, matB);
+        for (unsigned i = 0; i < dim * dim; ++i) {
+            const float got = mem.ld<float>(bufC, i);
+            if (std::fabs(got - ref[i]) >
+                1e-4f + 1e-4f * std::fabs(ref[i]))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId bufA = 0;
+    static constexpr ObjectId bufB = 1;
+    static constexpr ObjectId bufC = 2;
+
+    std::vector<float> matA;
+    std::vector<float> matB;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeGemmNcubed()
+{
+    return std::make_unique<GemmNcubedKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared random-graph generation for the BFS kernels: a random
+ * arborescence (every node reachable from node 0) stored in CSR form,
+ * so both BFS variants traverse identical structure.
+ */
+
+#ifndef CAPCHECK_WORKLOADS_KERNELS_GRAPH_UTIL_HH
+#define CAPCHECK_WORKLOADS_KERNELS_GRAPH_UTIL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+
+namespace capcheck::workloads::kernels
+{
+
+struct CsrGraph
+{
+    std::vector<std::int32_t> edgeBegin; // per node
+    std::vector<std::int32_t> edgeEnd;   // per node
+    std::vector<std::int32_t> edges;     // child node ids
+};
+
+/** Build a random tree over @p num_nodes nodes rooted at node 0. */
+inline CsrGraph
+makeRandomTree(unsigned num_nodes, Rng &rng)
+{
+    std::vector<std::vector<std::int32_t>> children(num_nodes);
+    for (unsigned node = 1; node < num_nodes; ++node) {
+        const auto parent =
+            static_cast<unsigned>(rng.nextBounded(node));
+        children[parent].push_back(static_cast<std::int32_t>(node));
+    }
+
+    CsrGraph graph;
+    graph.edgeBegin.resize(num_nodes);
+    graph.edgeEnd.resize(num_nodes);
+    for (unsigned node = 0; node < num_nodes; ++node) {
+        graph.edgeBegin[node] =
+            static_cast<std::int32_t>(graph.edges.size());
+        for (const std::int32_t child : children[node])
+            graph.edges.push_back(child);
+        graph.edgeEnd[node] =
+            static_cast<std::int32_t>(graph.edges.size());
+    }
+    // Pad the edge array to exactly num_nodes entries so the buffer is
+    // fully sized regardless of tree shape.
+    graph.edges.resize(num_nodes, 0);
+    return graph;
+}
+
+/** Reference BFS levels, bounded to @p max_levels horizons. */
+inline std::vector<std::int8_t>
+referenceBfsLevels(const CsrGraph &graph, unsigned num_nodes,
+                   unsigned max_levels,
+                   std::vector<std::int32_t> *level_counts = nullptr)
+{
+    std::vector<std::int8_t> level(num_nodes, -1);
+    level[0] = 0;
+    if (level_counts)
+        level_counts->assign(max_levels, 0);
+
+    for (unsigned horizon = 0; horizon + 1 < max_levels; ++horizon) {
+        std::int32_t count = 0;
+        for (unsigned node = 0; node < num_nodes; ++node) {
+            if (level[node] != static_cast<std::int8_t>(horizon))
+                continue;
+            for (std::int32_t e = graph.edgeBegin[node];
+                 e < graph.edgeEnd[node]; ++e) {
+                const std::int32_t dst = graph.edges[e];
+                if (level[dst] == -1) {
+                    level[dst] = static_cast<std::int8_t>(horizon + 1);
+                    ++count;
+                }
+            }
+        }
+        if (level_counts)
+            (*level_counts)[horizon + 1] = count;
+        if (count == 0)
+            break;
+    }
+    return level;
+}
+
+} // namespace capcheck::workloads::kernels
+
+#endif // CAPCHECK_WORKLOADS_KERNELS_GRAPH_UTIL_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Internal factory declarations for the individual MachSuite kernels.
+ */
+
+#ifndef CAPCHECK_WORKLOADS_KERNELS_KERNELS_HH
+#define CAPCHECK_WORKLOADS_KERNELS_KERNELS_HH
+
+#include <memory>
+
+#include "workloads/kernel.hh"
+
+namespace capcheck::workloads::kernels
+{
+
+std::unique_ptr<Kernel> makeAes();
+std::unique_ptr<Kernel> makeBackprop();
+std::unique_ptr<Kernel> makeBfsBulk();
+std::unique_ptr<Kernel> makeBfsQueue();
+std::unique_ptr<Kernel> makeFftStrided();
+std::unique_ptr<Kernel> makeFftTranspose();
+std::unique_ptr<Kernel> makeGemmBlocked();
+std::unique_ptr<Kernel> makeGemmNcubed();
+std::unique_ptr<Kernel> makeKmp();
+std::unique_ptr<Kernel> makeMdGrid();
+std::unique_ptr<Kernel> makeMdKnn();
+std::unique_ptr<Kernel> makeNw();
+std::unique_ptr<Kernel> makeSortMerge();
+std::unique_ptr<Kernel> makeSortRadix();
+std::unique_ptr<Kernel> makeSpmvCrs();
+std::unique_ptr<Kernel> makeSpmvEllpack();
+std::unique_ptr<Kernel> makeStencil2d();
+std::unique_ptr<Kernel> makeStencil3d();
+std::unique_ptr<Kernel> makeViterbi();
+
+} // namespace capcheck::workloads::kernels
+
+#endif // CAPCHECK_WORKLOADS_KERNELS_KERNELS_HH

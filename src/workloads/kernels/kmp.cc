@@ -1,0 +1,156 @@
+/**
+ * @file
+ * MachSuite "kmp": Knuth-Morris-Pratt substring search of a 4-byte
+ * pattern over a ~64 KiB text. The text is too large for on-chip BRAM
+ * and is scanned beat-by-beat (external placement); the pattern and
+ * failure table are tiny and streamed.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned patternLen = 4;
+constexpr unsigned textLen = 64824;
+
+std::vector<std::int32_t>
+buildFailureTable(const std::vector<std::uint8_t> &pat)
+{
+    std::vector<std::int32_t> next(pat.size(), 0);
+    std::int32_t k = 0;
+    for (unsigned q = 1; q < pat.size(); ++q) {
+        while (k > 0 && pat[k] != pat[q])
+            k = next[k - 1];
+        if (pat[k] == pat[q])
+            ++k;
+        next[q] = k;
+    }
+    return next;
+}
+
+std::int32_t
+referenceMatches(const std::vector<std::uint8_t> &pat,
+                 const std::vector<std::uint8_t> &text)
+{
+    const std::vector<std::int32_t> next = buildFailureTable(pat);
+    std::int32_t matches = 0;
+    std::int32_t q = 0;
+    for (unsigned i = 0; i < text.size(); ++i) {
+        while (q > 0 && pat[q] != text[i])
+            q = next[q - 1];
+        if (pat[q] == text[i])
+            ++q;
+        if (q == static_cast<std::int32_t>(pat.size())) {
+            ++matches;
+            q = next[q - 1];
+        }
+    }
+    return matches;
+}
+
+class KmpKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "kmp",
+            {
+                {"pattern", patternLen, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"text", textLen, BufferAccess::readOnly,
+                 BufferPlacement::external},
+                {"kmp_next", 64, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"n_matches", 4, BufferAccess::writeOnly,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/8, /*maxOutstanding=*/8,
+                        /*startupCycles=*/16},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        pat.resize(patternLen);
+        text.resize(textLen);
+        // Small alphabet so matches actually occur.
+        for (unsigned i = 0; i < patternLen; ++i) {
+            pat[i] = static_cast<std::uint8_t>('a' + rng.nextBounded(4));
+            mem.st<std::uint8_t>(pattern, i, pat[i]);
+        }
+        for (unsigned i = 0; i < textLen; ++i) {
+            text[i] = static_cast<std::uint8_t>('a' + rng.nextBounded(4));
+            mem.st<std::uint8_t>(textBuf, i, text[i]);
+        }
+        mem.st<std::int32_t>(nMatches, 0, 0);
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        // Build the failure table on-chip, spill it for inspection.
+        std::vector<std::uint8_t> p(patternLen);
+        for (unsigned i = 0; i < patternLen; ++i)
+            p[i] = mem.ld<std::uint8_t>(pattern, i);
+        const std::vector<std::int32_t> next = buildFailureTable(p);
+        for (unsigned i = 0; i < patternLen; ++i)
+            mem.st<std::int32_t>(kmpNext, i, next[i]);
+        mem.computeInt(patternLen * 4);
+
+        std::int32_t matches = 0;
+        std::int32_t q = 0;
+        for (unsigned i = 0; i < textLen; ++i) {
+            const auto c = mem.ld<std::uint8_t>(textBuf, i);
+            while (q > 0 && p[q] != c) {
+                q = next[q - 1];
+                mem.computeInt(2);
+            }
+            if (p[q] == c)
+                ++q;
+            if (q == static_cast<std::int32_t>(patternLen)) {
+                ++matches;
+                q = next[q - 1];
+            }
+            mem.computeInt(3);
+        }
+        mem.st<std::int32_t>(nMatches, 0, matches);
+        mem.barrier();
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        return mem.ld<std::int32_t>(nMatches, 0) ==
+               referenceMatches(pat, text);
+    }
+
+  private:
+    static constexpr ObjectId pattern = 0;
+    static constexpr ObjectId textBuf = 1;
+    static constexpr ObjectId kmpNext = 2;
+    static constexpr ObjectId nMatches = 3;
+
+    std::vector<std::uint8_t> pat;
+    std::vector<std::uint8_t> text;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeKmp()
+{
+    return std::make_unique<KmpKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * MachSuite "md_grid": Lennard-Jones force computation over a 4x4x4
+ * spatial grid of cells, each holding up to 5 particles; forces come
+ * from particles in the 27 neighbouring cells. Positions/forces are
+ * streamed to BRAM; the datapath is FP-heavy.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned gridDim = 4;
+constexpr unsigned numCells = gridDim * gridDim * gridDim; // 64
+constexpr unsigned cellCapacity = 5;
+constexpr unsigned maxPoints = numCells * cellCapacity; // 320
+
+struct Vec3
+{
+    double x = 0;
+    double y = 0;
+    double z = 0;
+};
+
+/** LJ force contribution of j on i (truncated, unit parameters). */
+Vec3
+ljForce(const Vec3 &pi, const Vec3 &pj)
+{
+    const double dx = pi.x - pj.x;
+    const double dy = pi.y - pj.y;
+    const double dz = pi.z - pj.z;
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 <= 0 || r2 > 1.0)
+        return {};
+    const double r2inv = 1.0 / r2;
+    const double r6inv = r2inv * r2inv * r2inv;
+    const double potential = r6inv * (1.5 * r6inv - 2.0);
+    const double force = r2inv * potential;
+    return {dx * force, dy * force, dz * force};
+}
+
+class MdGridKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "md_grid",
+            {
+                {"n_points", numCells * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"pos_x", maxPoints * 8, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"pos_y", maxPoints * 8, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"pos_z", maxPoints * 8, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"frc_x", maxPoints * 8, BufferAccess::writeOnly,
+                 BufferPlacement::streamed},
+                {"frc_y", maxPoints * 8, BufferAccess::writeOnly,
+                 BufferPlacement::streamed},
+                {"frc_z", maxPoints * 8, BufferAccess::writeOnly,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/32, /*maxOutstanding=*/8,
+                        /*startupCycles=*/24},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        counts.resize(numCells);
+        pos.assign(maxPoints, {});
+
+        for (unsigned c = 0; c < numCells; ++c) {
+            counts[c] = 2 + static_cast<std::int32_t>(
+                                rng.nextBounded(cellCapacity - 1));
+            mem.st<std::int32_t>(nPoints, c, counts[c]);
+
+            const unsigned cx = c % gridDim;
+            const unsigned cy = (c / gridDim) % gridDim;
+            const unsigned cz = c / (gridDim * gridDim);
+            for (std::int32_t p = 0; p < counts[c]; ++p) {
+                Vec3 &v = pos[c * cellCapacity + p];
+                v.x = cx + rng.nextDouble();
+                v.y = cy + rng.nextDouble();
+                v.z = cz + rng.nextDouble();
+            }
+        }
+        for (unsigned i = 0; i < maxPoints; ++i) {
+            mem.st<double>(posX, i, pos[i].x);
+            mem.st<double>(posY, i, pos[i].y);
+            mem.st<double>(posZ, i, pos[i].z);
+            mem.st<double>(frcX, i, 0.0);
+            mem.st<double>(frcY, i, 0.0);
+            mem.st<double>(frcZ, i, 0.0);
+        }
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        for (unsigned c = 0; c < numCells; ++c) {
+            const unsigned cx = c % gridDim;
+            const unsigned cy = (c / gridDim) % gridDim;
+            const unsigned cz = c / (gridDim * gridDim);
+            const auto ni = mem.ld<std::int32_t>(nPoints, c);
+
+            for (std::int32_t i = 0; i < ni; ++i) {
+                const unsigned pi_idx = c * cellCapacity + i;
+                const Vec3 pi{mem.ld<double>(posX, pi_idx),
+                              mem.ld<double>(posY, pi_idx),
+                              mem.ld<double>(posZ, pi_idx)};
+                Vec3 acc;
+
+                for (int dz = -1; dz <= 1; ++dz) {
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            const int nx = static_cast<int>(cx) + dx;
+                            const int ny = static_cast<int>(cy) + dy;
+                            const int nz = static_cast<int>(cz) + dz;
+                            if (nx < 0 ||
+                                nx >= static_cast<int>(gridDim) ||
+                                ny < 0 ||
+                                ny >= static_cast<int>(gridDim) ||
+                                nz < 0 ||
+                                nz >= static_cast<int>(gridDim))
+                                continue;
+                            const unsigned nc = static_cast<unsigned>(
+                                nx + ny * gridDim +
+                                nz * gridDim * gridDim);
+                            const auto nj =
+                                mem.ld<std::int32_t>(nPoints, nc);
+                            for (std::int32_t j = 0; j < nj; ++j) {
+                                const unsigned pj_idx =
+                                    nc * cellCapacity +
+                                    static_cast<unsigned>(j);
+                                if (pj_idx == pi_idx)
+                                    continue;
+                                const Vec3 pj{
+                                    mem.ld<double>(posX, pj_idx),
+                                    mem.ld<double>(posY, pj_idx),
+                                    mem.ld<double>(posZ, pj_idx)};
+                                const Vec3 f = ljForce(pi, pj);
+                                acc.x += f.x;
+                                acc.y += f.y;
+                                acc.z += f.z;
+                                mem.computeFp(20);
+                            }
+                        }
+                    }
+                }
+                mem.st<double>(frcX, pi_idx, acc.x);
+                mem.st<double>(frcY, pi_idx, acc.y);
+                mem.st<double>(frcZ, pi_idx, acc.z);
+                mem.computeInt(27 * 4);
+            }
+        }
+        mem.barrier();
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        // Reference: brute-force over all cell pairs.
+        auto close = [](double a, double b) {
+            return std::fabs(a - b) <= 1e-9 + 1e-9 * std::fabs(b);
+        };
+        for (unsigned c = 0; c < numCells; ++c) {
+            const unsigned cx = c % gridDim;
+            const unsigned cy = (c / gridDim) % gridDim;
+            const unsigned cz = c / (gridDim * gridDim);
+            for (std::int32_t i = 0; i < counts[c]; ++i) {
+                const unsigned pi_idx =
+                    c * cellCapacity + static_cast<unsigned>(i);
+                Vec3 acc;
+                for (int dz = -1; dz <= 1; ++dz) {
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            const int nx = static_cast<int>(cx) + dx;
+                            const int ny = static_cast<int>(cy) + dy;
+                            const int nz = static_cast<int>(cz) + dz;
+                            if (nx < 0 ||
+                                nx >= static_cast<int>(gridDim) ||
+                                ny < 0 ||
+                                ny >= static_cast<int>(gridDim) ||
+                                nz < 0 ||
+                                nz >= static_cast<int>(gridDim))
+                                continue;
+                            const unsigned nc = static_cast<unsigned>(
+                                nx + ny * gridDim +
+                                nz * gridDim * gridDim);
+                            for (std::int32_t j = 0; j < counts[nc];
+                                 ++j) {
+                                const unsigned pj_idx =
+                                    nc * cellCapacity +
+                                    static_cast<unsigned>(j);
+                                if (pj_idx == pi_idx)
+                                    continue;
+                                const Vec3 f = ljForce(
+                                    pos[pi_idx], pos[pj_idx]);
+                                acc.x += f.x;
+                                acc.y += f.y;
+                                acc.z += f.z;
+                            }
+                        }
+                    }
+                }
+                if (!close(mem.ld<double>(frcX, pi_idx), acc.x) ||
+                    !close(mem.ld<double>(frcY, pi_idx), acc.y) ||
+                    !close(mem.ld<double>(frcZ, pi_idx), acc.z))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId nPoints = 0;
+    static constexpr ObjectId posX = 1;
+    static constexpr ObjectId posY = 2;
+    static constexpr ObjectId posZ = 3;
+    static constexpr ObjectId frcX = 4;
+    static constexpr ObjectId frcY = 5;
+    static constexpr ObjectId frcZ = 6;
+
+    std::vector<std::int32_t> counts;
+    std::vector<Vec3> pos;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeMdGrid()
+{
+    return std::make_unique<MdGridKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * MachSuite "nw": Needleman-Wunsch global sequence alignment of two
+ * 128-symbol sequences — integer dynamic programming over a 129x129
+ * score matrix plus pointer-based traceback.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned seqLen = 128;
+constexpr unsigned dpDim = seqLen + 1;
+constexpr std::int32_t matchScore = 1;
+constexpr std::int32_t mismatchScore = -1;
+constexpr std::int32_t gapScore = -1;
+constexpr std::int32_t gapSymbol = -1;
+
+enum TraceDir : std::int8_t
+{
+    traceDiag = 0,
+    traceUp = 1,
+    traceLeft = 2,
+};
+
+struct NwResult
+{
+    std::vector<std::int32_t> score; // dpDim * dpDim
+    std::vector<std::int8_t> trace;  // dpDim * dpDim
+    std::vector<std::int32_t> alignedA;
+    std::vector<std::int32_t> alignedB;
+};
+
+/** Pure reference alignment. */
+NwResult
+referenceAlign(const std::vector<std::int32_t> &a,
+               const std::vector<std::int32_t> &b)
+{
+    NwResult r;
+    r.score.assign(dpDim * dpDim, 0);
+    r.trace.assign(dpDim * dpDim, traceDiag);
+
+    for (unsigned i = 0; i <= seqLen; ++i) {
+        r.score[i * dpDim] = static_cast<std::int32_t>(i) * gapScore;
+        r.score[i] = static_cast<std::int32_t>(i) * gapScore;
+        if (i) {
+            r.trace[i * dpDim] = traceUp;
+            r.trace[i] = traceLeft;
+        }
+    }
+    for (unsigned i = 1; i <= seqLen; ++i) {
+        for (unsigned j = 1; j <= seqLen; ++j) {
+            const std::int32_t diag =
+                r.score[(i - 1) * dpDim + (j - 1)] +
+                (a[i - 1] == b[j - 1] ? matchScore : mismatchScore);
+            const std::int32_t up =
+                r.score[(i - 1) * dpDim + j] + gapScore;
+            const std::int32_t left =
+                r.score[i * dpDim + (j - 1)] + gapScore;
+
+            std::int32_t best = diag;
+            std::int8_t dir = traceDiag;
+            if (up > best) {
+                best = up;
+                dir = traceUp;
+            }
+            if (left > best) {
+                best = left;
+                dir = traceLeft;
+            }
+            r.score[i * dpDim + j] = best;
+            r.trace[i * dpDim + j] = dir;
+        }
+    }
+
+    // Traceback (front-filled, gap-padded to 2*seqLen entries).
+    std::vector<std::int32_t> ra;
+    std::vector<std::int32_t> rb;
+    unsigned i = seqLen;
+    unsigned j = seqLen;
+    while (i > 0 || j > 0) {
+        const std::int8_t dir = r.trace[i * dpDim + j];
+        if (i > 0 && j > 0 && dir == traceDiag) {
+            ra.push_back(a[--i]);
+            rb.push_back(b[--j]);
+        } else if (i > 0 && dir == traceUp) {
+            ra.push_back(a[--i]);
+            rb.push_back(gapSymbol);
+        } else {
+            ra.push_back(gapSymbol);
+            rb.push_back(b[--j]);
+        }
+    }
+    r.alignedA.assign(ra.rbegin(), ra.rend());
+    r.alignedB.assign(rb.rbegin(), rb.rend());
+    return r;
+}
+
+class NwKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "nw",
+            {
+                {"seqA", seqLen * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"seqB", seqLen * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"M", dpDim * dpDim * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"ptr", dpDim * dpDim, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"alignedA", (2 * seqLen + 1) * 4,
+                 BufferAccess::writeOnly, BufferPlacement::streamed},
+                {"alignedB", (2 * seqLen + 1) * 4,
+                 BufferAccess::writeOnly, BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/16, /*maxOutstanding=*/8,
+                        /*startupCycles=*/24},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        seqa.resize(seqLen);
+        seqb.resize(seqLen);
+        for (unsigned i = 0; i < seqLen; ++i) {
+            seqa[i] = static_cast<std::int32_t>(rng.nextBounded(4));
+            seqb[i] = static_cast<std::int32_t>(rng.nextBounded(4));
+            mem.st<std::int32_t>(seqA, i, seqa[i]);
+            mem.st<std::int32_t>(seqB, i, seqb[i]);
+        }
+        for (unsigned i = 0; i < dpDim * dpDim; ++i) {
+            mem.st<std::int32_t>(scoreM, i, 0);
+            mem.st<std::int8_t>(ptrM, i, traceDiag);
+        }
+        for (unsigned i = 0; i < 2 * seqLen + 1; ++i) {
+            mem.st<std::int32_t>(alignedA, i, 0);
+            mem.st<std::int32_t>(alignedB, i, 0);
+        }
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        // Border initialization.
+        for (unsigned i = 0; i <= seqLen; ++i) {
+            mem.st<std::int32_t>(scoreM, i * dpDim,
+                                 static_cast<std::int32_t>(i) *
+                                     gapScore);
+            mem.st<std::int32_t>(scoreM, i,
+                                 static_cast<std::int32_t>(i) *
+                                     gapScore);
+            if (i) {
+                mem.st<std::int8_t>(ptrM, i * dpDim, traceUp);
+                mem.st<std::int8_t>(ptrM, i, traceLeft);
+            }
+        }
+        mem.computeInt(dpDim * 2);
+
+        // DP fill.
+        for (unsigned i = 1; i <= seqLen; ++i) {
+            const auto ai = mem.ld<std::int32_t>(seqA, i - 1);
+            for (unsigned j = 1; j <= seqLen; ++j) {
+                const auto bj = mem.ld<std::int32_t>(seqB, j - 1);
+                const auto diag =
+                    mem.ld<std::int32_t>(scoreM,
+                                         (i - 1) * dpDim + (j - 1)) +
+                    (ai == bj ? matchScore : mismatchScore);
+                const auto up =
+                    mem.ld<std::int32_t>(scoreM, (i - 1) * dpDim + j) +
+                    gapScore;
+                const auto left =
+                    mem.ld<std::int32_t>(scoreM, i * dpDim + (j - 1)) +
+                    gapScore;
+
+                std::int32_t best = diag;
+                std::int8_t dir = traceDiag;
+                if (up > best) {
+                    best = up;
+                    dir = traceUp;
+                }
+                if (left > best) {
+                    best = left;
+                    dir = traceLeft;
+                }
+                mem.st<std::int32_t>(scoreM, i * dpDim + j, best);
+                mem.st<std::int8_t>(ptrM, i * dpDim + j, dir);
+                mem.computeInt(8);
+            }
+            mem.barrier(); // row dependence
+        }
+
+        // Traceback.
+        std::vector<std::int32_t> ra;
+        std::vector<std::int32_t> rb;
+        unsigned i = seqLen;
+        unsigned j = seqLen;
+        while (i > 0 || j > 0) {
+            const auto dir = mem.ld<std::int8_t>(ptrM, i * dpDim + j);
+            mem.barrier(); // pointer chase
+            if (i > 0 && j > 0 && dir == traceDiag) {
+                ra.push_back(mem.ld<std::int32_t>(seqA, --i));
+                rb.push_back(mem.ld<std::int32_t>(seqB, --j));
+            } else if (i > 0 && dir == traceUp) {
+                ra.push_back(mem.ld<std::int32_t>(seqA, --i));
+                rb.push_back(gapSymbol);
+            } else {
+                ra.push_back(gapSymbol);
+                rb.push_back(mem.ld<std::int32_t>(seqB, --j));
+            }
+            mem.computeInt(4);
+        }
+        mem.st<std::int32_t>(alignedA, 0,
+                             static_cast<std::int32_t>(ra.size()));
+        mem.st<std::int32_t>(alignedB, 0,
+                             static_cast<std::int32_t>(rb.size()));
+        for (unsigned k = 0; k < ra.size(); ++k) {
+            mem.st<std::int32_t>(alignedA, 1 + k,
+                                 ra[ra.size() - 1 - k]);
+            mem.st<std::int32_t>(alignedB, 1 + k,
+                                 rb[rb.size() - 1 - k]);
+        }
+        mem.barrier();
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        const NwResult ref = referenceAlign(seqa, seqb);
+
+        // Final score must match.
+        if (mem.ld<std::int32_t>(scoreM, seqLen * dpDim + seqLen) !=
+            ref.score[seqLen * dpDim + seqLen])
+            return false;
+        // Full matrices must match.
+        for (unsigned i = 0; i < dpDim * dpDim; ++i) {
+            if (mem.ld<std::int32_t>(scoreM, i) != ref.score[i])
+                return false;
+        }
+        // Aligned sequences must match the reference traceback.
+        const auto len_a =
+            static_cast<unsigned>(mem.ld<std::int32_t>(alignedA, 0));
+        if (len_a != ref.alignedA.size())
+            return false;
+        for (unsigned k = 0; k < len_a; ++k) {
+            if (mem.ld<std::int32_t>(alignedA, 1 + k) !=
+                    ref.alignedA[k] ||
+                mem.ld<std::int32_t>(alignedB, 1 + k) !=
+                    ref.alignedB[k])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId seqA = 0;
+    static constexpr ObjectId seqB = 1;
+    static constexpr ObjectId scoreM = 2;
+    static constexpr ObjectId ptrM = 3;
+    static constexpr ObjectId alignedA = 4;
+    static constexpr ObjectId alignedB = 5;
+
+    std::vector<std::int32_t> seqa;
+    std::vector<std::int32_t> seqb;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeNw()
+{
+    return std::make_unique<NwKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * MachSuite "sort_merge": bottom-up merge sort of 2048 32-bit integers
+ * using a temporary buffer, with bulk copy-back passes.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned numElems = 2048;
+
+class SortMergeKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "sort_merge",
+            {
+                {"a", numElems * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"temp", numElems * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/8, /*maxOutstanding=*/8,
+                        /*startupCycles=*/16},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        input.resize(numElems);
+        for (unsigned i = 0; i < numElems; ++i) {
+            input[i] = static_cast<std::int32_t>(rng.next());
+            mem.st<std::int32_t>(a, i, input[i]);
+        }
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        for (unsigned width = 1; width < numElems; width *= 2) {
+            for (unsigned lo = 0; lo < numElems; lo += 2 * width) {
+                const unsigned mid = std::min(lo + width, numElems);
+                const unsigned hi = std::min(lo + 2 * width, numElems);
+
+                unsigned i = lo;
+                unsigned j = mid;
+                for (unsigned k = lo; k < hi; ++k) {
+                    if (i < mid &&
+                        (j >= hi || mem.ld<std::int32_t>(a, i) <=
+                                        mem.ld<std::int32_t>(a, j))) {
+                        mem.st<std::int32_t>(
+                            temp, k, mem.ld<std::int32_t>(a, i++));
+                    } else {
+                        mem.st<std::int32_t>(
+                            temp, k, mem.ld<std::int32_t>(a, j++));
+                    }
+                    mem.computeInt(4);
+                }
+            }
+            // Bulk copy the merged pass back (wide-copy path on CHERI).
+            mem.copy(a, 0, temp, 0, numElems * 4);
+            mem.barrier(); // next pass depends on this one
+        }
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        std::vector<std::int32_t> ref = input;
+        std::sort(ref.begin(), ref.end());
+        for (unsigned i = 0; i < numElems; ++i) {
+            if (mem.ld<std::int32_t>(a, i) != ref[i])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId a = 0;
+    static constexpr ObjectId temp = 1;
+
+    std::vector<std::int32_t> input;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeSortMerge()
+{
+    return std::make_unique<SortMergeKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

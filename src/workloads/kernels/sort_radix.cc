@@ -1,0 +1,138 @@
+/**
+ * @file
+ * MachSuite "sort_radix": LSD radix sort of 2048 32-bit unsigned keys,
+ * 4 bits per pass, with a 16-entry bucket histogram and ping-pong
+ * buffers.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned numElems = 2048;
+constexpr unsigned radixBits = 4;
+constexpr unsigned numBuckets = 1u << radixBits;
+constexpr unsigned numPasses = 32 / radixBits;
+
+class SortRadixKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "sort_radix",
+            {
+                {"a", numElems * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"b", numElems * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"bucket", numBuckets * 4, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+                {"sum", 16, BufferAccess::readWrite,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/8, /*maxOutstanding=*/8,
+                        /*startupCycles=*/16},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        input.resize(numElems);
+        for (unsigned i = 0; i < numElems; ++i) {
+            input[i] = static_cast<std::uint32_t>(rng.next());
+            mem.st<std::uint32_t>(a, i, input[i]);
+        }
+        for (unsigned i = 0; i < numBuckets; ++i)
+            mem.st<std::uint32_t>(bucket, i, 0);
+        for (unsigned i = 0; i < 4; ++i)
+            mem.st<std::uint32_t>(sum, i, 0);
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        ObjectId src = a;
+        ObjectId dst = b;
+        for (unsigned pass = 0; pass < numPasses; ++pass) {
+            const unsigned shift = pass * radixBits;
+
+            // Histogram.
+            for (unsigned i = 0; i < numBuckets; ++i)
+                mem.st<std::uint32_t>(bucket, i, 0);
+            for (unsigned i = 0; i < numElems; ++i) {
+                const auto key = mem.ld<std::uint32_t>(src, i);
+                const unsigned d = (key >> shift) & (numBuckets - 1);
+                mem.st<std::uint32_t>(
+                    bucket, d, mem.ld<std::uint32_t>(bucket, d) + 1);
+                mem.computeInt(3);
+            }
+            mem.barrier();
+
+            // Exclusive prefix sum over buckets.
+            std::uint32_t running = 0;
+            for (unsigned i = 0; i < numBuckets; ++i) {
+                const auto count = mem.ld<std::uint32_t>(bucket, i);
+                mem.st<std::uint32_t>(bucket, i, running);
+                running += count;
+                mem.computeInt(2);
+            }
+            mem.st<std::uint32_t>(sum, 0, running);
+            mem.barrier();
+
+            // Scatter.
+            for (unsigned i = 0; i < numElems; ++i) {
+                const auto key = mem.ld<std::uint32_t>(src, i);
+                const unsigned d = (key >> shift) & (numBuckets - 1);
+                const auto pos = mem.ld<std::uint32_t>(bucket, d);
+                mem.st<std::uint32_t>(bucket, d, pos + 1);
+                mem.st<std::uint32_t>(dst, pos, key);
+                mem.computeInt(4);
+            }
+            mem.barrier();
+            std::swap(src, dst);
+        }
+        // numPasses is even, so the sorted data ends in 'a'.
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        std::vector<std::uint32_t> ref = input;
+        std::sort(ref.begin(), ref.end());
+        for (unsigned i = 0; i < numElems; ++i) {
+            if (mem.ld<std::uint32_t>(a, i) != ref[i])
+                return false;
+        }
+        // The last pass's total must equal the element count.
+        return mem.ld<std::uint32_t>(sum, 0) == numElems;
+    }
+
+  private:
+    static constexpr ObjectId a = 0;
+    static constexpr ObjectId b = 1;
+    static constexpr ObjectId bucket = 2;
+    static constexpr ObjectId sum = 3;
+
+    std::vector<std::uint32_t> input;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeSortRadix()
+{
+    return std::make_unique<SortRadixKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * MachSuite "spmv_crs": sparse matrix-vector multiply in compressed
+ * row storage. 494 rows, 833 non-zeros (double precision), matching
+ * Table 2's buffer sizes. The column-index gather on the dense vector
+ * is data-dependent, so the vector is accessed beat-by-beat.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned numRows = 494;
+constexpr unsigned numNonzeros = 833;
+
+class SpmvCrsKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "spmv_crs",
+            {
+                {"val", numNonzeros * 8, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"cols", numNonzeros * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"rowptr", (numRows + 1) * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"vec", numRows * 4, BufferAccess::readOnly,
+                 BufferPlacement::external},
+                {"out", numRows * 4, BufferAccess::writeOnly,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/16, /*maxOutstanding=*/4,
+                        /*startupCycles=*/16},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        vals.resize(numNonzeros);
+        cols_h.resize(numNonzeros);
+        rowptr_h.resize(numRows + 1);
+        vec_h.resize(numRows);
+
+        // Distribute non-zeros over rows: one guaranteed per row, the
+        // rest at random.
+        std::vector<unsigned> per_row(numRows, 1);
+        for (unsigned k = numRows; k < numNonzeros; ++k)
+            ++per_row[rng.nextBounded(numRows)];
+
+        unsigned nz = 0;
+        for (unsigned r = 0; r < numRows; ++r) {
+            rowptr_h[r] = static_cast<std::int32_t>(nz);
+            for (unsigned k = 0; k < per_row[r]; ++k) {
+                vals[nz] = rng.nextDouble() * 2 - 1;
+                cols_h[nz] = static_cast<std::int32_t>(
+                    rng.nextBounded(numRows));
+                ++nz;
+            }
+        }
+        rowptr_h[numRows] = static_cast<std::int32_t>(nz);
+
+        for (unsigned i = 0; i < numRows; ++i)
+            vec_h[i] = static_cast<float>(rng.nextDouble() * 2 - 1);
+
+        for (unsigned i = 0; i < numNonzeros; ++i) {
+            mem.st<double>(val, i, vals[i]);
+            mem.st<std::int32_t>(cols, i, cols_h[i]);
+        }
+        for (unsigned i = 0; i <= numRows; ++i)
+            mem.st<std::int32_t>(rowptr, i, rowptr_h[i]);
+        for (unsigned i = 0; i < numRows; ++i) {
+            mem.st<float>(vec, i, vec_h[i]);
+            mem.st<float>(out, i, 0.0f);
+        }
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        for (unsigned r = 0; r < numRows; ++r) {
+            const auto begin = mem.ld<std::int32_t>(rowptr, r);
+            const auto end = mem.ld<std::int32_t>(rowptr, r + 1);
+            double acc = 0;
+            for (std::int32_t k = begin; k < end; ++k) {
+                const auto col = mem.ld<std::int32_t>(cols, k);
+                acc += mem.ld<double>(val, k) * mem.ld<float>(vec, col);
+                mem.computeFp(2);
+            }
+            mem.st<float>(out, r, static_cast<float>(acc));
+            mem.computeInt(2 + (end - begin));
+        }
+        mem.barrier();
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        for (unsigned r = 0; r < numRows; ++r) {
+            double acc = 0;
+            for (std::int32_t k = rowptr_h[r]; k < rowptr_h[r + 1]; ++k)
+                acc += vals[k] * vec_h[cols_h[k]];
+            const float got = mem.ld<float>(out, r);
+            if (std::fabs(got - static_cast<float>(acc)) >
+                1e-5f + 1e-5f * std::fabs(acc))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId val = 0;
+    static constexpr ObjectId cols = 1;
+    static constexpr ObjectId rowptr = 2;
+    static constexpr ObjectId vec = 3;
+    static constexpr ObjectId out = 4;
+
+    std::vector<double> vals;
+    std::vector<std::int32_t> cols_h;
+    std::vector<std::int32_t> rowptr_h;
+    std::vector<float> vec_h;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeSpmvCrs()
+{
+    return std::make_unique<SpmvCrsKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

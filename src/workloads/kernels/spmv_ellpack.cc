@@ -1,0 +1,137 @@
+/**
+ * @file
+ * MachSuite "spmv_ellpack": sparse matrix-vector multiply in ELLPACK
+ * format — 494 rows, a fixed 10 entries per row (padded with zeros),
+ * regular access pattern amenable to streaming.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned numRows = 494;
+constexpr unsigned entriesPerRow = 10;
+
+class SpmvEllpackKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "spmv_ellpack",
+            {
+                {"nzval", numRows * entriesPerRow * 4,
+                 BufferAccess::readOnly, BufferPlacement::streamed},
+                {"cols", numRows * entriesPerRow * 4,
+                 BufferAccess::readOnly, BufferPlacement::streamed},
+                {"vec", numRows * 4, BufferAccess::readOnly,
+                 BufferPlacement::external},
+                {"out", numRows * 4, BufferAccess::writeOnly,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/16, /*maxOutstanding=*/4,
+                        /*startupCycles=*/16},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        nzval_h.resize(numRows * entriesPerRow);
+        cols_h.resize(numRows * entriesPerRow);
+        vec_h.resize(numRows);
+
+        for (unsigned r = 0; r < numRows; ++r) {
+            // A random number of real entries per row; rest padded.
+            const unsigned real =
+                1 + static_cast<unsigned>(
+                        rng.nextBounded(entriesPerRow));
+            for (unsigned k = 0; k < entriesPerRow; ++k) {
+                const unsigned i = r * entriesPerRow + k;
+                if (k < real) {
+                    nzval_h[i] = static_cast<float>(
+                        rng.nextDouble() * 2 - 1);
+                    cols_h[i] = static_cast<std::int32_t>(
+                        rng.nextBounded(numRows));
+                } else {
+                    nzval_h[i] = 0.0f;
+                    cols_h[i] = 0;
+                }
+            }
+        }
+        for (unsigned i = 0; i < numRows; ++i)
+            vec_h[i] = static_cast<float>(rng.nextDouble() * 2 - 1);
+
+        for (unsigned i = 0; i < numRows * entriesPerRow; ++i) {
+            mem.st<float>(nzval, i, nzval_h[i]);
+            mem.st<std::int32_t>(cols, i, cols_h[i]);
+        }
+        for (unsigned i = 0; i < numRows; ++i) {
+            mem.st<float>(vec, i, vec_h[i]);
+            mem.st<float>(out, i, 0.0f);
+        }
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        for (unsigned r = 0; r < numRows; ++r) {
+            float acc = 0;
+            for (unsigned k = 0; k < entriesPerRow; ++k) {
+                const unsigned i = r * entriesPerRow + k;
+                const auto col = mem.ld<std::int32_t>(cols, i);
+                acc += mem.ld<float>(nzval, i) *
+                       mem.ld<float>(vec, col);
+                mem.computeFp(2);
+            }
+            mem.st<float>(out, r, acc);
+            mem.computeInt(entriesPerRow);
+        }
+        mem.barrier();
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        for (unsigned r = 0; r < numRows; ++r) {
+            float acc = 0;
+            for (unsigned k = 0; k < entriesPerRow; ++k) {
+                const unsigned i = r * entriesPerRow + k;
+                acc += nzval_h[i] * vec_h[cols_h[i]];
+            }
+            const float got = mem.ld<float>(out, r);
+            if (std::fabs(got - acc) > 1e-5f + 1e-5f * std::fabs(acc))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId nzval = 0;
+    static constexpr ObjectId cols = 1;
+    static constexpr ObjectId vec = 2;
+    static constexpr ObjectId out = 3;
+
+    std::vector<float> nzval_h;
+    std::vector<std::int32_t> cols_h;
+    std::vector<float> vec_h;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeSpmvEllpack()
+{
+    return std::make_unique<SpmvEllpackKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * MachSuite "stencil2d": 3x3 convolution over a 128x64 integer grid.
+ * The grids exceed what the generated datapath buffers locally, so
+ * every element access is an individual DMA beat — one of the paper's
+ * memory-bound benchmarks.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned rows = 128;
+constexpr unsigned cols = 64;
+constexpr unsigned filterDim = 3;
+
+class Stencil2dKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "stencil2d",
+            {
+                {"orig", rows * cols * 4, BufferAccess::readOnly,
+                 BufferPlacement::external},
+                {"sol", rows * cols * 4, BufferAccess::writeOnly,
+                 BufferPlacement::external},
+                {"filter", filterDim * filterDim * 4,
+                 BufferAccess::readOnly, BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/8, /*maxOutstanding=*/1,
+                        /*startupCycles=*/16},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        grid.resize(rows * cols);
+        filt.resize(filterDim * filterDim);
+        for (unsigned i = 0; i < grid.size(); ++i) {
+            grid[i] = static_cast<std::int32_t>(rng.nextBounded(256));
+            mem.st<std::int32_t>(orig, i, grid[i]);
+            mem.st<std::int32_t>(sol, i, 0);
+        }
+        for (unsigned i = 0; i < filt.size(); ++i) {
+            filt[i] =
+                static_cast<std::int32_t>(rng.nextRange(-4, 4));
+            mem.st<std::int32_t>(filter, i, filt[i]);
+        }
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        // Filter coefficients live in registers after one pass.
+        std::int32_t f[filterDim * filterDim];
+        for (unsigned i = 0; i < filterDim * filterDim; ++i)
+            f[i] = mem.ld<std::int32_t>(filter, i);
+
+        for (unsigned r = 0; r + filterDim <= rows; ++r) {
+            for (unsigned c = 0; c + filterDim <= cols; ++c) {
+                std::int32_t acc = 0;
+                for (unsigned fr = 0; fr < filterDim; ++fr) {
+                    for (unsigned fc = 0; fc < filterDim; ++fc) {
+                        acc += f[fr * filterDim + fc] *
+                               mem.ld<std::int32_t>(
+                                   orig, (r + fr) * cols + (c + fc));
+                    }
+                }
+                mem.st<std::int32_t>(sol, r * cols + c, acc);
+                mem.computeInt(filterDim * filterDim * 2);
+            }
+        }
+        mem.barrier();
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        for (unsigned r = 0; r + filterDim <= rows; ++r) {
+            for (unsigned c = 0; c + filterDim <= cols; ++c) {
+                std::int32_t acc = 0;
+                for (unsigned fr = 0; fr < filterDim; ++fr) {
+                    for (unsigned fc = 0; fc < filterDim; ++fc) {
+                        acc += filt[fr * filterDim + fc] *
+                               grid[(r + fr) * cols + (c + fc)];
+                    }
+                }
+                if (mem.ld<std::int32_t>(sol, r * cols + c) != acc)
+                    return false;
+            }
+        }
+        // Untouched border must remain zero.
+        for (unsigned c = cols - filterDim + 1; c < cols; ++c) {
+            if (mem.ld<std::int32_t>(sol, c) != 0)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId orig = 0;
+    static constexpr ObjectId sol = 1;
+    static constexpr ObjectId filter = 2;
+
+    std::vector<std::int32_t> grid;
+    std::vector<std::int32_t> filt;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeStencil2d()
+{
+    return std::make_unique<Stencil2dKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

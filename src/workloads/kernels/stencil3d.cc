@@ -1,0 +1,162 @@
+/**
+ * @file
+ * MachSuite "stencil3d": 7-point von-Neumann stencil over a 32x32x16
+ * integer volume with boundary copy-through, weighted by two
+ * coefficients (the 8-byte "C" buffer of Table 2).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned dimX = 32;
+constexpr unsigned dimY = 32;
+constexpr unsigned dimZ = 16;
+
+unsigned
+idx(unsigned x, unsigned y, unsigned z)
+{
+    return (z * dimY + y) * dimX + x;
+}
+
+class Stencil3dKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "stencil3d",
+            {
+                {"orig", dimX * dimY * dimZ * 4, BufferAccess::readOnly,
+                 BufferPlacement::external},
+                {"sol", dimX * dimY * dimZ * 4, BufferAccess::writeOnly,
+                 BufferPlacement::external},
+                {"C", 8, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/8, /*maxOutstanding=*/1,
+                        /*startupCycles=*/16},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        vol.resize(dimX * dimY * dimZ);
+        for (unsigned i = 0; i < vol.size(); ++i) {
+            vol[i] = static_cast<std::int32_t>(rng.nextBounded(100));
+            mem.st<std::int32_t>(orig, i, vol[i]);
+            mem.st<std::int32_t>(sol, i, 0);
+        }
+        c0 = 2;
+        c1 = -1;
+        mem.st<std::int32_t>(coeff, 0, c0);
+        mem.st<std::int32_t>(coeff, 1, c1);
+    }
+
+    static std::int32_t
+    stencilAt(const std::vector<std::int32_t> &v, unsigned x, unsigned y,
+              unsigned z, std::int32_t c0, std::int32_t c1)
+    {
+        const std::int32_t sum = v[idx(x, y, z - 1)] +
+                                 v[idx(x, y, z + 1)] +
+                                 v[idx(x, y - 1, z)] +
+                                 v[idx(x, y + 1, z)] +
+                                 v[idx(x - 1, y, z)] +
+                                 v[idx(x + 1, y, z)];
+        return c0 * v[idx(x, y, z)] + c1 * sum;
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        const auto k0 = mem.ld<std::int32_t>(coeff, 0);
+        const auto k1 = mem.ld<std::int32_t>(coeff, 1);
+
+        // Boundary copy-through.
+        for (unsigned z = 0; z < dimZ; ++z) {
+            for (unsigned y = 0; y < dimY; ++y) {
+                for (unsigned x = 0; x < dimX; ++x) {
+                    const bool boundary =
+                        x == 0 || x == dimX - 1 || y == 0 ||
+                        y == dimY - 1 || z == 0 || z == dimZ - 1;
+                    if (boundary) {
+                        mem.st<std::int32_t>(
+                            sol, idx(x, y, z),
+                            mem.ld<std::int32_t>(orig, idx(x, y, z)));
+                    }
+                }
+            }
+        }
+        mem.barrier();
+
+        // Interior stencil.
+        for (unsigned z = 1; z + 1 < dimZ; ++z) {
+            for (unsigned y = 1; y + 1 < dimY; ++y) {
+                for (unsigned x = 1; x + 1 < dimX; ++x) {
+                    std::int32_t sum = 0;
+                    sum += mem.ld<std::int32_t>(orig, idx(x, y, z - 1));
+                    sum += mem.ld<std::int32_t>(orig, idx(x, y, z + 1));
+                    sum += mem.ld<std::int32_t>(orig, idx(x, y - 1, z));
+                    sum += mem.ld<std::int32_t>(orig, idx(x, y + 1, z));
+                    sum += mem.ld<std::int32_t>(orig, idx(x - 1, y, z));
+                    sum += mem.ld<std::int32_t>(orig, idx(x + 1, y, z));
+                    const std::int32_t center =
+                        mem.ld<std::int32_t>(orig, idx(x, y, z));
+                    mem.st<std::int32_t>(sol, idx(x, y, z),
+                                         k0 * center + k1 * sum);
+                    mem.computeInt(9);
+                }
+            }
+        }
+        mem.barrier();
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        for (unsigned z = 0; z < dimZ; ++z) {
+            for (unsigned y = 0; y < dimY; ++y) {
+                for (unsigned x = 0; x < dimX; ++x) {
+                    const bool boundary =
+                        x == 0 || x == dimX - 1 || y == 0 ||
+                        y == dimY - 1 || z == 0 || z == dimZ - 1;
+                    const std::int32_t expect =
+                        boundary ? vol[idx(x, y, z)]
+                                 : stencilAt(vol, x, y, z, c0, c1);
+                    if (mem.ld<std::int32_t>(sol, idx(x, y, z)) !=
+                        expect)
+                        return false;
+                }
+            }
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId orig = 0;
+    static constexpr ObjectId sol = 1;
+    static constexpr ObjectId coeff = 2;
+
+    std::vector<std::int32_t> vol;
+    std::int32_t c0 = 0;
+    std::int32_t c1 = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeStencil3d()
+{
+    return std::make_unique<Stencil3dKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

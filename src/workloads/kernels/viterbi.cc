@@ -1,0 +1,226 @@
+/**
+ * @file
+ * MachSuite "viterbi": most-likely hidden state path of a 64-state,
+ * 32-symbol HMM over 128 observations, in negative-log-likelihood
+ * space (min-sum recursion), single precision.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/kernels.hh"
+
+namespace capcheck::workloads::kernels
+{
+namespace
+{
+
+constexpr unsigned numStates = 64;
+constexpr unsigned numSymbols = 32;
+constexpr unsigned numObs = 128;
+
+struct Hmm
+{
+    std::vector<float> init;     // numStates (negative log prob)
+    std::vector<float> trans;    // numStates x numStates
+    std::vector<float> emission; // numStates x numSymbols
+};
+
+/** Pure reference Viterbi decode. */
+std::vector<std::int32_t>
+referenceDecode(const Hmm &hmm, const std::vector<std::int32_t> &obs)
+{
+    std::vector<float> llike(numObs * numStates);
+    std::vector<std::int8_t> from(numObs * numStates, 0);
+
+    for (unsigned s = 0; s < numStates; ++s)
+        llike[s] = hmm.init[s] +
+                   hmm.emission[s * numSymbols +
+                                static_cast<unsigned>(obs[0])];
+
+    for (unsigned t = 1; t < numObs; ++t) {
+        for (unsigned curr = 0; curr < numStates; ++curr) {
+            float best = 3.4e38f;
+            std::int8_t best_prev = 0;
+            for (unsigned prev = 0; prev < numStates; ++prev) {
+                const float cand =
+                    llike[(t - 1) * numStates + prev] +
+                    hmm.trans[prev * numStates + curr];
+                if (cand < best) {
+                    best = cand;
+                    best_prev = static_cast<std::int8_t>(prev);
+                }
+            }
+            llike[t * numStates + curr] =
+                best + hmm.emission[curr * numSymbols +
+                                    static_cast<unsigned>(obs[t])];
+            from[t * numStates + curr] = best_prev;
+        }
+    }
+
+    std::vector<std::int32_t> path(numObs);
+    unsigned best_state = 0;
+    for (unsigned s = 1; s < numStates; ++s) {
+        if (llike[(numObs - 1) * numStates + s] <
+            llike[(numObs - 1) * numStates + best_state])
+            best_state = s;
+    }
+    path[numObs - 1] = static_cast<std::int32_t>(best_state);
+    for (unsigned t = numObs - 1; t > 0; --t) {
+        best_state = static_cast<unsigned>(
+            from[t * numStates + best_state]);
+        path[t - 1] = static_cast<std::int32_t>(best_state);
+    }
+    return path;
+}
+
+class ViterbiKernel : public Kernel
+{
+  public:
+    const KernelSpec &
+    spec() const override
+    {
+        static const KernelSpec kSpec{
+            "viterbi",
+            {
+                {"trans", numStates * numStates * 4,
+                 BufferAccess::readOnly, BufferPlacement::streamed},
+                {"emission", numStates * numSymbols * 4,
+                 BufferAccess::readOnly, BufferPlacement::streamed},
+                {"init", numStates * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"obs", numObs * 4, BufferAccess::readOnly,
+                 BufferPlacement::streamed},
+                {"path", numObs * 4, BufferAccess::writeOnly,
+                 BufferPlacement::streamed},
+            },
+            AccelTiming{/*ilp=*/128, /*maxOutstanding=*/8,
+                        /*startupCycles=*/32},
+        };
+        return kSpec;
+    }
+
+    void
+    init(MemoryAccessor &mem, Rng &rng) override
+    {
+        hmm.init.resize(numStates);
+        hmm.trans.resize(numStates * numStates);
+        hmm.emission.resize(numStates * numSymbols);
+        obs_h.resize(numObs);
+
+        // Negative-log-space probabilities: random positive costs.
+        for (unsigned i = 0; i < hmm.init.size(); ++i)
+            hmm.init[i] = static_cast<float>(rng.nextDouble() * 8);
+        for (unsigned i = 0; i < hmm.trans.size(); ++i)
+            hmm.trans[i] = static_cast<float>(rng.nextDouble() * 8);
+        for (unsigned i = 0; i < hmm.emission.size(); ++i)
+            hmm.emission[i] = static_cast<float>(rng.nextDouble() * 8);
+        for (unsigned i = 0; i < numObs; ++i)
+            obs_h[i] = static_cast<std::int32_t>(
+                rng.nextBounded(numSymbols));
+
+        for (unsigned i = 0; i < hmm.trans.size(); ++i)
+            mem.st<float>(trans, i, hmm.trans[i]);
+        for (unsigned i = 0; i < hmm.emission.size(); ++i)
+            mem.st<float>(emission, i, hmm.emission[i]);
+        for (unsigned i = 0; i < numStates; ++i)
+            mem.st<float>(initB, i, hmm.init[i]);
+        for (unsigned i = 0; i < numObs; ++i) {
+            mem.st<std::int32_t>(obs, i, obs_h[i]);
+            mem.st<std::int32_t>(path, i, 0);
+        }
+    }
+
+    void
+    run(MemoryAccessor &mem) override
+    {
+        // llike/from live in accelerator-local BRAM.
+        std::vector<float> llike(numObs * numStates);
+        std::vector<std::int8_t> from(numObs * numStates, 0);
+
+        const auto o0 = static_cast<unsigned>(
+            mem.ld<std::int32_t>(obs, 0));
+        for (unsigned s = 0; s < numStates; ++s) {
+            llike[s] = mem.ld<float>(initB, s) +
+                       mem.ld<float>(emission, s * numSymbols + o0);
+        }
+        mem.computeFp(numStates);
+
+        for (unsigned t = 1; t < numObs; ++t) {
+            const auto ot = static_cast<unsigned>(
+                mem.ld<std::int32_t>(obs, t));
+            for (unsigned curr = 0; curr < numStates; ++curr) {
+                float best = 3.4e38f;
+                std::int8_t best_prev = 0;
+                for (unsigned prev = 0; prev < numStates; ++prev) {
+                    const float cand =
+                        llike[(t - 1) * numStates + prev] +
+                        mem.ld<float>(trans,
+                                      prev * numStates + curr);
+                    if (cand < best) {
+                        best = cand;
+                        best_prev = static_cast<std::int8_t>(prev);
+                    }
+                }
+                llike[t * numStates + curr] =
+                    best + mem.ld<float>(emission,
+                                         curr * numSymbols + ot);
+                from[t * numStates + curr] = best_prev;
+            }
+            mem.computeFp(numStates * numStates * 2);
+            mem.barrier(); // time recursion
+        }
+
+        unsigned best_state = 0;
+        for (unsigned s = 1; s < numStates; ++s) {
+            if (llike[(numObs - 1) * numStates + s] <
+                llike[(numObs - 1) * numStates + best_state])
+                best_state = s;
+        }
+        mem.computeFp(numStates);
+
+        mem.st<std::int32_t>(path, numObs - 1,
+                             static_cast<std::int32_t>(best_state));
+        for (unsigned t = numObs - 1; t > 0; --t) {
+            best_state = static_cast<unsigned>(
+                from[t * numStates + best_state]);
+            mem.st<std::int32_t>(path, t - 1,
+                                 static_cast<std::int32_t>(best_state));
+        }
+        mem.computeInt(numObs);
+        mem.barrier();
+    }
+
+    bool
+    check(MemoryAccessor &mem) override
+    {
+        const std::vector<std::int32_t> ref =
+            referenceDecode(hmm, obs_h);
+        for (unsigned t = 0; t < numObs; ++t) {
+            if (mem.ld<std::int32_t>(path, t) != ref[t])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr ObjectId trans = 0;
+    static constexpr ObjectId emission = 1;
+    static constexpr ObjectId initB = 2;
+    static constexpr ObjectId obs = 3;
+    static constexpr ObjectId path = 4;
+
+    Hmm hmm;
+    std::vector<std::int32_t> obs_h;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeViterbi()
+{
+    return std::make_unique<ViterbiKernel>();
+}
+
+} // namespace capcheck::workloads::kernels

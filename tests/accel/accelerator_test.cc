@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "base/logging.hh"
+#include "workloads/kernel.hh"
+
+namespace capcheck::accel
+{
+namespace
+{
+
+TEST(Accelerator, ClaimAndRelease)
+{
+    Accelerator accel("gemm", workloads::kernelSpec("gemm_ncubed"), 2);
+    const auto a = accel.claimInstance(10);
+    const auto b = accel.claimInstance(11);
+    ASSERT_TRUE(a && b);
+    EXPECT_NE(*a, *b);
+    EXPECT_FALSE(accel.claimInstance(12));
+
+    accel.releaseInstance(*a);
+    const auto c = accel.claimInstance(12);
+    ASSERT_TRUE(c);
+    EXPECT_EQ(*c, *a);
+}
+
+TEST(Accelerator, RegsTrackOwnership)
+{
+    Accelerator accel("aes", workloads::kernelSpec("aes"), 1);
+    const auto idx = accel.claimInstance(42);
+    ASSERT_TRUE(idx);
+    EXPECT_TRUE(accel.regs(*idx).busy);
+    EXPECT_EQ(accel.regs(*idx).task, 42u);
+}
+
+TEST(Accelerator, ReleaseClearsControlRegisters)
+{
+    Accelerator accel("aes", workloads::kernelSpec("aes"), 1);
+    const auto idx = accel.claimInstance(1);
+    ASSERT_TRUE(idx);
+    accel.regs(*idx).objBase[0] = 0xdead0000;
+    accel.regs(*idx).started = true;
+
+    accel.releaseInstance(*idx);
+    // Stale pointers must not leak to the next task (Fig. 6 (2)).
+    EXPECT_EQ(accel.regs(*idx).objBase[0], 0u);
+    EXPECT_FALSE(accel.regs(*idx).started);
+    EXPECT_EQ(accel.regs(*idx).task, invalidTaskId);
+}
+
+TEST(Accelerator, ObjBaseRegisterPerBuffer)
+{
+    Accelerator accel("bfs", workloads::kernelSpec("bfs_bulk"), 3);
+    EXPECT_EQ(accel.regs(0).objBase.size(), 5u);
+    EXPECT_EQ(accel.controlRegCount(), 6u); // 5 pointers + start
+}
+
+TEST(Accelerator, ReleaseIdleInstancePanics)
+{
+    Accelerator accel("aes", workloads::kernelSpec("aes"), 1);
+    EXPECT_THROW(accel.releaseInstance(0), SimError);
+}
+
+TEST(Accelerator, ZeroInstancesIsFatal)
+{
+    EXPECT_THROW(
+        Accelerator("x", workloads::kernelSpec("aes"), 0), SimError);
+}
+
+} // namespace
+} // namespace capcheck::accel

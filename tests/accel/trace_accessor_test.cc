@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "accel/trace_accessor.hh"
+#include "base/logging.hh"
+
+namespace capcheck::accel
+{
+namespace
+{
+
+using workloads::BufferAccess;
+using workloads::BufferPlacement;
+using workloads::KernelSpec;
+
+KernelSpec
+makeSpec()
+{
+    KernelSpec spec;
+    spec.name = "test";
+    spec.buffers = {
+        {"streamed_in", 64, BufferAccess::readOnly,
+         BufferPlacement::streamed},
+        {"external", 64, BufferAccess::readWrite,
+         BufferPlacement::external},
+        {"streamed_out", 64, BufferAccess::writeOnly,
+         BufferPlacement::streamed},
+    };
+    spec.timing.ilp = 4;
+    return spec;
+}
+
+std::vector<BufferMapping>
+makeMappings()
+{
+    return {{0x1000, 64, {}}, {0x2000, 64, {}}, {0x3000, 64, {}}};
+}
+
+class TraceAccessorTest : public ::testing::Test
+{
+  protected:
+    TraceAccessorTest()
+        : spec(makeSpec()), mem(1 << 16),
+          acc(mem, spec, makeMappings())
+    {
+    }
+
+    KernelSpec spec;
+    TaggedMemory mem;
+    TraceAccessor acc;
+};
+
+TEST_F(TraceAccessorTest, FunctionalAccessHitsSharedMemory)
+{
+    acc.st<std::uint32_t>(1, 2, 0xabcd);
+    EXPECT_EQ(mem.readValue<std::uint32_t>(0x2008), 0xabcdu);
+    EXPECT_EQ(acc.ld<std::uint32_t>(1, 2), 0xabcdu);
+}
+
+TEST_F(TraceAccessorTest, ExternalAccessesAreTraced)
+{
+    acc.ld<std::uint32_t>(1, 0);
+    acc.st<std::uint32_t>(1, 1, 7);
+    const InstanceTrace trace = acc.take();
+    ASSERT_EQ(trace.ops.size(), 2u);
+    EXPECT_EQ(trace.ops[0].kind, TraceOp::Kind::access);
+    EXPECT_EQ(trace.ops[0].cmd, MemCmd::read);
+    EXPECT_EQ(trace.ops[0].obj, 1u);
+    EXPECT_EQ(trace.ops[0].off, 0u);
+    EXPECT_EQ(trace.ops[1].cmd, MemCmd::write);
+    EXPECT_EQ(trace.ops[1].off, 4u);
+}
+
+TEST_F(TraceAccessorTest, StreamedAccessesProduceNoBeats)
+{
+    acc.ld<std::uint32_t>(0, 0);
+    acc.st<std::uint32_t>(2, 0, 1);
+    const InstanceTrace trace = acc.take();
+    EXPECT_EQ(trace.accessBeats(), 0u);
+}
+
+TEST_F(TraceAccessorTest, ComputeAccumulatesAsPipelinedDelay)
+{
+    acc.computeInt(6);
+    acc.computeFp(6); // 12 ops at ILP 4 -> 3 cycles
+    acc.barrier();
+    const InstanceTrace trace = acc.take();
+    ASSERT_GE(trace.ops.size(), 2u);
+    EXPECT_EQ(trace.ops[0].kind, TraceOp::Kind::delay);
+    EXPECT_EQ(trace.ops[0].cycles, 3u);
+    EXPECT_EQ(trace.ops[1].kind, TraceOp::Kind::barrier);
+}
+
+TEST_F(TraceAccessorTest, DelayFlushedBeforeExternalAccess)
+{
+    acc.computeInt(8);
+    acc.ld<std::uint32_t>(1, 0);
+    const InstanceTrace trace = acc.take();
+    ASSERT_EQ(trace.ops.size(), 2u);
+    EXPECT_EQ(trace.ops[0].kind, TraceOp::Kind::delay);
+    EXPECT_EQ(trace.ops[0].cycles, 2u);
+    EXPECT_EQ(trace.ops[1].kind, TraceOp::Kind::access);
+}
+
+TEST_F(TraceAccessorTest, ConsecutiveBarriersCoalesce)
+{
+    acc.barrier();
+    acc.barrier();
+    acc.barrier();
+    const InstanceTrace trace = acc.take();
+    EXPECT_EQ(trace.ops.size(), 1u);
+}
+
+TEST_F(TraceAccessorTest, TrailingComputeFlushedByTake)
+{
+    acc.computeFp(5);
+    const InstanceTrace trace = acc.take();
+    ASSERT_EQ(trace.ops.size(), 1u);
+    EXPECT_EQ(trace.ops[0].cycles, 2u); // ceil(5/4)
+}
+
+TEST_F(TraceAccessorTest, CopyBetweenStreamedBuffersIsLocal)
+{
+    acc.st<std::uint64_t>(0, 0, 0x1122334455667788ull);
+    acc.copy(2, 0, 0, 0, 32);
+    EXPECT_EQ(mem.readValue<std::uint64_t>(0x3000),
+              0x1122334455667788ull);
+    EXPECT_EQ(acc.take().accessBeats(), 0u);
+}
+
+TEST_F(TraceAccessorTest, CopyWithExternalEndpointGeneratesBeats)
+{
+    acc.copy(1, 0, 0, 0, 32); // streamed -> external: 4 write beats
+    const InstanceTrace trace = acc.take();
+    EXPECT_EQ(trace.accessBeats(), 4u);
+    for (const TraceOp &op : trace.ops) {
+        if (op.kind == TraceOp::Kind::access) {
+            EXPECT_EQ(op.cmd, MemCmd::write);
+        }
+    }
+}
+
+TEST_F(TraceAccessorTest, OutOfBufferPanics)
+{
+    EXPECT_THROW(acc.ld<std::uint64_t>(1, 8), SimError);
+    EXPECT_THROW(acc.st<std::uint8_t>(9, 0, 1), SimError);
+}
+
+TEST_F(TraceAccessorTest, MappingCountMismatchIsFatal)
+{
+    EXPECT_THROW(TraceAccessor(mem, spec, {{0x1000, 64, {}}}),
+                 SimError);
+}
+
+} // namespace
+} // namespace capcheck::accel

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "base/bitfield.hh"
+
+namespace capcheck
+{
+namespace
+{
+
+TEST(Bitfield, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(14), 0x3fffu);
+    EXPECT_EQ(mask(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+    EXPECT_EQ(mask(100), ~std::uint64_t{0});
+}
+
+TEST(Bitfield, BitsExtractsInclusiveRange)
+{
+    const std::uint64_t v = 0xdeadbeefcafef00dull;
+    EXPECT_EQ(bits(v, 3, 0), 0xdu);
+    EXPECT_EQ(bits(v, 63, 60), 0xdu);
+    EXPECT_EQ(bits(v, 31, 16), 0xcafeu);
+    EXPECT_EQ(bits(v, 63, 0), v);
+}
+
+TEST(Bitfield, SingleBit)
+{
+    EXPECT_EQ(bits(0x8000000000000000ull, 63), 1u);
+    EXPECT_EQ(bits(0x8000000000000000ull, 62), 0u);
+    EXPECT_EQ(bits(1ull, 0), 1u);
+}
+
+TEST(Bitfield, InsertBitsRoundTrips)
+{
+    std::uint64_t v = 0;
+    v = insertBits(v, 25, 14, 0xabc);
+    EXPECT_EQ(bits(v, 25, 14), 0xabcu);
+    v = insertBits(v, 13, 0, 0x3fff);
+    EXPECT_EQ(bits(v, 13, 0), 0x3fffu);
+    EXPECT_EQ(bits(v, 25, 14), 0xabcu);
+    // Overwrite must clear old contents.
+    v = insertBits(v, 25, 14, 0);
+    EXPECT_EQ(bits(v, 25, 14), 0u);
+    EXPECT_EQ(bits(v, 13, 0), 0x3fffu);
+}
+
+TEST(Bitfield, InsertBitsTruncatesSource)
+{
+    const std::uint64_t v = insertBits(0, 3, 0, 0xff);
+    EXPECT_EQ(v, 0xfull);
+}
+
+TEST(Bitfield, SignExtension)
+{
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0xfff, 12), -1);
+}
+
+TEST(Bitfield, PowerOfTwoPredicates)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(4097));
+    EXPECT_TRUE(isPowerOf2(1ull << 63));
+}
+
+TEST(Bitfield, Rounding)
+{
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundDown(15, 8), 8u);
+    EXPECT_EQ(roundDown(16, 8), 16u);
+}
+
+TEST(Bitfield, Logarithms)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4095), 11u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+}
+
+TEST(Bitfield, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4096), 0u);
+    EXPECT_EQ(divCeil(1, 4096), 1u);
+    EXPECT_EQ(divCeil(4096, 4096), 1u);
+    EXPECT_EQ(divCeil(4097, 4096), 2u);
+}
+
+} // namespace
+} // namespace capcheck

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/random.hh"
+
+namespace capcheck
+{
+namespace
+{
+
+TEST(Random, SplitMixIsDeterministic)
+{
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Random, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Random, BoundedZeroIsZero)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    // All 7 values should appear in 2000 draws.
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Random, BoundedIsRoughlyUniform)
+{
+    Rng rng(13);
+    constexpr int buckets = 8;
+    constexpr int draws = 80000;
+    int counts[buckets] = {};
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.nextBounded(buckets)];
+    for (int count : counts) {
+        EXPECT_GT(count, draws / buckets * 0.9);
+        EXPECT_LT(count, draws / buckets * 1.1);
+    }
+}
+
+TEST(Random, BernoulliRespectsProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    constexpr int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        hits += rng.nextBool(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / draws, 0.25, 0.02);
+}
+
+} // namespace
+} // namespace capcheck

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/stats.hh"
+
+namespace capcheck::stats
+{
+namespace
+{
+
+TEST(Stats, ScalarArithmetic)
+{
+    StatGroup group("g");
+    Scalar counter(group, "count", "a counter");
+    ++counter;
+    counter += 2.5;
+    EXPECT_DOUBLE_EQ(counter.value(), 3.5);
+    counter = 7;
+    EXPECT_DOUBLE_EQ(counter.value(), 7);
+    counter.reset();
+    EXPECT_DOUBLE_EQ(counter.value(), 0);
+}
+
+TEST(Stats, GroupFindsStatsByLeafName)
+{
+    StatGroup group("g");
+    Scalar a(group, "a", "first");
+    Scalar b(group, "b", "second");
+    EXPECT_EQ(group.find("a"), &a);
+    EXPECT_EQ(group.find("b"), &b);
+    EXPECT_EQ(group.find("c"), nullptr);
+}
+
+TEST(Stats, NestedGroupPaths)
+{
+    StatGroup root("soc");
+    StatGroup child("capchecker", &root);
+    EXPECT_EQ(child.path(), "soc.capchecker");
+}
+
+TEST(Stats, DumpShowsQualifiedNames)
+{
+    StatGroup root("soc");
+    StatGroup child("mem", &root);
+    Scalar reads(child, "reads", "read count");
+    reads += 5;
+
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("soc.mem.reads"), std::string::npos);
+    EXPECT_NE(os.str().find("5"), std::string::npos);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    StatGroup group("g");
+    Distribution dist(group, "lat", "latency", 0, 100, 10);
+    dist.sample(10);
+    dist.sample(20);
+    dist.sample(30);
+    EXPECT_EQ(dist.samples(), 3u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 20);
+    EXPECT_DOUBLE_EQ(dist.minSeen(), 10);
+    EXPECT_DOUBLE_EQ(dist.maxSeen(), 30);
+}
+
+TEST(Stats, DistributionHandlesOutliers)
+{
+    StatGroup group("g");
+    Distribution dist(group, "d", "", 0, 10, 5);
+    dist.sample(-5);
+    dist.sample(100);
+    EXPECT_EQ(dist.samples(), 2u);
+    EXPECT_DOUBLE_EQ(dist.minSeen(), -5);
+    EXPECT_DOUBLE_EQ(dist.maxSeen(), 100);
+}
+
+TEST(Stats, DistributionReset)
+{
+    StatGroup group("g");
+    Distribution dist(group, "d", "", 0, 10, 5);
+    dist.sample(5);
+    dist.reset();
+    EXPECT_EQ(dist.samples(), 0u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 0);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatGroup group("g");
+    Scalar hits(group, "hits", "");
+    Scalar total(group, "total", "");
+    Formula ratio(group, "ratio", "hit ratio", [&] {
+        return total.value() ? hits.value() / total.value() : 0;
+    });
+
+    EXPECT_DOUBLE_EQ(ratio.value(), 0);
+    hits += 3;
+    total += 4;
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.75);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    StatGroup root("r");
+    StatGroup child("c", &root);
+    Scalar a(root, "a", "");
+    Scalar b(child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0);
+    EXPECT_DOUBLE_EQ(b.value(), 0);
+}
+
+} // namespace
+} // namespace capcheck::stats

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+
+namespace capcheck
+{
+namespace
+{
+
+TEST(Table, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"longer-name", "22"});
+
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+
+    // All lines should have equal length (aligned table).
+    std::istringstream lines(out);
+    std::string line;
+    std::size_t len = 0;
+    while (std::getline(lines, line)) {
+        if (len == 0)
+            len = line.size();
+        EXPECT_EQ(line.size(), len);
+    }
+}
+
+TEST(Table, RejectsWrongArity)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), SimError);
+}
+
+TEST(Table, CountsRows)
+{
+    TextTable table({"x"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow({"1"});
+    table.addRow({"2"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtPercent(0.014, 1), "1.4%");
+    EXPECT_EQ(fmtSpeedup(2041.3, 1), "2041.3x");
+    EXPECT_EQ(fmtDouble(-0.5, 3), "-0.500");
+}
+
+} // namespace
+} // namespace capcheck

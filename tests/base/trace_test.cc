@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "base/trace.hh"
+
+namespace capcheck
+{
+namespace
+{
+
+TEST(Trace, FlagsStartDisabled)
+{
+    trace::DebugFlag flag("TestFlagA");
+    EXPECT_FALSE(flag.enabled());
+    flag.enable();
+    EXPECT_TRUE(flag.enabled());
+    flag.enable(false);
+    EXPECT_FALSE(flag.enabled());
+}
+
+TEST(Trace, EnableByName)
+{
+    trace::DebugFlag flag("TestFlagB");
+    EXPECT_TRUE(trace::DebugFlag::enableByName("TestFlagB"));
+    EXPECT_TRUE(flag.enabled());
+    EXPECT_FALSE(trace::DebugFlag::enableByName("NoSuchFlag"));
+    flag.enable(false);
+}
+
+TEST(Trace, EnableAll)
+{
+    trace::DebugFlag flag("TestFlagC");
+    EXPECT_TRUE(trace::DebugFlag::enableByName("All"));
+    EXPECT_TRUE(flag.enabled());
+    // Restore: disable everything we touched.
+    for (trace::DebugFlag *f : trace::DebugFlag::all())
+        f->enable(false);
+}
+
+TEST(Trace, BuiltinSubsystemFlagsRegistered)
+{
+    bool found_capchecker = false;
+    bool found_driver = false;
+    for (const trace::DebugFlag *flag : trace::DebugFlag::all()) {
+        found_capchecker |= std::string(flag->name()) == "CapChecker";
+        found_driver |= std::string(flag->name()) == "Driver";
+    }
+    EXPECT_TRUE(found_capchecker);
+    EXPECT_TRUE(found_driver);
+}
+
+TEST(Trace, DprintfIsGated)
+{
+    trace::DebugFlag flag("TestFlagD");
+    int evaluations = 0;
+    auto count = [&] {
+        ++evaluations;
+        return 1;
+    };
+    CAPCHECK_DPRINTF(flag, "value %d", count());
+    EXPECT_EQ(evaluations, 0); // disabled: arguments not evaluated
+
+    ::testing::internal::CaptureStderr();
+    flag.enable();
+    CAPCHECK_DPRINTF(flag, "value %d", count());
+    const std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(evaluations, 1);
+    EXPECT_NE(out.find("TestFlagD: value 1"), std::string::npos);
+    flag.enable(false);
+}
+
+} // namespace
+} // namespace capcheck

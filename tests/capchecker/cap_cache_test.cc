@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "capchecker/cap_cache.hh"
+#include "capchecker/capchecker.hh"
+
+namespace capcheck::capchecker
+{
+namespace
+{
+
+TEST(CapCache, MissThenHit)
+{
+    CapCache cache(4, 60);
+    EXPECT_EQ(cache.access(1, 0), 60u);
+    EXPECT_EQ(cache.access(1, 0), 0u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CapCache, DistinguishesTasksAndObjects)
+{
+    CapCache cache(8, 60);
+    cache.access(1, 0);
+    EXPECT_EQ(cache.access(1, 1), 60u); // other object misses
+    EXPECT_EQ(cache.access(2, 0), 60u); // other task misses
+    EXPECT_EQ(cache.access(1, 0), 0u);  // original still cached
+}
+
+TEST(CapCache, LruReplacement)
+{
+    CapCache cache(2, 60);
+    cache.access(1, 0);
+    cache.access(1, 1);
+    cache.access(1, 0);           // 0 is MRU
+    cache.access(1, 2);           // evicts (1,1)
+    EXPECT_EQ(cache.access(1, 0), 0u);
+    EXPECT_EQ(cache.access(1, 1), 60u);
+}
+
+TEST(CapCache, TaskInvalidationShootsDownOnlyThatTask)
+{
+    CapCache cache(4, 60);
+    cache.access(1, 0);
+    cache.access(2, 0);
+    cache.invalidateTask(1);
+    EXPECT_EQ(cache.access(1, 0), 60u);
+    EXPECT_EQ(cache.access(2, 0), 0u);
+}
+
+TEST(CapCache, FlushClearsEverything)
+{
+    CapCache cache(4, 60);
+    cache.access(1, 0);
+    cache.flush();
+    EXPECT_EQ(cache.access(1, 0), 60u);
+}
+
+TEST(CapCache, ZeroEntriesIsFatal)
+{
+    EXPECT_THROW(CapCache bad(0), SimError);
+}
+
+TEST(CachedCapChecker, MissAddsWalkLatency)
+{
+    CapChecker::Params params;
+    params.cacheEntries = 2;
+    params.cacheWalkCycles = 50;
+    CapChecker checker(params);
+    checker.installCapability(0, 0,
+                              cheri::Capability::root()
+                                  .setBounds(0x1000, 0x100)
+                                  .andPerms(cheri::permDataRW));
+
+    MemRequest req;
+    req.cmd = MemCmd::read;
+    req.addr = 0x1000;
+    req.size = 8;
+    req.task = 0;
+    req.object = 0;
+
+    EXPECT_TRUE(checker.check(req).allowed);
+    EXPECT_EQ(checker.lastExtraLatency(), 50u); // cold miss
+    EXPECT_TRUE(checker.check(req).allowed);
+    EXPECT_EQ(checker.lastExtraLatency(), 0u); // cached
+}
+
+TEST(CachedCapChecker, EvictionInvalidatesCache)
+{
+    CapChecker::Params params;
+    params.cacheEntries = 2;
+    CapChecker checker(params);
+    const auto cap = cheri::Capability::root()
+                         .setBounds(0x1000, 0x100)
+                         .andPerms(cheri::permDataRW);
+    checker.installCapability(0, 0, cap);
+
+    MemRequest req;
+    req.cmd = MemCmd::read;
+    req.addr = 0x1000;
+    req.size = 8;
+    req.task = 0;
+    req.object = 0;
+    (void)checker.check(req); // warm
+
+    checker.evictTask(0);
+    checker.installCapability(0, 0, cap);
+    (void)checker.check(req);
+    // Must be a fresh walk, not a stale hit.
+    EXPECT_GT(checker.lastExtraLatency(), 0u);
+}
+
+TEST(CachedCapChecker, UncachedCheckerHasNoExtraLatency)
+{
+    CapChecker checker;
+    checker.installCapability(0, 0,
+                              cheri::Capability::root()
+                                  .setBounds(0x1000, 0x100)
+                                  .andPerms(cheri::permDataRW));
+    MemRequest req;
+    req.cmd = MemCmd::read;
+    req.addr = 0x1000;
+    req.size = 8;
+    req.task = 0;
+    req.object = 0;
+    (void)checker.check(req);
+    EXPECT_EQ(checker.lastExtraLatency(), 0u);
+    EXPECT_EQ(checker.capCache(), nullptr);
+}
+
+} // namespace
+} // namespace capcheck::capchecker

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Fuzz the CapChecker against an independent reference predicate: an
+ * access is authorized iff the installed capability for the request's
+ * (task, object) — resolved per provenance mode — is tagged, has the
+ * needed permission, and covers [addr, addr+size). Any divergence
+ * between the hardware model and this predicate is a protection bug.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/random.hh"
+#include "capchecker/capchecker.hh"
+
+namespace capcheck::capchecker
+{
+namespace
+{
+
+using cheri::Capability;
+
+struct RefCap
+{
+    Addr base;
+    std::uint64_t size;
+    bool readable;
+    bool writable;
+};
+
+struct FuzzWorld
+{
+    explicit FuzzWorld(Provenance prov, std::uint64_t seed)
+        : rng(seed)
+    {
+        CapChecker::Params params;
+        params.provenance = prov;
+        checker = std::make_unique<CapChecker>(params);
+
+        const Capability root = Capability::root();
+        for (TaskId t = 0; t < 4; ++t) {
+            for (ObjectId o = 0; o < 6; ++o) {
+                // Sizes < 4096 are always exactly representable, so
+                // the reference bounds match the decoded bounds.
+                const std::uint64_t size = 16 + rng.nextBounded(4080);
+                const Addr base =
+                    0x100000 + (t * 8 + o) * 0x10000 +
+                    rng.nextBounded(256) * 16;
+                const bool readable = rng.nextBool(0.8);
+                const bool writable = rng.nextBool(0.8);
+                std::uint32_t perms = cheri::permGlobal;
+                if (readable)
+                    perms |= cheri::permLoad;
+                if (writable)
+                    perms |= cheri::permStore;
+
+                checker->installCapability(
+                    t, o, root.setBounds(base, size).andPerms(perms));
+                ref[{t, o}] = RefCap{base, size, readable, writable};
+            }
+        }
+    }
+
+    bool
+    refAllows(TaskId task, ObjectId obj, Addr addr, std::uint32_t size,
+              bool is_write) const
+    {
+        const auto it = ref.find({task, obj});
+        if (it == ref.end())
+            return false;
+        const RefCap &cap = it->second;
+        if (is_write ? !cap.writable : !cap.readable)
+            return false;
+        return addr >= cap.base && addr + size <= cap.base + cap.size;
+    }
+
+    Rng rng;
+    std::unique_ptr<CapChecker> checker;
+    std::map<std::pair<TaskId, ObjectId>, RefCap> ref;
+};
+
+TEST(CapCheckerFuzz, FineModeMatchesReferencePredicate)
+{
+    FuzzWorld world(Provenance::fine, 11);
+    for (int i = 0; i < 50000; ++i) {
+        const TaskId task = static_cast<TaskId>(
+            world.rng.nextBounded(5)); // includes an unknown task
+        const ObjectId obj = static_cast<ObjectId>(
+            world.rng.nextBounded(7)); // includes an unknown object
+        const bool is_write = world.rng.nextBool();
+        const std::uint32_t size =
+            1u << world.rng.nextBounded(4); // 1..8
+
+        // Mix of near-boundary and wild addresses.
+        Addr addr;
+        const auto it = world.ref.find({task, obj});
+        if (it != world.ref.end() && world.rng.nextBool(0.8)) {
+            const RefCap &cap = it->second;
+            addr = cap.base +
+                   world.rng.nextBounded(cap.size + 64) -
+                   world.rng.nextBounded(32);
+        } else {
+            addr = world.rng.next() & 0x3fffff;
+        }
+
+        MemRequest req;
+        req.cmd = is_write ? MemCmd::write : MemCmd::read;
+        req.addr = addr;
+        req.size = size;
+        req.task = task;
+        req.object = obj;
+
+        const bool got = world.checker->check(req).allowed;
+        const bool want =
+            world.refAllows(task, obj, addr, size, is_write);
+        ASSERT_EQ(got, want)
+            << "task=" << task << " obj=" << obj << " addr=0x"
+            << std::hex << addr << std::dec << " size=" << size
+            << (is_write ? " write" : " read");
+    }
+}
+
+TEST(CapCheckerFuzz, CoarseModeMatchesReferencePredicate)
+{
+    FuzzWorld world(Provenance::coarse, 13);
+    for (int i = 0; i < 50000; ++i) {
+        const TaskId task =
+            static_cast<TaskId>(world.rng.nextBounded(5));
+        const ObjectId obj =
+            static_cast<ObjectId>(world.rng.nextBounded(7));
+        const bool is_write = world.rng.nextBool();
+        const std::uint32_t size = 1u << world.rng.nextBounded(4);
+
+        Addr phys;
+        const auto it = world.ref.find({task, obj});
+        if (it != world.ref.end() && world.rng.nextBool(0.8)) {
+            const RefCap &cap = it->second;
+            phys = cap.base + world.rng.nextBounded(cap.size + 64) -
+                   world.rng.nextBounded(32);
+        } else {
+            phys = world.rng.next() & 0x3fffff;
+        }
+
+        MemRequest req;
+        req.cmd = is_write ? MemCmd::write : MemCmd::read;
+        req.addr =
+            (Addr{obj} << CapChecker::coarseAddrBits) | phys;
+        req.size = size;
+        req.task = task;
+        req.object = invalidObjectId;
+
+        const bool got = world.checker->check(req).allowed;
+        const bool want =
+            world.refAllows(task, obj, phys, size, is_write);
+        ASSERT_EQ(got, want)
+            << "task=" << task << " obj=" << obj << " phys=0x"
+            << std::hex << phys;
+    }
+}
+
+TEST(CapCheckerFuzz, DenialsNeverCrashAndAlwaysLog)
+{
+    FuzzWorld world(Provenance::fine, 17);
+    std::uint64_t denied = 0;
+    for (int i = 0; i < 5000; ++i) {
+        MemRequest req;
+        req.cmd = world.rng.nextBool() ? MemCmd::write : MemCmd::read;
+        req.addr = world.rng.next();
+        req.size = 8;
+        req.task = static_cast<TaskId>(world.rng.nextBounded(8));
+        req.object = static_cast<ObjectId>(world.rng.nextBounded(16));
+        denied += !world.checker->check(req).allowed;
+    }
+    EXPECT_GT(denied, 0u);
+    EXPECT_EQ(world.checker->exceptionLog().size(), denied);
+    EXPECT_EQ(world.checker->checksDenied(), denied);
+}
+
+} // namespace
+} // namespace capcheck::capchecker

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "capchecker/capchecker.hh"
+
+namespace capcheck::capchecker
+{
+namespace
+{
+
+using cheri::Capability;
+using cheri::permDataRO;
+using cheri::permDataRW;
+using cheri::permDataWO;
+
+MemRequest
+makeReq(TaskId task, ObjectId obj, Addr addr, MemCmd cmd = MemCmd::read,
+        std::uint32_t size = 8)
+{
+    MemRequest req;
+    req.cmd = cmd;
+    req.addr = addr;
+    req.size = size;
+    req.task = task;
+    req.object = obj;
+    req.srcPort = task;
+    return req;
+}
+
+class FineChecker : public ::testing::Test
+{
+  protected:
+    FineChecker()
+    {
+        const Capability root = Capability::root();
+        checker.installCapability(
+            0, 0,
+            root.setBounds(0x1000, 0x100).andPerms(permDataRW));
+        checker.installCapability(
+            0, 1,
+            root.setBounds(0x2000, 0x100).andPerms(permDataRO));
+        checker.installCapability(
+            1, 0,
+            root.setBounds(0x3000, 0x100).andPerms(permDataRW));
+    }
+
+    CapChecker checker;
+};
+
+TEST_F(FineChecker, GrantsInBoundsAccess)
+{
+    EXPECT_TRUE(checker.check(makeReq(0, 0, 0x1000)).allowed);
+    EXPECT_TRUE(
+        checker.check(makeReq(0, 0, 0x10f8, MemCmd::write)).allowed);
+    EXPECT_FALSE(checker.exceptionFlagSet());
+}
+
+TEST_F(FineChecker, BlocksOutOfBounds)
+{
+    EXPECT_FALSE(checker.check(makeReq(0, 0, 0x1100)).allowed);
+    EXPECT_FALSE(checker.check(makeReq(0, 0, 0x0ff8)).allowed);
+    // Straddling the top is also out.
+    EXPECT_FALSE(checker.check(makeReq(0, 0, 0x10fc)).allowed);
+    EXPECT_TRUE(checker.exceptionFlagSet());
+}
+
+TEST_F(FineChecker, BlocksCrossObjectEvenInsideTask)
+{
+    // Access through object 0's binding to object 1's memory: the
+    // principle of intentional use.
+    EXPECT_FALSE(checker.check(makeReq(0, 0, 0x2000)).allowed);
+}
+
+TEST_F(FineChecker, BlocksCrossTask)
+{
+    EXPECT_FALSE(checker.check(makeReq(0, 0, 0x3000)).allowed);
+    EXPECT_FALSE(checker.check(makeReq(1, 0, 0x1000)).allowed);
+}
+
+TEST_F(FineChecker, EnforcesPermissions)
+{
+    EXPECT_TRUE(checker.check(makeReq(0, 1, 0x2000)).allowed);
+    EXPECT_FALSE(
+        checker.check(makeReq(0, 1, 0x2000, MemCmd::write)).allowed);
+}
+
+TEST_F(FineChecker, MissingCapabilityDenied)
+{
+    EXPECT_FALSE(checker.check(makeReq(0, 5, 0x1000)).allowed);
+    EXPECT_FALSE(checker.check(makeReq(7, 0, 0x1000)).allowed);
+}
+
+TEST_F(FineChecker, MissingMetadataDenied)
+{
+    EXPECT_FALSE(
+        checker.check(makeReq(0, invalidObjectId, 0x1000)).allowed);
+}
+
+TEST_F(FineChecker, ExceptionLogAndTableBits)
+{
+    (void)checker.check(makeReq(0, 1, 0x2000, MemCmd::write));
+    ASSERT_EQ(checker.exceptionLog().size(), 1u);
+    EXPECT_EQ(checker.exceptionLog()[0].task, 0u);
+    EXPECT_EQ(checker.exceptionLog()[0].object, 1u);
+    EXPECT_EQ(checker.capTable().exceptionEntries().size(), 1u);
+
+    checker.clearExceptionFlag();
+    EXPECT_FALSE(checker.exceptionFlagSet());
+    // The log remains for software tracing.
+    EXPECT_EQ(checker.exceptionLog().size(), 1u);
+}
+
+TEST_F(FineChecker, EvictThenDeny)
+{
+    EXPECT_TRUE(checker.check(makeReq(1, 0, 0x3000)).allowed);
+    EXPECT_EQ(checker.evictTask(1), 1u);
+    EXPECT_FALSE(checker.check(makeReq(1, 0, 0x3000)).allowed);
+}
+
+TEST_F(FineChecker, StatsCountChecksAndDenials)
+{
+    (void)checker.check(makeReq(0, 0, 0x1000));
+    (void)checker.check(makeReq(0, 0, 0x9000));
+    EXPECT_EQ(checker.checksPerformed(), 2u);
+    EXPECT_EQ(checker.checksDenied(), 1u);
+}
+
+TEST_F(FineChecker, TagDisciplineAndProperties)
+{
+    EXPECT_TRUE(checker.clearsTagsOnWrite());
+    const auto props = checker.properties();
+    EXPECT_TRUE(props.unforgeable);
+    EXPECT_TRUE(props.commonObjectRepresentation);
+    EXPECT_EQ(props.granularityBytes, 1u);
+    EXPECT_EQ(checker.name(), "capchecker-fine");
+}
+
+class CoarseChecker : public ::testing::Test
+{
+  protected:
+    CoarseChecker()
+    {
+        CapChecker::Params params;
+        params.provenance = Provenance::coarse;
+        checker = std::make_unique<CapChecker>(params);
+        const Capability root = Capability::root();
+        checker->installCapability(
+            0, 0,
+            root.setBounds(0x1000, 0x100).andPerms(permDataRW));
+        checker->installCapability(
+            0, 1,
+            root.setBounds(0x2000, 0x100).andPerms(permDataRW));
+    }
+
+    static Addr
+    encode(ObjectId obj, Addr phys)
+    {
+        return (Addr{obj} << CapChecker::coarseAddrBits) | phys;
+    }
+
+    std::unique_ptr<CapChecker> checker;
+};
+
+TEST_F(CoarseChecker, DecodesObjectFromTopBits)
+{
+    MemRequest req = makeReq(0, invalidObjectId, encode(0, 0x1040));
+    EXPECT_TRUE(checker->check(req).allowed);
+    req.addr = encode(1, 0x2040);
+    EXPECT_TRUE(checker->check(req).allowed);
+}
+
+TEST_F(CoarseChecker, ObjectAddressMismatchDenied)
+{
+    // Object bits say 0, address points into object 1's buffer.
+    MemRequest req = makeReq(0, invalidObjectId, encode(0, 0x2040));
+    EXPECT_FALSE(checker->check(req).allowed);
+}
+
+TEST_F(CoarseChecker, ForgedObjectBitsStayWithinTask)
+{
+    // Forged top bits can reach the task's *own* other object...
+    MemRequest req = makeReq(0, invalidObjectId, encode(1, 0x2040));
+    EXPECT_TRUE(checker->check(req).allowed);
+    // ...but not another task's buffers (no capability installed).
+    req.addr = encode(2, 0x3000);
+    EXPECT_FALSE(checker->check(req).allowed);
+}
+
+TEST_F(CoarseChecker, AccelAddressComposition)
+{
+    EXPECT_EQ(checker->accelAddress(3, 0x1000),
+              (Addr{3} << CapChecker::coarseAddrBits) | 0x1000);
+
+    CapChecker fine;
+    EXPECT_EQ(fine.accelAddress(3, 0x1000), 0x1000u);
+}
+
+TEST_F(CoarseChecker, Reports56BitLimit)
+{
+    EXPECT_THROW((void)checker->accelAddress(0, Addr{1} << 60),
+                 SimError);
+    EXPECT_THROW(checker->installCapability(0, 300,
+                                            Capability::root()),
+                 SimError);
+}
+
+} // namespace
+} // namespace capcheck::capchecker

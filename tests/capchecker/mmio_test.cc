@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "capchecker/mmio.hh"
+
+namespace capcheck::capchecker
+{
+namespace
+{
+
+using cheri::Capability;
+using cheri::permDataRW;
+
+class MmioTest : public ::testing::Test
+{
+  protected:
+    MmioTest() : mmio(checker) {}
+
+    Capability
+    cap(Addr base, std::uint64_t size)
+    {
+        return Capability::root().setBounds(base, size).andPerms(
+            permDataRW);
+    }
+
+    CapChecker checker;
+    CapCheckerMmio mmio;
+};
+
+TEST_F(MmioTest, InstallSequenceInstallsCapability)
+{
+    EXPECT_TRUE(mmio.installSequence(2, 1, cap(0x4000, 0x200)));
+    const CapTable::Entry *entry = checker.capTable().lookup(2, 1);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->decoded.base(), 0x4000u);
+}
+
+TEST_F(MmioTest, InstallConsumesMmioCycles)
+{
+    mmio.installSequence(0, 0, cap(0x1000, 16));
+    // 2-beat capability store + 3 register writes + search + status.
+    EXPECT_GT(mmio.cyclesUsed(), 8u);
+    const Cycles first = mmio.cyclesUsed();
+    mmio.resetCycles();
+    EXPECT_EQ(mmio.cyclesUsed(), 0u);
+    mmio.installSequence(0, 1, cap(0x2000, 16));
+    EXPECT_EQ(mmio.cyclesUsed(), first);
+}
+
+TEST_F(MmioTest, UntaggedCapabilityStoreRejected)
+{
+    mmio.storeCap(cap(0x1000, 16).cleared());
+    mmio.writeReg(CapCheckerMmio::regTask, 0);
+    mmio.writeReg(CapCheckerMmio::regObject, 0);
+    mmio.writeReg(CapCheckerMmio::regCmd, CapCheckerMmio::cmdInstall);
+    EXPECT_EQ(mmio.readReg(CapCheckerMmio::regStatus) &
+                  CapCheckerMmio::statusLastCmdOk,
+              0u);
+    EXPECT_EQ(checker.capTable().used(), 0u);
+}
+
+TEST_F(MmioTest, PlainWriteToCapWindowClearsItsTag)
+{
+    // Storing a valid capability then scribbling data over the window
+    // must not leave an installable capability behind (anti-forgery on
+    // the MMIO path itself).
+    mmio.storeCap(cap(0x1000, 16));
+    mmio.writeReg(CapCheckerMmio::regCap, 0xdeadbeef);
+    mmio.writeReg(CapCheckerMmio::regTask, 0);
+    mmio.writeReg(CapCheckerMmio::regObject, 0);
+    mmio.writeReg(CapCheckerMmio::regCmd, CapCheckerMmio::cmdInstall);
+    EXPECT_EQ(checker.capTable().used(), 0u);
+}
+
+TEST_F(MmioTest, EvictSequenceRemovesTask)
+{
+    mmio.installSequence(1, 0, cap(0x1000, 16));
+    mmio.installSequence(1, 1, cap(0x2000, 16));
+    mmio.installSequence(2, 0, cap(0x3000, 16));
+    mmio.evictSequence(1);
+    EXPECT_EQ(checker.capTable().used(), 1u);
+    EXPECT_NE(checker.capTable().lookup(2, 0), nullptr);
+}
+
+TEST_F(MmioTest, StatusReflectsTableFull)
+{
+    CapChecker::Params params;
+    params.tableEntries = 2;
+    CapChecker small(params);
+    CapCheckerMmio small_mmio(small);
+
+    EXPECT_TRUE(small_mmio.installSequence(0, 0, cap(0x1000, 16)));
+    EXPECT_EQ(small_mmio.readReg(CapCheckerMmio::regStatus) &
+                  CapCheckerMmio::statusTableFull,
+              0u);
+    EXPECT_TRUE(small_mmio.installSequence(0, 1, cap(0x2000, 16)));
+    EXPECT_NE(small_mmio.readReg(CapCheckerMmio::regStatus) &
+                  CapCheckerMmio::statusTableFull,
+              0u);
+    // Further installs fail until something is evicted.
+    EXPECT_FALSE(small_mmio.installSequence(0, 2, cap(0x3000, 16)));
+    small_mmio.evictSequence(0);
+    EXPECT_TRUE(small_mmio.installSequence(0, 2, cap(0x3000, 16)));
+}
+
+TEST_F(MmioTest, StatusReportsExceptionFlag)
+{
+    mmio.installSequence(0, 0, cap(0x1000, 16));
+    MemRequest bad;
+    bad.cmd = MemCmd::read;
+    bad.addr = 0x9000;
+    bad.size = 8;
+    bad.task = 0;
+    bad.object = 0;
+    (void)checker.check(bad);
+
+    EXPECT_NE(mmio.readReg(CapCheckerMmio::regStatus) &
+                  CapCheckerMmio::statusExceptionFlag,
+              0u);
+    mmio.writeReg(CapCheckerMmio::regCmd,
+                  CapCheckerMmio::cmdClearException);
+    EXPECT_EQ(mmio.readReg(CapCheckerMmio::regStatus) &
+                  CapCheckerMmio::statusExceptionFlag,
+              0u);
+}
+
+TEST_F(MmioTest, BadOffsetsPanic)
+{
+    EXPECT_THROW(mmio.writeReg(0x1000, 0), SimError);
+    EXPECT_THROW((void)mmio.readReg(CapCheckerMmio::regTask), SimError);
+}
+
+TEST_F(MmioTest, UnknownCommandFails)
+{
+    mmio.writeReg(CapCheckerMmio::regCmd, 0x77);
+    EXPECT_EQ(mmio.readReg(CapCheckerMmio::regStatus) &
+                  CapCheckerMmio::statusLastCmdOk,
+              0u);
+}
+
+} // namespace
+} // namespace capcheck::capchecker

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "cheri/capability.hh"
+
+namespace capcheck::cheri
+{
+namespace
+{
+
+const u128 kTwo64 = u128(1) << 64;
+
+TEST(Capability, RootCoversEverything)
+{
+    const Capability root = Capability::root();
+    EXPECT_TRUE(root.tag());
+    EXPECT_FALSE(root.sealed());
+    EXPECT_EQ(root.base(), 0u);
+    EXPECT_EQ(root.top(), kTwo64);
+    EXPECT_TRUE(root.hasPerms(permAll));
+    EXPECT_TRUE(root.inBounds(0, 1));
+    EXPECT_TRUE(root.inBounds(~0ull, 1));
+}
+
+TEST(Capability, NullIsNull)
+{
+    const Capability null;
+    EXPECT_TRUE(null.isNull());
+    EXPECT_FALSE(null.tag());
+    EXPECT_EQ(null.checkAccess(AccessKind::load, 0, 1),
+              CapFault::tagViolation);
+}
+
+TEST(Capability, SetBoundsNarrows)
+{
+    const Capability root = Capability::root();
+    const Capability buf = root.setBounds(0x1000, 0x100);
+    EXPECT_TRUE(buf.tag());
+    EXPECT_EQ(buf.base(), 0x1000u);
+    EXPECT_EQ(buf.top(), u128(0x1100));
+    EXPECT_EQ(buf.addr(), 0x1000u);
+}
+
+TEST(Capability, SetBoundsBeyondParentClearsTag)
+{
+    const Capability root = Capability::root();
+    const Capability buf = root.setBounds(0x1000, 0x100);
+    // Growing the region is a monotonicity violation.
+    EXPECT_FALSE(buf.setBounds(0x1000, 0x200).tag());
+    EXPECT_FALSE(buf.setBounds(0xfff, 0x10).tag());
+    // Shrinking is fine.
+    EXPECT_TRUE(buf.setBounds(0x1010, 0x10).tag());
+}
+
+TEST(Capability, SetBoundsOnUntaggedStaysUntagged)
+{
+    const Capability dead = Capability::root().cleared();
+    EXPECT_FALSE(dead.setBounds(0, 16).tag());
+}
+
+TEST(Capability, ExactSetBoundsDetagsOnRounding)
+{
+    const Capability root = Capability::root();
+    // A large unaligned region needs rounding -> exact request fails.
+    const Capability inexact = root.setBounds(0x1001, (1ull << 20) + 3,
+                                              /*exact=*/true);
+    EXPECT_FALSE(inexact.tag());
+    // The same request without exactness succeeds with rounded bounds.
+    const Capability rounded = root.setBounds(0x1001, (1ull << 20) + 3);
+    EXPECT_TRUE(rounded.tag());
+    EXPECT_LE(rounded.base(), 0x1001u);
+    EXPECT_GE(rounded.top(), u128(0x1001) + (1ull << 20) + 3);
+}
+
+TEST(Capability, AndPermsOnlyRemoves)
+{
+    const Capability root = Capability::root();
+    const Capability ro = root.andPerms(permDataRO);
+    EXPECT_TRUE(ro.tag());
+    EXPECT_TRUE(ro.hasPerms(permLoad));
+    EXPECT_FALSE(ro.hasPerms(permStore));
+
+    // "Adding" permissions via andPerms is impossible by construction.
+    const Capability attempt = ro.andPerms(permAll);
+    EXPECT_EQ(attempt.perms(), ro.perms());
+}
+
+TEST(Capability, CheckAccessPermissionMatrix)
+{
+    const Capability root = Capability::root();
+    const Capability buf =
+        root.setBounds(0x2000, 0x100).andPerms(permDataRW);
+
+    EXPECT_EQ(buf.checkAccess(AccessKind::load, 0x2000, 4),
+              CapFault::none);
+    EXPECT_EQ(buf.checkAccess(AccessKind::store, 0x20f0, 16),
+              CapFault::none);
+    EXPECT_EQ(buf.checkAccess(AccessKind::execute, 0x2000, 4),
+              CapFault::permitExecuteViolation);
+    EXPECT_EQ(buf.checkAccess(AccessKind::loadCap, 0x2000, 16),
+              CapFault::permitLoadCapViolation);
+    EXPECT_EQ(buf.checkAccess(AccessKind::storeCap, 0x2000, 16),
+              CapFault::permitStoreCapViolation);
+
+    const Capability ro = buf.andPerms(permDataRO);
+    EXPECT_EQ(ro.checkAccess(AccessKind::store, 0x2000, 4),
+              CapFault::permitStoreViolation);
+}
+
+TEST(Capability, CheckAccessBounds)
+{
+    const Capability buf =
+        Capability::root().setBounds(0x2000, 0x100).andPerms(permDataRW);
+
+    EXPECT_EQ(buf.checkAccess(AccessKind::load, 0x1fff, 4),
+              CapFault::boundsViolation);
+    EXPECT_EQ(buf.checkAccess(AccessKind::load, 0x20fd, 4),
+              CapFault::boundsViolation);
+    EXPECT_EQ(buf.checkAccess(AccessKind::load, 0x20fc, 4),
+              CapFault::none);
+    // Zero-size access at top is in bounds; one past is not.
+    EXPECT_EQ(buf.checkAccess(AccessKind::load, 0x2100, 0),
+              CapFault::none);
+    EXPECT_EQ(buf.checkAccess(AccessKind::load, 0x2100, 1),
+              CapFault::boundsViolation);
+}
+
+TEST(Capability, SetAddrInsideBoundsKeepsTag)
+{
+    const Capability buf = Capability::root().setBounds(0x3000, 0x1000);
+    const Capability moved = buf.setAddr(0x3800);
+    EXPECT_TRUE(moved.tag());
+    EXPECT_EQ(moved.addr(), 0x3800u);
+    EXPECT_EQ(moved.base(), buf.base());
+    EXPECT_EQ(moved.top(), buf.top());
+}
+
+TEST(Capability, SetAddrFarOutsideDetags)
+{
+    const Capability buf =
+        Capability::root().setBounds(1ull << 32, 1ull << 30);
+    const Capability far = buf.setAddr((1ull << 32) + (1ull << 50));
+    EXPECT_FALSE(far.tag());
+}
+
+TEST(Capability, IncAddrWalksABuffer)
+{
+    Capability ptr = Capability::root()
+                         .setBounds(0x4000, 64)
+                         .andPerms(permDataRW);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(ptr.checkAccess(AccessKind::load, ptr.addr(), 4),
+                  CapFault::none);
+        ptr = ptr.incAddr(4);
+    }
+    // Cursor is now at the top; dereferencing there is out of bounds.
+    EXPECT_EQ(ptr.checkAccess(AccessKind::load, ptr.addr(), 4),
+              CapFault::boundsViolation);
+}
+
+TEST(Capability, SealBlocksUseUntilUnsealed)
+{
+    const Capability root = Capability::root();
+    const Capability buf = root.setBounds(0x5000, 0x100);
+    const Capability sealer = root.setAddr(42);
+
+    const Capability sealed = buf.seal(sealer, 42);
+    EXPECT_TRUE(sealed.tag());
+    EXPECT_TRUE(sealed.sealed());
+    EXPECT_EQ(sealed.checkAccess(AccessKind::load, 0x5000, 4),
+              CapFault::sealViolation);
+    // Sealed capabilities cannot be modified.
+    EXPECT_FALSE(sealed.setBounds(0x5000, 0x10).tag());
+    EXPECT_FALSE(sealed.setAddr(0x5004).tag());
+
+    const Capability unsealed = sealed.unseal(sealer);
+    EXPECT_TRUE(unsealed.tag());
+    EXPECT_FALSE(unsealed.sealed());
+    EXPECT_EQ(unsealed.checkAccess(AccessKind::load, 0x5000, 4),
+              CapFault::none);
+}
+
+TEST(Capability, UnsealWithWrongOtypeFails)
+{
+    const Capability root = Capability::root();
+    const Capability sealed =
+        root.setBounds(0x5000, 0x100).seal(root.setAddr(42), 42);
+    const Capability wrong = sealed.unseal(root.setAddr(43));
+    EXPECT_FALSE(wrong.tag());
+}
+
+TEST(Capability, SealWithoutPermissionFails)
+{
+    const Capability root = Capability::root();
+    const Capability no_seal = root.andPerms(permAll & ~permSeal);
+    const Capability sealed =
+        root.setBounds(0x5000, 0x100).seal(no_seal.setAddr(7), 7);
+    EXPECT_FALSE(sealed.tag());
+}
+
+TEST(Capability, CompressDecompressRoundTrip)
+{
+    Rng rng(2024);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr base = rng.next() & 0x00ffffffffffff00ull;
+        const std::uint64_t len = 1 + rng.nextBounded(1ull << 24);
+        Capability cap = Capability::root()
+                             .setBounds(base, len)
+                             .andPerms(permDataRW);
+        ASSERT_TRUE(cap.tag());
+
+        std::uint64_t pesbt;
+        std::uint64_t cursor;
+        cap.compress(pesbt, cursor);
+        const Capability back =
+            Capability::fromCompressed(true, pesbt, cursor);
+
+        EXPECT_EQ(back.base(), cap.base());
+        EXPECT_EQ(back.top(), cap.top());
+        EXPECT_EQ(back.perms(), cap.perms());
+        EXPECT_EQ(back.addr(), cap.addr());
+        EXPECT_EQ(back.otype(), cap.otype());
+    }
+}
+
+TEST(Capability, DerivationChainIsMonotonic)
+{
+    // Property: along any random derivation chain, every capability is a
+    // subset of every ancestor (rights never increase).
+    Rng rng(31337);
+    for (int trial = 0; trial < 200; ++trial) {
+        Capability cap = Capability::root();
+        Capability parent = cap;
+        for (int step = 0; step < 10 && cap.tag(); ++step) {
+            parent = cap;
+            if (rng.nextBool(0.5)) {
+                const u128 len = cap.length();
+                if (len == 0)
+                    break;
+                const std::uint64_t max_len =
+                    len > kTwo64 - 1 ? ~0ull
+                                     : static_cast<std::uint64_t>(len);
+                const std::uint64_t new_len =
+                    1 + rng.nextBounded(max_len);
+                const Addr new_base =
+                    cap.base() +
+                    rng.nextBounded(static_cast<std::uint64_t>(
+                        cap.length() - new_len + 1));
+                cap = cap.setBounds(new_base, new_len);
+            } else {
+                cap = cap.andPerms(static_cast<std::uint32_t>(
+                    rng.next() & permAll));
+            }
+            if (cap.tag()) {
+                EXPECT_TRUE(cap.subsetOf(parent));
+            }
+        }
+    }
+}
+
+TEST(Capability, SubsetOfHonorsPermsAndBounds)
+{
+    const Capability root = Capability::root();
+    const Capability a = root.setBounds(0x1000, 0x1000);
+    const Capability b = a.setBounds(0x1400, 0x100);
+    EXPECT_TRUE(b.subsetOf(a));
+    EXPECT_FALSE(a.subsetOf(b));
+    EXPECT_TRUE(a.subsetOf(root));
+
+    const Capability fewer = a.andPerms(permDataRO);
+    EXPECT_TRUE(fewer.subsetOf(a));
+    EXPECT_FALSE(a.subsetOf(fewer));
+}
+
+TEST(Capability, ClearedDropsOnlyTag)
+{
+    const Capability cap = Capability::root().setBounds(0x1000, 64);
+    const Capability dead = cap.cleared();
+    EXPECT_FALSE(dead.tag());
+    EXPECT_EQ(dead.base(), cap.base());
+    EXPECT_EQ(dead.top(), cap.top());
+    EXPECT_EQ(dead.perms(), cap.perms());
+}
+
+TEST(Capability, FaultNamesAreStable)
+{
+    EXPECT_STREQ(capFaultName(CapFault::none), "none");
+    EXPECT_STREQ(capFaultName(CapFault::boundsViolation),
+                 "bounds violation");
+    EXPECT_STREQ(capFaultName(CapFault::tagViolation), "tag violation");
+}
+
+} // namespace
+} // namespace capcheck::cheri

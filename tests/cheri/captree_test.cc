@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "cheri/captree.hh"
+
+namespace capcheck::cheri
+{
+namespace
+{
+
+/** Build the example tree from Fig. 4 of the paper. */
+class CapTreeFig4 : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const Capability root = tree.capOf(tree.rootNode());
+        cpu_task = tree.derive(tree.rootNode(), CapNodeKind::cpuTask,
+                               root.setBounds(0x10000, 0x10000),
+                               "cpu-task-1");
+        accel_task1 = tree.derive(
+            cpu_task, CapNodeKind::accelTask,
+            tree.capOf(cpu_task).setBounds(0x10000, 0x4000),
+            "accel-task-1");
+        buffer1 = tree.derive(
+            accel_task1, CapNodeKind::buffer,
+            tree.capOf(accel_task1).setBounds(0x10000, 0x1000),
+            "buffer-1");
+        buffer2 = tree.derive(
+            accel_task1, CapNodeKind::buffer,
+            tree.capOf(accel_task1).setBounds(0x11000, 0x1000),
+            "buffer-2");
+    }
+
+    CapTree tree;
+    CapNodeId cpu_task = invalidCapNode;
+    CapNodeId accel_task1 = invalidCapNode;
+    CapNodeId buffer1 = invalidCapNode;
+    CapNodeId buffer2 = invalidCapNode;
+};
+
+TEST_F(CapTreeFig4, StructureMatches)
+{
+    EXPECT_EQ(tree.size(), 5u);
+    EXPECT_EQ(tree.parentOf(buffer1), accel_task1);
+    EXPECT_EQ(tree.parentOf(accel_task1), cpu_task);
+    EXPECT_EQ(tree.parentOf(cpu_task), tree.rootNode());
+    EXPECT_EQ(tree.childrenOf(accel_task1).size(), 2u);
+    EXPECT_EQ(tree.kindOf(buffer2), CapNodeKind::buffer);
+    EXPECT_EQ(tree.labelOf(buffer2), "buffer-2");
+}
+
+TEST_F(CapTreeFig4, AuditPassesForSoundTree)
+{
+    EXPECT_TRUE(tree.audit().empty());
+}
+
+TEST_F(CapTreeFig4, AuditFlagsWidenedCapability)
+{
+    // A child claiming more memory than its parent is a violation; the
+    // only way to construct one is outside the CHERI derivation rules,
+    // which is exactly what the audit is for.
+    const Capability forged =
+        Capability::root().setBounds(0x0, 0x100000);
+    const CapNodeId rogue = tree.derive(accel_task1, CapNodeKind::buffer,
+                                        forged, "forged");
+    const auto bad = tree.audit();
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_EQ(bad[0], rogue);
+}
+
+TEST_F(CapTreeFig4, AuditFlagsUntaggedCapability)
+{
+    const Capability dead =
+        tree.capOf(accel_task1).setBounds(0x10000, 0x10).cleared();
+    const CapNodeId rogue = tree.derive(accel_task1, CapNodeKind::buffer,
+                                        dead, "untagged");
+    const auto bad = tree.audit();
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_EQ(bad[0], rogue);
+}
+
+TEST_F(CapTreeFig4, RemoveLeafThenParent)
+{
+    tree.remove(buffer1);
+    tree.remove(buffer2);
+    tree.remove(accel_task1);
+    EXPECT_EQ(tree.size(), 2u);
+    EXPECT_TRUE(tree.audit().empty());
+}
+
+TEST_F(CapTreeFig4, RemoveWithChildrenIsRejected)
+{
+    EXPECT_THROW(tree.remove(accel_task1), SimError);
+}
+
+TEST_F(CapTreeFig4, RemoveRootIsRejected)
+{
+    EXPECT_THROW(tree.remove(tree.rootNode()), SimError);
+}
+
+TEST_F(CapTreeFig4, AccelTaskMustDeriveFromCpuTask)
+{
+    // Pointers (and tasks) must be created by CPU tasks, never by
+    // accelerator tasks or the raw root.
+    EXPECT_THROW(tree.derive(tree.rootNode(), CapNodeKind::accelTask,
+                             Capability::root(), "bad"),
+                 SimError);
+    EXPECT_THROW(tree.derive(accel_task1, CapNodeKind::accelTask,
+                             tree.capOf(accel_task1), "bad"),
+                 SimError);
+}
+
+TEST_F(CapTreeFig4, BufferMustDeriveFromTask)
+{
+    EXPECT_THROW(tree.derive(tree.rootNode(), CapNodeKind::buffer,
+                             Capability::root(), "bad"),
+                 SimError);
+    EXPECT_THROW(tree.derive(buffer1, CapNodeKind::buffer,
+                             tree.capOf(buffer1), "bad"),
+                 SimError);
+}
+
+TEST_F(CapTreeFig4, SecondRootIsRejected)
+{
+    EXPECT_THROW(tree.derive(tree.rootNode(), CapNodeKind::root,
+                             Capability::root(), "bad"),
+                 SimError);
+}
+
+TEST_F(CapTreeFig4, ToStringRendersHierarchy)
+{
+    const std::string text = tree.toString();
+    EXPECT_NE(text.find("os-root"), std::string::npos);
+    EXPECT_NE(text.find("accel-task-1"), std::string::npos);
+    EXPECT_NE(text.find("buffer-2"), std::string::npos);
+    // Children are indented deeper than parents.
+    EXPECT_LT(text.find("cpu-task-1"), text.find("buffer-1"));
+}
+
+TEST(CapTree, DeadNodeAccessPanics)
+{
+    CapTree tree;
+    const CapNodeId task =
+        tree.derive(tree.rootNode(), CapNodeKind::cpuTask,
+                    Capability::root().setBounds(0, 0x1000), "t");
+    tree.remove(task);
+    EXPECT_THROW(tree.capOf(task), SimError);
+    EXPECT_THROW((void)tree.childrenOf(task), SimError);
+}
+
+} // namespace
+} // namespace capcheck::cheri

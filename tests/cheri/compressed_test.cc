@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "base/random.hh"
+#include "cheri/compressed.hh"
+
+namespace capcheck::cheri
+{
+namespace
+{
+
+const u128 kTwo64 = u128(1) << 64;
+
+TEST(CcCodec, FullAddressSpaceIsRepresentable)
+{
+    const CcEncodeResult enc = ccEncode(0, kTwo64);
+    EXPECT_TRUE(enc.exact);
+    const CcBounds bounds = ccDecode(enc.pesbt, 0);
+    EXPECT_EQ(bounds.base, 0u);
+    EXPECT_EQ(bounds.top, kTwo64);
+}
+
+TEST(CcCodec, EmptyRegionIsRepresentable)
+{
+    const CcEncodeResult enc = ccEncode(0x1000, 0x1000);
+    EXPECT_TRUE(enc.exact);
+    const CcBounds bounds = ccDecode(enc.pesbt, 0x1000);
+    EXPECT_EQ(bounds.base, 0x1000u);
+    EXPECT_EQ(bounds.top, u128(0x1000));
+}
+
+TEST(CcCodec, SmallRegionsAreByteExact)
+{
+    // Every length below 4096 must encode exactly at any base.
+    Rng rng(123);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr base = rng.next() & 0x00ffffffffffffffull;
+        const std::uint64_t len = rng.nextBounded(4096);
+        const CcEncodeResult enc = ccEncode(base, u128(base) + len);
+        EXPECT_TRUE(enc.exact)
+            << "base=" << base << " len=" << len;
+        const CcBounds bounds = ccDecode(enc.pesbt, base);
+        EXPECT_EQ(bounds.base, base);
+        EXPECT_EQ(bounds.top, u128(base) + len);
+    }
+}
+
+TEST(CcCodec, DecodedBoundsAlwaysCoverRequest)
+{
+    Rng rng(456);
+    for (int i = 0; i < 5000; ++i) {
+        const unsigned len_bits = 1 + rng.nextBounded(63);
+        const std::uint64_t len =
+            rng.next() & ((len_bits >= 64) ? ~0ull
+                                           : ((1ull << len_bits) - 1));
+        const Addr base = rng.next();
+        u128 top = u128(base) + len;
+        if (top > kTwo64)
+            top = kTwo64;
+
+        const CcEncodeResult enc = ccEncode(base, top);
+        const CcBounds bounds = ccDecode(enc.pesbt, base);
+        EXPECT_LE(bounds.base, base);
+        EXPECT_GE(bounds.top, top);
+        if (enc.exact) {
+            EXPECT_EQ(bounds.base, base);
+            EXPECT_EQ(bounds.top, top);
+        }
+    }
+}
+
+TEST(CcCodec, RoundingIsBoundedByRequiredAlignment)
+{
+    Rng rng(789);
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t len = rng.next() >> rng.nextBounded(50);
+        const Addr base = rng.next() >> 2;
+        u128 top = u128(base) + len;
+        if (top > kTwo64)
+            top = kTwo64;
+
+        const CcEncodeResult enc = ccEncode(base, top);
+        const CcBounds bounds = ccDecode(enc.pesbt, base);
+        // CC loses at most ~3 bits of mantissa precision vs the ideal;
+        // allow up to 8 alignment granules of slack on each side.
+        const u128 slack = u128(ccRequiredAlignment(len)) * 8;
+        EXPECT_GE(u128(base) - bounds.base + slack, u128(0));
+        EXPECT_LE(u128(base) - bounds.base, slack);
+        EXPECT_LE(bounds.top - top, slack);
+    }
+}
+
+TEST(CcCodec, AlignedPowerOfTwoRegionsAreExact)
+{
+    for (unsigned bits = 12; bits <= 40; ++bits) {
+        const std::uint64_t len = 1ull << bits;
+        const Addr base = len * 3; // aligned to len
+        const CcEncodeResult enc = ccEncode(base, u128(base) + len);
+        EXPECT_TRUE(enc.exact) << "len=2^" << bits;
+    }
+}
+
+TEST(CcCodec, DecodeIsAddressInvariantInsideBounds)
+{
+    // All addresses within the bounds must decode to identical bounds.
+    Rng rng(1011);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr base = rng.next() & 0x0000ffffffffff00ull;
+        const std::uint64_t len = 1 + (rng.next() & 0xfffffull);
+        const CcEncodeResult enc = ccEncode(base, u128(base) + len);
+        const CcBounds ref = ccDecode(enc.pesbt, base);
+
+        for (int j = 0; j < 8; ++j) {
+            const Addr inside =
+                static_cast<Addr>(ref.base) +
+                rng.nextBounded(static_cast<std::uint64_t>(ref.top -
+                                                           ref.base));
+            EXPECT_EQ(ccDecode(enc.pesbt, inside), ref);
+        }
+    }
+}
+
+TEST(CcCodec, RepresentabilityNearBounds)
+{
+    const Addr base = 0x10000;
+    const std::uint64_t len = 0x800;
+    const CcEncodeResult enc = ccEncode(base, u128(base) + len);
+
+    EXPECT_TRUE(ccIsRepresentable(enc.pesbt, base, base + len - 1));
+    EXPECT_TRUE(ccIsRepresentable(enc.pesbt, base, base + len));
+}
+
+TEST(CcCodec, FarOutOfBoundsAddressChangesDecodedBounds)
+{
+    // A huge object: moving the cursor a full region away must not decode
+    // to the same bounds (this is what makes far pointers unrepresentable).
+    const Addr base = 1ull << 32;
+    const std::uint64_t len = 1ull << 30;
+    const CcEncodeResult enc = ccEncode(base, u128(base) + len);
+    const CcBounds ref = ccDecode(enc.pesbt, base);
+
+    const Addr far = base + (1ull << 50);
+    EXPECT_NE(ccDecode(enc.pesbt, far), ref);
+}
+
+TEST(CcCodec, MetadataFieldsDoNotOverlap)
+{
+    Pesbt pesbt;
+    pesbt.setPerms(0xffff);
+    pesbt.setOtype(0x3ffff);
+    pesbt.setBoundsFields(true, 0xfff, 0x3fff);
+    EXPECT_EQ(pesbt.perms(), 0xffffu);
+    EXPECT_EQ(pesbt.otype(), 0x3ffffu);
+    EXPECT_TRUE(pesbt.internalExp());
+    EXPECT_EQ(pesbt.tField(), 0xfffu);
+    EXPECT_EQ(pesbt.bField(), 0x3fffu);
+
+    pesbt.setPerms(0);
+    EXPECT_EQ(pesbt.otype(), 0x3ffffu);
+    EXPECT_EQ(pesbt.tField(), 0xfffu);
+}
+
+TEST(CcCodec, RequiredAlignmentMatchesSpecShape)
+{
+    EXPECT_EQ(ccRequiredAlignment(0), 1u);
+    EXPECT_EQ(ccRequiredAlignment(4095), 1u);
+    EXPECT_EQ(ccRequiredAlignment(4096), 8u);
+    EXPECT_EQ(ccRequiredAlignment(1ull << 13), 8u);
+    EXPECT_EQ(ccRequiredAlignment(1ull << 14), 16u);
+    EXPECT_EQ(ccRequiredAlignment((1ull << 14) + 1), 32u);
+    // Alignment grows linearly with length (constant relative precision).
+    EXPECT_EQ(ccRequiredAlignment(1ull << 30), 1ull << 20);
+}
+
+TEST(CcCodec, RequiredAlignmentGuaranteesExactEncoding)
+{
+    // Property: a region whose base and length are multiples of
+    // ccRequiredAlignment(length) always encodes exactly.
+    Rng rng(555);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t len = rng.next() >> rng.nextBounded(52);
+        const std::uint64_t align = ccRequiredAlignment(len);
+        len = len & ~(align - 1);
+        if (len == 0)
+            continue;
+        const Addr base =
+            (rng.next() & 0x00ffffffffffffffull) & ~(align - 1);
+        if (u128(base) + len > kTwo64)
+            continue;
+        const CcEncodeResult enc = ccEncode(base, u128(base) + len);
+        EXPECT_TRUE(enc.exact)
+            << "base=0x" << std::hex << base << " len=0x" << len;
+    }
+}
+
+TEST(CcCodec, ExhaustiveSmallLengthSweep)
+{
+    // Every length 0..4200 must round-trip; below 4096 exactly, above
+    // with outward rounding only.
+    for (const Addr base :
+         {Addr{0}, Addr{0x1230}, Addr{0x7ffff0}, Addr{1} << 40}) {
+        for (std::uint64_t len = 0; len <= 4200; ++len) {
+            const CcEncodeResult enc = ccEncode(base, u128(base) + len);
+            const CcBounds bounds = ccDecode(enc.pesbt, base);
+            ASSERT_LE(bounds.base, base) << base << "+" << len;
+            ASSERT_GE(bounds.top, u128(base) + len);
+            if (len < 4096) {
+                ASSERT_TRUE(enc.exact) << base << "+" << len;
+                ASSERT_EQ(bounds.base, base);
+                ASSERT_EQ(bounds.top, u128(base) + len);
+            }
+        }
+    }
+}
+
+TEST(CcCodec, CompressedFormIsStableUnderRecompression)
+{
+    // decode -> encode -> decode must be a fixed point (no drift).
+    Rng rng(271828);
+    for (int i = 0; i < 3000; ++i) {
+        const Addr base = rng.next() & 0x00fffffffffffff0ull;
+        const std::uint64_t len = 1 + (rng.next() & 0xffffffffull);
+        u128 top = u128(base) + len;
+        if (top > kTwo64)
+            top = kTwo64;
+
+        const CcEncodeResult first = ccEncode(base, top);
+        const CcBounds bounds = ccDecode(first.pesbt, base);
+        const CcEncodeResult second =
+            ccEncode(bounds.base, bounds.top);
+        EXPECT_TRUE(second.exact);
+        EXPECT_EQ(ccDecode(second.pesbt, bounds.base), bounds);
+    }
+}
+
+/** Parameterized sweep: (length bits, base alignment bits). */
+class CcSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(CcSweep, EncodeDecodeCoversAndNestsTightly)
+{
+    const auto [len_bits, align_bits] = GetParam();
+    Rng rng(1000 + len_bits * 64 + align_bits);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t len =
+            (1ull << len_bits) | (rng.next() & ((1ull << len_bits) - 1));
+        const Addr base = (rng.next() << align_bits) &
+                          0x00ffffffffffffffull;
+        u128 top = u128(base) + len;
+        if (top > kTwo64)
+            top = kTwo64;
+
+        const CcEncodeResult enc = ccEncode(base, top);
+        const CcBounds bounds = ccDecode(enc.pesbt, base);
+        ASSERT_LE(bounds.base, base);
+        ASSERT_GE(bounds.top, top);
+        // Rounded region must stay within 2x of the request (CC keeps
+        // ~11 bits of mantissa precision, far better than 2x).
+        ASSERT_LE(bounds.top - bounds.base, 2 * (top - u128(base)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthAlignmentGrid, CcSweep,
+    ::testing::Combine(::testing::Values(4u, 10u, 12u, 13u, 16u, 20u, 24u,
+                                         32u, 40u, 48u),
+                       ::testing::Values(0u, 3u, 12u)),
+    [](const auto &info) {
+        return "len" + std::to_string(std::get<0>(info.param)) + "_align" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace capcheck::cheri

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "cpu/cache_model.hh"
+
+namespace capcheck
+{
+namespace
+{
+
+TEST(CacheModel, ColdMissThenHit)
+{
+    CacheModel cache(1024, 64, 2);
+    EXPECT_FALSE(cache.access(0x100));
+    EXPECT_TRUE(cache.access(0x100));
+    EXPECT_TRUE(cache.access(0x13f)); // same line
+    EXPECT_FALSE(cache.access(0x140)); // next line
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(CacheModel, SpatialLocalityWithinLine)
+{
+    CacheModel cache(16 * 1024, 64, 2);
+    int misses = 0;
+    for (Addr a = 0; a < 4096; a += 4)
+        misses += !cache.access(a);
+    EXPECT_EQ(misses, 4096 / 64);
+}
+
+TEST(CacheModel, TwoWayAvoidsSimpleConflicts)
+{
+    // Two addresses that map to the same set coexist in a 2-way cache.
+    CacheModel cache(1024, 64, 2);
+    const Addr a = 0x0;
+    const Addr b = 0x0 + 512; // same set (8 sets x 64B)
+    cache.access(a);
+    cache.access(b);
+    EXPECT_TRUE(cache.access(a));
+    EXPECT_TRUE(cache.access(b));
+
+    // A direct-mapped cache thrashes on the same pattern.
+    CacheModel dm(1024, 64, 1);
+    dm.access(a);
+    dm.access(a + 1024);
+    EXPECT_FALSE(dm.access(a));
+}
+
+TEST(CacheModel, LruEvictsLeastRecentlyUsed)
+{
+    CacheModel cache(128, 64, 2); // one set, two ways
+    cache.access(0);     // miss: {0}
+    cache.access(64);    // miss: {0, 64}
+    cache.access(0);     // hit, 0 is MRU
+    cache.access(128);   // miss: evicts 64
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_FALSE(cache.access(64));
+}
+
+TEST(CacheModel, FlushInvalidatesEverything)
+{
+    CacheModel cache(1024, 64, 2);
+    cache.access(0x100);
+    cache.flush();
+    EXPECT_FALSE(cache.access(0x100));
+}
+
+TEST(CacheModel, WorkingSetLargerThanCacheThrashes)
+{
+    CacheModel cache(1024, 64, 2);
+    // Two passes over a 4 KiB working set: second pass still misses.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (Addr a = 0; a < 4096; a += 64)
+            cache.access(a);
+    }
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CacheModel, WorkingSetSmallerThanCacheHits)
+{
+    CacheModel cache(16 * 1024, 64, 2);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (Addr a = 0; a < 8192; a += 64)
+            cache.access(a);
+    }
+    EXPECT_EQ(cache.hits(), 8192u / 64);
+}
+
+TEST(CacheModel, BadGeometryRejected)
+{
+    EXPECT_THROW(CacheModel(1000, 64, 2), SimError);
+    EXPECT_THROW(CacheModel(1024, 60, 2), SimError);
+    EXPECT_THROW(CacheModel(1024, 64, 0), SimError);
+}
+
+} // namespace
+} // namespace capcheck

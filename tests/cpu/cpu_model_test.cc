@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "cpu/cpu_model.hh"
+
+namespace capcheck
+{
+namespace
+{
+
+class CpuModelTest : public ::testing::Test
+{
+  protected:
+    CpuModelTest() : mem(1 << 16)
+    {
+        const cheri::Capability root = cheri::Capability::root();
+        buffers.push_back(
+            {0x1000, 256,
+             root.setBounds(0x1000, 256).andPerms(cheri::permDataRW)});
+        buffers.push_back(
+            {0x2000, 256,
+             root.setBounds(0x2000, 256).andPerms(cheri::permDataRW)});
+    }
+
+    TaggedMemory mem;
+    std::vector<BufferMapping> buffers;
+};
+
+TEST_F(CpuModelTest, FunctionalLoadStore)
+{
+    CpuAccessor cpu(mem, buffers, false);
+    cpu.st<std::uint32_t>(0, 4, 0xcafe);
+    EXPECT_EQ(cpu.ld<std::uint32_t>(0, 4), 0xcafeu);
+    // Data really lands in shared memory at the mapped address.
+    EXPECT_EQ(mem.readValue<std::uint32_t>(0x1010), 0xcafeu);
+}
+
+TEST_F(CpuModelTest, CyclesAccumulateByOpClass)
+{
+    CpuCostParams costs;
+    CpuAccessor cpu(mem, buffers, false, costs);
+    const Cycles c0 = cpu.cycles();
+    cpu.computeInt(10);
+    EXPECT_EQ(cpu.cycles() - c0, 10 * costs.intOp);
+    cpu.computeFp(4);
+    EXPECT_EQ(cpu.cycles() - c0, 10 * costs.intOp + 4 * costs.fpOp);
+}
+
+TEST_F(CpuModelTest, MissThenHitCosts)
+{
+    CpuCostParams costs;
+    CpuAccessor cpu(mem, buffers, false, costs);
+    cpu.ld<std::uint64_t>(0, 0); // cold miss
+    const Cycles after_miss = cpu.cycles();
+    EXPECT_EQ(after_miss, costs.missPenalty);
+    cpu.ld<std::uint64_t>(0, 1); // same line: hit
+    EXPECT_EQ(cpu.cycles() - after_miss, costs.loadHit);
+}
+
+TEST_F(CpuModelTest, CheriCheckAllowsBenignAccess)
+{
+    CpuAccessor cpu(mem, buffers, true);
+    cpu.st<std::uint8_t>(0, 0, 1);
+    cpu.st<std::uint8_t>(0, 255, 1);
+    EXPECT_EQ(cpu.stores(), 2u);
+}
+
+TEST_F(CpuModelTest, OutOfBufferAccessPanics)
+{
+    CpuAccessor cpu(mem, buffers, false);
+    EXPECT_THROW(cpu.ld<std::uint32_t>(0, 64), SimError); // 256..259
+    EXPECT_THROW(cpu.ld<std::uint8_t>(7, 0), SimError);   // no object 7
+}
+
+TEST_F(CpuModelTest, CheriPermissionViolationPanics)
+{
+    auto ro = buffers;
+    ro[0].cap = ro[0].cap.andPerms(cheri::permDataRO);
+    CpuAccessor cpu(mem, ro, true);
+    EXPECT_EQ(cpu.ld<std::uint8_t>(0, 0), 0u);
+    EXPECT_THROW(cpu.st<std::uint8_t>(0, 0, 1), SimError);
+}
+
+TEST_F(CpuModelTest, CheriCopyRunsAtCapabilityWidth)
+{
+    CpuCostParams costs;
+    costs.cheriTagMissInterval = 0; // isolate the copy-width effect
+    CpuAccessor plain(mem, buffers, false, costs);
+    CpuAccessor cheri(mem, buffers, true, costs);
+
+    const Cycles p0 = plain.cycles();
+    plain.copy(1, 0, 0, 0, 128);
+    const Cycles plain_cost = plain.cycles() - p0;
+
+    const Cycles c0 = cheri.cycles();
+    cheri.copy(1, 0, 0, 0, 128);
+    const Cycles cheri_cost = cheri.cycles() - c0;
+
+    // 16 iterations vs 8: the loop part halves (cache charges equal).
+    EXPECT_LT(cheri_cost, plain_cost);
+    EXPECT_EQ(plain_cost - cheri_cost, 8 * costs.copyPerWord);
+}
+
+TEST_F(CpuModelTest, CopyMovesData)
+{
+    CpuAccessor cpu(mem, buffers, false);
+    for (unsigned i = 0; i < 32; ++i)
+        cpu.st<std::uint8_t>(0, i, static_cast<std::uint8_t>(i * 3));
+    cpu.copy(1, 8, 0, 0, 32);
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(cpu.ld<std::uint8_t>(1, 8 + i),
+                  static_cast<std::uint8_t>(i * 3));
+}
+
+TEST_F(CpuModelTest, TaskSetupCheaperWithoutCheri)
+{
+    CpuAccessor plain(mem, buffers, false);
+    CpuAccessor cheri(mem, buffers, true);
+    plain.chargeTaskSetup();
+    cheri.chargeTaskSetup();
+    EXPECT_LT(plain.cycles(), cheri.cycles());
+}
+
+TEST_F(CpuModelTest, CheriTagFetchChargesOnMisses)
+{
+    CpuCostParams costs;
+    costs.cheriTagMissInterval = 1; // every miss
+    CpuAccessor plain(mem, buffers, false, costs);
+    CpuAccessor cheri(mem, buffers, true, costs);
+    for (unsigned line = 0; line < 4; ++line) {
+        plain.ld<std::uint8_t>(0, line * 64);
+        cheri.ld<std::uint8_t>(0, line * 64);
+    }
+    EXPECT_EQ(cheri.cycles() - plain.cycles(), 4u);
+}
+
+} // namespace
+} // namespace capcheck

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "base/logging.hh"
+#include "driver/driver.hh"
+#include "workloads/kernel.hh"
+
+namespace capcheck::driver
+{
+namespace
+{
+
+class DriverTest : public ::testing::Test
+{
+  protected:
+    DriverTest()
+        : mem(16 << 20), heap(0x100000, (16 << 20) - 0x100000),
+          accel("gemm", workloads::kernelSpec("gemm_ncubed"), 8)
+    {
+        app = tree.derive(
+            tree.rootNode(), cheri::CapNodeKind::cpuTask,
+            tree.capOf(tree.rootNode()).setBounds(0x100000,
+                                                  (15 << 20)),
+            "app");
+    }
+
+    TaggedMemory mem;
+    RegionAllocator heap;
+    cheri::CapTree tree;
+    cheri::CapNodeId app = cheri::invalidCapNode;
+    accel::Accelerator accel;
+};
+
+TEST_F(DriverTest, AllocateInstallsCapabilitiesAndPointers)
+{
+    capchecker::CapChecker checker;
+    Driver driver(mem, heap, tree, true, &checker);
+
+    auto handle = driver.allocateTask(accel, 0, app);
+    ASSERT_TRUE(handle);
+    EXPECT_EQ(handle->buffers.size(), 3u);
+    EXPECT_EQ(checker.capTable().used(), 3u);
+    EXPECT_GT(handle->allocCycles, 0u);
+
+    // Control registers carry the buffer base pointers.
+    const auto &regs = accel.regs(handle->instance);
+    EXPECT_TRUE(regs.started);
+    for (unsigned i = 0; i < 3; ++i)
+        EXPECT_EQ(regs.objBase[i], handle->buffers[i].base);
+
+    // Capability tree: app -> accel task -> 3 buffers, all monotonic.
+    EXPECT_EQ(tree.size(), 2u + 1u + 3u);
+    EXPECT_TRUE(tree.audit().empty());
+}
+
+TEST_F(DriverTest, BufferPermsFollowAccessMode)
+{
+    capchecker::CapChecker checker;
+    Driver driver(mem, heap, tree, true, &checker);
+    auto handle = driver.allocateTask(accel, 0, app);
+    ASSERT_TRUE(handle);
+
+    // gemm: A/B read-only, C write-only.
+    const auto *a = checker.capTable().lookup(0, 0);
+    const auto *c = checker.capTable().lookup(0, 2);
+    ASSERT_TRUE(a && c);
+    EXPECT_TRUE(a->decoded.hasPerms(cheri::permLoad));
+    EXPECT_FALSE(a->decoded.hasPerms(cheri::permStore));
+    EXPECT_TRUE(c->decoded.hasPerms(cheri::permStore));
+    EXPECT_FALSE(c->decoded.hasPerms(cheri::permLoad));
+}
+
+TEST_F(DriverTest, DeallocateReleasesEverything)
+{
+    capchecker::CapChecker checker;
+    Driver driver(mem, heap, tree, true, &checker);
+    auto handle = driver.allocateTask(accel, 0, app);
+    ASSERT_TRUE(handle);
+    const std::size_t live_before = heap.liveAllocations();
+
+    driver.deallocateTask(*handle, false);
+    EXPECT_EQ(checker.capTable().used(), 0u);
+    EXPECT_EQ(heap.liveAllocations(), live_before - 3);
+    EXPECT_EQ(tree.size(), 2u); // root + app only
+    EXPECT_FALSE(accel.regs(handle->instance).busy);
+}
+
+TEST_F(DriverTest, ExceptionScrubsBuffers)
+{
+    capchecker::CapChecker checker;
+    Driver driver(mem, heap, tree, true, &checker);
+    auto handle = driver.allocateTask(accel, 0, app);
+    ASSERT_TRUE(handle);
+
+    const Addr base = handle->buffers[0].base;
+    mem.writeValue<std::uint64_t>(base, 0x5ec3e7da7aull);
+
+    const Cycles clean = driver.deallocateTask(*handle, true);
+    EXPECT_EQ(mem.readValue<std::uint64_t>(base), 0u);
+
+    // A clean teardown is cheaper (no scrubbing pass).
+    auto handle2 = driver.allocateTask(accel, 1, app);
+    ASSERT_TRUE(handle2);
+    EXPECT_LT(driver.deallocateTask(*handle2, false), clean);
+}
+
+TEST_F(DriverTest, InstanceExhaustionReturnsNullopt)
+{
+    Driver driver(mem, heap, tree, true, nullptr);
+    std::vector<TaskHandle> handles;
+    for (unsigned t = 0; t < 8; ++t) {
+        auto handle = driver.allocateTask(accel, t, app);
+        ASSERT_TRUE(handle);
+        handles.push_back(std::move(*handle));
+    }
+    EXPECT_FALSE(driver.allocateTask(accel, 8, app));
+
+    // Releasing one instance unblocks allocation (Fig. 6's stall).
+    driver.deallocateTask(handles[3], false);
+    EXPECT_TRUE(driver.allocateTask(accel, 8, app));
+    // Cleanup.
+    for (unsigned i = 0; i < handles.size(); ++i) {
+        if (i != 3)
+            driver.deallocateTask(handles[i], false);
+    }
+}
+
+TEST_F(DriverTest, CapTableExhaustionRollsBack)
+{
+    capchecker::CapChecker::Params params;
+    params.tableEntries = 4; // gemm needs 3 per task
+    capchecker::CapChecker checker(params);
+    Driver driver(mem, heap, tree, true, &checker);
+
+    auto first = driver.allocateTask(accel, 0, app);
+    ASSERT_TRUE(first);
+    const std::size_t live = heap.liveAllocations();
+
+    // Second task cannot fit its three capabilities.
+    auto second = driver.allocateTask(accel, 1, app);
+    EXPECT_FALSE(second);
+    // No leaked buffers, entries, tree nodes, or claimed instances.
+    EXPECT_EQ(heap.liveAllocations(), live);
+    EXPECT_EQ(checker.capTable().used(), 3u);
+    EXPECT_TRUE(tree.audit().empty());
+
+    // Evicting the first task's capabilities unblocks the next user.
+    driver.deallocateTask(*first, false);
+    EXPECT_TRUE(driver.allocateTask(accel, 2, app).has_value());
+}
+
+TEST_F(DriverTest, CoarseModeEncodesObjectIdsInPointers)
+{
+    capchecker::CapChecker::Params params;
+    params.provenance = capchecker::Provenance::coarse;
+    capchecker::CapChecker checker(params);
+    Driver driver(mem, heap, tree, true, &checker);
+
+    auto handle = driver.allocateTask(accel, 0, app);
+    ASSERT_TRUE(handle);
+    for (ObjectId obj = 0; obj < 3; ++obj) {
+        EXPECT_EQ(handle->accelBases[obj] >>
+                      capchecker::CapChecker::coarseAddrBits,
+                  obj);
+        EXPECT_EQ(handle->accelBases[obj] &
+                      ((Addr{1} << 56) - 1),
+                  handle->buffers[obj].base);
+    }
+    driver.deallocateTask(*handle, false);
+}
+
+TEST_F(DriverTest, NonCheriDriverSkipsCapabilityWork)
+{
+    Driver driver(mem, heap, tree, false, nullptr);
+    auto handle = driver.allocateTask(accel, 0, app);
+    ASSERT_TRUE(handle);
+    EXPECT_EQ(tree.size(), 2u); // no derivations recorded
+    EXPECT_FALSE(handle->buffers[0].cap.tag());
+    driver.deallocateTask(*handle, false);
+}
+
+TEST_F(DriverTest, CapCheckerWithoutCheriCpuIsFatal)
+{
+    capchecker::CapChecker checker;
+    EXPECT_THROW(Driver(mem, heap, tree, false, &checker), SimError);
+}
+
+TEST_F(DriverTest, IommuDriverMapsAndUnmapsPages)
+{
+    protect::Iommu iommu;
+    Driver driver(mem, heap, tree, true, nullptr, &iommu);
+    auto handle = driver.allocateTask(accel, 0, app);
+    ASSERT_TRUE(handle);
+    // 3 x 16 KiB buffers = 12 pages.
+    EXPECT_EQ(iommu.entriesUsed(), 12u);
+    driver.deallocateTask(*handle, false);
+    EXPECT_EQ(iommu.entriesUsed(), 0u);
+}
+
+TEST_F(DriverTest, IopmpDriverProgramsRegions)
+{
+    protect::Iopmp iopmp(16);
+    Driver driver(mem, heap, tree, true, nullptr, nullptr, &iopmp);
+    auto handle = driver.allocateTask(accel, 0, app);
+    ASSERT_TRUE(handle);
+    EXPECT_EQ(iopmp.entriesUsed(), 3u);
+    driver.deallocateTask(*handle, false);
+    EXPECT_EQ(iopmp.entriesUsed(), 0u);
+}
+
+} // namespace
+} // namespace capcheck::driver

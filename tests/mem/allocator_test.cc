@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "cheri/compressed.hh"
+#include "mem/allocator.hh"
+
+namespace capcheck
+{
+namespace
+{
+
+TEST(Allocator, AllocatesDisjointRegions)
+{
+    RegionAllocator alloc(0x1000, 0x10000);
+    const auto a = alloc.allocate(256);
+    const auto b = alloc.allocate(256);
+    ASSERT_TRUE(a && b);
+    EXPECT_NE(*a, *b);
+    // Regions must not overlap.
+    EXPECT_TRUE(*a + 256 <= *b || *b + 256 <= *a);
+}
+
+TEST(Allocator, RespectsCapabilityAlignment)
+{
+    RegionAllocator alloc(0x1000, 1 << 22);
+    // Large buffers must land on their CHERI-exact alignment.
+    const std::uint64_t size = (1 << 20) + 64;
+    const auto addr = alloc.allocate(size);
+    ASSERT_TRUE(addr);
+    EXPECT_EQ(*addr % cheri::ccRequiredAlignment(size), 0u);
+}
+
+TEST(Allocator, MinimumSixteenByteAlignment)
+{
+    RegionAllocator alloc(0x1000, 0x1000);
+    const auto a = alloc.allocate(1);
+    const auto b = alloc.allocate(1);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(*a % 16, 0u);
+    EXPECT_EQ(*b % 16, 0u);
+    EXPECT_GE(*b - *a, 16u); // never share a tag granule
+}
+
+TEST(Allocator, FreeAndCoalesce)
+{
+    RegionAllocator alloc(0, 0x100);
+    const auto a = alloc.allocate(64);
+    const auto b = alloc.allocate(64);
+    const auto c = alloc.allocate(64);
+    ASSERT_TRUE(a && b && c);
+    EXPECT_FALSE(alloc.allocate(128));
+
+    alloc.free(*a);
+    alloc.free(*b);
+    // After coalescing the first two spans, 128 bytes fit again.
+    const auto d = alloc.allocate(128);
+    EXPECT_TRUE(d);
+    alloc.free(*c);
+    alloc.free(*d);
+    EXPECT_EQ(alloc.liveAllocations(), 0u);
+    EXPECT_EQ(alloc.bytesAllocated(), 0u);
+}
+
+TEST(Allocator, ExhaustionReturnsNullopt)
+{
+    RegionAllocator alloc(0, 256);
+    EXPECT_TRUE(alloc.allocate(128));
+    EXPECT_TRUE(alloc.allocate(128));
+    EXPECT_FALSE(alloc.allocate(16));
+}
+
+TEST(Allocator, GuardBytesSeparateAllocations)
+{
+    RegionAllocator alloc(0, 0x1000, /*guard_bytes=*/64);
+    const auto a = alloc.allocate(16);
+    const auto b = alloc.allocate(16);
+    ASSERT_TRUE(a && b);
+    EXPECT_GE(*b > *a ? *b - *a : *a - *b, 16u + 64u);
+}
+
+TEST(Allocator, SizeOfTracksUserSize)
+{
+    RegionAllocator alloc(0, 0x1000);
+    const auto a = alloc.allocate(100);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(alloc.sizeOf(*a), 100u);
+    EXPECT_EQ(alloc.sizeOf(*a + 1), 0u);
+}
+
+TEST(Allocator, DoubleFreePanics)
+{
+    RegionAllocator alloc(0, 0x1000);
+    const auto a = alloc.allocate(64);
+    ASSERT_TRUE(a);
+    alloc.free(*a);
+    EXPECT_THROW(alloc.free(*a), SimError);
+}
+
+TEST(Allocator, ZeroSizeRejected)
+{
+    RegionAllocator alloc(0, 0x1000);
+    EXPECT_FALSE(alloc.allocate(0));
+}
+
+TEST(Allocator, RandomizedChurnPreservesInvariants)
+{
+    // Property: across random alloc/free churn, live allocations never
+    // overlap and everything stays inside the managed region.
+    RegionAllocator alloc(0x10000, 0x40000);
+    Rng rng(99);
+    std::map<Addr, std::uint64_t> live;
+
+    for (int step = 0; step < 2000; ++step) {
+        if (live.empty() || rng.nextBool(0.6)) {
+            const std::uint64_t size = 1 + rng.nextBounded(2048);
+            const auto addr = alloc.allocate(size);
+            if (!addr)
+                continue;
+            EXPECT_GE(*addr, 0x10000u);
+            EXPECT_LE(*addr + size, 0x50000u);
+            // No overlap with any live allocation.
+            for (const auto &[other, other_size] : live) {
+                EXPECT_TRUE(*addr + size <= other ||
+                            other + other_size <= *addr);
+            }
+            live[*addr] = size;
+        } else {
+            auto it = live.begin();
+            std::advance(it, rng.nextBounded(live.size()));
+            alloc.free(it->first);
+            live.erase(it);
+        }
+    }
+    for (const auto &[addr, size] : live)
+        alloc.free(addr);
+    EXPECT_EQ(alloc.bytesAllocated(), 0u);
+    // Full region available again.
+    EXPECT_TRUE(alloc.allocate(0x40000 - 16));
+}
+
+} // namespace
+} // namespace capcheck

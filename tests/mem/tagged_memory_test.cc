@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "mem/tagged_memory.hh"
+
+namespace capcheck
+{
+namespace
+{
+
+using cheri::Capability;
+using cheri::permDataRW;
+
+TEST(TaggedMemory, DataRoundTrip)
+{
+    TaggedMemory mem(4096);
+    mem.writeValue<std::uint32_t>(0x100, 0xdeadbeef);
+    EXPECT_EQ(mem.readValue<std::uint32_t>(0x100), 0xdeadbeefu);
+
+    const char text[] = "capability";
+    mem.write(0x200, text, sizeof(text));
+    char back[sizeof(text)];
+    mem.read(0x200, back, sizeof(back));
+    EXPECT_STREQ(back, "capability");
+}
+
+TEST(TaggedMemory, CapStoreSetsTagAndRoundTrips)
+{
+    TaggedMemory mem(4096);
+    const Capability cap =
+        Capability::root().setBounds(0x40, 0x80).andPerms(permDataRW);
+    mem.writeCap(0x10 * 16, cap);
+
+    EXPECT_TRUE(mem.tagAt(0x100));
+    const Capability back = mem.readCap(0x100);
+    EXPECT_TRUE(back.tag());
+    EXPECT_EQ(back.base(), cap.base());
+    EXPECT_EQ(back.top(), cap.top());
+    EXPECT_EQ(back.perms(), cap.perms());
+}
+
+TEST(TaggedMemory, UntaggedCapStoreClearsTag)
+{
+    TaggedMemory mem(4096);
+    mem.writeCap(0x100, Capability::root().setBounds(0, 16));
+    EXPECT_TRUE(mem.tagAt(0x100));
+    mem.writeCap(0x100, Capability::root().setBounds(0, 16).cleared());
+    EXPECT_FALSE(mem.tagAt(0x100));
+}
+
+TEST(TaggedMemory, DataWriteClearsOverlappingTags)
+{
+    // This is the anti-forgery rule: any plain-data write to a granule
+    // holding a capability invalidates it.
+    TaggedMemory mem(4096);
+    mem.writeCap(0x100, Capability::root().setBounds(0, 16));
+    mem.writeCap(0x110, Capability::root().setBounds(16, 16));
+
+    // A one-byte write into the first granule kills only that tag.
+    mem.writeValue<std::uint8_t>(0x10f, 0xff);
+    EXPECT_FALSE(mem.tagAt(0x100));
+    EXPECT_TRUE(mem.tagAt(0x110));
+
+    // A straddling write kills the second too.
+    mem.writeCap(0x100, Capability::root().setBounds(0, 16));
+    mem.writeValue<std::uint64_t>(0x10c, 0);
+    EXPECT_FALSE(mem.tagAt(0x100));
+    EXPECT_FALSE(mem.tagAt(0x110));
+}
+
+TEST(TaggedMemory, ReadCapOfClearedGranuleIsUntagged)
+{
+    TaggedMemory mem(4096);
+    const Capability cap = Capability::root().setBounds(0x40, 0x40);
+    mem.writeCap(0x100, cap);
+    mem.writeValue<std::uint64_t>(0x100, 0x4141414141414141ull);
+
+    const Capability forged = mem.readCap(0x100);
+    EXPECT_FALSE(forged.tag()); // bytes changed, rights did not survive
+}
+
+TEST(TaggedMemory, CountAndClearTags)
+{
+    TaggedMemory mem(4096);
+    EXPECT_EQ(mem.countTags(), 0u);
+    for (int i = 0; i < 4; ++i)
+        mem.writeCap(0x100 + i * 16,
+                     Capability::root().setBounds(0, 16));
+    EXPECT_EQ(mem.countTags(), 4u);
+    mem.clearTags(0x100, 32);
+    EXPECT_EQ(mem.countTags(), 2u);
+}
+
+TEST(TaggedMemory, ScrubZeroesAndClears)
+{
+    TaggedMemory mem(4096);
+    mem.writeValue<std::uint64_t>(0x100, ~0ull);
+    mem.writeCap(0x110, Capability::root().setBounds(0, 16));
+    mem.scrub(0x100, 0x40);
+    EXPECT_EQ(mem.readValue<std::uint64_t>(0x100), 0u);
+    EXPECT_FALSE(mem.tagAt(0x110));
+}
+
+TEST(TaggedMemory, UnalignedCapAccessPanics)
+{
+    TaggedMemory mem(4096);
+    EXPECT_THROW(mem.writeCap(0x101, Capability::root()), SimError);
+    EXPECT_THROW((void)mem.readCap(0x108), SimError);
+}
+
+TEST(TaggedMemory, OutOfRangePanics)
+{
+    TaggedMemory mem(4096);
+    EXPECT_THROW(mem.writeValue<std::uint64_t>(4092, 0), SimError);
+    std::uint8_t byte;
+    EXPECT_THROW(mem.read(4096, &byte, 1), SimError);
+}
+
+TEST(TaggedMemory, SizeMustBeGranuleAligned)
+{
+    EXPECT_THROW(TaggedMemory bad(100), SimError);
+    EXPECT_THROW(TaggedMemory empty(0), SimError);
+}
+
+} // namespace
+} // namespace capcheck

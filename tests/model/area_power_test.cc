@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "model/area_power.hh"
+#include "workloads/kernel.hh"
+
+namespace capcheck::model
+{
+namespace
+{
+
+TEST(AreaModel, PaperAnchors)
+{
+    // 256-entry CapChecker ~ 30k LUTs.
+    const auto full = AreaPowerModel::capCheckerLuts(256);
+    EXPECT_NEAR(static_cast<double>(full), 30000.0, 1500.0);
+    // CFU-class checker (register-based, no CAM): under 100 LUTs on a
+    // ~10k LUT microcontroller system.
+    EXPECT_LT(AreaPowerModel::capCheckerLuts(2), 100u);
+    EXPECT_EQ(AreaPowerModel::microcontrollerLuts(), 10000u);
+}
+
+TEST(AreaModel, ScalesLinearlyWithEntries)
+{
+    const auto l128 = AreaPowerModel::capCheckerLuts(128);
+    const auto l256 = AreaPowerModel::capCheckerLuts(256);
+    const auto l512 = AreaPowerModel::capCheckerLuts(512);
+    EXPECT_EQ(l512 - l256, 2 * (l256 - l128));
+}
+
+TEST(AreaModel, CheriCpuLargerThanPlain)
+{
+    EXPECT_GT(AreaPowerModel::cpuLuts(true),
+              AreaPowerModel::cpuLuts(false));
+}
+
+TEST(AreaModel, AccelAreaGrowsWithParallelismAndPorts)
+{
+    const auto &small = workloads::kernelSpec("bfs_bulk");    // ilp 4
+    const auto &big = workloads::kernelSpec("viterbi");       // ilp 128
+    EXPECT_GT(AreaPowerModel::accelLuts(big, 8),
+              AreaPowerModel::accelLuts(small, 8));
+    EXPECT_EQ(AreaPowerModel::accelLuts(small, 8),
+              8 * AreaPowerModel::accelLuts(small, 1));
+}
+
+TEST(AreaModel, SystemAreaOverheadNearFifteenPercent)
+{
+    // Across all benchmarks, adding the 256-entry CapChecker costs
+    // roughly the paper's ~15%.
+    for (const std::string &name : workloads::allKernelNames()) {
+        const auto base =
+            AreaPowerModel::cpuLuts(true) +
+            AreaPowerModel::accelLuts(workloads::kernelSpec(name), 8);
+        const double overhead =
+            static_cast<double>(AreaPowerModel::capCheckerLuts(256)) /
+            static_cast<double>(base);
+        EXPECT_GT(overhead, 0.05) << name;
+        EXPECT_LT(overhead, 0.30) << name;
+    }
+}
+
+TEST(PowerModel, StaticGrowsWithArea)
+{
+    EXPECT_GT(AreaPowerModel::staticPowerW(200000),
+              AreaPowerModel::staticPowerW(100000));
+}
+
+TEST(PowerModel, DynamicScalesWithActivity)
+{
+    const double idle = AreaPowerModel::dynamicPowerW(100000, 0.0);
+    const double busy = AreaPowerModel::dynamicPowerW(100000, 1.0);
+    EXPECT_EQ(idle, 0.0);
+    EXPECT_GT(busy, 0.0);
+    // Activity is clamped.
+    EXPECT_EQ(AreaPowerModel::dynamicPowerW(100000, 5.0), busy);
+}
+
+TEST(PowerModel, CapCheckerPowerIsSmallShare)
+{
+    const double system =
+        AreaPowerModel::totalPowerW(200000, 0.3);
+    const double checker = AreaPowerModel::capCheckerPowerW(256, 0.3);
+    EXPECT_LT(checker / system, 0.10);
+    EXPECT_GT(checker, 0.0);
+}
+
+} // namespace
+} // namespace capcheck::model

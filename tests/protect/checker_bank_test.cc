@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "protect/checker_bank.hh"
+
+namespace capcheck::protect
+{
+namespace
+{
+
+using capchecker::CapChecker;
+using cheri::Capability;
+using cheri::permDataRW;
+
+MemRequest
+makeReq(PortId port, TaskId task, ObjectId obj, Addr addr)
+{
+    MemRequest req;
+    req.cmd = MemCmd::read;
+    req.addr = addr;
+    req.size = 8;
+    req.srcPort = port;
+    req.task = task;
+    req.object = obj;
+    return req;
+}
+
+TEST(CheckerBank, RoutesByMasterPort)
+{
+    CheckerBank bank(2, CapChecker::Params{});
+    bank.at(0).installCapability(
+        0, 0,
+        Capability::root().setBounds(0x1000, 0x100).andPerms(
+            permDataRW));
+    bank.at(1).installCapability(
+        1, 0,
+        Capability::root().setBounds(0x2000, 0x100).andPerms(
+            permDataRW));
+
+    EXPECT_TRUE(bank.check(makeReq(0, 0, 0, 0x1000)).allowed);
+    EXPECT_TRUE(bank.check(makeReq(1, 1, 0, 0x2000)).allowed);
+    // Task 0's capability lives only in checker 0: via port 1 the
+    // lookup misses.
+    EXPECT_FALSE(bank.check(makeReq(1, 0, 0, 0x1000)).allowed);
+}
+
+TEST(CheckerBank, AggregatesEntriesAndExceptions)
+{
+    CheckerBank bank(3, CapChecker::Params{});
+    bank.at(0).installCapability(
+        0, 0,
+        Capability::root().setBounds(0x1000, 16).andPerms(permDataRW));
+    bank.at(2).installCapability(
+        2, 0,
+        Capability::root().setBounds(0x2000, 16).andPerms(permDataRW));
+    EXPECT_EQ(bank.entriesUsed(), 2u);
+
+    EXPECT_FALSE(bank.exceptionFlagSet());
+    (void)bank.check(makeReq(2, 2, 0, 0x9000));
+    EXPECT_TRUE(bank.exceptionFlagSet());
+}
+
+TEST(CheckerBank, SharesCheckerProperties)
+{
+    CheckerBank bank(2, CapChecker::Params{});
+    EXPECT_TRUE(bank.clearsTagsOnWrite());
+    EXPECT_EQ(bank.checkLatency(), 1u);
+    EXPECT_TRUE(bank.properties().unforgeable);
+    EXPECT_EQ(bank.name(), "capchecker-fine-bank");
+}
+
+TEST(CheckerBank, BadPortPanics)
+{
+    CheckerBank bank(2, CapChecker::Params{});
+    EXPECT_THROW(bank.at(5), SimError);
+    EXPECT_THROW((void)bank.check(makeReq(5, 0, 0, 0x1000)), SimError);
+}
+
+TEST(CheckerBank, ZeroCheckersIsFatal)
+{
+    EXPECT_THROW(CheckerBank bad(0, CapChecker::Params{}), SimError);
+}
+
+} // namespace
+} // namespace capcheck::protect

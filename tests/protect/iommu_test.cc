@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "protect/iommu.hh"
+
+namespace capcheck::protect
+{
+namespace
+{
+
+MemRequest
+makeReq(TaskId task, Addr addr, MemCmd cmd = MemCmd::read,
+        std::uint32_t size = 8)
+{
+    MemRequest req;
+    req.task = task;
+    req.addr = addr;
+    req.cmd = cmd;
+    req.size = size;
+    return req;
+}
+
+TEST(Iommu, MappedPageAllowsWholePage)
+{
+    Iommu iommu;
+    iommu.mapRange(1, 0x10000, 64, true);
+    // The whole 4 KiB page is reachable, not just the 64 bytes.
+    EXPECT_TRUE(iommu.check(makeReq(1, 0x10000)).allowed);
+    EXPECT_TRUE(iommu.check(makeReq(1, 0x10ff8)).allowed);
+    EXPECT_FALSE(iommu.check(makeReq(1, 0x11000)).allowed);
+}
+
+TEST(Iommu, PerTaskIsolation)
+{
+    Iommu iommu;
+    iommu.mapRange(1, 0x10000, 4096, true);
+    EXPECT_TRUE(iommu.check(makeReq(1, 0x10100)).allowed);
+    EXPECT_FALSE(iommu.check(makeReq(2, 0x10100)).allowed);
+}
+
+TEST(Iommu, ReadOnlyMappings)
+{
+    Iommu iommu;
+    iommu.mapRange(1, 0x10000, 4096, /*writable=*/false);
+    EXPECT_TRUE(iommu.check(makeReq(1, 0x10000)).allowed);
+    EXPECT_FALSE(
+        iommu.check(makeReq(1, 0x10000, MemCmd::write)).allowed);
+}
+
+TEST(Iommu, EntryCountScalesWithSize)
+{
+    Iommu iommu;
+    EXPECT_EQ(iommu.mapRange(1, 0x10000, 100, true), 1u);
+    EXPECT_EQ(iommu.mapRange(1, 0x20000, 4096, true), 1u);
+    EXPECT_EQ(iommu.mapRange(1, 0x30000, 4097, true), 2u);
+    EXPECT_EQ(iommu.mapRange(1, 0x40000, 65536, true), 16u);
+    EXPECT_EQ(iommu.entriesUsed(), 20u);
+}
+
+TEST(Iommu, UnalignedRangeCoversStraddledPages)
+{
+    Iommu iommu;
+    EXPECT_EQ(iommu.mapRange(1, 0x10800, 4096, true), 2u);
+}
+
+TEST(Iommu, RemapIsIdempotent)
+{
+    Iommu iommu;
+    iommu.mapRange(1, 0x10000, 4096, true);
+    EXPECT_EQ(iommu.mapRange(1, 0x10000, 4096, true), 0u);
+    EXPECT_EQ(iommu.entriesUsed(), 1u);
+}
+
+TEST(Iommu, UnmapShootsDownTlb)
+{
+    Iommu iommu;
+    iommu.mapRange(1, 0x10000, 4096, true);
+    EXPECT_TRUE(iommu.check(makeReq(1, 0x10000)).allowed); // warms TLB
+    iommu.unmapTask(1);
+    // Even though the translation was cached, it must be gone now.
+    EXPECT_FALSE(iommu.check(makeReq(1, 0x10000)).allowed);
+    EXPECT_EQ(iommu.entriesUsed(), 0u);
+}
+
+TEST(Iommu, TlbHitAvoidsWalk)
+{
+    Iommu iommu;
+    iommu.mapRange(1, 0x10000, 4096, true);
+    (void)iommu.check(makeReq(1, 0x10000));
+    EXPECT_EQ(iommu.iotlbMisses(), 1u);
+    EXPECT_GT(iommu.lastWalkCycles(), 0u);
+    (void)iommu.check(makeReq(1, 0x10008));
+    EXPECT_EQ(iommu.iotlbHits(), 1u);
+    EXPECT_EQ(iommu.lastWalkCycles(), 0u);
+}
+
+TEST(Iommu, TlbCapacityEvictsFifo)
+{
+    Iommu iommu(/*iotlb_entries=*/2);
+    iommu.mapRange(1, 0x10000, 3 * 4096, true);
+    (void)iommu.check(makeReq(1, 0x10000)); // page 0 cached
+    (void)iommu.check(makeReq(1, 0x11000)); // page 1 cached
+    (void)iommu.check(makeReq(1, 0x12000)); // evicts page 0
+    (void)iommu.check(makeReq(1, 0x10000)); // miss again
+    EXPECT_EQ(iommu.iotlbMisses(), 4u);
+}
+
+TEST(Iommu, CrossPageRequestChecksBothPages)
+{
+    Iommu iommu;
+    iommu.mapRange(1, 0x10000, 4096, true);
+    // 8-byte access straddling into an unmapped page is denied.
+    EXPECT_FALSE(iommu.check(makeReq(1, 0x10ffc)).allowed);
+}
+
+TEST(Iommu, PropertiesMatchTable1)
+{
+    Iommu iommu;
+    const auto props = iommu.properties();
+    EXPECT_EQ(props.granularityBytes, 4096u);
+    EXPECT_FALSE(props.unforgeable);
+    EXPECT_EQ(props.addressTranslation, "yes");
+    EXPECT_FALSE(props.suitsMicrocontrollers);
+    EXPECT_FALSE(iommu.clearsTagsOnWrite());
+}
+
+} // namespace
+} // namespace capcheck::protect

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "protect/iopmp.hh"
+#include "protect/no_protection.hh"
+#include "protect/task_bound.hh"
+
+namespace capcheck::protect
+{
+namespace
+{
+
+MemRequest
+makeReq(TaskId task, Addr addr, MemCmd cmd = MemCmd::read)
+{
+    MemRequest req;
+    req.task = task;
+    req.addr = addr;
+    req.cmd = cmd;
+    req.size = 8;
+    return req;
+}
+
+TEST(Iopmp, ByteGranularRegions)
+{
+    Iopmp iopmp;
+    iopmp.addRegion({1, 0x1000, 100, true, true});
+    EXPECT_TRUE(iopmp.check(makeReq(1, 0x1000)).allowed);
+    EXPECT_TRUE(iopmp.check(makeReq(1, 0x105c)).allowed); // last 8 bytes
+    EXPECT_FALSE(iopmp.check(makeReq(1, 0x105d)).allowed);
+    EXPECT_FALSE(iopmp.check(makeReq(1, 0xfff)).allowed);
+}
+
+TEST(Iopmp, RegionLimitEnforced)
+{
+    Iopmp iopmp(4);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_TRUE(iopmp.addRegion({1, 0x1000ull * (i + 1), 64, true,
+                                     true}));
+    EXPECT_FALSE(iopmp.addRegion({1, 0x9000, 64, true, true}));
+    EXPECT_EQ(iopmp.entriesUsed(), 4u);
+}
+
+TEST(Iopmp, PermissionsPerRegion)
+{
+    Iopmp iopmp;
+    iopmp.addRegion({1, 0x1000, 64, /*read=*/true, /*write=*/false});
+    EXPECT_TRUE(iopmp.check(makeReq(1, 0x1000)).allowed);
+    EXPECT_FALSE(
+        iopmp.check(makeReq(1, 0x1000, MemCmd::write)).allowed);
+}
+
+TEST(Iopmp, TaskKeyedRegions)
+{
+    Iopmp iopmp;
+    iopmp.addRegion({1, 0x1000, 64, true, true});
+    EXPECT_FALSE(iopmp.check(makeReq(2, 0x1000)).allowed);
+}
+
+TEST(Iopmp, RemoveTaskRegions)
+{
+    Iopmp iopmp;
+    iopmp.addRegion({1, 0x1000, 64, true, true});
+    iopmp.addRegion({2, 0x2000, 64, true, true});
+    iopmp.removeTaskRegions(1);
+    EXPECT_FALSE(iopmp.check(makeReq(1, 0x1000)).allowed);
+    EXPECT_TRUE(iopmp.check(makeReq(2, 0x2000)).allowed);
+    EXPECT_EQ(iopmp.entriesUsed(), 1u);
+}
+
+TEST(Iopmp, PropertiesMatchTable1)
+{
+    Iopmp iopmp;
+    const auto props = iopmp.properties();
+    EXPECT_EQ(props.granularityBytes, 1u);
+    EXPECT_FALSE(props.unforgeable);
+    EXPECT_EQ(props.scalable, "no");
+    EXPECT_TRUE(props.suitsMicrocontrollers);
+    EXPECT_FALSE(props.suitsApplicationProcessors);
+}
+
+TEST(NoProtection, AllowsEverything)
+{
+    NoProtection none;
+    EXPECT_TRUE(none.check(makeReq(0, 0x0)).allowed);
+    EXPECT_TRUE(none.check(makeReq(9, ~0ull - 8, MemCmd::write))
+                    .allowed);
+    EXPECT_FALSE(none.clearsTagsOnWrite());
+    EXPECT_EQ(none.checkLatency(), 0u);
+}
+
+TEST(TaskBound, TaskUnionSemantics)
+{
+    TaskBound snpu;
+    snpu.addRegion(1, 0x1000, 64);
+    snpu.addRegion(1, 0x2000, 64);
+    // Any of the task's regions is reachable regardless of intent.
+    EXPECT_TRUE(snpu.check(makeReq(1, 0x1000)).allowed);
+    EXPECT_TRUE(snpu.check(makeReq(1, 0x2000)).allowed);
+    EXPECT_FALSE(snpu.check(makeReq(1, 0x3000)).allowed);
+    EXPECT_FALSE(snpu.check(makeReq(2, 0x1000)).allowed);
+
+    snpu.removeTask(1);
+    EXPECT_FALSE(snpu.check(makeReq(1, 0x1000)).allowed);
+}
+
+} // namespace
+} // namespace capcheck::protect

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "security/scenarios.hh"
+
+namespace capcheck::security
+{
+namespace
+{
+
+TEST(Cwe, CatalogMatchesPaperRowCount)
+{
+    // 20 group-(a) rows + 3 (b) + 5 (c) + 3 (d) + 2 (e) + 4 (f).
+    EXPECT_EQ(cweCatalog().size(), 37u);
+    EXPECT_NE(findCwe(822), nullptr);
+    EXPECT_EQ(findCwe(822)->group, CweGroup::a);
+    EXPECT_EQ(findCwe(416)->group, CweGroup::b);
+    EXPECT_EQ(findCwe(121)->group, CweGroup::d);
+    EXPECT_EQ(findCwe(401)->group, CweGroup::f);
+    EXPECT_EQ(findCwe(9999), nullptr);
+}
+
+TEST(AttackLab, BufferOverflowGradesMatchPaper)
+{
+    const std::map<SchemeKind, Grade> expect = {
+        {SchemeKind::none, Grade::none},
+        {SchemeKind::iopmp, Grade::task},
+        {SchemeKind::iommu, Grade::page},
+        {SchemeKind::snpu, Grade::task},
+        {SchemeKind::capCoarse, Grade::task},
+        {SchemeKind::capFine, Grade::object},
+    };
+    for (const auto &[kind, grade] : expect) {
+        AttackLab lab(kind);
+        EXPECT_EQ(lab.bufferOverflow().grade, grade)
+            << schemeName(kind);
+    }
+}
+
+TEST(AttackLab, UnderflowGradesMatchPaper)
+{
+    // The paper singles out 124/127: IOMMUs fail to protect intra-page
+    // buffer underflow unless buffers are page-aligned.
+    const std::map<SchemeKind, Grade> expect = {
+        {SchemeKind::none, Grade::none},
+        {SchemeKind::iopmp, Grade::task},
+        {SchemeKind::iommu, Grade::page},
+        {SchemeKind::snpu, Grade::task},
+        {SchemeKind::capCoarse, Grade::task},
+        {SchemeKind::capFine, Grade::object},
+    };
+    for (const auto &[kind, grade] : expect) {
+        AttackLab lab(kind);
+        EXPECT_EQ(lab.bufferUnderflow().grade, grade)
+            << schemeName(kind);
+    }
+}
+
+TEST(AttackLab, WriteWhatWhereAndVariantsShareTheWorstCaseGrade)
+{
+    // The remaining group-(a) scenarios exercise distinct mechanics
+    // (arbitrary write, scaled index, 32-bit wrap, bad length) but the
+    // worst-case reachability — hence the Table 3 grade — matches the
+    // paper's single row grade per scheme.
+    for (const SchemeKind kind : allSchemes) {
+        AttackLab lab(kind);
+        const Grade reference = lab.bufferOverflow().grade;
+        EXPECT_EQ(lab.writeWhatWhere().grade, reference)
+            << schemeName(kind);
+        EXPECT_EQ(lab.indexValidation().grade, reference)
+            << schemeName(kind);
+        EXPECT_EQ(lab.integerOverflow().grade, reference)
+            << schemeName(kind);
+        EXPECT_EQ(lab.incorrectLength().grade, reference)
+            << schemeName(kind);
+    }
+}
+
+TEST(AttackLab, UntrustedPointerGradesMatchPaper)
+{
+    const std::map<SchemeKind, Grade> expect = {
+        {SchemeKind::none, Grade::none},
+        {SchemeKind::iopmp, Grade::task},
+        {SchemeKind::iommu, Grade::page},
+        {SchemeKind::snpu, Grade::task},
+        {SchemeKind::capCoarse, Grade::task},
+        {SchemeKind::capFine, Grade::object},
+    };
+    for (const auto &[kind, grade] : expect) {
+        AttackLab lab(kind);
+        EXPECT_EQ(lab.untrustedPointer().grade, grade)
+            << schemeName(kind);
+    }
+}
+
+TEST(AttackLab, OnlyCapCheckerDefeatsForging)
+{
+    for (const SchemeKind kind : allSchemes) {
+        const AttackOutcome outcome = runForgingDemo(kind);
+        const bool defeated = outcome.grade == Grade::protectedFull;
+        const bool is_capchecker = kind == SchemeKind::capCoarse ||
+                                   kind == SchemeKind::capFine;
+        EXPECT_EQ(defeated, is_capchecker) << schemeName(kind);
+    }
+}
+
+TEST(AttackLab, ForgingIsDefeatedByTagClearingNotBlocking)
+{
+    // The CapChecker *allows* the write (it is in-bounds for the
+    // attacker's own buffer) — the defence is the cleared tag.
+    AttackLab lab(SchemeKind::capFine);
+    const AttackOutcome outcome = lab.capabilityForging();
+    ASSERT_EQ(outcome.probes.size(), 3u);
+    EXPECT_TRUE(outcome.probes[0].allowed);  // write landed
+    EXPECT_FALSE(outcome.probes[1].allowed); // tag gone
+}
+
+TEST(AttackLab, UseAfterFreeBlockedByAllButNone)
+{
+    for (const SchemeKind kind : allSchemes) {
+        AttackLab lab(kind);
+        const Grade grade = lab.useAfterFree().grade;
+        if (kind == SchemeKind::none)
+            EXPECT_EQ(grade, Grade::none) << schemeName(kind);
+        else
+            EXPECT_EQ(grade, Grade::protectedFull) << schemeName(kind);
+    }
+}
+
+TEST(AttackLab, FixedAddressPointerBlockedByAllButNone)
+{
+    for (const SchemeKind kind : allSchemes) {
+        AttackLab lab(kind);
+        const Grade grade = lab.fixedAddressPointer().grade;
+        if (kind == SchemeKind::none)
+            EXPECT_EQ(grade, Grade::none) << schemeName(kind);
+        else
+            EXPECT_EQ(grade, Grade::protectedFull) << schemeName(kind);
+    }
+}
+
+TEST(AttackLab, SanityProbeAlwaysPasses)
+{
+    // Every scheme must keep legitimate in-bounds accesses working.
+    for (const SchemeKind kind : allSchemes) {
+        AttackLab lab(kind);
+        const AttackOutcome outcome = lab.bufferOverflow();
+        ASSERT_FALSE(outcome.probes.empty());
+        EXPECT_TRUE(outcome.probes[0].allowed) << schemeName(kind);
+    }
+}
+
+TEST(Table3, MatrixShapeAndKeyCells)
+{
+    const auto matrix = buildTable3();
+    EXPECT_EQ(matrix.size(), cweCatalog().size());
+
+    auto cell = [&](unsigned cwe, SchemeKind kind) {
+        for (const Table3Row &row : matrix) {
+            if (row.entry.id == cwe) {
+                for (std::size_t s = 0; s < allSchemes.size(); ++s) {
+                    if (allSchemes[s] == kind)
+                        return row.cells[s].grade;
+                }
+            }
+        }
+        ADD_FAILURE() << "missing cell " << cwe;
+        return Grade::notApplicable;
+    };
+
+    // Spot-check the paper's key cells.
+    EXPECT_EQ(cell(125, SchemeKind::capFine), Grade::object);
+    EXPECT_EQ(cell(125, SchemeKind::capCoarse), Grade::task);
+    EXPECT_EQ(cell(125, SchemeKind::iommu), Grade::page);
+    EXPECT_EQ(cell(125, SchemeKind::none), Grade::none);
+    EXPECT_EQ(cell(761, SchemeKind::capFine), Grade::object);
+    EXPECT_EQ(cell(761, SchemeKind::iommu), Grade::none);
+    EXPECT_EQ(cell(822, SchemeKind::capFine), Grade::object);
+    EXPECT_EQ(cell(822, SchemeKind::capCoarse), Grade::task);
+    EXPECT_EQ(cell(416, SchemeKind::iommu), Grade::protectedFull);
+    EXPECT_EQ(cell(416, SchemeKind::none), Grade::none);
+    EXPECT_EQ(cell(415, SchemeKind::none), Grade::protectedFull);
+    EXPECT_EQ(cell(121, SchemeKind::capFine), Grade::notApplicable);
+    EXPECT_EQ(cell(401, SchemeKind::capFine), Grade::none);
+}
+
+TEST(Table3, GroupAIsExecutedNotAsserted)
+{
+    const auto matrix = buildTable3();
+    for (const Table3Row &row : matrix) {
+        if (row.entry.group == CweGroup::a && row.entry.id != 761) {
+            for (const Table3Cell &cell : row.cells)
+                EXPECT_TRUE(cell.executed) << row.entry.id;
+        }
+        if (row.entry.group == CweGroup::f) {
+            for (const Table3Cell &cell : row.cells)
+                EXPECT_FALSE(cell.executed);
+        }
+    }
+}
+
+TEST(Grades, SymbolsAreStable)
+{
+    EXPECT_STREQ(gradeSymbol(Grade::none), "X");
+    EXPECT_STREQ(gradeSymbol(Grade::page), "PG");
+    EXPECT_STREQ(gradeSymbol(Grade::task), "TA");
+    EXPECT_STREQ(gradeSymbol(Grade::object), "OB");
+    EXPECT_STREQ(gradeSymbol(Grade::protectedFull), "ok");
+    EXPECT_STREQ(gradeSymbol(Grade::notApplicable), "NA");
+}
+
+} // namespace
+} // namespace capcheck::security

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clocked.hh"
+
+namespace capcheck
+{
+namespace
+{
+
+/** Ticks for a fixed number of cycles, recording when it ran. */
+class CountdownTicker : public TickingObject
+{
+  public:
+    CountdownTicker(EventQueue &eq, stats::StatGroup *stats, int count)
+        : TickingObject(eq, "ticker", stats), remaining(count)
+    {
+    }
+
+    bool
+    tick() override
+    {
+        tickCycles.push_back(curCycle());
+        return --remaining > 0;
+    }
+
+    int remaining;
+    std::vector<Cycles> tickCycles;
+};
+
+TEST(Clocked, TicksOncePerCycleWhileActive)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    CountdownTicker ticker(eq, &root, 3);
+    ticker.activate(1);
+    eq.run();
+
+    EXPECT_EQ(ticker.tickCycles, (std::vector<Cycles>{1, 2, 3}));
+    EXPECT_FALSE(ticker.active());
+}
+
+TEST(Clocked, ReactivationAfterIdle)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    CountdownTicker ticker(eq, &root, 1);
+    ticker.activate(1);
+    eq.run();
+    EXPECT_EQ(ticker.tickCycles.size(), 1u);
+
+    ticker.remaining = 2;
+    ticker.activate(5);
+    eq.run();
+    ASSERT_EQ(ticker.tickCycles.size(), 3u);
+    EXPECT_EQ(ticker.tickCycles[1], 6u);
+    EXPECT_EQ(ticker.tickCycles[2], 7u);
+}
+
+TEST(Clocked, ActivateKeepsEarliestWakeup)
+{
+    EventQueue eq;
+    stats::StatGroup root("root");
+    CountdownTicker ticker(eq, &root, 1);
+    ticker.activate(10);
+    ticker.activate(2); // earlier wins
+    ticker.activate(5); // later is ignored
+    eq.run();
+    ASSERT_EQ(ticker.tickCycles.size(), 1u);
+    EXPECT_EQ(ticker.tickCycles[0], 2u);
+}
+
+TEST(Clocked, StatGroupNestsUnderParent)
+{
+    EventQueue eq;
+    stats::StatGroup root("soc");
+    CountdownTicker ticker(eq, &root, 1);
+    EXPECT_EQ(ticker.statGroup().path(), "soc.ticker");
+}
+
+} // namespace
+} // namespace capcheck

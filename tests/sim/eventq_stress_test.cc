@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Randomized stress test of the event queue against a straightforward
+ * reference model (a sorted multimap), exercising the lazy-deletion
+ * path that deschedule/reschedule rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/random.hh"
+#include "sim/eventq.hh"
+
+namespace capcheck
+{
+namespace
+{
+
+TEST(EventQueueStress, RandomScheduleDescheduleMatchesReference)
+{
+    EventQueue eq;
+    Rng rng(2718);
+
+    struct Tracker
+    {
+        std::unique_ptr<LambdaEvent> event;
+        bool fired = false;
+    };
+    std::vector<Tracker> trackers;
+    trackers.reserve(4000);
+
+    // Reference: expected fire time per event index (or none).
+    std::map<std::size_t, Cycles> expected;
+    std::vector<std::pair<Cycles, std::size_t>> fired_log;
+
+    Cycles horizon = 1;
+    for (int step = 0; step < 4000; ++step) {
+        const double dice = rng.nextDouble();
+        if (dice < 0.70 || trackers.empty()) {
+            // Schedule a fresh event in the future.
+            const std::size_t idx = trackers.size();
+            trackers.push_back({});
+            trackers[idx].event = std::make_unique<LambdaEvent>(
+                [&fired_log, &eq, idx] {
+                    fired_log.emplace_back(eq.curCycle(), idx);
+                });
+            const Cycles when = horizon + rng.nextBounded(200);
+            eq.schedule(trackers[idx].event.get(), when);
+            expected[idx] = when;
+        } else if (dice < 0.85) {
+            // Deschedule a random still-scheduled event.
+            const std::size_t idx = rng.nextBounded(trackers.size());
+            if (trackers[idx].event->scheduled()) {
+                eq.deschedule(trackers[idx].event.get());
+                expected.erase(idx);
+            }
+        } else {
+            // Reschedule a random still-scheduled event.
+            const std::size_t idx = rng.nextBounded(trackers.size());
+            if (trackers[idx].event->scheduled()) {
+                const Cycles when = horizon + rng.nextBounded(200);
+                eq.reschedule(trackers[idx].event.get(), when);
+                expected[idx] = when;
+            }
+        }
+
+        // Occasionally advance time partially.
+        if (rng.nextBool(0.1)) {
+            horizon += rng.nextBounded(50);
+            eq.run(horizon);
+        }
+    }
+    eq.run();
+
+    // Every still-expected event fired exactly once at its time.
+    std::map<std::size_t, Cycles> fired_at;
+    for (const auto &[when, idx] : fired_log) {
+        EXPECT_TRUE(fired_at.emplace(idx, when).second)
+            << "event " << idx << " fired twice";
+    }
+
+    for (const auto &[idx, when] : expected) {
+        auto it = fired_at.find(idx);
+        ASSERT_NE(it, fired_at.end()) << "event " << idx << " lost";
+        EXPECT_EQ(it->second, when) << "event " << idx;
+    }
+    // And nothing fired that was not expected.
+    for (const auto &[idx, when] : fired_at) {
+        auto it = expected.find(idx);
+        ASSERT_NE(it, expected.end())
+            << "event " << idx << " fired after deschedule";
+    }
+
+    // Fire log is time-ordered.
+    for (std::size_t i = 0; i + 1 < fired_log.size(); ++i)
+        EXPECT_LE(fired_log[i].first, fired_log[i + 1].first);
+
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+} // namespace
+} // namespace capcheck

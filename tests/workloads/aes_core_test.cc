@@ -1,0 +1,93 @@
+/**
+ * @file
+ * FIPS-197 known-answer validation of the AES-256 primitives used by
+ * the aes kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/kernels/aes_core.hh"
+
+namespace capcheck::workloads::kernels::aes
+{
+namespace
+{
+
+TEST(AesCore, Fips197AppendixC3KnownAnswer)
+{
+    // FIPS-197 Appendix C.3 (AES-256):
+    //   key       000102...1f
+    //   plaintext 00112233445566778899aabbccddeeff
+    //   cipher    8ea2b7ca516745bfeafc49904b496089
+    Key key;
+    for (unsigned i = 0; i < keyBytes; ++i)
+        key[i] = static_cast<std::uint8_t>(i);
+
+    Block plain;
+    for (unsigned i = 0; i < blockBytes; ++i)
+        plain[i] = static_cast<std::uint8_t>(i * 0x11);
+
+    const Block expect = {0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45,
+                          0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+                          0x60, 0x89};
+
+    const Block got = encryptBlock(plain, expandKey(key));
+    EXPECT_EQ(got, expect);
+}
+
+TEST(AesCore, KeyScheduleStartsWithKeyAndIsDeterministic)
+{
+    // The first 32 bytes of the schedule are the key itself (FIPS-197
+    // section 5.2); the remainder is pinned transitively by the
+    // Appendix C.3 known-answer test above.
+    Key key;
+    for (unsigned i = 0; i < keyBytes; ++i)
+        key[i] = static_cast<std::uint8_t>(i);
+    const Schedule w = expandKey(key);
+
+    for (unsigned i = 0; i < keyBytes; ++i)
+        EXPECT_EQ(w[i], key[i]);
+    EXPECT_EQ(expandKey(key), w);
+
+    // Changing one key bit changes the final round key.
+    Key key2 = key;
+    key2[0] ^= 1;
+    const Schedule w2 = expandKey(key2);
+    bool tail_differs = false;
+    for (unsigned i = 224; i < w.size(); ++i)
+        tail_differs |= w[i] != w2[i];
+    EXPECT_TRUE(tail_differs);
+}
+
+TEST(AesCore, SboxIsAPermutation)
+{
+    bool seen[256] = {};
+    for (unsigned i = 0; i < 256; ++i) {
+        EXPECT_FALSE(seen[sbox[i]]);
+        seen[sbox[i]] = true;
+    }
+    EXPECT_EQ(sbox[0x00], 0x63);
+    EXPECT_EQ(sbox[0x53], 0xed);
+}
+
+TEST(AesCore, XtimeMatchesGf256Doubling)
+{
+    EXPECT_EQ(xtime(0x57), 0xae);
+    EXPECT_EQ(xtime(0xae), 0x47);
+    EXPECT_EQ(xtime(0x80), 0x1b);
+    EXPECT_EQ(xtime(0x01), 0x02);
+}
+
+TEST(AesCore, DistinctKeysDistinctCiphertexts)
+{
+    Key key_a{};
+    Key key_b{};
+    key_b[31] = 1; // single-bit key difference
+    Block plain{};
+    const Block a = encryptBlock(plain, expandKey(key_a));
+    const Block b = encryptBlock(plain, expandKey(key_b));
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace capcheck::workloads::kernels::aes

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Algorithm-level property tests for the MachSuite kernels. Unlike the
+ * per-kernel check() (which compares against a reference of the *same*
+ * algorithm), these validate mathematical properties from the buffer
+ * contents alone — so a kernel whose "reference" shared a bug with its
+ * implementation would still be caught.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "workloads/host_accessor.hh"
+#include "workloads/kernel.hh"
+
+namespace capcheck::workloads
+{
+namespace
+{
+
+struct RunKernel
+{
+    explicit RunKernel(const std::string &name, std::uint64_t seed = 7)
+        : kernel(createKernel(name)), mem(kernel->spec())
+    {
+        Rng rng(seed);
+        kernel->init(mem, rng);
+        // Snapshot inputs before execution.
+        for (ObjectId obj = 0; obj < kernel->spec().buffers.size();
+             ++obj)
+            before.push_back(mem.bufferData(obj));
+        kernel->run(mem);
+    }
+
+    template <typename T>
+    std::vector<T>
+    typed(ObjectId obj, bool pre = false) const
+    {
+        const auto &raw = pre ? before[obj] : mem.bufferData(obj);
+        std::vector<T> out(raw.size() / sizeof(T));
+        std::memcpy(out.data(), raw.data(), out.size() * sizeof(T));
+        return out;
+    }
+
+    std::unique_ptr<Kernel> kernel;
+    HostAccessor mem;
+    std::vector<std::vector<std::uint8_t>> before;
+};
+
+template <typename T>
+void
+checkSortedPermutation(const char *name)
+{
+    RunKernel run(name);
+    const auto input = run.template typed<T>(0, /*pre=*/true);
+    const auto output = run.template typed<T>(0);
+    ASSERT_EQ(input.size(), output.size()) << name;
+
+    EXPECT_TRUE(std::is_sorted(output.begin(), output.end())) << name;
+    auto in_sorted = input;
+    std::sort(in_sorted.begin(), in_sorted.end());
+    EXPECT_EQ(output, in_sorted)
+        << name << ": output is not a permutation of the input";
+}
+
+TEST(KernelProperties, SortsProduceSortedPermutations)
+{
+    checkSortedPermutation<std::int32_t>("sort_merge");
+    checkSortedPermutation<std::uint32_t>("sort_radix");
+}
+
+TEST(KernelProperties, FftStridedPreservesEnergy)
+{
+    // Parseval: sum |x|^2 == (1/N) sum |X|^2. This holds only for a
+    // genuine Fourier transform, whatever the output ordering.
+    RunKernel run("fft_strided");
+    const auto in_r = run.typed<double>(0, true);
+    const auto in_i = run.typed<double>(1, true);
+    const auto out_r = run.typed<double>(0);
+    const auto out_i = run.typed<double>(1);
+    const std::size_t n = in_r.size();
+
+    double time_energy = 0;
+    double freq_energy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        time_energy += in_r[i] * in_r[i] + in_i[i] * in_i[i];
+        freq_energy += out_r[i] * out_r[i] + out_i[i] * out_i[i];
+    }
+    EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+                1e-6 * time_energy);
+}
+
+TEST(KernelProperties, FftStridedDcComponentIsSum)
+{
+    // X[0] = sum x[i] regardless of output permutation (bin 0 stays
+    // at index 0 under bit reversal).
+    RunKernel run("fft_strided");
+    const auto in_r = run.typed<double>(0, true);
+    const auto in_i = run.typed<double>(1, true);
+    const auto out_r = run.typed<double>(0);
+    const auto out_i = run.typed<double>(1);
+
+    double sum_r = 0;
+    double sum_i = 0;
+    for (std::size_t i = 0; i < in_r.size(); ++i) {
+        sum_r += in_r[i];
+        sum_i += in_i[i];
+    }
+    EXPECT_NEAR(out_r[0], sum_r, 1e-9 * std::fabs(sum_r) + 1e-9);
+    EXPECT_NEAR(out_i[0], sum_i, 1e-9 * std::fabs(sum_i) + 1e-9);
+}
+
+TEST(KernelProperties, FftTransposeMatchesDirectDft)
+{
+    // Full cross-validation against an O(n^2) DFT.
+    RunKernel run("fft_transpose");
+    const auto in_r = run.typed<float>(0, true);
+    const auto in_i = run.typed<float>(1, true);
+    const auto out_r = run.typed<float>(0);
+    const auto out_i = run.typed<float>(1);
+    const std::size_t n = in_r.size();
+
+    for (const std::size_t k : {std::size_t{0}, std::size_t{1},
+                                std::size_t{37}, std::size_t{256},
+                                n - 1}) {
+        double acc_r = 0;
+        double acc_i = 0;
+        for (std::size_t t = 0; t < n; ++t) {
+            const double angle = -2.0 * M_PI *
+                                 static_cast<double>(k * t) /
+                                 static_cast<double>(n);
+            acc_r += in_r[t] * std::cos(angle) -
+                     in_i[t] * std::sin(angle);
+            acc_i += in_r[t] * std::sin(angle) +
+                     in_i[t] * std::cos(angle);
+        }
+        EXPECT_NEAR(out_r[k], acc_r, 2e-2) << "bin " << k;
+        EXPECT_NEAR(out_i[k], acc_i, 2e-2) << "bin " << k;
+    }
+}
+
+TEST(KernelProperties, KmpMatchesNaiveSearch)
+{
+    RunKernel run("kmp");
+    const auto pattern = run.typed<std::uint8_t>(0, true);
+    const auto text = run.typed<std::uint8_t>(1, true);
+    const auto n_matches = run.typed<std::int32_t>(3)[0];
+
+    std::int32_t naive = 0;
+    for (std::size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+        if (std::equal(pattern.begin(), pattern.end(),
+                       text.begin() + static_cast<long>(i)))
+            ++naive;
+    }
+    EXPECT_GT(naive, 0); // the small alphabet guarantees matches
+    EXPECT_EQ(n_matches, naive);
+}
+
+TEST(KernelProperties, GemmEntriesMatchDotProducts)
+{
+    for (const char *name : {"gemm_ncubed", "gemm_blocked"}) {
+        RunKernel run(name);
+        const auto a = run.typed<float>(0, true);
+        const auto b = run.typed<float>(1, true);
+        const auto c = run.typed<float>(2);
+        const unsigned dim = 64;
+
+        for (const unsigned idx : {0u, 63u, 64u * 17 + 3, 4095u}) {
+            const unsigned i = idx / dim;
+            const unsigned j = idx % dim;
+            double dot = 0;
+            for (unsigned k = 0; k < dim; ++k)
+                dot += static_cast<double>(a[i * dim + k]) *
+                       static_cast<double>(b[k * dim + j]);
+            EXPECT_NEAR(c[idx], dot, 1e-3) << name << " @" << idx;
+        }
+    }
+}
+
+TEST(KernelProperties, BfsLevelsAreConsistentWithEdges)
+{
+    for (const char *name : {"bfs_bulk", "bfs_queue"}) {
+        RunKernel run(name);
+        const auto begin = run.typed<std::int32_t>(0, true);
+        const auto end = run.typed<std::int32_t>(1, true);
+        const auto edges = run.typed<std::int32_t>(2, true);
+        const auto level = run.typed<std::int8_t>(3);
+
+        EXPECT_EQ(level[0], 0) << name;
+        for (std::size_t node = 0; node < begin.size(); ++node) {
+            if (level[node] < 0)
+                continue;
+            for (std::int32_t e = begin[node]; e < end[node]; ++e) {
+                const auto child =
+                    static_cast<std::size_t>(edges[e]);
+                // A discovered child is never more than one level
+                // deeper than its parent (tree edges: exactly one,
+                // unless the horizon limit cut it off).
+                if (level[child] >= 0) {
+                    EXPECT_LE(level[child], level[node] + 1)
+                        << name << " node " << node;
+                }
+            }
+        }
+        // In a tree rooted at 0, most nodes are discovered.
+        const std::size_t discovered = static_cast<std::size_t>(
+            std::count_if(level.begin(), level.end(),
+                          [](std::int8_t l) { return l >= 0; }));
+        EXPECT_GT(discovered, level.size() / 2) << name;
+    }
+}
+
+TEST(KernelProperties, NwAlignmentIsValidAndScoresMatch)
+{
+    RunKernel run("nw");
+    const auto seq_a = run.typed<std::int32_t>(0, true);
+    const auto seq_b = run.typed<std::int32_t>(1, true);
+    const auto score = run.typed<std::int32_t>(2);
+    const auto aligned_a = run.typed<std::int32_t>(4);
+    const auto aligned_b = run.typed<std::int32_t>(5);
+
+    const auto len = static_cast<std::size_t>(aligned_a[0]);
+    ASSERT_EQ(static_cast<std::size_t>(aligned_b[0]), len);
+    ASSERT_GE(len, seq_a.size());
+
+    // Removing gaps recovers the original sequences.
+    std::vector<std::int32_t> recovered_a;
+    std::vector<std::int32_t> recovered_b;
+    std::int32_t replayed_score = 0;
+    for (std::size_t k = 0; k < len; ++k) {
+        const std::int32_t ca = aligned_a[1 + k];
+        const std::int32_t cb = aligned_b[1 + k];
+        ASSERT_FALSE(ca == -1 && cb == -1);
+        if (ca != -1)
+            recovered_a.push_back(ca);
+        if (cb != -1)
+            recovered_b.push_back(cb);
+        if (ca == -1 || cb == -1)
+            replayed_score += -1; // gap
+        else
+            replayed_score += (ca == cb) ? 1 : -1;
+    }
+    EXPECT_EQ(recovered_a, seq_a);
+    EXPECT_EQ(recovered_b, seq_b);
+
+    // The emitted alignment's score equals the DP matrix corner.
+    const unsigned dp_dim = 129;
+    EXPECT_EQ(replayed_score, score[128 * dp_dim + 128]);
+}
+
+TEST(KernelProperties, ViterbiPathBeatsRandomPaths)
+{
+    RunKernel run("viterbi");
+    const auto trans = run.typed<float>(0, true);
+    const auto emission = run.typed<float>(1, true);
+    const auto init = run.typed<float>(2, true);
+    const auto obs = run.typed<std::int32_t>(3, true);
+    const auto path = run.typed<std::int32_t>(4);
+
+    constexpr unsigned states = 64;
+    constexpr unsigned symbols = 32;
+
+    auto path_cost = [&](const std::vector<std::int32_t> &p) {
+        double cost =
+            init[static_cast<std::size_t>(p[0])] +
+            emission[static_cast<std::size_t>(p[0]) * symbols +
+                     static_cast<std::size_t>(obs[0])];
+        for (std::size_t t = 1; t < obs.size(); ++t) {
+            cost += trans[static_cast<std::size_t>(p[t - 1]) * states +
+                          static_cast<std::size_t>(p[t])] +
+                    emission[static_cast<std::size_t>(p[t]) * symbols +
+                             static_cast<std::size_t>(obs[t])];
+        }
+        return cost;
+    };
+
+    const double best = path_cost(path);
+    Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::int32_t> random_path(obs.size());
+        for (auto &s : random_path)
+            s = static_cast<std::int32_t>(rng.nextBounded(states));
+        EXPECT_LE(best, path_cost(random_path) + 1e-3);
+    }
+    // Local perturbations of the optimal path are no better either.
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::int32_t> tweaked(path.begin(), path.end());
+        tweaked[rng.nextBounded(tweaked.size())] =
+            static_cast<std::int32_t>(rng.nextBounded(states));
+        EXPECT_LE(best, path_cost(tweaked) + 1e-3);
+    }
+}
+
+TEST(KernelProperties, AesCiphertextLooksRandomAndIsKeyed)
+{
+    // Black-box cipher sanity: ciphertext differs from plaintext in
+    // roughly half the bits, and a different seed (key) yields a
+    // completely different ciphertext.
+    RunKernel run_a("aes", 7);
+    RunKernel run_b("aes", 8);
+
+    const auto pre = run_a.typed<std::uint8_t>(0, true);
+    const auto post_a = run_a.typed<std::uint8_t>(0);
+    const auto post_b = run_b.typed<std::uint8_t>(0);
+
+    unsigned flipped = 0;
+    for (std::size_t i = 32; i < pre.size(); ++i)
+        flipped += static_cast<unsigned>(
+            std::popcount(static_cast<unsigned>(pre[i] ^ post_a[i])));
+    const unsigned data_bits = (128 - 32) * 8;
+    EXPECT_GT(flipped, data_bits / 3);
+    EXPECT_LT(flipped, data_bits * 2 / 3);
+
+    unsigned same_bytes = 0;
+    for (std::size_t i = 32; i < post_a.size(); ++i)
+        same_bytes += post_a[i] == post_b[i];
+    EXPECT_LT(same_bytes, 12u); // ~1/256 chance per byte
+}
+
+TEST(KernelProperties, Stencil2dIsLinearInTheFilter)
+{
+    // The convolution output's global sum equals
+    // sum(filter) applied over the interior neighbourhood sums — a
+    // cheap independent linearity check on one output row.
+    RunKernel run("stencil2d");
+    const auto orig = run.typed<std::int32_t>(0, true);
+    const auto sol = run.typed<std::int32_t>(1);
+    const auto filter = run.typed<std::int32_t>(2, true);
+    const unsigned cols = 64;
+
+    for (const unsigned r : {0u, 5u, 100u}) {
+        for (const unsigned c : {0u, 30u, 61u}) {
+            std::int64_t acc = 0;
+            for (unsigned fr = 0; fr < 3; ++fr) {
+                for (unsigned fc = 0; fc < 3; ++fc) {
+                    acc += static_cast<std::int64_t>(
+                               filter[fr * 3 + fc]) *
+                           orig[(r + fr) * cols + (c + fc)];
+                }
+            }
+            EXPECT_EQ(sol[r * cols + c], acc);
+        }
+    }
+}
+
+TEST(KernelProperties, SpmvOutputsAreLinearCombinations)
+{
+    // out = A*x implies out scales if we recompute from the stored
+    // sparse structure; validate several rows of both formats.
+    {
+        RunKernel run("spmv_crs");
+        const auto val = run.typed<double>(0, true);
+        const auto cols = run.typed<std::int32_t>(1, true);
+        const auto rowptr = run.typed<std::int32_t>(2, true);
+        const auto vec = run.typed<float>(3, true);
+        const auto out = run.typed<float>(4);
+        for (const unsigned r : {0u, 100u, 493u}) {
+            double acc = 0;
+            for (std::int32_t k = rowptr[r]; k < rowptr[r + 1]; ++k)
+                acc += val[static_cast<std::size_t>(k)] *
+                       vec[static_cast<std::size_t>(cols[
+                           static_cast<std::size_t>(k)])];
+            EXPECT_NEAR(out[r], acc, 1e-4 + 1e-4 * std::fabs(acc));
+        }
+    }
+    {
+        RunKernel run("spmv_ellpack");
+        const auto nzval = run.typed<float>(0, true);
+        const auto cols = run.typed<std::int32_t>(1, true);
+        const auto vec = run.typed<float>(2, true);
+        const auto out = run.typed<float>(3);
+        for (const unsigned r : {0u, 250u, 493u}) {
+            double acc = 0;
+            for (unsigned k = 0; k < 10; ++k)
+                acc += nzval[r * 10 + k] *
+                       vec[static_cast<std::size_t>(
+                           cols[r * 10 + k])];
+            EXPECT_NEAR(out[r], acc, 1e-4 + 1e-4 * std::fabs(acc));
+        }
+    }
+}
+
+TEST(KernelProperties, MdForcesAreFinite)
+{
+    for (const char *name : {"md_grid", "md_knn"}) {
+        RunKernel run(name);
+        const auto &spec = run.kernel->spec();
+        for (ObjectId obj = 0; obj < spec.buffers.size(); ++obj) {
+            if (spec.buffers[obj].name.rfind("frc", 0) != 0)
+                continue;
+            const auto forces = run.typed<double>(obj);
+            double magnitude = 0;
+            for (const double f : forces) {
+                EXPECT_TRUE(std::isfinite(f)) << name;
+                magnitude += std::fabs(f);
+            }
+            EXPECT_GT(magnitude, 0.0)
+                << name << " " << spec.buffers[obj].name;
+        }
+    }
+}
+
+} // namespace
+} // namespace capcheck::workloads

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/host_accessor.hh"
+#include "workloads/kernel.hh"
+
+namespace capcheck::workloads
+{
+namespace
+{
+
+/** Parameterized over all 19 MachSuite benchmarks. */
+class KernelSuite : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(KernelSuite, InitRunCheckPasses)
+{
+    const auto kernel = createKernel(GetParam());
+    HostAccessor mem(kernel->spec());
+    Rng rng(12345);
+    kernel->init(mem, rng);
+    kernel->run(mem);
+    EXPECT_TRUE(kernel->check(mem));
+}
+
+TEST_P(KernelSuite, CheckFailsWithoutRun)
+{
+    // Every kernel's check must actually depend on run() having
+    // happened — a check that passes on untouched outputs is vacuous.
+    const auto kernel = createKernel(GetParam());
+    HostAccessor mem(kernel->spec());
+    Rng rng(777);
+    kernel->init(mem, rng);
+    EXPECT_FALSE(kernel->check(mem));
+}
+
+TEST_P(KernelSuite, DeterministicAcrossRuns)
+{
+    const auto run_once = [&](std::uint64_t seed) {
+        const auto kernel = createKernel(GetParam());
+        HostAccessor mem(kernel->spec());
+        Rng rng(seed);
+        kernel->init(mem, rng);
+        kernel->run(mem);
+        return mem.bufferData(0);
+    };
+    EXPECT_EQ(run_once(42), run_once(42));
+}
+
+TEST_P(KernelSuite, WorksAcrossSeeds)
+{
+    for (const std::uint64_t seed : {1ull, 99ull, 31415ull}) {
+        const auto kernel = createKernel(GetParam());
+        HostAccessor mem(kernel->spec());
+        Rng rng(seed);
+        kernel->init(mem, rng);
+        kernel->run(mem);
+        EXPECT_TRUE(kernel->check(mem)) << "seed " << seed;
+    }
+}
+
+TEST_P(KernelSuite, SpecIsWellFormed)
+{
+    const KernelSpec &spec = kernelSpec(GetParam());
+    EXPECT_EQ(spec.name, GetParam());
+    EXPECT_FALSE(spec.buffers.empty());
+    std::set<std::string> names;
+    for (const BufferDef &buf : spec.buffers) {
+        EXPECT_GT(buf.size, 0u);
+        EXPECT_TRUE(names.insert(buf.name).second)
+            << "duplicate buffer name " << buf.name;
+    }
+    EXPECT_GE(spec.timing.ilp, 1u);
+    EXPECT_GE(spec.timing.maxOutstanding, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, KernelSuite,
+                         ::testing::ValuesIn(allKernelNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(KernelRegistry, HasAllNineteenBenchmarks)
+{
+    EXPECT_EQ(allKernelNames().size(), 19u);
+}
+
+TEST(KernelRegistry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(createKernel("definitely-not-a-benchmark"), SimError);
+}
+
+struct Table2Golden
+{
+    std::uint32_t count;
+    std::uint64_t min;
+    std::uint64_t max;
+};
+
+TEST(KernelRegistry, BufferFootprintsMatchPaperTable2)
+{
+    // Golden values transcribed from Table 2 of the paper (8 accelerator
+    // instances per benchmark).
+    const std::map<std::string, Table2Golden> golden = {
+        {"aes", {8, 128, 128}},
+        {"backprop", {56, 12, 10432}},
+        {"bfs_bulk", {40, 40, 16384}},
+        {"bfs_queue", {40, 40, 16384}},
+        {"fft_strided", {48, 4096, 4096}},
+        {"fft_transpose", {16, 2048, 2048}},
+        {"gemm_blocked", {24, 16384, 16384}},
+        {"gemm_ncubed", {24, 16384, 16384}},
+        {"kmp", {32, 4, 64824}},
+        {"md_grid", {56, 256, 2560}},
+        {"md_knn", {56, 1024, 16384}},
+        {"nw", {48, 512, 66564}},
+        {"sort_merge", {16, 8192, 8192}},
+        {"sort_radix", {32, 16, 8192}},
+        {"spmv_crs", {40, 1976, 6664}},
+        {"spmv_ellpack", {32, 1976, 19760}},
+        {"stencil2d", {24, 36, 32768}},
+        {"stencil3d", {24, 8, 65536}},
+        {"viterbi", {40, 256, 16384}},
+    };
+
+    for (const std::string &name : allKernelNames()) {
+        ASSERT_TRUE(golden.count(name)) << name;
+        const Table2Row row = makeTable2Row(kernelSpec(name), 8);
+        EXPECT_EQ(row.bufferCount, golden.at(name).count) << name;
+        EXPECT_EQ(row.minBytes, golden.at(name).min) << name;
+        EXPECT_EQ(row.maxBytes, golden.at(name).max) << name;
+    }
+}
+
+TEST(KernelSpecs, SpecHelpers)
+{
+    const KernelSpec &spec = kernelSpec("gemm_ncubed");
+    EXPECT_EQ(spec.totalBytes(), 3u * 16384u);
+    EXPECT_EQ(spec.minBufferBytes(), 16384u);
+    EXPECT_EQ(spec.maxBufferBytes(), 16384u);
+    EXPECT_EQ(spec.buffer(0).name, "A");
+    EXPECT_THROW(spec.buffer(99), SimError);
+}
+
+} // namespace
+} // namespace capcheck::workloads
