@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_burst.dir/abl_burst.cc.o"
+  "CMakeFiles/abl_burst.dir/abl_burst.cc.o.d"
+  "abl_burst"
+  "abl_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

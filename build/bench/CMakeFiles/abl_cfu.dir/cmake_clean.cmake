@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cfu.dir/abl_cfu.cc.o"
+  "CMakeFiles/abl_cfu.dir/abl_cfu.cc.o.d"
+  "abl_cfu"
+  "abl_cfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

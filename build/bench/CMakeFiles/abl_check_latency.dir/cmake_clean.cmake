@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_check_latency.dir/abl_check_latency.cc.o"
+  "CMakeFiles/abl_check_latency.dir/abl_check_latency.cc.o.d"
+  "abl_check_latency"
+  "abl_check_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_check_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_provenance.dir/abl_provenance.cc.o"
+  "CMakeFiles/abl_provenance.dir/abl_provenance.cc.o.d"
+  "abl_provenance"
+  "abl_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

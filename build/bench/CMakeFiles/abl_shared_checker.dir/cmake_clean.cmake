@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_shared_checker.dir/abl_shared_checker.cc.o"
+  "CMakeFiles/abl_shared_checker.dir/abl_shared_checker.cc.o.d"
+  "abl_shared_checker"
+  "abl_shared_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_shared_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

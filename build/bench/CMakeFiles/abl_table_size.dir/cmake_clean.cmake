@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_table_size.dir/abl_table_size.cc.o"
+  "CMakeFiles/abl_table_size.dir/abl_table_size.cc.o.d"
+  "abl_table_size"
+  "abl_table_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_table_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_parallelism.dir/fig11_parallelism.cc.o"
+  "CMakeFiles/fig11_parallelism.dir/fig11_parallelism.cc.o.d"
+  "fig11_parallelism"
+  "fig11_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_entries.dir/fig12_entries.cc.o"
+  "CMakeFiles/fig12_entries.dir/fig12_entries.cc.o.d"
+  "fig12_entries"
+  "fig12_entries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_entries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_speedup.dir/fig7_speedup.cc.o"
+  "CMakeFiles/fig7_speedup.dir/fig7_speedup.cc.o.d"
+  "fig7_speedup"
+  "fig7_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_buffers.dir/table2_buffers.cc.o"
+  "CMakeFiles/table2_buffers.dir/table2_buffers.cc.o.d"
+  "table2_buffers"
+  "table2_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

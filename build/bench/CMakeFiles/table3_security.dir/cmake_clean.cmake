@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_security.dir/table3_security.cc.o"
+  "CMakeFiles/table3_security.dir/table3_security.cc.o.d"
+  "table3_security"
+  "table3_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_blocked.dir/attack_blocked.cpp.o"
+  "CMakeFiles/attack_blocked.dir/attack_blocked.cpp.o.d"
+  "attack_blocked"
+  "attack_blocked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_blocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

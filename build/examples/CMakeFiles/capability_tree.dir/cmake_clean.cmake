@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capability_tree.dir/capability_tree.cpp.o"
+  "CMakeFiles/capability_tree.dir/capability_tree.cpp.o.d"
+  "capability_tree"
+  "capability_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capability_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

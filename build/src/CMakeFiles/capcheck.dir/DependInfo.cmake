@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cc" "src/CMakeFiles/capcheck.dir/accel/accelerator.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/accel/accelerator.cc.o.d"
+  "/root/repo/src/accel/trace_accessor.cc" "src/CMakeFiles/capcheck.dir/accel/trace_accessor.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/accel/trace_accessor.cc.o.d"
+  "/root/repo/src/accel/trace_player.cc" "src/CMakeFiles/capcheck.dir/accel/trace_player.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/accel/trace_player.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/capcheck.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/CMakeFiles/capcheck.dir/base/random.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/base/random.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/CMakeFiles/capcheck.dir/base/stats.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/base/stats.cc.o.d"
+  "/root/repo/src/base/table.cc" "src/CMakeFiles/capcheck.dir/base/table.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/base/table.cc.o.d"
+  "/root/repo/src/base/trace.cc" "src/CMakeFiles/capcheck.dir/base/trace.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/base/trace.cc.o.d"
+  "/root/repo/src/capchecker/cap_cache.cc" "src/CMakeFiles/capcheck.dir/capchecker/cap_cache.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/capchecker/cap_cache.cc.o.d"
+  "/root/repo/src/capchecker/cap_table.cc" "src/CMakeFiles/capcheck.dir/capchecker/cap_table.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/capchecker/cap_table.cc.o.d"
+  "/root/repo/src/capchecker/capchecker.cc" "src/CMakeFiles/capcheck.dir/capchecker/capchecker.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/capchecker/capchecker.cc.o.d"
+  "/root/repo/src/capchecker/mmio.cc" "src/CMakeFiles/capcheck.dir/capchecker/mmio.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/capchecker/mmio.cc.o.d"
+  "/root/repo/src/cheri/capability.cc" "src/CMakeFiles/capcheck.dir/cheri/capability.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/cheri/capability.cc.o.d"
+  "/root/repo/src/cheri/captree.cc" "src/CMakeFiles/capcheck.dir/cheri/captree.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/cheri/captree.cc.o.d"
+  "/root/repo/src/cheri/compressed.cc" "src/CMakeFiles/capcheck.dir/cheri/compressed.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/cheri/compressed.cc.o.d"
+  "/root/repo/src/cheri/perms.cc" "src/CMakeFiles/capcheck.dir/cheri/perms.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/cheri/perms.cc.o.d"
+  "/root/repo/src/cpu/cache_model.cc" "src/CMakeFiles/capcheck.dir/cpu/cache_model.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/cpu/cache_model.cc.o.d"
+  "/root/repo/src/cpu/cpu_model.cc" "src/CMakeFiles/capcheck.dir/cpu/cpu_model.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/cpu/cpu_model.cc.o.d"
+  "/root/repo/src/driver/driver.cc" "src/CMakeFiles/capcheck.dir/driver/driver.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/driver/driver.cc.o.d"
+  "/root/repo/src/mem/allocator.cc" "src/CMakeFiles/capcheck.dir/mem/allocator.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/mem/allocator.cc.o.d"
+  "/root/repo/src/mem/interconnect.cc" "src/CMakeFiles/capcheck.dir/mem/interconnect.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/mem/interconnect.cc.o.d"
+  "/root/repo/src/mem/mem_ctrl.cc" "src/CMakeFiles/capcheck.dir/mem/mem_ctrl.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/mem/mem_ctrl.cc.o.d"
+  "/root/repo/src/mem/packet.cc" "src/CMakeFiles/capcheck.dir/mem/packet.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/mem/packet.cc.o.d"
+  "/root/repo/src/mem/tagged_memory.cc" "src/CMakeFiles/capcheck.dir/mem/tagged_memory.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/mem/tagged_memory.cc.o.d"
+  "/root/repo/src/model/area_power.cc" "src/CMakeFiles/capcheck.dir/model/area_power.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/model/area_power.cc.o.d"
+  "/root/repo/src/protect/check_stage.cc" "src/CMakeFiles/capcheck.dir/protect/check_stage.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/protect/check_stage.cc.o.d"
+  "/root/repo/src/protect/checker.cc" "src/CMakeFiles/capcheck.dir/protect/checker.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/protect/checker.cc.o.d"
+  "/root/repo/src/protect/checker_bank.cc" "src/CMakeFiles/capcheck.dir/protect/checker_bank.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/protect/checker_bank.cc.o.d"
+  "/root/repo/src/protect/iommu.cc" "src/CMakeFiles/capcheck.dir/protect/iommu.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/protect/iommu.cc.o.d"
+  "/root/repo/src/protect/iopmp.cc" "src/CMakeFiles/capcheck.dir/protect/iopmp.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/protect/iopmp.cc.o.d"
+  "/root/repo/src/protect/no_protection.cc" "src/CMakeFiles/capcheck.dir/protect/no_protection.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/protect/no_protection.cc.o.d"
+  "/root/repo/src/security/attack.cc" "src/CMakeFiles/capcheck.dir/security/attack.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/security/attack.cc.o.d"
+  "/root/repo/src/security/cwe.cc" "src/CMakeFiles/capcheck.dir/security/cwe.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/security/cwe.cc.o.d"
+  "/root/repo/src/security/scenarios.cc" "src/CMakeFiles/capcheck.dir/security/scenarios.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/security/scenarios.cc.o.d"
+  "/root/repo/src/sim/clocked.cc" "src/CMakeFiles/capcheck.dir/sim/clocked.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/sim/clocked.cc.o.d"
+  "/root/repo/src/sim/eventq.cc" "src/CMakeFiles/capcheck.dir/sim/eventq.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/sim/eventq.cc.o.d"
+  "/root/repo/src/system/run_result.cc" "src/CMakeFiles/capcheck.dir/system/run_result.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/system/run_result.cc.o.d"
+  "/root/repo/src/system/soc_config.cc" "src/CMakeFiles/capcheck.dir/system/soc_config.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/system/soc_config.cc.o.d"
+  "/root/repo/src/system/soc_system.cc" "src/CMakeFiles/capcheck.dir/system/soc_system.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/system/soc_system.cc.o.d"
+  "/root/repo/src/workloads/accessor.cc" "src/CMakeFiles/capcheck.dir/workloads/accessor.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/accessor.cc.o.d"
+  "/root/repo/src/workloads/buffer_spec.cc" "src/CMakeFiles/capcheck.dir/workloads/buffer_spec.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/buffer_spec.cc.o.d"
+  "/root/repo/src/workloads/kernel.cc" "src/CMakeFiles/capcheck.dir/workloads/kernel.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernel.cc.o.d"
+  "/root/repo/src/workloads/kernels/aes.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/aes.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/aes.cc.o.d"
+  "/root/repo/src/workloads/kernels/aes_core.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/aes_core.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/aes_core.cc.o.d"
+  "/root/repo/src/workloads/kernels/backprop.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/backprop.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/backprop.cc.o.d"
+  "/root/repo/src/workloads/kernels/bfs_bulk.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/bfs_bulk.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/bfs_bulk.cc.o.d"
+  "/root/repo/src/workloads/kernels/bfs_queue.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/bfs_queue.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/bfs_queue.cc.o.d"
+  "/root/repo/src/workloads/kernels/fft_strided.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/fft_strided.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/fft_strided.cc.o.d"
+  "/root/repo/src/workloads/kernels/fft_transpose.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/fft_transpose.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/fft_transpose.cc.o.d"
+  "/root/repo/src/workloads/kernels/gemm_blocked.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/gemm_blocked.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/gemm_blocked.cc.o.d"
+  "/root/repo/src/workloads/kernels/gemm_ncubed.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/gemm_ncubed.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/gemm_ncubed.cc.o.d"
+  "/root/repo/src/workloads/kernels/kmp.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/kmp.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/kmp.cc.o.d"
+  "/root/repo/src/workloads/kernels/md_grid.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/md_grid.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/md_grid.cc.o.d"
+  "/root/repo/src/workloads/kernels/md_knn.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/md_knn.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/md_knn.cc.o.d"
+  "/root/repo/src/workloads/kernels/nw.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/nw.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/nw.cc.o.d"
+  "/root/repo/src/workloads/kernels/sort_merge.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/sort_merge.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/sort_merge.cc.o.d"
+  "/root/repo/src/workloads/kernels/sort_radix.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/sort_radix.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/sort_radix.cc.o.d"
+  "/root/repo/src/workloads/kernels/spmv_crs.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/spmv_crs.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/spmv_crs.cc.o.d"
+  "/root/repo/src/workloads/kernels/spmv_ellpack.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/spmv_ellpack.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/spmv_ellpack.cc.o.d"
+  "/root/repo/src/workloads/kernels/stencil2d.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/stencil2d.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/stencil2d.cc.o.d"
+  "/root/repo/src/workloads/kernels/stencil3d.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/stencil3d.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/stencil3d.cc.o.d"
+  "/root/repo/src/workloads/kernels/viterbi.cc" "src/CMakeFiles/capcheck.dir/workloads/kernels/viterbi.cc.o" "gcc" "src/CMakeFiles/capcheck.dir/workloads/kernels/viterbi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base/bitfield_test.cc" "tests/CMakeFiles/test_base.dir/base/bitfield_test.cc.o" "gcc" "tests/CMakeFiles/test_base.dir/base/bitfield_test.cc.o.d"
+  "/root/repo/tests/base/random_test.cc" "tests/CMakeFiles/test_base.dir/base/random_test.cc.o" "gcc" "tests/CMakeFiles/test_base.dir/base/random_test.cc.o.d"
+  "/root/repo/tests/base/stats_test.cc" "tests/CMakeFiles/test_base.dir/base/stats_test.cc.o" "gcc" "tests/CMakeFiles/test_base.dir/base/stats_test.cc.o.d"
+  "/root/repo/tests/base/table_test.cc" "tests/CMakeFiles/test_base.dir/base/table_test.cc.o" "gcc" "tests/CMakeFiles/test_base.dir/base/table_test.cc.o.d"
+  "/root/repo/tests/base/trace_test.cc" "tests/CMakeFiles/test_base.dir/base/trace_test.cc.o" "gcc" "tests/CMakeFiles/test_base.dir/base/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capcheck.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base.dir/base/bitfield_test.cc.o"
+  "CMakeFiles/test_base.dir/base/bitfield_test.cc.o.d"
+  "CMakeFiles/test_base.dir/base/random_test.cc.o"
+  "CMakeFiles/test_base.dir/base/random_test.cc.o.d"
+  "CMakeFiles/test_base.dir/base/stats_test.cc.o"
+  "CMakeFiles/test_base.dir/base/stats_test.cc.o.d"
+  "CMakeFiles/test_base.dir/base/table_test.cc.o"
+  "CMakeFiles/test_base.dir/base/table_test.cc.o.d"
+  "CMakeFiles/test_base.dir/base/trace_test.cc.o"
+  "CMakeFiles/test_base.dir/base/trace_test.cc.o.d"
+  "test_base"
+  "test_base.pdb"
+  "test_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

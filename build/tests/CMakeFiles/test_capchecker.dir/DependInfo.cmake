@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/capchecker/cap_cache_test.cc" "tests/CMakeFiles/test_capchecker.dir/capchecker/cap_cache_test.cc.o" "gcc" "tests/CMakeFiles/test_capchecker.dir/capchecker/cap_cache_test.cc.o.d"
+  "/root/repo/tests/capchecker/cap_table_test.cc" "tests/CMakeFiles/test_capchecker.dir/capchecker/cap_table_test.cc.o" "gcc" "tests/CMakeFiles/test_capchecker.dir/capchecker/cap_table_test.cc.o.d"
+  "/root/repo/tests/capchecker/capchecker_fuzz_test.cc" "tests/CMakeFiles/test_capchecker.dir/capchecker/capchecker_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/test_capchecker.dir/capchecker/capchecker_fuzz_test.cc.o.d"
+  "/root/repo/tests/capchecker/capchecker_test.cc" "tests/CMakeFiles/test_capchecker.dir/capchecker/capchecker_test.cc.o" "gcc" "tests/CMakeFiles/test_capchecker.dir/capchecker/capchecker_test.cc.o.d"
+  "/root/repo/tests/capchecker/mmio_fuzz_test.cc" "tests/CMakeFiles/test_capchecker.dir/capchecker/mmio_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/test_capchecker.dir/capchecker/mmio_fuzz_test.cc.o.d"
+  "/root/repo/tests/capchecker/mmio_test.cc" "tests/CMakeFiles/test_capchecker.dir/capchecker/mmio_test.cc.o" "gcc" "tests/CMakeFiles/test_capchecker.dir/capchecker/mmio_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capcheck.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capchecker.dir/capchecker/cap_cache_test.cc.o"
+  "CMakeFiles/test_capchecker.dir/capchecker/cap_cache_test.cc.o.d"
+  "CMakeFiles/test_capchecker.dir/capchecker/cap_table_test.cc.o"
+  "CMakeFiles/test_capchecker.dir/capchecker/cap_table_test.cc.o.d"
+  "CMakeFiles/test_capchecker.dir/capchecker/capchecker_fuzz_test.cc.o"
+  "CMakeFiles/test_capchecker.dir/capchecker/capchecker_fuzz_test.cc.o.d"
+  "CMakeFiles/test_capchecker.dir/capchecker/capchecker_test.cc.o"
+  "CMakeFiles/test_capchecker.dir/capchecker/capchecker_test.cc.o.d"
+  "CMakeFiles/test_capchecker.dir/capchecker/mmio_fuzz_test.cc.o"
+  "CMakeFiles/test_capchecker.dir/capchecker/mmio_fuzz_test.cc.o.d"
+  "CMakeFiles/test_capchecker.dir/capchecker/mmio_test.cc.o"
+  "CMakeFiles/test_capchecker.dir/capchecker/mmio_test.cc.o.d"
+  "test_capchecker"
+  "test_capchecker.pdb"
+  "test_capchecker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capchecker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cheri.dir/cheri/capability_test.cc.o"
+  "CMakeFiles/test_cheri.dir/cheri/capability_test.cc.o.d"
+  "CMakeFiles/test_cheri.dir/cheri/captree_test.cc.o"
+  "CMakeFiles/test_cheri.dir/cheri/captree_test.cc.o.d"
+  "CMakeFiles/test_cheri.dir/cheri/compressed_test.cc.o"
+  "CMakeFiles/test_cheri.dir/cheri/compressed_test.cc.o.d"
+  "test_cheri"
+  "test_cheri.pdb"
+  "test_cheri[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cheri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

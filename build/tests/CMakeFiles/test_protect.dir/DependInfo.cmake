@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protect/check_stage_test.cc" "tests/CMakeFiles/test_protect.dir/protect/check_stage_test.cc.o" "gcc" "tests/CMakeFiles/test_protect.dir/protect/check_stage_test.cc.o.d"
+  "/root/repo/tests/protect/checker_bank_test.cc" "tests/CMakeFiles/test_protect.dir/protect/checker_bank_test.cc.o" "gcc" "tests/CMakeFiles/test_protect.dir/protect/checker_bank_test.cc.o.d"
+  "/root/repo/tests/protect/iommu_test.cc" "tests/CMakeFiles/test_protect.dir/protect/iommu_test.cc.o" "gcc" "tests/CMakeFiles/test_protect.dir/protect/iommu_test.cc.o.d"
+  "/root/repo/tests/protect/iopmp_test.cc" "tests/CMakeFiles/test_protect.dir/protect/iopmp_test.cc.o" "gcc" "tests/CMakeFiles/test_protect.dir/protect/iopmp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capcheck.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protect.dir/protect/check_stage_test.cc.o"
+  "CMakeFiles/test_protect.dir/protect/check_stage_test.cc.o.d"
+  "CMakeFiles/test_protect.dir/protect/checker_bank_test.cc.o"
+  "CMakeFiles/test_protect.dir/protect/checker_bank_test.cc.o.d"
+  "CMakeFiles/test_protect.dir/protect/iommu_test.cc.o"
+  "CMakeFiles/test_protect.dir/protect/iommu_test.cc.o.d"
+  "CMakeFiles/test_protect.dir/protect/iopmp_test.cc.o"
+  "CMakeFiles/test_protect.dir/protect/iopmp_test.cc.o.d"
+  "test_protect"
+  "test_protect.pdb"
+  "test_protect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/system/attack_integration_test.cc.o"
+  "CMakeFiles/test_system.dir/system/attack_integration_test.cc.o.d"
+  "CMakeFiles/test_system.dir/system/config_matrix_test.cc.o"
+  "CMakeFiles/test_system.dir/system/config_matrix_test.cc.o.d"
+  "CMakeFiles/test_system.dir/system/soc_system_test.cc.o"
+  "CMakeFiles/test_system.dir/system/soc_system_test.cc.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
