@@ -9,6 +9,7 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "base/table.hh"
 #include "bench/common.hh"
@@ -17,8 +18,9 @@ using namespace capcheck;
 using system::SystemMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runner = bench::makeRunner(argc, argv);
     bench::printHeader("Ablation: interconnect burst length",
                        "platform design choice (Section 5.2.1)");
 
@@ -26,20 +28,28 @@ main()
         "gemm_ncubed", "gemm_ncubed", "stencil2d", "stencil2d",
         "viterbi",     "backprop",    "bfs_bulk",  "spmv_crs",
     };
+    const std::vector<unsigned> bursts = {1, 4, 16, 64};
+
+    std::vector<harness::RunRequest> requests;
+    for (const unsigned burst : bursts) {
+        requests.push_back(harness::RunRequest::mixed(
+            mix, system::SocConfigBuilder()
+                     .mode(SystemMode::ccpuCaccel)
+                     .xbarMaxBurst(burst)
+                     .build()));
+    }
+
+    const auto outcomes = runner.run(requests, "abl_burst");
 
     TextTable table({"Burst beats", "Mixed-system cycles",
                      "vs burst 1"});
 
-    Cycles baseline = 0;
-    for (const unsigned burst : {1u, 4u, 16u, 64u}) {
-        system::SocConfig cfg;
-        cfg.mode = SystemMode::ccpuCaccel;
-        cfg.xbarMaxBurst = burst;
-        const auto r = system::SocSystem(cfg).runMixed(mix);
-        if (burst == 1)
-            baseline = r.totalCycles;
+    const Cycles baseline = outcomes.front().result.totalCycles;
+    for (std::size_t b = 0; b < bursts.size(); ++b) {
+        const auto &r = outcomes[b].result;
         table.addRow(
-            {std::to_string(burst), std::to_string(r.totalCycles),
+            {std::to_string(bursts[b]),
+             std::to_string(r.totalCycles),
              fmtPercent(static_cast<double>(r.totalCycles) /
                             static_cast<double>(baseline) -
                         1.0)});

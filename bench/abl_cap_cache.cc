@@ -8,6 +8,7 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "base/table.hh"
 #include "bench/common.hh"
@@ -17,39 +18,56 @@ using namespace capcheck;
 using system::SystemMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runner = bench::makeRunner(argc, argv);
     bench::printHeader(
         "Ablation: capability cache vs full SRAM table",
         "Section 5.2.3 (in-memory table caching)");
 
+    const std::vector<std::string> names = {"backprop", "aes",
+                                            "md_knn"};
+    const std::vector<unsigned> cache_sizes = {4, 8, 16, 32};
+
+    std::vector<harness::RunRequest> requests;
+    for (const std::string &name : names) {
+        requests.push_back(harness::RunRequest::single(
+            name, bench::modeConfig(SystemMode::ccpuAccel)));
+        // Full 256-entry SRAM table (the paper's prototype).
+        requests.push_back(harness::RunRequest::single(
+            name, bench::modeConfig(SystemMode::ccpuCaccel)));
+        for (const unsigned entries : cache_sizes) {
+            requests.push_back(harness::RunRequest::single(
+                name, system::SocConfigBuilder()
+                          .mode(SystemMode::ccpuCaccel)
+                          .capCache(entries)
+                          .build()));
+        }
+    }
+
+    const auto outcomes = runner.run(requests, "abl_cap_cache");
+
     TextTable table({"Benchmark", "Cache entries", "Total cycles",
                      "Overhead vs no checker", "Checker LUTs (model)"});
 
-    for (const std::string name : {"backprop", "aes", "md_knn"}) {
-        system::SocConfig cfg;
-        cfg.mode = SystemMode::ccpuAccel;
-        const auto base = system::SocSystem(cfg).runBenchmark(name);
-
-        // Full 256-entry SRAM table (the paper's prototype).
-        cfg.mode = SystemMode::ccpuCaccel;
-        const auto full = system::SocSystem(cfg).runBenchmark(name);
-        table.addRow({name, "SRAM table",
+    const std::size_t stride = 2 + cache_sizes.size();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &base = outcomes[i * stride].result;
+        const auto &full = outcomes[i * stride + 1].result;
+        table.addRow({names[i], "SRAM table",
                       std::to_string(full.totalCycles),
                       fmtPercent(full.overheadVs(base)),
                       std::to_string(
                           model::AreaPowerModel::capCheckerLuts(256))});
 
-        for (const unsigned entries : {4u, 8u, 16u, 32u}) {
-            cfg.capCacheEntries = entries;
-            const auto cached =
-                system::SocSystem(cfg).runBenchmark(name);
+        for (std::size_t c = 0; c < cache_sizes.size(); ++c) {
+            const auto &cached = outcomes[i * stride + 2 + c].result;
             table.addRow(
-                {name, std::to_string(entries),
+                {names[i], std::to_string(cache_sizes[c]),
                  std::to_string(cached.totalCycles),
                  fmtPercent(cached.overheadVs(base)),
-                 std::to_string(
-                     model::AreaPowerModel::capCheckerLuts(entries))});
+                 std::to_string(model::AreaPowerModel::capCheckerLuts(
+                     cache_sizes[c]))});
         }
     }
     table.print(std::cout);

@@ -8,6 +8,7 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "base/table.hh"
 #include "bench/common.hh"
@@ -17,22 +18,34 @@ using namespace capcheck;
 using system::SystemMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runner = bench::makeRunner(argc, argv);
     bench::printHeader("Ablation: CFU-class TinyML system",
                        "Section 6.3 (CFU discussion)");
 
     // One aes CFU (a single 128-byte context pointer) on a
     // microcontroller: one instance, one task, a minimal table.
-    system::SocConfig cfg;
-    cfg.numInstances = 1;
+    std::vector<harness::RunRequest> requests;
+    requests.push_back(harness::RunRequest::single(
+        "aes",
+        system::SocConfigBuilder()
+            .mode(SystemMode::ccpuAccel)
+            .numInstances(1)
+            .build(),
+        /*num_tasks=*/1));
+    requests.push_back(harness::RunRequest::single(
+        "aes",
+        system::SocConfigBuilder()
+            .mode(SystemMode::ccpuCaccel)
+            .numInstances(1)
+            .capTableEntries(2)
+            .build(),
+        /*num_tasks=*/1));
 
-    cfg.mode = SystemMode::ccpuAccel;
-    const auto base = system::SocSystem(cfg).runBenchmark("aes", 1);
-
-    cfg.mode = SystemMode::ccpuCaccel;
-    cfg.capTableEntries = 2;
-    const auto prot = system::SocSystem(cfg).runBenchmark("aes", 1);
+    const auto outcomes = runner.run(requests, "abl_cfu");
+    const auto &base = outcomes[0].result;
+    const auto &prot = outcomes[1].result;
 
     const auto system_luts = model::AreaPowerModel::microcontrollerLuts();
     const auto checker_luts = model::AreaPowerModel::capCheckerLuts(2);

@@ -8,6 +8,7 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "base/table.hh"
 #include "bench/common.hh"
@@ -16,24 +17,39 @@ using namespace capcheck;
 using system::SystemMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runner = bench::makeRunner(argc, argv);
     bench::printHeader("Ablation: CapChecker pipeline depth",
                        "Section 5.2.3 (table caching discussion)");
+
+    const std::vector<std::string> names = {"bfs_bulk", "gemm_ncubed"};
+    const std::vector<Cycles> latencies = {1, 2, 4, 8};
+
+    std::vector<harness::RunRequest> requests;
+    for (const std::string &name : names) {
+        requests.push_back(harness::RunRequest::single(
+            name, bench::modeConfig(SystemMode::ccpuAccel)));
+        for (const Cycles latency : latencies) {
+            requests.push_back(harness::RunRequest::single(
+                name, system::SocConfigBuilder()
+                          .mode(SystemMode::ccpuCaccel)
+                          .checkCycles(latency)
+                          .build()));
+        }
+    }
+
+    const auto outcomes = runner.run(requests, "abl_check_latency");
 
     TextTable table({"Benchmark", "Check cycles", "Total cycles",
                      "Overhead vs no checker"});
 
-    for (const std::string name : {"bfs_bulk", "gemm_ncubed"}) {
-        system::SocConfig cfg;
-        cfg.mode = SystemMode::ccpuAccel;
-        const auto base = system::SocSystem(cfg).runBenchmark(name);
-
-        for (const Cycles latency : {1u, 2u, 4u, 8u}) {
-            cfg.mode = SystemMode::ccpuCaccel;
-            cfg.checkCycles = latency;
-            const auto with = system::SocSystem(cfg).runBenchmark(name);
-            table.addRow({name, std::to_string(latency),
+    const std::size_t stride = 1 + latencies.size();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &base = outcomes[i * stride].result;
+        for (std::size_t l = 0; l < latencies.size(); ++l) {
+            const auto &with = outcomes[i * stride + 1 + l].result;
+            table.addRow({names[i], std::to_string(latencies[l]),
                           std::to_string(with.totalCycles),
                           fmtPercent(with.overheadVs(base))});
         }

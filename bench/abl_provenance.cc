@@ -3,10 +3,12 @@
  * Ablation: Fine vs Coarse provenance (Fig. 5's two CapChecker
  * implementations). Performance should be essentially identical — the
  * modes differ in *security granularity* (Table 3), not in datapath
- * cost — which this harness verifies across all benchmarks.
+ * cost — which this harness verifies across all benchmarks via one
+ * 38-point SweepRunner request list.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "base/table.hh"
 #include "bench/common.hh"
@@ -15,22 +17,35 @@ using namespace capcheck;
 using system::SystemMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runner = bench::makeRunner(argc, argv);
     bench::printHeader("Ablation: Fine vs Coarse provenance", "Fig. 5");
+
+    const auto &names = workloads::allKernelNames();
+    std::vector<harness::RunRequest> requests;
+    for (const std::string &name : names) {
+        for (const capchecker::Provenance prov :
+             {capchecker::Provenance::fine,
+              capchecker::Provenance::coarse}) {
+            requests.push_back(harness::RunRequest::single(
+                name, system::SocConfigBuilder()
+                          .mode(SystemMode::ccpuCaccel)
+                          .provenance(prov)
+                          .build()));
+        }
+    }
+
+    const auto outcomes = runner.run(requests, "abl_provenance");
 
     TextTable table({"Benchmark", "Fine cycles", "Coarse cycles",
                      "Delta", "Both correct"});
 
-    for (const std::string &name : workloads::allKernelNames()) {
-        system::SocConfig cfg;
-        cfg.mode = SystemMode::ccpuCaccel;
-        cfg.provenance = capchecker::Provenance::fine;
-        const auto fine = system::SocSystem(cfg).runBenchmark(name);
-        cfg.provenance = capchecker::Provenance::coarse;
-        const auto coarse = system::SocSystem(cfg).runBenchmark(name);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &fine = outcomes[2 * i].result;
+        const auto &coarse = outcomes[2 * i + 1].result;
 
-        table.addRow({name, std::to_string(fine.totalCycles),
+        table.addRow({names[i], std::to_string(fine.totalCycles),
                       std::to_string(coarse.totalCycles),
                       fmtPercent(coarse.overheadVs(fine)),
                       (fine.functionallyCorrect &&

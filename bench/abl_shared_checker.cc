@@ -8,6 +8,7 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "base/table.hh"
 #include "bench/common.hh"
@@ -17,11 +18,29 @@ using namespace capcheck;
 using system::SystemMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runner = bench::makeRunner(argc, argv);
     bench::printHeader(
         "Ablation: shared vs per-accelerator CapCheckers",
         "Section 5.2.1");
+
+    const std::vector<std::string> names = {"gemm_ncubed", "bfs_bulk",
+                                            "backprop", "stencil2d"};
+
+    std::vector<harness::RunRequest> requests;
+    for (const std::string &name : names) {
+        requests.push_back(harness::RunRequest::single(
+            name, bench::modeConfig(SystemMode::ccpuCaccel)));
+        requests.push_back(harness::RunRequest::single(
+            name, system::SocConfigBuilder()
+                      .mode(SystemMode::ccpuCaccel)
+                      .perAccelCheckers(true)
+                      .capTableEntries(32) // per-checker table
+                      .build()));
+    }
+
+    const auto outcomes = runner.run(requests, "abl_shared_checker");
 
     TextTable table({"Benchmark", "Shared cycles", "Per-accel cycles",
                      "Perf delta", "Shared LUTs", "Per-accel LUTs"});
@@ -31,17 +50,11 @@ main()
     const auto split_luts =
         8 * model::AreaPowerModel::capCheckerLuts(32);
 
-    for (const std::string name :
-         {"gemm_ncubed", "bfs_bulk", "backprop", "stencil2d"}) {
-        system::SocConfig cfg;
-        cfg.mode = SystemMode::ccpuCaccel;
-        const auto shared = system::SocSystem(cfg).runBenchmark(name);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &shared = outcomes[2 * i].result;
+        const auto &split = outcomes[2 * i + 1].result;
 
-        cfg.perAccelCheckers = true;
-        cfg.capTableEntries = 32; // per-checker table
-        const auto split = system::SocSystem(cfg).runBenchmark(name);
-
-        table.addRow({name, std::to_string(shared.totalCycles),
+        table.addRow({names[i], std::to_string(shared.totalCycles),
                       std::to_string(split.totalCycles),
                       fmtPercent(split.overheadVs(shared)),
                       std::to_string(shared_luts),

@@ -8,16 +8,19 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "base/table.hh"
 #include "bench/common.hh"
 #include "model/area_power.hh"
 
 using namespace capcheck;
+using system::SystemMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runner = bench::makeRunner(argc, argv);
     bench::printHeader("Ablation: capability-table size",
                        "Sections 5.2.3 and 6.3");
 
@@ -56,16 +59,30 @@ main()
     // tasks serialize into waves (Fig. 6's stall behaviour).
     std::cout << "\nWave serialization under table pressure "
                  "(gemm_ncubed, 3 capabilities per task, 8 tasks):\n";
+
+    const std::vector<unsigned> entry_sweep = {3, 6, 12, 24, 256};
+
+    std::vector<harness::RunRequest> requests;
+    requests.push_back(harness::RunRequest::single(
+        "gemm_ncubed", bench::modeConfig(SystemMode::ccpuCaccel)));
+    for (const unsigned entries : entry_sweep) {
+        requests.push_back(harness::RunRequest::single(
+            "gemm_ncubed", system::SocConfigBuilder()
+                               .mode(SystemMode::ccpuCaccel)
+                               .capTableEntries(entries)
+                               .build()));
+    }
+
+    const auto outcomes = runner.run(requests, "abl_table_size");
+    const auto &full = outcomes[0].result;
+
     TextTable waves({"Entries", "Tasks per wave", "Total cycles",
                      "vs 256 entries"});
-    system::SocConfig cfg;
-    cfg.mode = system::SystemMode::ccpuCaccel;
-    const auto full = system::SocSystem(cfg).runBenchmark("gemm_ncubed");
-    for (const unsigned entries : {3u, 6u, 12u, 24u, 256u}) {
-        cfg.capTableEntries = entries;
-        const auto r = system::SocSystem(cfg).runBenchmark("gemm_ncubed");
+    for (std::size_t e = 0; e < entry_sweep.size(); ++e) {
+        const auto &r = outcomes[1 + e].result;
         waves.addRow(
-            {std::to_string(entries), std::to_string(entries / 3),
+            {std::to_string(entry_sweep[e]),
+             std::to_string(entry_sweep[e] / 3),
              std::to_string(r.totalCycles),
              fmtPercent(static_cast<double>(r.totalCycles) /
                             static_cast<double>(full.totalCycles) -

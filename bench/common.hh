@@ -1,15 +1,24 @@
 /**
  * @file
- * Shared helpers for the table/figure reproduction harnesses.
+ * Shared helpers for the table/figure reproduction harnesses: the
+ * standard sweep command line (--jobs/--json-dir/--no-cache/--quiet),
+ * SweepRunner construction, and config shorthands. All simulation
+ * points flow through harness::RunRequest lists submitted to a
+ * SweepRunner, so every harness parallelizes with --jobs and shares
+ * the in-process result cache.
  */
 
 #ifndef CAPCHECK_BENCH_COMMON_HH
 #define CAPCHECK_BENCH_COMMON_HH
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "base/table.hh"
+#include "harness/sweep_runner.hh"
+#include "system/soc_config_builder.hh"
 #include "system/soc_system.hh"
 #include "workloads/kernel.hh"
 
@@ -23,16 +32,110 @@ printHeader(const std::string &what, const std::string &paper_ref)
               << ") ===\n";
 }
 
-/** Run one benchmark under one mode with default parameters. */
+/** The options every bench harness accepts. */
+struct BenchOptions
+{
+    unsigned jobs = 0;   ///< --jobs N (0 = hardware concurrency)
+    std::string jsonDir; ///< --json-dir DIR ("" = no JSON output)
+    bool cache = true;   ///< --no-cache disables result reuse
+    bool quiet = false;  ///< --quiet silences progress lines
+};
+
+inline void
+printUsage(const char *argv0)
+{
+    std::cout
+        << "usage: " << argv0
+        << " [--jobs N] [--json-dir DIR] [--no-cache] [--quiet]\n"
+        << "  --jobs N       worker threads (default: all cores)\n"
+        << "  --json-dir DIR write run-<hash>.json + manifest there\n"
+        << "  --no-cache     re-simulate repeated requests\n"
+        << "  --quiet        no per-run progress lines on stderr\n";
+}
+
+inline BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs an argument\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            opts.jobs = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opts.jobs = static_cast<unsigned>(
+                std::atoi(arg.c_str() + std::strlen("--jobs=")));
+        } else if (arg == "--json-dir") {
+            opts.jsonDir = next();
+        } else if (arg.rfind("--json-dir=", 0) == 0) {
+            opts.jsonDir = arg.substr(std::strlen("--json-dir="));
+        } else if (arg == "--no-cache") {
+            opts.cache = false;
+        } else if (arg == "--quiet" || arg == "-q") {
+            opts.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            std::exit(0);
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            printUsage(argv[0]);
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+inline harness::SweepRunner::Options
+toRunnerOptions(const BenchOptions &opts)
+{
+    harness::SweepRunner::Options ro;
+    ro.jobs = opts.jobs;
+    ro.cacheEnabled = opts.cache;
+    ro.progress = opts.quiet ? nullptr : &std::cerr;
+    ro.jsonDir = opts.jsonDir;
+    return ro;
+}
+
+/** Parse the standard command line and build the harness runner. */
+inline harness::SweepRunner
+makeRunner(int argc, char **argv)
+{
+    return harness::SweepRunner(toRunnerOptions(parseOptions(argc,
+                                                             argv)));
+}
+
+/** Validated SocConfig for @p mode with default platform parameters. */
+inline system::SocConfig
+modeConfig(system::SystemMode mode, std::uint64_t seed = 1)
+{
+    return system::SocConfigBuilder().mode(mode).seed(seed).build();
+}
+
+/**
+ * Run one benchmark under one mode with default parameters.
+ *
+ * @deprecated The serial pre-SweepRunner entry point; it also kept the
+ * silent num_tasks = 0 convention. Build an explicit
+ * harness::RunRequest (which resolves the task count at construction)
+ * and submit it to a SweepRunner instead. This shim forwards to the
+ * process-wide serial runner so legacy callers still benefit from the
+ * result cache.
+ */
+[[deprecated("build a harness::RunRequest and submit it to a "
+             "SweepRunner")]]
 inline system::RunResult
 runMode(const std::string &benchmark, system::SystemMode mode,
         unsigned num_tasks = 0, std::uint64_t seed = 1)
 {
-    system::SocConfig cfg;
-    cfg.mode = mode;
-    cfg.seed = seed;
-    system::SocSystem soc(cfg);
-    return soc.runBenchmark(benchmark, num_tasks);
+    return harness::SweepRunner::shared().runOne(
+        harness::RunRequest::single(benchmark, modeConfig(mode, seed),
+                                    num_tasks));
 }
 
 } // namespace capcheck::bench

@@ -3,10 +3,11 @@
  * Reproduces Fig. 10: wall-clock breakdown of every benchmark across
  * the five system configurations (cpu, ccpu, cpu+accel, ccpu+accel,
  * ccpu+caccel), split into driver allocation, kernel execution, and
- * driver deallocation.
+ * driver deallocation. The 95-point grid runs through the SweepRunner.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "base/table.hh"
 #include "bench/common.hh"
@@ -15,8 +16,9 @@ using namespace capcheck;
 using system::SystemMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runner = bench::makeRunner(argc, argv);
     bench::printHeader(
         "Fig. 10: wall-clock breakdown across configurations",
         "Fig. 10");
@@ -24,18 +26,30 @@ main()
     constexpr SystemMode modes[] = {
         SystemMode::cpu, SystemMode::ccpu, SystemMode::cpuAccel,
         SystemMode::ccpuAccel, SystemMode::ccpuCaccel};
+    constexpr std::size_t num_modes = std::size(modes);
+
+    const auto &names = workloads::allKernelNames();
+    std::vector<harness::RunRequest> requests;
+    for (const std::string &name : names) {
+        for (const SystemMode mode : modes) {
+            requests.push_back(harness::RunRequest::single(
+                name, bench::modeConfig(mode)));
+        }
+    }
+
+    const auto outcomes = runner.run(requests, "fig10_breakdown");
 
     TextTable table({"Benchmark", "Config", "alloc", "kernel",
                      "dealloc", "total", "vs cpu"});
 
-    for (const std::string &name : workloads::allKernelNames()) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
         Cycles cpu_total = 0;
-        for (const SystemMode mode : modes) {
-            const auto r = bench::runMode(name, mode);
-            if (mode == SystemMode::cpu)
+        for (std::size_t m = 0; m < num_modes; ++m) {
+            const auto &r = outcomes[i * num_modes + m].result;
+            if (modes[m] == SystemMode::cpu)
                 cpu_total = r.totalCycles;
             table.addRow(
-                {name, system::systemModeName(mode),
+                {names[i], system::systemModeName(modes[m]),
                  std::to_string(r.driverAllocCycles),
                  std::to_string(r.kernelCycles),
                  std::to_string(r.driverDeallocCycles),

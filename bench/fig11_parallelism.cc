@@ -2,10 +2,12 @@
  * @file
  * Reproduces Fig. 11: gemm_ncubed wall-clock overhead of the
  * CapChecker and speedup over the CPU across 1..8 parallel
- * accelerator tasks.
+ * accelerator tasks. Task counts are explicit in each RunRequest; the
+ * 24-point sweep runs through the SweepRunner.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "base/table.hh"
 #include "bench/common.hh"
@@ -14,21 +16,32 @@ using namespace capcheck;
 using system::SystemMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runner = bench::makeRunner(argc, argv);
     bench::printHeader(
         "Fig. 11: gemm_ncubed vs degree of parallelism", "Fig. 11");
+
+    std::vector<harness::RunRequest> requests;
+    for (unsigned tasks = 1; tasks <= 8; ++tasks) {
+        for (const SystemMode mode :
+             {SystemMode::cpu, SystemMode::ccpuAccel,
+              SystemMode::ccpuCaccel}) {
+            requests.push_back(harness::RunRequest::single(
+                "gemm_ncubed", bench::modeConfig(mode), tasks));
+        }
+    }
+
+    const auto outcomes = runner.run(requests, "fig11_parallelism");
 
     TextTable table({"Parallel tasks", "cpu", "ccpu+accel",
                      "ccpu+caccel", "Overhead", "Speedup"});
 
     for (unsigned tasks = 1; tasks <= 8; ++tasks) {
-        const auto cpu =
-            bench::runMode("gemm_ncubed", SystemMode::cpu, tasks);
-        const auto base =
-            bench::runMode("gemm_ncubed", SystemMode::ccpuAccel, tasks);
-        const auto with = bench::runMode("gemm_ncubed",
-                                         SystemMode::ccpuCaccel, tasks);
+        const std::size_t row = (tasks - 1) * 3;
+        const auto &cpu = outcomes[row].result;
+        const auto &base = outcomes[row + 1].result;
+        const auto &with = outcomes[row + 2].result;
         table.addRow({std::to_string(tasks),
                       std::to_string(cpu.totalCycles),
                       std::to_string(base.totalCycles),

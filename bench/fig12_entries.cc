@@ -16,8 +16,9 @@
 using namespace capcheck;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseOptions(argc, argv); // uniform CLI; no simulations here
     bench::printHeader(
         "Fig. 12: IOMMU vs CapChecker entry requirements", "Fig. 12");
     std::cout << "(IOMMU page size = 4 kB, one buffer per page)\n\n";

@@ -2,10 +2,12 @@
  * @file
  * Reproduces Fig. 7: accelerator speedup over CPU execution for every
  * MachSuite benchmark on the proposed (ccpu+caccel) system, 8
- * accelerator instances.
+ * accelerator instances. Both configurations of all 19 benchmarks go
+ * through the SweepRunner as one request list.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "base/table.hh"
 #include "bench/common.hh"
@@ -14,18 +16,30 @@ using namespace capcheck;
 using system::SystemMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runner = bench::makeRunner(argc, argv);
     bench::printHeader("Fig. 7: accelerator speedup per benchmark",
                        "Fig. 7");
+
+    const auto &names = workloads::allKernelNames();
+    std::vector<harness::RunRequest> requests;
+    for (const std::string &name : names) {
+        requests.push_back(harness::RunRequest::single(
+            name, bench::modeConfig(SystemMode::cpu)));
+        requests.push_back(harness::RunRequest::single(
+            name, bench::modeConfig(SystemMode::ccpuCaccel)));
+    }
+
+    const auto outcomes = runner.run(requests, "fig7_speedup");
 
     TextTable table({"Benchmark", "cpu cycles", "ccpu+caccel cycles",
                      "Speedup", "Correct"});
 
-    for (const std::string &name : workloads::allKernelNames()) {
-        const auto cpu = bench::runMode(name, SystemMode::cpu);
-        const auto accel = bench::runMode(name, SystemMode::ccpuCaccel);
-        table.addRow({name, std::to_string(cpu.totalCycles),
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &cpu = outcomes[2 * i].result;
+        const auto &accel = outcomes[2 * i + 1].result;
+        table.addRow({names[i], std::to_string(cpu.totalCycles),
                       std::to_string(accel.totalCycles),
                       fmtSpeedup(accel.speedupVs(cpu)),
                       (cpu.functionallyCorrect &&

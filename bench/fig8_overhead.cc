@@ -4,6 +4,7 @@
  * adding the CapChecker (ccpu+caccel vs ccpu+accel), per benchmark
  * plus the geometric mean. Area and power come from the analytic FPGA
  * model (DESIGN.md records this substitution for Vivado P&R reports).
+ * The 38 simulation points run through the SweepRunner.
  */
 
 #include <iostream>
@@ -17,11 +18,23 @@ using namespace capcheck;
 using system::SystemMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runner = bench::makeRunner(argc, argv);
     bench::printHeader(
         "Fig. 8: overhead of adding the CapChecker per benchmark",
         "Fig. 8");
+
+    const auto &names = workloads::allKernelNames();
+    std::vector<harness::RunRequest> requests;
+    for (const std::string &name : names) {
+        requests.push_back(harness::RunRequest::single(
+            name, bench::modeConfig(SystemMode::ccpuAccel)));
+        requests.push_back(harness::RunRequest::single(
+            name, bench::modeConfig(SystemMode::ccpuCaccel)));
+    }
+
+    const auto outcomes = runner.run(requests, "fig8_overhead");
 
     TextTable table({"Benchmark", "Perf overhead", "Power overhead",
                      "Area overhead", "base cycles", "w/ checker"});
@@ -30,9 +43,10 @@ main()
     std::vector<double> power_ratios;
     std::vector<double> area_ratios;
 
-    for (const std::string &name : workloads::allKernelNames()) {
-        const auto base = bench::runMode(name, SystemMode::ccpuAccel);
-        const auto with = bench::runMode(name, SystemMode::ccpuCaccel);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const auto &base = outcomes[2 * i].result;
+        const auto &with = outcomes[2 * i + 1].result;
         const double perf = with.overheadVs(base);
 
         // Area: CPU + accelerator pool, with/without the CapChecker.

@@ -3,7 +3,8 @@
  * Reproduces Fig. 9: CapChecker overhead for 20 systems that each mix
  * 8 randomly selected accelerator architectures (one task per
  * accelerator), compared with the geometric mean of the
- * single-benchmark systems of Fig. 8.
+ * single-benchmark systems of Fig. 8. All 40 simulation points are
+ * submitted as one request list, so --jobs parallelizes across them.
  */
 
 #include <iostream>
@@ -17,18 +18,17 @@ using namespace capcheck;
 using system::SystemMode;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto runner = bench::makeRunner(argc, argv);
     bench::printHeader(
         "Fig. 9: overhead of 20 systems with mixed accelerators",
         "Fig. 9");
 
     const auto &names = workloads::allKernelNames();
 
-    TextTable table({"System", "Accelerators", "base cycles",
-                     "w/ checker", "Perf overhead"});
-
-    std::vector<double> ratios;
+    std::vector<harness::RunRequest> requests;
+    std::vector<std::string> labels;
     for (unsigned sys_id = 0; sys_id < 20; ++sys_id) {
         Rng rng(1000 + sys_id);
         std::vector<std::string> mix;
@@ -38,17 +38,28 @@ main()
             mix.push_back(pick);
             label += (i ? "," : "") + pick.substr(0, 4);
         }
+        labels.push_back(label);
 
-        system::SocConfig cfg;
-        cfg.seed = 42 + sys_id;
-        cfg.mode = SystemMode::ccpuAccel;
-        const auto base = system::SocSystem(cfg).runMixed(mix);
-        cfg.mode = SystemMode::ccpuCaccel;
-        const auto with = system::SocSystem(cfg).runMixed(mix);
+        const std::uint64_t seed = 42 + sys_id;
+        requests.push_back(harness::RunRequest::mixed(
+            mix, bench::modeConfig(SystemMode::ccpuAccel, seed)));
+        requests.push_back(harness::RunRequest::mixed(
+            mix, bench::modeConfig(SystemMode::ccpuCaccel, seed)));
+    }
+
+    const auto outcomes = runner.run(requests, "fig9_mixed");
+
+    TextTable table({"System", "Accelerators", "base cycles",
+                     "w/ checker", "Perf overhead"});
+
+    std::vector<double> ratios;
+    for (unsigned sys_id = 0; sys_id < 20; ++sys_id) {
+        const auto &base = outcomes[2 * sys_id].result;
+        const auto &with = outcomes[2 * sys_id + 1].result;
 
         const double overhead = with.overheadVs(base);
         ratios.push_back(1.0 + overhead);
-        table.addRow({std::to_string(sys_id), label,
+        table.addRow({std::to_string(sys_id), labels[sys_id],
                       std::to_string(base.totalCycles),
                       std::to_string(with.totalCycles),
                       fmtPercent(overhead)});

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "base/table.hh"
+#include "bench/common.hh"
 #include "capchecker/capchecker.hh"
 #include "protect/iommu.hh"
 #include "protect/iopmp.hh"
@@ -29,8 +30,9 @@ yesNo(bool v)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseOptions(argc, argv); // uniform CLI; no simulations here
     std::cout << "=== Table 1: hardware protection methods for device "
                  "memory accesses ===\n";
 

@@ -22,8 +22,9 @@
 using namespace capcheck;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseOptions(argc, argv); // uniform CLI; no simulations here
     bench::printHeader("Table 2: buffer footprint per benchmark",
                        "Table 2");
     std::cout << "(8 accelerator instances, 256-entry CapChecker; "

@@ -18,8 +18,9 @@ using namespace capcheck;
 using namespace capcheck::security;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseOptions(argc, argv); // uniform CLI; no simulations here
     bench::printHeader("Table 3: CWE memory-weakness matrix", "Table 3");
     std::cout << "PG/TA/OB = protection at page/task/object "
                  "granularity; X = unprotected; ok = defeated; NA = not "

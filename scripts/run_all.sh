@@ -1,9 +1,24 @@
 #!/usr/bin/env bash
 # Regenerate everything: build, test, and reproduce every table/figure.
-# Usage: scripts/run_all.sh [build-dir]
+# Usage: scripts/run_all.sh [--jobs N] [--json-dir DIR] [build-dir]
+#
+# --jobs and --json-dir are forwarded to every bench harness: the
+# sweep engine parallelizes each harness's simulation points across N
+# worker threads, and --json-dir collects machine-readable results for
+# all harnesses in one tree (repeated points are cached per process).
 set -euo pipefail
 
-BUILD=${1:-build}
+BUILD=build
+BENCH_ARGS=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --jobs|-j) BENCH_ARGS+=("--jobs" "$2"); shift 2 ;;
+        --jobs=*) BENCH_ARGS+=("$1"); shift ;;
+        --json-dir) BENCH_ARGS+=("--json-dir" "$2"); shift 2 ;;
+        --json-dir=*) BENCH_ARGS+=("$1"); shift ;;
+        *) BUILD=$1; shift ;;
+    esac
+done
 cd "$(dirname "$0")/.."
 
 cmake -B "$BUILD" -G Ninja
@@ -14,7 +29,10 @@ echo
 echo "=== Reproducing all tables and figures ==="
 for b in "$BUILD"/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
-        "$b"
+        case "$(basename "$b")" in
+            micro_components) "$b" ;;  # google-benchmark CLI
+            *) "$b" ${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"} ;;
+        esac
     fi
 done
 

@@ -1,0 +1,236 @@
+#include "base/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace capcheck::json
+{
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        return "null";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer the shortest representation that round-trips.
+    for (const int precision : {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                13, 14, 15, 16}) {
+        char probe[64];
+        std::snprintf(probe, sizeof(probe), "%.*g", precision, v);
+        double back = 0;
+        std::sscanf(probe, "%lf", &back);
+        if (back == v)
+            return probe;
+    }
+    return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream &os, unsigned indent_width)
+    : os(os), indentWidth(indent_width)
+{
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    os << '\n';
+    for (unsigned i = 0; i < _depth * indentWidth; ++i)
+        os << ' ';
+}
+
+void
+JsonWriter::push(Context ctx)
+{
+    contexts += ctx == Context::object ? 'o' : 'a';
+    hasMember += '0';
+    ++_depth;
+}
+
+void
+JsonWriter::pop(Context ctx)
+{
+    if (_depth == 0)
+        fatal("JsonWriter: close with no open container");
+    const char want = ctx == Context::object ? 'o' : 'a';
+    if (contexts.back() != want)
+        fatal("JsonWriter: mismatched container close");
+    const bool had = hasMember.back() == '1';
+    contexts.pop_back();
+    hasMember.pop_back();
+    --_depth;
+    if (had)
+        newlineIndent();
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (_depth == 0)
+        return; // top-level value
+    if (contexts.back() == 'o') {
+        if (!keyPending)
+            fatal("JsonWriter: object member written without a key");
+        keyPending = false;
+        return;
+    }
+    if (hasMember.back() == '1')
+        os << ',';
+    hasMember.back() = '1';
+    newlineIndent();
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    if (_depth == 0 || contexts.back() != 'o')
+        fatal("JsonWriter: key() outside an object");
+    if (keyPending)
+        fatal("JsonWriter: two keys in a row ('%s')", name.c_str());
+    if (hasMember.back() == '1')
+        os << ',';
+    hasMember.back() = '1';
+    newlineIndent();
+    os << '"' << escape(name) << "\": ";
+    keyPending = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os << '{';
+    push(Context::object);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    pop(Context::object);
+    os << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os << '[';
+    push(Context::array);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    pop(Context::array);
+    os << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    os << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    os << formatDouble(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::nullValue()
+{
+    beforeValue();
+    os << "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(const std::string &fragment)
+{
+    beforeValue();
+    os << fragment;
+    return *this;
+}
+
+} // namespace capcheck::json

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal streaming JSON writer. The harness serializes run results
+ * and sweep manifests with it, and the statistics package dumps
+ * machine-readable stat trees through it. Output is deterministic:
+ * keys appear in the order they are written and doubles are formatted
+ * with a fixed round-trippable format, so two identical result sets
+ * serialize to byte-identical documents regardless of thread count.
+ */
+
+#ifndef CAPCHECK_BASE_JSON_HH
+#define CAPCHECK_BASE_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace capcheck::json
+{
+
+/** Escape @p s for use inside a JSON string literal (no quotes). */
+std::string escape(const std::string &s);
+
+/** Format a double the way the writer does (round-trippable, stable). */
+std::string formatDouble(double v);
+
+/**
+ * Streaming writer with automatic commas and indentation. Usage:
+ *
+ *     JsonWriter w(os);
+ *     w.beginObject();
+ *     w.key("cycles").value(std::uint64_t{42});
+ *     w.key("nested").beginArray();
+ *     w.value("a").value("b");
+ *     w.endArray();
+ *     w.endObject();
+ *
+ * Structural misuse (e.g. a value without a key inside an object)
+ * triggers fatal(); the writer is a serialization tool, not a parser.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, unsigned indent_width = 2);
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Write the key of the next object member. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(unsigned v) { return value(std::uint64_t{v}); }
+    JsonWriter &value(int v) { return value(std::int64_t{v}); }
+    JsonWriter &nullValue();
+
+    /** Splice a pre-rendered JSON fragment in value position. */
+    JsonWriter &rawValue(const std::string &fragment);
+
+    /** Depth of currently open containers (0 once the doc is done). */
+    unsigned depth() const { return _depth; }
+
+  private:
+    enum class Context : std::uint8_t { object, array };
+
+    void beforeValue();
+    void beforeContainer(Context ctx);
+    void newlineIndent();
+    void push(Context ctx);
+    void pop(Context ctx);
+
+    std::ostream &os;
+    unsigned indentWidth;
+    unsigned _depth = 0;
+    /** One entry per open container. */
+    std::string contexts;
+    /** Member/element already written at each open level. */
+    std::string hasMember;
+    bool keyPending = false;
+};
+
+} // namespace capcheck::json
+
+#endif // CAPCHECK_BASE_JSON_HH

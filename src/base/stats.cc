@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <limits>
 
+#include "base/json.hh"
 #include "base/logging.hh"
 
 namespace capcheck::stats
@@ -19,6 +20,12 @@ void
 Scalar::dump(std::ostream &os) const
 {
     os << _value;
+}
+
+void
+Scalar::dumpJson(json::JsonWriter &w) const
+{
+    w.value(_value);
 }
 
 Distribution::Distribution(StatGroup &group, std::string name,
@@ -72,6 +79,23 @@ Distribution::dump(std::ostream &os) const
 }
 
 void
+Distribution::dumpJson(json::JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("samples").value(_samples);
+    w.key("mean").value(mean());
+    w.key("min").value(_minSeen);
+    w.key("max").value(_maxSeen);
+    w.key("underflow").value(underflow);
+    w.key("overflow").value(overflow);
+    w.key("buckets").beginArray();
+    for (const std::uint64_t b : buckets)
+        w.value(b);
+    w.endArray();
+    w.endObject();
+}
+
+void
 Distribution::reset()
 {
     std::fill(buckets.begin(), buckets.end(), 0);
@@ -93,6 +117,12 @@ void
 Formula::dump(std::ostream &os) const
 {
     os << value();
+}
+
+void
+Formula::dumpJson(json::JsonWriter &w) const
+{
+    w.value(value());
 }
 
 StatGroup::StatGroup(std::string name, StatGroup *parent)
@@ -155,6 +185,21 @@ StatGroup::dump(std::ostream &os) const
     }
     for (const auto *child : children)
         child->dump(os);
+}
+
+void
+StatGroup::dumpJson(json::JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto *stat : statList) {
+        w.key(stat->name());
+        stat->dumpJson(w);
+    }
+    for (const auto *child : children) {
+        w.key(child->name());
+        child->dumpJson(w);
+    }
+    w.endObject();
 }
 
 void

@@ -15,6 +15,11 @@
 #include <string>
 #include <vector>
 
+namespace capcheck::json
+{
+class JsonWriter;
+}
+
 namespace capcheck::stats
 {
 
@@ -35,6 +40,9 @@ class StatBase
 
     /** Render the statistic's value(s) into @p os, one line per value. */
     virtual void dump(std::ostream &os) const = 0;
+
+    /** Write the statistic's value(s) as JSON in value position. */
+    virtual void dumpJson(json::JsonWriter &w) const = 0;
 
     /** Reset to the post-construction state. */
     virtual void reset() = 0;
@@ -57,6 +65,7 @@ class Scalar : public StatBase
     double value() const { return _value; }
 
     void dump(std::ostream &os) const override;
+    void dumpJson(json::JsonWriter &w) const override;
     void reset() override { _value = 0; }
 
   private:
@@ -78,6 +87,7 @@ class Distribution : public StatBase
     double maxSeen() const { return _maxSeen; }
 
     void dump(std::ostream &os) const override;
+    void dumpJson(json::JsonWriter &w) const override;
     void reset() override;
 
   private:
@@ -103,6 +113,7 @@ class Formula : public StatBase
     double value() const { return fn ? fn() : 0; }
 
     void dump(std::ostream &os) const override;
+    void dumpJson(json::JsonWriter &w) const override;
     void reset() override {}
 
   private:
@@ -135,6 +146,13 @@ class StatGroup
 
     /** Dump this group's stats and all children, prefixed with paths. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Write the group as a JSON object in value position: one member
+     * per stat ({"value": ..., "desc": ...} leaves) plus one nested
+     * object per child group.
+     */
+    void dumpJson(json::JsonWriter &w) const;
 
     /** Recursively reset all stats. */
     void resetAll();

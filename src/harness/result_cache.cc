@@ -1,0 +1,37 @@
+#include "harness/result_cache.hh"
+
+namespace capcheck::harness
+{
+
+std::optional<system::RunResult>
+ResultCache::lookup(std::uint64_t hash) const
+{
+    std::scoped_lock lock(mtx);
+    const auto it = entries.find(hash);
+    if (it == entries.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+ResultCache::store(std::uint64_t hash, const system::RunResult &result)
+{
+    std::scoped_lock lock(mtx);
+    entries.emplace(hash, result);
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::scoped_lock lock(mtx);
+    return entries.size();
+}
+
+void
+ResultCache::clear()
+{
+    std::scoped_lock lock(mtx);
+    entries.clear();
+}
+
+} // namespace capcheck::harness

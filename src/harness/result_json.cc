@@ -1,0 +1,115 @@
+#include "harness/result_json.hh"
+
+#include <sstream>
+
+namespace capcheck::harness
+{
+
+void
+writeConfigJson(json::JsonWriter &w, const system::SocConfig &cfg)
+{
+    w.beginObject();
+    w.key("mode").value(system::systemModeName(cfg.mode));
+    w.key("provenance").value(
+        capchecker::provenanceName(cfg.provenance));
+    w.key("numInstances").value(cfg.numInstances);
+    w.key("capTableEntries").value(cfg.capTableEntries);
+    w.key("checkCycles").value(std::uint64_t{cfg.checkCycles});
+    w.key("perAccelCheckers").value(cfg.perAccelCheckers);
+    w.key("capCacheEntries").value(cfg.capCacheEntries);
+    w.key("capCacheWalkCycles")
+        .value(std::uint64_t{cfg.capCacheWalkCycles});
+    w.key("memLatency").value(std::uint64_t{cfg.memLatency});
+    w.key("memBytes").value(std::uint64_t{cfg.memBytes});
+    w.key("xbarMaxBurst").value(cfg.xbarMaxBurst);
+    w.key("guardBytes").value(std::uint64_t{cfg.guardBytes});
+    w.key("collectStats").value(cfg.collectStats);
+    w.key("seed").value(std::uint64_t{cfg.seed});
+    w.endObject();
+}
+
+namespace
+{
+
+void
+writeResultFields(json::JsonWriter &w, const system::RunResult &r)
+{
+    w.key("benchmark").value(r.benchmark);
+    w.key("mode").value(system::systemModeName(r.mode));
+    w.key("numTasks").value(r.numTasks);
+    w.key("totalCycles").value(std::uint64_t{r.totalCycles});
+    w.key("driverAllocCycles")
+        .value(std::uint64_t{r.driverAllocCycles});
+    w.key("kernelCycles").value(std::uint64_t{r.kernelCycles});
+    w.key("driverDeallocCycles")
+        .value(std::uint64_t{r.driverDeallocCycles});
+    w.key("initCycles").value(std::uint64_t{r.initCycles});
+    w.key("functionallyCorrect").value(r.functionallyCorrect);
+    w.key("exceptions").value(r.exceptions);
+    w.key("dmaBeats").value(std::uint64_t{r.dmaBeats});
+    w.key("peakTableEntries")
+        .value(std::uint64_t{r.peakTableEntries});
+    if (!r.statsJson.empty())
+        w.key("stats").rawValue(r.statsJson);
+}
+
+} // namespace
+
+void
+writeRunJson(json::JsonWriter &w, const RunRequest &request,
+             const system::RunResult &result)
+{
+    w.beginObject();
+    w.key("requestHash").value(request.hashHex());
+    w.key("benchmarks").beginArray();
+    for (const std::string &b : request.benchmarks)
+        w.value(b);
+    w.endArray();
+    w.key("numTasks").value(request.numTasks);
+    w.key("config");
+    writeConfigJson(w, request.config);
+    w.key("result").beginObject();
+    writeResultFields(w, result);
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+runJson(const RunRequest &request, const system::RunResult &result)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    writeRunJson(w, request, result);
+    os << '\n';
+    return os.str();
+}
+
+std::string
+manifestJson(const std::string &sweep_name,
+             const std::vector<RunOutcome> &outcomes)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("sweep").value(sweep_name);
+    w.key("runs").value(std::uint64_t{outcomes.size()});
+    w.key("entries").beginArray();
+    for (const RunOutcome &o : outcomes) {
+        w.beginObject();
+        w.key("requestHash").value(o.request.hashHex());
+        w.key("label").value(o.request.label());
+        w.key("cacheHit").value(o.cacheHit);
+        w.key("totalCycles")
+            .value(std::uint64_t{o.result.totalCycles});
+        w.key("functionallyCorrect")
+            .value(o.result.functionallyCorrect);
+        w.key("exceptions").value(o.result.exceptions);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+} // namespace capcheck::harness

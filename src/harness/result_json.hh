@@ -1,0 +1,52 @@
+/**
+ * @file
+ * JSON serialization of RunRequest / RunResult pairs and sweep
+ * manifests. Every field written here is a deterministic function of
+ * the request and the simulation outcome — wall-clock metadata stays
+ * in progress lines only — so the files produced by an 8-thread sweep
+ * are byte-identical to a serial one.
+ */
+
+#ifndef CAPCHECK_HARNESS_RESULT_JSON_HH
+#define CAPCHECK_HARNESS_RESULT_JSON_HH
+
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "harness/run_request.hh"
+
+namespace capcheck::harness
+{
+
+/** A request paired with its (possibly cache-served) result. */
+struct RunOutcome
+{
+    RunRequest request;
+    system::RunResult result;
+    /** Served from the result cache instead of a fresh simulation. */
+    bool cacheHit = false;
+    /** Wall time of the simulation in milliseconds; 0 on cache hits.
+     *  Progress-line metadata only — never serialized to JSON. */
+    double wallMillis = 0;
+};
+
+/** Write the full SocConfig as a JSON object in value position. */
+void writeConfigJson(json::JsonWriter &w,
+                     const system::SocConfig &cfg);
+
+/** Write one request + result as a self-describing JSON object. */
+void writeRunJson(json::JsonWriter &w, const RunRequest &request,
+                  const system::RunResult &result);
+
+/** writeRunJson() rendered to a string (the run-<hash>.json body). */
+std::string runJson(const RunRequest &request,
+                    const system::RunResult &result);
+
+/** The manifest document for one named sweep, in submission order. */
+std::string manifestJson(const std::string &sweep_name,
+                         const std::vector<RunOutcome> &outcomes);
+
+} // namespace capcheck::harness
+
+#endif // CAPCHECK_HARNESS_RESULT_JSON_HH

@@ -1,0 +1,173 @@
+#include "harness/run_request.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace capcheck::harness
+{
+
+namespace
+{
+
+/**
+ * FNV-1a, fed field by field with explicit widths so the hash is a
+ * function of the request's *values*, not of struct layout or padding.
+ */
+class FieldHasher
+{
+  public:
+    void
+    u64(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+
+    void u32(std::uint32_t v) { u64(v); }
+    void boolean(bool v) { u64(v ? 1 : 0); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 0x100000001b3ull;
+        }
+    }
+
+    std::uint64_t digest() const { return h; }
+
+  private:
+    std::uint64_t h = 0xcbf29ce484222325ull;
+};
+
+void
+hashConfig(FieldHasher &h, const system::SocConfig &cfg)
+{
+    h.u32(static_cast<std::uint32_t>(cfg.mode));
+    h.u32(static_cast<std::uint32_t>(cfg.provenance));
+    h.u32(cfg.numInstances);
+    h.u32(cfg.capTableEntries);
+    h.u64(cfg.checkCycles);
+    h.boolean(cfg.perAccelCheckers);
+    h.u32(cfg.capCacheEntries);
+    h.u64(cfg.capCacheWalkCycles);
+    h.u64(cfg.memLatency);
+    h.u64(cfg.memBytes);
+    h.u32(cfg.xbarMaxBurst);
+    h.u64(cfg.guardBytes);
+    h.boolean(cfg.collectStats);
+
+    const CpuCostParams &cpu = cfg.cpuCosts;
+    h.u64(cpu.intOp);
+    h.u64(cpu.fpOp);
+    h.u64(cpu.loadHit);
+    h.u64(cpu.storeHit);
+    h.u64(cpu.missPenalty);
+    h.u64(cpu.copyPerWord);
+    h.u32(cpu.cheriTagMissInterval);
+    h.u64(cpu.cheriCapSetup);
+
+    const driver::DriverCostParams &drv = cfg.driverCosts;
+    h.u64(drv.mallocCall);
+    h.u64(drv.freeCall);
+    h.u64(drv.controlRegWrite);
+    h.u64(drv.capDerive);
+    h.u64(drv.pointerSetup);
+    h.u64(drv.iommuMapPerPage);
+    h.u64(drv.iommuUnmapPerPage);
+    h.u64(drv.iopmpRegionSetup);
+    h.u64(drv.scrubPerWord);
+
+    h.u64(cfg.seed);
+}
+
+} // namespace
+
+RunRequest
+RunRequest::single(std::string benchmark, system::SocConfig cfg,
+                   unsigned num_tasks)
+{
+    RunRequest req;
+    req.benchmarks.push_back(std::move(benchmark));
+    req.numTasks = num_tasks != 0 ? num_tasks : cfg.numInstances;
+    req.config = std::move(cfg);
+    return req;
+}
+
+RunRequest
+RunRequest::mixed(std::vector<std::string> benchmarks,
+                  system::SocConfig cfg)
+{
+    if (benchmarks.empty())
+        fatal("RunRequest::mixed: empty benchmark list");
+    RunRequest req;
+    req.numTasks = static_cast<unsigned>(benchmarks.size());
+    req.benchmarks = std::move(benchmarks);
+    req.config = std::move(cfg);
+    return req;
+}
+
+std::uint64_t
+RunRequest::hash() const
+{
+    FieldHasher h;
+    h.u64(benchmarks.size());
+    for (const std::string &b : benchmarks)
+        h.str(b);
+    h.u32(numTasks);
+    hashConfig(h, config);
+    return h.digest();
+}
+
+std::string
+RunRequest::hashHex() const
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash()));
+    return buf;
+}
+
+std::string
+RunRequest::label() const
+{
+    std::string name;
+    if (isMixed()) {
+        name = "mixed[" + std::to_string(benchmarks.size()) + ":" +
+               benchmarks.front() + ",...]";
+    } else {
+        name = benchmarks.front();
+    }
+    return name + " mode=" + system::systemModeName(config.mode) +
+           " tasks=" + std::to_string(numTasks) +
+           " seed=" + std::to_string(config.seed);
+}
+
+system::RunResult
+RunRequest::execute() const
+{
+    if (benchmarks.empty())
+        fatal("RunRequest: no benchmark named");
+    system::SocSystem soc(config);
+    if (isMixed())
+        return soc.runMixed(benchmarks);
+    return soc.runBenchmark(benchmarks.front(), numTasks);
+}
+
+bool
+RunRequest::operator==(const RunRequest &other) const
+{
+    // Value equality via the canonical field serialization: two
+    // requests are the same experiment iff they hash identically and
+    // name the same benchmarks (hash collisions across different
+    // benchmark lists are caught here).
+    return benchmarks == other.benchmarks &&
+           numTasks == other.numTasks && hash() == other.hash();
+}
+
+} // namespace capcheck::harness

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * RunRequest: a value type naming one simulation point — benchmark(s),
+ * full SocConfig, explicit task count — with a stable content hash.
+ * The hash keys the SweepRunner's result cache and the JSON result
+ * files, so two requests with identical parameters are recognized as
+ * the same experiment no matter which harness submitted them.
+ */
+
+#ifndef CAPCHECK_HARNESS_RUN_REQUEST_HH
+#define CAPCHECK_HARNESS_RUN_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/run_result.hh"
+#include "system/soc_system.hh"
+
+namespace capcheck::harness
+{
+
+struct RunRequest
+{
+    /**
+     * One entry: a single-benchmark run (SocSystem::runBenchmark).
+     * Several entries: a mixed system (SocSystem::runMixed) with one
+     * accelerator pool and one task per entry.
+     */
+    std::vector<std::string> benchmarks;
+
+    system::SocConfig config;
+
+    /**
+     * Concurrent task count, always explicit (never the old helper's
+     * silent 0). single() resolves a 0 argument to
+     * config.numInstances — the paper's one-task-per-instance setup —
+     * at construction time, so every stored request states its real
+     * task count and hashes accordingly.
+     */
+    unsigned numTasks = 1;
+
+    /** Build a single-benchmark request (0 tasks = one per instance). */
+    static RunRequest single(std::string benchmark,
+                             system::SocConfig cfg,
+                             unsigned num_tasks = 0);
+
+    /** Build a mixed-system request (one task per named benchmark). */
+    static RunRequest mixed(std::vector<std::string> benchmarks,
+                            system::SocConfig cfg);
+
+    bool isMixed() const { return benchmarks.size() > 1; }
+
+    /**
+     * Stable content hash over every field that influences the
+     * simulation outcome (benchmarks, task count, and the full
+     * SocConfig including cost parameters). Identical across
+     * processes and platforms; used as the result-cache key and in
+     * JSON file names.
+     */
+    std::uint64_t hash() const;
+
+    /** hash() as a fixed-width lowercase hex string. */
+    std::string hashHex() const;
+
+    /** Compact human-readable description for progress lines. */
+    std::string label() const;
+
+    /** Construct a SocSystem for this request and run it. */
+    system::RunResult execute() const;
+
+    bool operator==(const RunRequest &other) const;
+};
+
+} // namespace capcheck::harness
+
+#endif // CAPCHECK_HARNESS_RUN_REQUEST_HH

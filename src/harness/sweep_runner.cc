@@ -1,0 +1,239 @@
+#include "harness/sweep_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "base/logging.hh"
+#include "system/soc_config_builder.hh"
+
+namespace capcheck::harness
+{
+
+namespace
+{
+
+/** One unique simulation point within a batch. */
+struct Job
+{
+    const RunRequest *request = nullptr;
+    system::RunResult result;
+    double wallMillis = 0;
+    bool fromCache = false;
+    /** SimError raised inside the worker, re-thrown on the caller. */
+    std::string error;
+};
+
+} // namespace
+
+SweepRunner::SweepRunner(Options options) : opts(std::move(options))
+{
+    numJobs = opts.jobs != 0 ? opts.jobs
+                             : std::thread::hardware_concurrency();
+    if (numJobs == 0)
+        numJobs = 1;
+}
+
+SweepRunner &
+SweepRunner::shared()
+{
+    static SweepRunner runner{Options{/*jobs=*/1,
+                                      /*cacheEnabled=*/true,
+                                      /*progress=*/nullptr,
+                                      /*jsonDir=*/""}};
+    return runner;
+}
+
+system::RunResult
+SweepRunner::runOne(const RunRequest &request)
+{
+    return run({request}, "single").front().result;
+}
+
+std::vector<RunOutcome>
+SweepRunner::run(const std::vector<RunRequest> &requests,
+                 const std::string &sweep_name)
+{
+    // Fail fast on inconsistent configurations, before any thread
+    // spends minutes simulating a meaningless point.
+    for (const RunRequest &req : requests) {
+        const std::string errors =
+            system::validationErrors(req.config);
+        if (!errors.empty()) {
+            fatal("sweep '%s': invalid request [%s]: %s",
+                  sweep_name.c_str(), req.label().c_str(),
+                  errors.c_str());
+        }
+    }
+
+    // Deduplicate at submission time so cache attribution does not
+    // depend on worker timing: the first occurrence of each hash
+    // simulates (unless a previous batch already cached it), every
+    // later occurrence is a cache hit by construction.
+    std::vector<Job> jobs;
+    std::vector<std::size_t> jobOf(requests.size());
+    std::map<std::uint64_t, std::size_t> firstJob;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const std::uint64_t h = requests[i].hash();
+        const auto it = firstJob.find(h);
+        if (opts.cacheEnabled && it != firstJob.end()) {
+            jobOf[i] = it->second;
+            continue;
+        }
+        Job job;
+        job.request = &requests[i];
+        if (opts.cacheEnabled) {
+            if (auto cached = resultCache.lookup(h)) {
+                job.result = std::move(*cached);
+                job.fromCache = true;
+            }
+            firstJob.emplace(h, jobs.size());
+        }
+        jobOf[i] = jobs.size();
+        jobs.push_back(std::move(job));
+    }
+
+    // Work queue over the jobs that actually need simulating.
+    std::vector<std::size_t> pendingJobs;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (!jobs[j].fromCache)
+            pendingJobs.push_back(j);
+    }
+
+    std::mutex progress_mtx;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    const std::size_t total = pendingJobs.size();
+
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t slot =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (slot >= total)
+                return;
+            Job &job = jobs[pendingJobs[slot]];
+
+            const auto t0 = std::chrono::steady_clock::now();
+            try {
+                // The worker owns this SocSystem outright; the event
+                // queue inside never crosses a thread boundary.
+                job.result = job.request->execute();
+            } catch (const SimError &e) {
+                job.error = e.what();
+            }
+            const auto t1 = std::chrono::steady_clock::now();
+            job.wallMillis =
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
+
+            const std::size_t finished =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (opts.progress) {
+                std::scoped_lock lock(progress_mtx);
+                *opts.progress
+                    << "[" << finished << "/" << total << "] "
+                    << job.request->label()
+                    << " cycles=" << job.result.totalCycles
+                    << " cache=miss wall="
+                    << static_cast<std::uint64_t>(job.wallMillis)
+                    << "ms\n";
+                opts.progress->flush();
+            }
+        }
+    };
+
+    const unsigned nthreads = static_cast<unsigned>(
+        std::min<std::size_t>(numJobs, total));
+    if (nthreads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(nthreads);
+        for (unsigned t = 0; t < nthreads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    for (const std::size_t j : pendingJobs) {
+        if (!jobs[j].error.empty()) {
+            fatal("sweep '%s': request [%s] failed: %s",
+                  sweep_name.c_str(), jobs[j].request->label().c_str(),
+                  jobs[j].error.c_str());
+        }
+    }
+
+    // Publish fresh results to the cache and tally counters.
+    for (const std::size_t j : pendingJobs) {
+        if (opts.cacheEnabled)
+            resultCache.store(jobs[j].request->hash(), jobs[j].result);
+        ++executed;
+    }
+
+    // Assemble outcomes in input order.
+    std::vector<RunOutcome> outcomes;
+    outcomes.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const Job &job = jobs[jobOf[i]];
+        RunOutcome out;
+        out.request = requests[i];
+        out.result = job.result;
+        out.cacheHit = job.fromCache || job.request != &requests[i];
+        out.wallMillis = out.cacheHit ? 0 : job.wallMillis;
+        if (out.cacheHit)
+            ++hits;
+        if (opts.progress && out.cacheHit) {
+            *opts.progress << "[cache] " << requests[i].label()
+                           << " cycles=" << out.result.totalCycles
+                           << " cache=hit\n";
+        }
+        outcomes.push_back(std::move(out));
+    }
+
+    if (!opts.jsonDir.empty())
+        writeJson(outcomes, sweep_name);
+
+    return outcomes;
+}
+
+void
+SweepRunner::writeJson(const std::vector<RunOutcome> &outcomes,
+                       const std::string &sweep_name) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(opts.jsonDir, ec);
+    if (ec) {
+        warn("sweep '%s': cannot create json dir '%s': %s",
+             sweep_name.c_str(), opts.jsonDir.c_str(),
+             ec.message().c_str());
+        return;
+    }
+
+    for (const RunOutcome &o : outcomes) {
+        const fs::path file =
+            fs::path(opts.jsonDir) /
+            ("run-" + o.request.hashHex() + ".json");
+        std::ofstream os(file);
+        if (!os) {
+            warn("cannot write '%s'", file.string().c_str());
+            continue;
+        }
+        os << runJson(o.request, o.result);
+    }
+
+    const fs::path manifest =
+        fs::path(opts.jsonDir) / (sweep_name + ".manifest.json");
+    std::ofstream os(manifest);
+    if (!os) {
+        warn("cannot write '%s'", manifest.string().c_str());
+        return;
+    }
+    os << manifestJson(sweep_name, outcomes);
+}
+
+} // namespace capcheck::harness

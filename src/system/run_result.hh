@@ -44,11 +44,20 @@ struct RunResult
     /** Platform statistics dump (when SocConfig::collectStats). */
     std::string statsText;
 
+    /** The same statistics as a JSON object (when collectStats). */
+    std::string statsJson;
+
     /** This run's speedup relative to @p baseline (Fig. 7). */
     double speedupVs(const RunResult &baseline) const;
 
     /** Fractional overhead of this run relative to @p baseline. */
     double overheadVs(const RunResult &baseline) const;
+
+    /**
+     * Field-by-field equality; the determinism contract is that a
+     * request re-run on any thread count compares equal.
+     */
+    bool operator==(const RunResult &other) const = default;
 };
 
 double geometricMean(const std::vector<double> &values);

@@ -6,6 +6,7 @@
 #include "accel/accelerator.hh"
 #include "accel/trace_accessor.hh"
 #include "accel/trace_player.hh"
+#include "base/json.hh"
 #include "base/logging.hh"
 #include "cheri/captree.hh"
 #include "driver/driver.hh"
@@ -342,6 +343,11 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
         std::ostringstream os;
         stat_root.dump(os);
         result.statsText = os.str();
+
+        std::ostringstream js;
+        json::JsonWriter jw(js);
+        stat_root.dumpJson(jw);
+        result.statsJson = js.str();
     }
     return result;
 }

@@ -1,6 +1,7 @@
 #include "workloads/kernel.hh"
 
 #include <map>
+#include <mutex>
 
 #include "base/logging.hh"
 #include "workloads/kernels/kernels.hh"
@@ -65,7 +66,12 @@ createKernel(const std::string &name)
 const KernelSpec &
 kernelSpec(const std::string &name)
 {
+    // Concurrent SweepRunner workers all resolve specs through this
+    // cache; map nodes are stable, so the lock only guards the
+    // lookup/insert, not the returned reference.
+    static std::mutex cache_mtx;
     static std::map<std::string, KernelSpec> cache;
+    std::scoped_lock lock(cache_mtx);
     auto it = cache.find(name);
     if (it == cache.end())
         it = cache.emplace(name, createKernel(name)->spec()).first;

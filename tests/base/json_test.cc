@@ -1,0 +1,85 @@
+/** @file Tests for the streaming JSON writer. */
+
+#include <cstdint>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "base/json.hh"
+
+using namespace capcheck;
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(json::escape("gemm_ncubed mode=ccpu+caccel"),
+              "gemm_ncubed mode=ccpu+caccel");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json::escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(json::escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonFormatDouble, RoundTripsAndIsStable)
+{
+    EXPECT_EQ(json::formatDouble(0.0), "0");
+    EXPECT_EQ(json::formatDouble(2.0), "2");
+    EXPECT_EQ(json::formatDouble(0.5), "0.5");
+    // Same value, same string — the determinism contract.
+    EXPECT_EQ(json::formatDouble(1.0 / 3.0),
+              json::formatDouble(1.0 / 3.0));
+    const double third = std::stod(json::formatDouble(1.0 / 3.0));
+    EXPECT_DOUBLE_EQ(third, 1.0 / 3.0);
+}
+
+TEST(JsonWriter, WritesNestedDocument)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("cycles").value(std::uint64_t{42});
+    w.key("ok").value(true);
+    w.key("name").value("aes");
+    w.key("list").beginArray();
+    w.value(1).value(2);
+    w.endArray();
+    w.key("nothing").nullValue();
+    w.endObject();
+
+    EXPECT_EQ(w.depth(), 0u);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"cycles\": 42"), std::string::npos);
+    EXPECT_NE(doc.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"aes\""), std::string::npos);
+    EXPECT_NE(doc.find("\"nothing\": null"), std::string::npos);
+    // Array elements separated by a comma.
+    EXPECT_NE(doc.find("1,"), std::string::npos);
+}
+
+TEST(JsonWriter, RawValueSplicesFragment)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("stats").rawValue("{\"a\": 1}");
+    w.endObject();
+    EXPECT_NE(os.str().find("\"stats\": {\"a\": 1}"),
+              std::string::npos);
+}
+
+TEST(JsonWriter, IdenticalInputsSerializeIdentically)
+{
+    auto render = [] {
+        std::ostringstream os;
+        json::JsonWriter w(os);
+        w.beginObject();
+        w.key("pi").value(3.14159);
+        w.key("tag").value("x\"y");
+        w.endObject();
+        return os.str();
+    };
+    EXPECT_EQ(render(), render());
+}

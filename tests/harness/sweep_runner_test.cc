@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the SweepRunner: parallel determinism (the paper grid must
+ * produce identical numbers at any --jobs), result caching, submission
+ * -order dedup, JSON output, and failure propagation from workers.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "harness/result_json.hh"
+#include "harness/sweep_runner.hh"
+#include "system/soc_config_builder.hh"
+
+using namespace capcheck;
+using namespace capcheck::harness;
+using system::SocConfig;
+using system::SocConfigBuilder;
+using system::SystemMode;
+
+namespace
+{
+
+SocConfig
+smallConfig(SystemMode mode, std::uint64_t seed = 1)
+{
+    return SocConfigBuilder()
+        .mode(mode)
+        .numInstances(2)
+        .seed(seed)
+        .build();
+}
+
+/** A small but non-trivial batch: distinct seeds, modes, and a mix. */
+std::vector<RunRequest>
+sampleBatch()
+{
+    std::vector<RunRequest> requests;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        requests.push_back(RunRequest::single(
+            "aes", smallConfig(SystemMode::ccpuAccel, seed)));
+        requests.push_back(RunRequest::single(
+            "aes", smallConfig(SystemMode::ccpuCaccel, seed)));
+    }
+    requests.push_back(RunRequest::mixed(
+        {"aes", "backprop"}, smallConfig(SystemMode::ccpuCaccel)));
+    return requests;
+}
+
+SweepRunner::Options
+silent(unsigned jobs, bool cache = true)
+{
+    SweepRunner::Options opts;
+    opts.jobs = jobs;
+    opts.cacheEnabled = cache;
+    opts.progress = nullptr;
+    return opts;
+}
+
+} // namespace
+
+TEST(SweepRunner, SerialAndParallelResultsAreBitIdentical)
+{
+    const auto requests = sampleBatch();
+
+    SweepRunner serial(silent(1, /*cache=*/false));
+    SweepRunner parallel(silent(8, /*cache=*/false));
+
+    const auto a = serial.run(requests, "determinism");
+    const auto b = parallel.run(requests, "determinism");
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // RunResult::operator== compares every field, including the
+        // serialized statistics — bit-identical, not just same cycles.
+        EXPECT_EQ(a[i].result, b[i].result) << requests[i].label();
+        // And the serialized JSON (which omits wall time) matches
+        // byte for byte.
+        EXPECT_EQ(runJson(a[i].request, a[i].result),
+                  runJson(b[i].request, b[i].result));
+    }
+    EXPECT_EQ(serial.simulationsExecuted(),
+              parallel.simulationsExecuted());
+}
+
+TEST(SweepRunner, RepeatedRequestIsServedFromCache)
+{
+    SweepRunner runner(silent(2));
+    const auto req =
+        RunRequest::single("aes", smallConfig(SystemMode::ccpuAccel));
+
+    const auto first = runner.run({req}, "cache");
+    EXPECT_FALSE(first.front().cacheHit);
+    EXPECT_EQ(runner.simulationsExecuted(), 1u);
+
+    const auto second = runner.run({req}, "cache");
+    EXPECT_TRUE(second.front().cacheHit);
+    EXPECT_EQ(runner.simulationsExecuted(), 1u) << "re-simulated a "
+                                                   "cached request";
+    EXPECT_EQ(runner.cacheHits(), 1u);
+    EXPECT_EQ(first.front().result, second.front().result);
+}
+
+TEST(SweepRunner, DuplicatesInOneBatchSimulateOnce)
+{
+    SweepRunner runner(silent(4));
+    const auto req =
+        RunRequest::single("aes", smallConfig(SystemMode::ccpuAccel));
+
+    const auto outcomes =
+        runner.run({req, req, req, req}, "dedup");
+    ASSERT_EQ(outcomes.size(), 4u);
+    EXPECT_EQ(runner.simulationsExecuted(), 1u);
+    EXPECT_FALSE(outcomes[0].cacheHit);
+    for (std::size_t i = 1; i < outcomes.size(); ++i) {
+        EXPECT_TRUE(outcomes[i].cacheHit) << i;
+        EXPECT_EQ(outcomes[i].result, outcomes[0].result);
+    }
+}
+
+TEST(SweepRunner, CacheDisabledReSimulates)
+{
+    SweepRunner runner(silent(1, /*cache=*/false));
+    const auto req =
+        RunRequest::single("aes", smallConfig(SystemMode::ccpuAccel));
+
+    runner.run({req, req}, "nocache");
+    EXPECT_EQ(runner.simulationsExecuted(), 2u);
+    EXPECT_EQ(runner.cacheHits(), 0u);
+}
+
+TEST(SweepRunner, RejectsInvalidRequestBeforeSimulating)
+{
+    SweepRunner runner(silent(1));
+    SocConfig bad = smallConfig(SystemMode::ccpuAccel);
+    bad.numInstances = 0;
+    std::vector<RunRequest> requests = {
+        RunRequest::single("aes", bad, 1)};
+    EXPECT_THROW(runner.run(requests, "invalid"), SimError);
+    EXPECT_EQ(runner.simulationsExecuted(), 0u);
+}
+
+TEST(SweepRunner, WorkerFailurePropagatesToCaller)
+{
+    SweepRunner runner(silent(2));
+    std::vector<RunRequest> requests = {
+        RunRequest::single("aes", smallConfig(SystemMode::ccpuAccel)),
+        RunRequest::single("no_such_kernel",
+                           smallConfig(SystemMode::ccpuAccel))};
+    EXPECT_THROW(runner.run(requests, "failing"), SimError);
+}
+
+TEST(SweepRunner, ProgressLinesNameEveryRun)
+{
+    std::ostringstream progress;
+    SweepRunner::Options opts = silent(1);
+    opts.progress = &progress;
+    SweepRunner runner(opts);
+
+    const auto req = RunRequest::single(
+        "aes", smallConfig(SystemMode::ccpuAccel));
+    runner.run({req, req}, "progress");
+
+    const std::string lines = progress.str();
+    EXPECT_NE(lines.find("aes"), std::string::npos);
+    EXPECT_NE(lines.find("cache=miss"), std::string::npos);
+    EXPECT_NE(lines.find("cache=hit"), std::string::npos);
+    EXPECT_NE(lines.find("wall="), std::string::npos);
+}
+
+TEST(SweepRunner, WritesRunFilesAndManifest)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "capcheck_sweep_test";
+    fs::remove_all(dir);
+
+    SweepRunner::Options opts = silent(2);
+    opts.jsonDir = dir.string();
+    SweepRunner runner(opts);
+
+    const auto requests = std::vector<RunRequest>{
+        RunRequest::single("aes", smallConfig(SystemMode::ccpuAccel)),
+        RunRequest::single("aes",
+                           smallConfig(SystemMode::ccpuCaccel))};
+    const auto outcomes = runner.run(requests, "json_sweep");
+
+    for (const auto &out : outcomes) {
+        const fs::path file =
+            dir / ("run-" + out.request.hashHex() + ".json");
+        ASSERT_TRUE(fs::exists(file)) << file;
+
+        std::ifstream is(file);
+        std::stringstream body;
+        body << is.rdbuf();
+        EXPECT_EQ(body.str(), runJson(out.request, out.result));
+        EXPECT_NE(body.str().find("\"requestHash\""),
+                  std::string::npos);
+        EXPECT_EQ(body.str().find("wall"), std::string::npos)
+            << "wall-clock leaked into deterministic JSON";
+    }
+
+    const fs::path manifest = dir / "json_sweep.manifest.json";
+    ASSERT_TRUE(fs::exists(manifest));
+    std::ifstream is(manifest);
+    std::stringstream body;
+    body << is.rdbuf();
+    EXPECT_NE(body.str().find("\"sweep\": \"json_sweep\""),
+              std::string::npos);
+    EXPECT_NE(body.str().find("\"runs\": 2"), std::string::npos);
+
+    fs::remove_all(dir);
+}
+
+TEST(SweepRunner, SharedRunnerCachesAcrossCalls)
+{
+    auto &runner = SweepRunner::shared();
+    const auto req = RunRequest::single(
+        "fft_strided", smallConfig(SystemMode::cpuAccel, 12345));
+
+    const auto before = runner.simulationsExecuted();
+    const auto r1 = runner.runOne(req);
+    EXPECT_EQ(runner.simulationsExecuted(), before + 1);
+    const auto r2 = runner.runOne(req);
+    EXPECT_EQ(runner.simulationsExecuted(), before + 1);
+    EXPECT_EQ(r1, r2);
+}

@@ -1,0 +1,126 @@
+/** @file Tests for SocConfigBuilder and SocConfig validation. */
+
+#include <stdexcept>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "system/soc_config_builder.hh"
+
+using namespace capcheck;
+using namespace capcheck::system;
+
+TEST(SocConfigValidate, DefaultConfigIsValid)
+{
+    EXPECT_TRUE(validateSocConfig(SocConfig{}).empty());
+    EXPECT_TRUE(validationErrors(SocConfig{}).empty());
+}
+
+TEST(SocConfigValidate, AggregateInitializationStillWorks)
+{
+    // SocConfig must stay an aggregate: existing call sites initialize
+    // it with plain braces and direct member assignment.
+    static_assert(std::is_aggregate_v<SocConfig>,
+                  "SocConfig must remain an aggregate");
+    SocConfig cfg{};
+    cfg.mode = SystemMode::ccpuCaccel;
+    cfg.numInstances = 4;
+    cfg.seed = 7;
+    EXPECT_TRUE(validateSocConfig(cfg).empty());
+    EXPECT_EQ(cfg.numInstances, 4u);
+    EXPECT_EQ(cfg.seed, 7u);
+}
+
+TEST(SocConfigValidate, RejectsZeroInstances)
+{
+    SocConfig cfg;
+    cfg.numInstances = 0;
+    const auto errors = validateSocConfig(cfg);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors.front().find("numInstances"), std::string::npos);
+}
+
+TEST(SocConfigValidate, RejectsCheckerModeWithoutTable)
+{
+    SocConfig cfg;
+    cfg.mode = SystemMode::ccpuCaccel;
+    cfg.capTableEntries = 0;
+    EXPECT_FALSE(validateSocConfig(cfg).empty());
+}
+
+TEST(SocConfigValidate, RejectsCacheLargerThanTable)
+{
+    SocConfig cfg;
+    cfg.mode = SystemMode::ccpuCaccel;
+    cfg.capTableEntries = 16;
+    cfg.capCacheEntries = 32;
+    EXPECT_FALSE(validateSocConfig(cfg).empty());
+}
+
+TEST(SocConfigValidate, RejectsCheckerKnobsWithoutChecker)
+{
+    SocConfig cfg;
+    cfg.mode = SystemMode::ccpuAccel; // no CapChecker in this mode
+    cfg.perAccelCheckers = true;
+    EXPECT_FALSE(validateSocConfig(cfg).empty());
+
+    SocConfig cache_cfg;
+    cache_cfg.mode = SystemMode::cpu;
+    cache_cfg.capCacheEntries = 8;
+    EXPECT_FALSE(validateSocConfig(cache_cfg).empty());
+}
+
+TEST(SocConfigValidate, ReportsEveryProblemAtOnce)
+{
+    SocConfig cfg;
+    cfg.numInstances = 0;
+    cfg.memLatency = 0;
+    cfg.xbarMaxBurst = 0;
+    EXPECT_GE(validateSocConfig(cfg).size(), 3u);
+}
+
+TEST(SocConfigBuilder, FluentChainProducesExpectedConfig)
+{
+    const SocConfig cfg = SocConfigBuilder()
+                              .mode(SystemMode::ccpuCaccel)
+                              .numInstances(4)
+                              .capTableEntries(64)
+                              .checkCycles(2)
+                              .seed(99)
+                              .build();
+    EXPECT_EQ(cfg.mode, SystemMode::ccpuCaccel);
+    EXPECT_EQ(cfg.numInstances, 4u);
+    EXPECT_EQ(cfg.capTableEntries, 64u);
+    EXPECT_EQ(cfg.checkCycles, 2u);
+    EXPECT_EQ(cfg.seed, 99u);
+}
+
+TEST(SocConfigBuilder, BuildThrowsWithActionableMessage)
+{
+    try {
+        SocConfigBuilder().numInstances(0).build();
+        FAIL() << "build() accepted an invalid config";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("numInstances"),
+                  std::string::npos);
+    }
+}
+
+TEST(SocConfigBuilder, StartsFromExistingConfig)
+{
+    SocConfig base;
+    base.mode = SystemMode::ccpuCaccel;
+    base.seed = 5;
+    const SocConfig derived =
+        SocConfigBuilder(base).capTableEntries(32).build();
+    EXPECT_EQ(derived.mode, SystemMode::ccpuCaccel);
+    EXPECT_EQ(derived.seed, 5u);
+    EXPECT_EQ(derived.capTableEntries, 32u);
+}
+
+TEST(SocConfigBuilder, PeekReturnsUnvalidatedState)
+{
+    SocConfigBuilder b;
+    b.numInstances(0);
+    EXPECT_EQ(b.peek().numInstances, 0u); // no throw until build()
+}
