@@ -1,11 +1,14 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction harnesses: the
- * standard sweep command line (--jobs/--json-dir/--no-cache/--quiet),
- * SweepRunner construction, and config shorthands. All simulation
- * points flow through harness::RunRequest lists submitted to a
- * SweepRunner, so every harness parallelizes with --jobs and shares
- * the in-process result cache.
+ * standard sweep command line (--jobs/--json-dir/--no-cache/--quiet
+ * plus the observability options --trace-out/--sample-interval/
+ * --audit-log and --debug-flags), SweepRunner construction, and
+ * config shorthands. All simulation points flow through
+ * harness::RunRequest lists submitted to a SweepRunner, so every
+ * harness parallelizes with --jobs, shares the in-process result
+ * cache, and can emit Chrome traces, stat time-series and security
+ * audit logs for every simulated point.
  */
 
 #ifndef CAPCHECK_BENCH_COMMON_HH
@@ -17,6 +20,7 @@
 #include <string>
 
 #include "base/table.hh"
+#include "base/trace.hh"
 #include "harness/sweep_runner.hh"
 #include "system/soc_config_builder.hh"
 #include "system/soc_system.hh"
@@ -39,6 +43,13 @@ struct BenchOptions
     std::string jsonDir; ///< --json-dir DIR ("" = no JSON output)
     bool cache = true;   ///< --no-cache disables result reuse
     bool quiet = false;  ///< --quiet silences progress lines
+
+    /** --trace-out DIR: per-run Chrome trace timelines. */
+    std::string traceOut;
+    /** --sample-interval N: stat snapshots every N cycles. */
+    Cycles sampleInterval = 0;
+    /** --audit-log DIR: per-run JSONL security audit logs. */
+    std::string auditLog;
 };
 
 inline void
@@ -47,15 +58,27 @@ printUsage(const char *argv0)
     std::cout
         << "usage: " << argv0
         << " [--jobs N] [--json-dir DIR] [--no-cache] [--quiet]\n"
-        << "  --jobs N       worker threads (default: all cores)\n"
-        << "  --json-dir DIR write run-<hash>.json + manifest there\n"
-        << "  --no-cache     re-simulate repeated requests\n"
-        << "  --quiet        no per-run progress lines on stderr\n";
+        << "       [--trace-out DIR] [--sample-interval N]"
+        << " [--audit-log DIR] [--debug-flags LIST]\n"
+        << "  --jobs N            worker threads (default: all cores)\n"
+        << "  --json-dir DIR      write run-<hash>.json + manifest\n"
+        << "  --no-cache          re-simulate repeated requests\n"
+        << "  --quiet             no per-run progress lines on stderr\n"
+        << "  --trace-out DIR     write run-<hash>.trace.json Chrome\n"
+        << "                      trace timelines (Perfetto-loadable)\n"
+        << "  --sample-interval N snapshot stats every N cycles into\n"
+        << "                      run-<hash>.samples.json\n"
+        << "  --audit-log DIR     write run-<hash>.audit.jsonl\n"
+        << "                      security audit logs\n"
+        << "  --debug-flags LIST  enable debug flags (? lists them)\n";
 }
 
 inline BenchOptions
 parseOptions(int argc, char **argv)
 {
+    // Honour CAPCHECK_DEBUG in every harness, not just the examples.
+    trace::DebugFlag::applyEnvironment();
+
     BenchOptions opts;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -77,6 +100,35 @@ parseOptions(int argc, char **argv)
             opts.jsonDir = arg.substr(std::strlen("--json-dir="));
         } else if (arg == "--no-cache") {
             opts.cache = false;
+        } else if (arg == "--trace-out") {
+            opts.traceOut = next();
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            opts.traceOut = arg.substr(std::strlen("--trace-out="));
+        } else if (arg == "--sample-interval") {
+            opts.sampleInterval =
+                static_cast<Cycles>(std::atoll(next()));
+        } else if (arg.rfind("--sample-interval=", 0) == 0) {
+            opts.sampleInterval = static_cast<Cycles>(std::atoll(
+                arg.c_str() + std::strlen("--sample-interval=")));
+        } else if (arg == "--audit-log") {
+            opts.auditLog = next();
+        } else if (arg.rfind("--audit-log=", 0) == 0) {
+            opts.auditLog = arg.substr(std::strlen("--audit-log="));
+        } else if (arg == "--debug-flags") {
+            const std::string list = next();
+            if (list == "?") {
+                trace::DebugFlag::listFlags(std::cout);
+                std::exit(0);
+            }
+            trace::DebugFlag::applyList(list);
+        } else if (arg.rfind("--debug-flags=", 0) == 0) {
+            const std::string list =
+                arg.substr(std::strlen("--debug-flags="));
+            if (list == "?") {
+                trace::DebugFlag::listFlags(std::cout);
+                std::exit(0);
+            }
+            trace::DebugFlag::applyList(list);
         } else if (arg == "--quiet" || arg == "-q") {
             opts.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -99,6 +151,9 @@ toRunnerOptions(const BenchOptions &opts)
     ro.cacheEnabled = opts.cache;
     ro.progress = opts.quiet ? nullptr : &std::cerr;
     ro.jsonDir = opts.jsonDir;
+    ro.traceDir = opts.traceOut;
+    ro.sampleInterval = opts.sampleInterval;
+    ro.auditDir = opts.auditLog;
     return ro;
 }
 

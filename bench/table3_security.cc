@@ -8,19 +8,78 @@
  * forging demonstration end to end.
  */
 
+#include <filesystem>
 #include <iostream>
 
 #include "base/table.hh"
 #include "bench/common.hh"
+#include "obs/audit.hh"
 #include "security/scenarios.hh"
 
 using namespace capcheck;
 using namespace capcheck::security;
 
+namespace
+{
+
+/**
+ * Re-run the executable attacks against one CapChecker scheme and
+ * dump every violation as a JSONL audit log. Violations are captured
+ * through the checker's exception probe at deny time — some scenarios
+ * (use-after-free) rebuild the lab mid-attack, which would discard
+ * records harvested from the exception log afterwards. The lab is
+ * untimed, so records are stamped cycle 0; record order is attack
+ * order and therefore deterministic.
+ */
+void
+writeAuditLog(SchemeKind kind, const std::string &dir)
+{
+    obs::AuditLog log; // outlives the lab's probe listeners
+    AttackLab lab(kind);
+
+    const capchecker::CapChecker *attached = nullptr;
+    const auto ensure_listener = [&]() {
+        auto *checker =
+            dynamic_cast<capchecker::CapChecker *>(&lab.checker());
+        if (!checker || checker == attached)
+            return;
+        const capchecker::Provenance mode = checker->provenance();
+        checker->exceptionProbe().attach(
+            [&log, mode](const capchecker::ExceptionRecord &rec) {
+                log.record(0, rec, mode);
+            });
+        attached = checker;
+    };
+
+    using Attack = AttackOutcome (AttackLab::*)();
+    constexpr Attack attacks[] = {
+        &AttackLab::bufferOverflow,    &AttackLab::bufferUnderflow,
+        &AttackLab::writeWhatWhere,    &AttackLab::indexValidation,
+        &AttackLab::integerOverflow,   &AttackLab::incorrectLength,
+        &AttackLab::untrustedPointer,  &AttackLab::capabilityForging,
+        &AttackLab::useAfterFree,      &AttackLab::fixedAddressPointer,
+    };
+    for (const Attack attack : attacks) {
+        ensure_listener(); // the lab may have rebuilt its checker
+        (lab.*attack)();
+    }
+
+    const std::string file = dir + "/table3-" +
+                             std::string(schemeName(kind)) +
+                             ".audit.jsonl";
+    log.writeFile(file);
+    std::cout << "  " << file << ": " << log.size()
+              << " violations recorded\n";
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    bench::parseOptions(argc, argv); // uniform CLI; no simulations here
+    // Uniform CLI; no timed simulations here, but --audit-log selects
+    // JSONL violation logs from the executable attacks below.
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
     bench::printHeader("Table 3: CWE memory-weakness matrix", "Table 3");
     std::cout << "PG/TA/OB = protection at page/task/object "
                  "granularity; X = unprotected; ok = defeated; NA = not "
@@ -57,6 +116,14 @@ main(int argc, char **argv)
                           ? "forgery DEFEATED"
                           : "forgery SUCCEEDED")
                   << " (" << outcome.note << ")\n";
+    }
+
+    if (!opts.auditLog.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.auditLog, ec);
+        std::cout << "\n--- Security audit logs (JSONL) ---\n";
+        writeAuditLog(SchemeKind::capCoarse, opts.auditLog);
+        writeAuditLog(SchemeKind::capFine, opts.auditLog);
     }
 
     std::cout << "\nPaper expectation: only the two CapChecker modes "

@@ -57,6 +57,8 @@ TracePlayer::start(Cycles when)
         panic("%s: started twice", name().c_str());
     phase = Phase::streamIn;
     busyUntil = when + spec.timing.startupCycles;
+    _startProbe.notify(
+        TaskLifecycleEvent{taskId, &name(), when, false});
     const Cycles now = curCycle();
     activate(busyUntil > now ? busyUntil - now : 1);
 }
@@ -112,6 +114,8 @@ TracePlayer::finish()
 {
     phase = Phase::done;
     _finishCycle = curCycle();
+    _finishProbe.notify(
+        TaskLifecycleEvent{taskId, &name(), _finishCycle, _failed});
     if (doneFn)
         doneFn();
 }

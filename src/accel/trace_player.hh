@@ -14,12 +14,24 @@
 #include <vector>
 
 #include "accel/trace.hh"
+#include "base/probe.hh"
 #include "cpu/cpu_model.hh" // BufferMapping
 #include "mem/interconnect.hh"
 #include "workloads/buffer_spec.hh"
 
 namespace capcheck::accel
 {
+
+/** Payload of the task start/finish probes. */
+struct TaskLifecycleEvent
+{
+    TaskId task;
+    /** Instance name ("gemm_ncubed#3"); borrowed for the call. */
+    const std::string *name;
+    Cycles cycle;
+    /** Finish only: the instance aborted on a denied beat. */
+    bool failed;
+};
 
 /** How the player encodes object provenance into requests. */
 struct AddressingMode
@@ -53,6 +65,17 @@ class TracePlayer : public TickingObject, public ResponseHandler
 
     /** Invoked once when the instance finishes (or aborts). */
     void onDone(std::function<void()> fn) { doneFn = std::move(fn); }
+
+    /** @{ Task lifecycle probes (start() and completion/abort). */
+    probe::ProbePoint<TaskLifecycleEvent> &startProbe()
+    {
+        return _startProbe;
+    }
+    probe::ProbePoint<TaskLifecycleEvent> &finishProbe()
+    {
+        return _finishProbe;
+    }
+    /** @} */
 
     void handleResponse(const MemResponse &resp) override;
     bool tick() override;
@@ -103,6 +126,10 @@ class TracePlayer : public TickingObject, public ResponseHandler
 
     stats::Scalar beatsIssued;
     stats::Scalar deniedResponses;
+
+    probe::ProbePoint<TaskLifecycleEvent> _startProbe{"accel.taskStart"};
+    probe::ProbePoint<TaskLifecycleEvent> _finishProbe{
+        "accel.taskFinish"};
 };
 
 } // namespace capcheck::accel

@@ -1,0 +1,12 @@
+#include "base/probe.hh"
+
+namespace capcheck::probe
+{
+
+ProbePointBase::ProbePointBase(std::string name) : _name(std::move(name))
+{
+}
+
+ProbePointBase::~ProbePointBase() = default;
+
+} // namespace capcheck::probe

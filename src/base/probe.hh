@@ -1,0 +1,138 @@
+/**
+ * @file
+ * gem5-style typed probe points. A component exposes ProbePoint<T>
+ * members at interesting micro-architectural moments (a check decided,
+ * a task finished, a cycle advanced); observers attach listeners
+ * without the component knowing who is watching. The design goal is
+ * near-zero cost when nothing is attached: notify() is a single
+ * empty-vector branch, and the payload expression is never evaluated
+ * through std::function machinery on the fast path.
+ *
+ * Listeners fire in attach order and may be detached individually by
+ * the handle attach() returned. Probe points are simulation-local (one
+ * SocSystem per thread owns its components), so no locking is needed.
+ */
+
+#ifndef CAPCHECK_BASE_PROBE_HH
+#define CAPCHECK_BASE_PROBE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace capcheck::probe
+{
+
+/** Handle identifying one attached listener (for detach()). */
+using ListenerHandle = std::uint64_t;
+
+/** Sentinel returned by helpers when nothing was attached. */
+inline constexpr ListenerHandle invalidListener = 0;
+
+/**
+ * Type-erased base so diagnostics can enumerate a component's probe
+ * points uniformly (name + listener count) without knowing T.
+ */
+class ProbePointBase
+{
+  public:
+    explicit ProbePointBase(std::string name);
+    virtual ~ProbePointBase();
+
+    ProbePointBase(const ProbePointBase &) = delete;
+    ProbePointBase &operator=(const ProbePointBase &) = delete;
+
+    /**
+     * Movable so components owning probe points stay movable;
+     * listeners (and their handles) follow the point to its new home.
+     */
+    ProbePointBase(ProbePointBase &&) = default;
+    ProbePointBase &operator=(ProbePointBase &&) = default;
+
+    const std::string &name() const { return _name; }
+
+    /** Number of currently attached listeners. */
+    virtual std::size_t numListeners() const = 0;
+
+  private:
+    std::string _name;
+};
+
+/**
+ * A typed probe point. The component calls notify(payload) at the
+ * instrumented moment; every attached listener receives a const
+ * reference to the payload. Payloads are borrowed for the duration of
+ * the call only — listeners must copy what they keep.
+ */
+template <typename Arg>
+class ProbePoint : public ProbePointBase
+{
+  public:
+    using Callback = std::function<void(const Arg &)>;
+
+    using ProbePointBase::ProbePointBase;
+
+    /**
+     * Attach @p cb; listeners fire in attach order.
+     * @return a handle for detach().
+     */
+    ListenerHandle
+    attach(Callback cb)
+    {
+        const ListenerHandle handle = nextHandle++;
+        entries.push_back(Entry{handle, std::move(cb)});
+        return handle;
+    }
+
+    /**
+     * Detach the listener behind @p handle.
+     * @return false when the handle is unknown (already detached).
+     */
+    bool
+    detach(ListenerHandle handle)
+    {
+        for (auto it = entries.begin(); it != entries.end(); ++it) {
+            if (it->handle == handle) {
+                entries.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Drop every listener. */
+    void detachAll() { entries.clear(); }
+
+    std::size_t numListeners() const override { return entries.size(); }
+
+    /** True when at least one listener is attached. */
+    bool connected() const { return !entries.empty(); }
+
+    /**
+     * Fire the probe. One branch when nothing is attached — cheap
+     * enough for per-cycle and per-request call sites.
+     */
+    void
+    notify(const Arg &arg) const
+    {
+        if (entries.empty())
+            return;
+        for (const Entry &entry : entries)
+            entry.cb(arg);
+    }
+
+  private:
+    struct Entry
+    {
+        ListenerHandle handle;
+        Callback cb;
+    };
+
+    std::vector<Entry> entries;
+    ListenerHandle nextHandle = 1;
+};
+
+} // namespace capcheck::probe
+
+#endif // CAPCHECK_BASE_PROBE_HH

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 
 namespace capcheck::trace
 {
@@ -44,12 +45,17 @@ DebugFlag::enableByName(const std::string &name)
 }
 
 void
-DebugFlag::applyEnvironment()
+DebugFlag::listFlags(std::ostream &os)
 {
-    const char *env = std::getenv("CAPCHECK_DEBUG");
-    if (!env)
-        return;
-    std::string list(env);
+    os << "registered debug flags:\n";
+    for (const DebugFlag *flag : registry())
+        os << "  " << flag->_name << "\n";
+    os << "  All (enables every flag)\n";
+}
+
+void
+DebugFlag::applyList(const std::string &list)
+{
     std::size_t start = 0;
     while (start <= list.size()) {
         const std::size_t comma = list.find(',', start);
@@ -57,12 +63,26 @@ DebugFlag::applyEnvironment()
             list.substr(start, comma == std::string::npos
                                    ? std::string::npos
                                    : comma - start);
-        if (!name.empty() && !enableByName(name))
+        if (name == "?") {
+            std::ostringstream os;
+            listFlags(os);
+            std::fputs(os.str().c_str(), stderr);
+        } else if (!name.empty() && !enableByName(name)) {
             warn("unknown debug flag '%s'", name.c_str());
+        }
         if (comma == std::string::npos)
             break;
         start = comma + 1;
     }
+}
+
+void
+DebugFlag::applyEnvironment()
+{
+    const char *env = std::getenv("CAPCHECK_DEBUG");
+    if (!env)
+        return;
+    applyList(env);
 }
 
 void

@@ -4,12 +4,14 @@
  * macros gated on named debug flags; flags are enabled
  * programmatically or through the CAPCHECK_DEBUG environment variable
  * (comma-separated list, e.g. CAPCHECK_DEBUG=CapChecker,Driver).
+ * Unknown names warn; CAPCHECK_DEBUG=? lists every registered flag.
  * Disabled flags cost one branch.
  */
 
 #ifndef CAPCHECK_BASE_TRACE_HH
 #define CAPCHECK_BASE_TRACE_HH
 
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -39,7 +41,17 @@ class DebugFlag
     /** Enable a flag by name (or "All"). @return false if unknown. */
     static bool enableByName(const std::string &name);
 
-    /** Apply the CAPCHECK_DEBUG environment variable. */
+    /** Print every registered flag, one per line. */
+    static void listFlags(std::ostream &os);
+
+    /**
+     * Apply a comma-separated flag list ("CapChecker,Driver", "All").
+     * Unknown names warn; a "?" entry lists the registered flags on
+     * stderr instead of enabling anything.
+     */
+    static void applyList(const std::string &list);
+
+    /** applyList() on the CAPCHECK_DEBUG environment variable. */
     static void applyEnvironment();
 
   private:

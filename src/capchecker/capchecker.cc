@@ -41,7 +41,9 @@ CapChecker::evictTask(TaskId task)
 {
     if (cache)
         cache->invalidateTask(task);
-    return table.evictTask(task);
+    const unsigned freed = table.evictTask(task);
+    _evictProbe.notify(CapEvictEvent{task, freed});
+    return freed;
 }
 
 Addr
@@ -56,13 +58,22 @@ CapChecker::accelAddress(ObjectId obj, Addr base) const
 
 protect::CheckResult
 CapChecker::deny(const MemRequest &req, TaskId task, ObjectId obj,
-                 Addr addr, std::string why)
+                 Addr addr, std::string why,
+                 const CapTable::Entry *entry)
 {
     ++_denied;
     exceptionFlag = true;
     table.markException(task, obj);
-    exceptions.push_back(
-        ExceptionRecord{task, obj, addr, req.cmd, why});
+    ExceptionRecord record{task, obj, addr, req.cmd, why};
+    if (entry) {
+        record.capValid = true;
+        record.capBase = entry->decoded.base();
+        record.capLength =
+            static_cast<std::uint64_t>(entry->decoded.length());
+        record.capPerms = entry->decoded.perms();
+    }
+    exceptions.push_back(record);
+    _exceptionProbe.notify(exceptions.back());
     CAPCHECK_DPRINTF(debug::capchecker,
                      "DENY task=%u obj=%u %s 0x%llx+%u: %s", task, obj,
                      memCmdName(req.cmd),
@@ -76,6 +87,13 @@ CapChecker::check(const MemRequest &req)
 {
     ++_checks;
     lastWalk = 0;
+    _checkStartProbe.notify(CheckStartedEvent{&req});
+
+    const auto decided = [&](protect::CheckResult result) {
+        _checkResultProbe.notify(
+            CheckResultEvent{&req, result.allowed, lastWalk});
+        return result;
+    };
 
     // Recover provenance: which object does this access intend?
     ObjectId obj;
@@ -84,8 +102,9 @@ CapChecker::check(const MemRequest &req)
         obj = req.object;
         addr = req.addr;
         if (obj == invalidObjectId) {
-            return deny(req, req.task, obj, addr,
-                        "capchecker: request carries no object metadata");
+            return decided(deny(
+                req, req.task, obj, addr,
+                "capchecker: request carries no object metadata"));
         }
     } else {
         obj = static_cast<ObjectId>(req.addr >> coarseAddrBits);
@@ -94,14 +113,20 @@ CapChecker::check(const MemRequest &req)
 
     const CapTable::Entry *entry = table.lookup(req.task, obj);
     if (!entry) {
-        return deny(req, req.task, obj, addr,
-                    "capchecker: no capability for (task, object)");
+        return decided(
+            deny(req, req.task, obj, addr,
+                 "capchecker: no capability for (task, object)"));
     }
 
     // With a cached CapChecker the entry may need fetching from the
     // in-memory table first.
-    if (cache)
+    if (cache) {
         lastWalk = cache->access(req.task, obj);
+        if (lastWalk == 0)
+            _cacheHitProbe.notify(CapCacheEvent{req.task, obj});
+        else
+            _cacheMissProbe.notify(CapCacheEvent{req.task, obj});
+    }
 
     const cheri::AccessKind kind = req.cmd == MemCmd::write
                                        ? cheri::AccessKind::store
@@ -109,11 +134,12 @@ CapChecker::check(const MemRequest &req)
     const cheri::CapFault fault =
         entry->decoded.checkAccess(kind, addr, req.size);
     if (fault != cheri::CapFault::none) {
-        return deny(req, req.task, obj, addr,
-                    std::string("capchecker: ") +
-                        cheri::capFaultName(fault));
+        return decided(deny(req, req.task, obj, addr,
+                            std::string("capchecker: ") +
+                                cheri::capFaultName(fault),
+                            entry));
     }
-    return protect::CheckResult::allow();
+    return decided(protect::CheckResult::allow());
 }
 
 protect::SchemeProperties

@@ -18,6 +18,7 @@
 
 #include <memory>
 
+#include "base/probe.hh"
 #include "capchecker/cap_cache.hh"
 #include "capchecker/cap_table.hh"
 #include "protect/checker.hh"
@@ -36,7 +37,7 @@ enum class Provenance
 
 const char *provenanceName(Provenance mode);
 
-/** A recorded violation, for software tracing. */
+/** A recorded violation, for software tracing and the audit log. */
 struct ExceptionRecord
 {
     TaskId task = invalidTaskId;
@@ -44,6 +45,42 @@ struct ExceptionRecord
     Addr addr = 0;
     MemCmd cmd = MemCmd::read;
     std::string reason;
+    /** @{ Bounds/permissions of the matched capability; capValid is
+     *  false when no entry existed for (task, object). */
+    bool capValid = false;
+    Addr capBase = 0;
+    std::uint64_t capLength = 0;
+    std::uint32_t capPerms = 0;
+    /** @} */
+};
+
+/** Payload of the check-start probe. */
+struct CheckStartedEvent
+{
+    const MemRequest *req;
+};
+
+/** Payload of the check-result probe. */
+struct CheckResultEvent
+{
+    const MemRequest *req;
+    bool allowed;
+    /** Table-walk cycles this check added (cap-cache miss). */
+    Cycles extraLatency;
+};
+
+/** Payload of the capability-cache hit/miss probes. */
+struct CapCacheEvent
+{
+    TaskId task;
+    ObjectId object;
+};
+
+/** Payload of the eviction probe (driver revokes a task). */
+struct CapEvictEvent
+{
+    TaskId task;
+    unsigned entriesFreed;
 };
 
 class CapChecker : public protect::ProtectionChecker
@@ -115,13 +152,41 @@ class CapChecker : public protect::ProtectionChecker
     std::uint64_t checksPerformed() const { return _checks; }
     std::uint64_t checksDenied() const { return _denied; }
 
+    /** @{ Probe points (near-zero cost with no listener attached). */
+    probe::ProbePoint<CheckStartedEvent> &checkStartProbe()
+    {
+        return _checkStartProbe;
+    }
+    probe::ProbePoint<CheckResultEvent> &checkResultProbe()
+    {
+        return _checkResultProbe;
+    }
+    probe::ProbePoint<ExceptionRecord> &exceptionProbe()
+    {
+        return _exceptionProbe;
+    }
+    probe::ProbePoint<CapCacheEvent> &cacheHitProbe()
+    {
+        return _cacheHitProbe;
+    }
+    probe::ProbePoint<CapCacheEvent> &cacheMissProbe()
+    {
+        return _cacheMissProbe;
+    }
+    probe::ProbePoint<CapEvictEvent> &evictProbe()
+    {
+        return _evictProbe;
+    }
+    /** @} */
+
     protect::SchemeProperties properties() const override;
 
     std::string name() const override;
 
   private:
     protect::CheckResult deny(const MemRequest &req, TaskId task,
-                              ObjectId obj, Addr addr, std::string why);
+                              ObjectId obj, Addr addr, std::string why,
+                              const CapTable::Entry *entry = nullptr);
 
     Params params;
     CapTable table;
@@ -131,6 +196,18 @@ class CapChecker : public protect::ProtectionChecker
     std::vector<ExceptionRecord> exceptions;
     std::uint64_t _checks = 0;
     std::uint64_t _denied = 0;
+
+    probe::ProbePoint<CheckStartedEvent> _checkStartProbe{
+        "capchecker.checkStart"};
+    probe::ProbePoint<CheckResultEvent> _checkResultProbe{
+        "capchecker.checkResult"};
+    probe::ProbePoint<ExceptionRecord> _exceptionProbe{
+        "capchecker.exception"};
+    probe::ProbePoint<CapCacheEvent> _cacheHitProbe{
+        "capchecker.cacheHit"};
+    probe::ProbePoint<CapCacheEvent> _cacheMissProbe{
+        "capchecker.cacheMiss"};
+    probe::ProbePoint<CapEvictEvent> _evictProbe{"capchecker.evict"};
 };
 
 } // namespace capcheck::capchecker

@@ -145,6 +145,8 @@ Driver::allocateTask(accel::Accelerator &accel, TaskId task,
         handle.accelBases.push_back(accel_base);
         cycles += params.controlRegWrite;
 
+        _installProbe.notify(
+            CapInstallEvent{task, obj, *base, def.size, cycles});
         handle.buffers.push_back(mapping);
     }
 
@@ -217,6 +219,9 @@ Driver::deallocateTask(TaskHandle &handle, bool had_exception)
     CAPCHECK_DPRINTF(debug::driver, "dealloc task %u%s", handle.task,
                      had_exception ? " (exception: buffers scrubbed)"
                                    : "");
+    _revokeProbe.notify(CapRevokeEvent{
+        handle.task, static_cast<unsigned>(handle.buffers.size()),
+        had_exception, cycles});
     handle.buffers.clear();
     handle.bufferNodes.clear();
     _cycles += cycles;

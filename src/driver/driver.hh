@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "accel/accelerator.hh"
+#include "base/probe.hh"
 #include "capchecker/capchecker.hh"
 #include "capchecker/mmio.hh"
 #include "cheri/captree.hh"
@@ -45,6 +46,27 @@ struct DriverCostParams
     Cycles iommuUnmapPerPage = 15;
     Cycles iopmpRegionSetup = 8;
     Cycles scrubPerWord = 1;      ///< clearing leaked data on exception
+};
+
+/** Payload of the capability-install probe (one per buffer). */
+struct CapInstallEvent
+{
+    TaskId task;
+    ObjectId object;
+    Addr base;
+    std::uint64_t size;
+    /** Driver cycles consumed so far on this allocation. */
+    Cycles driverCycles;
+};
+
+/** Payload of the capability-revoke probe (one per task teardown). */
+struct CapRevokeEvent
+{
+    TaskId task;
+    unsigned buffers;
+    bool hadException;
+    /** Driver cycles the teardown consumed. */
+    Cycles driverCycles;
 };
 
 /** A live accelerator task, as the driver tracks it. */
@@ -101,6 +123,17 @@ class Driver
     cheri::CapTree &capTree() { return tree; }
     const DriverCostParams &costs() const { return params; }
 
+    /** @{ Probe points for capability lifecycle observation. */
+    probe::ProbePoint<CapInstallEvent> &installProbe()
+    {
+        return _installProbe;
+    }
+    probe::ProbePoint<CapRevokeEvent> &revokeProbe()
+    {
+        return _revokeProbe;
+    }
+    /** @} */
+
   private:
     std::uint32_t permsFor(workloads::BufferAccess access) const;
 
@@ -114,6 +147,10 @@ class Driver
     protect::Iopmp *iopmp;
     DriverCostParams params;
     Cycles _cycles = 0;
+
+    probe::ProbePoint<CapInstallEvent> _installProbe{
+        "driver.capInstall"};
+    probe::ProbePoint<CapRevokeEvent> _revokeProbe{"driver.capRevoke"};
 };
 
 } // namespace capcheck::driver

@@ -84,9 +84,18 @@ runJson(const RunRequest &request, const system::RunResult &result)
     return os.str();
 }
 
+double
+SweepProfile::utilization() const
+{
+    if (workers == 0 || sweepWallMillis <= 0)
+        return 0;
+    return simWallMillis / (sweepWallMillis * workers);
+}
+
 std::string
 manifestJson(const std::string &sweep_name,
-             const std::vector<RunOutcome> &outcomes)
+             const std::vector<RunOutcome> &outcomes,
+             const SweepProfile *profile)
 {
     std::ostringstream os;
     json::JsonWriter w(os);
@@ -104,9 +113,21 @@ manifestJson(const std::string &sweep_name,
         w.key("functionallyCorrect")
             .value(o.result.functionallyCorrect);
         w.key("exceptions").value(o.result.exceptions);
+        if (profile)
+            w.key("wallMillis").value(o.wallMillis);
         w.endObject();
     }
     w.endArray();
+    if (profile) {
+        w.key("profile").beginObject();
+        w.key("workers").value(profile->workers);
+        w.key("executed").value(std::uint64_t{profile->executed});
+        w.key("cacheHits").value(std::uint64_t{profile->cacheHits});
+        w.key("simWallMillis").value(profile->simWallMillis);
+        w.key("sweepWallMillis").value(profile->sweepWallMillis);
+        w.key("workerUtilization").value(profile->utilization());
+        w.endObject();
+    }
     w.endObject();
     os << '\n';
     return os.str();

@@ -1,10 +1,12 @@
 /**
  * @file
  * JSON serialization of RunRequest / RunResult pairs and sweep
- * manifests. Every field written here is a deterministic function of
- * the request and the simulation outcome — wall-clock metadata stays
- * in progress lines only — so the files produced by an 8-thread sweep
- * are byte-identical to a serial one.
+ * manifests. Every per-run field written here is a deterministic
+ * function of the request and the simulation outcome, so the
+ * run-<hash>.json files produced by an 8-thread sweep are
+ * byte-identical to a serial one. The manifest may additionally carry
+ * an explicitly non-deterministic "profile" block (wall-clock and
+ * worker-utilization metadata) when the caller supplies one.
  */
 
 #ifndef CAPCHECK_HARNESS_RESULT_JSON_HH
@@ -27,7 +29,8 @@ struct RunOutcome
     /** Served from the result cache instead of a fresh simulation. */
     bool cacheHit = false;
     /** Wall time of the simulation in milliseconds; 0 on cache hits.
-     *  Progress-line metadata only — never serialized to JSON. */
+     *  Appears in progress lines and the manifest's profile block,
+     *  never in run-<hash>.json. */
     double wallMillis = 0;
 };
 
@@ -43,9 +46,39 @@ void writeRunJson(json::JsonWriter &w, const RunRequest &request,
 std::string runJson(const RunRequest &request,
                     const system::RunResult &result);
 
-/** The manifest document for one named sweep, in submission order. */
+/**
+ * Host-side execution profile of one sweep batch. Everything in here
+ * is wall-clock metadata: useful for tuning --jobs, excluded from the
+ * determinism contract.
+ */
+struct SweepProfile
+{
+    /** Worker threads the batch actually used. */
+    unsigned workers = 0;
+    /** Fresh simulations (cache misses) in the batch. */
+    std::uint64_t executed = 0;
+    /** Requests served from the result cache. */
+    std::uint64_t cacheHits = 0;
+    /** Sum of per-simulation wall times (all workers). */
+    double simWallMillis = 0;
+    /** Wall-clock of the whole batch, submission to last join. */
+    double sweepWallMillis = 0;
+
+    /**
+     * simWall / (sweepWall * workers): 1.0 means every worker
+     * simulated the whole time.
+     */
+    double utilization() const;
+};
+
+/**
+ * The manifest document for one named sweep, in submission order.
+ * With a @p profile, each entry gains its wall time and the document
+ * gains a "profile" block (both non-deterministic).
+ */
 std::string manifestJson(const std::string &sweep_name,
-                         const std::vector<RunOutcome> &outcomes);
+                         const std::vector<RunOutcome> &outcomes,
+                         const SweepProfile *profile = nullptr);
 
 } // namespace capcheck::harness
 

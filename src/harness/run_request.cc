@@ -151,9 +151,16 @@ RunRequest::label() const
 system::RunResult
 RunRequest::execute() const
 {
+    return execute(obs::ObsOptions{});
+}
+
+system::RunResult
+RunRequest::execute(const obs::ObsOptions &obs_opts) const
+{
     if (benchmarks.empty())
         fatal("RunRequest: no benchmark named");
     system::SocSystem soc(config);
+    soc.setObsOptions(obs_opts);
     if (isMixed())
         return soc.runMixed(benchmarks);
     return soc.runBenchmark(benchmarks.front(), numTasks);

@@ -69,6 +69,13 @@ struct RunRequest
     /** Construct a SocSystem for this request and run it. */
     system::RunResult execute() const;
 
+    /**
+     * execute() with observability outputs (Chrome trace, stat
+     * samples, audit log) enabled for the run. The files depend only
+     * on the request and simulated time, never on host threading.
+     */
+    system::RunResult execute(const obs::ObsOptions &obs_opts) const;
+
     bool operator==(const RunRequest &other) const;
 };
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -54,10 +55,32 @@ SweepRunner::runOne(const RunRequest &request)
     return run({request}, "single").front().result;
 }
 
+obs::ObsOptions
+SweepRunner::obsOptionsFor(const RunRequest &request) const
+{
+    obs::ObsOptions oo;
+    const std::string hex = request.hashHex();
+    if (!opts.traceDir.empty())
+        oo.traceFile = opts.traceDir + "/run-" + hex + ".trace.json";
+    if (opts.sampleInterval > 0) {
+        const std::string &dir =
+            !opts.traceDir.empty() ? opts.traceDir : opts.jsonDir;
+        if (!dir.empty()) {
+            oo.samplesFile = dir + "/run-" + hex + ".samples.json";
+            oo.sampleInterval = opts.sampleInterval;
+        }
+    }
+    if (!opts.auditDir.empty())
+        oo.auditFile = opts.auditDir + "/run-" + hex + ".audit.jsonl";
+    return oo;
+}
+
 std::vector<RunOutcome>
 SweepRunner::run(const std::vector<RunRequest> &requests,
                  const std::string &sweep_name)
 {
+    const auto batch_t0 = std::chrono::steady_clock::now();
+
     // Fail fast on inconsistent configurations, before any thread
     // spends minutes simulating a meaningless point.
     for (const RunRequest &req : requests) {
@@ -104,6 +127,26 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
             pendingJobs.push_back(j);
     }
 
+    // Observability output directories must exist before any worker
+    // tries to write into them.
+    {
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        for (const std::string *dir : {&opts.traceDir, &opts.auditDir}) {
+            if (dir->empty())
+                continue;
+            fs::create_directories(*dir, ec);
+            if (ec) {
+                warn("sweep '%s': cannot create dir '%s': %s",
+                     sweep_name.c_str(), dir->c_str(),
+                     ec.message().c_str());
+            }
+        }
+        if (opts.sampleInterval > 0 && opts.traceDir.empty() &&
+            !opts.jsonDir.empty())
+            fs::create_directories(opts.jsonDir, ec);
+    }
+
     std::mutex progress_mtx;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
@@ -121,7 +164,8 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
             try {
                 // The worker owns this SocSystem outright; the event
                 // queue inside never crosses a thread boundary.
-                job.result = job.request->execute();
+                job.result = job.request->execute(
+                    obsOptionsFor(*job.request));
             } catch (const SimError &e) {
                 job.error = e.what();
             }
@@ -194,15 +238,42 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
         outcomes.push_back(std::move(out));
     }
 
+    SweepProfile profile;
+    profile.workers = nthreads == 0 ? 1 : nthreads;
+    profile.executed = total;
+    profile.cacheHits = requests.size() - total;
+    for (const std::size_t j : pendingJobs)
+        profile.simWallMillis += jobs[j].wallMillis;
+    profile.sweepWallMillis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - batch_t0)
+            .count();
+
+    if (opts.progress) {
+        char util[16];
+        std::snprintf(util, sizeof(util), "%.2f",
+                      profile.utilization());
+        *opts.progress << "[sweep " << sweep_name << "] "
+                       << requests.size() << " requests: "
+                       << profile.executed << " executed, "
+                       << profile.cacheHits << " cached, wall="
+                       << static_cast<std::uint64_t>(
+                              profile.sweepWallMillis)
+                       << "ms, jobs=" << profile.workers
+                       << ", utilization=" << util << "\n";
+        opts.progress->flush();
+    }
+
     if (!opts.jsonDir.empty())
-        writeJson(outcomes, sweep_name);
+        writeJson(outcomes, sweep_name, profile);
 
     return outcomes;
 }
 
 void
 SweepRunner::writeJson(const std::vector<RunOutcome> &outcomes,
-                       const std::string &sweep_name) const
+                       const std::string &sweep_name,
+                       const SweepProfile &profile) const
 {
     namespace fs = std::filesystem;
     std::error_code ec;
@@ -233,7 +304,7 @@ SweepRunner::writeJson(const std::vector<RunOutcome> &outcomes,
         warn("cannot write '%s'", manifest.string().c_str());
         return;
     }
-    os << manifestJson(sweep_name, outcomes);
+    os << manifestJson(sweep_name, outcomes, &profile);
 }
 
 } // namespace capcheck::harness

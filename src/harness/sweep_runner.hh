@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "base/types.hh"
 #include "harness/result_cache.hh"
 #include "harness/result_json.hh"
 #include "harness/run_request.hh"
@@ -47,6 +48,21 @@ class SweepRunner
         /** Directory for run-<hash>.json and <sweep>.manifest.json;
          *  empty = no JSON output. Created on demand. */
         std::string jsonDir;
+
+        /** Directory for per-run Chrome traces
+         *  (run-<hash>.trace.json); empty = no tracing. Only fresh
+         *  simulations produce files — cache hits reuse the original
+         *  run's outputs, which are byte-identical by construction. */
+        std::string traceDir;
+
+        /** Cycles between per-run stat samples
+         *  (run-<hash>.samples.json, in traceDir or else jsonDir);
+         *  0 = sampling off. */
+        Cycles sampleInterval = 0;
+
+        /** Directory for per-run JSONL security audit logs
+         *  (run-<hash>.audit.jsonl); empty = no audit logs. */
+        std::string auditDir;
     };
 
     SweepRunner() : SweepRunner(Options{}) {}
@@ -85,7 +101,11 @@ class SweepRunner
 
   private:
     void writeJson(const std::vector<RunOutcome> &outcomes,
-                   const std::string &sweep_name) const;
+                   const std::string &sweep_name,
+                   const SweepProfile &profile) const;
+
+    /** Observability outputs for one request, keyed by its hash. */
+    obs::ObsOptions obsOptionsFor(const RunRequest &request) const;
 
     Options opts;
     unsigned numJobs = 1;

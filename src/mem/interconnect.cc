@@ -63,6 +63,7 @@ AxiInterconnect::tick()
         if (downstream.tryAccept(*slot.pending)) {
             ++grants;
             --burstLeft;
+            _grantProbe.notify(*slot.pending);
             slot.pending.reset();
         } else {
             ++stallCycles;
@@ -79,6 +80,7 @@ AxiInterconnect::tick()
             any_pending = true;
             if (downstream.tryAccept(*slot.pending)) {
                 ++grants;
+                _grantProbe.notify(*slot.pending);
                 slot.pending.reset();
                 rrNext = (port + 1) % masters.size();
                 if (maxBurst > 1) {

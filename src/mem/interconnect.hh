@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/probe.hh"
 #include "base/stats.hh"
 #include "mem/packet.hh"
 #include "sim/clocked.hh"
@@ -61,6 +62,9 @@ class AxiInterconnect : public TickingObject, public ResponseHandler
         return static_cast<std::uint64_t>(grants.value());
     }
 
+    /** Fired when arbitration grants a request onto the bus. */
+    probe::ProbePoint<MemRequest> &grantProbe() { return _grantProbe; }
+
   private:
     struct MasterSlot
     {
@@ -77,6 +81,8 @@ class AxiInterconnect : public TickingObject, public ResponseHandler
 
     stats::Scalar grants;
     stats::Scalar stallCycles;
+
+    probe::ProbePoint<MemRequest> _grantProbe{"xbar.grant"};
 };
 
 } // namespace capcheck

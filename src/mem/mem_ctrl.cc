@@ -31,6 +31,7 @@ MemoryController::tryAccept(const MemRequest &req)
         ++readBeats;
     else
         ++writeBeats;
+    _acceptProbe.notify(req);
 
     MemResponse resp;
     resp.id = req.id;
@@ -48,6 +49,7 @@ MemoryController::deliver()
     if (!upstream)
         panic("MemoryController: no upstream response handler set");
     while (!pipeline.empty() && pipeline.front().due <= curCycle()) {
+        _respondProbe.notify(pipeline.front().resp);
         upstream->handleResponse(pipeline.front().resp);
         pipeline.pop_front();
     }

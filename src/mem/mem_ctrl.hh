@@ -11,6 +11,7 @@
 
 #include <deque>
 
+#include "base/probe.hh"
 #include "base/stats.hh"
 #include "mem/packet.hh"
 #include "sim/clocked.hh"
@@ -39,6 +40,15 @@ class MemoryController : public SimObject, public TimingConsumer
     requestsServed() const
     {
         return static_cast<std::uint64_t>(served.value());
+    }
+
+    /** Fired when a request enters the controller pipeline. */
+    probe::ProbePoint<MemRequest> &acceptProbe() { return _acceptProbe; }
+
+    /** Fired when a response leaves toward the interconnect. */
+    probe::ProbePoint<MemResponse> &respondProbe()
+    {
+        return _respondProbe;
     }
 
   private:
@@ -75,6 +85,9 @@ class MemoryController : public SimObject, public TimingConsumer
     stats::Scalar served;
     stats::Scalar readBeats;
     stats::Scalar writeBeats;
+
+    probe::ProbePoint<MemRequest> _acceptProbe{"memctrl.accept"};
+    probe::ProbePoint<MemResponse> _respondProbe{"memctrl.respond"};
 };
 
 } // namespace capcheck

@@ -1,0 +1,68 @@
+#include "obs/audit.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "mem/packet.hh"
+
+namespace capcheck::obs
+{
+
+namespace
+{
+
+std::string
+hex(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+} // namespace
+
+void
+AuditLog::record(Cycles cycle, const capchecker::ExceptionRecord &rec,
+                 capchecker::Provenance mode)
+{
+    // Hand-formatted: JsonWriter pretty-prints, but JSONL needs one
+    // compact object per line.
+    std::ostringstream os;
+    os << "{\"cycle\":" << cycle << ",\"task\":" << rec.task
+       << ",\"object\":" << rec.object << ",\"cmd\":\""
+       << memCmdName(rec.cmd) << "\",\"addr\":\"" << hex(rec.addr)
+       << "\",\"reason\":\"" << json::escape(rec.reason) << "\"";
+    if (rec.capValid) {
+        os << ",\"capBase\":\"" << hex(rec.capBase)
+           << "\",\"capLength\":" << rec.capLength << ",\"capPerms\":\""
+           << hex(rec.capPerms) << "\"";
+    } else {
+        os << ",\"capBase\":null,\"capLength\":null,\"capPerms\":null";
+    }
+    os << ",\"provenance\":\"" << capchecker::provenanceName(mode)
+       << "\"}";
+    lines.push_back(os.str());
+}
+
+void
+AuditLog::write(std::ostream &os) const
+{
+    for (const std::string &line : lines)
+        os << line << "\n";
+}
+
+bool
+AuditLog::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("audit log: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    write(os);
+    return os.good();
+}
+
+} // namespace capcheck::obs

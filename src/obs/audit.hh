@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Security audit log: every CapChecker ExceptionRecord becomes one
+ * line of JSONL (one compact JSON object per line), recording when
+ * (simulated cycle), who (task), what (object, address, command), why
+ * (reason, the matched capability's bounds and permissions) and under
+ * which provenance mode the violation was caught. JSONL keeps the log
+ * greppable and streamable into any log pipeline.
+ */
+
+#ifndef CAPCHECK_OBS_AUDIT_HH
+#define CAPCHECK_OBS_AUDIT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "capchecker/capchecker.hh"
+
+namespace capcheck::obs
+{
+
+class AuditLog
+{
+  public:
+    /** Append one record, stamped with simulated @p cycle. */
+    void record(Cycles cycle, const capchecker::ExceptionRecord &rec,
+                capchecker::Provenance mode);
+
+    std::size_t size() const { return lines.size(); }
+
+    /** The rendered JSONL lines, in record order (no newlines). */
+    const std::vector<std::string> &records() const { return lines; }
+
+    void write(std::ostream &os) const;
+
+    /** write() into @p path. @return false on I/O failure (warns). */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::vector<std::string> lines;
+};
+
+} // namespace capcheck::obs
+
+#endif // CAPCHECK_OBS_AUDIT_HH

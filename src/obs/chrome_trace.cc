@@ -1,0 +1,93 @@
+#include "obs/chrome_trace.hh"
+
+#include <fstream>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+
+namespace capcheck::obs
+{
+
+unsigned
+ChromeTrace::addTrack(const std::string &name)
+{
+    tracks.push_back(name);
+    return static_cast<unsigned>(tracks.size() - 1);
+}
+
+void
+ChromeTrace::duration(unsigned track, const std::string &name,
+                      const std::string &category, Cycles start,
+                      Cycles dur, const std::string &args_json)
+{
+    events.push_back(
+        Event{'X', track, start, dur, name, category, args_json});
+}
+
+void
+ChromeTrace::instant(unsigned track, const std::string &name,
+                     const std::string &category, Cycles ts,
+                     const std::string &args_json)
+{
+    events.push_back(Event{'i', track, ts, 0, name, category, args_json});
+}
+
+void
+ChromeTrace::counter(unsigned track, const std::string &name, Cycles ts,
+                     const std::string &series_json)
+{
+    events.push_back(Event{'C', track, ts, 0, name, "", series_json});
+}
+
+void
+ChromeTrace::write(std::ostream &os) const
+{
+    // The array-of-events form, one event per line: compact, diffable,
+    // and loadable by both chrome://tracing and Perfetto. The viewers
+    // interpret "ts"/"dur" as microseconds; we emit simulated cycles.
+    os << "[\n";
+    bool first = true;
+    const auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << tid << ",\"args\":{\"name\":\""
+           << json::escape(tracks[tid]) << "\"}}";
+    }
+
+    for (const Event &ev : events) {
+        sep();
+        os << "{\"name\":\"" << json::escape(ev.name) << "\",\"ph\":\""
+           << ev.phase << "\"";
+        if (!ev.category.empty())
+            os << ",\"cat\":\"" << json::escape(ev.category) << "\"";
+        os << ",\"pid\":1,\"tid\":" << ev.track << ",\"ts\":" << ev.ts;
+        if (ev.phase == 'X')
+            os << ",\"dur\":" << ev.dur;
+        if (ev.phase == 'i')
+            os << ",\"s\":\"t\"";
+        if (!ev.args.empty())
+            os << ",\"args\":" << ev.args;
+        os << "}";
+    }
+    os << "\n]\n";
+}
+
+bool
+ChromeTrace::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("chrome trace: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    write(os);
+    return os.good();
+}
+
+} // namespace capcheck::obs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Chrome trace-event timeline builder. Collects duration ("X"),
+ * instant ("i") and counter ("C") events in simulated-cycle time and
+ * serializes them as the JSON array-of-events form that
+ * chrome://tracing and Perfetto load directly. One "thread" per
+ * simulated track (accelerator instance, CapChecker, driver, memory);
+ * timestamps are cycles, so a trace produced on any host thread count
+ * is byte-identical.
+ */
+
+#ifndef CAPCHECK_OBS_CHROME_TRACE_HH
+#define CAPCHECK_OBS_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace capcheck::obs
+{
+
+class ChromeTrace
+{
+  public:
+    /**
+     * Register a named track (a Chrome "thread").
+     * @return the track id for subsequent events.
+     */
+    unsigned addTrack(const std::string &name);
+
+    std::size_t numTracks() const { return tracks.size(); }
+    std::size_t numEvents() const { return events.size(); }
+
+    /**
+     * A complete ("X") event spanning [start, start + dur] cycles.
+     * @p args_json, when non-empty, must be a rendered JSON object.
+     */
+    void duration(unsigned track, const std::string &name,
+                  const std::string &category, Cycles start, Cycles dur,
+                  const std::string &args_json = "");
+
+    /** An instant ("i") event at @p ts, thread scope. */
+    void instant(unsigned track, const std::string &name,
+                 const std::string &category, Cycles ts,
+                 const std::string &args_json = "");
+
+    /**
+     * A counter ("C") event: @p series_json is the rendered JSON
+     * object of series-name -> value, e.g. {"hits": 3, "misses": 1}.
+     */
+    void counter(unsigned track, const std::string &name, Cycles ts,
+                 const std::string &series_json);
+
+    /**
+     * Serialize as a JSON array of events: track-name metadata first,
+     * then every event in emission order (simulation order, hence
+     * deterministic). One event per line.
+     */
+    void write(std::ostream &os) const;
+
+    /** write() into @p path. @return false on I/O failure (warns). */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        char phase;
+        unsigned track;
+        Cycles ts;
+        Cycles dur;
+        std::string name;
+        std::string category;
+        /** Pre-rendered JSON object for "args" ("" = omitted). */
+        std::string args;
+    };
+
+    std::vector<std::string> tracks;
+    std::vector<Event> events;
+};
+
+} // namespace capcheck::obs
+
+#endif // CAPCHECK_OBS_CHROME_TRACE_HH

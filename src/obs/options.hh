@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Options selecting which observability outputs one simulation run
+ * produces. All outputs are keyed by simulated cycle count, so they
+ * are byte-identical regardless of host threading or wall-clock.
+ */
+
+#ifndef CAPCHECK_OBS_OPTIONS_HH
+#define CAPCHECK_OBS_OPTIONS_HH
+
+#include <string>
+
+#include "base/types.hh"
+
+namespace capcheck::obs
+{
+
+struct ObsOptions
+{
+    /** Chrome trace-event JSON timeline ("" = off). */
+    std::string traceFile;
+
+    /** Stats time-series JSON ("" = off; needs sampleInterval > 0). */
+    std::string samplesFile;
+
+    /** Cycles between StatGroup snapshots (0 = sampling off). */
+    Cycles sampleInterval = 0;
+
+    /** JSONL security audit log ("" = off). */
+    std::string auditFile;
+
+    bool
+    any() const
+    {
+        return !traceFile.empty() || !auditFile.empty() ||
+               (!samplesFile.empty() && sampleInterval > 0);
+    }
+};
+
+} // namespace capcheck::obs
+
+#endif // CAPCHECK_OBS_OPTIONS_HH

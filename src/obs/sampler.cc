@@ -1,0 +1,100 @@
+#include "obs/sampler.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "sim/eventq.hh"
+
+namespace capcheck::obs
+{
+
+StatsSampler::StatsSampler(const stats::StatGroup &root, Cycles interval)
+    : root(root), interval(interval), nextSample(interval)
+{
+    if (interval == 0)
+        fatal("stats sampler: interval must be > 0");
+}
+
+StatsSampler::~StatsSampler()
+{
+    if (attachedTo)
+        attachedTo->cycleProbe().detach(listener);
+}
+
+void
+StatsSampler::attach(EventQueue &eq)
+{
+    if (attachedTo)
+        fatal("stats sampler: already attached");
+    attachedTo = &eq;
+    listener = eq.cycleProbe().attach(
+        [this](const Cycles &cycle) { onCycle(cycle); });
+}
+
+void
+StatsSampler::onCycle(Cycles cycle)
+{
+    // Simulated time can jump multiple intervals in one event; take a
+    // single snapshot labelled with the cycle actually reached.
+    if (cycle < nextSample)
+        return;
+    sampleNow(cycle);
+    nextSample = (cycle / interval + 1) * interval;
+}
+
+void
+StatsSampler::sampleNow(Cycles cycle)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    root.dumpJson(w);
+    samples.push_back(Sample{cycle, os.str()});
+}
+
+void
+StatsSampler::finalize(Cycles end_cycle)
+{
+    if (samples.empty() || samples.back().cycle != end_cycle)
+        sampleNow(end_cycle);
+    if (attachedTo) {
+        attachedTo->cycleProbe().detach(listener);
+        attachedTo = nullptr;
+        listener = probe::invalidListener;
+    }
+}
+
+void
+StatsSampler::write(std::ostream &os) const
+{
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("interval").value(std::uint64_t{interval});
+    w.key("samples").beginArray();
+    for (const Sample &sample : samples) {
+        w.beginObject();
+        w.key("cycle").value(std::uint64_t{sample.cycle});
+        w.key("stats").rawValue(sample.statsJson);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+bool
+StatsSampler::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("stats sampler: cannot open '%s' for writing",
+             path.c_str());
+        return false;
+    }
+    write(os);
+    return os.good();
+}
+
+} // namespace capcheck::obs

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Periodic StatGroup sampler. Attached to an EventQueue's cycle probe,
+ * it snapshots a stat tree every N simulated cycles into an in-memory
+ * time series and serializes the series as JSON. Because sampling is
+ * driven purely by simulated time, the output is byte-identical for
+ * any host thread count.
+ */
+
+#ifndef CAPCHECK_OBS_SAMPLER_HH
+#define CAPCHECK_OBS_SAMPLER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/probe.hh"
+#include "base/types.hh"
+
+namespace capcheck
+{
+class EventQueue;
+namespace stats
+{
+class StatGroup;
+} // namespace stats
+} // namespace capcheck
+
+namespace capcheck::obs
+{
+
+class StatsSampler
+{
+  public:
+    /**
+     * @param root the stat tree to snapshot.
+     * @param interval cycles between samples (must be > 0).
+     */
+    StatsSampler(const stats::StatGroup &root, Cycles interval);
+    ~StatsSampler();
+
+    StatsSampler(const StatsSampler &) = delete;
+    StatsSampler &operator=(const StatsSampler &) = delete;
+
+    /**
+     * Listen on @p eq's cycle probe; a snapshot is taken the first
+     * time simulated time reaches or passes each interval boundary.
+     */
+    void attach(EventQueue &eq);
+
+    /** Snapshot immediately, labelled with @p cycle. */
+    void sampleNow(Cycles cycle);
+
+    /**
+     * Take the end-of-run snapshot (skipped when the last sample
+     * already has this label) and stop listening.
+     */
+    void finalize(Cycles end_cycle);
+
+    std::size_t numSamples() const { return samples.size(); }
+
+    /**
+     * Serialize as {"interval": N, "samples": [{"cycle": c,
+     * "stats": {...}}, ...]}.
+     */
+    void write(std::ostream &os) const;
+
+    /** write() into @p path. @return false on I/O failure (warns). */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    void onCycle(Cycles cycle);
+
+    struct Sample
+    {
+        Cycles cycle;
+        /** Rendered dumpJson() object for the tree at that cycle. */
+        std::string statsJson;
+    };
+
+    const stats::StatGroup &root;
+    Cycles interval;
+    Cycles nextSample;
+    std::vector<Sample> samples;
+
+    EventQueue *attachedTo = nullptr;
+    probe::ListenerHandle listener = probe::invalidListener;
+};
+
+} // namespace capcheck::obs
+
+#endif // CAPCHECK_OBS_SAMPLER_HH

@@ -34,6 +34,9 @@ CheckStage::tryAccept(const MemRequest &req)
 
     const Cycles latency =
         checker.checkLatency() + checker.lastExtraLatency();
+    _timingProbe.notify(CheckTimingEvent{&req, verdict.allowed,
+                                         curCycle(),
+                                         curCycle() + latency});
     if (latency == 0 && verdict.allowed && pipe.empty()) {
         // Transparent pass-through (the "no method" configuration).
         return downstream.tryAccept(req);

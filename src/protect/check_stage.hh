@@ -12,11 +12,21 @@
 
 #include <deque>
 
+#include "base/probe.hh"
 #include "protect/checker.hh"
 #include "sim/clocked.hh"
 
 namespace capcheck::protect
 {
+
+/** One check occupying the stage: accept cycle through result cycle. */
+struct CheckTimingEvent
+{
+    const MemRequest *req;
+    bool allowed;
+    Cycles start;
+    Cycles end;
+};
 
 class CheckStage : public TickingObject, public TimingConsumer
 {
@@ -29,6 +39,12 @@ class CheckStage : public TickingObject, public TimingConsumer
 
     bool tryAccept(const MemRequest &req) override;
     bool tick() override;
+
+    /** Fired once per accepted request with its occupancy window. */
+    probe::ProbePoint<CheckTimingEvent> &timingProbe()
+    {
+        return _timingProbe;
+    }
 
     std::uint64_t
     denials() const
@@ -53,6 +69,9 @@ class CheckStage : public TickingObject, public TimingConsumer
     stats::Scalar checked;
     stats::Scalar denied;
     stats::Scalar stallCycles;
+
+    probe::ProbePoint<CheckTimingEvent> _timingProbe{
+        "checkstage.timing"};
 };
 
 } // namespace capcheck::protect

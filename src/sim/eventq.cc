@@ -63,7 +63,10 @@ EventQueue::serviceOne()
     if (!event->_scheduled || event->_sequence != entry.sequence)
         return;
 
-    _curCycle = entry.when;
+    if (entry.when != _curCycle) {
+        _curCycle = entry.when;
+        _cycleProbe.notify(_curCycle);
+    }
     event->_scheduled = false;
     --live;
     event->process();
@@ -75,7 +78,10 @@ EventQueue::run(Cycles limit)
     while (!heap.empty()) {
         if (heap.top().when > limit) {
             // Drop nothing; the caller may resume later.
-            _curCycle = limit;
+            if (limit != _curCycle) {
+                _curCycle = limit;
+                _cycleProbe.notify(_curCycle);
+            }
             return _curCycle;
         }
         serviceOne();

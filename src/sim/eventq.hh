@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "base/probe.hh"
 #include "base/types.hh"
 
 namespace capcheck
@@ -119,6 +120,13 @@ class EventQueue
     /** Process events for exactly one cycle (the earliest pending one). */
     void step();
 
+    /**
+     * Fired whenever simulated time advances, with the new cycle.
+     * Events within one cycle fire between two notifications; the
+     * stats sampler keys its snapshots off this probe.
+     */
+    probe::ProbePoint<Cycles> &cycleProbe() { return _cycleProbe; }
+
   private:
     struct Entry
     {
@@ -144,6 +152,7 @@ class EventQueue
     Cycles _curCycle = 0;
     std::uint64_t nextSequence = 0;
     std::size_t live = 0;
+    probe::ProbePoint<Cycles> _cycleProbe{"eventq.cycle"};
 };
 
 } // namespace capcheck

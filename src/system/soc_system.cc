@@ -14,6 +14,7 @@
 #include "mem/interconnect.hh"
 #include "mem/mem_ctrl.hh"
 #include "mem/tagged_memory.hh"
+#include "obs/observer.hh"
 #include "protect/check_stage.hh"
 #include "protect/checker_bank.hh"
 #include "protect/no_protection.hh"
@@ -132,6 +133,9 @@ SocSystem::runCpuOnly(const std::vector<TaskPlan> &plan)
     }
 
     result.totalCycles = result.kernelCycles;
+
+    if (obsOpts.any())
+        obs::RunObserver::writeEmptyOutputs(obsOpts);
     return result;
 }
 
@@ -152,6 +156,14 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
 
     EventQueue eq;
     stats::StatGroup stat_root("soc");
+
+    // Declared before the components so it outlives them: probe
+    // points hold listener closures referencing the observer, and the
+    // components drop those closures first on teardown.
+    std::unique_ptr<obs::RunObserver> observer;
+    if (obsOpts.any())
+        observer =
+            std::make_unique<obs::RunObserver>(obsOpts, eq, stat_root);
 
     std::unique_ptr<capchecker::CapChecker> checker;
     std::unique_ptr<protect::CheckerBank> bank;
@@ -192,6 +204,20 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
                          check_stage, cfg.xbarMaxBurst);
     memctrl.setUpstream(xbar);
     check_stage.setUpstream(xbar);
+
+    if (observer) {
+        if (bank) {
+            for (unsigned p = 0; p < plan.size(); ++p)
+                observer->attachChecker(bank->at(p),
+                                        "CapChecker#" +
+                                            std::to_string(p));
+        } else if (checker) {
+            observer->attachChecker(*checker);
+        }
+        observer->attachCheckStage(check_stage);
+        observer->attachMemory(memctrl);
+        observer->attachXbar(xbar);
+    }
 
     std::vector<std::unique_ptr<accel::Accelerator>> accels;
     for (const std::string &name : pools) {
@@ -255,6 +281,8 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
                 mem, heap, tree, cheri, checker_for(t), nullptr,
                 nullptr, cfg.driverCosts));
             task.driver = drivers.back().get();
+            if (observer)
+                observer->attachDriver(*task.driver);
 
             auto handle = task.driver->allocateTask(accel, t, app);
             if (!handle) {
@@ -281,6 +309,8 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
                 plan[t].benchmark + "#" + std::to_string(t),
                 accel.spec(), tracer.take(), task.handle.buffers, t,
                 /*port=*/t, xbar, addressing);
+            if (observer)
+                observer->attachPlayer(*task.player);
 
             alloc_end += task.handle.allocCycles;
             result.driverAllocCycles += task.handle.allocCycles;
@@ -338,6 +368,9 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
     result.dmaBeats = xbar.beatsGranted();
     result.totalCycles =
         result.kernelCycles + result.driverDeallocCycles;
+
+    if (observer)
+        observer->finalize(result.totalCycles);
 
     if (cfg.collectStats) {
         std::ostringstream os;

@@ -12,8 +12,10 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/options.hh"
 #include "system/run_result.hh"
 
 namespace capcheck::system
@@ -25,6 +27,14 @@ class SocSystem
     explicit SocSystem(const SocConfig &config);
 
     const SocConfig &config() const { return cfg; }
+
+    /**
+     * Select observability outputs (Chrome trace, stat samples,
+     * audit log) for subsequent runs. CPU-only configurations have
+     * no timed platform; they emit valid-but-empty outputs.
+     */
+    void setObsOptions(obs::ObsOptions opts) { obsOpts = std::move(opts); }
+    const obs::ObsOptions &obsOptions() const { return obsOpts; }
 
     /**
      * Run @p num_tasks concurrent copies of one benchmark (default:
@@ -53,6 +63,7 @@ class SocSystem
                                   unsigned instances_per_pool);
 
     SocConfig cfg;
+    obs::ObsOptions obsOpts;
 };
 
 } // namespace capcheck::system

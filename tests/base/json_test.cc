@@ -1,7 +1,10 @@
 /** @file Tests for the streaming JSON writer. */
 
 #include <cstdint>
+#include <cstdio>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -82,4 +85,102 @@ TEST(JsonWriter, IdenticalInputsSerializeIdentically)
         return os.str();
     };
     EXPECT_EQ(render(), render());
+}
+
+TEST(JsonEscape, EscapesEveryControlCharacter)
+{
+    // RFC 8259: everything below 0x20 must be escaped. The named
+    // escapes (\n, \r, \t) are allowed; the rest must use \uXXXX.
+    for (int c = 1; c < 0x20; ++c) {
+        const std::string in(1, static_cast<char>(c));
+        const std::string out = json::escape(in);
+        ASSERT_GE(out.size(), 2u) << "control char " << c;
+        EXPECT_EQ(out[0], '\\') << "control char " << c;
+        if (c == '\n') {
+            EXPECT_EQ(out, "\\n");
+        } else if (c == '\r') {
+            EXPECT_EQ(out, "\\r");
+        } else if (c == '\t') {
+            EXPECT_EQ(out, "\\t");
+        } else {
+            char expect[8];
+            std::snprintf(expect, sizeof(expect), "\\u%04x", c);
+            EXPECT_EQ(out, expect) << "control char " << c;
+        }
+    }
+}
+
+TEST(JsonEscape, EmbeddedNulIsEscapedNotTruncated)
+{
+    std::string in = "a";
+    in.push_back('\0');
+    in.push_back('b');
+    EXPECT_EQ(json::escape(in), "a\\u0000b");
+}
+
+TEST(JsonEscape, RoundTripsThroughUnescaping)
+{
+    // Build a string exercising every escape class, escape it, then
+    // undo the escapes by hand: the round trip must reproduce the
+    // original bytes exactly.
+    std::string original = "plain \"quoted\" back\\slash\n\r\t";
+    original.push_back('\x01');
+    original.push_back('\x1f');
+    original += "tail";
+
+    const std::string escaped = json::escape(original);
+
+    std::string decoded;
+    for (std::size_t i = 0; i < escaped.size(); ++i) {
+        if (escaped[i] != '\\') {
+            decoded += escaped[i];
+            continue;
+        }
+        ASSERT_LT(i + 1, escaped.size());
+        const char kind = escaped[++i];
+        switch (kind) {
+          case 'n': decoded += '\n'; break;
+          case 'r': decoded += '\r'; break;
+          case 't': decoded += '\t'; break;
+          case '"': decoded += '"'; break;
+          case '\\': decoded += '\\'; break;
+          case 'u': {
+            ASSERT_LE(i + 4, escaped.size() - 1);
+            const std::string hexDigits = escaped.substr(i + 1, 4);
+            decoded += static_cast<char>(
+                std::stoi(hexDigits, nullptr, 16));
+            i += 4;
+            break;
+          }
+          default:
+            FAIL() << "unexpected escape \\" << kind;
+        }
+    }
+    EXPECT_EQ(decoded, original);
+}
+
+TEST(JsonFormatDouble, NonFiniteValuesBecomeNull)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(json::formatDouble(inf), "null");
+    EXPECT_EQ(json::formatDouble(-inf), "null");
+    EXPECT_EQ(json::formatDouble(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "null");
+}
+
+TEST(JsonWriter, NonFiniteDoubleValuesSerializeAsNull)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("nan").value(std::numeric_limits<double>::quiet_NaN());
+    w.key("inf").value(std::numeric_limits<double>::infinity());
+    w.endObject();
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"nan\": null"), std::string::npos);
+    EXPECT_NE(doc.find("\"inf\": null"), std::string::npos);
+    // The document stays machine-parseable: no bare nan/inf tokens.
+    EXPECT_EQ(doc.find("nan,"), std::string::npos);
+    EXPECT_EQ(doc.find("inf,"), std::string::npos);
 }

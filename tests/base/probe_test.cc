@@ -1,0 +1,113 @@
+/** @file Tests for the typed probe-point layer. */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/probe.hh"
+
+using namespace capcheck;
+
+TEST(ProbePoint, NotifyWithoutListenersIsANoOp)
+{
+    probe::ProbePoint<int> point("test.point");
+    EXPECT_FALSE(point.connected());
+    EXPECT_EQ(point.numListeners(), 0u);
+    point.notify(42); // must not crash or allocate listeners
+    EXPECT_EQ(point.name(), "test.point");
+}
+
+TEST(ProbePoint, ListenersFireInAttachOrder)
+{
+    probe::ProbePoint<int> point("test.order");
+    std::vector<std::pair<char, int>> calls;
+    point.attach([&](const int &v) { calls.emplace_back('a', v); });
+    point.attach([&](const int &v) { calls.emplace_back('b', v); });
+    point.attach([&](const int &v) { calls.emplace_back('c', v); });
+
+    point.notify(7);
+    ASSERT_EQ(calls.size(), 3u);
+    EXPECT_EQ(calls[0], std::make_pair('a', 7));
+    EXPECT_EQ(calls[1], std::make_pair('b', 7));
+    EXPECT_EQ(calls[2], std::make_pair('c', 7));
+}
+
+TEST(ProbePoint, DetachRemovesOnlyTheHandledListener)
+{
+    probe::ProbePoint<int> point("test.detach");
+    int a = 0, b = 0;
+    const auto ha = point.attach([&](const int &v) { a += v; });
+    const auto hb = point.attach([&](const int &v) { b += v; });
+    ASSERT_NE(ha, hb);
+
+    EXPECT_TRUE(point.detach(ha));
+    point.notify(5);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 5);
+
+    // A handle detaches at most once.
+    EXPECT_FALSE(point.detach(ha));
+    EXPECT_TRUE(point.detach(hb));
+    EXPECT_EQ(point.numListeners(), 0u);
+    point.notify(5);
+    EXPECT_EQ(b, 5);
+}
+
+TEST(ProbePoint, HandlesAreNotReusedAfterDetach)
+{
+    probe::ProbePoint<int> point("test.handles");
+    const auto first = point.attach([](const int &) {});
+    EXPECT_TRUE(point.detach(first));
+    const auto second = point.attach([](const int &) {});
+    EXPECT_NE(first, second);
+}
+
+TEST(ProbePoint, DetachAllDropsEveryListener)
+{
+    probe::ProbePoint<std::string> point("test.detachAll");
+    int calls = 0;
+    point.attach([&](const std::string &) { ++calls; });
+    point.attach([&](const std::string &) { ++calls; });
+    point.detachAll();
+    EXPECT_FALSE(point.connected());
+    point.notify("x");
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ProbePoint, PayloadIsBorrowedByReference)
+{
+    probe::ProbePoint<std::string> point("test.payload");
+    const std::string payload = "payload";
+    const std::string *seen = nullptr;
+    point.attach([&](const std::string &v) { seen = &v; });
+    point.notify(payload);
+    EXPECT_EQ(seen, &payload); // no copy on the notify path
+}
+
+TEST(ProbePoint, MoveCarriesListeners)
+{
+    probe::ProbePoint<int> point("test.move");
+    int sum = 0;
+    point.attach([&](const int &v) { sum += v; });
+
+    probe::ProbePoint<int> moved = std::move(point);
+    EXPECT_EQ(moved.numListeners(), 1u);
+    moved.notify(3);
+    EXPECT_EQ(sum, 3);
+    EXPECT_EQ(moved.name(), "test.move");
+}
+
+TEST(ProbePoint, OneShotListenerPattern)
+{
+    // Fires once, then the owner detaches it between notifications.
+    probe::ProbePoint<int> point("test.oneshot");
+    int calls = 0;
+    probe::ListenerHandle handle = probe::invalidListener;
+    handle = point.attach([&](const int &) { ++calls; });
+    point.notify(1);
+    point.detach(handle);
+    point.notify(1);
+    EXPECT_EQ(calls, 1);
+}

@@ -1,3 +1,6 @@
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "base/trace.hh"
@@ -46,6 +49,47 @@ TEST(Trace, BuiltinSubsystemFlagsRegistered)
     }
     EXPECT_TRUE(found_capchecker);
     EXPECT_TRUE(found_driver);
+}
+
+TEST(Trace, ListFlagsNamesEveryRegisteredFlag)
+{
+    trace::DebugFlag flag("TestFlagList");
+    std::ostringstream os;
+    trace::DebugFlag::listFlags(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("registered debug flags"), std::string::npos);
+    EXPECT_NE(out.find("TestFlagList"), std::string::npos);
+    EXPECT_NE(out.find("CapChecker"), std::string::npos);
+    EXPECT_NE(out.find("All"), std::string::npos);
+}
+
+TEST(Trace, ApplyListEnablesCommaSeparatedFlags)
+{
+    trace::DebugFlag a("TestFlagE");
+    trace::DebugFlag b("TestFlagF");
+    trace::DebugFlag c("TestFlagG");
+    trace::DebugFlag::applyList("TestFlagE,TestFlagG");
+    EXPECT_TRUE(a.enabled());
+    EXPECT_FALSE(b.enabled());
+    EXPECT_TRUE(c.enabled());
+
+    ::testing::internal::CaptureStderr();
+    trace::DebugFlag::applyList("NoSuchFlag"); // warns, must not die
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("NoSuchFlag"), std::string::npos);
+
+    a.enable(false);
+    c.enable(false);
+}
+
+TEST(Trace, ApplyListQuestionMarkListsToStderr)
+{
+    trace::DebugFlag flag("TestFlagH");
+    ::testing::internal::CaptureStderr();
+    trace::DebugFlag::applyList("?");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("TestFlagH"), std::string::npos);
+    EXPECT_FALSE(flag.enabled());
 }
 
 TEST(Trace, DprintfIsGated)

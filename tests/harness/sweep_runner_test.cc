@@ -174,6 +174,55 @@ TEST(SweepRunner, ProgressLinesNameEveryRun)
     EXPECT_NE(lines.find("wall="), std::string::npos);
 }
 
+TEST(SweepRunner, EndOfSweepSummaryReportsTheProfile)
+{
+    std::ostringstream progress;
+    SweepRunner::Options opts = silent(2);
+    opts.progress = &progress;
+    SweepRunner runner(opts);
+
+    const auto req = RunRequest::single(
+        "aes", smallConfig(SystemMode::ccpuAccel));
+    runner.run({req, req}, "summary");
+
+    const std::string lines = progress.str();
+    EXPECT_NE(lines.find("[sweep summary]"), std::string::npos);
+    EXPECT_NE(lines.find("2 requests"), std::string::npos);
+    EXPECT_NE(lines.find("1 executed"), std::string::npos);
+    EXPECT_NE(lines.find("1 cached"), std::string::npos);
+    EXPECT_NE(lines.find("utilization="), std::string::npos);
+}
+
+TEST(SweepRunner, ManifestCarriesTheProfilingBlock)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "capcheck_sweep_profile_test";
+    fs::remove_all(dir);
+
+    SweepRunner::Options opts = silent(2);
+    opts.jsonDir = dir.string();
+    SweepRunner runner(opts);
+    const auto req = RunRequest::single(
+        "aes", smallConfig(SystemMode::ccpuAccel));
+    runner.run({req, req}, "profiled");
+
+    std::ifstream is(dir / "profiled.manifest.json");
+    std::stringstream body;
+    body << is.rdbuf();
+    const std::string manifest = body.str();
+    EXPECT_NE(manifest.find("\"profile\""), std::string::npos);
+    // Only one unique request, so one worker ran despite jobs=2.
+    EXPECT_NE(manifest.find("\"workers\": 1"), std::string::npos);
+    EXPECT_NE(manifest.find("\"executed\": 1"), std::string::npos);
+    EXPECT_NE(manifest.find("\"cacheHits\": 1"), std::string::npos);
+    EXPECT_NE(manifest.find("\"workerUtilization\""),
+              std::string::npos);
+    EXPECT_NE(manifest.find("\"wallMillis\""), std::string::npos);
+
+    fs::remove_all(dir);
+}
+
 TEST(SweepRunner, WritesRunFilesAndManifest)
 {
     namespace fs = std::filesystem;

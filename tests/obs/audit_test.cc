@@ -1,0 +1,123 @@
+/** @file Tests for the JSONL security audit log. */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/audit.hh"
+
+using namespace capcheck;
+using capchecker::ExceptionRecord;
+using capchecker::Provenance;
+using obs::AuditLog;
+
+namespace
+{
+
+ExceptionRecord
+denied()
+{
+    ExceptionRecord rec;
+    rec.task = 3;
+    rec.object = 7;
+    rec.addr = 0x1040;
+    rec.cmd = MemCmd::write;
+    rec.reason = "address beyond capability bounds";
+    rec.capValid = true;
+    rec.capBase = 0x1000;
+    rec.capLength = 64;
+    rec.capPerms = 0x3;
+    return rec;
+}
+
+} // namespace
+
+TEST(AuditLog, RecordsBoundsWhenTheCapabilityMatched)
+{
+    AuditLog log;
+    log.record(1234, denied(), Provenance::fine);
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.records()[0],
+              "{\"cycle\":1234,\"task\":3,\"object\":7,"
+              "\"cmd\":\"write\",\"addr\":\"0x1040\","
+              "\"reason\":\"address beyond capability bounds\","
+              "\"capBase\":\"0x1000\",\"capLength\":64,"
+              "\"capPerms\":\"0x3\",\"provenance\":\"fine\"}");
+}
+
+TEST(AuditLog, MissingCapabilityFieldsAreNull)
+{
+    ExceptionRecord rec;
+    rec.task = 1;
+    rec.object = 9;
+    rec.addr = 0xdead;
+    rec.cmd = MemCmd::read;
+    rec.reason = "no capability for (task, object)";
+
+    AuditLog log;
+    log.record(0, rec, Provenance::coarse);
+    const std::string &line = log.records()[0];
+    EXPECT_NE(line.find("\"capBase\":null,\"capLength\":null,"
+                        "\"capPerms\":null"),
+              std::string::npos);
+    EXPECT_NE(line.find("\"provenance\":\"coarse\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"cmd\":\"read\""), std::string::npos);
+}
+
+TEST(AuditLog, ReasonTextIsJsonEscaped)
+{
+    ExceptionRecord rec = denied();
+    rec.reason = "line1\nline2 \"quoted\"";
+    AuditLog log;
+    log.record(5, rec, Provenance::fine);
+    EXPECT_NE(log.records()[0].find("line1\\nline2 \\\"quoted\\\""),
+              std::string::npos);
+    // The raw control character never reaches the output.
+    EXPECT_EQ(log.records()[0].find('\n'), std::string::npos);
+}
+
+TEST(AuditLog, WriteEmitsOneLinePerRecord)
+{
+    AuditLog log;
+    log.record(1, denied(), Provenance::fine);
+    log.record(2, denied(), Provenance::coarse);
+
+    std::ostringstream os;
+    log.write(os);
+    const std::string body = os.str();
+    ASSERT_FALSE(body.empty());
+    EXPECT_EQ(body.back(), '\n');
+
+    std::istringstream is(body);
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(is, line)) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        ++count;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(AuditLog, WriteFileMatchesStreamOutput)
+{
+    namespace fs = std::filesystem;
+    const fs::path file =
+        fs::temp_directory_path() / "capcheck_audit_test.jsonl";
+    fs::remove(file);
+
+    AuditLog log;
+    log.record(42, denied(), Provenance::coarse);
+    ASSERT_TRUE(log.writeFile(file.string()));
+
+    std::ifstream is(file);
+    std::stringstream body;
+    body << is.rdbuf();
+    std::ostringstream expected;
+    log.write(expected);
+    EXPECT_EQ(body.str(), expected.str());
+    fs::remove(file);
+}

@@ -1,0 +1,114 @@
+/** @file Tests for the Chrome trace-event timeline builder. */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/chrome_trace.hh"
+
+using namespace capcheck;
+using obs::ChromeTrace;
+
+namespace
+{
+
+std::string
+render(const ChromeTrace &trace)
+{
+    std::ostringstream os;
+    trace.write(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(ChromeTrace, EmptyTraceIsAValidArray)
+{
+    const std::string doc = render(ChromeTrace{});
+    EXPECT_EQ(doc, "[\n\n]\n");
+}
+
+TEST(ChromeTrace, TracksBecomeThreadNameMetadata)
+{
+    ChromeTrace trace;
+    EXPECT_EQ(trace.addTrack("CapChecker"), 0u);
+    EXPECT_EQ(trace.addTrack("aes#0"), 1u);
+    EXPECT_EQ(trace.numTracks(), 2u);
+
+    const std::string doc = render(trace);
+    EXPECT_NE(
+        doc.find("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":0,\"args\":{\"name\":\"CapChecker\"}}"),
+        std::string::npos);
+    EXPECT_NE(doc.find("\"tid\":1,\"args\":{\"name\":\"aes#0\"}"),
+              std::string::npos);
+}
+
+TEST(ChromeTrace, DurationInstantAndCounterEvents)
+{
+    ChromeTrace trace;
+    const unsigned track = trace.addTrack("t");
+    trace.duration(track, "task 0", "task", 100, 50,
+                   "{\"task\":0,\"failed\":false}");
+    trace.instant(track, "violation", "security", 120);
+    trace.counter(track, "capCache", 130, "{\"hits\":3,\"misses\":1}");
+    EXPECT_EQ(trace.numEvents(), 3u);
+
+    const std::string doc = render(trace);
+    EXPECT_NE(doc.find("{\"name\":\"task 0\",\"ph\":\"X\",\"cat\":"
+                       "\"task\",\"pid\":1,\"tid\":0,\"ts\":100,"
+                       "\"dur\":50,\"args\":{\"task\":0,\"failed\":"
+                       "false}}"),
+              std::string::npos);
+    // Instant events carry thread scope and no dur.
+    EXPECT_NE(doc.find("{\"name\":\"violation\",\"ph\":\"i\",\"cat\":"
+                       "\"security\",\"pid\":1,\"tid\":0,\"ts\":120,"
+                       "\"s\":\"t\"}"),
+              std::string::npos);
+    EXPECT_NE(doc.find("{\"name\":\"capCache\",\"ph\":\"C\",\"pid\":1,"
+                       "\"tid\":0,\"ts\":130,\"args\":{\"hits\":3,"
+                       "\"misses\":1}}"),
+              std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesEventNames)
+{
+    ChromeTrace trace;
+    trace.instant(trace.addTrack("t\"rack"), "na\"me", "c\\at", 1);
+    const std::string doc = render(trace);
+    EXPECT_NE(doc.find("t\\\"rack"), std::string::npos);
+    EXPECT_NE(doc.find("na\\\"me"), std::string::npos);
+    EXPECT_NE(doc.find("c\\\\at"), std::string::npos);
+}
+
+TEST(ChromeTrace, EventsKeepEmissionOrder)
+{
+    ChromeTrace trace;
+    const unsigned track = trace.addTrack("t");
+    // Out-of-timestamp-order emission is preserved verbatim: the
+    // simulation emits in deterministic order and viewers sort by ts.
+    trace.instant(track, "second", "c", 20);
+    trace.instant(track, "first", "c", 10);
+    const std::string doc = render(trace);
+    EXPECT_LT(doc.find("\"second\""), doc.find("\"first\""));
+}
+
+TEST(ChromeTrace, WriteFileRoundTrips)
+{
+    namespace fs = std::filesystem;
+    const fs::path file =
+        fs::temp_directory_path() / "capcheck_chrome_trace_test.json";
+    fs::remove(file);
+
+    ChromeTrace trace;
+    trace.duration(trace.addTrack("t"), "ev", "c", 1, 2);
+    ASSERT_TRUE(trace.writeFile(file.string()));
+
+    std::ifstream is(file);
+    std::stringstream body;
+    body << is.rdbuf();
+    EXPECT_EQ(body.str(), render(trace));
+    fs::remove(file);
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * End-to-end tests for the observability layer: Chrome traces, stat
+ * time-series and audit logs must be byte-identical at any --jobs
+ * (they are keyed purely by simulated cycles), CPU-only runs must
+ * still produce valid (empty) outputs, and enabling observability
+ * must not perturb the simulation itself.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/sweep_runner.hh"
+#include "obs/options.hh"
+#include "system/soc_config_builder.hh"
+
+using namespace capcheck;
+using namespace capcheck::harness;
+using system::SocConfig;
+using system::SocConfigBuilder;
+using system::SystemMode;
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+SocConfig
+smallConfig(SystemMode mode, std::uint64_t seed = 1)
+{
+    return SocConfigBuilder()
+        .mode(mode)
+        .numInstances(2)
+        .seed(seed)
+        .build();
+}
+
+/** Distinct requests only: every worker writes its own output files. */
+std::vector<RunRequest>
+uniqueBatch()
+{
+    std::vector<RunRequest> requests;
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        requests.push_back(RunRequest::single(
+            "aes", smallConfig(SystemMode::ccpuAccel, seed)));
+        requests.push_back(RunRequest::single(
+            "aes", smallConfig(SystemMode::ccpuCaccel, seed)));
+    }
+    return requests;
+}
+
+SweepRunner::Options
+observing(unsigned jobs, const fs::path &dir)
+{
+    SweepRunner::Options opts;
+    opts.jobs = jobs;
+    opts.cacheEnabled = false;
+    opts.progress = nullptr;
+    opts.traceDir = dir.string();
+    opts.sampleInterval = 500;
+    opts.auditDir = dir.string();
+    return opts;
+}
+
+std::string
+slurp(const fs::path &file)
+{
+    std::ifstream is(file);
+    std::stringstream body;
+    body << is.rdbuf();
+    return body.str();
+}
+
+} // namespace
+
+TEST(Observability, OutputsAreByteIdenticalAcrossJobCounts)
+{
+    const fs::path serial_dir =
+        fs::temp_directory_path() / "capcheck_obs_serial";
+    const fs::path parallel_dir =
+        fs::temp_directory_path() / "capcheck_obs_parallel";
+    fs::remove_all(serial_dir);
+    fs::remove_all(parallel_dir);
+
+    const auto requests = uniqueBatch();
+    SweepRunner serial(observing(1, serial_dir));
+    SweepRunner parallel(observing(8, parallel_dir));
+    const auto outcomes = serial.run(requests, "obs");
+    parallel.run(requests, "obs");
+
+    for (const auto &out : outcomes) {
+        const std::string hash = out.request.hashHex();
+        for (const std::string &suffix :
+             {std::string(".trace.json"), std::string(".samples.json"),
+              std::string(".audit.jsonl")}) {
+            const std::string name = "run-" + hash + suffix;
+            ASSERT_TRUE(fs::exists(serial_dir / name)) << name;
+            ASSERT_TRUE(fs::exists(parallel_dir / name)) << name;
+            EXPECT_EQ(slurp(serial_dir / name),
+                      slurp(parallel_dir / name))
+                << name << " differs between --jobs 1 and --jobs 8";
+        }
+    }
+
+    fs::remove_all(serial_dir);
+    fs::remove_all(parallel_dir);
+}
+
+TEST(Observability, TraceContainsTheExpectedEventKinds)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "capcheck_obs_kinds";
+    fs::remove_all(dir);
+
+    SweepRunner runner(observing(1, dir));
+    const auto req = RunRequest::single(
+        "aes", smallConfig(SystemMode::ccpuCaccel));
+    const auto outcomes = runner.run({req}, "kinds");
+
+    const std::string trace = slurp(
+        dir / ("run-" + outcomes.front().request.hashHex() +
+               ".trace.json"));
+    EXPECT_EQ(trace.front(), '[');
+    EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(trace.find("\"cat\":\"check\""), std::string::npos);
+    EXPECT_NE(trace.find("\"cat\":\"task\""), std::string::npos);
+    EXPECT_NE(trace.find("\"capInstall\""), std::string::npos);
+
+    const std::string samples = slurp(
+        dir / ("run-" + outcomes.front().request.hashHex() +
+               ".samples.json"));
+    EXPECT_NE(samples.find("\"interval\": 500"), std::string::npos);
+    EXPECT_NE(samples.find("\"cycle\""), std::string::npos);
+
+    fs::remove_all(dir);
+}
+
+TEST(Observability, CpuOnlyRunsWriteValidEmptyOutputs)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "capcheck_obs_cpuonly";
+    fs::remove_all(dir);
+
+    SweepRunner runner(observing(1, dir));
+    const auto req =
+        RunRequest::single("aes", smallConfig(SystemMode::ccpu));
+    const auto outcomes = runner.run({req}, "cpuonly");
+
+    const std::string hash = outcomes.front().request.hashHex();
+    // A CPU-only system has no accelerators, CapChecker or driver to
+    // observe, but the promised files must still exist and parse.
+    EXPECT_EQ(slurp(dir / ("run-" + hash + ".trace.json")),
+              "[\n\n]\n");
+    const std::string samples =
+        slurp(dir / ("run-" + hash + ".samples.json"));
+    EXPECT_NE(samples.find("\"samples\": []"), std::string::npos);
+    EXPECT_TRUE(fs::exists(dir / ("run-" + hash + ".audit.jsonl")));
+    EXPECT_TRUE(
+        fs::is_empty(dir / ("run-" + hash + ".audit.jsonl")));
+
+    fs::remove_all(dir);
+}
+
+TEST(Observability, EnablingObservationDoesNotPerturbTheRun)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "capcheck_obs_perturb";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const auto req = RunRequest::single(
+        "aes", smallConfig(SystemMode::ccpuCaccel));
+    const system::RunResult plain = req.execute();
+
+    obs::ObsOptions obs_opts;
+    obs_opts.traceFile = (dir / "perturb.trace.json").string();
+    obs_opts.samplesFile = (dir / "perturb.samples.json").string();
+    obs_opts.sampleInterval = 100;
+    obs_opts.auditFile = (dir / "perturb.audit.jsonl").string();
+    const system::RunResult observed = req.execute(obs_opts);
+
+    // Probes and listeners are pure observers: every simulated number
+    // (cycles, stats, per-task results) must be bit-identical.
+    EXPECT_EQ(plain, observed);
+
+    fs::remove_all(dir);
+}

@@ -1,0 +1,122 @@
+/** @file Tests for the periodic StatGroup sampler. */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+#include "obs/sampler.hh"
+#include "sim/eventq.hh"
+
+using namespace capcheck;
+using obs::StatsSampler;
+
+namespace
+{
+
+/** Occurrences of @p needle in @p haystack. */
+std::size_t
+countOf(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+std::string
+render(const StatsSampler &sampler)
+{
+    std::ostringstream os;
+    sampler.write(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(StatsSampler, SamplesOnIntervalBoundaries)
+{
+    stats::StatGroup root("soc");
+    stats::Scalar counter(root, "events", "events seen so far");
+
+    EventQueue eq;
+    StatsSampler sampler(root, 100);
+    sampler.attach(eq);
+
+    // The cycle probe fires when time advances *to* a cycle, before
+    // that cycle's events run, and the sampler snapshots on the first
+    // advance at or past each interval boundary.
+    LambdaEvent early([&] { counter += 1; });
+    LambdaEvent later([&] { counter += 10; });
+    LambdaEvent last([&] { counter += 100; });
+    eq.schedule(&early, 10);
+    eq.schedule(&later, 150);
+    eq.schedule(&last, 250);
+    eq.run();
+
+    sampler.finalize(300);
+    EXPECT_EQ(sampler.numSamples(), 3u); // cycles 150, 250, 300
+
+    const std::string doc = render(sampler);
+    EXPECT_NE(doc.find("\"interval\": 100"), std::string::npos);
+    EXPECT_NE(doc.find("\"cycle\": 150"), std::string::npos);
+    EXPECT_NE(doc.find("\"cycle\": 250"), std::string::npos);
+    EXPECT_NE(doc.find("\"cycle\": 300"), std::string::npos);
+    // Each snapshot happened before that cycle's own event ran.
+    EXPECT_EQ(countOf(doc, "\"events\": 1\n"), 1u);   // at 150
+    EXPECT_EQ(countOf(doc, "\"events\": 11\n"), 1u);  // at 250
+    EXPECT_EQ(countOf(doc, "\"events\": 111\n"), 1u); // at 300
+}
+
+TEST(StatsSampler, FinalizeSkipsDuplicateEndSnapshot)
+{
+    stats::StatGroup root("soc");
+    stats::Scalar counter(root, "events", "events seen so far");
+
+    StatsSampler sampler(root, 50);
+    sampler.sampleNow(200);
+    sampler.finalize(200);
+    EXPECT_EQ(sampler.numSamples(), 1u);
+
+    sampler.finalize(300); // a later end cycle does add a snapshot
+    EXPECT_EQ(sampler.numSamples(), 2u);
+}
+
+TEST(StatsSampler, FinalizeDetachesFromTheQueue)
+{
+    stats::StatGroup root("soc");
+    EventQueue eq;
+    StatsSampler sampler(root, 10);
+
+    ASSERT_FALSE(eq.cycleProbe().connected());
+    sampler.attach(eq);
+    EXPECT_TRUE(eq.cycleProbe().connected());
+    sampler.finalize(0);
+    EXPECT_FALSE(eq.cycleProbe().connected());
+}
+
+TEST(StatsSampler, SnapshotsAreIndependentOfLaterUpdates)
+{
+    stats::StatGroup root("soc");
+    stats::Scalar counter(root, "events", "events seen so far");
+
+    StatsSampler sampler(root, 10);
+    counter += 5;
+    sampler.sampleNow(10);
+    counter += 5; // must not retroactively change the first snapshot
+
+    const std::string doc = render(sampler);
+    EXPECT_EQ(countOf(doc, "\"events\": 5\n"), 1u);
+}
+
+TEST(StatsSampler, EmptySeriesStillWritesValidShape)
+{
+    stats::StatGroup root("soc");
+    StatsSampler sampler(root, 1000);
+    const std::string doc = render(sampler);
+    EXPECT_NE(doc.find("\"interval\": 1000"), std::string::npos);
+    EXPECT_NE(doc.find("\"samples\": []"), std::string::npos);
+}
