@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Machine-checked runtime invariants. Two tiers:
+ *
+ *  - INVARIANT(cond, ...): cheap always-on checks, compiled into every
+ *    build type. Use for properties whose evaluation is O(1) and whose
+ *    violation means the simulator state is corrupt (time monotonicity,
+ *    a denied request at the memory boundary). Raises SimError via
+ *    panic() with the source location and the failed condition.
+ *
+ *  - PARANOID_INVARIANT(cond, ...): deep checks enabled by the
+ *    CAPCHECK_PARANOID CMake option (conservation sums, LRU-stamp
+ *    scans). The condition always compiles — so paranoid checks cannot
+ *    bit-rot — but is only evaluated when paranoia is on; the dead
+ *    branch folds away in optimized builds.
+ *
+ * Both macros take an optional printf-style message after the
+ * condition; the format string must be a literal.
+ */
+
+#ifndef CAPCHECK_BASE_INVARIANT_HH
+#define CAPCHECK_BASE_INVARIANT_HH
+
+#include "base/logging.hh"
+
+namespace capcheck
+{
+
+/** True in builds configured with -DCAPCHECK_PARANOID=ON. */
+#ifdef CAPCHECK_PARANOID
+inline constexpr bool paranoidChecks = true;
+#else
+inline constexpr bool paranoidChecks = false;
+#endif
+
+namespace detail
+{
+
+[[noreturn]] inline void
+invariantFailure(const char *file, int line, const char *cond,
+                 const std::string &msg)
+{
+    panic("INVARIANT violated at %s:%d: %s%s%s", file, line, cond,
+          msg.empty() ? "" : " — ", msg.c_str());
+}
+
+} // namespace detail
+
+#define INVARIANT(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) [[unlikely]] {                                         \
+            ::capcheck::detail::invariantFailure(                           \
+                __FILE__, __LINE__, #cond,                                  \
+                ::capcheck::detail::formatString("" __VA_ARGS__));          \
+        }                                                                   \
+    } while (0)
+
+#define PARANOID_INVARIANT(cond, ...)                                       \
+    do {                                                                    \
+        if (::capcheck::paranoidChecks)                                     \
+            INVARIANT(cond, __VA_ARGS__);                                   \
+    } while (0)
+
+} // namespace capcheck
+
+#endif // CAPCHECK_BASE_INVARIANT_HH

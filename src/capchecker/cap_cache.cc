@@ -1,5 +1,6 @@
 #include "capchecker/cap_cache.hh"
 
+#include "base/invariant.hh"
 #include "base/logging.hh"
 
 namespace capcheck::capchecker
@@ -22,6 +23,8 @@ CapCache::access(TaskId task, ObjectId object)
         if (line.valid && line.task == task && line.object == object) {
             line.lastUse = useClock;
             ++_hits;
+            if (paranoidChecks)
+                checkLruSanity();
             return 0;
         }
         if (!line.valid ||
@@ -34,7 +37,34 @@ CapCache::access(TaskId task, ObjectId object)
     victim->task = task;
     victim->object = object;
     victim->lastUse = useClock;
+    if (paranoidChecks)
+        checkLruSanity();
     return _walkCycles;
+}
+
+void
+CapCache::checkLruSanity() const
+{
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const Line &a = lines[i];
+        if (!a.valid)
+            continue;
+        INVARIANT(a.lastUse > 0 && a.lastUse <= useClock,
+                  "LRU stamp %llu outside (0, %llu]",
+                  static_cast<unsigned long long>(a.lastUse),
+                  static_cast<unsigned long long>(useClock));
+        for (std::size_t j = i + 1; j < lines.size(); ++j) {
+            const Line &b = lines[j];
+            if (!b.valid)
+                continue;
+            INVARIANT(a.lastUse != b.lastUse,
+                      "duplicate LRU stamp %llu",
+                      static_cast<unsigned long long>(a.lastUse));
+            INVARIANT(a.task != b.task || a.object != b.object,
+                      "duplicate cache line for (task %u, object %u)",
+                      a.task, a.object);
+        }
+    }
 }
 
 void

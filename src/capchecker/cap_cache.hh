@@ -59,6 +59,10 @@ class CapCache
         std::uint64_t lastUse = 0;
     };
 
+    /** Deep check: LRU stamps unique, within the use clock, and no
+     *  duplicate (task, object) lines. Run under CAPCHECK_PARANOID. */
+    void checkLruSanity() const;
+
     std::vector<Line> lines;
     Cycles _walkCycles;
     std::uint64_t useClock = 0;

@@ -148,7 +148,13 @@ Capability::setBounds(Addr new_base, std::uint64_t length,
         cap._tag = false;
     }
 
-    const CcEncodeResult enc = ccEncode(new_base, new_top);
+    // A request overflowing past 2^64 can never nest (no source top
+    // exceeds 2^64, so the tag is already cleared above); clamp so the
+    // encoder still produces bounds for the untagged result instead of
+    // rejecting the out-of-range top.
+    const u128 two64 = u128(1) << 64;
+    const u128 enc_top = new_top > two64 ? two64 : new_top;
+    const CcEncodeResult enc = ccEncode(new_base, enc_top);
     if (exact && !enc.exact)
         cap._tag = false;
 

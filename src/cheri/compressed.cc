@@ -237,11 +237,18 @@ ccRequiredAlignment(std::uint64_t length)
 {
     if (length < (1ull << 12))
         return 1;
-    // Smallest E such that length fits in a 14-bit mantissa at 2^(E+3)
-    // alignment: length <= 2^(E+14).
-    const unsigned need = ceilLog2(length);
-    const unsigned exp = (need > 13) ? (need - 13) : 0;
-    return 1ull << (exp + 3);
+    // With an internal exponent the implied length MSB sits at mantissa
+    // bit 12 and the low three mantissa bits hold E, so exponent E
+    // represents lengths in [2^12, 2^13 - 2^3] * 2^E only. Find the
+    // smallest E whose 2^(E+3)-rounded length stays inside that window
+    // (the lower edge holds automatically for the smallest such E).
+    for (unsigned exp = 0; exp <= CcLayout::maxExp; ++exp) {
+        const u128 align = u128(1) << (exp + 3);
+        const u128 rounded = (u128(length) + align - 1) & ~(align - 1);
+        if (rounded <= (u128((1u << (mw - 1)) - 8u) << exp))
+            return 1ull << (exp + 3);
+    }
+    return 1ull << (CcLayout::maxExp + 3);
 }
 
 bool

@@ -1,5 +1,6 @@
 #include "mem/interconnect.hh"
 
+#include "base/invariant.hh"
 #include "base/logging.hh"
 
 namespace capcheck
@@ -34,6 +35,7 @@ AxiInterconnect::offer(PortId port, const MemRequest &req)
     if (slot.pending)
         return false;
     slot.pending = req;
+    ++offeredBeats;
     activate(1);
     return true;
 }
@@ -53,35 +55,59 @@ AxiInterconnect::handleResponse(const MemResponse &resp)
     slot.handler->handleResponse(resp);
 }
 
+void
+AxiInterconnect::grantBeat(MasterSlot &slot)
+{
+    ++grants;
+    ++grantedBeats;
+    _grantProbe.notify(*slot.pending);
+    slot.pending.reset();
+}
+
+void
+AxiInterconnect::resetBurst()
+{
+    burstLeft = 0;
+    burstOwner = noOwner;
+}
+
 bool
 AxiInterconnect::tick()
 {
-    // Burst-sticky arbitration: a master holding a burst keeps the bus
-    // while it has back-to-back beats and burst budget left.
-    if (burstLeft > 0 && masters[burstOwner].pending) {
+    // A burst can only continue while its owner still holds a
+    // back-to-back beat. If the owner went idle (or the beat it was
+    // stalled on was retracted), the leftover burst budget must not
+    // survive: drop it and return the bus to round-robin, instead of
+    // re-entering the burst path with a stale owner forever.
+    if (burstLeft > 0) {
+        INVARIANT(burstOwner < masters.size(),
+                  "burst budget of %u beats with no valid owner",
+                  burstLeft);
+        if (!masters[burstOwner].pending)
+            resetBurst();
+    }
+
+    if (burstLeft > 0) {
+        // Burst-sticky arbitration: the owner keeps the bus while it
+        // has back-to-back beats and burst budget left.
         MasterSlot &slot = masters[burstOwner];
         if (downstream.tryAccept(*slot.pending)) {
-            ++grants;
+            grantBeat(slot);
             --burstLeft;
-            _grantProbe.notify(*slot.pending);
-            slot.pending.reset();
+            if (burstLeft == 0)
+                resetBurst();
         } else {
             ++stallCycles;
         }
     } else {
-        burstLeft = 0;
-        bool any_pending = false;
         // Round-robin: scan from rrNext for the first waiting master.
         for (unsigned i = 0; i < masters.size(); ++i) {
             const unsigned port = (rrNext + i) % masters.size();
             MasterSlot &slot = masters[port];
             if (!slot.pending)
                 continue;
-            any_pending = true;
             if (downstream.tryAccept(*slot.pending)) {
-                ++grants;
-                _grantProbe.notify(*slot.pending);
-                slot.pending.reset();
+                grantBeat(slot);
                 rrNext = (port + 1) % masters.size();
                 if (maxBurst > 1) {
                     burstOwner = port;
@@ -92,15 +118,21 @@ AxiInterconnect::tick()
             }
             break; // one beat per cycle, granted or stalled
         }
-        if (!any_pending)
-            return false;
     }
+
     // Keep ticking while any master still holds a request.
-    for (const MasterSlot &slot : masters) {
-        if (slot.pending)
-            return true;
-    }
-    return false;
+    unsigned still_pending = 0;
+    for (const MasterSlot &slot : masters)
+        still_pending += slot.pending.has_value();
+    PARANOID_INVARIANT(
+        offeredBeats == grantedBeats + still_pending,
+        "slot/grant conservation: offered=%llu granted=%llu pending=%u",
+        static_cast<unsigned long long>(offeredBeats),
+        static_cast<unsigned long long>(grantedBeats), still_pending);
+    PARANOID_INVARIANT(burstLeft < maxBurst,
+                       "burst budget %u exceeds max burst %u", burstLeft,
+                       maxBurst);
+    return still_pending > 0;
 }
 
 } // namespace capcheck

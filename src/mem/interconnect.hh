@@ -72,12 +72,24 @@ class AxiInterconnect : public TickingObject, public ResponseHandler
         ResponseHandler *handler = nullptr;
     };
 
+    /** Sentinel: no master currently owns a burst. */
+    static constexpr unsigned noOwner = ~0u;
+
+    void grantBeat(MasterSlot &slot);
+    void resetBurst();
+
     TimingConsumer &downstream;
     std::vector<MasterSlot> masters;
     unsigned rrNext = 0;
     unsigned maxBurst;
     unsigned burstLeft = 0;
-    unsigned burstOwner = 0;
+    unsigned burstOwner = noOwner;
+
+    /** @{ Conservation bookkeeping: every offered beat is either still
+     *  pending in its slot or has been granted downstream. */
+    std::uint64_t offeredBeats = 0;
+    std::uint64_t grantedBeats = 0;
+    /** @} */
 
     stats::Scalar grants;
     stats::Scalar stallCycles;

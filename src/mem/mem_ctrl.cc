@@ -1,5 +1,6 @@
 #include "mem/mem_ctrl.hh"
 
+#include "base/invariant.hh"
 #include "base/logging.hh"
 
 namespace capcheck
@@ -37,6 +38,9 @@ MemoryController::tryAccept(const MemRequest &req)
     resp.id = req.id;
     resp.srcPort = req.srcPort;
     resp.ok = true;
+    PARANOID_INVARIANT(pipeline.empty() ||
+                           pipeline.back().due <= curCycle() + _latency,
+                       "memory pipeline due times not monotonic");
     pipeline.push_back(Inflight{curCycle() + _latency, resp});
     if (!respondEvent.scheduled())
         eq.schedule(&respondEvent, pipeline.front().due);

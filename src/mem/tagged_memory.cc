@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "base/bitfield.hh"
+#include "base/invariant.hh"
 #include "base/logging.hh"
 
 namespace capcheck
@@ -31,11 +32,25 @@ TaggedMemory::write(Addr addr, const void *src, std::uint64_t len)
     checkRange(addr, len);
     std::memcpy(data.data() + addr, src, len);
     clearTags(addr, len);
+    if (paranoidChecks && len > 0) {
+        // Postcondition of the tag discipline: a data write can never
+        // leave a valid capability tag over the bytes it touched.
+        const std::uint64_t first = addr / capGranule;
+        const std::uint64_t last = (addr + len - 1) / capGranule;
+        for (std::uint64_t g = first; g <= last; ++g)
+            INVARIANT(!tags[g], "data write left granule %llu tagged",
+                      static_cast<unsigned long long>(g));
+    }
 }
 
 void
 TaggedMemory::writeRawDma(Addr addr, const void *src, std::uint64_t len)
 {
+    INVARIANT(!dmaTagBarrier,
+              "tag-preserving raw DMA write (0x%llx+%llu) while a "
+              "tag-clearing checker is interposed",
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(len));
     checkRange(addr, len);
     std::memcpy(data.data() + addr, src, len);
 }

@@ -85,11 +85,24 @@ class TaggedMemory
     /** Zero a region (and clear its tags) — driver buffer scrubbing. */
     void scrub(Addr addr, std::uint64_t len);
 
+    /**
+     * Arm the DMA tag barrier: with a tag-clearing checker (the
+     * CapChecker) interposed on the accelerator path, the raw
+     * tag-preserving DMA path cannot exist in the modelled hardware.
+     * Once armed, writeRawDma() is an invariant violation — the
+     * machine-checked form of the paper's anti-forgery property that
+     * no accelerator-originated write carries a valid capability tag
+     * into memory.
+     */
+    void setDmaTagBarrier(bool armed) { dmaTagBarrier = armed; }
+    bool dmaTagBarrierArmed() const { return dmaTagBarrier; }
+
   private:
     void checkRange(Addr addr, std::uint64_t len) const;
 
     std::vector<std::uint8_t> data;
     std::vector<bool> tags;
+    bool dmaTagBarrier = false;
 };
 
 } // namespace capcheck

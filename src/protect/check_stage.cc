@@ -1,5 +1,6 @@
 #include "protect/check_stage.hh"
 
+#include "base/invariant.hh"
 #include "base/logging.hh"
 
 namespace capcheck::protect
@@ -42,6 +43,14 @@ CheckStage::tryAccept(const MemRequest &req)
         return downstream.tryAccept(req);
     }
 
+    // The pipe drains strictly FIFO, so a cache-miss walk making an
+    // older entry due *later* than a newer hit is legal (head-of-line
+    // blocking); what must hold is the structural depth bound enforced
+    // by the admission guard above.
+    PARANOID_INVARIANT(pipe.size() <= checker.checkLatency() + 5,
+                       "check pipeline deeper than its structural bound "
+                       "(%zu entries)",
+                       pipe.size());
     pipe.push_back(Staged{req, verdict.allowed, curCycle() + latency});
     activate(latency ? latency : 1);
     return true;
@@ -63,6 +72,12 @@ CheckStage::tick()
             pipe.pop_front();
             continue;
         }
+        // The paper's core security property, asserted at the memory
+        // boundary: a request the checker denied is never forwarded.
+        INVARIANT(head.allowed,
+                  "denied request (id %llu) about to cross the memory "
+                  "boundary",
+                  static_cast<unsigned long long>(head.req.id));
         if (downstream.tryAccept(head.req)) {
             pipe.pop_front();
             // Only one forward per cycle (single downstream channel).

@@ -158,6 +158,12 @@ AttackLab::build()
         break;
       }
     }
+
+    // A CHERI-aware interposer removes the raw DMA path from the
+    // platform entirely; arm the tag barrier so any attack modelling
+    // that bypass under a CapChecker is itself flagged as a bug.
+    if (activeChecker->clearsTagsOnWrite())
+        mem.setDmaTagBarrier(true);
 }
 
 bool

@@ -1,5 +1,9 @@
 #include "sim/eventq.hh"
 
+#include <cstdlib>
+#include <exception>
+
+#include "base/invariant.hh"
 #include "base/logging.hh"
 
 namespace capcheck
@@ -8,9 +12,27 @@ namespace capcheck
 Event::~Event()
 {
     // The owner must deschedule before destruction; the queue holds raw
-    // pointers. Destroying a scheduled event is an ownership bug.
-    if (_scheduled)
-        warn("event destroyed while scheduled: %s", description().c_str());
+    // pointers, so a still-scheduled event would leave a dangling entry
+    // that serviceOne() dereferences later. A destructor cannot throw,
+    // so this is a hard abort rather than a panic() -- except while a
+    // SimError is already unwinding the stack, where owners being torn
+    // down mid-simulation is expected collateral and aborting would
+    // hide the original error from the caller.
+    if (_scheduled) {
+        if (std::uncaught_exceptions() > 0) {
+            detail::logMessage(
+                "warn", detail::formatString(
+                            "event destroyed while scheduled during "
+                            "error unwind: %s",
+                            description().c_str()));
+            return;
+        }
+        detail::logMessage(
+            "panic", detail::formatString(
+                         "event destroyed while scheduled: %s",
+                         description().c_str()));
+        std::abort();
+    }
 }
 
 void
@@ -30,6 +52,8 @@ EventQueue::schedule(Event *event, Cycles when)
     event->_scheduled = true;
     heap.push(Entry{when, event->priority(), event->_sequence, event});
     ++live;
+    PARANOID_INVARIANT(heap.size() == live + cancelled.size(),
+                       "live-count conservation after schedule");
 }
 
 void
@@ -38,10 +62,15 @@ EventQueue::deschedule(Event *event)
     if (!event->_scheduled)
         panic("descheduling non-scheduled event: %s",
               event->description().c_str());
-    // Lazy deletion: mark unscheduled; the heap entry is dropped when
-    // popped (matched via the sequence number).
+    // Lazy deletion: remember the cancelled sequence number; the heap
+    // entry is dropped when it reaches the top. The Event itself is
+    // never dereferenced through that entry, so the owner is free to
+    // destroy a descheduled event immediately.
+    cancelled.insert(event->_sequence);
     event->_scheduled = false;
     --live;
+    PARANOID_INVARIANT(heap.size() == live + cancelled.size(),
+                       "live-count conservation after deschedule");
 }
 
 void
@@ -52,6 +81,20 @@ EventQueue::reschedule(Event *event, Cycles when)
     schedule(event, when);
 }
 
+bool
+EventQueue::purgeStale()
+{
+    while (!heap.empty()) {
+        const auto it = cancelled.find(heap.top().sequence);
+        if (it == cancelled.end())
+            return true;
+        cancelled.erase(it);
+        heap.pop();
+    }
+    INVARIANT(live == 0, "empty heap with %zu live events", live);
+    return false;
+}
+
 void
 EventQueue::serviceOne()
 {
@@ -59,9 +102,14 @@ EventQueue::serviceOne()
     heap.pop();
 
     Event *event = entry.event;
-    // Skip stale entries left behind by deschedule()/reschedule().
-    if (!event->_scheduled || event->_sequence != entry.sequence)
-        return;
+    // purgeStale() ran just before us: the top entry must be live and
+    // current, so dereferencing the pointer is safe.
+    INVARIANT(event->_scheduled && event->_sequence == entry.sequence,
+              "stale heap entry survived purge");
+    INVARIANT(entry.when >= _curCycle,
+              "event time not monotonic (%llu < %llu)",
+              static_cast<unsigned long long>(entry.when),
+              static_cast<unsigned long long>(_curCycle));
 
     if (entry.when != _curCycle) {
         _curCycle = entry.when;
@@ -69,22 +117,22 @@ EventQueue::serviceOne()
     }
     event->_scheduled = false;
     --live;
+    PARANOID_INVARIANT(heap.size() == live + cancelled.size(),
+                       "live-count conservation after pop");
     event->process();
 }
 
 Cycles
 EventQueue::run(Cycles limit)
 {
-    while (!heap.empty()) {
-        if (heap.top().when > limit) {
-            // Drop nothing; the caller may resume later.
-            if (limit != _curCycle) {
-                _curCycle = limit;
-                _cycleProbe.notify(_curCycle);
-            }
-            return _curCycle;
-        }
+    while (purgeStale() && heap.top().when <= limit)
         serviceOne();
+    // The queue drained or the next event lies beyond the horizon:
+    // with a finite limit, time still advances to the horizon (and the
+    // cycle probe fires) so periodic observers see their final window.
+    if (limit != forever && _curCycle < limit) {
+        _curCycle = limit;
+        _cycleProbe.notify(_curCycle);
     }
     return _curCycle;
 }
@@ -92,10 +140,10 @@ EventQueue::run(Cycles limit)
 void
 EventQueue::step()
 {
-    if (heap.empty())
+    if (!purgeStale())
         return;
     const Cycles cycle = heap.top().when;
-    while (!heap.empty() && heap.top().when == cycle)
+    while (purgeStale() && heap.top().when == cycle)
         serviceOne();
 }
 

@@ -16,6 +16,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "base/probe.hh"
@@ -45,6 +46,15 @@ class Event
     };
 
     explicit Event(int priority = defaultPrio) : _priority(priority) {}
+
+    /**
+     * Destroying an event that is still scheduled is a hard error —
+     * the queue would be left holding a dangling pointer, so this
+     * aborts (destructors cannot throw). Deschedule first. A
+     * descheduled event may be destroyed immediately: the queue tracks
+     * its stale heap entry by sequence number and never touches the
+     * event again.
+     */
     virtual ~Event();
 
     Event(const Event &) = delete;
@@ -93,6 +103,10 @@ class EventQueue
   public:
     EventQueue() = default;
 
+    /** run() limit meaning "no horizon": drain and stop at the last
+     *  processed event's cycle. */
+    static constexpr Cycles forever = ~Cycles{0};
+
     /** Current simulation time in cycles. */
     Cycles curCycle() const { return _curCycle; }
 
@@ -105,17 +119,20 @@ class EventQueue
     /** Re-schedule an already scheduled event to a new time. */
     void reschedule(Event *event, Cycles when);
 
-    /** True when no events remain. */
-    bool empty() const { return heap.empty(); }
+    /** True when no live events remain (stale heap entries ignored). */
+    bool empty() const { return live == 0; }
 
     /** Number of pending events. */
     std::size_t pending() const { return live; }
 
     /**
-     * Run until the queue drains or @p limit cycles elapse.
-     * @return the cycle after the last processed event.
+     * Run until the queue drains or @p limit cycles elapse. With a
+     * finite limit, time always advances to @p limit (and the cycle
+     * probe fires) even when the queue drains early, so periodic
+     * observers see their final window.
+     * @return the current cycle after the run.
      */
-    Cycles run(Cycles limit = ~Cycles{0});
+    Cycles run(Cycles limit = forever);
 
     /** Process events for exactly one cycle (the earliest pending one). */
     void step();
@@ -147,8 +164,16 @@ class EventQueue
     };
 
     void serviceOne();
+    bool purgeStale();
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    /**
+     * Sequence numbers of descheduled entries still sitting in the
+     * heap. Stale entries are identified by this set alone — their
+     * Event pointers are never dereferenced, so the owner may destroy
+     * a descheduled event at any time.
+     */
+    std::unordered_set<std::uint64_t> cancelled;
     Cycles _curCycle = 0;
     std::uint64_t nextSequence = 0;
     std::size_t live = 0;

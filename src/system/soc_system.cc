@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_set>
 
 #include "accel/accelerator.hh"
+#include "base/invariant.hh"
 #include "accel/trace_accessor.hh"
 #include "accel/trace_player.hh"
 #include "base/json.hh"
@@ -196,6 +198,12 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
         return bank ? &bank->at(task) : checker.get();
     };
 
+    // With a tag-clearing checker interposed, the raw tag-preserving
+    // DMA path does not exist in the modelled hardware; arm the
+    // barrier so any use of it trips an invariant.
+    if (protection->clearsTagsOnWrite())
+        mem.setDmaTagBarrier(true);
+
     MemoryController memctrl(eq, &stat_root, cfg.memLatency);
     protect::CheckStage check_stage(eq, &stat_root, *protection,
                                     memctrl);
@@ -204,6 +212,40 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
                          check_stage, cfg.xbarMaxBurst);
     memctrl.setUpstream(xbar);
     check_stage.setUpstream(xbar);
+
+    // Paranoid end-to-end security invariant, independent of the
+    // CheckStage's internal routing: a request the active checker
+    // denied must never be observed entering the memory controller.
+    // Keyed by (srcPort, id) — request ids are per-master counters.
+    std::unordered_set<std::uint64_t> denied_keys;
+    if (paranoidChecks) {
+        const auto request_key = [](const MemRequest &req) {
+            return (static_cast<std::uint64_t>(req.srcPort) << 48) ^
+                   req.id;
+        };
+        const auto watch = [&](capchecker::CapChecker &cc) {
+            cc.checkResultProbe().attach(
+                [&denied_keys, request_key](
+                    const capchecker::CheckResultEvent &ev) {
+                    if (!ev.allowed)
+                        denied_keys.insert(request_key(*ev.req));
+                });
+        };
+        if (bank) {
+            for (unsigned p = 0; p < plan.size(); ++p)
+                watch(bank->at(p));
+        } else if (checker) {
+            watch(*checker);
+        }
+        memctrl.acceptProbe().attach(
+            [&denied_keys, request_key](const MemRequest &req) {
+                INVARIANT(denied_keys.count(request_key(req)) == 0,
+                          "denied request (port %u, id %llu) reached "
+                          "the memory controller",
+                          req.srcPort,
+                          static_cast<unsigned long long>(req.id));
+            });
+    }
 
     if (observer) {
         if (bank) {

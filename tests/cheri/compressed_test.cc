@@ -166,11 +166,17 @@ TEST(CcCodec, RequiredAlignmentMatchesSpecShape)
     EXPECT_EQ(ccRequiredAlignment(0), 1u);
     EXPECT_EQ(ccRequiredAlignment(4095), 1u);
     EXPECT_EQ(ccRequiredAlignment(4096), 8u);
-    EXPECT_EQ(ccRequiredAlignment(1ull << 13), 8u);
-    EXPECT_EQ(ccRequiredAlignment(1ull << 14), 16u);
+    // The IE length mantissa is 13 usable bits (the implied MSB sits at
+    // bit 12), so an exact power of two at the window's upper edge
+    // needs the next exponent: 2^13 is NOT representable at E=0 (max
+    // there is 2^13 - 8).
+    EXPECT_EQ(ccRequiredAlignment((1ull << 13) - 8), 8u);
+    EXPECT_EQ(ccRequiredAlignment(1ull << 13), 16u);
+    EXPECT_EQ(ccRequiredAlignment(1ull << 14), 32u);
     EXPECT_EQ(ccRequiredAlignment((1ull << 14) + 1), 32u);
     // Alignment grows linearly with length (constant relative precision).
-    EXPECT_EQ(ccRequiredAlignment(1ull << 30), 1ull << 20);
+    EXPECT_EQ(ccRequiredAlignment(1ull << 30), 1ull << 21);
+    EXPECT_EQ(ccRequiredAlignment((1ull << 30) - (1ull << 21)), 1ull << 20);
 }
 
 TEST(CcCodec, RequiredAlignmentGuaranteesExactEncoding)

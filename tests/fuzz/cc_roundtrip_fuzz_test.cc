@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Property fuzzer for the CHERI-Concentrate encoder/decoder
+ * (src/cheri/compressed.cc). Each iteration draws random bounds with
+ * magnitude-uniform lengths (so tiny and huge regions are equally
+ * likely) and checks the encoder's contract:
+ *
+ *   1. decode(encode(b, t)) contains [b, t)  — never narrows;
+ *   2. the `exact` flag is truthful in both directions;
+ *   3. bounds aligned to ccRequiredAlignment(len) encode exactly;
+ *   4. ccIsRepresentable(p, a, b) <=> decode(p, a) == decode(p, b).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "base/random.hh"
+#include "cheri/compressed.hh"
+#include "fuzz_env.hh"
+
+namespace capcheck::cheri
+{
+namespace
+{
+
+/** Random [base, top) with top possibly 2^64; never empty. */
+void
+randomBounds(Rng &rng, Addr &base, u128 &top)
+{
+    base = fuzz::randomSized(rng);
+    const std::uint64_t len = fuzz::randomSized(rng);
+    top = static_cast<u128>(base) + len + 1;
+    if (top > (static_cast<u128>(1) << 64)) {
+        // Clamp into the 65-bit top space by sliding the base down.
+        const u128 excess = top - (static_cast<u128>(1) << 64);
+        base -= static_cast<Addr>(excess);
+        top = static_cast<u128>(1) << 64;
+    }
+}
+
+TEST(CcRoundtripFuzz, EncodeDecodeContract)
+{
+    Rng rng(fuzz::seed());
+    const std::uint64_t iters = fuzz::iterations();
+
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        Addr base;
+        u128 top;
+        randomBounds(rng, base, top);
+
+        const CcEncodeResult enc = ccEncode(base, top);
+        const CcBounds dec = ccDecode(enc.pesbt, base);
+
+        // 1. Rounding is outward only.
+        ASSERT_LE(dec.base, base) << "iteration " << i;
+        ASSERT_GE(dec.top, top) << "iteration " << i;
+
+        // 2. Exactness flag is truthful.
+        const bool is_exact = dec.base == base && dec.top == top;
+        ASSERT_EQ(enc.exact, is_exact)
+            << "iteration " << i << ": exact flag lies for base=0x"
+            << std::hex << base << " len=0x"
+            << static_cast<std::uint64_t>(top - base);
+
+        // Decoding must be stable at any representable cursor, e.g. the
+        // last byte of the requested region.
+        const Addr last = static_cast<Addr>(top - 1);
+        const CcBounds dec2 = ccDecode(enc.pesbt, last);
+        ASSERT_EQ(dec, dec2)
+            << "iteration " << i
+            << ": bounds change between cursors inside the region";
+    }
+}
+
+TEST(CcRoundtripFuzz, RequiredAlignmentSufficient)
+{
+    Rng rng(fuzz::seed() ^ 0xa11600d);
+    const std::uint64_t iters = fuzz::iterations();
+
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        std::uint64_t len = fuzz::randomSized(rng);
+        if (len == 0)
+            len = 1;
+
+        const std::uint64_t align = ccRequiredAlignment(len);
+        ASSERT_NE(align, 0u);
+        // Aligning the length up may legally raise the requirement one
+        // notch (a carry into the next mantissa bit), so iterate to the
+        // fixed point; ccRequiredAlignment is monotone in len, making
+        // this converge in at most a couple of steps.
+        std::uint64_t a = align;
+        std::uint64_t alen = len;
+        for (int round = 0; round < 4; ++round) {
+            alen = (len + a - 1) & ~(a - 1);
+            const std::uint64_t need = ccRequiredAlignment(alen);
+            if (need <= a)
+                break;
+            a = need;
+        }
+        if (alen == 0)
+            continue; // length overflowed past 2^64; not encodable
+        const Addr base = fuzz::randomSized(rng) & ~(a - 1);
+        const u128 top = static_cast<u128>(base) + alen;
+        if (top > (static_cast<u128>(1) << 64))
+            continue;
+
+        const CcEncodeResult enc = ccEncode(base, top);
+        ASSERT_TRUE(enc.exact)
+            << "iteration " << i << ": aligned region base=0x" << std::hex
+            << base << " len=0x" << alen << " align=0x" << a
+            << " did not encode exactly";
+    }
+}
+
+TEST(CcRoundtripFuzz, RepresentabilityMatchesDecode)
+{
+    Rng rng(fuzz::seed() ^ 0x5eb5eb);
+    const std::uint64_t iters = fuzz::iterations();
+
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        Addr base;
+        u128 top;
+        randomBounds(rng, base, top);
+        const CcEncodeResult enc = ccEncode(base, top);
+
+        // Probe with cursors near the region and fully random ones.
+        Addr probe;
+        switch (rng.nextBounded(4)) {
+          case 0:
+            probe = base + fuzz::randomSized(rng);
+            break;
+          case 1:
+            probe = base - fuzz::randomSized(rng);
+            break;
+          case 2:
+            probe = static_cast<Addr>(top) + fuzz::randomSized(rng);
+            break;
+          default:
+            probe = rng.next();
+            break;
+        }
+
+        const bool rep = ccIsRepresentable(enc.pesbt, base, probe);
+        const bool same =
+            ccDecode(enc.pesbt, base) == ccDecode(enc.pesbt, probe);
+        ASSERT_EQ(rep, same)
+            << "iteration " << i << ": ccIsRepresentable=" << rep
+            << " but decode equality=" << same << " for cursor 0x"
+            << std::hex << probe;
+    }
+}
+
+} // namespace
+} // namespace capcheck::cheri

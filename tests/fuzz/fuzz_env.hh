@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared knobs for the deterministic fuzz harnesses. Every harness is
+ * an ordinary seeded gtest: the default budget (10k iterations) runs in
+ * well under a second, so the harnesses live in the `quick` ctest
+ * label; CI or a local soak can scale them up via the environment:
+ *
+ *   CAPCHECK_FUZZ_ITERS=1000000 CAPCHECK_FUZZ_SEED=7 ./tests/test_fuzz
+ */
+
+#ifndef CAPCHECK_TESTS_FUZZ_FUZZ_ENV_HH
+#define CAPCHECK_TESTS_FUZZ_FUZZ_ENV_HH
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "base/random.hh"
+
+namespace capcheck::fuzz
+{
+
+/** Iteration budget; CAPCHECK_FUZZ_ITERS overrides. */
+inline std::uint64_t
+iterations(std::uint64_t fallback = 10000)
+{
+    if (const char *env = std::getenv("CAPCHECK_FUZZ_ITERS"))
+        return std::strtoull(env, nullptr, 10);
+    return fallback;
+}
+
+/** Base RNG seed; CAPCHECK_FUZZ_SEED overrides. */
+inline std::uint64_t
+seed(std::uint64_t fallback = 0x5eedc0ffee)
+{
+    if (const char *env = std::getenv("CAPCHECK_FUZZ_SEED"))
+        return std::strtoull(env, nullptr, 10);
+    return fallback;
+}
+
+/**
+ * A 64-bit value whose magnitude is itself uniform: first draw a bit
+ * width, then a value of that width. Plain uniform draws would almost
+ * never produce the small values where most encoder edge cases live.
+ */
+inline std::uint64_t
+randomSized(Rng &rng)
+{
+    const unsigned bits = static_cast<unsigned>(rng.nextBounded(65));
+    if (bits == 0)
+        return 0;
+    if (bits >= 64)
+        return rng.next();
+    return rng.next() & ((std::uint64_t{1} << bits) - 1);
+}
+
+} // namespace capcheck::fuzz
+
+#endif // CAPCHECK_TESTS_FUZZ_FUZZ_ENV_HH

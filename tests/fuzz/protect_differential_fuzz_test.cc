@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Differential fuzzer over the protection schemes of Table 1. One
+ * random DMA trace is replayed through CapChecker-Fine,
+ * CapChecker-Coarse, IOMMU, IOPMP and NoProtection, all programmed with
+ * the same task/buffer layout, and every verdict tuple is checked
+ * against the permissiveness lattice:
+ *
+ *   Fine-allowed  =>  Coarse-allowed          (same capability table)
+ *   Fine-allowed  =>  IOPMP- and IOMMU-allowed (byte-granular is the
+ *                                              strictest programming)
+ *   any-allowed   =>  NoProtection-allowed
+ *
+ * plus the sanity floor that an in-bounds, correctly-permissioned
+ * access to a task's own buffer is allowed by every scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+#include "capchecker/capchecker.hh"
+#include "cheri/capability.hh"
+#include "cheri/compressed.hh"
+#include "cheri/perms.hh"
+#include "mem/packet.hh"
+#include "protect/iommu.hh"
+#include "protect/iopmp.hh"
+#include "protect/no_protection.hh"
+#include "fuzz_env.hh"
+
+namespace capcheck::protect
+{
+namespace
+{
+
+constexpr TaskId numTasks = 3;
+constexpr unsigned buffersPerTask = 4;
+
+struct Buffer
+{
+    TaskId owner;
+    ObjectId object;
+    Addr base;
+    std::uint64_t size;
+    bool writable;
+};
+
+/** Buffer layout with CC-exact, page-disjoint extents. */
+std::vector<Buffer>
+makeBuffers(Rng &rng)
+{
+    std::vector<Buffer> buffers;
+    for (TaskId task = 0; task < numTasks; ++task) {
+        for (unsigned i = 0; i < buffersPerTask; ++i) {
+            Buffer buf;
+            buf.owner = task;
+            buf.object = static_cast<ObjectId>(buffers.size());
+            // 1 MiB strides: page-disjoint, and aligned for any
+            // alignment CC can demand of a <= 64 KiB region.
+            buf.base = (Addr{1} + buffers.size()) << 20;
+            buf.size = 1 + rng.nextBounded(64 * 1024);
+            // Round to the CC-exact fixed point so the capability's
+            // bounds equal the region the other schemes protect.
+            for (int round = 0; round < 4; ++round) {
+                const std::uint64_t a = cheri::ccRequiredAlignment(buf.size);
+                const std::uint64_t rounded = (buf.size + a - 1) & ~(a - 1);
+                if (rounded == buf.size)
+                    break;
+                buf.size = rounded;
+            }
+            buf.writable = rng.nextBool(0.5);
+            buffers.push_back(buf);
+        }
+    }
+    return buffers;
+}
+
+TEST(ProtectDifferentialFuzz, PermissivenessLattice)
+{
+    Rng rng(fuzz::seed() ^ 0xd1ff);
+    const std::uint64_t iters = fuzz::iterations();
+
+    const std::vector<Buffer> buffers = makeBuffers(rng);
+
+    capchecker::CapChecker::Params fine_params;
+    fine_params.provenance = capchecker::Provenance::fine;
+    capchecker::CapChecker fine(fine_params);
+
+    capchecker::CapChecker::Params coarse_params;
+    coarse_params.provenance = capchecker::Provenance::coarse;
+    capchecker::CapChecker coarse(coarse_params);
+
+    Iommu iommu(8);
+    Iopmp iopmp(64);
+    NoProtection none;
+
+    for (const Buffer &buf : buffers) {
+        const std::uint32_t perms =
+            buf.writable ? cheri::permDataRW : cheri::permDataRO;
+        const cheri::Capability cap = cheri::Capability::root()
+                                          .setBounds(buf.base, buf.size)
+                                          .andPerms(perms);
+        ASSERT_TRUE(cap.tag());
+        ASSERT_EQ(cap.base(), buf.base) << "buffer bounds not CC-exact";
+        ASSERT_TRUE(cap.top() == static_cast<u128>(buf.base) + buf.size);
+
+        ASSERT_TRUE(fine.installCapability(buf.owner, buf.object, cap));
+        ASSERT_TRUE(coarse.installCapability(buf.owner, buf.object, cap));
+        iommu.mapRange(buf.owner, buf.base, buf.size, buf.writable);
+        ASSERT_TRUE(iopmp.addRegion(Iopmp::Region{
+            buf.owner, buf.base, buf.size, true, buf.writable}));
+    }
+
+    std::uint64_t allowed_count = 0;
+    std::uint64_t denied_count = 0;
+
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        const Buffer &buf = buffers[rng.nextBounded(buffers.size())];
+        // Mostly probe as the owner, sometimes as another task.
+        const TaskId task = rng.nextBool(0.75)
+                                ? buf.owner
+                                : static_cast<TaskId>(
+                                      rng.nextBounded(numTasks));
+
+        // Offsets concentrate around the buffer edges, where the
+        // off-by-one bugs live.
+        std::int64_t offset;
+        switch (rng.nextBounded(4)) {
+          case 0: // interior
+            offset = static_cast<std::int64_t>(rng.nextBounded(buf.size));
+            break;
+          case 1: // near the end (possibly just past it)
+            offset = static_cast<std::int64_t>(buf.size) -
+                     rng.nextRange(-80, 80);
+            break;
+          case 2: // near the start (possibly just before it)
+            offset = rng.nextRange(-80, 80);
+            break;
+          default: // far out
+            offset = rng.nextRange(-(64 << 10), (128 << 10));
+            break;
+        }
+        const std::uint32_t size = 1 + static_cast<std::uint32_t>(
+                                           rng.nextBounded(64));
+        const Addr addr = buf.base + static_cast<Addr>(offset);
+        const MemCmd cmd = rng.nextBool() ? MemCmd::write : MemCmd::read;
+
+        MemRequest req;
+        req.cmd = cmd;
+        req.addr = addr;
+        req.size = size;
+        req.task = task;
+        req.object = buf.object;
+        req.id = i;
+
+        MemRequest coarse_req = req;
+        coarse_req.object = invalidObjectId;
+        coarse_req.addr =
+            (Addr{buf.object} << capchecker::CapChecker::coarseAddrBits) |
+            (addr & ((Addr{1} << capchecker::CapChecker::coarseAddrBits) -
+                     1));
+
+        const bool fine_ok = fine.check(req).allowed;
+        const bool coarse_ok = coarse.check(coarse_req).allowed;
+        const bool iommu_ok = iommu.check(req).allowed;
+        const bool iopmp_ok = iopmp.check(req).allowed;
+        const bool none_ok = none.check(req).allowed;
+
+        const auto context = [&] {
+            return ::testing::Message()
+                   << "iteration " << i << ": task " << task << " "
+                   << memCmdName(cmd) << " 0x" << std::hex << addr << "+"
+                   << std::dec << size << " (object " << buf.object
+                   << ", owner " << buf.owner << ", buffer 0x" << std::hex
+                   << buf.base << "+0x" << buf.size
+                   << (buf.writable ? " rw)" : " ro)");
+        };
+
+        // The lattice.
+        ASSERT_TRUE(!fine_ok || coarse_ok)
+            << "Fine allowed but Coarse denied — " << context();
+        ASSERT_TRUE(!fine_ok || iopmp_ok)
+            << "Fine allowed but IOPMP denied — " << context();
+        ASSERT_TRUE(!fine_ok || iommu_ok)
+            << "Fine allowed but IOMMU denied — " << context();
+        ASSERT_TRUE((!fine_ok && !coarse_ok && !iommu_ok && !iopmp_ok) ||
+                    none_ok)
+            << "a scheme allowed what NoProtection denies — " << context();
+
+        // Sanity floor: well-formed own-buffer accesses pass everywhere.
+        const bool in_bounds =
+            offset >= 0 &&
+            static_cast<std::uint64_t>(offset) + size <= buf.size;
+        const bool perm_ok = cmd == MemCmd::read || buf.writable;
+        if (task == buf.owner && in_bounds && perm_ok) {
+            ASSERT_TRUE(fine_ok && coarse_ok && iommu_ok && iopmp_ok &&
+                        none_ok)
+                << "legitimate access denied (fine=" << fine_ok
+                << " coarse=" << coarse_ok << " iommu=" << iommu_ok
+                << " iopmp=" << iopmp_ok << ") — " << context();
+        }
+
+        // And the strict converse for the byte-granular schemes: an
+        // access that escapes the buffer or violates its permission
+        // must be denied by both CapChecker modes and the IOPMP.
+        if (!in_bounds || !perm_ok || task != buf.owner) {
+            ASSERT_FALSE(fine_ok)
+                << "Fine allowed an illegal access — " << context();
+            ASSERT_FALSE(coarse_ok)
+                << "Coarse allowed an illegal access — " << context();
+            ASSERT_FALSE(iopmp_ok)
+                << "IOPMP allowed an illegal access — " << context();
+        }
+
+        (fine_ok ? allowed_count : denied_count) += 1;
+    }
+
+    // The trace must exercise both verdicts or the lattice checks are
+    // vacuous.
+    EXPECT_GT(allowed_count, 0u);
+    EXPECT_GT(denied_count, 0u);
+}
+
+} // namespace
+} // namespace capcheck::protect

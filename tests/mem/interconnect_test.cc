@@ -185,6 +185,108 @@ TEST(Interconnect, BurstDoesNotChangeTotalThroughput)
     }
 }
 
+/** Downstream that can be told to refuse beats (a stalled pipeline). */
+class StallableSink : public TimingConsumer
+{
+  public:
+    bool
+    tryAccept(const MemRequest &req) override
+    {
+        if (stalled)
+            return false;
+        accepted.push_back(req);
+        return true;
+    }
+
+    bool stalled = false;
+    std::vector<MemRequest> accepted;
+};
+
+TEST(Interconnect, BurstBudgetDroppedWhenOwnerGoesIdle)
+{
+    // Regression: after a grant armed the burst (owner 0, budget 3),
+    // arbitration re-entered the burst path even when the owner had no
+    // pending beat, dereferencing the empty slot and starving everyone
+    // else. The leftover budget must be dropped instead.
+    EventQueue eq;
+    stats::StatGroup root("soc");
+    StallableSink sink;
+    AxiInterconnect xbar(eq, &root, 2, sink, /*max_burst=*/4);
+
+    EXPECT_TRUE(xbar.offer(0, makeReq(0, 1)));
+    eq.run();
+    ASSERT_EQ(sink.accepted.size(), 1u);
+
+    // Owner 0 went idle with burst budget left; master 1 must still be
+    // served on the next beat.
+    EXPECT_TRUE(xbar.offer(1, makeReq(1, 2)));
+    eq.run();
+    ASSERT_EQ(sink.accepted.size(), 2u);
+    EXPECT_EQ(sink.accepted[1].srcPort, 1u);
+    // And the queue drained: a stale burst must not keep the
+    // interconnect ticking forever.
+    EXPECT_FALSE(xbar.active());
+}
+
+TEST(Interconnect, StalledBurstBeatIsRetriedNotLost)
+{
+    EventQueue eq;
+    stats::StatGroup root("soc");
+    StallableSink sink;
+    AxiInterconnect xbar(eq, &root, 2, sink, /*max_burst=*/2);
+
+    // First beat grants and arms the burst.
+    EXPECT_TRUE(xbar.offer(0, makeReq(0, 1)));
+    eq.step();
+    ASSERT_EQ(sink.accepted.size(), 1u);
+
+    // Second back-to-back beat hits a stalled downstream for a few
+    // cycles; the beat (and the burst accounting) must survive the
+    // stall and complete once the sink drains.
+    sink.stalled = true;
+    EXPECT_TRUE(xbar.offer(0, makeReq(0, 2)));
+    eq.step();
+    eq.step();
+    EXPECT_EQ(sink.accepted.size(), 1u);
+    EXPECT_FALSE(xbar.canOffer(0)); // beat still buffered, not dropped
+
+    sink.stalled = false;
+    eq.run();
+    ASSERT_EQ(sink.accepted.size(), 2u);
+    EXPECT_EQ(sink.accepted[1].id, 2u);
+    EXPECT_FALSE(xbar.active());
+}
+
+TEST(Interconnect, NewOwnerStartsItsOwnBurstAfterReset)
+{
+    // After a dropped burst, the next master to win arbitration gets a
+    // full burst of its own, not the stale leftover budget.
+    EventQueue eq;
+    stats::StatGroup root("soc");
+    StallableSink sink;
+    AxiInterconnect xbar(eq, &root, 2, sink, /*max_burst=*/3);
+
+    EXPECT_TRUE(xbar.offer(0, makeReq(0, 1)));
+    eq.run(); // burst armed for 0, then dropped (0 idle)
+
+    // Master 1 issues three back-to-back beats; with its own burst it
+    // keeps the bus even though master 0 re-offers in between.
+    EXPECT_TRUE(xbar.offer(1, makeReq(1, 10)));
+    eq.step();
+    EXPECT_TRUE(xbar.offer(1, makeReq(1, 11)));
+    EXPECT_TRUE(xbar.offer(0, makeReq(0, 2)));
+    eq.step();
+    EXPECT_TRUE(xbar.offer(1, makeReq(1, 12)));
+    eq.step();
+    eq.run();
+
+    ASSERT_EQ(sink.accepted.size(), 5u);
+    EXPECT_EQ(sink.accepted[1].srcPort, 1u);
+    EXPECT_EQ(sink.accepted[2].srcPort, 1u);
+    EXPECT_EQ(sink.accepted[3].srcPort, 1u);
+    EXPECT_EQ(sink.accepted[4].srcPort, 0u);
+}
+
 TEST(MemCtrl, PipelinedResponsesPreserveOrderAndLatency)
 {
     EventQueue eq;
