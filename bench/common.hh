@@ -3,12 +3,13 @@
  * Shared helpers for the table/figure reproduction harnesses: the
  * standard sweep command line (--jobs/--json-dir/--no-cache/--quiet
  * plus the observability options --trace-out/--sample-interval/
- * --audit-log and --debug-flags), SweepRunner construction, and
- * config shorthands. All simulation points flow through
- * harness::RunRequest lists submitted to a SweepRunner, so every
- * harness parallelizes with --jobs, shares the in-process result
- * cache, and can emit Chrome traces, stat time-series and security
- * audit logs for every simulated point.
+ * --audit-log/--flight-out/--latency-json/--topn and --debug-flags),
+ * SweepRunner construction, and config shorthands. All simulation
+ * points flow through harness::RunRequest lists submitted to a
+ * SweepRunner, so every harness parallelizes with --jobs, shares the
+ * in-process result cache, and can emit Chrome traces, stat
+ * time-series, security audit logs and flight-recorder latency
+ * breakdowns for every simulated point.
  */
 
 #ifndef CAPCHECK_BENCH_COMMON_HH
@@ -50,6 +51,12 @@ struct BenchOptions
     Cycles sampleInterval = 0;
     /** --audit-log DIR: per-run JSONL security audit logs. */
     std::string auditLog;
+    /** --flight-out DIR: per-run top-N-slowest-flight tables. */
+    std::string flightOut;
+    /** --latency-json DIR: per-run latency histograms (p50/p95/p99). */
+    std::string latencyJson;
+    /** --topn N: slowest flights kept per run. */
+    unsigned topN = 10;
 };
 
 inline void
@@ -59,7 +66,9 @@ printUsage(const char *argv0)
         << "usage: " << argv0
         << " [--jobs N] [--json-dir DIR] [--no-cache] [--quiet]\n"
         << "       [--trace-out DIR] [--sample-interval N]"
-        << " [--audit-log DIR] [--debug-flags LIST]\n"
+        << " [--audit-log DIR]\n"
+        << "       [--flight-out DIR] [--latency-json DIR] [--topn N]"
+        << " [--debug-flags LIST]\n"
         << "  --jobs N            worker threads (default: all cores)\n"
         << "  --json-dir DIR      write run-<hash>.json + manifest\n"
         << "  --no-cache          re-simulate repeated requests\n"
@@ -70,6 +79,13 @@ printUsage(const char *argv0)
         << "                      run-<hash>.samples.json\n"
         << "  --audit-log DIR     write run-<hash>.audit.jsonl\n"
         << "                      security audit logs\n"
+        << "  --flight-out DIR    write run-<hash>.flights.json tables\n"
+        << "                      of the slowest DMA requests with\n"
+        << "                      per-hop latency breakdowns\n"
+        << "  --latency-json DIR  write run-<hash>.latency.json log2\n"
+        << "                      latency histograms (p50/p95/p99) and\n"
+        << "                      per-component cycle attribution\n"
+        << "  --topn N            slowest flights kept per run (10)\n"
         << "  --debug-flags LIST  enable debug flags (? lists them)\n";
 }
 
@@ -114,6 +130,20 @@ parseOptions(int argc, char **argv)
             opts.auditLog = next();
         } else if (arg.rfind("--audit-log=", 0) == 0) {
             opts.auditLog = arg.substr(std::strlen("--audit-log="));
+        } else if (arg == "--flight-out") {
+            opts.flightOut = next();
+        } else if (arg.rfind("--flight-out=", 0) == 0) {
+            opts.flightOut = arg.substr(std::strlen("--flight-out="));
+        } else if (arg == "--latency-json") {
+            opts.latencyJson = next();
+        } else if (arg.rfind("--latency-json=", 0) == 0) {
+            opts.latencyJson =
+                arg.substr(std::strlen("--latency-json="));
+        } else if (arg == "--topn") {
+            opts.topN = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg.rfind("--topn=", 0) == 0) {
+            opts.topN = static_cast<unsigned>(
+                std::atoi(arg.c_str() + std::strlen("--topn=")));
         } else if (arg == "--debug-flags") {
             const std::string list = next();
             if (list == "?") {
@@ -154,6 +184,9 @@ toRunnerOptions(const BenchOptions &opts)
     ro.traceDir = opts.traceOut;
     ro.sampleInterval = opts.sampleInterval;
     ro.auditDir = opts.auditLog;
+    ro.flightDir = opts.flightOut;
+    ro.latencyDir = opts.latencyJson;
+    ro.topN = opts.topN;
     return ro;
 }
 

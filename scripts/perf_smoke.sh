@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Run the quick benchmark grid with flight recording enabled and merge
+# the per-run latency artefacts into a single label-keyed report that
+# `capstat diff` can gate on (see BENCH_baseline.json at the repo
+# root). Every number in the report comes from simulated cycles, so
+# the output is byte-identical regardless of --jobs or host speed.
+#
+# usage: perf_smoke.sh BUILD_DIR OUT.json [extra sweep_grid args...]
+set -euo pipefail
+
+build=${1:?usage: perf_smoke.sh BUILD_DIR OUT.json [args...]}
+out=${2:?usage: perf_smoke.sh BUILD_DIR OUT.json [args...]}
+shift 2
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+"$build/bench/sweep_grid" --quick --quiet --jobs "${JOBS:-2}" \
+    --latency-json "$work" "$@"
+
+"$build/tools/capstat" merge -o "$out" "$work"/run-*.latency.json
+echo "perf_smoke: wrote $out"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate the committed latency baseline (BENCH_baseline.json) from
+# the current build. Run this after an intentional performance change,
+# review the `capstat diff` output against the old baseline, and commit
+# the refreshed file together with the change that moved the numbers.
+#
+# usage: update_baseline.sh [BUILD_DIR]
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-$repo/build}
+baseline=$repo/BENCH_baseline.json
+
+if [[ -f $baseline ]]; then
+    old=$(mktemp)
+    cp "$baseline" "$old"
+    "$repo/scripts/perf_smoke.sh" "$build" "$baseline"
+    echo "--- change vs previous baseline ---"
+    "$build/tools/capstat" diff "$old" "$baseline" || true
+    rm -f "$old"
+else
+    "$repo/scripts/perf_smoke.sh" "$build" "$baseline"
+fi
+echo "update_baseline: wrote $baseline"

@@ -86,6 +86,7 @@ TracePlayer::issue(MemCmd cmd, ObjectId obj, std::uint64_t off,
     }
     req.id = nextReqId++;
 
+    _issueProbe.notify(req);
     xbar.offer(port, req);
     ++outstanding;
     ++beatsIssued;

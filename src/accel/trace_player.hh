@@ -66,6 +66,13 @@ class TracePlayer : public TickingObject, public ResponseHandler
     /** Invoked once when the instance finishes (or aborts). */
     void onDone(std::function<void()> fn) { doneFn = std::move(fn); }
 
+    /**
+     * Fired when a DMA beat leaves the instance into its xbar master
+     * slot — the start of the beat's flight through the platform (the
+     * flight recorder's issue hop).
+     */
+    probe::ProbePoint<MemRequest> &issueProbe() { return _issueProbe; }
+
     /** @{ Task lifecycle probes (start() and completion/abort). */
     probe::ProbePoint<TaskLifecycleEvent> &startProbe()
     {
@@ -127,6 +134,7 @@ class TracePlayer : public TickingObject, public ResponseHandler
     stats::Scalar beatsIssued;
     stats::Scalar deniedResponses;
 
+    probe::ProbePoint<MemRequest> _issueProbe{"accel.issue"};
     probe::ProbePoint<TaskLifecycleEvent> _startProbe{"accel.taskStart"};
     probe::ProbePoint<TaskLifecycleEvent> _finishProbe{
         "accel.taskFinish"};

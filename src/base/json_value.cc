@@ -1,0 +1,366 @@
+#include "base/json_value.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace capcheck::json
+{
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (_kind != Kind::object)
+        return nullptr;
+    for (const Member &m : _members) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+const JsonValue *
+JsonValue::at(const std::string &dotted_path) const
+{
+    const JsonValue *cur = this;
+    std::size_t start = 0;
+    while (cur) {
+        const auto dot = dotted_path.find('.', start);
+        const std::string key =
+            dotted_path.substr(start, dot == std::string::npos
+                                          ? std::string::npos
+                                          : dot - start);
+        cur = cur->get(key);
+        if (dot == std::string::npos)
+            return cur;
+        start = dot + 1;
+    }
+    return nullptr;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue j;
+    j._kind = Kind::boolean;
+    j._bool = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeNumber(double v)
+{
+    JsonValue j;
+    j._kind = Kind::number;
+    j._number = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue j;
+    j._kind = Kind::string;
+    j._string = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> elems)
+{
+    JsonValue j;
+    j._kind = Kind::array;
+    j._elements = std::move(elems);
+    return j;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<Member> members)
+{
+    JsonValue j;
+    j._kind = Kind::object;
+    j._members = std::move(members);
+    return j;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text(text), error(error)
+    {
+    }
+
+    std::optional<JsonValue>
+    document()
+    {
+        skipWs();
+        auto v = value();
+        if (!v)
+            return std::nullopt;
+        skipWs();
+        if (pos != text.size()) {
+            fail("trailing characters after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (error && error->empty()) {
+            std::ostringstream os;
+            os << why << " at byte " << pos;
+            *error = os.str();
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::char_traits<char>::length(word);
+        if (text.compare(pos, len, word) != 0)
+            return false;
+        pos += len;
+        return true;
+    }
+
+    std::optional<std::string>
+    string()
+    {
+        if (pos >= text.size() || text[pos] != '"') {
+            fail("expected string");
+            return std::nullopt;
+        }
+        ++pos;
+        std::string out;
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos + 4 > text.size()) {
+                    fail("truncated \\u escape");
+                    return std::nullopt;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad \\u escape digit");
+                        return std::nullopt;
+                    }
+                }
+                // UTF-8 encode (no surrogate-pair recombination; the
+                // writer never emits astral-plane escapes).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+                return std::nullopt;
+            }
+        }
+        fail("unterminated string");
+        return std::nullopt;
+    }
+
+    std::optional<JsonValue>
+    number()
+    {
+        const std::size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '-' ||
+                text[pos] == '+'))
+            ++pos;
+        const std::string tok = text.substr(start, pos - start);
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0') {
+            fail("bad number '" + tok + "'");
+            return std::nullopt;
+        }
+        return JsonValue::makeNumber(v);
+    }
+
+    std::optional<JsonValue>
+    value()
+    {
+        skipWs();
+        if (pos >= text.size()) {
+            fail("unexpected end of document");
+            return std::nullopt;
+        }
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            std::vector<JsonValue::Member> members;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return JsonValue::makeObject(std::move(members));
+            }
+            while (true) {
+                skipWs();
+                auto key = string();
+                if (!key)
+                    return std::nullopt;
+                skipWs();
+                if (pos >= text.size() || text[pos] != ':') {
+                    fail("expected ':' after object key");
+                    return std::nullopt;
+                }
+                ++pos;
+                auto member = value();
+                if (!member)
+                    return std::nullopt;
+                members.emplace_back(std::move(*key),
+                                     std::move(*member));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == '}') {
+                    ++pos;
+                    return JsonValue::makeObject(std::move(members));
+                }
+                fail("expected ',' or '}' in object");
+                return std::nullopt;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            std::vector<JsonValue> elems;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return JsonValue::makeArray(std::move(elems));
+            }
+            while (true) {
+                auto elem = value();
+                if (!elem)
+                    return std::nullopt;
+                elems.push_back(std::move(*elem));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == ']') {
+                    ++pos;
+                    return JsonValue::makeArray(std::move(elems));
+                }
+                fail("expected ',' or ']' in array");
+                return std::nullopt;
+            }
+        }
+        if (c == '"') {
+            auto s = string();
+            if (!s)
+                return std::nullopt;
+            return JsonValue::makeString(std::move(*s));
+        }
+        if (literal("true"))
+            return JsonValue::makeBool(true);
+        if (literal("false"))
+            return JsonValue::makeBool(false);
+        if (literal("null"))
+            return JsonValue::makeNull();
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return number();
+        fail(std::string("unexpected character '") + c + "'");
+        return std::nullopt;
+    }
+
+    const std::string &text;
+    std::string *error;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    return Parser(text, error).document();
+}
+
+std::optional<JsonValue>
+parseJsonFile(const std::string &path, std::string *error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
+    std::stringstream body;
+    body << is.rdbuf();
+    return parseJson(body.str(), error);
+}
+
+} // namespace capcheck::json

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser — the read
+ * side of base/json.hh's streaming writer. The harness and the
+ * capstat tool load stats/latency/flight artefacts back with it.
+ * Object members preserve document order (the writer emits them in a
+ * deterministic order; diffing relies on stable iteration) and lookup
+ * is linear, which is fine for stat-tree sized documents.
+ */
+
+#ifndef CAPCHECK_BASE_JSON_VALUE_HH
+#define CAPCHECK_BASE_JSON_VALUE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace capcheck::json
+{
+
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        null,
+        boolean,
+        number,
+        string,
+        array,
+        object,
+    };
+
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() = default;
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::null; }
+    bool isBool() const { return _kind == Kind::boolean; }
+    bool isNumber() const { return _kind == Kind::number; }
+    bool isString() const { return _kind == Kind::string; }
+    bool isArray() const { return _kind == Kind::array; }
+    bool isObject() const { return _kind == Kind::object; }
+
+    bool asBool() const { return _bool; }
+    double asNumber() const { return _number; }
+    const std::string &asString() const { return _string; }
+    const std::vector<JsonValue> &elements() const { return _elements; }
+    const std::vector<Member> &members() const { return _members; }
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue *get(const std::string &key) const;
+
+    /**
+     * Descend a dotted path of object keys ("flights.endToEnd.p99");
+     * nullptr as soon as a segment is absent.
+     */
+    const JsonValue *at(const std::string &dotted_path) const;
+
+    /** @{ Construction helpers for tests and tools. */
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray(std::vector<JsonValue> elems);
+    static JsonValue makeObject(std::vector<Member> members);
+    /** @} */
+
+  private:
+    Kind _kind = Kind::null;
+    bool _bool = false;
+    double _number = 0;
+    std::string _string;
+    std::vector<JsonValue> _elements;
+    std::vector<Member> _members;
+};
+
+/**
+ * Parse @p text as one JSON document. Returns std::nullopt on any
+ * syntax error; when @p error is non-null it receives a one-line
+ * description with the byte offset.
+ */
+std::optional<JsonValue> parseJson(const std::string &text,
+                                   std::string *error = nullptr);
+
+/** parseJson over a file's contents; nullopt if unreadable/invalid. */
+std::optional<JsonValue> parseJsonFile(const std::string &path,
+                                       std::string *error = nullptr);
+
+} // namespace capcheck::json
+
+#endif // CAPCHECK_BASE_JSON_VALUE_HH

@@ -103,6 +103,61 @@ class Distribution : public StatBase
     double _maxSeen = 0;
 };
 
+/**
+ * Log2-bucketed histogram over non-negative integer samples (cycle
+ * counts). Bucket b holds values whose bit width is b, i.e. bucket 0
+ * holds {0}, bucket 1 holds {1}, bucket b >= 2 holds [2^(b-1), 2^b).
+ * Buckets grow on demand, so the histogram covers the full uint64
+ * range without preconfiguration — the right shape for latencies whose
+ * tail matters more than their mean. Quantiles are estimated by linear
+ * interpolation within the containing bucket, which makes p50/p95/p99
+ * deterministic functions of the sample multiset.
+ */
+class Histogram : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(std::uint64_t v, std::uint64_t count = 1);
+
+    std::uint64_t samples() const { return _samples; }
+    double mean() const;
+    std::uint64_t minSeen() const { return _minSeen; }
+    std::uint64_t maxSeen() const { return _maxSeen; }
+    std::uint64_t sum() const { return _sum; }
+
+    /**
+     * Estimated value below which fraction @p p of samples fall
+     * (0 < p <= 1). Exact for the bucket; linear within it.
+     */
+    double quantile(double p) const;
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    const std::vector<std::uint64_t> &bucketCounts() const
+    {
+        return buckets;
+    }
+
+    /** @{ Inclusive-low / exclusive-high bounds of bucket @p b. */
+    static std::uint64_t bucketLow(std::size_t b);
+    static std::uint64_t bucketHigh(std::size_t b);
+    /** @} */
+
+    void dump(std::ostream &os) const override;
+    void dumpJson(json::JsonWriter &w) const override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t _samples = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _minSeen = 0;
+    std::uint64_t _maxSeen = 0;
+};
+
 /** Value computed on demand from other state (e.g. a ratio of scalars). */
 class Formula : public StatBase
 {
@@ -141,8 +196,17 @@ class StatGroup
     void addChild(StatGroup *child);
     void removeChild(StatGroup *child);
 
-    /** Find a statistic in this group by leaf name; nullptr if absent. */
-    const StatBase *find(const std::string &leaf) const;
+    /**
+     * Find a statistic by leaf name or dotted path. A path descends
+     * child groups ("capchecker.cacheHits"); for convenience a leading
+     * segment equal to this group's own name is skipped, so the fully
+     * qualified "soc.capchecker.cacheHits" resolves from the "soc"
+     * root too. Returns nullptr if any segment is absent.
+     */
+    const StatBase *find(const std::string &path) const;
+
+    /** Direct child group named @p name; nullptr if absent. */
+    const StatGroup *findChild(const std::string &name) const;
 
     /** Dump this group's stats and all children, prefixed with paths. */
     void dump(std::ostream &os) const;

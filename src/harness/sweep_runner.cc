@@ -42,10 +42,13 @@ SweepRunner::SweepRunner(Options options) : opts(std::move(options))
 SweepRunner &
 SweepRunner::shared()
 {
-    static SweepRunner runner{Options{/*jobs=*/1,
-                                      /*cacheEnabled=*/true,
-                                      /*progress=*/nullptr,
-                                      /*jsonDir=*/""}};
+    static SweepRunner runner{[] {
+        Options o;
+        o.jobs = 1;
+        o.cacheEnabled = true;
+        o.progress = nullptr;
+        return o;
+    }()};
     return runner;
 }
 
@@ -72,6 +75,15 @@ SweepRunner::obsOptionsFor(const RunRequest &request) const
     }
     if (!opts.auditDir.empty())
         oo.auditFile = opts.auditDir + "/run-" + hex + ".audit.jsonl";
+    if (!opts.flightDir.empty())
+        oo.flightFile = opts.flightDir + "/run-" + hex + ".flights.json";
+    if (!opts.latencyDir.empty())
+        oo.latencyFile =
+            opts.latencyDir + "/run-" + hex + ".latency.json";
+    if (oo.flightRecording()) {
+        oo.topN = opts.topN;
+        oo.runLabel = request.label();
+    }
     return oo;
 }
 
@@ -132,7 +144,9 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
     {
         namespace fs = std::filesystem;
         std::error_code ec;
-        for (const std::string *dir : {&opts.traceDir, &opts.auditDir}) {
+        for (const std::string *dir : {&opts.traceDir, &opts.auditDir,
+                                       &opts.flightDir,
+                                       &opts.latencyDir}) {
             if (dir->empty())
                 continue;
             fs::create_directories(*dir, ec);

@@ -63,6 +63,19 @@ class SweepRunner
         /** Directory for per-run JSONL security audit logs
          *  (run-<hash>.audit.jsonl); empty = no audit logs. */
         std::string auditDir;
+
+        /** Directory for per-run flight-recorder tables
+         *  (run-<hash>.flights.json: the topN slowest DMA requests
+         *  with per-hop breakdowns); empty = off. */
+        std::string flightDir;
+
+        /** Directory for per-run latency-attribution summaries
+         *  (run-<hash>.latency.json: log2 latency histograms with
+         *  p50/p95/p99 plus per-hop cycle attribution); empty = off. */
+        std::string latencyDir;
+
+        /** Slowest flights kept per run in the flight table. */
+        unsigned topN = 10;
     };
 
     SweepRunner() : SweepRunner(Options{}) {}

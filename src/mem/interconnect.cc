@@ -52,6 +52,7 @@ AxiInterconnect::handleResponse(const MemResponse &resp)
     MasterSlot &slot = masters.at(resp.srcPort);
     if (!slot.handler)
         panic("xbar: response for port %u with no handler", resp.srcPort);
+    _respondProbe.notify(resp);
     slot.handler->handleResponse(resp);
 }
 

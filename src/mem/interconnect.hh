@@ -65,6 +65,16 @@ class AxiInterconnect : public TickingObject, public ResponseHandler
     /** Fired when arbitration grants a request onto the bus. */
     probe::ProbePoint<MemRequest> &grantProbe() { return _grantProbe; }
 
+    /**
+     * Fired when a response is routed back to its master — the end of
+     * the request's flight, whether it came from the memory controller
+     * or as a denial from the check stage.
+     */
+    probe::ProbePoint<MemResponse> &respondProbe()
+    {
+        return _respondProbe;
+    }
+
   private:
     struct MasterSlot
     {
@@ -95,6 +105,7 @@ class AxiInterconnect : public TickingObject, public ResponseHandler
     stats::Scalar stallCycles;
 
     probe::ProbePoint<MemRequest> _grantProbe{"xbar.grant"};
+    probe::ProbePoint<MemResponse> _respondProbe{"xbar.respond"};
 };
 
 } // namespace capcheck

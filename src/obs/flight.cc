@@ -1,0 +1,341 @@
+#include "obs/flight.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "base/invariant.hh"
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "sim/eventq.hh"
+
+namespace capcheck::obs
+{
+
+namespace
+{
+
+std::string
+hex(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+const char *
+cacheOutcomeName(FlightRecord::CacheOutcome outcome)
+{
+    switch (outcome) {
+      case FlightRecord::CacheOutcome::none: return "none";
+      case FlightRecord::CacheOutcome::hit: return "hit";
+      case FlightRecord::CacheOutcome::miss: return "miss";
+    }
+    return "?";
+}
+
+/** Slowest first; ties resolved by issue order for determinism. */
+bool
+slowerThan(const FlightRecord &a, const FlightRecord &b)
+{
+    if (a.endToEnd() != b.endToEnd())
+        return a.endToEnd() > b.endToEnd();
+    return a.flight < b.flight;
+}
+
+void
+writeFlightJson(json::JsonWriter &w, const FlightRecord &rec)
+{
+    w.beginObject();
+    w.key("flight").value(rec.flight);
+    w.key("task").value(std::uint64_t{rec.task});
+    w.key("port").value(std::uint64_t{rec.port});
+    w.key("id").value(rec.reqId);
+    w.key("cmd").value(memCmdName(rec.cmd));
+    w.key("addr").value(hex(rec.addr));
+    w.key("size").value(std::uint64_t{rec.size});
+    w.key("denied").value(rec.denied);
+    w.key("cache").value(cacheOutcomeName(rec.cache));
+    w.key("issue").value(rec.issue);
+    w.key("grant").value(rec.grant);
+    w.key("checkStart").value(rec.checkStart);
+    w.key("checkEnd").value(rec.checkEnd);
+    w.key("memAccept").value(rec.sawMem ? rec.memAccept : 0);
+    w.key("respond").value(rec.respond);
+    w.key("hops").beginObject();
+    w.key("xbarWait").value(rec.hopXbar());
+    w.key("check").value(rec.hopCheck());
+    w.key("drain").value(rec.hopDrain());
+    w.key("mem").value(rec.hopMem());
+    w.endObject();
+    w.key("endToEnd").value(rec.endToEnd());
+    w.endObject();
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(EventQueue &eq, unsigned top_n,
+                               std::string run_label)
+    : eq(eq), topN(top_n), runLabel(std::move(run_label))
+{
+}
+
+void
+FlightRecorder::onIssue(const MemRequest &req)
+{
+    FlightRecord rec;
+    rec.flight = nextFlight++;
+    rec.task = req.task;
+    rec.port = req.srcPort;
+    rec.reqId = req.id;
+    rec.cmd = req.cmd;
+    rec.addr = req.addr;
+    rec.size = req.size;
+    rec.issue = eq.curCycle();
+    ++issued;
+
+    ++xbarWaiting;
+    xbarOccupancy.sample(xbarWaiting);
+
+    const Key key{req.srcPort, req.id};
+    INVARIANT(open.find(key) == open.end(),
+              "flight (port %u, id %llu) issued while still in flight",
+              req.srcPort, static_cast<unsigned long long>(req.id));
+    open.emplace(key, rec);
+}
+
+void
+FlightRecorder::onGrant(const MemRequest &req)
+{
+    const auto it = open.find(Key{req.srcPort, req.id});
+    if (it == open.end())
+        return; // a master the recorder is not watching
+    FlightRecord &rec = it->second;
+    rec.grant = eq.curCycle();
+    rec.sawGrant = true;
+    if (xbarWaiting > 0)
+        --xbarWaiting;
+
+    // A pass-through check (zero-latency, already at the memory
+    // controller) never occupies the stage; everything else does until
+    // its verdict leaves (memory acceptance or a denial response).
+    if (!rec.sawMem) {
+        rec.inCheckQueue = true;
+        ++checkOccupied;
+        checkOccupancy.sample(checkOccupied);
+    }
+}
+
+void
+FlightRecorder::onCheck(const MemRequest &req, bool allowed,
+                        Cycles start, Cycles end)
+{
+    const auto it = open.find(Key{req.srcPort, req.id});
+    if (it == open.end()) {
+        pendingCache = FlightRecord::CacheOutcome::none;
+        return;
+    }
+    FlightRecord &rec = it->second;
+    // The stage may re-offer the same beat when its zero-latency
+    // pass-through path stalls on the memory controller; the last
+    // (accepted) attempt wins.
+    rec.checkStart = start;
+    rec.checkEnd = end;
+    rec.sawCheck = true;
+    rec.denied = !allowed;
+    rec.cache = pendingCache;
+    pendingCache = FlightRecord::CacheOutcome::none;
+}
+
+void
+FlightRecorder::onCacheHit()
+{
+    pendingCache = FlightRecord::CacheOutcome::hit;
+}
+
+void
+FlightRecorder::onCacheMiss()
+{
+    pendingCache = FlightRecord::CacheOutcome::miss;
+}
+
+void
+FlightRecorder::onMemAccept(const MemRequest &req)
+{
+    const auto it = open.find(Key{req.srcPort, req.id});
+    if (it == open.end())
+        return;
+    FlightRecord &rec = it->second;
+    rec.memAccept = eq.curCycle();
+    rec.sawMem = true;
+    if (rec.inCheckQueue) {
+        rec.inCheckQueue = false;
+        if (checkOccupied > 0)
+            --checkOccupied;
+    }
+}
+
+void
+FlightRecorder::onRespond(const MemResponse &resp)
+{
+    const auto it = open.find(Key{resp.srcPort, resp.id});
+    if (it == open.end())
+        return;
+    FlightRecord &rec = it->second;
+    rec.respond = eq.curCycle();
+    rec.denied |= !resp.ok;
+    if (rec.inCheckQueue) {
+        rec.inCheckQueue = false;
+        if (checkOccupied > 0)
+            --checkOccupied;
+    }
+    complete(rec);
+    open.erase(it);
+}
+
+void
+FlightRecorder::complete(FlightRecord &rec)
+{
+    INVARIANT(rec.sawGrant && rec.sawCheck,
+              "flight %llu (port %u, id %llu) completed without "
+              "traversing arbitration and the check stage",
+              static_cast<unsigned long long>(rec.flight), rec.port,
+              static_cast<unsigned long long>(rec.reqId));
+
+    // The paper's latency claims live and die on this attribution:
+    // every end-to-end cycle must be charged to exactly one hop.
+    const Cycles hop_sum = rec.hopXbar() + rec.hopCheck() +
+                           rec.hopDrain() + rec.hopMem();
+    INVARIANT(hop_sum == rec.endToEnd(),
+              "flight %llu: per-hop attribution (%llu cycles) does "
+              "not equal end-to-end latency (%llu cycles)",
+              static_cast<unsigned long long>(rec.flight),
+              static_cast<unsigned long long>(hop_sum),
+              static_cast<unsigned long long>(rec.endToEnd()));
+
+    ++completed;
+    if (rec.denied)
+        ++denied;
+    if (rec.cache == FlightRecord::CacheOutcome::hit)
+        ++cacheHits;
+    else if (rec.cache == FlightRecord::CacheOutcome::miss)
+        ++cacheMisses;
+
+    endToEnd.sample(rec.endToEnd());
+    hopXbar.sample(rec.hopXbar());
+    hopCheck.sample(rec.hopCheck());
+    hopDrain.sample(rec.hopDrain());
+    hopMem.sample(rec.hopMem());
+
+    cyclesXbar += static_cast<double>(rec.hopXbar());
+    cyclesCheck += static_cast<double>(rec.hopCheck());
+    cyclesDrain += static_cast<double>(rec.hopDrain());
+    cyclesMem += static_cast<double>(rec.hopMem());
+    cyclesTotal += static_cast<double>(rec.endToEnd());
+
+    if (topN == 0)
+        return;
+    if (slowest.size() < topN) {
+        slowest.push_back(rec);
+        return;
+    }
+    auto weakest = std::min_element(
+        slowest.begin(), slowest.end(),
+        [](const FlightRecord &a, const FlightRecord &b) {
+            return slowerThan(b, a); // least slow first
+        });
+    if (slowerThan(rec, *weakest))
+        *weakest = rec;
+}
+
+std::vector<FlightRecord>
+FlightRecorder::slowestFlights() const
+{
+    std::vector<FlightRecord> sorted = slowest;
+    std::sort(sorted.begin(), sorted.end(), slowerThan);
+    return sorted;
+}
+
+void
+FlightRecorder::writeFlightsFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write flight file '%s'", path.c_str());
+        return;
+    }
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("label").value(runLabel);
+    w.key("topN").value(std::uint64_t{topN});
+    w.key("issued").value(issuedFlights());
+    w.key("completed").value(completedFlights());
+    w.key("denied").value(
+        static_cast<std::uint64_t>(denied.value()));
+    w.key("flights").beginArray();
+    for (const FlightRecord &rec : slowestFlights())
+        writeFlightJson(w, rec);
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+FlightRecorder::writeLatencyFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write latency file '%s'", path.c_str());
+        return;
+    }
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("label").value(runLabel);
+    w.key("flights");
+    root.dumpJson(w);
+    w.endObject();
+    os << "\n";
+}
+
+void
+FlightRecorder::writeEmptyFlightsFile(const std::string &path,
+                                      unsigned top_n,
+                                      const std::string &run_label)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write flight file '%s'", path.c_str());
+        return;
+    }
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("label").value(run_label);
+    w.key("topN").value(std::uint64_t{top_n});
+    w.key("issued").value(std::uint64_t{0});
+    w.key("completed").value(std::uint64_t{0});
+    w.key("denied").value(std::uint64_t{0});
+    w.key("flights").beginArray();
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+FlightRecorder::writeEmptyLatencyFile(const std::string &path,
+                                      const std::string &run_label)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write latency file '%s'", path.c_str());
+        return;
+    }
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("label").value(run_label);
+    w.key("flights").beginObject();
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace capcheck::obs

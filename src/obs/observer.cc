@@ -42,6 +42,9 @@ RunObserver::RunObserver(const ObsOptions &opts, EventQueue &eq,
             std::make_unique<StatsSampler>(stat_root, opts.sampleInterval);
         sampler->attach(eq);
     }
+    if (opts.flightRecording())
+        flights = std::make_unique<FlightRecorder>(eq, opts.topN,
+                                                   opts.runLabel);
 }
 
 unsigned
@@ -77,6 +80,17 @@ RunObserver::attachChecker(capchecker::CapChecker &checker,
                                     args.str());
             }
         });
+
+    if (recording()) {
+        checker.cacheHitProbe().attach(
+            [this](const capchecker::CapCacheEvent &) {
+                flights->onCacheHit();
+            });
+        checker.cacheMissProbe().attach(
+            [this](const capchecker::CapCacheEvent &) {
+                flights->onCacheMiss();
+            });
+    }
 
     if (!tracing())
         return;
@@ -114,6 +128,11 @@ void
 RunObserver::attachCheckStage(protect::CheckStage &stage,
                               const std::string &label)
 {
+    if (recording())
+        stage.timingProbe().attach(
+            [this](const protect::CheckTimingEvent &ev) {
+                flights->onCheck(*ev.req, ev.allowed, ev.start, ev.end);
+            });
     if (!tracing())
         return;
     stage.timingProbe().attach(
@@ -131,6 +150,10 @@ RunObserver::attachCheckStage(protect::CheckStage &stage,
 void
 RunObserver::attachMemory(MemoryController &mem)
 {
+    if (recording())
+        mem.acceptProbe().attach([this](const MemRequest &req) {
+            flights->onMemAccept(req);
+        });
     if (!tracing())
         return;
     mem.respondProbe().attach([this](const MemResponse &) {
@@ -149,6 +172,14 @@ RunObserver::attachMemory(MemoryController &mem)
 void
 RunObserver::attachXbar(AxiInterconnect &xbar)
 {
+    if (recording()) {
+        xbar.grantProbe().attach([this](const MemRequest &req) {
+            flights->onGrant(req);
+        });
+        xbar.respondProbe().attach([this](const MemResponse &resp) {
+            flights->onRespond(resp);
+        });
+    }
     if (!tracing())
         return;
     xbar.grantProbe().attach([this](const MemRequest &) {
@@ -165,6 +196,10 @@ RunObserver::attachXbar(AxiInterconnect &xbar)
 void
 RunObserver::attachPlayer(accel::TracePlayer &player)
 {
+    if (recording())
+        player.issueProbe().attach([this](const MemRequest &req) {
+            flights->onIssue(req);
+        });
     if (!tracing())
         return;
     // Reserve the track now so track order follows instance creation
@@ -238,6 +273,12 @@ RunObserver::finalize(Cycles end_cycle)
         chromeTrace.writeFile(opts.traceFile);
     if (auditing())
         auditLog.writeFile(opts.auditFile);
+    if (recording()) {
+        if (!opts.flightFile.empty())
+            flights->writeFlightsFile(opts.flightFile);
+        if (!opts.latencyFile.empty())
+            flights->writeLatencyFile(opts.latencyFile);
+    }
 }
 
 void
@@ -255,6 +296,12 @@ RunObserver::writeEmptyOutputs(const ObsOptions &opts)
     }
     if (!opts.auditFile.empty())
         std::ofstream{opts.auditFile};
+    if (!opts.flightFile.empty())
+        FlightRecorder::writeEmptyFlightsFile(opts.flightFile, opts.topN,
+                                              opts.runLabel);
+    if (!opts.latencyFile.empty())
+        FlightRecorder::writeEmptyLatencyFile(opts.latencyFile,
+                                              opts.runLabel);
 }
 
 } // namespace capcheck::obs

@@ -22,6 +22,7 @@
 #include "base/types.hh"
 #include "obs/audit.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/flight.hh"
 #include "obs/options.hh"
 #include "obs/sampler.hh"
 
@@ -90,6 +91,9 @@ class RunObserver
     const ChromeTrace &trace() const { return chromeTrace; }
     const AuditLog &audit() const { return auditLog; }
 
+    /** The flight recorder, or nullptr when flight recording is off. */
+    const FlightRecorder *flightRecorder() const { return flights.get(); }
+
     /**
      * Emit valid-but-empty outputs for runs that never build an
      * EventQueue (CPU-only configs), so downstream tooling can rely
@@ -103,6 +107,7 @@ class RunObserver
 
     bool tracing() const { return !opts.traceFile.empty(); }
     bool auditing() const { return !opts.auditFile.empty(); }
+    bool recording() const { return flights != nullptr; }
 
     ObsOptions opts;
     EventQueue &eq;
@@ -110,6 +115,7 @@ class RunObserver
     ChromeTrace chromeTrace;
     std::unique_ptr<StatsSampler> sampler;
     AuditLog auditLog;
+    std::unique_ptr<FlightRecorder> flights;
 
     std::map<std::string, unsigned> trackIds;
 

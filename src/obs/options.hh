@@ -29,10 +29,34 @@ struct ObsOptions
     /** JSONL security audit log ("" = off). */
     std::string auditFile;
 
+    /** Flight-recorder JSON: top-N slowest DMA requests with per-hop
+     *  breakdowns plus flight totals ("" = off). */
+    std::string flightFile;
+
+    /** Latency-attribution JSON: per-hop and end-to-end log2
+     *  histograms with p50/p95/p99, per-component cycle attribution
+     *  and queue-occupancy stats ("" = off). */
+    std::string latencyFile;
+
+    /** Slowest flights kept for the flight-recorder table. */
+    unsigned topN = 10;
+
+    /** Human-stable label for this run (e.g. the RunRequest label),
+     *  embedded in flight/latency artefacts so tooling can key on it
+     *  instead of on config hashes. */
+    std::string runLabel;
+
+    bool
+    flightRecording() const
+    {
+        return !flightFile.empty() || !latencyFile.empty();
+    }
+
     bool
     any() const
     {
         return !traceFile.empty() || !auditFile.empty() ||
+               flightRecording() ||
                (!samplesFile.empty() && sampleInterval > 0);
     }
 };

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the JSON parser (base/json_value): it must read back
+ * everything the streaming writer (base/json) emits, preserve object
+ * member order, resolve dotted paths, and reject malformed input with
+ * a useful error instead of crashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/json.hh"
+#include "base/json_value.hh"
+
+namespace capcheck::json
+{
+namespace
+{
+
+TEST(JsonValue, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null")->isNull());
+    EXPECT_TRUE(parseJson("true")->asBool());
+    EXPECT_FALSE(parseJson("false")->asBool());
+    EXPECT_DOUBLE_EQ(parseJson("42")->asNumber(), 42);
+    EXPECT_DOUBLE_EQ(parseJson("-1.5e3")->asNumber(), -1500);
+    EXPECT_EQ(parseJson("\"hi\\nthere\"")->asString(), "hi\nthere");
+}
+
+TEST(JsonValue, ParsesNestedContainersPreservingOrder)
+{
+    const auto doc = parseJson(
+        R"({"z": 1, "a": [1, 2, {"k": "v"}], "m": {"x": true}})");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+    ASSERT_EQ(doc->members().size(), 3u);
+    // Member order is document order, not sorted.
+    EXPECT_EQ(doc->members()[0].first, "z");
+    EXPECT_EQ(doc->members()[1].first, "a");
+    EXPECT_EQ(doc->members()[2].first, "m");
+
+    const JsonValue *arr = doc->get("a");
+    ASSERT_NE(arr, nullptr);
+    ASSERT_EQ(arr->elements().size(), 3u);
+    EXPECT_DOUBLE_EQ(arr->elements()[1].asNumber(), 2);
+    EXPECT_EQ(arr->elements()[2].get("k")->asString(), "v");
+}
+
+TEST(JsonValue, DottedPathDescendsObjects)
+{
+    const auto doc = parseJson(
+        R"({"flights": {"endToEnd": {"p99": 123.5}}})");
+    ASSERT_TRUE(doc.has_value());
+    const JsonValue *p99 = doc->at("flights.endToEnd.p99");
+    ASSERT_NE(p99, nullptr);
+    EXPECT_DOUBLE_EQ(p99->asNumber(), 123.5);
+    EXPECT_EQ(doc->at("flights.nosuch.p99"), nullptr);
+    EXPECT_EQ(doc->at("flights.endToEnd.p99.deeper"), nullptr);
+}
+
+TEST(JsonValue, RoundTripsWriterOutput)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("name").value("a \"quoted\"\nstring");
+    w.key("count").value(std::uint64_t{18446744073709551615ull});
+    w.key("ratio").value(0.1);
+    w.key("flags").beginArray();
+    w.value(true).value(false).nullValue();
+    w.endArray();
+    w.endObject();
+
+    std::string error;
+    const auto doc = parseJson(os.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->get("name")->asString(), "a \"quoted\"\nstring");
+    EXPECT_DOUBLE_EQ(doc->get("ratio")->asNumber(), 0.1);
+    ASSERT_EQ(doc->get("flags")->elements().size(), 3u);
+    EXPECT_TRUE(doc->get("flags")->elements()[2].isNull());
+}
+
+TEST(JsonValue, ParsesUnicodeEscapes)
+{
+    const auto doc = parseJson(R"("café")");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->asString(), "caf\xc3\xa9");
+}
+
+TEST(JsonValue, RejectsMalformedDocuments)
+{
+    std::string error;
+    EXPECT_FALSE(parseJson("{", &error).has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseJson("{\"a\": }", &error).has_value());
+    EXPECT_FALSE(parseJson("[1, 2,]", &error).has_value());
+    EXPECT_FALSE(parseJson("\"unterminated", &error).has_value());
+    EXPECT_FALSE(parseJson("12 34", &error).has_value());
+    EXPECT_FALSE(parseJson("nul", &error).has_value());
+    EXPECT_FALSE(parseJson("", &error).has_value());
+}
+
+TEST(JsonValue, MissingFileReportsError)
+{
+    std::string error;
+    EXPECT_FALSE(
+        parseJsonFile("/nonexistent/capcheck.json", &error).has_value());
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace capcheck::json

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Flight recorder tests: per-hop attribution must telescope exactly to
+ * the end-to-end latency on every path through the platform (allowed
+ * and denied, cache hit and miss, Fine and Coarse provenance), the
+ * top-N table must keep the slowest flights deterministically, and the
+ * artefact writers must produce parseable JSON with stable shape.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "base/json.hh"
+#include "base/json_value.hh"
+#include "capchecker/capchecker.hh"
+#include "harness/run_request.hh"
+#include "obs/flight.hh"
+#include "sim/eventq.hh"
+#include "system/soc_config_builder.hh"
+
+using namespace capcheck;
+using namespace capcheck::obs;
+using harness::RunRequest;
+using system::SocConfigBuilder;
+using system::SystemMode;
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+MemRequest
+request(PortId port, std::uint64_t id, Addr addr = 0x1000)
+{
+    MemRequest req;
+    req.cmd = MemCmd::read;
+    req.addr = addr;
+    req.size = 8;
+    req.srcPort = port;
+    req.task = port;
+    req.id = id;
+    return req;
+}
+
+MemResponse
+response(PortId port, std::uint64_t id, bool ok = true)
+{
+    MemResponse resp;
+    resp.id = id;
+    resp.srcPort = port;
+    resp.ok = ok;
+    return resp;
+}
+
+/** Run @p fn at absolute cycle @p when. */
+void
+at(EventQueue &eq, Cycles when, std::function<void()> fn)
+{
+    eq.schedule(new LambdaEvent(std::move(fn)), when);
+}
+
+std::string
+slurp(const fs::path &file)
+{
+    std::ifstream is(file);
+    std::stringstream body;
+    body << is.rdbuf();
+    return body.str();
+}
+
+} // namespace
+
+TEST(FlightRecorder, AttributesEveryCycleOfAnAllowedFlight)
+{
+    EventQueue eq;
+    FlightRecorder rec(eq, 10, "unit");
+
+    const auto req = request(0, 0);
+    at(eq, 10, [&] { rec.onIssue(req); });
+    at(eq, 13, [&] { rec.onGrant(req); });
+    at(eq, 13, [&] { rec.onCheck(req, true, 13, 15); });
+    at(eq, 15, [&] { rec.onMemAccept(req); });
+    at(eq, 45, [&] { rec.onRespond(response(0, 0)); });
+    eq.run();
+
+    ASSERT_EQ(rec.completedFlights(), 1u);
+    const auto flights = rec.slowestFlights();
+    ASSERT_EQ(flights.size(), 1u);
+    const FlightRecord &f = flights.front();
+    EXPECT_EQ(f.hopXbar(), 3u);
+    EXPECT_EQ(f.hopCheck(), 2u);
+    EXPECT_EQ(f.hopDrain(), 0u);
+    EXPECT_EQ(f.hopMem(), 30u);
+    EXPECT_EQ(f.endToEnd(), 35u);
+    EXPECT_EQ(f.hopXbar() + f.hopCheck() + f.hopDrain() + f.hopMem(),
+              f.endToEnd());
+    EXPECT_FALSE(f.denied);
+}
+
+TEST(FlightRecorder, DeniedFlightsNeverTouchMemory)
+{
+    EventQueue eq;
+    FlightRecorder rec(eq, 10, "unit");
+
+    const auto req = request(2, 7);
+    at(eq, 5, [&] { rec.onIssue(req); });
+    at(eq, 6, [&] { rec.onGrant(req); });
+    at(eq, 6, [&] { rec.onCheck(req, false, 6, 7); });
+    at(eq, 7, [&] { rec.onRespond(response(2, 7, /*ok=*/false)); });
+    eq.run();
+
+    const auto flights = rec.slowestFlights();
+    ASSERT_EQ(flights.size(), 1u);
+    const FlightRecord &f = flights.front();
+    EXPECT_TRUE(f.denied);
+    EXPECT_EQ(f.hopMem(), 0u);
+    EXPECT_EQ(f.hopXbar() + f.hopCheck() + f.hopDrain() + f.hopMem(),
+              f.endToEnd());
+}
+
+TEST(FlightRecorder, CacheOutcomeCorrelatesWithTheNextCheck)
+{
+    EventQueue eq;
+    FlightRecorder rec(eq, 10, "unit");
+
+    const auto miss_req = request(0, 0);
+    at(eq, 0, [&] { rec.onIssue(miss_req); });
+    at(eq, 1, [&] {
+        rec.onGrant(miss_req);
+        rec.onCacheMiss();
+        rec.onCheck(miss_req, true, 1, 61);
+    });
+    at(eq, 61, [&] { rec.onMemAccept(miss_req); });
+    at(eq, 91, [&] { rec.onRespond(response(0, 0)); });
+
+    const auto hit_req = request(0, 1);
+    at(eq, 92, [&] { rec.onIssue(hit_req); });
+    at(eq, 93, [&] {
+        rec.onGrant(hit_req);
+        rec.onCacheHit();
+        rec.onCheck(hit_req, true, 93, 94);
+    });
+    at(eq, 94, [&] { rec.onMemAccept(hit_req); });
+    at(eq, 124, [&] { rec.onRespond(response(0, 1)); });
+    eq.run();
+
+    const auto flights = rec.slowestFlights();
+    ASSERT_EQ(flights.size(), 2u);
+    // Slowest first: the miss walked the table for 60 cycles.
+    EXPECT_EQ(flights[0].cache, FlightRecord::CacheOutcome::miss);
+    EXPECT_EQ(flights[0].hopCheck(), 60u);
+    EXPECT_EQ(flights[1].cache, FlightRecord::CacheOutcome::hit);
+    EXPECT_EQ(flights[1].hopCheck(), 1u);
+}
+
+TEST(FlightRecorder, PassThroughStallOverwritesTheCheckTimestamps)
+{
+    EventQueue eq;
+    FlightRecorder rec(eq, 10, "unit");
+
+    // A zero-latency pass-through check re-fires its timing probe each
+    // cycle the memory controller rejects the beat, and the memory
+    // acceptance can land before the xbar's grant probe in the same
+    // cycle. The last check attempt must win and the hop sum must
+    // still telescope.
+    const auto req = request(1, 3);
+    at(eq, 0, [&] { rec.onIssue(req); });
+    at(eq, 2, [&] { rec.onCheck(req, true, 2, 2); });
+    at(eq, 3, [&] {
+        rec.onCheck(req, true, 3, 3);
+        rec.onMemAccept(req);
+        rec.onGrant(req);
+    });
+    at(eq, 33, [&] { rec.onRespond(response(1, 3)); });
+    eq.run();
+
+    const auto flights = rec.slowestFlights();
+    ASSERT_EQ(flights.size(), 1u);
+    const FlightRecord &f = flights.front();
+    EXPECT_EQ(f.checkStart, 3u);
+    EXPECT_EQ(f.hopXbar(), 3u);
+    EXPECT_EQ(f.hopCheck(), 0u);
+    EXPECT_EQ(f.hopMem(), 30u);
+    EXPECT_EQ(f.hopXbar() + f.hopCheck() + f.hopDrain() + f.hopMem(),
+              f.endToEnd());
+}
+
+TEST(FlightRecorder, TopNKeepsTheSlowestFlights)
+{
+    EventQueue eq;
+    FlightRecorder rec(eq, 2, "unit");
+
+    // Three flights with end-to-end latencies 10, 40, 20.
+    const Cycles latencies[] = {10, 40, 20};
+    Cycles start = 0;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        const auto req = request(0, i);
+        const Cycles s = start;
+        at(eq, s, [&rec, req] { rec.onIssue(req); });
+        at(eq, s, [&rec, req] {
+            rec.onGrant(req);
+            rec.onCheck(req, true, req.id * 100, req.id * 100);
+        });
+        at(eq, s, [&rec, req] { rec.onMemAccept(req); });
+        at(eq, s + latencies[i], [&rec, req] {
+            rec.onRespond(response(0, req.id));
+        });
+        start += 100;
+    }
+    // onCheck start/end above use absolute cycles of the grant.
+    eq.run();
+
+    EXPECT_EQ(rec.completedFlights(), 3u);
+    const auto flights = rec.slowestFlights();
+    ASSERT_EQ(flights.size(), 2u);
+    EXPECT_EQ(flights[0].endToEnd(), 40u);
+    EXPECT_EQ(flights[1].endToEnd(), 20u);
+}
+
+TEST(FlightRecorder, HistogramsAggregateIntoTheStatTree)
+{
+    EventQueue eq;
+    FlightRecorder rec(eq, 4, "unit");
+
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const auto req = request(0, i);
+        const Cycles s = i * 100;
+        at(eq, s, [&rec, req] { rec.onIssue(req); });
+        at(eq, s + 1, [&rec, req, s] {
+            rec.onGrant(req);
+            rec.onCheck(req, true, s + 1, s + 2);
+        });
+        at(eq, s + 2, [&rec, req] { rec.onMemAccept(req); });
+        at(eq, s + 32, [&rec, req] {
+            rec.onRespond(response(0, req.id));
+        });
+    }
+    eq.run();
+
+    const stats::StatBase *e2e = rec.statsRoot().find("endToEnd");
+    ASSERT_NE(e2e, nullptr);
+    const auto *hist = dynamic_cast<const stats::Histogram *>(e2e);
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->samples(), 8u);
+    EXPECT_EQ(hist->minSeen(), 32u);
+    EXPECT_EQ(hist->maxSeen(), 32u);
+
+    // Attribution totals telescope across the whole run, too.
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    rec.statsRoot().dumpJson(w);
+    const auto doc = json::parseJson(os.str());
+    ASSERT_TRUE(doc.has_value());
+    const double total =
+        doc->at("attribution.endToEndCycles")->asNumber();
+    const double parts =
+        doc->at("attribution.xbarWaitCycles")->asNumber() +
+        doc->at("attribution.checkCycles")->asNumber() +
+        doc->at("attribution.drainCycles")->asNumber() +
+        doc->at("attribution.memCycles")->asNumber();
+    EXPECT_EQ(total, parts);
+    EXPECT_EQ(total, 8 * 32.0);
+}
+
+TEST(FlightRecorder, EmptyArtefactsAreValidJson)
+{
+    const fs::path dir = fs::temp_directory_path() / "capcheck_flight";
+    fs::create_directories(dir);
+    const fs::path flights = dir / "empty.flights.json";
+    const fs::path latency = dir / "empty.latency.json";
+
+    FlightRecorder::writeEmptyFlightsFile(flights.string(), 10,
+                                          "cpu-only");
+    FlightRecorder::writeEmptyLatencyFile(latency.string(), "cpu-only");
+
+    const auto fdoc = json::parseJson(slurp(flights));
+    ASSERT_TRUE(fdoc.has_value());
+    EXPECT_EQ(fdoc->at("label")->asString(), "cpu-only");
+    EXPECT_TRUE(fdoc->at("flights")->elements().empty());
+
+    const auto ldoc = json::parseJson(slurp(latency));
+    ASSERT_TRUE(ldoc.has_value());
+    EXPECT_EQ(ldoc->at("label")->asString(), "cpu-only");
+    EXPECT_TRUE(ldoc->at("flights")->isObject());
+
+    fs::remove_all(dir);
+}
+
+namespace
+{
+
+/**
+ * Run @p req with flight recording and check, for every flight in the
+ * artefact, that the per-hop breakdown telescopes to the end-to-end
+ * latency (the in-run INVARIANT aborts the process otherwise, so this
+ * doubles as a parse-level sanity check of the JSON shape).
+ */
+void
+expectAttributionHolds(const RunRequest &req, const std::string &tag)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / ("capcheck_flight_" + tag);
+    fs::create_directories(dir);
+    const fs::path flights = dir / "run.flights.json";
+    const fs::path latency = dir / "run.latency.json";
+
+    obs::ObsOptions opts;
+    opts.flightFile = flights.string();
+    opts.latencyFile = latency.string();
+    opts.topN = 16;
+    opts.runLabel = req.label();
+    req.execute(opts);
+
+    const auto fdoc = json::parseJson(slurp(flights));
+    ASSERT_TRUE(fdoc.has_value()) << tag;
+    EXPECT_EQ(fdoc->at("label")->asString(), req.label());
+    const json::JsonValue *table = fdoc->at("flights");
+    ASSERT_NE(table, nullptr);
+    EXPECT_FALSE(table->elements().empty()) << tag;
+    for (const json::JsonValue &f : table->elements()) {
+        const double sum = f.at("hops.xbarWait")->asNumber() +
+                           f.at("hops.check")->asNumber() +
+                           f.at("hops.drain")->asNumber() +
+                           f.at("hops.mem")->asNumber();
+        EXPECT_EQ(sum, f.at("endToEnd")->asNumber()) << tag;
+    }
+
+    const auto ldoc = json::parseJson(slurp(latency));
+    ASSERT_TRUE(ldoc.has_value()) << tag;
+    const double total =
+        ldoc->at("flights.attribution.endToEndCycles")->asNumber();
+    const double parts =
+        ldoc->at("flights.attribution.xbarWaitCycles")->asNumber() +
+        ldoc->at("flights.attribution.checkCycles")->asNumber() +
+        ldoc->at("flights.attribution.drainCycles")->asNumber() +
+        ldoc->at("flights.attribution.memCycles")->asNumber();
+    EXPECT_EQ(total, parts) << tag;
+    EXPECT_EQ(ldoc->at("flights.issued")->asNumber(),
+              ldoc->at("flights.completed")->asNumber())
+        << tag;
+
+    fs::remove_all(dir);
+}
+
+system::SocConfig
+config(SystemMode mode, capchecker::Provenance prov,
+       unsigned cache_entries)
+{
+    SocConfigBuilder b;
+    b.mode(mode).numInstances(2).seed(1).provenance(prov);
+    if (cache_entries)
+        b.capCache(cache_entries, 60);
+    return b.build();
+}
+
+} // namespace
+
+TEST(FlightRecorderIntegration, AttributionHoldsUnderFineProvenance)
+{
+    expectAttributionHolds(
+        RunRequest::single("aes",
+                           config(SystemMode::ccpuCaccel,
+                                  capchecker::Provenance::fine, 0)),
+        "fine");
+}
+
+TEST(FlightRecorderIntegration, AttributionHoldsUnderCoarseProvenance)
+{
+    expectAttributionHolds(
+        RunRequest::single("aes",
+                           config(SystemMode::ccpuCaccel,
+                                  capchecker::Provenance::coarse, 0)),
+        "coarse");
+}
+
+TEST(FlightRecorderIntegration, AttributionHoldsWithACapCache)
+{
+    expectAttributionHolds(
+        RunRequest::single("gemm_ncubed",
+                           config(SystemMode::ccpuCaccel,
+                                  capchecker::Provenance::fine, 4)),
+        "cache");
+}
+
+TEST(FlightRecorderIntegration, AttributionHoldsOnUnprotectedPath)
+{
+    expectAttributionHolds(
+        RunRequest::single("aes",
+                           config(SystemMode::cpuAccel,
+                                  capchecker::Provenance::fine, 0)),
+        "passthrough");
+}
+
+TEST(FlightRecorderIntegration, CacheOutcomesAppearInTheArtefacts)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "capcheck_flight_outcomes";
+    fs::create_directories(dir);
+    const fs::path latency = dir / "run.latency.json";
+
+    const auto req = RunRequest::single(
+        "gemm_ncubed",
+        config(SystemMode::ccpuCaccel, capchecker::Provenance::fine,
+               4));
+    obs::ObsOptions opts;
+    opts.latencyFile = latency.string();
+    opts.runLabel = req.label();
+    req.execute(opts);
+
+    const auto doc = json::parseJson(slurp(latency));
+    ASSERT_TRUE(doc.has_value());
+    const double hits = doc->at("flights.cacheHits")->asNumber();
+    const double misses = doc->at("flights.cacheMisses")->asNumber();
+    EXPECT_GT(hits + misses, 0.0);
+    EXPECT_GT(misses, 0.0); // cold cache: the first accesses walk
+
+    fs::remove_all(dir);
+}

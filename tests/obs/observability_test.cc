@@ -1,10 +1,10 @@
 /**
  * @file
  * End-to-end tests for the observability layer: Chrome traces, stat
- * time-series and audit logs must be byte-identical at any --jobs
- * (they are keyed purely by simulated cycles), CPU-only runs must
- * still produce valid (empty) outputs, and enabling observability
- * must not perturb the simulation itself.
+ * time-series, audit logs and flight-recorder artefacts must be
+ * byte-identical at any --jobs (they are keyed purely by simulated
+ * cycles), CPU-only runs must still produce valid (empty) outputs,
+ * and enabling observability must not perturb the simulation itself.
  */
 
 #include <filesystem>
@@ -64,6 +64,9 @@ observing(unsigned jobs, const fs::path &dir)
     opts.traceDir = dir.string();
     opts.sampleInterval = 500;
     opts.auditDir = dir.string();
+    opts.flightDir = dir.string();
+    opts.latencyDir = dir.string();
+    opts.topN = 5;
     return opts;
 }
 
@@ -97,7 +100,9 @@ TEST(Observability, OutputsAreByteIdenticalAcrossJobCounts)
         const std::string hash = out.request.hashHex();
         for (const std::string &suffix :
              {std::string(".trace.json"), std::string(".samples.json"),
-              std::string(".audit.jsonl")}) {
+              std::string(".audit.jsonl"),
+              std::string(".flights.json"),
+              std::string(".latency.json")}) {
             const std::string name = "run-" + hash + suffix;
             ASSERT_TRUE(fs::exists(serial_dir / name)) << name;
             ASSERT_TRUE(fs::exists(parallel_dir / name)) << name;
@@ -163,6 +168,13 @@ TEST(Observability, CpuOnlyRunsWriteValidEmptyOutputs)
     EXPECT_TRUE(fs::exists(dir / ("run-" + hash + ".audit.jsonl")));
     EXPECT_TRUE(
         fs::is_empty(dir / ("run-" + hash + ".audit.jsonl")));
+    const std::string flights =
+        slurp(dir / ("run-" + hash + ".flights.json"));
+    EXPECT_NE(flights.find("\"issued\": 0"), std::string::npos);
+    EXPECT_NE(flights.find("\"label\""), std::string::npos);
+    const std::string latency =
+        slurp(dir / ("run-" + hash + ".latency.json"));
+    EXPECT_NE(latency.find("\"flights\": {}"), std::string::npos);
 
     fs::remove_all(dir);
 }
@@ -183,6 +195,9 @@ TEST(Observability, EnablingObservationDoesNotPerturbTheRun)
     obs_opts.samplesFile = (dir / "perturb.samples.json").string();
     obs_opts.sampleInterval = 100;
     obs_opts.auditFile = (dir / "perturb.audit.jsonl").string();
+    obs_opts.flightFile = (dir / "perturb.flights.json").string();
+    obs_opts.latencyFile = (dir / "perturb.latency.json").string();
+    obs_opts.runLabel = req.label();
     const system::RunResult observed = req.execute(obs_opts);
 
     // Probes and listeners are pure observers: every simulated number

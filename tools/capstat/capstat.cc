@@ -1,0 +1,198 @@
+/**
+ * @file
+ * capstat: inspect and gate on the flight-recorder latency artefacts.
+ *
+ *   capstat report  LATENCY.json...           per-run p50/p95/p99 table
+ *   capstat merge   -o OUT LATENCY.json...    merge runs into one report
+ *   capstat diff    BASELINE CURRENT          compare; exit 1 on
+ *                   [--tolerance PCT]         p50/p95/p99 regression
+ *                   [--metric PATH]...
+ *   capstat top     FLIGHTS.json [-n N]       slowest-requests table
+ *
+ * Both report and diff accept single-run artefacts (run-*.latency.json)
+ * and merged reports interchangeably; runs are keyed by their embedded
+ * label, so a committed baseline keeps matching after config-hash
+ * changes. Exit codes: 0 ok, 1 latency regression, 2 usage/IO error.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "statdiff.hh"
+
+namespace
+{
+
+using namespace capcheck::tools;
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: capstat report LATENCY.json...\n"
+          "       capstat merge -o OUT.json LATENCY.json...\n"
+          "       capstat diff [--tolerance PCT] [--metric PATH]...\n"
+          "                    BASELINE.json CURRENT.json...\n"
+          "       capstat top FLIGHTS.json [-n N]\n";
+}
+
+int
+fail(const std::string &message)
+{
+    std::cerr << "capstat: " << message << "\n";
+    return 2;
+}
+
+bool
+loadAll(const std::vector<std::string> &paths, LatencyReport &report)
+{
+    for (const std::string &path : paths) {
+        std::string error;
+        if (!loadLatencyDocument(path, report, &error)) {
+            fail(error);
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdReport(const std::vector<std::string> &paths)
+{
+    if (paths.empty())
+        return fail("report needs at least one latency artefact");
+    LatencyReport report;
+    if (!loadAll(paths, report))
+        return 2;
+    printReport(std::cout, report);
+    return 0;
+}
+
+int
+cmdMerge(const std::vector<std::string> &args)
+{
+    std::string out;
+    std::vector<std::string> paths;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "-o" || args[i] == "--out") {
+            if (i + 1 >= args.size())
+                return fail("-o needs a file argument");
+            out = args[++i];
+        } else {
+            paths.push_back(args[i]);
+        }
+    }
+    if (paths.empty())
+        return fail("merge needs at least one latency artefact");
+    LatencyReport report;
+    if (!loadAll(paths, report))
+        return 2;
+    const std::string doc = mergedJson(report);
+    if (out.empty()) {
+        std::cout << doc;
+        return 0;
+    }
+    std::ofstream os(out);
+    if (!os)
+        return fail("cannot write '" + out + "'");
+    os << doc;
+    return 0;
+}
+
+int
+cmdDiff(const std::vector<std::string> &args)
+{
+    DiffOptions opts;
+    std::vector<std::string> metrics;
+    std::vector<std::string> paths;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--tolerance") {
+            if (i + 1 >= args.size())
+                return fail("--tolerance needs a percentage");
+            opts.tolerancePct = std::atof(args[++i].c_str());
+        } else if (args[i].rfind("--tolerance=", 0) == 0) {
+            opts.tolerancePct =
+                std::atof(args[i].c_str() + std::strlen("--tolerance="));
+        } else if (args[i] == "--metric") {
+            if (i + 1 >= args.size())
+                return fail("--metric needs a dotted path");
+            metrics.push_back(args[++i]);
+        } else if (args[i].rfind("--metric=", 0) == 0) {
+            metrics.push_back(
+                args[i].substr(std::strlen("--metric=")));
+        } else {
+            paths.push_back(args[i]);
+        }
+    }
+    if (paths.size() < 2)
+        return fail("diff needs a baseline and at least one current "
+                    "artefact");
+    if (!metrics.empty())
+        opts.metrics = std::move(metrics);
+
+    LatencyReport baseline;
+    std::string error;
+    if (!loadLatencyDocument(paths.front(), baseline, &error))
+        return fail(error);
+    LatencyReport current;
+    if (!loadAll({paths.begin() + 1, paths.end()}, current))
+        return 2;
+
+    return printDiff(std::cout, diffReports(baseline, current, opts),
+                     opts)
+               ? 1
+               : 0;
+}
+
+int
+cmdTop(const std::vector<std::string> &args)
+{
+    unsigned limit = 0;
+    std::vector<std::string> paths;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "-n" || args[i] == "--limit") {
+            if (i + 1 >= args.size())
+                return fail("-n needs a count");
+            limit = static_cast<unsigned>(std::atoi(args[++i].c_str()));
+        } else {
+            paths.push_back(args[i]);
+        }
+    }
+    if (paths.size() != 1)
+        return fail("top needs exactly one flights artefact");
+    std::string error;
+    if (!printTopFlights(std::cout, paths.front(), limit, &error))
+        return fail(error);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(std::cerr);
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        usage(std::cout);
+        return 0;
+    }
+    if (cmd == "report")
+        return cmdReport(args);
+    if (cmd == "merge")
+        return cmdMerge(args);
+    if (cmd == "diff")
+        return cmdDiff(args);
+    if (cmd == "top")
+        return cmdTop(args);
+
+    usage(std::cerr);
+    return 2;
+}
