@@ -25,10 +25,28 @@
 #include "harness/sweep_runner.hh"
 #include "system/soc_config_builder.hh"
 #include "system/soc_system.hh"
+#include "system/topology.hh"
 #include "workloads/kernel.hh"
 
 namespace capcheck::bench
 {
+
+namespace detail
+{
+/**
+ * The --topology file from the last parseOptions() call. modeConfig()
+ * folds it into every SocConfig so one flag retargets a whole
+ * harness's sweep without touching each request-building loop.
+ */
+inline std::string cliTopologyFile; // NOLINT(cert-err58-cpp)
+/**
+ * True when the loaded file forces a checker scheme ("capchecker" /
+ * "checker_bank" rather than "auto"): such a shape can only elaborate
+ * under modes with a CHERI CPU, so modeConfig() keeps the builtin
+ * shape for the non-CHERI points instead of fataling mid-sweep.
+ */
+inline bool cliTopologyNeedsChecker = false;
+} // namespace detail
 
 inline void
 printHeader(const std::string &what, const std::string &paper_ref)
@@ -57,6 +75,13 @@ struct BenchOptions
     std::string latencyJson;
     /** --topn N: slowest flights kept per run. */
     unsigned topN = 10;
+
+    /** --topology FILE: JSON platform topology for every run. */
+    std::string topology;
+    /** --dump-topology[=MODE]: print canonical topology JSON, exit. */
+    bool dumpTopology = false;
+    /** Builtin dumped when no --topology file names one. */
+    std::string dumpTopologyMode = "ccpu+caccel";
 };
 
 inline void
@@ -69,6 +94,7 @@ printUsage(const char *argv0)
         << " [--audit-log DIR]\n"
         << "       [--flight-out DIR] [--latency-json DIR] [--topn N]"
         << " [--debug-flags LIST]\n"
+        << "       [--topology FILE] [--dump-topology]\n"
         << "  --jobs N            worker threads (default: all cores)\n"
         << "  --json-dir DIR      write run-<hash>.json + manifest\n"
         << "  --no-cache          re-simulate repeated requests\n"
@@ -86,6 +112,11 @@ printUsage(const char *argv0)
         << "                      latency histograms (p50/p95/p99) and\n"
         << "                      per-component cycle attribution\n"
         << "  --topn N            slowest flights kept per run (10)\n"
+        << "  --topology FILE     load the platform topology from a\n"
+        << "                      JSON file instead of the builtin\n"
+        << "                      shape for each mode\n"
+        << "  --dump-topology     print the (builtin or loaded)\n"
+        << "                      topology as canonical JSON and exit\n"
         << "  --debug-flags LIST  enable debug flags (? lists them)\n";
 }
 
@@ -139,6 +170,16 @@ parseOptions(int argc, char **argv)
         } else if (arg.rfind("--latency-json=", 0) == 0) {
             opts.latencyJson =
                 arg.substr(std::strlen("--latency-json="));
+        } else if (arg == "--topology") {
+            opts.topology = next();
+        } else if (arg.rfind("--topology=", 0) == 0) {
+            opts.topology = arg.substr(std::strlen("--topology="));
+        } else if (arg == "--dump-topology" ||
+                   arg.rfind("--dump-topology=", 0) == 0) {
+            opts.dumpTopology = true;
+            if (arg.rfind("--dump-topology=", 0) == 0)
+                opts.dumpTopologyMode =
+                    arg.substr(std::strlen("--dump-topology="));
         } else if (arg == "--topn") {
             opts.topN = static_cast<unsigned>(std::atoi(next()));
         } else if (arg.rfind("--topn=", 0) == 0) {
@@ -170,6 +211,41 @@ parseOptions(int argc, char **argv)
             std::exit(2);
         }
     }
+    detail::cliTopologyFile = opts.topology;
+    if (!opts.topology.empty() && !opts.dumpTopology) {
+        // Fail at the command line, not mid-sweep: a missing or
+        // malformed file is an argument error, not a simulation one.
+        try {
+            const system::Topology topo =
+                system::Topology::loadFile(opts.topology);
+            for (const system::TopologyNode &node : topo.nodes) {
+                if (node.kind != "protect")
+                    continue;
+                const json::JsonValue *scheme =
+                    node.params.get("scheme");
+                if (scheme && (scheme->asString() == "capchecker" ||
+                               scheme->asString() == "checker_bank"))
+                    detail::cliTopologyNeedsChecker = true;
+            }
+        } catch (const system::TopologyError &e) {
+            std::cerr << e.what() << "\n";
+            std::exit(2);
+        }
+    }
+    if (opts.dumpTopology) {
+        try {
+            const system::Topology topo =
+                !opts.topology.empty()
+                    ? system::Topology::loadFile(opts.topology)
+                    : system::Topology::builtinByName(
+                          opts.dumpTopologyMode);
+            std::cout << topo.toJsonText();
+            std::exit(0);
+        } catch (const system::TopologyError &e) {
+            std::cerr << e.what() << "\n";
+            std::exit(2);
+        }
+    }
     return opts;
 }
 
@@ -198,32 +274,25 @@ makeRunner(int argc, char **argv)
                                                              argv)));
 }
 
-/** Validated SocConfig for @p mode with default platform parameters. */
+/**
+ * Validated SocConfig for @p mode with default platform parameters.
+ * Honours the harness-wide --topology flag: when one was parsed, every
+ * accelerator-mode config (and therefore every RunRequest) elaborates
+ * that file. CPU-only modes have no platform to shape, so harnesses
+ * that mix cpu and accel points keep working under --topology.
+ */
 inline system::SocConfig
 modeConfig(system::SystemMode mode, std::uint64_t seed = 1)
 {
-    return system::SocConfigBuilder().mode(mode).seed(seed).build();
-}
-
-/**
- * Run one benchmark under one mode with default parameters.
- *
- * @deprecated The serial pre-SweepRunner entry point; it also kept the
- * silent num_tasks = 0 convention. Build an explicit
- * harness::RunRequest (which resolves the task count at construction)
- * and submit it to a SweepRunner instead. This shim forwards to the
- * process-wide serial runner so legacy callers still benefit from the
- * result cache.
- */
-[[deprecated("build a harness::RunRequest and submit it to a "
-             "SweepRunner")]]
-inline system::RunResult
-runMode(const std::string &benchmark, system::SystemMode mode,
-        unsigned num_tasks = 0, std::uint64_t seed = 1)
-{
-    return harness::SweepRunner::shared().runOne(
-        harness::RunRequest::single(benchmark, modeConfig(mode, seed),
-                                    num_tasks));
+    return system::SocConfigBuilder()
+        .mode(mode)
+        .seed(seed)
+        .topologyFile(system::modeUsesAccel(mode) &&
+                              (!detail::cliTopologyNeedsChecker ||
+                               system::modeUsesCapChecker(mode))
+                          ? detail::cliTopologyFile
+                          : std::string())
+        .build();
 }
 
 } // namespace capcheck::bench

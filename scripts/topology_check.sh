@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Round-trip every example topology through the JSON loader: a file is
+# canonical iff load -> dump reproduces it byte for byte, and a second
+# load -> dump of the dump proves the printer emits what the parser
+# reads (lossless round trip). Also dumps the five builtin shapes and
+# checks each against its checked-in examples/topologies/<name>.json,
+# so the builtins and the example files can never drift apart.
+#
+# usage: topology_check.sh [BUILD_DIR]
+set -euo pipefail
+
+build=${1:-build}
+cd "$(dirname "$0")/.."
+
+dumper="$build/bench/table1_properties"
+if [ ! -x "$dumper" ]; then
+    echo "topology_check: $dumper not built" >&2
+    exit 2
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+fail=0
+
+for f in examples/topologies/*.json; do
+    "$dumper" --topology "$f" --dump-topology > "$work/pass1.json"
+    if ! cmp -s "$f" "$work/pass1.json"; then
+        echo "NOT CANONICAL $f (load -> dump changed it):" >&2
+        diff "$f" "$work/pass1.json" >&2 || true
+        fail=1
+        continue
+    fi
+    "$dumper" --topology "$work/pass1.json" --dump-topology \
+        > "$work/pass2.json"
+    if ! cmp -s "$work/pass1.json" "$work/pass2.json"; then
+        echo "ROUND-TRIP LOSSY $f (dump -> load -> dump diverged)" >&2
+        diff "$work/pass1.json" "$work/pass2.json" >&2 || true
+        fail=1
+        continue
+    fi
+    echo "ok $f"
+done
+
+for mode in cpu ccpu cpu+accel ccpu+accel ccpu+caccel; do
+    "$dumper" --dump-topology="$mode" > "$work/builtin.json"
+    if ! cmp -s "examples/topologies/$mode.json" "$work/builtin.json"; then
+        echo "BUILTIN DRIFT: examples/topologies/$mode.json no longer" \
+             "matches the builtin '$mode' topology" >&2
+        diff "examples/topologies/$mode.json" "$work/builtin.json" >&2 || true
+        fail=1
+        continue
+    fi
+    echo "ok builtin $mode"
+done
+
+exit $fail

@@ -14,16 +14,17 @@ TracePlayer::TracePlayer(EventQueue &eq, stats::StatGroup *parent_stats,
                          const workloads::KernelSpec &spec,
                          InstanceTrace trace,
                          std::vector<BufferMapping> buffers, TaskId task,
-                         PortId port, AxiInterconnect &xbar,
-                         AddressingMode addressing)
+                         PortId port, AddressingMode addressing)
     : TickingObject(eq, std::move(name), parent_stats,
                     Event::requestPrio),
       spec(spec), trace(std::move(trace)), buffers(std::move(buffers)),
-      taskId(task), port(port), xbar(xbar), addressing(addressing),
+      taskId(task), port(port),
+      memSidePort(*this, "mem_side",
+                  static_cast<ResponseHandler &>(*this)),
+      addressing(addressing),
       beatsIssued(stats, "beats", "DMA beats issued"),
       deniedResponses(stats, "denied", "beats denied by protection")
 {
-    xbar.setResponseHandler(port, this);
     buildStreams();
 }
 
@@ -67,7 +68,7 @@ bool
 TracePlayer::issue(MemCmd cmd, ObjectId obj, std::uint64_t off,
                    std::uint32_t size)
 {
-    if (!xbar.canOffer(port))
+    if (!memSidePort.canSend())
         return false;
 
     MemRequest req;
@@ -87,7 +88,7 @@ TracePlayer::issue(MemCmd cmd, ObjectId obj, std::uint64_t off,
     req.id = nextReqId++;
 
     _issueProbe.notify(req);
-    xbar.offer(port, req);
+    memSidePort.trySend(req);
     ++outstanding;
     ++beatsIssued;
     return true;

@@ -16,7 +16,9 @@
 #include "accel/trace.hh"
 #include "base/probe.hh"
 #include "cpu/cpu_model.hh" // BufferMapping
-#include "mem/interconnect.hh"
+#include "mem/packet.hh"
+#include "sim/clocked.hh"
+#include "sim/port.hh"
 #include "workloads/buffer_spec.hh"
 
 namespace capcheck::accel
@@ -52,8 +54,14 @@ class TracePlayer : public TickingObject, public ResponseHandler
                 std::string name, const workloads::KernelSpec &spec,
                 InstanceTrace trace,
                 std::vector<BufferMapping> buffers, TaskId task,
-                PortId port, AxiInterconnect &xbar,
-                AddressingMode addressing);
+                PortId port, AddressingMode addressing);
+
+    /**
+     * Interconnect-facing master port; bind to an accel_side slot of
+     * an interconnect before start(). DMA beats leave through it and
+     * responses come back on it.
+     */
+    RequestPort &memSide() { return memSidePort; }
 
     /** Begin execution at @p when (after driver setup). */
     void start(Cycles when);
@@ -116,7 +124,7 @@ class TracePlayer : public TickingObject, public ResponseHandler
     std::vector<BufferMapping> buffers;
     TaskId taskId;
     PortId port;
-    AxiInterconnect &xbar;
+    RequestPort memSidePort;
     AddressingMode addressing;
 
     Phase phase = Phase::idle;

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/json.hh"
+
 namespace capcheck::json
 {
 
@@ -361,6 +363,57 @@ parseJsonFile(const std::string &path, std::string *error)
     std::stringstream body;
     body << is.rdbuf();
     return parseJson(body.str(), error);
+}
+
+void
+writeJsonValue(JsonWriter &w, const JsonValue &v)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::null:
+        w.nullValue();
+        return;
+      case JsonValue::Kind::boolean:
+        w.value(v.asBool());
+        return;
+      case JsonValue::Kind::number: {
+        const double d = v.asNumber();
+        // Only the in-range integral doubles take the integer path;
+        // the cast is undefined outside int64's range.
+        if (d >= -9.0e18 && d <= 9.0e18 &&
+            static_cast<double>(static_cast<std::int64_t>(d)) == d) {
+            w.value(static_cast<std::int64_t>(d));
+        } else {
+            w.value(d);
+        }
+        return;
+      }
+      case JsonValue::Kind::string:
+        w.value(v.asString());
+        return;
+      case JsonValue::Kind::array:
+        w.beginArray();
+        for (const JsonValue &elem : v.elements())
+            writeJsonValue(w, elem);
+        w.endArray();
+        return;
+      case JsonValue::Kind::object:
+        w.beginObject();
+        for (const JsonValue::Member &m : v.members()) {
+            w.key(m.first);
+            writeJsonValue(w, m.second);
+        }
+        w.endObject();
+        return;
+    }
+}
+
+std::string
+jsonValueToText(const JsonValue &v, unsigned indent_width)
+{
+    std::ostringstream os;
+    JsonWriter w(os, indent_width);
+    writeJsonValue(w, v);
+    return os.str();
 }
 
 } // namespace capcheck::json

@@ -91,6 +91,20 @@ std::optional<JsonValue> parseJson(const std::string &text,
 std::optional<JsonValue> parseJsonFile(const std::string &path,
                                        std::string *error = nullptr);
 
+class JsonWriter;
+
+/**
+ * Serialize @p v through the streaming writer (in value position).
+ * Numbers that are exactly representable as integers are written
+ * without a fraction, so parse -> write -> parse is lossless and a
+ * second write is byte-identical to the first.
+ */
+void writeJsonValue(JsonWriter &w, const JsonValue &v);
+
+/** writeJsonValue into a string (a complete document). */
+std::string jsonValueToText(const JsonValue &v,
+                            unsigned indent_width = 2);
+
 } // namespace capcheck::json
 
 #endif // CAPCHECK_BASE_JSON_VALUE_HH

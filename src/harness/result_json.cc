@@ -25,6 +25,8 @@ writeConfigJson(json::JsonWriter &w, const system::SocConfig &cfg)
     w.key("guardBytes").value(std::uint64_t{cfg.guardBytes});
     w.key("collectStats").value(cfg.collectStats);
     w.key("seed").value(std::uint64_t{cfg.seed});
+    if (!cfg.topologyFile.empty())
+        w.key("topologyFile").value(cfg.topologyFile);
     w.endObject();
 }
 

@@ -84,6 +84,13 @@ hashConfig(FieldHasher &h, const system::SocConfig &cfg)
     h.u64(drv.scrubPerWord);
 
     h.u64(cfg.seed);
+
+    // Mixed only when present so every pre-topology hash (and any
+    // cached result keyed by it) stays stable for builtin topologies.
+    if (!cfg.topologyFile.empty()) {
+        h.str("topology");
+        h.str(cfg.topologyFile);
+    }
 }
 
 } // namespace
@@ -143,9 +150,12 @@ RunRequest::label() const
     } else {
         name = benchmarks.front();
     }
-    return name + " mode=" + system::systemModeName(config.mode) +
-           " tasks=" + std::to_string(numTasks) +
-           " seed=" + std::to_string(config.seed);
+    name += " mode=" + std::string(system::systemModeName(config.mode)) +
+            " tasks=" + std::to_string(numTasks) +
+            " seed=" + std::to_string(config.seed);
+    if (!config.topologyFile.empty())
+        name += " topology=" + config.topologyFile;
+    return name;
 }
 
 system::RunResult

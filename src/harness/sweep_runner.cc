@@ -39,19 +39,6 @@ SweepRunner::SweepRunner(Options options) : opts(std::move(options))
         numJobs = 1;
 }
 
-SweepRunner &
-SweepRunner::shared()
-{
-    static SweepRunner runner{[] {
-        Options o;
-        o.jobs = 1;
-        o.cacheEnabled = true;
-        o.progress = nullptr;
-        return o;
-    }()};
-    return runner;
-}
-
 system::RunResult
 SweepRunner::runOne(const RunRequest &request)
 {

@@ -106,12 +106,6 @@ class SweepRunner
 
     ResultCache &cache() { return resultCache; }
 
-    /**
-     * The process-wide runner behind the deprecated bench::runMode()
-     * shim. Serial (jobs = 1), silent, cache enabled.
-     */
-    static SweepRunner &shared();
-
   private:
     void writeJson(const std::vector<RunOutcome> &outcomes,
                    const std::string &sweep_name,

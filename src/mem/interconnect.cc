@@ -9,51 +9,61 @@ namespace capcheck
 AxiInterconnect::AxiInterconnect(EventQueue &eq,
                                  stats::StatGroup *parent_stats,
                                  unsigned num_masters,
-                                 TimingConsumer &downstream,
-                                 unsigned max_burst)
-    : TickingObject(eq, "xbar", parent_stats, Event::arbitratePrio),
-      downstream(downstream), masters(num_masters),
-      maxBurst(max_burst ? max_burst : 1),
+                                 unsigned max_burst, std::string name)
+    : TickingObject(eq, std::move(name), parent_stats,
+                    Event::arbitratePrio),
+      memSidePort(*this, "mem_side",
+                  static_cast<ResponseHandler &>(*this)),
+      masters(num_masters), maxBurst(max_burst ? max_burst : 1),
       grants(stats, "grants", "requests granted onto the bus"),
       stallCycles(stats, "stallCycles",
                   "cycles the winning request could not move downstream")
 {
     if (num_masters == 0)
         fatal("AxiInterconnect needs at least one master");
+    for (unsigned i = 0; i < num_masters; ++i) {
+        masters[i].port = std::make_unique<ResponsePort>(
+            *this, "accel_side" + std::to_string(i),
+            [this, i](const MemRequest &req) { return offer(i, req); },
+            [this, i] { return canOffer(i); });
+    }
+}
+
+ResponsePort &
+AxiInterconnect::accelSide(unsigned slot)
+{
+    return *masters.at(slot).port;
 }
 
 bool
-AxiInterconnect::canOffer(PortId port) const
+AxiInterconnect::canOffer(unsigned slot) const
 {
-    return !masters.at(port).pending.has_value();
+    return !masters.at(slot).pending.has_value();
 }
 
 bool
-AxiInterconnect::offer(PortId port, const MemRequest &req)
+AxiInterconnect::offer(unsigned slot, const MemRequest &req)
 {
-    MasterSlot &slot = masters.at(port);
-    if (slot.pending)
+    MasterSlot &ms = masters.at(slot);
+    if (ms.pending)
         return false;
-    slot.pending = req;
+    ms.pending = req;
+    portToSlot[req.srcPort] = slot;
     ++offeredBeats;
     activate(1);
     return true;
 }
 
 void
-AxiInterconnect::setResponseHandler(PortId port, ResponseHandler *handler)
-{
-    masters.at(port).handler = handler;
-}
-
-void
 AxiInterconnect::handleResponse(const MemResponse &resp)
 {
-    MasterSlot &slot = masters.at(resp.srcPort);
-    if (!slot.handler)
-        panic("xbar: response for port %u with no handler", resp.srcPort);
+    const auto it = portToSlot.find(resp.srcPort);
+    if (it == portToSlot.end())
+        panic("xbar: response for source port %u that never offered "
+              "a beat here",
+              resp.srcPort);
     _respondProbe.notify(resp);
-    slot.handler->handleResponse(resp);
+    masters.at(it->second).port->sendResponse(resp);
 }
 
 void
@@ -92,7 +102,7 @@ AxiInterconnect::tick()
         // Burst-sticky arbitration: the owner keeps the bus while it
         // has back-to-back beats and burst budget left.
         MasterSlot &slot = masters[burstOwner];
-        if (downstream.tryAccept(*slot.pending)) {
+        if (memSidePort.trySend(*slot.pending)) {
             grantBeat(slot);
             --burstLeft;
             if (burstLeft == 0)
@@ -107,7 +117,7 @@ AxiInterconnect::tick()
             MasterSlot &slot = masters[port];
             if (!slot.pending)
                 continue;
-            if (downstream.tryAccept(*slot.pending)) {
+            if (memSidePort.trySend(*slot.pending)) {
                 grantBeat(slot);
                 rrNext = (port + 1) % masters.size();
                 if (maxBurst > 1) {

@@ -4,20 +4,25 @@
  * interconnect admits one memory access per clock cycle; masters
  * contend through round-robin arbitration. Each master slot has a
  * single-entry request buffer (an AXI address channel that stalls until
- * the crossbar accepts the beat). Responses are routed back to the
- * issuing master by port id.
+ * the crossbar accepts the beat) exposed as a ResponsePort named
+ * "accel_side<i>"; granted beats leave through the "mem_side"
+ * RequestPort. Responses are routed back to the issuing master by the
+ * source port id recorded when its beat was offered.
  */
 
 #ifndef CAPCHECK_MEM_INTERCONNECT_HH
 #define CAPCHECK_MEM_INTERCONNECT_HH
 
+#include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "base/probe.hh"
 #include "base/stats.hh"
 #include "mem/packet.hh"
 #include "sim/clocked.hh"
+#include "sim/port.hh"
 
 namespace capcheck
 {
@@ -27,29 +32,38 @@ class AxiInterconnect : public TickingObject, public ResponseHandler
   public:
     /**
      * @param num_masters master slots (accelerator ports).
-     * @param downstream where granted requests go (CapChecker or the
-     *        memory controller).
      * @param max_burst beats a granted master may keep the bus for
      *        while it has back-to-back requests (AXI burst-style
      *        sticky arbitration). 1 = pure round-robin per beat.
      */
     AxiInterconnect(EventQueue &eq, stats::StatGroup *parent_stats,
-                    unsigned num_masters, TimingConsumer &downstream,
-                    unsigned max_burst = 1);
+                    unsigned num_masters, unsigned max_burst = 1,
+                    std::string name = "xbar");
 
     unsigned numMasters() const { return masters.size(); }
 
     /**
-     * Offer a request into master slot @p port.
+     * Master-facing port of slot @p slot ("accel_side<slot>"); bind
+     * each master's request port here. Slots bind per wave, so slots
+     * without a live master may stay unbound.
+     */
+    ResponsePort &accelSide(unsigned slot);
+
+    /**
+     * Downstream-facing port; bind to the check stage, a channel
+     * router or the memory controller.
+     */
+    RequestPort &memSide() { return memSidePort; }
+
+    /**
+     * Offer a request into master slot @p slot (the admission function
+     * behind that slot's accel_side port).
      * @return false when that slot's buffer is full this cycle.
      */
-    bool offer(PortId port, const MemRequest &req);
+    bool offer(unsigned slot, const MemRequest &req);
 
-    /** True when master slot @p port can take a request. */
-    bool canOffer(PortId port) const;
-
-    /** Register the response handler for a master slot. */
-    void setResponseHandler(PortId port, ResponseHandler *handler);
+    /** True when master slot @p slot can take a request. */
+    bool canOffer(unsigned slot) const;
 
     /** ResponseHandler: deliver a response back to its master. */
     void handleResponse(const MemResponse &resp) override;
@@ -79,7 +93,7 @@ class AxiInterconnect : public TickingObject, public ResponseHandler
     struct MasterSlot
     {
         std::optional<MemRequest> pending;
-        ResponseHandler *handler = nullptr;
+        std::unique_ptr<ResponsePort> port;
     };
 
     /** Sentinel: no master currently owns a burst. */
@@ -88,8 +102,17 @@ class AxiInterconnect : public TickingObject, public ResponseHandler
     void grantBeat(MasterSlot &slot);
     void resetBurst();
 
-    TimingConsumer &downstream;
+    RequestPort memSidePort;
     std::vector<MasterSlot> masters;
+
+    /**
+     * Source port id -> local slot, recorded at offer() time so
+     * responses route correctly even when this crossbar's slot indices
+     * differ from the masters' global port ids (multi-crossbar
+     * topologies).
+     */
+    std::unordered_map<PortId, unsigned> portToSlot;
+
     unsigned rrNext = 0;
     unsigned maxBurst;
     unsigned burstLeft = 0;

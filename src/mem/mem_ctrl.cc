@@ -8,8 +8,10 @@ namespace capcheck
 
 MemoryController::MemoryController(EventQueue &eq,
                                    stats::StatGroup *parent_stats,
-                                   Cycles latency)
-    : SimObject(eq, "memctrl", parent_stats),
+                                   Cycles latency, std::string name)
+    : SimObject(eq, std::move(name), parent_stats),
+      cpuSidePort(*this, "cpu_side",
+                  static_cast<TimingConsumer &>(*this)),
       _latency(latency), respondEvent(*this),
       served(stats, "served", "requests served"),
       readBeats(stats, "readBeats", "read beats"),
@@ -50,11 +52,9 @@ MemoryController::tryAccept(const MemRequest &req)
 void
 MemoryController::deliver()
 {
-    if (!upstream)
-        panic("MemoryController: no upstream response handler set");
     while (!pipeline.empty() && pipeline.front().due <= curCycle()) {
         _respondProbe.notify(pipeline.front().resp);
-        upstream->handleResponse(pipeline.front().resp);
+        cpuSidePort.sendResponse(pipeline.front().resp);
         pipeline.pop_front();
     }
     if (!pipeline.empty())

@@ -15,6 +15,7 @@
 #include "base/stats.hh"
 #include "mem/packet.hh"
 #include "sim/clocked.hh"
+#include "sim/port.hh"
 
 namespace capcheck
 {
@@ -26,10 +27,15 @@ class MemoryController : public SimObject, public TimingConsumer
     static constexpr Cycles defaultLatency = 30;
 
     MemoryController(EventQueue &eq, stats::StatGroup *parent_stats,
-                     Cycles latency = defaultLatency);
+                     Cycles latency = defaultLatency,
+                     std::string name = "memctrl");
 
-    /** Set where responses are delivered (typically the interconnect). */
-    void setUpstream(ResponseHandler &handler) { upstream = &handler; }
+    /**
+     * Upstream-facing port: requests arrive through it and responses
+     * leave through it a fixed latency later. Bind it to the mem-side
+     * request port of the interconnect, check stage or router above.
+     */
+    ResponsePort &cpuSide() { return cpuSidePort; }
 
     /** TimingConsumer: accept one request per cycle. */
     bool tryAccept(const MemRequest &req) override;
@@ -69,7 +75,7 @@ class MemoryController : public SimObject, public TimingConsumer
 
     void deliver();
 
-    ResponseHandler *upstream = nullptr;
+    ResponsePort cpuSidePort;
     Cycles _latency;
     Cycles lastAcceptCycle = ~Cycles{0};
 

@@ -7,10 +7,14 @@ namespace capcheck::protect
 {
 
 CheckStage::CheckStage(EventQueue &eq, stats::StatGroup *parent_stats,
-                       ProtectionChecker &checker,
-                       TimingConsumer &downstream)
-    : TickingObject(eq, "checkstage", parent_stats, Event::checkPrio),
-      checker(checker), downstream(downstream),
+                       ProtectionChecker &checker, std::string name)
+    : TickingObject(eq, std::move(name), parent_stats,
+                    Event::checkPrio),
+      checker(checker),
+      cpuSidePort(*this, "cpu_side",
+                  static_cast<TimingConsumer &>(*this)),
+      memSidePort(*this, "mem_side",
+                  static_cast<ResponseHandler &>(*this)),
       checked(stats, "checked", "requests checked"),
       denied(stats, "denied", "requests denied"),
       stallCycles(stats, "stallCycles",
@@ -40,7 +44,7 @@ CheckStage::tryAccept(const MemRequest &req)
                                          curCycle() + latency});
     if (latency == 0 && verdict.allowed && pipe.empty()) {
         // Transparent pass-through (the "no method" configuration).
-        return downstream.tryAccept(req);
+        return memSidePort.trySend(req);
     }
 
     // The pipe drains strictly FIFO, so a cache-miss walk making an
@@ -62,13 +66,11 @@ CheckStage::tick()
     while (!pipe.empty() && pipe.front().due <= curCycle()) {
         Staged &head = pipe.front();
         if (!head.allowed) {
-            if (!upstream)
-                panic("CheckStage: denial with no upstream handler");
             MemResponse resp;
             resp.id = head.req.id;
             resp.srcPort = head.req.srcPort;
             resp.ok = false;
-            upstream->handleResponse(resp);
+            cpuSidePort.sendResponse(resp);
             pipe.pop_front();
             continue;
         }
@@ -78,7 +80,7 @@ CheckStage::tick()
                   "denied request (id %llu) about to cross the memory "
                   "boundary",
                   static_cast<unsigned long long>(head.req.id));
-        if (downstream.tryAccept(head.req)) {
+        if (memSidePort.trySend(head.req)) {
             pipe.pop_front();
             // Only one forward per cycle (single downstream channel).
             break;
@@ -87,6 +89,15 @@ CheckStage::tick()
         break;
     }
     return !pipe.empty();
+}
+
+void
+CheckStage::handleResponse(const MemResponse &resp)
+{
+    // Memory responses pass through combinationally: the stage only
+    // filters the request path, so the response reaches the
+    // interconnect in the same cycle it left the controller.
+    cpuSidePort.sendResponse(resp);
 }
 
 } // namespace capcheck::protect

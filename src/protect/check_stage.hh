@@ -15,6 +15,7 @@
 #include "base/probe.hh"
 #include "protect/checker.hh"
 #include "sim/clocked.hh"
+#include "sim/port.hh"
 
 namespace capcheck::protect
 {
@@ -28,17 +29,32 @@ struct CheckTimingEvent
     Cycles end;
 };
 
-class CheckStage : public TickingObject, public TimingConsumer
+class CheckStage : public TickingObject, public TimingConsumer,
+                   public ResponseHandler
 {
   public:
     CheckStage(EventQueue &eq, stats::StatGroup *parent_stats,
-               ProtectionChecker &checker, TimingConsumer &downstream);
+               ProtectionChecker &checker,
+               std::string name = "checkstage");
 
-    /** Where denial responses are delivered (the interconnect). */
-    void setUpstream(ResponseHandler &handler) { upstream = &handler; }
+    /**
+     * Upstream-facing port (bind to the interconnect's mem side):
+     * requests enter through it; denial responses — and responses
+     * forwarded up from memory — leave through it.
+     */
+    ResponsePort &cpuSide() { return cpuSidePort; }
+
+    /** Downstream-facing port (bind to memory or a channel router). */
+    RequestPort &memSide() { return memSidePort; }
+
+    /** The functional checker this stage wraps (any of the backends). */
+    ProtectionChecker &protection() { return checker; }
 
     bool tryAccept(const MemRequest &req) override;
     bool tick() override;
+
+    /** ResponseHandler: pass memory responses through, upstream. */
+    void handleResponse(const MemResponse &resp) override;
 
     /** Fired once per accepted request with its occupancy window. */
     probe::ProbePoint<CheckTimingEvent> &timingProbe()
@@ -61,8 +77,8 @@ class CheckStage : public TickingObject, public TimingConsumer
     };
 
     ProtectionChecker &checker;
-    TimingConsumer &downstream;
-    ResponseHandler *upstream = nullptr;
+    ResponsePort cpuSidePort;
+    RequestPort memSidePort;
     std::deque<Staged> pipe;
     Cycles lastAcceptCycle = ~Cycles{0};
 

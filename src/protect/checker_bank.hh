@@ -27,6 +27,12 @@ class CheckerBank : public ProtectionChecker
 
     capchecker::CapChecker &at(PortId port);
 
+    /** Number of per-master checkers in the bank. */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(checkers.size());
+    }
+
     CheckResult check(const MemRequest &req) override;
 
     bool clearsTagsOnWrite() const override { return true; }

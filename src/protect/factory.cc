@@ -1,0 +1,53 @@
+#include "protect/factory.hh"
+
+#include <stdexcept>
+
+#include "protect/checker_bank.hh"
+#include "protect/iommu.hh"
+#include "protect/iopmp.hh"
+#include "protect/no_protection.hh"
+
+namespace capcheck::protect
+{
+
+const std::vector<std::string> &
+checkerSchemeNames()
+{
+    static const std::vector<std::string> names{
+        "none", "capchecker", "checker_bank", "iommu", "iopmp"};
+    return names;
+}
+
+bool
+knownCheckerScheme(const std::string &scheme)
+{
+    for (const std::string &name : checkerSchemeNames()) {
+        if (name == scheme)
+            return true;
+    }
+    return false;
+}
+
+std::unique_ptr<ProtectionChecker>
+createChecker(const CheckerParams &params)
+{
+    if (params.scheme == "none")
+        return std::make_unique<NoProtection>();
+    if (params.scheme == "capchecker")
+        return std::make_unique<capchecker::CapChecker>(params.cap);
+    if (params.scheme == "checker_bank")
+        return std::make_unique<CheckerBank>(params.banks, params.cap);
+    if (params.scheme == "iommu")
+        return std::make_unique<Iommu>(params.iotlbEntries);
+    if (params.scheme == "iopmp")
+        return std::make_unique<Iopmp>(params.iopmpRegions);
+
+    std::string known;
+    for (const std::string &name : checkerSchemeNames())
+        known += (known.empty() ? "" : ", ") + name;
+    throw std::invalid_argument("unknown protection scheme '" +
+                                params.scheme + "' (known: " + known +
+                                ")");
+}
+
+} // namespace capcheck::protect

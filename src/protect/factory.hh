@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Factory over the protection-scheme backends. Every scheme the paper
+ * compares (Table 1) is constructible from one parameter struct by its
+ * string name, so topology descriptions can pick a backend
+ * declaratively and the elaborator needs no per-scheme code.
+ */
+
+#ifndef CAPCHECK_PROTECT_FACTORY_HH
+#define CAPCHECK_PROTECT_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capchecker/capchecker.hh"
+#include "protect/checker.hh"
+
+namespace capcheck::protect
+{
+
+/** Union of every backend's construction parameters. */
+struct CheckerParams
+{
+    /**
+     * Backend name: "none", "capchecker", "checker_bank", "iommu" or
+     * "iopmp". (The topology layer's "auto" must be resolved to one of
+     * these before calling createChecker().)
+     */
+    std::string scheme = "none";
+
+    /** capchecker / checker_bank: the CapChecker configuration. */
+    capchecker::CapChecker::Params cap;
+
+    /** checker_bank: number of per-master checkers. */
+    unsigned banks = 1;
+
+    /** iommu: IOTLB capacity. */
+    unsigned iotlbEntries = 32;
+
+    /** iopmp: comparator (region) count. */
+    unsigned iopmpRegions = 16;
+};
+
+/** Names createChecker() accepts, in canonical order. */
+const std::vector<std::string> &checkerSchemeNames();
+
+bool knownCheckerScheme(const std::string &scheme);
+
+/**
+ * Build the protection backend @p params.scheme describes.
+ * @throw std::invalid_argument on an unknown scheme name (the message
+ *        lists the known ones).
+ */
+std::unique_ptr<ProtectionChecker>
+createChecker(const CheckerParams &params);
+
+} // namespace capcheck::protect
+
+#endif // CAPCHECK_PROTECT_FACTORY_HH

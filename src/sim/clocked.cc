@@ -1,5 +1,7 @@
 #include "sim/clocked.hh"
 
+#include "sim/port.hh"
+
 namespace capcheck
 {
 
@@ -7,6 +9,27 @@ SimObject::SimObject(EventQueue &eq, std::string name,
                      stats::StatGroup *parent_stats)
     : eq(eq), _name(std::move(name)), stats(_name, parent_stats)
 {
+}
+
+void
+SimObject::registerPort(PortBase &port)
+{
+    if (findPort(port.localName()) != nullptr) {
+        throw PortError(PortError::Kind::duplicateName,
+                        "duplicate port name '" + port.fullName() + "'",
+                        port.fullName());
+    }
+    _ports.push_back(&port);
+}
+
+PortBase *
+SimObject::findPort(const std::string &local_name) const
+{
+    for (PortBase *p : _ports) {
+        if (p->localName() == local_name)
+            return p;
+    }
+    return nullptr;
 }
 
 TickingObject::TickingObject(EventQueue &eq, std::string name,

@@ -9,6 +9,7 @@
 #define CAPCHECK_SIM_CLOCKED_HH
 
 #include <string>
+#include <vector>
 
 #include "base/stats.hh"
 #include "sim/eventq.hh"
@@ -16,9 +17,13 @@
 namespace capcheck
 {
 
+class PortBase;
+
 /**
  * Base class for named simulated objects; owns a stats group nested under
- * its parent's.
+ * its parent's, and the list of ports the object exposes (each PortBase
+ * registers itself on construction), which is what lets an elaborator
+ * resolve "component.port" names without per-component glue.
  */
 class SimObject
 {
@@ -35,11 +40,21 @@ class SimObject
     Cycles curCycle() const { return eq.curCycle(); }
     stats::StatGroup &statGroup() { return stats; }
 
+    /** Called by PortBase on construction; rejects duplicate names. */
+    void registerPort(PortBase &port);
+
+    /** Port by local name ("mem_side"); nullptr when absent. */
+    PortBase *findPort(const std::string &local_name) const;
+
+    /** Exposed ports, in declaration order. */
+    const std::vector<PortBase *> &ports() const { return _ports; }
+
   protected:
     EventQueue &eq;
 
   private:
     std::string _name;
+    std::vector<PortBase *> _ports;
 
   protected:
     stats::StatGroup stats;

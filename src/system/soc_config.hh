@@ -67,6 +67,16 @@ struct SocConfig
     /** Collect and return the platform statistics dump. */
     bool collectStats = false;
 
+    /**
+     * Topology description file for accelerator runs; empty = the
+     * canonical builtin for @c mode. A loaded topology shapes only the
+     * platform graph (channels, routers, checkers, crossbars) — mode
+     * and provenance still come from this config, and topology
+     * "protect" nodes default to scheme "auto", which resolves from
+     * the mode.
+     */
+    std::string topologyFile;
+
     CpuCostParams cpuCosts;
     driver::DriverCostParams driverCosts;
 

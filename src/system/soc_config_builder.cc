@@ -77,6 +77,31 @@ validateSocConfig(const SocConfig &cfg)
                 "' instantiates no CapChecker, so the check pipeline "
                 "it configures does not exist");
         }
+        if (cfg.provenance != capchecker::Provenance::fine) {
+            errors.push_back(
+                std::string("provenance '") +
+                capchecker::provenanceName(cfg.provenance) +
+                "' differs from the default but mode '" + mode_name +
+                "' instantiates no CapChecker, so the addressing "
+                "scheme it selects never takes effect");
+        }
+    }
+
+    if (checker && cfg.capCacheEntries == 0 &&
+        cfg.capCacheWalkCycles != 60) {
+        errors.push_back(
+            "capCacheWalkCycles (" + fmtU64(cfg.capCacheWalkCycles) +
+            ") differs from the default but capCacheEntries is 0 "
+            "(whole table in SRAM), so no walk ever happens; enable "
+            "the cache with capCache(entries, walk_cycles)");
+    }
+
+    if (!cfg.topologyFile.empty() && !modeUsesAccel(cfg.mode)) {
+        errors.push_back(
+            std::string("topologyFile '") + cfg.topologyFile +
+            "' is set but mode '" + mode_name +
+            "' runs on the CPU alone and elaborates no accelerator "
+            "platform; use an accelerator mode or drop the file");
     }
 
     if (cfg.memBytes < minMemBytes) {
@@ -217,6 +242,13 @@ SocConfigBuilder &
 SocConfigBuilder::seed(std::uint64_t s)
 {
     cfg.seed = s;
+    return *this;
+}
+
+SocConfigBuilder &
+SocConfigBuilder::topologyFile(std::string path)
+{
+    cfg.topologyFile = std::move(path);
     return *this;
 }
 

@@ -66,6 +66,8 @@ class SocConfigBuilder
     SocConfigBuilder &cpuCosts(const CpuCostParams &costs);
     SocConfigBuilder &driverCosts(const driver::DriverCostParams &costs);
     SocConfigBuilder &seed(std::uint64_t s);
+    /** Topology JSON file; "" restores the builtin for the mode. */
+    SocConfigBuilder &topologyFile(std::string path);
 
     /** The configuration as accumulated so far, unvalidated. */
     const SocConfig &peek() const { return cfg; }

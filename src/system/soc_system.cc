@@ -20,6 +20,7 @@
 #include "protect/check_stage.hh"
 #include "protect/checker_bank.hh"
 #include "protect/no_protection.hh"
+#include "system/elaborator.hh"
 #include "workloads/kernel.hh"
 
 namespace capcheck::system
@@ -48,6 +49,14 @@ makeAppTask(cheri::CapTree &tree, std::uint64_t mem_bytes)
 
 SocSystem::SocSystem(const SocConfig &config) : cfg(config)
 {
+}
+
+Topology
+SocSystem::topology() const
+{
+    if (!cfg.topologyFile.empty())
+        return Topology::loadFile(cfg.topologyFile);
+    return Topology::builtin(cfg.mode);
 }
 
 RunResult
@@ -167,51 +176,27 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
         observer =
             std::make_unique<obs::RunObserver>(obsOpts, eq, stat_root);
 
-    std::unique_ptr<capchecker::CapChecker> checker;
-    std::unique_ptr<protect::CheckerBank> bank;
-    std::unique_ptr<protect::NoProtection> passthrough;
-    protect::ProtectionChecker *protection;
-    if (with_checker) {
-        capchecker::CapChecker::Params params;
-        params.tableEntries = cfg.capTableEntries;
-        params.provenance = cfg.provenance;
-        params.checkCycles = cfg.checkCycles;
-        params.cacheEntries = cfg.capCacheEntries;
-        params.cacheWalkCycles = cfg.capCacheWalkCycles;
-        if (cfg.perAccelCheckers) {
-            bank = std::make_unique<protect::CheckerBank>(
-                static_cast<unsigned>(plan.size()), params);
-            protection = bank.get();
-        } else {
-            checker = std::make_unique<capchecker::CapChecker>(params);
-            protection = checker.get();
-        }
-    } else {
-        passthrough = std::make_unique<protect::NoProtection>();
-        protection = passthrough.get();
+    // --- Elaborate the platform graph from the topology ---
+    const Topology topo = topology();
+    if (!topo.hasPlatform()) {
+        fatal("topology '%s' has no platform components but mode %s "
+              "uses accelerators",
+              topo.name.c_str(), systemModeName(cfg.mode));
     }
+    const Elaborator elaborator(eq, &stat_root, cfg);
+    Platform platform =
+        elaborator.elaborate(topo, static_cast<unsigned>(plan.size()));
 
     // The checker the driver programs for a given task.
     auto checker_for = [&](TaskId task) -> capchecker::CapChecker * {
-        if (!with_checker)
-            return nullptr;
-        return bank ? &bank->at(task) : checker.get();
+        return platform.checkerFor(task);
     };
 
     // With a tag-clearing checker interposed, the raw tag-preserving
     // DMA path does not exist in the modelled hardware; arm the
     // barrier so any use of it trips an invariant.
-    if (protection->clearsTagsOnWrite())
+    if (platform.clearsTagsOnWrite())
         mem.setDmaTagBarrier(true);
-
-    MemoryController memctrl(eq, &stat_root, cfg.memLatency);
-    protect::CheckStage check_stage(eq, &stat_root, *protection,
-                                    memctrl);
-    AxiInterconnect xbar(eq, &stat_root,
-                         static_cast<unsigned>(plan.size()),
-                         check_stage, cfg.xbarMaxBurst);
-    memctrl.setUpstream(xbar);
-    check_stage.setUpstream(xbar);
 
     // Paranoid end-to-end security invariant, independent of the
     // CheckStage's internal routing: a request the active checker
@@ -231,34 +216,47 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
                         denied_keys.insert(request_key(*ev.req));
                 });
         };
-        if (bank) {
-            for (unsigned p = 0; p < plan.size(); ++p)
-                watch(bank->at(p));
-        } else if (checker) {
-            watch(*checker);
+        for (const auto &owned : platform.checkers) {
+            if (auto *bank = dynamic_cast<protect::CheckerBank *>(
+                    owned.get())) {
+                for (unsigned p = 0; p < bank->size(); ++p)
+                    watch(bank->at(p));
+            } else if (auto *cc = dynamic_cast<capchecker::CapChecker *>(
+                           owned.get())) {
+                watch(*cc);
+            }
         }
-        memctrl.acceptProbe().attach(
-            [&denied_keys, request_key](const MemRequest &req) {
-                INVARIANT(denied_keys.count(request_key(req)) == 0,
-                          "denied request (port %u, id %llu) reached "
-                          "the memory controller",
-                          req.srcPort,
-                          static_cast<unsigned long long>(req.id));
-            });
+        for (const auto &memctrl : platform.memctrls) {
+            memctrl->acceptProbe().attach(
+                [&denied_keys, request_key](const MemRequest &req) {
+                    INVARIANT(denied_keys.count(request_key(req)) == 0,
+                              "denied request (port %u, id %llu) "
+                              "reached the memory controller",
+                              req.srcPort,
+                              static_cast<unsigned long long>(req.id));
+                });
+        }
     }
 
     if (observer) {
-        if (bank) {
-            for (unsigned p = 0; p < plan.size(); ++p)
-                observer->attachChecker(bank->at(p),
-                                        "CapChecker#" +
-                                            std::to_string(p));
-        } else if (checker) {
-            observer->attachChecker(*checker);
+        for (const auto &owned : platform.checkers) {
+            if (auto *bank = dynamic_cast<protect::CheckerBank *>(
+                    owned.get())) {
+                for (unsigned p = 0; p < bank->size(); ++p)
+                    observer->attachChecker(bank->at(p),
+                                            "CapChecker#" +
+                                                std::to_string(p));
+            } else if (auto *cc = dynamic_cast<capchecker::CapChecker *>(
+                           owned.get())) {
+                observer->attachChecker(*cc);
+            }
         }
-        observer->attachCheckStage(check_stage);
-        observer->attachMemory(memctrl);
-        observer->attachXbar(xbar);
+        for (const auto &stage : platform.checkStages)
+            observer->attachCheckStage(*stage);
+        for (const auto &memctrl : platform.memctrls)
+            observer->attachMemory(*memctrl);
+        for (const auto &xbar : platform.xbars)
+            observer->attachXbar(*xbar);
     }
 
     std::vector<std::unique_ptr<accel::Accelerator>> accels;
@@ -350,7 +348,10 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
                 eq, &stat_root,
                 plan[t].benchmark + "#" + std::to_string(t),
                 accel.spec(), tracer.take(), task.handle.buffers, t,
-                /*port=*/t, xbar, addressing);
+                /*port=*/t, addressing);
+            const Platform::TaskAttach &attach = platform.attachOf(t);
+            bindPorts(task.player->memSide(),
+                      attach.xbar->accelSide(attach.slot));
             if (observer)
                 observer->attachPlayer(*task.player);
 
@@ -372,7 +373,7 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
 
         if (with_checker) {
             result.peakTableEntries = std::max(
-                result.peakTableEntries, protection->entriesUsed());
+                result.peakTableEntries, platform.entriesUsed());
         }
 
         // --- Timing simulation of this wave ---
@@ -407,7 +408,7 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
         pending = std::move(deferred);
     }
 
-    result.dmaBeats = xbar.beatsGranted();
+    result.dmaBeats = platform.beatsGranted();
     result.totalCycles =
         result.kernelCycles + result.driverDeallocCycles;
 

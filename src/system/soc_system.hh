@@ -17,6 +17,7 @@
 
 #include "obs/options.hh"
 #include "system/run_result.hh"
+#include "system/topology.hh"
 
 namespace capcheck::system
 {
@@ -49,6 +50,19 @@ class SocSystem
      * benchmark, one task each, all concurrent.
      */
     RunResult runMixed(const std::vector<std::string> &benchmarks);
+
+    /**
+     * The topology accelerator runs elaborate: the file named by
+     * config().topologyFile, or the canonical builtin for the mode.
+     * @throw TopologyError when the file is unreadable or invalid.
+     */
+    Topology topology() const;
+
+    /** topology() as deterministic JSON (--dump-topology output). */
+    std::string dumpTopologyJson() const
+    {
+        return topology().toJsonText();
+    }
 
   private:
     struct TaskPlan

@@ -1,0 +1,237 @@
+#include "system/topology.hh"
+
+#include <sstream>
+
+#include "base/json.hh"
+
+namespace capcheck::system
+{
+
+namespace
+{
+
+const std::vector<std::string> &
+knownKinds()
+{
+    static const std::vector<std::string> kinds{
+        "memctrl", "router", "protect", "checkstage", "xbar",
+        "accel_pool"};
+    return kinds;
+}
+
+bool
+knownKind(const std::string &kind)
+{
+    for (const std::string &k : knownKinds()) {
+        if (k == kind)
+            return true;
+    }
+    return false;
+}
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw TopologyError("topology: " + what);
+}
+
+std::string
+requireString(const json::JsonValue &obj, const std::string &key,
+              const std::string &where)
+{
+    const json::JsonValue *v = obj.get(key);
+    if (!v || !v->isString())
+        fail(where + " needs a string '" + key + "' member");
+    return v->asString();
+}
+
+} // namespace
+
+const TopologyNode *
+Topology::findNode(const std::string &node_name) const
+{
+    for (const TopologyNode &node : nodes) {
+        if (node.name == node_name)
+            return &node;
+    }
+    return nullptr;
+}
+
+const std::vector<std::string> &
+Topology::builtinNames()
+{
+    static const std::vector<std::string> names{
+        "cpu", "ccpu", "cpu+accel", "ccpu+accel", "ccpu+caccel"};
+    return names;
+}
+
+Topology
+Topology::builtin(SystemMode mode)
+{
+    Topology topo;
+    topo.name = systemModeName(mode);
+    if (!modeUsesAccel(mode))
+        return topo; // CPU-only: no timed platform
+
+    const auto obj = [](std::vector<json::JsonValue::Member> members) {
+        return json::JsonValue::makeObject(std::move(members));
+    };
+
+    // Node order is construction order and must match what the
+    // hand-assembled platform used to do (checker, memctrl, check
+    // stage, crossbar): the stat tree lists children in construction
+    // order and the artifacts are compared byte for byte.
+    topo.nodes.push_back(TopologyNode{
+        "protect", "protect",
+        obj({{"scheme", json::JsonValue::makeString("auto")}})});
+    topo.nodes.push_back(TopologyNode{"memctrl", "memctrl", obj({})});
+    topo.nodes.push_back(TopologyNode{
+        "checkstage", "checkstage",
+        obj({{"checker", json::JsonValue::makeString("protect")}})});
+    topo.nodes.push_back(TopologyNode{"xbar", "xbar", obj({})});
+    topo.nodes.push_back(TopologyNode{
+        "accels", "accel_pool",
+        obj({{"xbar", json::JsonValue::makeString("xbar")}})});
+
+    topo.edges.push_back(
+        TopologyEdge{"xbar.mem_side", "checkstage.cpu_side"});
+    topo.edges.push_back(
+        TopologyEdge{"checkstage.mem_side", "memctrl.cpu_side"});
+    return topo;
+}
+
+Topology
+Topology::builtinByName(const std::string &config_name)
+{
+    if (config_name == "cpu")
+        return builtin(SystemMode::cpu);
+    if (config_name == "ccpu")
+        return builtin(SystemMode::ccpu);
+    if (config_name == "cpu+accel")
+        return builtin(SystemMode::cpuAccel);
+    if (config_name == "ccpu+accel")
+        return builtin(SystemMode::ccpuAccel);
+    if (config_name == "ccpu+caccel")
+        return builtin(SystemMode::ccpuCaccel);
+    std::string known;
+    for (const std::string &n : builtinNames())
+        known += (known.empty() ? "" : ", ") + n;
+    fail("unknown builtin configuration '" + config_name +
+         "' (known: " + known + ")");
+}
+
+Topology
+Topology::fromJson(const json::JsonValue &doc)
+{
+    if (!doc.isObject())
+        fail("document root must be an object");
+
+    Topology topo;
+    if (const json::JsonValue *name = doc.get("name")) {
+        if (!name->isString())
+            fail("'name' must be a string");
+        topo.name = name->asString();
+    }
+
+    const json::JsonValue *nodes = doc.get("nodes");
+    if (!nodes || !nodes->isArray())
+        fail("document needs a 'nodes' array");
+    for (const json::JsonValue &entry : nodes->elements()) {
+        if (!entry.isObject())
+            fail("every node must be an object");
+        TopologyNode node;
+        node.name = requireString(entry, "name", "node");
+        node.kind = requireString(entry, "kind", "node");
+        if (node.name.empty() ||
+            node.name.find('.') != std::string::npos) {
+            fail("node name '" + node.name +
+                 "' must be non-empty and contain no '.'");
+        }
+        if (!knownKind(node.kind)) {
+            std::string known;
+            for (const std::string &k : knownKinds())
+                known += (known.empty() ? "" : ", ") + k;
+            fail("node '" + node.name + "' has unknown kind '" +
+                 node.kind + "' (known: " + known + ")");
+        }
+        if (topo.findNode(node.name))
+            fail("duplicate node name '" + node.name + "'");
+        if (const json::JsonValue *params = entry.get("params")) {
+            if (!params->isObject())
+                fail("node '" + node.name +
+                     "' params must be an object");
+            node.params = *params;
+        } else {
+            node.params = json::JsonValue::makeObject({});
+        }
+        topo.nodes.push_back(std::move(node));
+    }
+
+    if (const json::JsonValue *edges = doc.get("edges")) {
+        if (!edges->isArray())
+            fail("'edges' must be an array");
+        for (const json::JsonValue &entry : edges->elements()) {
+            if (!entry.isObject())
+                fail("every edge must be an object");
+            TopologyEdge edge;
+            edge.from = requireString(entry, "from", "edge");
+            edge.to = requireString(entry, "to", "edge");
+            for (const std::string *end : {&edge.from, &edge.to}) {
+                if (end->find('.') == std::string::npos) {
+                    fail("edge endpoint '" + *end +
+                         "' must use the 'component.port' form");
+                }
+            }
+            topo.edges.push_back(std::move(edge));
+        }
+    }
+    return topo;
+}
+
+Topology
+Topology::loadFile(const std::string &path)
+{
+    std::string error;
+    const auto doc = json::parseJsonFile(path, &error);
+    if (!doc)
+        fail("cannot load '" + path + "': " + error);
+    try {
+        return fromJson(*doc);
+    } catch (const TopologyError &e) {
+        throw TopologyError(std::string(e.what()) + " (in '" + path +
+                            "')");
+    }
+}
+
+json::JsonValue
+Topology::toJson() const
+{
+    using json::JsonValue;
+    std::vector<JsonValue> node_list;
+    for (const TopologyNode &node : nodes) {
+        node_list.push_back(JsonValue::makeObject(
+            {{"name", JsonValue::makeString(node.name)},
+             {"kind", JsonValue::makeString(node.kind)},
+             {"params", node.params.isObject()
+                            ? node.params
+                            : JsonValue::makeObject({})}}));
+    }
+    std::vector<JsonValue> edge_list;
+    for (const TopologyEdge &edge : edges) {
+        edge_list.push_back(JsonValue::makeObject(
+            {{"from", JsonValue::makeString(edge.from)},
+             {"to", JsonValue::makeString(edge.to)}}));
+    }
+    return JsonValue::makeObject(
+        {{"name", JsonValue::makeString(name)},
+         {"nodes", JsonValue::makeArray(std::move(node_list))},
+         {"edges", JsonValue::makeArray(std::move(edge_list))}});
+}
+
+std::string
+Topology::toJsonText() const
+{
+    return json::jsonValueToText(toJson()) + "\n";
+}
+
+} // namespace capcheck::system

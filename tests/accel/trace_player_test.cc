@@ -3,6 +3,7 @@
 #include "accel/trace_player.hh"
 #include "base/logging.hh"
 #include "capchecker/capchecker.hh"
+#include "mem/interconnect.hh"
 #include "mem/mem_ctrl.hh"
 #include "protect/check_stage.hh"
 #include "protect/no_protection.hh"
@@ -39,11 +40,10 @@ struct Platform
     explicit Platform(protect::ProtectionChecker &checker,
                       unsigned masters = 1)
         : root("t"), memctrl(eq, &root, 10),
-          stage(eq, &root, checker, memctrl),
-          xbar(eq, &root, masters, stage)
+          stage(eq, &root, checker), xbar(eq, &root, masters)
     {
-        memctrl.setUpstream(xbar);
-        stage.setUpstream(xbar);
+        xbar.memSide().bind(stage.cpuSide());
+        stage.memSide().bind(memctrl.cpuSide());
     }
 
     EventQueue eq;
@@ -72,7 +72,8 @@ TEST(TracePlayer, RunsStreamsAndBodyToCompletion)
 
     const KernelSpec spec = makeSpec();
     TracePlayer player(plat.eq, &plat.root, "p0", spec, trace,
-                       mappings(), 0, 0, plat.xbar, AddressingMode{});
+                       mappings(), 0, 0, AddressingMode{});
+    player.memSide().bind(plat.xbar.accelSide(0));
     bool done_cb = false;
     player.onDone([&] { done_cb = true; });
     player.start(0);
@@ -93,7 +94,8 @@ TEST(TracePlayer, StartDelayDefersIssue)
     InstanceTrace trace;
     const KernelSpec spec = makeSpec();
     TracePlayer player(plat.eq, &plat.root, "p0", spec, trace,
-                       mappings(), 0, 0, plat.xbar, AddressingMode{});
+                       mappings(), 0, 0, AddressingMode{});
+    player.memSide().bind(plat.xbar.accelSide(0));
     player.start(100);
     plat.eq.run();
     EXPECT_TRUE(player.done());
@@ -111,8 +113,8 @@ TEST(TracePlayer, DelaysExtendRuntime)
         trace.ops.push_back(TraceOp::delay(delay));
         const KernelSpec spec = makeSpec();
         TracePlayer player(plat.eq, &plat.root, "p0", spec, trace,
-                           mappings(), 0, 0, plat.xbar,
-                           AddressingMode{});
+                           mappings(), 0, 0, AddressingMode{});
+        player.memSide().bind(plat.xbar.accelSide(0));
         player.start(0);
         plat.eq.run();
         return player.finishCycle();
@@ -134,8 +136,8 @@ TEST(TracePlayer, MaxOutstandingThrottlesIssue)
             trace.ops.push_back(TraceOp::access(MemCmd::read, 1, 0, 8));
         const KernelSpec spec = makeSpec(credits);
         TracePlayer player(plat.eq, &plat.root, "p0", spec, trace,
-                           mappings(), 0, 0, plat.xbar,
-                           AddressingMode{});
+                           mappings(), 0, 0, AddressingMode{});
+        player.memSide().bind(plat.xbar.accelSide(0));
         player.start(0);
         plat.eq.run();
         return player.finishCycle();
@@ -154,7 +156,8 @@ TEST(TracePlayer, DeniedBeatAbortsInstance)
     trace.ops.push_back(TraceOp::access(MemCmd::read, 1, 0, 8));
     const KernelSpec spec = makeSpec();
     TracePlayer player(plat.eq, &plat.root, "p0", spec, trace,
-                       mappings(), 0, 0, plat.xbar, AddressingMode{});
+                       mappings(), 0, 0, AddressingMode{});
+    player.memSide().bind(plat.xbar.accelSide(0));
     player.start(0);
     plat.eq.run();
 
@@ -180,7 +183,8 @@ TEST(TracePlayer, FineMetadataTravelsWithRequests)
     trace.ops.push_back(TraceOp::access(MemCmd::read, 1, 16, 8));
     const KernelSpec spec = makeSpec();
     TracePlayer player(plat.eq, &plat.root, "p0", spec, trace,
-                       mappings(), 0, 0, plat.xbar, AddressingMode{});
+                       mappings(), 0, 0, AddressingMode{});
+    player.memSide().bind(plat.xbar.accelSide(0));
     player.start(0);
     plat.eq.run();
 
@@ -211,7 +215,8 @@ TEST(TracePlayer, CoarseAddressingFoldsObjectIntoAddress)
     addressing.objectInAddress = true;
     const KernelSpec spec = makeSpec();
     TracePlayer player(plat.eq, &plat.root, "p0", spec, trace,
-                       mappings(), 0, 0, plat.xbar, addressing);
+                       mappings(), 0, 0, addressing);
+    player.memSide().bind(plat.xbar.accelSide(0));
     player.start(0);
     plat.eq.run();
 
@@ -231,10 +236,11 @@ TEST(TracePlayer, TwoPlayersShareTheBus)
                 TraceOp::access(MemCmd::read, 1, (i % 8) * 8, 8));
         }
         static const KernelSpec spec = makeSpec(8);
-        return std::make_unique<TracePlayer>(
+        auto player = std::make_unique<TracePlayer>(
             plat.eq, &plat.root, "p" + std::to_string(port), spec,
-            trace, mappings(), port, port, plat.xbar,
-            AddressingMode{});
+            trace, mappings(), port, port, AddressingMode{});
+        player->memSide().bind(plat.xbar.accelSide(port));
+        return player;
     };
 
     auto p0 = make_player(0);
@@ -255,7 +261,8 @@ TEST(TracePlayer, DoubleStartPanics)
     Platform plat(none);
     const KernelSpec spec = makeSpec();
     TracePlayer player(plat.eq, &plat.root, "p0", spec, InstanceTrace{},
-                       mappings(), 0, 0, plat.xbar, AddressingMode{});
+                       mappings(), 0, 0, AddressingMode{});
+    player.memSide().bind(plat.xbar.accelSide(0));
     player.start(0);
     EXPECT_THROW(player.start(0), SimError);
     plat.eq.run();

@@ -89,6 +89,79 @@ TEST(SweepRunner, SerialAndParallelResultsAreBitIdentical)
               parallel.simulationsExecuted());
 }
 
+TEST(SweepRunner, JsonTopologySweepIsJobsInvariant)
+{
+    // A sweep over a JSON-loaded topology must stay byte-identical at
+    // any --jobs, exactly like the builtin shapes.
+    namespace fs = std::filesystem;
+    const fs::path path =
+        fs::temp_directory_path() / "sweep-two-channel.topo.json";
+    {
+        std::ofstream os(path);
+        os << R"({
+  "name": "two-channel",
+  "nodes": [
+    {"name": "protect", "kind": "protect", "params": {"scheme": "auto"}},
+    {"name": "memctrl0", "kind": "memctrl", "params": {}},
+    {"name": "memctrl1", "kind": "memctrl", "params": {}},
+    {"name": "router", "kind": "router", "params": {"channels": 2}},
+    {"name": "checkstage", "kind": "checkstage",
+     "params": {"checker": "protect"}},
+    {"name": "xbar", "kind": "xbar", "params": {}},
+    {"name": "accels", "kind": "accel_pool", "params": {"xbar": "xbar"}}
+  ],
+  "edges": [
+    {"from": "xbar.mem_side", "to": "checkstage.cpu_side"},
+    {"from": "checkstage.mem_side", "to": "router.cpu_side"},
+    {"from": "router.mem_side0", "to": "memctrl0.cpu_side"},
+    {"from": "router.mem_side1", "to": "memctrl1.cpu_side"}
+  ]
+})";
+    }
+
+    std::vector<RunRequest> requests;
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        SocConfig cfg = SocConfigBuilder()
+                            .mode(SystemMode::ccpuCaccel)
+                            .numInstances(2)
+                            .collectStats(true)
+                            .seed(seed)
+                            .topologyFile(path.string())
+                            .build();
+        requests.push_back(RunRequest::single("aes", cfg));
+    }
+    // Same point without the topology file: must hash differently.
+    requests.push_back(RunRequest::single(
+        "aes", SocConfigBuilder()
+                   .mode(SystemMode::ccpuCaccel)
+                   .numInstances(2)
+                   .collectStats(true)
+                   .seed(1)
+                   .build()));
+    EXPECT_NE(requests[0].hash(), requests[2].hash());
+    EXPECT_NE(requests[0].label().find("topology="),
+              std::string::npos);
+
+    SweepRunner serial(silent(1, /*cache=*/false));
+    SweepRunner parallel(silent(8, /*cache=*/false));
+    const auto a = serial.run(requests, "topo");
+    const auto b = parallel.run(requests, "topo");
+    fs::remove(path);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].result, b[i].result) << requests[i].label();
+        EXPECT_EQ(runJson(a[i].request, a[i].result),
+                  runJson(b[i].request, b[i].result));
+    }
+    // The JSON record names the topology file so a run is
+    // reproducible from its artifact alone.
+    EXPECT_NE(runJson(a[0].request, a[0].result).find("topologyFile"),
+              std::string::npos);
+    EXPECT_EQ(runJson(a[2].request, a[2].result).find("topologyFile"),
+              std::string::npos);
+}
+
 TEST(SweepRunner, RepeatedRequestIsServedFromCache)
 {
     SweepRunner runner(silent(2));
@@ -267,16 +340,17 @@ TEST(SweepRunner, WritesRunFilesAndManifest)
     fs::remove_all(dir);
 }
 
-TEST(SweepRunner, SharedRunnerCachesAcrossCalls)
+TEST(SweepRunner, RunOneCachesAcrossCalls)
 {
-    auto &runner = SweepRunner::shared();
+    SweepRunner::Options o;
+    o.jobs = 1;
+    SweepRunner runner(o);
     const auto req = RunRequest::single(
         "fft_strided", smallConfig(SystemMode::cpuAccel, 12345));
 
-    const auto before = runner.simulationsExecuted();
     const auto r1 = runner.runOne(req);
-    EXPECT_EQ(runner.simulationsExecuted(), before + 1);
+    EXPECT_EQ(runner.simulationsExecuted(), 1u);
     const auto r2 = runner.runOne(req);
-    EXPECT_EQ(runner.simulationsExecuted(), before + 1);
+    EXPECT_EQ(runner.simulationsExecuted(), 1u);
     EXPECT_EQ(r1, r2);
 }

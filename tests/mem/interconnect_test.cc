@@ -11,11 +11,23 @@ namespace capcheck
 namespace
 {
 
-/** Records responses with their arrival cycles. */
-class Collector : public ResponseHandler
+/**
+ * Records responses with their arrival cycles. Owns one master-side
+ * request port per interconnect slot it plugs into.
+ */
+class Collector : public SimObject, public ResponseHandler
 {
   public:
-    explicit Collector(EventQueue &eq) : eq(eq) {}
+    Collector(EventQueue &eq, stats::StatGroup *root,
+              unsigned num_ports)
+        : SimObject(eq, "collector", root)
+    {
+        for (unsigned p = 0; p < num_ports; ++p) {
+            ports.push_back(std::make_unique<RequestPort>(
+                *this, "mem_side" + std::to_string(p),
+                static_cast<ResponseHandler &>(*this)));
+        }
+    }
 
     void
     handleResponse(const MemResponse &resp) override
@@ -24,7 +36,7 @@ class Collector : public ResponseHandler
         cycles.push_back(eq.curCycle());
     }
 
-    EventQueue &eq;
+    std::vector<std::unique_ptr<RequestPort>> ports;
     std::vector<MemResponse> responses;
     std::vector<Cycles> cycles;
 };
@@ -33,19 +45,20 @@ class Collector : public ResponseHandler
 struct BusFixture
 {
     BusFixture(unsigned masters, Cycles latency, unsigned burst = 1)
-        : root("soc"), collector(eq), memctrl(eq, &root, latency),
-          xbar(eq, &root, masters, memctrl, burst)
+        : root("soc"), memctrl(eq, &root, latency),
+          xbar(eq, &root, masters, burst),
+          collector(eq, &root, masters)
     {
-        memctrl.setUpstream(xbar);
+        xbar.memSide().bind(memctrl.cpuSide());
         for (unsigned p = 0; p < masters; ++p)
-            xbar.setResponseHandler(p, &collector);
+            collector.ports[p]->bind(xbar.accelSide(p));
     }
 
     EventQueue eq;
     stats::StatGroup root;
-    Collector collector;
     MemoryController memctrl;
     AxiInterconnect xbar;
+    Collector collector;
 };
 
 MemRequest
@@ -186,9 +199,15 @@ TEST(Interconnect, BurstDoesNotChangeTotalThroughput)
 }
 
 /** Downstream that can be told to refuse beats (a stalled pipeline). */
-class StallableSink : public TimingConsumer
+class StallableSink : public SimObject, public TimingConsumer
 {
   public:
+    StallableSink(EventQueue &eq, stats::StatGroup *root)
+        : SimObject(eq, "sink", root),
+          port(*this, "cpu_side", static_cast<TimingConsumer &>(*this))
+    {
+    }
+
     bool
     tryAccept(const MemRequest &req) override
     {
@@ -198,6 +217,7 @@ class StallableSink : public TimingConsumer
         return true;
     }
 
+    ResponsePort port;
     bool stalled = false;
     std::vector<MemRequest> accepted;
 };
@@ -210,8 +230,9 @@ TEST(Interconnect, BurstBudgetDroppedWhenOwnerGoesIdle)
     // else. The leftover budget must be dropped instead.
     EventQueue eq;
     stats::StatGroup root("soc");
-    StallableSink sink;
-    AxiInterconnect xbar(eq, &root, 2, sink, /*max_burst=*/4);
+    StallableSink sink(eq, &root);
+    AxiInterconnect xbar(eq, &root, 2, /*max_burst=*/4);
+    xbar.memSide().bind(sink.port);
 
     EXPECT_TRUE(xbar.offer(0, makeReq(0, 1)));
     eq.run();
@@ -232,8 +253,9 @@ TEST(Interconnect, StalledBurstBeatIsRetriedNotLost)
 {
     EventQueue eq;
     stats::StatGroup root("soc");
-    StallableSink sink;
-    AxiInterconnect xbar(eq, &root, 2, sink, /*max_burst=*/2);
+    StallableSink sink(eq, &root);
+    AxiInterconnect xbar(eq, &root, 2, /*max_burst=*/2);
+    xbar.memSide().bind(sink.port);
 
     // First beat grants and arms the burst.
     EXPECT_TRUE(xbar.offer(0, makeReq(0, 1)));
@@ -263,8 +285,9 @@ TEST(Interconnect, NewOwnerStartsItsOwnBurstAfterReset)
     // full burst of its own, not the stale leftover budget.
     EventQueue eq;
     stats::StatGroup root("soc");
-    StallableSink sink;
-    AxiInterconnect xbar(eq, &root, 2, sink, /*max_burst=*/3);
+    StallableSink sink(eq, &root);
+    AxiInterconnect xbar(eq, &root, 2, /*max_burst=*/3);
+    xbar.memSide().bind(sink.port);
 
     EXPECT_TRUE(xbar.offer(0, makeReq(0, 1)));
     eq.run(); // burst armed for 0, then dropped (0 idle)
@@ -291,9 +314,9 @@ TEST(MemCtrl, PipelinedResponsesPreserveOrderAndLatency)
 {
     EventQueue eq;
     stats::StatGroup root("soc");
-    Collector collector(eq);
+    Collector collector(eq, &root, 1);
     MemoryController memctrl(eq, &root, 20);
-    memctrl.setUpstream(collector);
+    collector.ports[0]->bind(memctrl.cpuSide());
 
     std::vector<std::unique_ptr<LambdaEvent>> events;
     for (Cycles c = 1; c <= 5; ++c) {
@@ -316,9 +339,9 @@ TEST(MemCtrl, SecondAcceptSameCycleRejected)
 {
     EventQueue eq;
     stats::StatGroup root("soc");
-    Collector collector(eq);
+    Collector collector(eq, &root, 1);
     MemoryController memctrl(eq, &root, 5);
-    memctrl.setUpstream(collector);
+    collector.ports[0]->bind(memctrl.cpuSide());
 
     LambdaEvent ev([&] {
         EXPECT_TRUE(memctrl.tryAccept(makeReq(0, 1)));
@@ -333,9 +356,9 @@ TEST(MemCtrl, WriteAndReadBeatsCounted)
 {
     EventQueue eq;
     stats::StatGroup root("soc");
-    Collector collector(eq);
+    Collector collector(eq, &root, 1);
     MemoryController memctrl(eq, &root, 5);
-    memctrl.setUpstream(collector);
+    collector.ports[0]->bind(memctrl.cpuSide());
 
     std::vector<std::unique_ptr<LambdaEvent>> events;
     for (Cycles c = 1; c <= 4; ++c) {

@@ -13,10 +13,14 @@ namespace
 {
 
 /** Terminal consumer recording accept cycles. */
-class Sink : public TimingConsumer
+class Sink : public SimObject, public TimingConsumer
 {
   public:
-    explicit Sink(EventQueue &eq) : eq(eq) {}
+    Sink(EventQueue &eq, stats::StatGroup *root)
+        : SimObject(eq, "sink", root),
+          port(*this, "cpu_side", static_cast<TimingConsumer &>(*this))
+    {
+    }
 
     bool
     tryAccept(const MemRequest &req) override
@@ -27,20 +31,28 @@ class Sink : public TimingConsumer
         return true;
     }
 
-    EventQueue &eq;
+    ResponsePort port;
     bool reject_all = false;
     std::vector<std::pair<std::uint64_t, Cycles>> accepted;
 };
 
-class Upstream : public ResponseHandler
+class Upstream : public SimObject, public ResponseHandler
 {
   public:
+    Upstream(EventQueue &eq, stats::StatGroup *root)
+        : SimObject(eq, "upstream", root),
+          port(*this, "mem_side",
+               static_cast<ResponseHandler &>(*this))
+    {
+    }
+
     void
     handleResponse(const MemResponse &resp) override
     {
         responses.push_back(resp);
     }
 
+    RequestPort port;
     std::vector<MemResponse> responses;
 };
 
@@ -64,8 +76,9 @@ TEST(CheckStage, PassThroughWithZeroLatency)
     EventQueue eq;
     stats::StatGroup root("t");
     NoProtection none;
-    Sink sink(eq);
-    CheckStage stage(eq, &root, none, sink);
+    Sink sink(eq, &root);
+    CheckStage stage(eq, &root, none);
+    stage.memSide().bind(sink.port);
 
     LambdaEvent ev([&] { EXPECT_TRUE(stage.tryAccept(makeReq(1))); });
     eq.schedule(&ev, 5);
@@ -86,8 +99,9 @@ TEST(CheckStage, AddsConfiguredLatency)
                               cheri::Capability::root()
                                   .setBounds(0x1000, 0x100)
                                   .andPerms(cheri::permDataRW));
-    Sink sink(eq);
-    CheckStage stage(eq, &root, checker, sink);
+    Sink sink(eq, &root);
+    CheckStage stage(eq, &root, checker);
+    stage.memSide().bind(sink.port);
 
     LambdaEvent ev([&] { EXPECT_TRUE(stage.tryAccept(makeReq(1))); });
     eq.schedule(&ev, 10);
@@ -102,8 +116,9 @@ TEST(CheckStage, OneAcceptPerCycle)
     EventQueue eq;
     stats::StatGroup root("t");
     NoProtection none;
-    Sink sink(eq);
-    CheckStage stage(eq, &root, none, sink);
+    Sink sink(eq, &root);
+    CheckStage stage(eq, &root, none);
+    stage.memSide().bind(sink.port);
 
     LambdaEvent ev([&] {
         EXPECT_TRUE(stage.tryAccept(makeReq(1)));
@@ -118,10 +133,11 @@ TEST(CheckStage, DeniedRequestGetsErrorResponse)
     EventQueue eq;
     stats::StatGroup root("t");
     capchecker::CapChecker checker; // nothing installed: all denied
-    Sink sink(eq);
-    CheckStage stage(eq, &root, checker, sink);
-    Upstream upstream;
-    stage.setUpstream(upstream);
+    Sink sink(eq, &root);
+    CheckStage stage(eq, &root, checker);
+    stage.memSide().bind(sink.port);
+    Upstream upstream(eq, &root);
+    stage.cpuSide().bind(upstream.port);
 
     LambdaEvent ev([&] { EXPECT_TRUE(stage.tryAccept(makeReq(7))); });
     eq.schedule(&ev, 1);
@@ -139,9 +155,10 @@ TEST(CheckStage, ZeroLatencyPropagatesBackpressure)
     EventQueue eq;
     stats::StatGroup root("t");
     NoProtection none;
-    Sink sink(eq);
+    Sink sink(eq, &root);
     sink.reject_all = true;
-    CheckStage stage(eq, &root, none, sink);
+    CheckStage stage(eq, &root, none);
+    stage.memSide().bind(sink.port);
 
     // With a transparent stage the caller sees the stall directly and
     // retries (as the interconnect does).
@@ -160,9 +177,10 @@ TEST(CheckStage, PipelinedStageRetriesWhileDownstreamStalls)
                               cheri::Capability::root()
                                   .setBounds(0x1000, 0x100)
                                   .andPerms(cheri::permDataRW));
-    Sink sink(eq);
+    Sink sink(eq, &root);
     sink.reject_all = true;
-    CheckStage stage(eq, &root, checker, sink);
+    CheckStage stage(eq, &root, checker);
+    stage.memSide().bind(sink.port);
 
     LambdaEvent ev([&] { EXPECT_TRUE(stage.tryAccept(makeReq(1))); });
     eq.schedule(&ev, 1);
@@ -181,9 +199,10 @@ TEST(CheckStage, BackpressureWhenPipeFills)
     EventQueue eq;
     stats::StatGroup root("t");
     NoProtection none;
-    Sink sink(eq);
+    Sink sink(eq, &root);
     sink.reject_all = true;
-    CheckStage stage(eq, &root, none, sink);
+    CheckStage stage(eq, &root, none);
+    stage.memSide().bind(sink.port);
 
     // With downstream stuck, only a bounded number of requests fit.
     std::vector<std::unique_ptr<LambdaEvent>> events;
@@ -208,8 +227,9 @@ TEST(CheckStage, PipelinesBackToBackRequests)
                               cheri::Capability::root()
                                   .setBounds(0x1000, 0x1000)
                                   .andPerms(cheri::permDataRW));
-    Sink sink(eq);
-    CheckStage stage(eq, &root, checker, sink);
+    Sink sink(eq, &root);
+    CheckStage stage(eq, &root, checker);
+    stage.memSide().bind(sink.port);
 
     std::vector<std::unique_ptr<LambdaEvent>> events;
     for (Cycles c = 1; c <= 5; ++c) {

@@ -28,15 +28,15 @@ class AttackIntegration : public ::testing::Test
     AttackIntegration()
         : mem(64ull << 20), heap(1 << 20, (64ull << 20) - (1 << 20)),
           stat_root("soc"), memctrl(eq, &stat_root, 30),
-          check_stage(eq, &stat_root, checker, memctrl),
-          xbar(eq, &stat_root, 2, check_stage),
+          check_stage(eq, &stat_root, checker),
+          xbar(eq, &stat_root, 2),
           benign_accel("aes", workloads::kernelSpec("aes"), 1),
           attacker_accel("stencil2d", workloads::kernelSpec("stencil2d"),
                          1),
           driver(mem, heap, tree, true, &checker)
     {
-        memctrl.setUpstream(xbar);
-        check_stage.setUpstream(xbar);
+        xbar.memSide().bind(check_stage.cpuSide());
+        check_stage.memSide().bind(memctrl.cpuSide());
         app = tree.derive(
             tree.rootNode(), cheri::CapNodeKind::cpuTask,
             tree.capOf(tree.rootNode()).setBounds(1 << 20, 60ull << 20),
@@ -74,7 +74,8 @@ TEST_F(AttackIntegration, MaliciousDmaIsBlockedBenignTaskUnaffected)
     benign_kernel->run(tracer);
     accel::TracePlayer benign_player(
         eq, &stat_root, "benign", benign_accel.spec(), tracer.take(),
-        benign_handle->buffers, 0, 0, xbar, accel::AddressingMode{});
+        benign_handle->buffers, 0, 0, accel::AddressingMode{});
+    benign_player.memSide().bind(xbar.accelSide(0));
 
     // --- Attacker task: hand-crafted malicious DMA, task 1, port 1.
     // Its datapath walks right past the end of its own buffer toward
@@ -90,7 +91,8 @@ TEST_F(AttackIntegration, MaliciousDmaIsBlockedBenignTaskUnaffected)
     }
     accel::TracePlayer attacker_player(
         eq, &stat_root, "attacker", attacker_accel.spec(), evil,
-        attacker_handle->buffers, 1, 1, xbar, accel::AddressingMode{});
+        attacker_handle->buffers, 1, 1, accel::AddressingMode{});
+    attacker_player.memSide().bind(xbar.accelSide(1));
 
     // Poison the attacker's buffer so we can observe the scrub.
     mem.writeValue<std::uint64_t>(attacker_handle->buffers[0].base,
@@ -148,7 +150,8 @@ TEST_F(AttackIntegration, ForgedObjectMetadataCannotCrossTasks)
 
     accel::TracePlayer attacker_player(
         eq, &stat_root, "attacker", attacker_accel.spec(), evil,
-        attacker_handle->buffers, 1, 1, xbar, accel::AddressingMode{});
+        attacker_handle->buffers, 1, 1, accel::AddressingMode{});
+    attacker_player.memSide().bind(xbar.accelSide(1));
     attacker_player.start(0);
     eq.run();
 

@@ -124,3 +124,83 @@ TEST(SocConfigBuilder, PeekReturnsUnvalidatedState)
     b.numInstances(0);
     EXPECT_EQ(b.peek().numInstances, 0u); // no throw until build()
 }
+
+TEST(SocConfigValidate, RejectsCheckCyclesWithoutChecker)
+{
+    SocConfig cfg;
+    cfg.mode = SystemMode::cpuAccel;
+    cfg.checkCycles = 3;
+    const auto errors = validateSocConfig(cfg);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors.front().find("checkCycles"), std::string::npos);
+    EXPECT_NE(errors.front().find("cpu+accel"), std::string::npos);
+}
+
+TEST(SocConfigValidate, RejectsNonDefaultProvenanceWithoutChecker)
+{
+    // Each mode/provenance corner: fine (the default) passes
+    // everywhere; coarse passes exactly on the CapChecker mode.
+    for (const SystemMode mode :
+         {SystemMode::cpu, SystemMode::ccpu, SystemMode::cpuAccel,
+          SystemMode::ccpuAccel, SystemMode::ccpuCaccel}) {
+        SocConfig fine;
+        fine.mode = mode;
+        EXPECT_TRUE(validateSocConfig(fine).empty())
+            << systemModeName(mode);
+
+        SocConfig coarse;
+        coarse.mode = mode;
+        coarse.provenance = capchecker::Provenance::coarse;
+        EXPECT_EQ(validateSocConfig(coarse).empty(),
+                  modeUsesCapChecker(mode))
+            << systemModeName(mode);
+    }
+}
+
+TEST(SocConfigValidate, RejectsWalkCyclesWithoutCache)
+{
+    SocConfig cfg;
+    cfg.mode = SystemMode::ccpuCaccel;
+    cfg.capCacheEntries = 0;
+    cfg.capCacheWalkCycles = 100;
+    const auto errors = validateSocConfig(cfg);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors.front().find("capCacheWalkCycles"),
+              std::string::npos);
+}
+
+TEST(SocConfigValidate, RejectsTopologyFileOnCpuOnlyModes)
+{
+    for (const SystemMode mode : {SystemMode::cpu, SystemMode::ccpu}) {
+        SocConfig cfg;
+        cfg.mode = mode;
+        cfg.topologyFile = "examples/topologies/two-channel.json";
+        const auto errors = validateSocConfig(cfg);
+        ASSERT_FALSE(errors.empty()) << systemModeName(mode);
+        EXPECT_NE(errors.front().find("topologyFile"),
+                  std::string::npos);
+    }
+    for (const SystemMode mode :
+         {SystemMode::cpuAccel, SystemMode::ccpuAccel,
+          SystemMode::ccpuCaccel}) {
+        SocConfig cfg;
+        cfg.mode = mode;
+        cfg.topologyFile = "examples/topologies/two-channel.json";
+        EXPECT_TRUE(validateSocConfig(cfg).empty())
+            << systemModeName(mode);
+    }
+}
+
+TEST(SocConfigBuilder, TopologyFileSetterRoundTrips)
+{
+    const SocConfig cfg = SocConfigBuilder()
+                              .mode(SystemMode::ccpuCaccel)
+                              .topologyFile("shapes/mesh.json")
+                              .build();
+    EXPECT_EQ(cfg.topologyFile, "shapes/mesh.json");
+
+    // "" restores the builtin-for-mode behaviour.
+    const SocConfig cleared =
+        SocConfigBuilder(cfg).topologyFile("").build();
+    EXPECT_TRUE(cleared.topologyFile.empty());
+}
