@@ -20,7 +20,7 @@ using system::SystemMode;
 int
 main(int argc, char **argv)
 {
-    auto runner = bench::makeRunner(argc, argv);
+    auto runner = bench::makeSweeper(argc, argv);
     bench::printHeader(
         "Ablation: capability cache vs full SRAM table",
         "Section 5.2.3 (in-memory table caching)");

@@ -19,7 +19,7 @@ using system::SystemMode;
 int
 main(int argc, char **argv)
 {
-    auto runner = bench::makeRunner(argc, argv);
+    auto runner = bench::makeSweeper(argc, argv);
     bench::printHeader("Ablation: CapChecker pipeline depth",
                        "Section 5.2.3 (table caching discussion)");
 

@@ -20,7 +20,7 @@ using system::SystemMode;
 int
 main(int argc, char **argv)
 {
-    auto runner = bench::makeRunner(argc, argv);
+    auto runner = bench::makeSweeper(argc, argv);
     bench::printHeader(
         "Ablation: shared vs per-accelerator CapCheckers",
         "Section 5.2.1");

@@ -20,7 +20,7 @@ using system::SystemMode;
 int
 main(int argc, char **argv)
 {
-    auto runner = bench::makeRunner(argc, argv);
+    auto runner = bench::makeSweeper(argc, argv);
     bench::printHeader("Ablation: capability-table size",
                        "Sections 5.2.3 and 6.3");
 

@@ -1,52 +1,34 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction harnesses: the
- * standard sweep command line (--jobs/--json-dir/--no-cache/--quiet
- * plus the observability options --trace-out/--sample-interval/
- * --audit-log/--flight-out/--latency-json/--topn and --debug-flags),
- * SweepRunner construction, and config shorthands. All simulation
+ * standard sweep command line (bench/args.hh), the Sweeper facade
+ * over the service layer, and config shorthands. All simulation
  * points flow through harness::RunRequest lists submitted to a
- * SweepRunner, so every harness parallelizes with --jobs, shares the
- * in-process result cache, and can emit Chrome traces, stat
- * time-series, security audit logs and flight-recorder latency
- * breakdowns for every simulated point.
+ * SweepService, so every harness parallelizes with --jobs, shares a
+ * result cache, can emit the full set of observability artefacts —
+ * and, with --server SOCK (or CAPCHECK_SERVER), targets a capcheckd
+ * daemon instead of simulating in-process, with byte-identical
+ * artefacts either way.
  */
 
 #ifndef CAPCHECK_BENCH_COMMON_HH
 #define CAPCHECK_BENCH_COMMON_HH
 
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "base/table.hh"
-#include "base/trace.hh"
+#include "bench/args.hh"
 #include "harness/sweep_runner.hh"
+#include "service/sweep_service.hh"
 #include "system/soc_config_builder.hh"
 #include "system/soc_system.hh"
-#include "system/topology.hh"
 #include "workloads/kernel.hh"
 
 namespace capcheck::bench
 {
-
-namespace detail
-{
-/**
- * The --topology file from the last parseOptions() call. modeConfig()
- * folds it into every SocConfig so one flag retargets a whole
- * harness's sweep without touching each request-building loop.
- */
-inline std::string cliTopologyFile; // NOLINT(cert-err58-cpp)
-/**
- * True when the loaded file forces a checker scheme ("capchecker" /
- * "checker_bank" rather than "auto"): such a shape can only elaborate
- * under modes with a CHERI CPU, so modeConfig() keeps the builtin
- * shape for the non-CHERI points instead of fataling mid-sweep.
- */
-inline bool cliTopologyNeedsChecker = false;
-} // namespace detail
 
 inline void
 printHeader(const std::string &what, const std::string &paper_ref)
@@ -55,224 +37,92 @@ printHeader(const std::string &what, const std::string &paper_ref)
               << ") ===\n";
 }
 
-/** The options every bench harness accepts. */
-struct BenchOptions
+/**
+ * The harness-side sweep client: a thin facade over SweepService that
+ * keeps the counters the summary tables print. Backend selection —
+ * in-process SweepRunner vs. remote capcheckd — is entirely inside
+ * makeService(), so harness code is identical for both.
+ */
+class Sweeper
 {
-    unsigned jobs = 0;   ///< --jobs N (0 = hardware concurrency)
-    std::string jsonDir; ///< --json-dir DIR ("" = no JSON output)
-    bool cache = true;   ///< --no-cache disables result reuse
-    bool quiet = false;  ///< --quiet silences progress lines
+  public:
+    explicit Sweeper(const harness::SweepOptions &opts)
+        : svc(service::makeService(opts))
+    {
+    }
 
-    /** --trace-out DIR: per-run Chrome trace timelines. */
-    std::string traceOut;
-    /** --sample-interval N: stat snapshots every N cycles. */
-    Cycles sampleInterval = 0;
-    /** --audit-log DIR: per-run JSONL security audit logs. */
-    std::string auditLog;
-    /** --flight-out DIR: per-run top-N-slowest-flight tables. */
-    std::string flightOut;
-    /** --latency-json DIR: per-run latency histograms (p50/p95/p99). */
-    std::string latencyJson;
-    /** --topn N: slowest flights kept per run. */
-    unsigned topN = 10;
+    /** Execute @p requests; outcomes in input order. */
+    std::vector<harness::RunOutcome>
+    run(const std::vector<harness::RunRequest> &requests,
+        const std::string &sweep_name = "sweep")
+    {
+        auto outcomes = svc->submit(requests, sweep_name);
+        for (const harness::RunOutcome &o : outcomes) {
+            if (o.cacheHit)
+                ++hits;
+            else
+                ++executed;
+        }
+        return outcomes;
+    }
 
-    /** --topology FILE: JSON platform topology for every run. */
-    std::string topology;
-    /** --dump-topology[=MODE]: print canonical topology JSON, exit. */
-    bool dumpTopology = false;
-    /** Builtin dumped when no --topology file names one. */
-    std::string dumpTopologyMode = "ccpu+caccel";
+    /** Run a single request through the same machinery. */
+    system::RunResult
+    runOne(const harness::RunRequest &request)
+    {
+        return run({request}, "single").front().result;
+    }
+
+    /** Worker threads behind the backend (daemon's pool if remote). */
+    unsigned
+    jobs()
+    {
+        if (!jobsKnown) {
+            jobsCache = svc->stats().jobs;
+            jobsKnown = true;
+        }
+        return jobsCache;
+    }
+
+    /** Fresh simulations this client caused (cache misses). */
+    std::uint64_t simulationsExecuted() const { return executed; }
+
+    /** Requests served from a cache or by deduplication. */
+    std::uint64_t cacheHits() const { return hits; }
+
+    service::SweepService &service() { return *svc; }
+
+  private:
+    std::unique_ptr<service::SweepService> svc;
+    std::uint64_t executed = 0;
+    std::uint64_t hits = 0;
+    unsigned jobsCache = 0;
+    bool jobsKnown = false;
 };
 
-inline void
-printUsage(const char *argv0)
+/** Parse the standard command line and build the sweep client. */
+inline Sweeper
+makeSweeper(int argc, char **argv)
 {
-    std::cout
-        << "usage: " << argv0
-        << " [--jobs N] [--json-dir DIR] [--no-cache] [--quiet]\n"
-        << "       [--trace-out DIR] [--sample-interval N]"
-        << " [--audit-log DIR]\n"
-        << "       [--flight-out DIR] [--latency-json DIR] [--topn N]"
-        << " [--debug-flags LIST]\n"
-        << "       [--topology FILE] [--dump-topology]\n"
-        << "  --jobs N            worker threads (default: all cores)\n"
-        << "  --json-dir DIR      write run-<hash>.json + manifest\n"
-        << "  --no-cache          re-simulate repeated requests\n"
-        << "  --quiet             no per-run progress lines on stderr\n"
-        << "  --trace-out DIR     write run-<hash>.trace.json Chrome\n"
-        << "                      trace timelines (Perfetto-loadable)\n"
-        << "  --sample-interval N snapshot stats every N cycles into\n"
-        << "                      run-<hash>.samples.json\n"
-        << "  --audit-log DIR     write run-<hash>.audit.jsonl\n"
-        << "                      security audit logs\n"
-        << "  --flight-out DIR    write run-<hash>.flights.json tables\n"
-        << "                      of the slowest DMA requests with\n"
-        << "                      per-hop latency breakdowns\n"
-        << "  --latency-json DIR  write run-<hash>.latency.json log2\n"
-        << "                      latency histograms (p50/p95/p99) and\n"
-        << "                      per-component cycle attribution\n"
-        << "  --topn N            slowest flights kept per run (10)\n"
-        << "  --topology FILE     load the platform topology from a\n"
-        << "                      JSON file instead of the builtin\n"
-        << "                      shape for each mode\n"
-        << "  --dump-topology     print the (builtin or loaded)\n"
-        << "                      topology as canonical JSON and exit\n"
-        << "  --debug-flags LIST  enable debug flags (? lists them)\n";
+    return Sweeper(parseOptions(argc, argv).sweep);
 }
 
-inline BenchOptions
-parseOptions(int argc, char **argv)
-{
-    // Honour CAPCHECK_DEBUG in every harness, not just the examples.
-    trace::DebugFlag::applyEnvironment();
-
-    BenchOptions opts;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::cerr << arg << " needs an argument\n";
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--jobs" || arg == "-j") {
-            opts.jobs = static_cast<unsigned>(std::atoi(next()));
-        } else if (arg.rfind("--jobs=", 0) == 0) {
-            opts.jobs = static_cast<unsigned>(
-                std::atoi(arg.c_str() + std::strlen("--jobs=")));
-        } else if (arg == "--json-dir") {
-            opts.jsonDir = next();
-        } else if (arg.rfind("--json-dir=", 0) == 0) {
-            opts.jsonDir = arg.substr(std::strlen("--json-dir="));
-        } else if (arg == "--no-cache") {
-            opts.cache = false;
-        } else if (arg == "--trace-out") {
-            opts.traceOut = next();
-        } else if (arg.rfind("--trace-out=", 0) == 0) {
-            opts.traceOut = arg.substr(std::strlen("--trace-out="));
-        } else if (arg == "--sample-interval") {
-            opts.sampleInterval =
-                static_cast<Cycles>(std::atoll(next()));
-        } else if (arg.rfind("--sample-interval=", 0) == 0) {
-            opts.sampleInterval = static_cast<Cycles>(std::atoll(
-                arg.c_str() + std::strlen("--sample-interval=")));
-        } else if (arg == "--audit-log") {
-            opts.auditLog = next();
-        } else if (arg.rfind("--audit-log=", 0) == 0) {
-            opts.auditLog = arg.substr(std::strlen("--audit-log="));
-        } else if (arg == "--flight-out") {
-            opts.flightOut = next();
-        } else if (arg.rfind("--flight-out=", 0) == 0) {
-            opts.flightOut = arg.substr(std::strlen("--flight-out="));
-        } else if (arg == "--latency-json") {
-            opts.latencyJson = next();
-        } else if (arg.rfind("--latency-json=", 0) == 0) {
-            opts.latencyJson =
-                arg.substr(std::strlen("--latency-json="));
-        } else if (arg == "--topology") {
-            opts.topology = next();
-        } else if (arg.rfind("--topology=", 0) == 0) {
-            opts.topology = arg.substr(std::strlen("--topology="));
-        } else if (arg == "--dump-topology" ||
-                   arg.rfind("--dump-topology=", 0) == 0) {
-            opts.dumpTopology = true;
-            if (arg.rfind("--dump-topology=", 0) == 0)
-                opts.dumpTopologyMode =
-                    arg.substr(std::strlen("--dump-topology="));
-        } else if (arg == "--topn") {
-            opts.topN = static_cast<unsigned>(std::atoi(next()));
-        } else if (arg.rfind("--topn=", 0) == 0) {
-            opts.topN = static_cast<unsigned>(
-                std::atoi(arg.c_str() + std::strlen("--topn=")));
-        } else if (arg == "--debug-flags") {
-            const std::string list = next();
-            if (list == "?") {
-                trace::DebugFlag::listFlags(std::cout);
-                std::exit(0);
-            }
-            trace::DebugFlag::applyList(list);
-        } else if (arg.rfind("--debug-flags=", 0) == 0) {
-            const std::string list =
-                arg.substr(std::strlen("--debug-flags="));
-            if (list == "?") {
-                trace::DebugFlag::listFlags(std::cout);
-                std::exit(0);
-            }
-            trace::DebugFlag::applyList(list);
-        } else if (arg == "--quiet" || arg == "-q") {
-            opts.quiet = true;
-        } else if (arg == "--help" || arg == "-h") {
-            printUsage(argv[0]);
-            std::exit(0);
-        } else {
-            std::cerr << "unknown option '" << arg << "'\n";
-            printUsage(argv[0]);
-            std::exit(2);
-        }
-    }
-    detail::cliTopologyFile = opts.topology;
-    if (!opts.topology.empty() && !opts.dumpTopology) {
-        // Fail at the command line, not mid-sweep: a missing or
-        // malformed file is an argument error, not a simulation one.
-        try {
-            const system::Topology topo =
-                system::Topology::loadFile(opts.topology);
-            for (const system::TopologyNode &node : topo.nodes) {
-                if (node.kind != "protect")
-                    continue;
-                const json::JsonValue *scheme =
-                    node.params.get("scheme");
-                if (scheme && (scheme->asString() == "capchecker" ||
-                               scheme->asString() == "checker_bank"))
-                    detail::cliTopologyNeedsChecker = true;
-            }
-        } catch (const system::TopologyError &e) {
-            std::cerr << e.what() << "\n";
-            std::exit(2);
-        }
-    }
-    if (opts.dumpTopology) {
-        try {
-            const system::Topology topo =
-                !opts.topology.empty()
-                    ? system::Topology::loadFile(opts.topology)
-                    : system::Topology::builtinByName(
-                          opts.dumpTopologyMode);
-            std::cout << topo.toJsonText();
-            std::exit(0);
-        } catch (const system::TopologyError &e) {
-            std::cerr << e.what() << "\n";
-            std::exit(2);
-        }
-    }
-    return opts;
-}
-
+/** @{ Legacy helpers, kept so out-of-tree harness code still builds.
+ *  New code should use makeSweeper(): a SweepRunner constructed here
+ *  always simulates in-process and ignores --server. */
 inline harness::SweepRunner::Options
 toRunnerOptions(const BenchOptions &opts)
 {
-    harness::SweepRunner::Options ro;
-    ro.jobs = opts.jobs;
-    ro.cacheEnabled = opts.cache;
-    ro.progress = opts.quiet ? nullptr : &std::cerr;
-    ro.jsonDir = opts.jsonDir;
-    ro.traceDir = opts.traceOut;
-    ro.sampleInterval = opts.sampleInterval;
-    ro.auditDir = opts.auditLog;
-    ro.flightDir = opts.flightOut;
-    ro.latencyDir = opts.latencyJson;
-    ro.topN = opts.topN;
-    return ro;
+    return opts.sweep;
 }
 
-/** Parse the standard command line and build the harness runner. */
 inline harness::SweepRunner
 makeRunner(int argc, char **argv)
 {
     return harness::SweepRunner(toRunnerOptions(parseOptions(argc,
                                                              argv)));
 }
+/** @} */
 
 /**
  * Validated SocConfig for @p mode with default platform parameters.

@@ -18,7 +18,7 @@ using system::SystemMode;
 int
 main(int argc, char **argv)
 {
-    auto runner = bench::makeRunner(argc, argv);
+    auto runner = bench::makeSweeper(argc, argv);
     bench::printHeader(
         "Fig. 10: wall-clock breakdown across configurations",
         "Fig. 10");

@@ -18,7 +18,7 @@ using system::SystemMode;
 int
 main(int argc, char **argv)
 {
-    auto runner = bench::makeRunner(argc, argv);
+    auto runner = bench::makeSweeper(argc, argv);
     bench::printHeader(
         "Fig. 11: gemm_ncubed vs degree of parallelism", "Fig. 11");
 

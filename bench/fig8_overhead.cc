@@ -20,7 +20,7 @@ using system::SystemMode;
 int
 main(int argc, char **argv)
 {
-    auto runner = bench::makeRunner(argc, argv);
+    auto runner = bench::makeSweeper(argc, argv);
     bench::printHeader(
         "Fig. 8: overhead of adding the CapChecker per benchmark",
         "Fig. 8");

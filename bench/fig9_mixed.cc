@@ -20,7 +20,7 @@ using system::SystemMode;
 int
 main(int argc, char **argv)
 {
-    auto runner = bench::makeRunner(argc, argv);
+    auto runner = bench::makeSweeper(argc, argv);
     bench::printHeader(
         "Fig. 9: overhead of 20 systems with mixed accelerators",
         "Fig. 9");

@@ -38,7 +38,7 @@ main(int argc, char **argv)
     }
     const auto opts = bench::parseOptions(
         static_cast<int>(passthrough.size()), passthrough.data());
-    harness::SweepRunner runner(bench::toRunnerOptions(opts));
+    bench::Sweeper runner(opts.sweep);
 
     bench::printHeader("Full experiment grid",
                        "Figs. 7-11 simulation points");
@@ -106,8 +106,8 @@ main(int argc, char **argv)
     table.addRow({"capability exceptions", std::to_string(exceptions)});
     table.print(std::cout);
 
-    if (!opts.jsonDir.empty())
-        std::cout << "\nJSON results under " << opts.jsonDir
+    if (!opts.sweep.jsonDir.empty())
+        std::cout << "\nJSON results under " << opts.sweep.jsonDir
                   << " (sweep_grid.manifest.json lists every point).\n";
 
     return failures ? 1 : 0;

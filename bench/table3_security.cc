@@ -118,12 +118,12 @@ main(int argc, char **argv)
                   << " (" << outcome.note << ")\n";
     }
 
-    if (!opts.auditLog.empty()) {
+    if (!opts.sweep.auditDir.empty()) {
         std::error_code ec;
-        std::filesystem::create_directories(opts.auditLog, ec);
+        std::filesystem::create_directories(opts.sweep.auditDir, ec);
         std::cout << "\n--- Security audit logs (JSONL) ---\n";
-        writeAuditLog(SchemeKind::capCoarse, opts.auditLog);
-        writeAuditLog(SchemeKind::capFine, opts.auditLog);
+        writeAuditLog(SchemeKind::capCoarse, opts.sweep.auditDir);
+        writeAuditLog(SchemeKind::capFine, opts.sweep.auditDir);
     }
 
     std::cout << "\nPaper expectation: only the two CapChecker modes "

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Gate the capcheckd service mode: the quick experiment grid run
+# through a live daemon must produce artefacts byte-identical to an
+# in-process run (capstat diff --tolerance 0 over merged latency
+# summaries, plus a literal byte compare of every run-<hash>.json),
+# and a daemon restarted on the same --cache-dir must serve the whole
+# batch from the disk cache without executing a single simulation.
+#
+# Usage: scripts/service_check.sh [--build-dir DIR] [--jobs N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD=build
+JOBS=${JOBS:-2}
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --build-dir) BUILD=$2; shift 2 ;;
+        --build-dir=*) BUILD=${1#--build-dir=}; shift ;;
+        --jobs) JOBS=$2; shift 2 ;;
+        --jobs=*) JOBS=${1#--jobs=}; shift ;;
+        *) echo "service_check.sh: unknown option '$1'" >&2; exit 2 ;;
+    esac
+done
+
+for tool in bench/sweep_grid tools/capstat tools/capcheckd; do
+    if [ ! -x "$BUILD/$tool" ]; then
+        cmake -B "$BUILD" -G Ninja
+        cmake --build "$BUILD" --target sweep_grid capstat capcheckd
+        break
+    fi
+done
+
+WORK=$(mktemp -d)
+SOCK="$WORK/capcheck.sock"
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() {
+    "$BUILD/tools/capcheckd" --socket "$SOCK" --jobs "$JOBS" \
+        --cache-dir "$WORK/cache" --quiet > "$WORK/daemon.out" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 50); do
+        [ -S "$SOCK" ] && return 0
+        sleep 0.1
+    done
+    echo "service_check: daemon never became ready" >&2
+    cat "$WORK/daemon.out" >&2
+    exit 1
+}
+
+stop_daemon() {
+    kill -TERM "$DAEMON_PID"
+    wait "$DAEMON_PID"
+    DAEMON_PID=""
+}
+
+echo "== in-process baseline =="
+"$BUILD/bench/sweep_grid" --quick --quiet --jobs "$JOBS" \
+    --json-dir "$WORK/local" --latency-json "$WORK/local-lat" \
+    > /dev/null
+"$BUILD/tools/capstat" merge -o "$WORK/local.json" \
+    "$WORK/local-lat"/*.latency.json > /dev/null
+
+echo "== same grid through capcheckd =="
+start_daemon
+"$BUILD/bench/sweep_grid" --quick --quiet --jobs "$JOBS" \
+    --json-dir "$WORK/remote" --latency-json "$WORK/remote-lat" \
+    --server "$SOCK" > /dev/null
+stop_daemon
+
+echo "== byte compare of run JSON =="
+diff -r "$WORK/local" "$WORK/remote" --exclude='*.manifest.json'
+
+echo "== capstat diff --tolerance 0 =="
+"$BUILD/tools/capstat" merge -o "$WORK/remote.json" \
+    "$WORK/remote-lat"/*.latency.json > /dev/null
+"$BUILD/tools/capstat" diff --tolerance 0 \
+    "$WORK/local.json" "$WORK/remote.json"
+
+echo "== restart: batch must come entirely from the disk cache =="
+start_daemon
+"$BUILD/bench/sweep_grid" --quick --quiet --jobs "$JOBS" \
+    --json-dir "$WORK/restart" --server "$SOCK" > /dev/null
+stop_daemon
+if ! grep -q "executed=0" "$WORK/daemon.out"; then
+    echo "service_check: restarted daemon re-executed simulations:" >&2
+    cat "$WORK/daemon.out" >&2
+    exit 1
+fi
+diff -r "$WORK/remote" "$WORK/restart" --exclude='*.manifest.json'
+
+echo "service_check: PASS"

@@ -3,13 +3,22 @@
 namespace capcheck::harness
 {
 
+std::uint64_t
+resultApproxBytes(const system::RunResult &result)
+{
+    return sizeof(system::RunResult) + result.benchmark.size() +
+           result.statsText.size() + result.statsJson.size();
+}
+
 std::optional<system::RunResult>
 ResultCache::lookup(std::uint64_t hash) const
 {
     std::scoped_lock lock(mtx);
+    ++lookupCount;
     const auto it = entries.find(hash);
     if (it == entries.end())
         return std::nullopt;
+    ++hitCount;
     return it->second;
 }
 
@@ -17,7 +26,9 @@ void
 ResultCache::store(std::uint64_t hash, const system::RunResult &result)
 {
     std::scoped_lock lock(mtx);
-    entries.emplace(hash, result);
+    const auto [it, inserted] = entries.emplace(hash, result);
+    if (inserted)
+        totalBytes += resultApproxBytes(it->second);
 }
 
 std::size_t
@@ -32,6 +43,19 @@ ResultCache::clear()
 {
     std::scoped_lock lock(mtx);
     entries.clear();
+    totalBytes = 0;
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::scoped_lock lock(mtx);
+    CacheStats s;
+    s.entries = entries.size();
+    s.bytes = totalBytes;
+    s.hits = hitCount;
+    s.lookups = lookupCount;
+    return s;
 }
 
 } // namespace capcheck::harness

@@ -12,11 +12,14 @@
 #ifndef CAPCHECK_HARNESS_RESULT_JSON_HH
 #define CAPCHECK_HARNESS_RESULT_JSON_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "base/json.hh"
+#include "base/json_value.hh"
 #include "harness/run_request.hh"
+#include "harness/sweep_options.hh"
 
 namespace capcheck::harness
 {
@@ -47,6 +50,32 @@ std::string runJson(const RunRequest &request,
                     const system::RunResult &result);
 
 /**
+ * @{
+ * Wire serialization: a *complete*, invertible JSON encoding of
+ * RunRequest and RunResult. Unlike writeConfigJson/writeRunJson —
+ * whose documents are human-facing artefacts that omit default cost
+ * tables — these emit every field that feeds RunRequest::hash() and
+ * RunResult::operator==, so a request round-tripped through the
+ * capcheckd socket protocol re-hashes to the same key and a result
+ * round-tripped through the disk cache compares equal field by field.
+ */
+void writeRequestWireJson(json::JsonWriter &w,
+                          const RunRequest &request);
+
+/** Request rebuilt from writeRequestWireJson() output; nullopt (with
+ *  a one-line @p error) on missing/ill-typed fields. */
+std::optional<RunRequest> requestFromWireJson(const json::JsonValue &v,
+                                              std::string *error);
+
+void writeResultWireJson(json::JsonWriter &w,
+                         const system::RunResult &result);
+
+/** Result rebuilt from writeResultWireJson() output. */
+std::optional<system::RunResult>
+resultFromWireJson(const json::JsonValue &v, std::string *error);
+/** @} */
+
+/**
  * Host-side execution profile of one sweep batch. Everything in here
  * is wall-clock metadata: useful for tuning --jobs, excluded from the
  * determinism contract.
@@ -63,6 +92,12 @@ struct SweepProfile
     double simWallMillis = 0;
     /** Wall-clock of the whole batch, submission to last join. */
     double sweepWallMillis = 0;
+
+    /** In-memory result-cache counters after the batch. */
+    CacheStats memCache;
+    /** Disk-cache counters after the batch (when one is attached). */
+    CacheStats diskCache;
+    bool diskCachePresent = false;
 
     /**
      * simWall / (sweepWall * workers): 1.0 means every worker

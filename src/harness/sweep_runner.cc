@@ -37,41 +37,16 @@ SweepRunner::SweepRunner(Options options) : opts(std::move(options))
                              : std::thread::hardware_concurrency();
     if (numJobs == 0)
         numJobs = 1;
+    if (!opts.cacheDir.empty()) {
+        disk = std::make_unique<DiskResultCache>(opts.cacheDir,
+                                                 opts.cacheMaxBytes);
+    }
 }
 
 system::RunResult
 SweepRunner::runOne(const RunRequest &request)
 {
     return run({request}, "single").front().result;
-}
-
-obs::ObsOptions
-SweepRunner::obsOptionsFor(const RunRequest &request) const
-{
-    obs::ObsOptions oo;
-    const std::string hex = request.hashHex();
-    if (!opts.traceDir.empty())
-        oo.traceFile = opts.traceDir + "/run-" + hex + ".trace.json";
-    if (opts.sampleInterval > 0) {
-        const std::string &dir =
-            !opts.traceDir.empty() ? opts.traceDir : opts.jsonDir;
-        if (!dir.empty()) {
-            oo.samplesFile = dir + "/run-" + hex + ".samples.json";
-            oo.sampleInterval = opts.sampleInterval;
-        }
-    }
-    if (!opts.auditDir.empty())
-        oo.auditFile = opts.auditDir + "/run-" + hex + ".audit.jsonl";
-    if (!opts.flightDir.empty())
-        oo.flightFile = opts.flightDir + "/run-" + hex + ".flights.json";
-    if (!opts.latencyDir.empty())
-        oo.latencyFile =
-            opts.latencyDir + "/run-" + hex + ".latency.json";
-    if (oo.flightRecording()) {
-        oo.topN = opts.topN;
-        oo.runLabel = request.label();
-    }
-    return oo;
 }
 
 std::vector<RunOutcome>
@@ -112,6 +87,14 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
             if (auto cached = resultCache.lookup(h)) {
                 job.result = std::move(*cached);
                 job.fromCache = true;
+            } else if (disk) {
+                // Second-level lookup: results persisted by an
+                // earlier process (or the daemon) sharing cacheDir.
+                if (auto stored = disk->lookup(h)) {
+                    resultCache.store(h, *stored);
+                    job.result = std::move(*stored);
+                    job.fromCache = true;
+                }
             }
             firstJob.emplace(h, jobs.size());
         }
@@ -166,7 +149,7 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
                 // The worker owns this SocSystem outright; the event
                 // queue inside never crosses a thread boundary.
                 job.result = job.request->execute(
-                    obsOptionsFor(*job.request));
+                    obsOptionsFor(opts, *job.request));
             } catch (const SimError &e) {
                 job.error = e.what();
             }
@@ -212,10 +195,13 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
         }
     }
 
-    // Publish fresh results to the cache and tally counters.
+    // Publish fresh results to the cache(s) and tally counters.
     for (const std::size_t j : pendingJobs) {
-        if (opts.cacheEnabled)
+        if (opts.cacheEnabled) {
             resultCache.store(jobs[j].request->hash(), jobs[j].result);
+            if (disk)
+                disk->store(jobs[j].request->hash(), jobs[j].result);
+        }
         ++executed;
     }
 
@@ -249,6 +235,11 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - batch_t0)
             .count();
+    profile.memCache = resultCache.stats();
+    if (disk) {
+        profile.diskCache = disk->stats();
+        profile.diskCachePresent = true;
+    }
 
     if (opts.progress) {
         char util[16];

@@ -18,14 +18,17 @@
 #define CAPCHECK_HARNESS_SWEEP_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "base/types.hh"
+#include "harness/disk_cache.hh"
 #include "harness/result_cache.hh"
 #include "harness/result_json.hh"
 #include "harness/run_request.hh"
+#include "harness/sweep_options.hh"
 
 namespace capcheck::harness
 {
@@ -33,50 +36,13 @@ namespace capcheck::harness
 class SweepRunner
 {
   public:
-    struct Options
-    {
-        /** Worker threads; 0 = std::thread::hardware_concurrency(). */
-        unsigned jobs = 0;
-
-        /** Serve repeated requests from the result cache. */
-        bool cacheEnabled = true;
-
-        /** Per-run progress lines ("[3/40] gemm_ncubed ... cache=miss
-         *  wall=12ms"); nullptr silences them. */
-        std::ostream *progress = nullptr;
-
-        /** Directory for run-<hash>.json and <sweep>.manifest.json;
-         *  empty = no JSON output. Created on demand. */
-        std::string jsonDir;
-
-        /** Directory for per-run Chrome traces
-         *  (run-<hash>.trace.json); empty = no tracing. Only fresh
-         *  simulations produce files — cache hits reuse the original
-         *  run's outputs, which are byte-identical by construction. */
-        std::string traceDir;
-
-        /** Cycles between per-run stat samples
-         *  (run-<hash>.samples.json, in traceDir or else jsonDir);
-         *  0 = sampling off. */
-        Cycles sampleInterval = 0;
-
-        /** Directory for per-run JSONL security audit logs
-         *  (run-<hash>.audit.jsonl); empty = no audit logs. */
-        std::string auditDir;
-
-        /** Directory for per-run flight-recorder tables
-         *  (run-<hash>.flights.json: the topN slowest DMA requests
-         *  with per-hop breakdowns); empty = off. */
-        std::string flightDir;
-
-        /** Directory for per-run latency-attribution summaries
-         *  (run-<hash>.latency.json: log2 latency histograms with
-         *  p50/p95/p99 plus per-hop cycle attribution); empty = off. */
-        std::string latencyDir;
-
-        /** Slowest flights kept per run in the flight table. */
-        unsigned topN = 10;
-    };
+    /**
+     * The runner's knobs are the unified SweepOptions (serverSocket
+     * is ignored here — backend selection happens one layer up in
+     * service::makeService; a non-empty cacheDir attaches the
+     * disk-backed result cache behind the in-memory one).
+     */
+    using Options = SweepOptions;
 
     SweepRunner() : SweepRunner(Options{}) {}
     explicit SweepRunner(Options options);
@@ -106,17 +72,18 @@ class SweepRunner
 
     ResultCache &cache() { return resultCache; }
 
+    /** The disk cache; nullptr unless Options::cacheDir was set. */
+    DiskResultCache *diskCache() { return disk.get(); }
+
   private:
     void writeJson(const std::vector<RunOutcome> &outcomes,
                    const std::string &sweep_name,
                    const SweepProfile &profile) const;
 
-    /** Observability outputs for one request, keyed by its hash. */
-    obs::ObsOptions obsOptionsFor(const RunRequest &request) const;
-
     Options opts;
     unsigned numJobs = 1;
     ResultCache resultCache;
+    std::unique_ptr<DiskResultCache> disk;
     std::uint64_t executed = 0;
     std::uint64_t hits = 0;
 };

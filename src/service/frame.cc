@@ -1,0 +1,82 @@
+#include "service/frame.hh"
+
+#include <cstring>
+
+#include "service/socket.hh"
+
+namespace capcheck::service
+{
+
+void
+encodeFrameHeader(char (&header)[frameHeaderBytes],
+                  std::size_t payload_bytes)
+{
+    std::memcpy(header, frameMagic, sizeof(frameMagic));
+    const auto len = static_cast<std::uint32_t>(payload_bytes);
+    header[4] = static_cast<char>(len & 0xff);
+    header[5] = static_cast<char>((len >> 8) & 0xff);
+    header[6] = static_cast<char>((len >> 16) & 0xff);
+    header[7] = static_cast<char>((len >> 24) & 0xff);
+}
+
+std::size_t
+decodeFrameHeader(const char (&header)[frameHeaderBytes],
+                  std::size_t max_bytes)
+{
+    if (std::memcmp(header, frameMagic, sizeof(frameMagic)) != 0) {
+        throw FrameError(FrameError::Kind::badMagic,
+                         "frame header magic mismatch (not a "
+                         "capcheckd peer, or desynchronized stream)");
+    }
+    std::uint32_t len = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        len |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(header[4 + i]))
+               << (i * 8);
+    }
+    if (max_bytes > 0 && len > max_bytes) {
+        throw FrameError(FrameError::Kind::oversize,
+                         "frame of " + std::to_string(len) +
+                             " bytes exceeds the " +
+                             std::to_string(max_bytes) + "-byte cap");
+    }
+    return len;
+}
+
+void
+sendFrame(int fd, std::string_view payload)
+{
+    if (payload.size() > UINT32_MAX) {
+        throw FrameError(FrameError::Kind::oversize,
+                         "frame payload exceeds u32 length prefix");
+    }
+    char header[frameHeaderBytes];
+    encodeFrameHeader(header, payload.size());
+    if (!sendAll(fd, header, sizeof(header)) ||
+        !sendAll(fd, payload.data(), payload.size())) {
+        throw FrameError(FrameError::Kind::io,
+                         "frame write failed (peer closed?)");
+    }
+}
+
+std::optional<std::string>
+recvFrame(int fd, std::size_t max_bytes)
+{
+    char header[frameHeaderBytes];
+    const int rc = recvAll(fd, header, sizeof(header));
+    if (rc == 0)
+        return std::nullopt;
+    if (rc < 0) {
+        throw FrameError(FrameError::Kind::io,
+                         "frame header read failed");
+    }
+    const std::size_t len = decodeFrameHeader(header, max_bytes);
+    std::string payload(len, '\0');
+    if (len > 0 && recvAll(fd, payload.data(), len) != 1) {
+        throw FrameError(FrameError::Kind::io,
+                         "frame payload truncated");
+    }
+    return payload;
+}
+
+} // namespace capcheck::service

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The capcheckd framing layer: every message on the wire is one frame
+ * —
+ *
+ *     +------+------+------+------+----+----+----+----+---------+
+ *     | 'C'  | 'C'  | 'K'  | '1'  | length (u32 LE)   | payload |
+ *     +------+------+------+------+----+----+----+----+---------+
+ *
+ * — an 8-byte header (4-byte magic "CCK1", then the payload length
+ * as a little-endian u32) followed by exactly `length` bytes of JSON.
+ * The magic makes a desynchronized or non-capcheckd peer fail fast
+ * with badMagic instead of interpreting garbage as a length; the
+ * receiver-side length cap turns a hostile or corrupt length prefix
+ * into a clean oversize error instead of an unbounded allocation.
+ */
+
+#ifndef CAPCHECK_SERVICE_FRAME_HH
+#define CAPCHECK_SERVICE_FRAME_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace capcheck::service
+{
+
+/** Frame header magic; bump the trailing digit on layout changes. */
+inline constexpr char frameMagic[4] = {'C', 'C', 'K', '1'};
+
+inline constexpr std::size_t frameHeaderBytes = 8;
+
+/** Default receiver-side payload cap (64 MiB). */
+inline constexpr std::size_t defaultMaxFrameBytes = 64u << 20;
+
+class FrameError : public std::runtime_error
+{
+  public:
+    enum class Kind
+    {
+        io,       ///< short read/write, connection reset mid-frame
+        badMagic, ///< header does not start with "CCK1"
+        oversize, ///< length prefix exceeds the receiver's cap
+    };
+
+    FrameError(Kind kind, const std::string &what)
+        : std::runtime_error(what), errorKind(kind)
+    {
+    }
+
+    Kind kind() const { return errorKind; }
+
+  private:
+    Kind errorKind;
+};
+
+/** @{ Header encode/decode, shared by the fd I/O below and tests. */
+void encodeFrameHeader(char (&header)[frameHeaderBytes],
+                       std::size_t payload_bytes);
+
+/**
+ * Decode @p header; returns the payload length. Throws FrameError
+ * (badMagic / oversize against @p max_bytes, 0 = uncapped).
+ */
+std::size_t decodeFrameHeader(const char (&header)[frameHeaderBytes],
+                              std::size_t max_bytes);
+/** @} */
+
+/** Write one frame; throws FrameError(io) when the peer is gone. */
+void sendFrame(int fd, std::string_view payload);
+
+/**
+ * Read one frame. nullopt on clean EOF between frames; throws
+ * FrameError on header corruption, an over-cap length, or EOF/error
+ * mid-frame.
+ */
+std::optional<std::string>
+recvFrame(int fd, std::size_t max_bytes = defaultMaxFrameBytes);
+
+} // namespace capcheck::service
+
+#endif // CAPCHECK_SERVICE_FRAME_HH

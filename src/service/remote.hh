@@ -1,0 +1,60 @@
+/**
+ * @file
+ * RemoteService: the SweepService client that submits batches to a
+ * capcheckd daemon over its Unix-domain socket. Simulation and
+ * observability artefacts happen daemon-side (same filesystem);
+ * result JSON and the sweep manifest are written client-side from
+ * the streamed result frames, so a remote sweep leaves exactly the
+ * artefact tree an in-process sweep would.
+ */
+
+#ifndef CAPCHECK_SERVICE_REMOTE_HH
+#define CAPCHECK_SERVICE_REMOTE_HH
+
+#include <mutex>
+
+#include "service/socket.hh"
+#include "service/sweep_service.hh"
+
+namespace capcheck::service
+{
+
+class RemoteService : public SweepService
+{
+  public:
+    /**
+     * Connect to the daemon at @p opts.serverSocket and verify it
+     * answers ping. Throws ServiceError(errConnect) when nothing is
+     * listening — a misspelled socket should fail before a harness
+     * builds ten thousand requests.
+     */
+    explicit RemoteService(harness::SweepOptions opts);
+
+    std::vector<harness::RunOutcome>
+    submit(const std::vector<harness::RunRequest> &requests,
+           const std::string &sweep_name,
+           const Sink &sink = {}) override;
+
+    ServiceStats stats() override;
+
+    bool ping() override;
+
+  private:
+    /** One request/response (or submit/stream) exchange at a time. */
+    std::string roundTrip(const std::string &payload);
+
+    void writeArtefacts(
+        const std::vector<harness::RunOutcome> &outcomes,
+        const std::vector<std::string> &result_bodies,
+        const std::string &sweep_name,
+        const harness::SweepProfile &profile) const;
+
+    harness::SweepOptions opts;
+    std::mutex mtx;
+    Fd conn;
+    std::uint64_t nextBatch = 1;
+};
+
+} // namespace capcheck::service
+
+#endif // CAPCHECK_SERVICE_REMOTE_HH

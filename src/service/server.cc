@@ -1,0 +1,595 @@
+#include "service/server.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+
+#include "base/logging.hh"
+#include "harness/result_json.hh"
+#include "service/frame.hh"
+#include "system/soc_config_builder.hh"
+
+namespace capcheck::service
+{
+
+/** One connected client and its write-side state. */
+struct Server::Client
+{
+    std::uint64_t id = 0;
+    Fd fd;
+    std::thread reader;
+    /** Serializes result/done/error frames from workers + reader. */
+    std::mutex writeMtx;
+    /** Requests admitted but not yet answered. */
+    std::atomic<std::size_t> inflight{0};
+    /** A write failed; stop talking to this peer. */
+    std::atomic<bool> dead{false};
+};
+
+/** One admitted submit message and its completion accounting. */
+struct Server::Batch
+{
+    std::shared_ptr<Client> client;
+    std::uint64_t id = 0;
+    SubmitOptions options;
+    /** options.toSweepOptions(): what obsOptionsFor() consumes. */
+    harness::SweepOptions execOpts;
+    std::vector<harness::RunRequest> requests;
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<std::uint64_t> nExecuted{0};
+    std::atomic<std::uint64_t> nCached{0};
+    std::atomic<std::uint64_t> nFailed{0};
+};
+
+/**
+ * One unique simulation in flight. waiters[0] is the (batch, index)
+ * that triggered it — and whose obs options it runs with; everyone
+ * else coalesced onto it and will be answered as "cached".
+ */
+struct Server::Unit
+{
+    struct Waiter
+    {
+        std::shared_ptr<Batch> batch;
+        std::size_t index = 0;
+    };
+
+    std::uint64_t hash = 0;
+    std::vector<Waiter> waiters;
+    /** The creating batch asked for --no-cache: do not publish. */
+    bool noStore = false;
+
+    const harness::RunRequest &
+    request() const
+    {
+        return waiters.front().batch->requests[waiters.front().index];
+    }
+};
+
+Server::Server(ServerOptions options) : opts(std::move(options))
+{
+    numJobs = opts.jobs != 0 ? opts.jobs
+                             : std::thread::hardware_concurrency();
+    if (numJobs == 0)
+        numJobs = 1;
+    if (!opts.cacheDir.empty()) {
+        disk = std::make_unique<harness::DiskResultCache>(
+            opts.cacheDir, opts.cacheMaxBytes);
+    }
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    std::string err;
+    listener = listenUnix(opts.socketPath, 16, &err);
+    if (!listener.valid()) {
+        throw ServiceError(errConnect,
+                           "cannot listen on '" + opts.socketPath +
+                               "': " + err);
+    }
+    {
+        std::scoped_lock lock(mtx);
+        running = true;
+        stopping = false;
+    }
+    if (opts.log) {
+        *opts.log << "[capcheckd] listening on " << opts.socketPath
+                  << " jobs=" << numJobs
+                  << (disk ? " cache=" + opts.cacheDir : "") << "\n";
+        opts.log->flush();
+    }
+    workers.reserve(numJobs);
+    for (unsigned t = 0; t < numJobs; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+    acceptor = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::stop()
+{
+    {
+        std::scoped_lock lock(mtx);
+        if (!running)
+            return;
+        stopping = true;
+    }
+    wake.notify_all();
+
+    // Unblock accept(); closing the fd alone does not wake it.
+    if (listener.valid())
+        ::shutdown(listener.get(), SHUT_RDWR);
+    if (acceptor.joinable())
+        acceptor.join();
+    listener.reset();
+
+    // Workers drain whatever was already queued before exiting, so
+    // admitted batches still get their done frames.
+    for (std::thread &t : workers)
+        t.join();
+    workers.clear();
+
+    // Only now hang up on the clients and join their readers. The
+    // acceptor is gone, so this snapshot is complete.
+    std::vector<std::shared_ptr<Client>> toClose;
+    {
+        std::scoped_lock lock(mtx);
+        toClose = clients;
+    }
+    for (const auto &client : toClose) {
+        if (client->fd.valid())
+            ::shutdown(client->fd.get(), SHUT_RDWR);
+    }
+    for (const auto &client : toClose) {
+        if (client->reader.joinable())
+            client->reader.join();
+    }
+
+    std::error_code ec;
+    std::filesystem::remove(opts.socketPath, ec);
+    {
+        std::scoped_lock lock(mtx);
+        running = false;
+        clients.clear();
+    }
+    if (opts.log) {
+        *opts.log << "[capcheckd] stopped\n";
+        opts.log->flush();
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    while (true) {
+        Fd conn = acceptUnix(listener.get());
+        {
+            std::scoped_lock lock(mtx);
+            if (stopping)
+                return;
+        }
+        if (!conn.valid())
+            continue;
+        auto client = std::make_shared<Client>();
+        client->fd = std::move(conn);
+        {
+            // The reader is spawned and assigned under the lock: its
+            // self-cleanup in serveClient() takes the same lock before
+            // touching client->reader, so a client that disconnects
+            // instantly cannot observe the member unassigned.
+            std::scoped_lock lock(mtx);
+            client->id = nextClientId++;
+            clients.push_back(client);
+            client->reader =
+                std::thread([this, client] { serveClient(client); });
+        }
+        if (opts.log) {
+            *opts.log << "[capcheckd] client " << client->id
+                      << " connected\n";
+            opts.log->flush();
+        }
+    }
+}
+
+void
+Server::serveClient(const std::shared_ptr<Client> &client)
+{
+    while (true) {
+        std::optional<std::string> payload;
+        try {
+            payload = recvFrame(client->fd.get(), opts.maxFrameBytes);
+        } catch (const FrameError &e) {
+            // Tell the peer why before hanging up; a desynchronized
+            // stream cannot be resynchronized, so the connection ends
+            // either way.
+            const char *code =
+                e.kind() == FrameError::Kind::badMagic
+                    ? errBadFrame
+                : e.kind() == FrameError::Kind::oversize
+                    ? errOversizeFrame
+                    : errProtocol;
+            sendToClient(client,
+                         encodeError(code, e.what(), std::nullopt));
+            break;
+        }
+        if (!payload)
+            break; // clean EOF
+
+        std::string perr;
+        auto v = json::parseJson(*payload, &perr);
+        if (!v) {
+            sendToClient(client,
+                         encodeError(errBadRequest,
+                                     "unparseable message: " + perr,
+                                     std::nullopt));
+            continue;
+        }
+        const std::string type = messageType(*v);
+        if (type == "ping") {
+            sendToClient(client, encodePong());
+        } else if (type == "stats") {
+            sendToClient(client, encodeStats(stats()));
+        } else if (type == "submit") {
+            std::string serr;
+            auto msg = submitFromJson(*v, &serr);
+            if (!msg) {
+                sendToClient(client,
+                             encodeError(errBadRequest, serr,
+                                         std::nullopt));
+                continue;
+            }
+            handleSubmit(client, std::move(*msg));
+        } else {
+            sendToClient(client,
+                         encodeError(errProtocol,
+                                     "unknown message type '" + type +
+                                         "'",
+                                     std::nullopt));
+        }
+        if (client->dead.load(std::memory_order_relaxed))
+            break;
+    }
+
+    std::thread self;
+    {
+        std::scoped_lock lock(mtx);
+        if (stopping)
+            return; // stay in `clients` so stop() can join us
+        for (auto it = clients.begin(); it != clients.end(); ++it) {
+            if (it->get() == client.get()) {
+                clients.erase(it);
+                break;
+            }
+        }
+        self = std::move(client->reader);
+    }
+    if (opts.log) {
+        *opts.log << "[capcheckd] client " << client->id
+                  << " disconnected\n";
+        opts.log->flush();
+    }
+    if (self.joinable())
+        self.detach();
+    client->fd.reset();
+}
+
+void
+Server::handleSubmit(const std::shared_ptr<Client> &client,
+                     SubmitMessage &&msg)
+{
+    const std::size_t n = msg.requests.size();
+    if (n > opts.maxBatchRequests) {
+        sendToClient(
+            client,
+            encodeError(errOversizeBatch,
+                        "batch of " + std::to_string(n) +
+                            " requests exceeds the daemon cap of " +
+                            std::to_string(opts.maxBatchRequests),
+                        msg.batch));
+        return;
+    }
+
+    // Validate every configuration up front — the in-process runner
+    // fatal()s here, but a daemon answers with a structured error and
+    // lives on.
+    for (const harness::RunRequest &req : msg.requests) {
+        const std::string errors =
+            system::validationErrors(req.config);
+        if (!errors.empty()) {
+            sendToClient(client,
+                         encodeError(errBadRequest,
+                                     "invalid request [" +
+                                         req.label() +
+                                         "]: " + errors,
+                                     msg.batch));
+            return;
+        }
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->client = client;
+    batch->id = msg.batch;
+    batch->options = msg.options;
+    batch->execOpts = msg.options.toSweepOptions();
+    batch->requests = std::move(msg.requests);
+    batch->remaining.store(n, std::memory_order_relaxed);
+
+    // Observability directories must exist before a worker touches
+    // them (same rule as SweepRunner, including the samples-into-
+    // jsonDir fallback).
+    {
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        const harness::SweepOptions &eo = batch->execOpts;
+        for (const std::string *dir :
+             {&eo.traceDir, &eo.auditDir, &eo.flightDir,
+              &eo.latencyDir}) {
+            if (!dir->empty())
+                fs::create_directories(*dir, ec);
+        }
+        if (eo.sampleInterval > 0 && eo.traceDir.empty() &&
+            !eo.jsonDir.empty())
+            fs::create_directories(eo.jsonDir, ec);
+    }
+
+    // Submit-time cache hits are answered inline below; fresh work is
+    // collected first so admission can be all-or-nothing, then
+    // enqueued in one shot.
+    struct InlineHit
+    {
+        std::size_t index;
+        std::uint64_t hash;
+        system::RunResult result;
+    };
+    std::vector<InlineHit> hits;
+    std::vector<std::shared_ptr<Unit>> fresh;
+    const bool useCache = !batch->options.noCache;
+
+    {
+        std::unique_lock lock(mtx);
+        const std::size_t inflight =
+            client->inflight.load(std::memory_order_relaxed);
+        if (inflight + n > opts.maxInflightPerClient) {
+            ++rejectedOverload;
+            lock.unlock();
+            sendToClient(
+                client,
+                encodeError(errOverloaded,
+                            "client has " + std::to_string(inflight) +
+                                " requests in flight; cap is " +
+                                std::to_string(
+                                    opts.maxInflightPerClient),
+                            batch->id, 100));
+            return;
+        }
+        if (queue.size() + n > opts.maxQueue) {
+            ++rejectedOverload;
+            lock.unlock();
+            sendToClient(
+                client,
+                encodeError(errOverloaded,
+                            "queue depth " +
+                                std::to_string(queue.size()) +
+                                " cannot absorb a batch of " +
+                                std::to_string(n) + " (cap " +
+                                std::to_string(opts.maxQueue) + ")",
+                            batch->id, 100));
+            return;
+        }
+        client->inflight.fetch_add(n, std::memory_order_relaxed);
+
+        std::map<std::uint64_t, std::shared_ptr<Unit>> batchLocal;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t h = batch->requests[i].hash();
+            if (useCache) {
+                if (auto cached = memCache.lookup(h)) {
+                    ++totalCacheHits;
+                    hits.push_back({i, h, std::move(*cached)});
+                    continue;
+                }
+                if (disk) {
+                    if (auto stored = disk->lookup(h)) {
+                        memCache.store(h, *stored);
+                        ++totalCacheHits;
+                        hits.push_back({i, h, std::move(*stored)});
+                        continue;
+                    }
+                }
+                if (auto it = pending.find(h);
+                    it != pending.end()) {
+                    ++totalCacheHits;
+                    it->second->waiters.push_back({batch, i});
+                    continue;
+                }
+            }
+            // With noCache, duplicates inside the batch still
+            // coalesce (SweepRunner's cacheEnabled=false re-runs
+            // them; one simulation per unique hash is strictly
+            // better and keeps "cached" attribution meaningful).
+            if (auto it = batchLocal.find(h);
+                it != batchLocal.end()) {
+                ++totalCacheHits;
+                it->second->waiters.push_back({batch, i});
+                continue;
+            }
+            auto unit = std::make_shared<Unit>();
+            unit->hash = h;
+            unit->waiters.push_back({batch, i});
+            unit->noStore = !useCache;
+            if (useCache)
+                pending.emplace(h, unit);
+            batchLocal.emplace(h, unit);
+            fresh.push_back(unit);
+        }
+        for (const auto &unit : fresh)
+            queue.push_back(unit);
+    }
+    for (std::size_t k = 0; k < fresh.size(); ++k)
+        wake.notify_one();
+
+    for (const InlineHit &hit : hits) {
+        sendResult(batch, hit.index, hit.hash, RunStatus::cached,
+                   &hit.result, 0, std::string());
+    }
+}
+
+void
+Server::workerLoop()
+{
+    while (true) {
+        std::shared_ptr<Unit> unit;
+        {
+            std::unique_lock lock(mtx);
+            wake.wait(lock,
+                      [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            unit = queue.front();
+            queue.pop_front();
+        }
+
+        const harness::RunRequest &req = unit->request();
+        const harness::SweepOptions &execOpts =
+            unit->waiters.front().batch->execOpts;
+
+        system::RunResult result;
+        std::string error;
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            result = req.execute(
+                harness::obsOptionsFor(execOpts, req));
+        } catch (const SimError &e) {
+            error = e.what();
+        } catch (const std::exception &e) {
+            error = e.what();
+        }
+        const double wallMillis =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        std::vector<Unit::Waiter> waiters;
+        {
+            std::scoped_lock lock(mtx);
+            pending.erase(unit->hash);
+            if (error.empty()) {
+                ++totalExecuted;
+                if (!unit->noStore) {
+                    memCache.store(unit->hash, result);
+                    if (disk)
+                        disk->store(unit->hash, result);
+                }
+            }
+            // Coalescing window closes here: the hash is out of
+            // `pending`, so no waiter can be added after this swap.
+            waiters.swap(unit->waiters);
+        }
+
+        for (std::size_t k = 0; k < waiters.size(); ++k) {
+            const Unit::Waiter &waiter = waiters[k];
+            if (!error.empty()) {
+                sendResult(waiter.batch, waiter.index, unit->hash,
+                           RunStatus::failed, nullptr, wallMillis,
+                           error);
+            } else {
+                sendResult(waiter.batch, waiter.index, unit->hash,
+                           k == 0 ? RunStatus::executed
+                                  : RunStatus::cached,
+                           &result, k == 0 ? wallMillis : 0,
+                           std::string());
+            }
+        }
+    }
+}
+
+void
+Server::sendResult(const std::shared_ptr<Batch> &batch,
+                   std::size_t index, std::uint64_t hash,
+                   RunStatus status, const system::RunResult *result,
+                   double wall_millis, const std::string &error)
+{
+    switch (status) {
+      case RunStatus::executed:
+        batch->nExecuted.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RunStatus::cached:
+        batch->nCached.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RunStatus::failed:
+        batch->nFailed.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+
+    std::string body;
+    const std::string *bodyPtr = nullptr;
+    if (result && batch->options.wantResultJson) {
+        body = harness::runJson(batch->requests[index], *result);
+        bodyPtr = &body;
+    }
+    sendToClient(batch->client,
+                 encodeResult(batch->id, index, hash, status, result,
+                              bodyPtr, wall_millis, error));
+
+    batch->client->inflight.fetch_sub(1, std::memory_order_relaxed);
+    if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+        1) {
+        ServiceStats s;
+        s.jobs = numJobs;
+        sendToClient(
+            batch->client,
+            encodeDone(batch->id,
+                       batch->nExecuted.load(
+                           std::memory_order_relaxed),
+                       batch->nCached.load(std::memory_order_relaxed),
+                       batch->nFailed.load(std::memory_order_relaxed),
+                       s));
+    }
+}
+
+void
+Server::sendToClient(const std::shared_ptr<Client> &client,
+                     const std::string &payload)
+{
+    if (client->dead.load(std::memory_order_relaxed))
+        return;
+    std::scoped_lock lock(client->writeMtx);
+    try {
+        sendFrame(client->fd.get(), payload);
+    } catch (const FrameError &) {
+        client->dead.store(true, std::memory_order_relaxed);
+    }
+}
+
+ServiceStats
+Server::stats()
+{
+    std::scoped_lock lock(mtx);
+    return statsLocked();
+}
+
+ServiceStats
+Server::statsLocked()
+{
+    ServiceStats s;
+    s.executed = totalExecuted;
+    s.cacheHits = totalCacheHits;
+    s.jobs = numJobs;
+    s.memCache = memCache.stats();
+    if (disk) {
+        s.diskCache = disk->stats();
+        s.diskCachePresent = true;
+    }
+    s.queueDepth = queue.size();
+    s.activeClients = clients.size();
+    s.rejectedOverload = rejectedOverload;
+    return s;
+}
+
+} // namespace capcheck::service

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The capcheckd server: accepts clients on a Unix-domain socket,
+ * admits batches of RunRequests into a bounded work queue, executes
+ * them on a worker pool sharing one in-memory + optional disk result
+ * cache, and streams each result frame back as it completes.
+ *
+ * Admission control is all-or-nothing per batch: a submit that would
+ * exceed the queue bound or the per-client in-flight cap is rejected
+ * with a structured "overloaded" error (carrying retryAfterMillis)
+ * before any of its requests are enqueued, so a client never sees a
+ * half-admitted batch.
+ *
+ * Identical in-flight requests coalesce across batches and clients: a
+ * hash already simulating gains a waiter instead of a second queue
+ * entry, and every waiter beyond the first reports status "cached" —
+ * the same attribution rule SweepRunner applies at submission time.
+ */
+
+#ifndef CAPCHECK_SERVICE_SERVER_HH
+#define CAPCHECK_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/disk_cache.hh"
+#include "harness/result_cache.hh"
+#include "service/frame.hh"
+#include "service/socket.hh"
+#include "service/sweep_service.hh"
+#include "service/wire.hh"
+
+namespace capcheck::service
+{
+
+struct ServerOptions
+{
+    /** Path of the Unix-domain socket to listen on. */
+    std::string socketPath;
+
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+
+    /** Queue-depth bound: a batch is rejected as overloaded when the
+     *  queue could not absorb all of its requests. */
+    std::size_t maxQueue = 1024;
+
+    /** Per-client cap on requests admitted but not yet answered. */
+    std::size_t maxInflightPerClient = 512;
+
+    /** Largest accepted batch; bigger submits are oversizeBatch. */
+    std::size_t maxBatchRequests = 4096;
+
+    /** Receiver-side frame payload cap. */
+    std::size_t maxFrameBytes = defaultMaxFrameBytes;
+
+    /** Disk-backed result cache directory; empty = memory only. */
+    std::string cacheDir;
+
+    /** LRU byte cap of the disk cache; 0 = unbounded. */
+    std::uint64_t cacheMaxBytes = 1ull << 30;
+
+    /** Daemon log lines; nullptr silences them. */
+    std::ostream *log = nullptr;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket and launch the accept loop and worker pool.
+     * Throws ServiceError(errConnect) when the socket cannot be
+     * bound.
+     */
+    void start();
+
+    /** Graceful stop: drain queued work, close every connection,
+     *  join all threads, unlink the socket. Idempotent. */
+    void stop();
+
+    ServiceStats stats();
+
+    const std::string &socketPath() const { return opts.socketPath; }
+
+    unsigned jobs() const { return numJobs; }
+
+  private:
+    struct Client;
+    struct Batch;
+    struct Unit;
+
+    void acceptLoop();
+    void serveClient(const std::shared_ptr<Client> &client);
+    void handleSubmit(const std::shared_ptr<Client> &client,
+                      SubmitMessage &&msg);
+    void workerLoop();
+
+    /** Best-effort framed write; marks the client dead on failure. */
+    void sendToClient(const std::shared_ptr<Client> &client,
+                      const std::string &payload);
+
+    /**
+     * Send one result frame to @p batch's client and retire the
+     * request from the batch's accounting; emits the done frame when
+     * this was the batch's last outstanding request.
+     */
+    void sendResult(const std::shared_ptr<Batch> &batch,
+                    std::size_t index, std::uint64_t hash,
+                    RunStatus status,
+                    const system::RunResult *result,
+                    double wall_millis, const std::string &error);
+
+    ServiceStats statsLocked();
+
+    ServerOptions opts;
+    unsigned numJobs = 1;
+
+    Fd listener;
+    std::thread acceptor;
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable wake;
+    bool running = false;
+    bool stopping = false;
+
+    std::deque<std::shared_ptr<Unit>> queue;
+    /** hash → unit queued or executing, for coalescing. */
+    std::map<std::uint64_t, std::shared_ptr<Unit>> pending;
+    std::vector<std::shared_ptr<Client>> clients;
+    std::uint64_t nextClientId = 1;
+
+    harness::ResultCache memCache;
+    std::unique_ptr<harness::DiskResultCache> disk;
+
+    std::uint64_t totalExecuted = 0;
+    std::uint64_t totalCacheHits = 0;
+    std::uint64_t rejectedOverload = 0;
+};
+
+} // namespace capcheck::service
+
+#endif // CAPCHECK_SERVICE_SERVER_HH

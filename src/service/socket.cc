@@ -1,0 +1,164 @@
+#include "service/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace capcheck::service
+{
+
+void
+Fd::reset()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+int
+Fd::release()
+{
+    const int out = fd;
+    fd = -1;
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Fill a sockaddr_un for @p path; false when the path exceeds
+ * sun_path (AF_UNIX's infamous ~107-byte limit).
+ */
+bool
+makeAddress(const std::string &path, sockaddr_un &addr,
+            std::string *error)
+{
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        if (error) {
+            *error = "socket path '" + path +
+                     "' empty or longer than sun_path (" +
+                     std::to_string(sizeof(addr.sun_path) - 1) +
+                     " bytes)";
+        }
+        return false;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+Fd
+connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!makeAddress(path, addr, error))
+        return Fd{};
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        if (error)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return Fd{};
+    }
+    int rc;
+    do {
+        rc = ::connect(fd.get(),
+                       reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        if (error) {
+            *error = "connect('" + path +
+                     "'): " + std::strerror(errno);
+        }
+        return Fd{};
+    }
+    return fd;
+}
+
+Fd
+listenUnix(const std::string &path, int backlog, std::string *error)
+{
+    sockaddr_un addr;
+    if (!makeAddress(path, addr, error))
+        return Fd{};
+    // A stale socket file from a crashed daemon would make bind()
+    // fail with EADDRINUSE; a live daemon is indistinguishable here,
+    // so the caller decides whether replacing is safe.
+    ::unlink(path.c_str());
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        if (error)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return Fd{};
+    }
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        if (error)
+            *error = "bind('" + path + "'): " + std::strerror(errno);
+        return Fd{};
+    }
+    if (::listen(fd.get(), backlog) < 0) {
+        if (error)
+            *error = "listen('" + path + "'): " + std::strerror(errno);
+        return Fd{};
+    }
+    return fd;
+}
+
+Fd
+acceptUnix(int listen_fd)
+{
+    int rc;
+    do {
+        rc = ::accept(listen_fd, nullptr, nullptr);
+    } while (rc < 0 && errno == EINTR);
+    return Fd(rc);
+}
+
+bool
+sendAll(int fd, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+int
+recvAll(int fd, void *data, std::size_t len)
+{
+    char *p = static_cast<char *>(data);
+    std::size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::recv(fd, p + got, len - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (n == 0)
+            return got == 0 ? 0 : -1;
+        got += static_cast<std::size_t>(n);
+    }
+    return 1;
+}
+
+} // namespace capcheck::service

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Thin RAII wrappers over AF_UNIX stream sockets: the transport under
+ * the capcheckd framing protocol. Everything here is blocking I/O
+ * with EINTR retry; writes use MSG_NOSIGNAL so a vanished peer
+ * surfaces as an error return, never as SIGPIPE.
+ */
+
+#ifndef CAPCHECK_SERVICE_SOCKET_HH
+#define CAPCHECK_SERVICE_SOCKET_HH
+
+#include <cstddef>
+#include <string>
+
+namespace capcheck::service
+{
+
+/** Move-only owner of one file descriptor. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(Fd &&other) noexcept : fd(other.fd) { other.fd = -1; }
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd = other.fd;
+            other.fd = -1;
+        }
+        return *this;
+    }
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd; }
+    bool valid() const { return fd >= 0; }
+
+    /** Close now (idempotent). */
+    void reset();
+
+    /** Release ownership without closing. */
+    int release();
+
+  private:
+    int fd = -1;
+};
+
+/**
+ * Connect to the Unix-domain socket at @p path. Invalid Fd on
+ * failure, with a one-line reason in @p error.
+ */
+Fd connectUnix(const std::string &path, std::string *error);
+
+/**
+ * Bind and listen on @p path, unlinking any stale socket file first.
+ * Invalid Fd on failure, with a one-line reason in @p error.
+ */
+Fd listenUnix(const std::string &path, int backlog,
+              std::string *error);
+
+/** Accept one connection; invalid Fd on error (incl. listener close). */
+Fd acceptUnix(int listen_fd);
+
+/** Write all of @p len bytes; false on any error or closed peer. */
+bool sendAll(int fd, const void *data, std::size_t len);
+
+/**
+ * Read exactly @p len bytes. 1 = success, 0 = clean EOF before any
+ * byte, -1 = error or EOF mid-read.
+ */
+int recvAll(int fd, void *data, std::size_t len);
+
+} // namespace capcheck::service
+
+#endif // CAPCHECK_SERVICE_SOCKET_HH

@@ -1,0 +1,17 @@
+#include "service/sweep_service.hh"
+
+#include "service/inprocess.hh"
+#include "service/remote.hh"
+
+namespace capcheck::service
+{
+
+std::unique_ptr<SweepService>
+makeService(const harness::SweepOptions &opts)
+{
+    if (!opts.serverSocket.empty())
+        return std::make_unique<RemoteService>(opts);
+    return std::make_unique<InProcessService>(opts);
+}
+
+} // namespace capcheck::service

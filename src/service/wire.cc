@@ -1,0 +1,356 @@
+#include "service/wire.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/json.hh"
+#include "harness/result_json.hh"
+
+namespace capcheck::service
+{
+
+const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::executed:
+        return "executed";
+      case RunStatus::cached:
+        return "cached";
+      case RunStatus::failed:
+        return "failed";
+    }
+    return "?";
+}
+
+SubmitOptions
+SubmitOptions::fromSweepOptions(const harness::SweepOptions &opts)
+{
+    SubmitOptions so;
+    so.jsonDir = opts.jsonDir;
+    so.traceDir = opts.traceDir;
+    so.auditDir = opts.auditDir;
+    so.flightDir = opts.flightDir;
+    so.latencyDir = opts.latencyDir;
+    so.sampleInterval = opts.sampleInterval;
+    so.topN = opts.topN;
+    so.noCache = !opts.cacheEnabled;
+    so.wantResultJson = true;
+    return so;
+}
+
+harness::SweepOptions
+SubmitOptions::toSweepOptions() const
+{
+    harness::SweepOptions opts;
+    opts.jsonDir = jsonDir;
+    opts.traceDir = traceDir;
+    opts.auditDir = auditDir;
+    opts.flightDir = flightDir;
+    opts.latencyDir = latencyDir;
+    opts.sampleInterval = sampleInterval;
+    opts.topN = topN;
+    opts.cacheEnabled = !noCache;
+    return opts;
+}
+
+std::string
+messageType(const json::JsonValue &v)
+{
+    const json::JsonValue *type = v.get("type");
+    return type && type->isString() ? type->asString()
+                                    : std::string();
+}
+
+namespace
+{
+
+std::string
+oneKeyMessage(const char *type)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("type").value(type);
+    if (std::string(type) == "pong")
+        w.key("protocol").value(protocolVersion);
+    w.endObject();
+    return os.str();
+}
+
+void
+writeCacheStats(json::JsonWriter &w, const harness::CacheStats &c)
+{
+    w.beginObject();
+    w.key("entries").value(std::uint64_t{c.entries});
+    w.key("bytes").value(std::uint64_t{c.bytes});
+    w.key("hits").value(std::uint64_t{c.hits});
+    w.key("lookups").value(std::uint64_t{c.lookups});
+    w.key("evictions").value(std::uint64_t{c.evictions});
+    w.endObject();
+}
+
+harness::CacheStats
+cacheStatsFrom(const json::JsonValue *v)
+{
+    harness::CacheStats c;
+    if (!v || !v->isObject())
+        return c;
+    const auto u64 = [&](const char *key) -> std::uint64_t {
+        const json::JsonValue *f = v->get(key);
+        return f && f->isNumber()
+                   ? static_cast<std::uint64_t>(f->asNumber())
+                   : 0;
+    };
+    c.entries = u64("entries");
+    c.bytes = u64("bytes");
+    c.hits = u64("hits");
+    c.lookups = u64("lookups");
+    c.evictions = u64("evictions");
+    return c;
+}
+
+std::uint64_t
+u64Field(const json::JsonValue &v, const char *key)
+{
+    const json::JsonValue *f = v.get(key);
+    return f && f->isNumber()
+               ? static_cast<std::uint64_t>(f->asNumber())
+               : 0;
+}
+
+} // namespace
+
+std::string
+encodePing()
+{
+    return oneKeyMessage("ping");
+}
+
+std::string
+encodePong()
+{
+    return oneKeyMessage("pong");
+}
+
+std::string
+encodeStatsQuery()
+{
+    return oneKeyMessage("stats");
+}
+
+std::string
+encodeStats(const ServiceStats &stats)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("type").value("stats");
+    w.key("executed").value(std::uint64_t{stats.executed});
+    w.key("cacheHits").value(std::uint64_t{stats.cacheHits});
+    w.key("jobs").value(stats.jobs);
+    w.key("queueDepth").value(std::uint64_t{stats.queueDepth});
+    w.key("activeClients").value(std::uint64_t{stats.activeClients});
+    w.key("rejectedOverload")
+        .value(std::uint64_t{stats.rejectedOverload});
+    w.key("memCache");
+    writeCacheStats(w, stats.memCache);
+    if (stats.diskCachePresent) {
+        w.key("diskCache");
+        writeCacheStats(w, stats.diskCache);
+    }
+    w.endObject();
+    return os.str();
+}
+
+std::optional<ServiceStats>
+statsFromJson(const json::JsonValue &v)
+{
+    if (!v.isObject() || messageType(v) != "stats")
+        return std::nullopt;
+    ServiceStats s;
+    s.executed = u64Field(v, "executed");
+    s.cacheHits = u64Field(v, "cacheHits");
+    s.jobs = static_cast<unsigned>(u64Field(v, "jobs"));
+    s.queueDepth = u64Field(v, "queueDepth");
+    s.activeClients = u64Field(v, "activeClients");
+    s.rejectedOverload = u64Field(v, "rejectedOverload");
+    s.memCache = cacheStatsFrom(v.get("memCache"));
+    if (const json::JsonValue *disk = v.get("diskCache")) {
+        s.diskCache = cacheStatsFrom(disk);
+        s.diskCachePresent = true;
+    }
+    return s;
+}
+
+std::string
+encodeSubmit(std::uint64_t batch, const std::string &sweep_name,
+             const SubmitOptions &options,
+             const std::vector<harness::RunRequest> &reqs)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("type").value("submit");
+    w.key("batch").value(std::uint64_t{batch});
+    w.key("sweep").value(sweep_name);
+    w.key("options").beginObject();
+    w.key("jsonDir").value(options.jsonDir);
+    w.key("traceDir").value(options.traceDir);
+    w.key("auditDir").value(options.auditDir);
+    w.key("flightDir").value(options.flightDir);
+    w.key("latencyDir").value(options.latencyDir);
+    w.key("sampleInterval")
+        .value(std::uint64_t{options.sampleInterval});
+    w.key("topN").value(options.topN);
+    w.key("noCache").value(options.noCache);
+    w.key("wantResultJson").value(options.wantResultJson);
+    w.endObject();
+    w.key("requests").beginArray();
+    for (const harness::RunRequest &req : reqs)
+        harness::writeRequestWireJson(w, req);
+    w.endArray();
+    w.endObject();
+    return os.str();
+}
+
+std::optional<SubmitMessage>
+submitFromJson(const json::JsonValue &v, std::string *error)
+{
+    if (!v.isObject() || messageType(v) != "submit") {
+        if (error)
+            *error = "not a submit message";
+        return std::nullopt;
+    }
+    SubmitMessage msg;
+    msg.batch = u64Field(v, "batch");
+    const json::JsonValue *sweep = v.get("sweep");
+    msg.sweep = sweep && sweep->isString() ? sweep->asString()
+                                           : std::string("sweep");
+    if (const json::JsonValue *o = v.get("options");
+        o && o->isObject()) {
+        const auto str = [&](const char *key) -> std::string {
+            const json::JsonValue *f = o->get(key);
+            return f && f->isString() ? f->asString()
+                                      : std::string();
+        };
+        msg.options.jsonDir = str("jsonDir");
+        msg.options.traceDir = str("traceDir");
+        msg.options.auditDir = str("auditDir");
+        msg.options.flightDir = str("flightDir");
+        msg.options.latencyDir = str("latencyDir");
+        msg.options.sampleInterval = u64Field(*o, "sampleInterval");
+        msg.options.topN =
+            static_cast<unsigned>(u64Field(*o, "topN"));
+        const json::JsonValue *nc = o->get("noCache");
+        msg.options.noCache = nc && nc->isBool() && nc->asBool();
+        const json::JsonValue *wj = o->get("wantResultJson");
+        msg.options.wantResultJson =
+            !wj || !wj->isBool() || wj->asBool();
+    }
+    const json::JsonValue *reqs = v.get("requests");
+    if (!reqs || !reqs->isArray()) {
+        if (error)
+            *error = "submit: missing 'requests' array";
+        return std::nullopt;
+    }
+    msg.requests.reserve(reqs->elements().size());
+    for (std::size_t i = 0; i < reqs->elements().size(); ++i) {
+        std::string err;
+        auto parsed =
+            harness::requestFromWireJson(reqs->elements()[i], &err);
+        if (!parsed) {
+            if (error) {
+                *error = "request " + std::to_string(i) + ": " + err;
+            }
+            return std::nullopt;
+        }
+        // Hash integrity: the client's claimed hash must match what
+        // this build computes from the decoded fields.
+        const json::JsonValue *claimed =
+            reqs->elements()[i].get("hash");
+        if (claimed && claimed->isString() &&
+            claimed->asString() != parsed->hashHex()) {
+            if (error) {
+                *error = "request " + std::to_string(i) +
+                         ": hash mismatch (client " +
+                         claimed->asString() + ", server " +
+                         parsed->hashHex() +
+                         ") — client/server builds disagree";
+            }
+            return std::nullopt;
+        }
+        msg.requests.push_back(std::move(*parsed));
+    }
+    return msg;
+}
+
+std::string
+encodeResult(std::uint64_t batch, std::size_t index,
+             std::uint64_t hash, RunStatus status,
+             const system::RunResult *result,
+             const std::string *result_json, double wall_millis,
+             const std::string &error)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("type").value("result");
+    w.key("batch").value(std::uint64_t{batch});
+    w.key("index").value(std::uint64_t{index});
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    w.key("hash").value(hex);
+    w.key("status").value(runStatusName(status));
+    w.key("wallMillis").value(wall_millis);
+    if (!error.empty())
+        w.key("error").value(error);
+    if (result) {
+        w.key("result");
+        harness::writeResultWireJson(w, *result);
+    }
+    if (result_json)
+        w.key("resultJson").value(*result_json);
+    w.endObject();
+    return os.str();
+}
+
+std::string
+encodeDone(std::uint64_t batch, std::uint64_t executed,
+           std::uint64_t cached, std::uint64_t failed,
+           const ServiceStats &stats)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("type").value("done");
+    w.key("batch").value(std::uint64_t{batch});
+    w.key("executed").value(std::uint64_t{executed});
+    w.key("cached").value(std::uint64_t{cached});
+    w.key("failed").value(std::uint64_t{failed});
+    w.key("jobs").value(stats.jobs);
+    w.endObject();
+    return os.str();
+}
+
+std::string
+encodeError(const std::string &code, const std::string &message,
+            std::optional<std::uint64_t> batch,
+            unsigned retry_after_millis)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("type").value("error");
+    w.key("code").value(code);
+    w.key("message").value(message);
+    if (batch)
+        w.key("batch").value(std::uint64_t{*batch});
+    if (retry_after_millis > 0)
+        w.key("retryAfterMillis").value(retry_after_millis);
+    w.endObject();
+    return os.str();
+}
+
+} // namespace capcheck::service

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * JSON message bodies of the capcheckd protocol — the layer between
+ * the framing (service/frame.hh) and the client/server state
+ * machines. Every message is one JSON object with a "type" member:
+ *
+ *   client → server: "ping", "stats", "submit"
+ *   server → client: "pong", "stats", "result", "done", "error"
+ *
+ * Submitted requests travel in the full-fidelity wire encoding
+ * (harness::writeRequestWireJson), and the server re-hashes each
+ * parsed request against the client-claimed hash, so a client and
+ * daemon built from diverging trees fail loudly instead of silently
+ * keying different experiments to the same cache entry.
+ */
+
+#ifndef CAPCHECK_SERVICE_WIRE_HH
+#define CAPCHECK_SERVICE_WIRE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/json_value.hh"
+#include "harness/run_request.hh"
+#include "harness/sweep_options.hh"
+#include "service/sweep_service.hh"
+
+namespace capcheck::service
+{
+
+/** Protocol revision carried in "pong"; bumped on breaking changes. */
+inline constexpr unsigned protocolVersion = 1;
+
+/**
+ * Per-batch execution options a client sends with "submit": which
+ * observability artefacts the daemon writes (into client-chosen
+ * directories — the transport is a local socket, so client and
+ * daemon share a filesystem), and cache/result-body behaviour.
+ */
+struct SubmitOptions
+{
+    /** Client's jsonDir — results are written client-side, but the
+     *  samples file falls back to this directory when traceDir is
+     *  empty, and the daemon must reproduce that path exactly. */
+    std::string jsonDir;
+    std::string traceDir;
+    std::string auditDir;
+    std::string flightDir;
+    std::string latencyDir;
+    Cycles sampleInterval = 0;
+    unsigned topN = 10;
+    /** Re-simulate even when cached (the client's --no-cache). */
+    bool noCache = false;
+    /** Embed the run-<hash>.json body in each result frame (the
+     *  client writes the files; off saves the bandwidth). */
+    bool wantResultJson = true;
+
+    /** The artefact-selecting subset of @p opts. */
+    static SubmitOptions fromSweepOptions(
+        const harness::SweepOptions &opts);
+
+    /** As a SweepOptions for harness::obsOptionsFor() on the daemon. */
+    harness::SweepOptions toSweepOptions() const;
+};
+
+/** Parsed "submit" message. */
+struct SubmitMessage
+{
+    std::uint64_t batch = 0;
+    std::string sweep;
+    SubmitOptions options;
+    std::vector<harness::RunRequest> requests;
+};
+
+/** The "type" member; empty when absent/ill-typed. */
+std::string messageType(const json::JsonValue &v);
+
+/** @{ Encoders. Each returns a complete frame payload. */
+std::string encodePing();
+std::string encodePong();
+std::string encodeStatsQuery();
+std::string encodeStats(const ServiceStats &stats);
+std::string encodeSubmit(std::uint64_t batch,
+                         const std::string &sweep_name,
+                         const SubmitOptions &options,
+                         const std::vector<harness::RunRequest> &reqs);
+std::string encodeResult(std::uint64_t batch, std::size_t index,
+                         std::uint64_t hash, RunStatus status,
+                         const system::RunResult *result,
+                         const std::string *result_json,
+                         double wall_millis,
+                         const std::string &error);
+std::string encodeDone(std::uint64_t batch, std::uint64_t executed,
+                       std::uint64_t cached, std::uint64_t failed,
+                       const ServiceStats &stats);
+std::string encodeError(const std::string &code,
+                        const std::string &message,
+                        std::optional<std::uint64_t> batch,
+                        unsigned retry_after_millis = 0);
+/** @} */
+
+/** @{ Decoders; nullopt (with @p error filled) on shape errors. */
+std::optional<SubmitMessage>
+submitFromJson(const json::JsonValue &v, std::string *error);
+
+std::optional<ServiceStats> statsFromJson(const json::JsonValue &v);
+/** @} */
+
+} // namespace capcheck::service
+
+#endif // CAPCHECK_SERVICE_WIRE_HH

@@ -22,6 +22,20 @@ systemModeName(SystemMode mode)
 }
 
 bool
+systemModeFromName(const std::string &name, SystemMode &out)
+{
+    for (const SystemMode mode :
+         {SystemMode::cpu, SystemMode::ccpu, SystemMode::cpuAccel,
+          SystemMode::ccpuAccel, SystemMode::ccpuCaccel}) {
+        if (name == systemModeName(mode)) {
+            out = mode;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
 modeUsesAccel(SystemMode mode)
 {
     return mode == SystemMode::cpuAccel || mode == SystemMode::ccpuAccel ||

@@ -29,6 +29,9 @@ enum class SystemMode
 
 const char *systemModeName(SystemMode mode);
 
+/** Inverse of systemModeName(); false when @p name matches no mode. */
+bool systemModeFromName(const std::string &name, SystemMode &out);
+
 bool modeUsesAccel(SystemMode mode);
 bool modeUsesCheriCpu(SystemMode mode);
 bool modeUsesCapChecker(SystemMode mode);

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the capcheckd framing layer: header encode/decode, magic
+ * and length-cap enforcement, and whole frames over a socketpair —
+ * including the corruption cases (bad magic, truncated payload) that
+ * must surface as structured FrameErrors, never as garbage JSON or an
+ * unbounded allocation.
+ */
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "service/frame.hh"
+#include "service/socket.hh"
+
+using namespace capcheck::service;
+
+namespace
+{
+
+/** A connected AF_UNIX socketpair with RAII ends. */
+struct Pair
+{
+    Fd a, b;
+
+    Pair()
+    {
+        int fds[2];
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a = Fd(fds[0]);
+        b = Fd(fds[1]);
+    }
+};
+
+} // namespace
+
+TEST(Frame, HeaderRoundTrips)
+{
+    char header[frameHeaderBytes];
+    encodeFrameHeader(header, 123456);
+    EXPECT_EQ(std::memcmp(header, frameMagic, sizeof(frameMagic)), 0);
+    EXPECT_EQ(decodeFrameHeader(header, 0), 123456u);
+    EXPECT_EQ(decodeFrameHeader(header, 123456), 123456u);
+}
+
+TEST(Frame, HeaderLengthIsLittleEndian)
+{
+    char header[frameHeaderBytes];
+    encodeFrameHeader(header, 0x0102u);
+    EXPECT_EQ(static_cast<unsigned char>(header[4]), 0x02u);
+    EXPECT_EQ(static_cast<unsigned char>(header[5]), 0x01u);
+    EXPECT_EQ(static_cast<unsigned char>(header[6]), 0x00u);
+    EXPECT_EQ(static_cast<unsigned char>(header[7]), 0x00u);
+}
+
+TEST(Frame, BadMagicIsRejected)
+{
+    char header[frameHeaderBytes];
+    encodeFrameHeader(header, 4);
+    header[0] = 'X';
+    try {
+        decodeFrameHeader(header, 0);
+        FAIL() << "bad magic accepted";
+    } catch (const FrameError &e) {
+        EXPECT_EQ(e.kind(), FrameError::Kind::badMagic);
+    }
+}
+
+TEST(Frame, OversizeLengthIsRejected)
+{
+    char header[frameHeaderBytes];
+    encodeFrameHeader(header, 1000);
+    try {
+        decodeFrameHeader(header, 999);
+        FAIL() << "over-cap length accepted";
+    } catch (const FrameError &e) {
+        EXPECT_EQ(e.kind(), FrameError::Kind::oversize);
+    }
+}
+
+TEST(Frame, RoundTripsOverASocket)
+{
+    Pair p;
+    const std::string payload = "{\"type\":\"ping\"}";
+    sendFrame(p.a.get(), payload);
+    const auto got = recvFrame(p.b.get());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+}
+
+TEST(Frame, EmptyPayloadRoundTrips)
+{
+    Pair p;
+    sendFrame(p.a.get(), "");
+    const auto got = recvFrame(p.b.get());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "");
+}
+
+TEST(Frame, SeveralFramesArriveInOrder)
+{
+    Pair p;
+    sendFrame(p.a.get(), "one");
+    sendFrame(p.a.get(), "two");
+    sendFrame(p.a.get(), "three");
+    EXPECT_EQ(recvFrame(p.b.get()).value(), "one");
+    EXPECT_EQ(recvFrame(p.b.get()).value(), "two");
+    EXPECT_EQ(recvFrame(p.b.get()).value(), "three");
+}
+
+TEST(Frame, CleanEofBetweenFramesIsNullopt)
+{
+    Pair p;
+    sendFrame(p.a.get(), "last");
+    p.a.reset();
+    EXPECT_EQ(recvFrame(p.b.get()).value(), "last");
+    EXPECT_FALSE(recvFrame(p.b.get()).has_value());
+}
+
+TEST(Frame, GarbageMagicOnTheWireIsBadMagic)
+{
+    Pair p;
+    const char garbage[8] = {'G', 'A', 'R', 'B', 4, 0, 0, 0};
+    ASSERT_TRUE(sendAll(p.a.get(), garbage, sizeof(garbage)));
+    try {
+        recvFrame(p.b.get());
+        FAIL() << "garbage magic accepted";
+    } catch (const FrameError &e) {
+        EXPECT_EQ(e.kind(), FrameError::Kind::badMagic);
+    }
+}
+
+TEST(Frame, TruncatedPayloadIsAnIoError)
+{
+    Pair p;
+    char header[frameHeaderBytes];
+    encodeFrameHeader(header, 100);
+    ASSERT_TRUE(sendAll(p.a.get(), header, sizeof(header)));
+    ASSERT_TRUE(sendAll(p.a.get(), "only ten b", 10));
+    p.a.reset(); // EOF 90 bytes early
+    try {
+        recvFrame(p.b.get());
+        FAIL() << "truncated frame accepted";
+    } catch (const FrameError &e) {
+        EXPECT_EQ(e.kind(), FrameError::Kind::io);
+    }
+}
+
+TEST(Frame, ReceiverCapIsEnforcedPerCall)
+{
+    Pair p;
+    sendFrame(p.a.get(), std::string(64, 'x'));
+    try {
+        recvFrame(p.b.get(), 16);
+        FAIL() << "frame above the per-call cap accepted";
+    } catch (const FrameError &e) {
+        EXPECT_EQ(e.kind(), FrameError::Kind::oversize);
+    }
+}
+
+TEST(Frame, LargeFrameSurvives)
+{
+    // Bigger than any single send/recv chunk the kernel will do at
+    // once, so the sendAll/recvAll loops actually loop. Writer runs in
+    // a thread: a megabyte cannot fit in the socket buffer.
+    Pair p;
+    std::string big(1u << 20, 'z');
+    big[0] = 'a';
+    big[big.size() - 1] = 'b';
+    std::thread writer(
+        [&] { sendFrame(p.a.get(), big); });
+    const auto got = recvFrame(p.b.get(), 2u << 20);
+    writer.join();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, big);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * capcheckd: the sweep-as-a-service daemon. Listens on a Unix-domain
+ * socket, executes submitted RunRequest batches on a shared worker
+ * pool with admission control, and streams results back as they
+ * complete. All clients share one in-memory result cache and — with
+ * --cache-dir — one disk-backed cache that survives restarts.
+ *
+ * Usage:
+ *   capcheckd --socket /tmp/capcheck.sock [--jobs N]
+ *             [--cache-dir DIR] [--cache-max-bytes N]
+ *             [--max-queue N] [--max-inflight N] [--quiet]
+ *
+ * Prints "capcheckd: ready on <socket>" once accepting connections
+ * (scripts wait for that line), then runs until SIGINT/SIGTERM.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "harness/sweep_options.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+// Self-pipe: the signal handler writes one byte, main() sleeps in
+// poll() on the read end. Keeps the handler async-signal-safe.
+int wakePipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+}
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: %s --socket PATH [options]\n"
+        "\n"
+        "  --socket PATH        Unix-domain socket to listen on "
+        "(or CAPCHECK_SOCKET)\n"
+        "  --jobs N             worker threads (default: all cores)\n"
+        "  --cache-dir DIR      disk-backed result cache "
+        "(or CAPCHECK_CACHE_DIR)\n"
+        "  --cache-max-bytes N  LRU byte cap of the disk cache "
+        "(default 1 GiB, 0 = unbounded)\n"
+        "  --max-queue N        queue-depth bound for admission "
+        "control (default 1024)\n"
+        "  --max-inflight N     per-client in-flight request cap "
+        "(default 512)\n"
+        "  --max-batch N        largest accepted batch "
+        "(default 4096)\n"
+        "  --quiet              no per-client log lines\n",
+        argv0);
+    std::exit(code);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace capcheck;
+
+    service::ServerOptions opts;
+    opts.log = &std::cerr;
+    if (const char *sock = std::getenv("CAPCHECK_SOCKET"))
+        opts.socketPath = sock;
+    {
+        // Environment defaults shared with the client side.
+        const harness::SweepOptions env =
+            harness::SweepOptions::fromEnvironment();
+        opts.cacheDir = env.cacheDir;
+        opts.cacheMaxBytes = env.cacheMaxBytes;
+    }
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "capcheckd: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opts.socketPath = value();
+        } else if (arg == "--jobs") {
+            opts.jobs =
+                static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = value();
+        } else if (arg == "--cache-max-bytes") {
+            opts.cacheMaxBytes =
+                std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--max-queue") {
+            opts.maxQueue =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (arg == "--max-inflight") {
+            opts.maxInflightPerClient =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (arg == "--max-batch") {
+            opts.maxBatchRequests =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (arg == "--quiet") {
+            opts.log = nullptr;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "capcheckd: unknown option '%s'\n",
+                         arg.c_str());
+            usage(argv[0], 2);
+        }
+    }
+    if (opts.socketPath.empty()) {
+        std::fprintf(stderr, "capcheckd: --socket is required\n");
+        usage(argv[0], 2);
+    }
+
+    if (::pipe(wakePipe) != 0) {
+        std::perror("capcheckd: pipe");
+        return 1;
+    }
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    service::Server server(opts);
+    try {
+        server.start();
+    } catch (const service::ServiceError &e) {
+        std::fprintf(stderr, "capcheckd: %s\n", e.what());
+        return 1;
+    }
+
+    // The ready line goes to stdout so scripts can gate on it even
+    // with --quiet.
+    std::printf("capcheckd: ready on %s\n", opts.socketPath.c_str());
+    std::fflush(stdout);
+
+    struct pollfd pfd;
+    pfd.fd = wakePipe[0];
+    pfd.events = POLLIN;
+    while (true) {
+        const int rc = ::poll(&pfd, 1, -1);
+        if (rc > 0 || (rc < 0 && errno != EINTR))
+            break;
+    }
+
+    const service::ServiceStats stats = server.stats();
+    server.stop();
+    std::printf("capcheckd: shut down (executed=%llu cacheHits=%llu "
+                "rejectedOverload=%llu)\n",
+                static_cast<unsigned long long>(stats.executed),
+                static_cast<unsigned long long>(stats.cacheHits),
+                static_cast<unsigned long long>(
+                    stats.rejectedOverload));
+    return 0;
+}
