@@ -65,7 +65,7 @@ printUsage(const char *argv0)
         << "usage: " << argv0
         << " [--jobs N] [--json-dir DIR] [--no-cache] [--quiet]\n"
         << "       [--server SOCK] [--cache-dir DIR]"
-        << " [--cache-max-bytes N]\n"
+        << " [--cache-max-bytes N] [--trace-id ID]\n"
         << "       [--trace-out DIR] [--sample-interval N]"
         << " [--audit-log DIR]\n"
         << "       [--flight-out DIR] [--latency-json DIR] [--topn N]"
@@ -84,6 +84,10 @@ printUsage(const char *argv0)
         << "                      CAPCHECK_CACHE_DIR)\n"
         << "  --cache-max-bytes N LRU byte cap of the disk cache\n"
         << "                      (default 1 GiB, 0 = unbounded)\n"
+        << "  --trace-id ID       trace id sent with remote submits\n"
+        << "                      so daemon-side spans and JSONL log\n"
+        << "                      lines join against this run (or set\n"
+        << "                      CAPCHECK_TRACE_ID)\n"
         << "  --trace-out DIR     write run-<hash>.trace.json Chrome\n"
         << "                      trace timelines (Perfetto-loadable)\n"
         << "  --sample-interval N snapshot stats every N cycles into\n"
@@ -145,6 +149,11 @@ parseOptions(int argc, char **argv)
         } else if (arg.rfind("--cache-dir=", 0) == 0) {
             opts.sweep.cacheDir =
                 arg.substr(std::strlen("--cache-dir="));
+        } else if (arg == "--trace-id") {
+            opts.sweep.traceId = next();
+        } else if (arg.rfind("--trace-id=", 0) == 0) {
+            opts.sweep.traceId =
+                arg.substr(std::strlen("--trace-id="));
         } else if (arg == "--cache-max-bytes") {
             opts.sweep.cacheMaxBytes =
                 std::strtoull(next(), nullptr, 10);

@@ -6,6 +6,16 @@
 # and a daemon restarted on the same --cache-dir must serve the whole
 # batch from the disk cache without executing a single simulation.
 #
+# The daemon runs with its telemetry on, and the gate also covers it:
+#  - `capstat live --once` must render a non-empty dashboard and write
+#    a service-latency document that self-diffs green at tolerance 0;
+#  - the Prometheus exposition must satisfy the counter conservation
+#    identities (received = admitted + rejected; admitted = executed +
+#    cacheHitsMem + cacheHitsDisk + coalesced + failed);
+#  - every "complete" event in the JSONL log must have span segments
+#    summing exactly to its end-to-end time.
+# Set SERVICE_ARTIFACTS=DIR to keep the telemetry files for upload.
+#
 # Usage: scripts/service_check.sh [--build-dir DIR] [--jobs N]
 set -euo pipefail
 
@@ -37,13 +47,27 @@ DAEMON_PID=""
 cleanup() {
     [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
     [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    if [ -n "${SERVICE_ARTIFACTS:-}" ]; then
+        mkdir -p "$SERVICE_ARTIFACTS"
+        cp -f "$WORK"/metrics-*.prom "$WORK"/events-*.jsonl \
+            "$WORK/live.out" "$WORK/service.latency.json" \
+            "$SERVICE_ARTIFACTS"/ 2>/dev/null || true
+    fi
     rm -rf "$WORK"
 }
 trap cleanup EXIT
 
+# start_daemon TAG: telemetry artefacts are per-phase (metrics-TAG.prom
+# / events-TAG.jsonl) so the restart phase does not clobber the first
+# daemon's exposition before the conservation check reads it.
 start_daemon() {
+    local tag=$1
     "$BUILD/tools/capcheckd" --socket "$SOCK" --jobs "$JOBS" \
-        --cache-dir "$WORK/cache" --quiet > "$WORK/daemon.out" 2>&1 &
+        --cache-dir "$WORK/cache" --quiet \
+        --metrics-out "$WORK/metrics-$tag.prom" \
+        --metrics-interval 200 \
+        --log-json "$WORK/events-$tag.jsonl" \
+        > "$WORK/daemon.out" 2>&1 &
     DAEMON_PID=$!
     for _ in $(seq 1 50); do
         [ -S "$SOCK" ] && return 0
@@ -68,11 +92,67 @@ echo "== in-process baseline =="
     "$WORK/local-lat"/*.latency.json > /dev/null
 
 echo "== same grid through capcheckd =="
-start_daemon
+start_daemon grid
 "$BUILD/bench/sweep_grid" --quick --quiet --jobs "$JOBS" \
     --json-dir "$WORK/remote" --latency-json "$WORK/remote-lat" \
-    --server "$SOCK" > /dev/null
+    --server "$SOCK" --trace-id service-check > /dev/null
+
+echo "== capstat live dashboard + service latency document =="
+"$BUILD/tools/capstat" live "$SOCK" --once \
+    --latency-out "$WORK/service.latency.json" > "$WORK/live.out"
+grep -q "requests: received=" "$WORK/live.out" || {
+    echo "service_check: capstat live rendered no dashboard:" >&2
+    cat "$WORK/live.out" >&2
+    exit 1
+}
+"$BUILD/tools/capstat" diff --tolerance 0 \
+    "$WORK/service.latency.json" "$WORK/service.latency.json" \
+    > /dev/null
 stop_daemon
+
+echo "== telemetry conservation + span-sum identities =="
+python3 - "$WORK/metrics-grid.prom" "$WORK/events-grid.jsonl" <<'EOF'
+import json, sys
+
+counters = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        if line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) == 2:
+            counters[parts[0]] = float(parts[1])
+
+def c(name):
+    return counters.get("capcheck_" + name, 0)
+
+received = c("requests_received")
+admitted = c("requests_admitted")
+rejected = c("requests_rejected")
+outcomes = (c("requests_executed") + c("requests_cacheHitsMem") +
+            c("requests_cacheHitsDisk") + c("requests_coalesced") +
+            c("requests_failed"))
+assert received == admitted + rejected, (received, admitted, rejected)
+assert admitted == outcomes, (admitted, outcomes)
+assert admitted > 0, "daemon admitted nothing"
+assert c("span_endToEnd_count") == admitted
+
+completes = 0
+with open(sys.argv[2]) as f:
+    for line in f:
+        ev = json.loads(line)
+        if ev.get("event") != "complete":
+            continue
+        completes += 1
+        parts = (ev["admitNanos"] + ev["queueNanos"] +
+                 ev["executeNanos"] + ev["renderNanos"] +
+                 ev["streamNanos"])
+        assert parts == ev["endToEndNanos"], ev
+        assert ev["traceId"].startswith("service-check#"), ev
+assert completes == admitted, (completes, admitted)
+print(f"conservation OK: {int(admitted)} requests, "
+      f"{completes} spans sum exactly")
+EOF
 
 echo "== byte compare of run JSON =="
 diff -r "$WORK/local" "$WORK/remote" --exclude='*.manifest.json'
@@ -84,7 +164,7 @@ echo "== capstat diff --tolerance 0 =="
     "$WORK/local.json" "$WORK/remote.json"
 
 echo "== restart: batch must come entirely from the disk cache =="
-start_daemon
+start_daemon restart
 "$BUILD/bench/sweep_grid" --quick --quiet --jobs "$JOBS" \
     --json-dir "$WORK/restart" --server "$SOCK" > /dev/null
 stop_daemon

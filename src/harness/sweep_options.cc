@@ -17,6 +17,8 @@ SweepOptions::fromEnvironment()
         opts.cacheMaxBytes = std::strtoull(cap, nullptr, 10);
     if (const char *sock = std::getenv("CAPCHECK_SERVER"))
         opts.serverSocket = sock;
+    if (const char *trace = std::getenv("CAPCHECK_TRACE_ID"))
+        opts.traceId = trace;
     return opts;
 }
 

@@ -108,6 +108,13 @@ struct SweepOptions
      */
     std::uint64_t cacheMaxBytes = 1ull << 30;
 
+    /**
+     * Trace id sent with remote submits so daemon-side spans and
+     * JSONL log lines join against this client's run. Empty = the
+     * daemon synthesizes one ("client<id>.batch<n>").
+     */
+    std::string traceId;
+
     /** @{ Fluent setters. */
     SweepOptions &withJobs(unsigned v) { jobs = v; return *this; }
     SweepOptions &withCache(bool v) { cacheEnabled = v; return *this; }
@@ -172,14 +179,21 @@ struct SweepOptions
         cacheMaxBytes = v;
         return *this;
     }
+    SweepOptions &
+    withTraceId(std::string v)
+    {
+        traceId = std::move(v);
+        return *this;
+    }
     /** @} */
 
     /**
      * Defaults with the environment applied: CAPCHECK_CACHE_DIR seeds
-     * cacheDir, CAPCHECK_CACHE_MAX_BYTES seeds cacheMaxBytes and
-     * CAPCHECK_SERVER seeds serverSocket. Explicit flags parsed on
-     * top of this still win. Unit tests constructing SweepOptions{}
-     * directly are unaffected by the environment.
+     * cacheDir, CAPCHECK_CACHE_MAX_BYTES seeds cacheMaxBytes,
+     * CAPCHECK_SERVER seeds serverSocket and CAPCHECK_TRACE_ID seeds
+     * traceId. Explicit flags parsed on top of this still win. Unit
+     * tests constructing SweepOptions{} directly are unaffected by
+     * the environment.
      */
     static SweepOptions fromEnvironment();
 };

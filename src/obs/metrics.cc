@@ -1,0 +1,378 @@
+#include "obs/metrics.hh"
+
+#include <sstream>
+
+#include "base/json.hh"
+#include "base/json_value.hh"
+
+namespace capcheck::obs
+{
+
+namespace
+{
+
+/** "requests.cacheHitsMem" -> "capcheck_requests_cacheHitsMem". */
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out = "capcheck_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9');
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::uint64_t
+u64Member(const json::JsonValue &v, const char *key)
+{
+    const json::JsonValue *f = v.get(key);
+    return f && f->isNumber()
+               ? static_cast<std::uint64_t>(f->asNumber())
+               : 0;
+}
+
+double
+dblMember(const json::JsonValue &v, const char *key)
+{
+    const json::JsonValue *f = v.get(key);
+    return f && f->isNumber() ? f->asNumber() : 0;
+}
+
+std::string
+strMember(const json::JsonValue &v, const char *key)
+{
+    const json::JsonValue *f = v.get(key);
+    return f && f->isString() ? f->asString() : std::string();
+}
+
+void
+writeHistoLeaf(json::JsonWriter &w, const MetricsSnapshot::Histo &h)
+{
+    w.beginObject();
+    w.key("samples").value(std::uint64_t{h.samples});
+    w.key("sum").value(std::uint64_t{h.sum});
+    w.key("mean").value(h.mean());
+    w.key("min").value(std::uint64_t{h.min});
+    w.key("max").value(std::uint64_t{h.max});
+    w.key("p50").value(h.p50);
+    w.key("p95").value(h.p95);
+    w.key("p99").value(h.p99);
+    w.endObject();
+}
+
+} // namespace
+
+const MetricsSnapshot::Counter *
+MetricsSnapshot::findCounter(const std::string &name) const
+{
+    for (const Counter &c : counters) {
+        if (c.name == name)
+            return &c;
+    }
+    return nullptr;
+}
+
+const MetricsSnapshot::Gauge *
+MetricsSnapshot::findGauge(const std::string &name) const
+{
+    for (const Gauge &g : gauges) {
+        if (g.name == name)
+            return &g;
+    }
+    return nullptr;
+}
+
+const MetricsSnapshot::Histo *
+MetricsSnapshot::findHisto(const std::string &name) const
+{
+    for (const Histo &h : histograms) {
+        if (h.name == name)
+            return &h;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+MetricsSnapshot::counterValue(const std::string &name) const
+{
+    const Counter *c = findCounter(name);
+    return c ? c->value : 0;
+}
+
+std::int64_t
+MetricsSnapshot::gaugeValue(const std::string &name) const
+{
+    const Gauge *g = findGauge(name);
+    return g ? g->value : 0;
+}
+
+void
+MetricsSnapshot::writeJson(json::JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("counters").beginArray();
+    for (const Counter &c : counters) {
+        w.beginObject();
+        w.key("name").value(c.name);
+        w.key("help").value(c.help);
+        w.key("value").value(std::uint64_t{c.value});
+        w.endObject();
+    }
+    w.endArray();
+    w.key("gauges").beginArray();
+    for (const Gauge &g : gauges) {
+        w.beginObject();
+        w.key("name").value(g.name);
+        w.key("help").value(g.help);
+        w.key("value").value(std::int64_t{g.value});
+        w.endObject();
+    }
+    w.endArray();
+    w.key("histograms").beginArray();
+    for (const Histo &h : histograms) {
+        w.beginObject();
+        w.key("name").value(h.name);
+        w.key("help").value(h.help);
+        w.key("samples").value(std::uint64_t{h.samples});
+        w.key("sum").value(std::uint64_t{h.sum});
+        w.key("min").value(std::uint64_t{h.min});
+        w.key("max").value(std::uint64_t{h.max});
+        w.key("p50").value(h.p50);
+        w.key("p95").value(h.p95);
+        w.key("p99").value(h.p99);
+        w.key("buckets").beginArray();
+        for (const Bucket &b : h.buckets) {
+            w.beginObject();
+            w.key("bucket").value(std::uint64_t{b.index});
+            w.key("count").value(std::uint64_t{b.count});
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+MetricsSnapshot::toJsonText() const
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    writeJson(w);
+    return os.str();
+}
+
+std::optional<MetricsSnapshot>
+MetricsSnapshot::fromJson(const json::JsonValue &v, std::string *error)
+{
+    const auto fail = [&](const char *what) {
+        if (error)
+            *error = what;
+        return std::optional<MetricsSnapshot>();
+    };
+    if (!v.isObject())
+        return fail("metrics: not an object");
+
+    MetricsSnapshot snap;
+    const json::JsonValue *counters = v.get("counters");
+    const json::JsonValue *gauges = v.get("gauges");
+    const json::JsonValue *histograms = v.get("histograms");
+    if (!counters || !counters->isArray() || !gauges ||
+        !gauges->isArray() || !histograms || !histograms->isArray())
+        return fail("metrics: missing counters/gauges/histograms");
+
+    for (const json::JsonValue &e : counters->elements()) {
+        if (!e.isObject())
+            return fail("metrics: counter entry not an object");
+        Counter c;
+        c.name = strMember(e, "name");
+        c.help = strMember(e, "help");
+        c.value = u64Member(e, "value");
+        snap.counters.push_back(std::move(c));
+    }
+    for (const json::JsonValue &e : gauges->elements()) {
+        if (!e.isObject())
+            return fail("metrics: gauge entry not an object");
+        Gauge g;
+        g.name = strMember(e, "name");
+        g.help = strMember(e, "help");
+        const json::JsonValue *val = e.get("value");
+        g.value = val && val->isNumber()
+                      ? static_cast<std::int64_t>(val->asNumber())
+                      : 0;
+        snap.gauges.push_back(std::move(g));
+    }
+    for (const json::JsonValue &e : histograms->elements()) {
+        if (!e.isObject())
+            return fail("metrics: histogram entry not an object");
+        Histo h;
+        h.name = strMember(e, "name");
+        h.help = strMember(e, "help");
+        h.samples = u64Member(e, "samples");
+        h.sum = u64Member(e, "sum");
+        h.min = u64Member(e, "min");
+        h.max = u64Member(e, "max");
+        h.p50 = dblMember(e, "p50");
+        h.p95 = dblMember(e, "p95");
+        h.p99 = dblMember(e, "p99");
+        if (const json::JsonValue *buckets = e.get("buckets");
+            buckets && buckets->isArray()) {
+            for (const json::JsonValue &b : buckets->elements()) {
+                Bucket bucket;
+                bucket.index = static_cast<std::uint32_t>(
+                    u64Member(b, "bucket"));
+                bucket.count = u64Member(b, "count");
+                h.buckets.push_back(bucket);
+            }
+        }
+        snap.histograms.push_back(std::move(h));
+    }
+    return snap;
+}
+
+std::string
+MetricsSnapshot::prometheusText() const
+{
+    std::ostringstream os;
+    for (const Counter &c : counters) {
+        const std::string name = prometheusName(c.name);
+        if (!c.help.empty())
+            os << "# HELP " << name << " " << c.help << "\n";
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << c.value << "\n";
+    }
+    for (const Gauge &g : gauges) {
+        const std::string name = prometheusName(g.name);
+        if (!g.help.empty())
+            os << "# HELP " << name << " " << g.help << "\n";
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << g.value << "\n";
+    }
+    for (const Histo &h : histograms) {
+        const std::string name = prometheusName(h.name);
+        if (!h.help.empty())
+            os << "# HELP " << name << " " << h.help << "\n";
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (const Bucket &b : h.buckets) {
+            cumulative += b.count;
+            // Samples are integers, so the inclusive upper bound of
+            // log2 bucket b is bucketHigh(b) - 1.
+            os << name << "_bucket{le=\""
+               << stats::Histogram::bucketHigh(b.index) - 1 << "\"} "
+               << cumulative << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << h.samples << "\n";
+        os << name << "_sum " << h.sum << "\n";
+        os << name << "_count " << h.samples << "\n";
+    }
+    return os.str();
+}
+
+std::string
+MetricsSnapshot::serviceLatencyJson(const std::string &label) const
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("label").value(label);
+    w.key("flights").beginObject();
+    constexpr const char prefix[] = "span.";
+    constexpr std::size_t prefixLen = sizeof(prefix) - 1;
+    for (const Histo &h : histograms) {
+        if (h.name.rfind(prefix, 0) != 0)
+            continue;
+        w.key(h.name.substr(prefixLen));
+        writeHistoLeaf(w, h);
+    }
+    w.endObject();
+    w.endObject();
+    os << "\n";
+    return os.str();
+}
+
+MetricsSnapshot::Histo
+MetricsRegistry::Histo::snapshot() const
+{
+    std::scoped_lock lock(mtx);
+    MetricsSnapshot::Histo out;
+    out.name = name;
+    out.help = help;
+    out.samples = hist.samples();
+    out.sum = hist.sum();
+    out.min = hist.minSeen();
+    out.max = hist.maxSeen();
+    out.p50 = hist.p50();
+    out.p95 = hist.p95();
+    out.p99 = hist.p99();
+    const std::vector<std::uint64_t> &buckets = hist.bucketCounts();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] > 0) {
+            out.buckets.push_back(
+                {static_cast<std::uint32_t>(b), buckets[b]});
+        }
+    }
+    return out;
+}
+
+MetricsRegistry::Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &help)
+{
+    std::scoped_lock lock(mtx);
+    for (const auto &c : counters) {
+        if (c->name == name)
+            return *c;
+    }
+    counters.emplace_back(new Counter(name, help));
+    return *counters.back();
+}
+
+MetricsRegistry::Gauge &
+MetricsRegistry::gauge(const std::string &name,
+                       const std::string &help)
+{
+    std::scoped_lock lock(mtx);
+    for (const auto &g : gauges) {
+        if (g->name == name)
+            return *g;
+    }
+    gauges.emplace_back(new Gauge(name, help));
+    return *gauges.back();
+}
+
+MetricsRegistry::Histo &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help)
+{
+    std::scoped_lock lock(mtx);
+    for (const auto &h : histograms) {
+        if (h->name == name)
+            return *h;
+    }
+    histograms.emplace_back(new Histo(histRoot, name, help));
+    return *histograms.back();
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::scoped_lock lock(mtx);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters.size());
+    for (const auto &c : counters)
+        snap.counters.push_back({c->name, c->help, c->value()});
+    snap.gauges.reserve(gauges.size());
+    for (const auto &g : gauges)
+        snap.gauges.push_back({g->name, g->help, g->value()});
+    snap.histograms.reserve(histograms.size());
+    for (const auto &h : histograms)
+        snap.histograms.push_back(h->snapshot());
+    return snap;
+}
+
+} // namespace capcheck::obs

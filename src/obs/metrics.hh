@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Serving-layer metrics: a thread-safe registry of named counters,
+ * gauges and histograms for the capcheckd daemon and its clients —
+ * the RPC-layer sibling of the flight recorder's per-run stat trees.
+ *
+ * Counters are monotonic (requests admitted, bytes framed), gauges
+ * are set/adjusted levels (queue depth, clients connected) and
+ * histograms reuse stats::Histogram's log2 bucket geometry with
+ * interpolated p50/p95/p99, so daemon-side latency spans are gated
+ * with exactly the machinery the simulated-cycle latencies use.
+ *
+ * A MetricsSnapshot is a point-in-time copy of the whole registry in
+ * registration order. It serializes deterministically: the JSON
+ * encoding round-trips byte-identically (encode -> parse -> re-encode
+ * yields the same bytes), which is what lets the extended "stats"
+ * wire reply carry the registry without breaking the service layer's
+ * byte-stability contracts. The same snapshot renders to Prometheus
+ * text exposition format for --metrics-out scraping, and to a
+ * capstat-compatible service-latency document so `capstat diff` can
+ * gate daemon-side p95 like it gates simulated latencies.
+ */
+
+#ifndef CAPCHECK_OBS_METRICS_HH
+#define CAPCHECK_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+
+namespace capcheck::json
+{
+class JsonWriter;
+class JsonValue;
+} // namespace capcheck::json
+
+namespace capcheck::obs
+{
+
+/** Point-in-time copy of a MetricsRegistry, in registration order. */
+struct MetricsSnapshot
+{
+    struct Counter
+    {
+        std::string name;
+        std::string help;
+        std::uint64_t value = 0;
+    };
+
+    struct Gauge
+    {
+        std::string name;
+        std::string help;
+        std::int64_t value = 0;
+    };
+
+    /** One non-empty log2 bucket (stats::Histogram geometry). */
+    struct Bucket
+    {
+        std::uint32_t index = 0;
+        std::uint64_t count = 0;
+    };
+
+    struct Histo
+    {
+        std::string name;
+        std::string help;
+        std::uint64_t samples = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        double p50 = 0;
+        double p95 = 0;
+        double p99 = 0;
+        /** Sparse, ascending by index; empty buckets omitted. */
+        std::vector<Bucket> buckets;
+
+        double mean() const
+        {
+            return samples ? static_cast<double>(sum) /
+                                 static_cast<double>(samples)
+                           : 0;
+        }
+    };
+
+    std::vector<Counter> counters;
+    std::vector<Gauge> gauges;
+    std::vector<Histo> histograms;
+
+    bool
+    empty() const
+    {
+        return counters.empty() && gauges.empty() &&
+               histograms.empty();
+    }
+
+    /** @{ Lookup by registered name; nullptr / 0 when absent. */
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const Histo *findHisto(const std::string &name) const;
+    std::uint64_t counterValue(const std::string &name) const;
+    std::int64_t gaugeValue(const std::string &name) const;
+    /** @} */
+
+    /** Write as a JSON object in value position. Deterministic, and
+     *  byte-stable under parse -> fromJson -> writeJson. */
+    void writeJson(json::JsonWriter &w) const;
+
+    /** writeJson as a complete document. */
+    std::string toJsonText() const;
+
+    /** Parse what writeJson produced; nullopt + @p error on shape
+     *  problems. */
+    static std::optional<MetricsSnapshot>
+    fromJson(const json::JsonValue &v, std::string *error = nullptr);
+
+    /**
+     * Prometheus text exposition: counters and gauges as single
+     * samples, histograms with cumulative le-labelled buckets plus
+     * _sum/_count. Metric names are prefixed "capcheck_" with dots
+     * mapped to underscores.
+     */
+    std::string prometheusText() const;
+
+    /**
+     * A capstat-compatible service-latency document: one run labelled
+     * @p label whose "flights" tree holds every histogram registered
+     * under "span." (admit/queue/execute/render/stream/endToEnd) with
+     * samples/sum/mean/min/max/p50/p95/p99 leaves — so
+     * `capstat report` and `capstat diff` (default metrics
+     * endToEnd.p50/p95/p99) consume daemon-side service latencies
+     * exactly like simulated-cycle latency artefacts.
+     */
+    std::string serviceLatencyJson(const std::string &label) const;
+};
+
+/**
+ * Thread-safe get-or-create registry. Instruments are created once
+ * (by name) and returned by reference; the reference stays valid for
+ * the registry's lifetime, so hot paths hold a reference and never
+ * search. Counter/Gauge updates are lock-free atomics; histogram
+ * observation takes a per-histogram mutex (stats::Histogram itself is
+ * not thread-safe).
+ */
+class MetricsRegistry
+{
+  public:
+    class Counter
+    {
+      public:
+        void
+        inc(std::uint64_t delta = 1)
+        {
+            val.fetch_add(delta, std::memory_order_relaxed);
+        }
+
+        std::uint64_t
+        value() const
+        {
+            return val.load(std::memory_order_relaxed);
+        }
+
+      private:
+        friend class MetricsRegistry;
+        Counter(std::string n, std::string h)
+            : name(std::move(n)), help(std::move(h))
+        {
+        }
+        std::string name;
+        std::string help;
+        std::atomic<std::uint64_t> val{0};
+    };
+
+    class Gauge
+    {
+      public:
+        void
+        set(std::int64_t v)
+        {
+            val.store(v, std::memory_order_relaxed);
+        }
+
+        void
+        add(std::int64_t delta)
+        {
+            val.fetch_add(delta, std::memory_order_relaxed);
+        }
+
+        void
+        sub(std::int64_t delta)
+        {
+            val.fetch_sub(delta, std::memory_order_relaxed);
+        }
+
+        std::int64_t
+        value() const
+        {
+            return val.load(std::memory_order_relaxed);
+        }
+
+      private:
+        friend class MetricsRegistry;
+        Gauge(std::string n, std::string h)
+            : name(std::move(n)), help(std::move(h))
+        {
+        }
+        std::string name;
+        std::string help;
+        std::atomic<std::int64_t> val{0};
+    };
+
+    class Histo
+    {
+      public:
+        void
+        observe(std::uint64_t v)
+        {
+            std::scoped_lock lock(mtx);
+            hist.sample(v);
+        }
+
+        MetricsSnapshot::Histo snapshot() const;
+
+      private:
+        friend class MetricsRegistry;
+        Histo(stats::StatGroup &group, std::string n, std::string h)
+            : name(n), help(std::move(h)),
+              hist(group, std::move(n), name)
+        {
+        }
+        std::string name;
+        std::string help;
+        mutable std::mutex mtx;
+        stats::Histogram hist;
+    };
+
+    MetricsRegistry() : histRoot("metrics") {}
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** @{ Get-or-create by name (the help of the first caller
+     *  sticks). The returned reference never moves. */
+    Counter &counter(const std::string &name,
+                     const std::string &help = std::string());
+    Gauge &gauge(const std::string &name,
+                 const std::string &help = std::string());
+    Histo &histogram(const std::string &name,
+                     const std::string &help = std::string());
+    /** @} */
+
+    /** Copy every instrument, in registration order per kind. */
+    MetricsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mtx; ///< guards the vectors, not the values
+    stats::StatGroup histRoot;
+    std::vector<std::unique_ptr<Counter>> counters;
+    std::vector<std::unique_ptr<Gauge>> gauges;
+    std::vector<std::unique_ptr<Histo>> histograms;
+};
+
+} // namespace capcheck::obs
+
+#endif // CAPCHECK_OBS_METRICS_HH

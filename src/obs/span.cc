@@ -1,0 +1,126 @@
+#include "obs/span.hh"
+
+#include <sstream>
+
+#include "base/invariant.hh"
+#include "base/json.hh"
+
+namespace capcheck::obs
+{
+
+void
+RequestSpan::checkInvariant() const
+{
+    INVARIANT(received <= admitted && admitted <= dequeued &&
+                  dequeued <= executed && executed <= rendered &&
+                  rendered <= streamed,
+              "span %s: stage timestamps not monotone "
+              "(%lld/%lld/%lld/%lld/%lld/%lld)",
+              traceId.c_str(), static_cast<long long>(received),
+              static_cast<long long>(admitted),
+              static_cast<long long>(dequeued),
+              static_cast<long long>(executed),
+              static_cast<long long>(rendered),
+              static_cast<long long>(streamed));
+    const std::int64_t sum = admitNanos() + queueNanos() +
+                             executeNanos() + renderNanos() +
+                             streamNanos();
+    INVARIANT(sum == endToEndNanos(),
+              "span %s: segments sum to %lld ns but end-to-end is "
+              "%lld ns",
+              traceId.c_str(), static_cast<long long>(sum),
+              static_cast<long long>(endToEndNanos()));
+}
+
+ServerLog::ServerLog(const std::string &path)
+    : os(path, std::ios::app)
+{
+    isOpen = static_cast<bool>(os);
+}
+
+std::int64_t
+ServerLog::wallMillis() const
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+ServerLog::writeLine(const std::string &line)
+{
+    std::scoped_lock lock(mtx);
+    if (!isOpen)
+        return;
+    os << line << "\n";
+    os.flush();
+}
+
+// Hand-formatted: JsonWriter pretty-prints, but JSONL needs one
+// compact object per line (same convention as AuditLog).
+
+void
+ServerLog::admit(std::uint64_t client, std::uint64_t batch,
+                 const std::string &trace_id, std::uint64_t requests,
+                 std::uint64_t fresh, std::uint64_t cached,
+                 std::uint64_t coalesced)
+{
+    std::ostringstream ss;
+    ss << "{\"event\":\"admit\",\"tMillis\":" << wallMillis()
+       << ",\"client\":" << client << ",\"batch\":" << batch
+       << ",\"traceId\":\"" << json::escape(trace_id)
+       << "\",\"requests\":" << requests << ",\"fresh\":" << fresh
+       << ",\"cached\":" << cached << ",\"coalesced\":" << coalesced
+       << "}";
+    writeLine(ss.str());
+}
+
+void
+ServerLog::reject(std::uint64_t client, std::uint64_t batch,
+                  const std::string &trace_id, const std::string &code,
+                  const std::string &reason, std::uint64_t requests)
+{
+    std::ostringstream ss;
+    ss << "{\"event\":\"reject\",\"tMillis\":" << wallMillis()
+       << ",\"client\":" << client << ",\"batch\":" << batch
+       << ",\"traceId\":\"" << json::escape(trace_id)
+       << "\",\"code\":\"" << json::escape(code) << "\",\"reason\":\""
+       << json::escape(reason) << "\",\"requests\":" << requests
+       << "}";
+    writeLine(ss.str());
+}
+
+void
+ServerLog::complete(const RequestSpan &span)
+{
+    std::ostringstream ss;
+    ss << "{\"event\":\"complete\",\"tMillis\":" << wallMillis()
+       << ",\"traceId\":\"" << json::escape(span.traceId)
+       << "\",\"batch\":" << span.batch
+       << ",\"index\":" << span.index << ",\"hash\":\"" << span.hash
+       << "\",\"status\":\"" << span.status
+       << "\",\"admitNanos\":" << span.admitNanos()
+       << ",\"queueNanos\":" << span.queueNanos()
+       << ",\"executeNanos\":" << span.executeNanos()
+       << ",\"renderNanos\":" << span.renderNanos()
+       << ",\"streamNanos\":" << span.streamNanos()
+       << ",\"endToEndNanos\":" << span.endToEndNanos() << "}";
+    writeLine(ss.str());
+}
+
+void
+ServerLog::slow(const RequestSpan &span,
+                std::uint64_t threshold_millis)
+{
+    std::ostringstream ss;
+    ss << "{\"event\":\"slow\",\"tMillis\":" << wallMillis()
+       << ",\"traceId\":\"" << json::escape(span.traceId)
+       << "\",\"batch\":" << span.batch
+       << ",\"index\":" << span.index << ",\"hash\":\"" << span.hash
+       << "\",\"status\":\"" << span.status
+       << "\",\"endToEndNanos\":" << span.endToEndNanos()
+       << ",\"thresholdMillis\":" << threshold_millis << "}";
+    writeLine(ss.str());
+}
+
+} // namespace capcheck::obs

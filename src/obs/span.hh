@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Per-request server-side lifecycle spans for capcheckd — the RPC
+ * analogue of the flight recorder's per-hop attribution. Every
+ * admitted request gets six monotone timestamps on one steady clock
+ * (received -> admitted -> dequeued -> executed -> rendered ->
+ * streamed); the five segments between them are defined as adjacent
+ * differences, so by construction they telescope: the INVARIANT in
+ * checkInvariant() enforces stamp monotonicity and that the segment
+ * sum equals end-to-end service time exactly, the same conservation
+ * law FlightRecorder enforces on simulated hops.
+ *
+ * Spans are keyed by a traceId: client-generated when the submit
+ * frame carries one, otherwise synthesized by the daemon; the
+ * per-request id appends "#<index>" so one batch trace fans out into
+ * addressable request traces.
+ *
+ * ServerLog is the structured JSONL sink (--log-json): one event
+ * object per admission, rejection, completion and slow request, each
+ * carrying the traceId so log lines join against client-side
+ * artefacts.
+ */
+
+#ifndef CAPCHECK_OBS_SPAN_HH
+#define CAPCHECK_OBS_SPAN_HH
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace capcheck::obs
+{
+
+/** Monotonic nanosecond clock anchored at construction. */
+class SpanClock
+{
+  public:
+    SpanClock() : epoch(std::chrono::steady_clock::now()) {}
+
+    std::int64_t
+    nowNanos() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - epoch)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point epoch;
+};
+
+/** One request's lifecycle stamps, in SpanClock nanoseconds. */
+struct RequestSpan
+{
+    std::string traceId;
+    std::uint64_t batch = 0;
+    std::uint64_t index = 0;
+    /** Request content hash, 16 hex digits. */
+    std::string hash;
+    /** "executed" / "cached" / "failed". */
+    std::string status;
+
+    /** @{ Stage timestamps. Cache hits and coalesced waiters stamp
+     *  dequeued == executed at answer time, so their queue segment
+     *  absorbs the wait and every segment stays non-negative. */
+    std::int64_t received = 0;
+    std::int64_t admitted = 0;
+    std::int64_t dequeued = 0;
+    std::int64_t executed = 0;
+    std::int64_t rendered = 0;
+    std::int64_t streamed = 0;
+    /** @} */
+
+    /** @{ Segment attribution: adjacent stamp differences. */
+    std::int64_t admitNanos() const { return admitted - received; }
+    std::int64_t queueNanos() const { return dequeued - admitted; }
+    std::int64_t executeNanos() const { return executed - dequeued; }
+    std::int64_t renderNanos() const { return rendered - executed; }
+    std::int64_t streamNanos() const { return streamed - rendered; }
+    std::int64_t endToEndNanos() const { return streamed - received; }
+    /** @} */
+
+    /**
+     * INVARIANT: stamps are monotone non-decreasing and the five
+     * segments sum exactly to end-to-end service time. Called on
+     * every completed span, in every build.
+     */
+    void checkInvariant() const;
+};
+
+/**
+ * Structured JSONL server log. Thread-safe; each call appends one
+ * single-line JSON object with a wall-clock millisecond timestamp
+ * ("tMillis"), an "event" discriminator and the traceId.
+ */
+class ServerLog
+{
+  public:
+    explicit ServerLog(const std::string &path);
+
+    /** False when the log file could not be opened. */
+    bool ok() const { return isOpen; }
+
+    void admit(std::uint64_t client, std::uint64_t batch,
+               const std::string &trace_id, std::uint64_t requests,
+               std::uint64_t fresh, std::uint64_t cached,
+               std::uint64_t coalesced);
+
+    void reject(std::uint64_t client, std::uint64_t batch,
+                const std::string &trace_id, const std::string &code,
+                const std::string &reason, std::uint64_t requests);
+
+    void complete(const RequestSpan &span);
+
+    /** A completion whose end-to-end time crossed the slow-request
+     *  threshold; logged in addition to the complete event. */
+    void slow(const RequestSpan &span, std::uint64_t threshold_millis);
+
+  private:
+    std::int64_t wallMillis() const;
+    void writeLine(const std::string &line);
+
+    std::mutex mtx;
+    std::ofstream os;
+    bool isOpen = false;
+};
+
+} // namespace capcheck::obs
+
+#endif // CAPCHECK_OBS_SPAN_HH

@@ -44,7 +44,7 @@ decodeFrameHeader(const char (&header)[frameHeaderBytes],
 }
 
 void
-sendFrame(int fd, std::string_view payload)
+sendFrame(int fd, std::string_view payload, FrameMeter *meter)
 {
     if (payload.size() > UINT32_MAX) {
         throw FrameError(FrameError::Kind::oversize,
@@ -57,10 +57,15 @@ sendFrame(int fd, std::string_view payload)
         throw FrameError(FrameError::Kind::io,
                          "frame write failed (peer closed?)");
     }
+    if (meter) {
+        meter->framesOut.fetch_add(1, std::memory_order_relaxed);
+        meter->bytesOut.fetch_add(frameHeaderBytes + payload.size(),
+                                  std::memory_order_relaxed);
+    }
 }
 
 std::optional<std::string>
-recvFrame(int fd, std::size_t max_bytes)
+recvFrame(int fd, std::size_t max_bytes, FrameMeter *meter)
 {
     char header[frameHeaderBytes];
     const int rc = recvAll(fd, header, sizeof(header));
@@ -75,6 +80,11 @@ recvFrame(int fd, std::size_t max_bytes)
     if (len > 0 && recvAll(fd, payload.data(), len) != 1) {
         throw FrameError(FrameError::Kind::io,
                          "frame payload truncated");
+    }
+    if (meter) {
+        meter->framesIn.fetch_add(1, std::memory_order_relaxed);
+        meter->bytesIn.fetch_add(frameHeaderBytes + len,
+                                 std::memory_order_relaxed);
     }
     return payload;
 }

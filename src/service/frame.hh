@@ -18,6 +18,7 @@
 #ifndef CAPCHECK_SERVICE_FRAME_HH
 #define CAPCHECK_SERVICE_FRAME_HH
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
@@ -68,16 +69,35 @@ std::size_t decodeFrameHeader(const char (&header)[frameHeaderBytes],
                               std::size_t max_bytes);
 /** @} */
 
-/** Write one frame; throws FrameError(io) when the peer is gone. */
-void sendFrame(int fd, std::string_view payload);
+/**
+ * Frame traffic accounting, shared by all connections of one peer
+ * (the daemon counts every client; a client counts its one daemon).
+ * Bytes include the 8-byte header, so the counters are true wire
+ * bytes. Thread-safe relaxed atomics — counts, not synchronization.
+ */
+struct FrameMeter
+{
+    std::atomic<std::uint64_t> framesIn{0};
+    std::atomic<std::uint64_t> bytesIn{0};
+    std::atomic<std::uint64_t> framesOut{0};
+    std::atomic<std::uint64_t> bytesOut{0};
+};
+
+/**
+ * Write one frame; throws FrameError(io) when the peer is gone.
+ * @p meter (optional) accumulates frames/bytes written.
+ */
+void sendFrame(int fd, std::string_view payload,
+               FrameMeter *meter = nullptr);
 
 /**
  * Read one frame. nullopt on clean EOF between frames; throws
  * FrameError on header corruption, an over-cap length, or EOF/error
- * mid-frame.
+ * mid-frame. @p meter (optional) accumulates frames/bytes read.
  */
 std::optional<std::string>
-recvFrame(int fd, std::size_t max_bytes = defaultMaxFrameBytes);
+recvFrame(int fd, std::size_t max_bytes = defaultMaxFrameBytes,
+          FrameMeter *meter = nullptr);
 
 } // namespace capcheck::service
 

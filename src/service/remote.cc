@@ -77,24 +77,30 @@ RemoteService::RemoteService(harness::SweepOptions options)
     }
     // Handshake: a pong with a matching protocol version, before the
     // caller invests in building a batch.
-    const json::JsonValue pong = parseFrame(roundTrip(encodePing()));
-    throwIfErrorFrame(pong);
-    if (messageType(pong) != "pong") {
+    const json::JsonValue pongv = parseFrame(roundTrip(encodePing()));
+    throwIfErrorFrame(pongv);
+    const auto pong = pongFromJson(pongv);
+    if (!pong) {
         throw ServiceError(errProtocol,
                            "expected pong, got '" +
-                               messageType(pong) + "'");
+                               messageType(pongv) + "'");
     }
-    const json::JsonValue *proto = pong.get("protocol");
-    const unsigned got =
-        proto && proto->isNumber()
-            ? static_cast<unsigned>(proto->asNumber())
-            : 0;
-    if (got != protocolVersion) {
+    if (pong->protocol != protocolVersion) {
         throw ServiceError(
             errProtocol,
             "protocol version mismatch: daemon speaks " +
-                std::to_string(got) + ", this client speaks " +
+                std::to_string(pong->protocol) +
+                ", this client speaks " +
                 std::to_string(protocolVersion));
+    }
+    // Same protocol but diverging request hashing is survivable (the
+    // daemon re-hashes and would answer from a differently-keyed
+    // cache, not corrupt one), so skew is a warning, not an error.
+    if (!pong->build.empty() && pong->build != buildHash()) {
+        warn("capcheckd at '%s' is a different build (daemon %s, "
+             "client %s): caches will not be shared across the skew",
+             opts.serverSocket.c_str(), pong->build.c_str(),
+             buildHash().c_str());
     }
 }
 
@@ -102,8 +108,9 @@ std::string
 RemoteService::roundTrip(const std::string &payload)
 {
     try {
-        sendFrame(conn.get(), payload);
-        auto reply = recvFrame(conn.get());
+        sendFrame(conn.get(), payload, &meter);
+        auto reply = recvFrame(conn.get(), defaultMaxFrameBytes,
+                               &meter);
         if (!reply) {
             throw ServiceError(errConnect,
                                "daemon closed the connection");
@@ -137,10 +144,12 @@ RemoteService::submit(const std::vector<harness::RunRequest> &requests,
         sendFrame(conn.get(),
                   encodeSubmit(batch, sweep_name,
                                SubmitOptions::fromSweepOptions(opts),
-                               requests));
+                               requests, opts.traceId),
+                  &meter);
         bool done = false;
         while (!done) {
-            auto payload = recvFrame(conn.get());
+            auto payload = recvFrame(conn.get(),
+                                     defaultMaxFrameBytes, &meter);
             if (!payload) {
                 throw ServiceError(
                     errConnect,

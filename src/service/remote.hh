@@ -13,6 +13,7 @@
 
 #include <mutex>
 
+#include "service/frame.hh"
 #include "service/socket.hh"
 #include "service/sweep_service.hh"
 
@@ -53,6 +54,8 @@ class RemoteService : public SweepService
     std::mutex mtx;
     Fd conn;
     std::uint64_t nextBatch = 1;
+    /** Client-side wire accounting over this connection. */
+    FrameMeter meter;
 };
 
 } // namespace capcheck::service

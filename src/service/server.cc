@@ -3,8 +3,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "base/logging.hh"
 #include "harness/result_json.hh"
@@ -13,6 +16,94 @@
 
 namespace capcheck::service
 {
+
+ServiceInstruments::ServiceInstruments(obs::MetricsRegistry &r)
+    : batchesReceived(
+          r.counter("batches.received", "Submit frames received")),
+      batchesAdmitted(
+          r.counter("batches.admitted", "Batches admitted in full")),
+      batchesRejected(r.counter(
+          "batches.rejected",
+          "Batches rejected (overload, oversize, invalid)")),
+      requestsReceived(
+          r.counter("requests.received",
+                    "Requests arriving in submit frames")),
+      requestsAdmitted(
+          r.counter("requests.admitted",
+                    "Requests admitted into the daemon")),
+      requestsRejected(r.counter("requests.rejected",
+                                 "Requests in rejected batches")),
+      requestsExecuted(r.counter("requests.executed",
+                                 "Fresh simulations completed")),
+      requestsFailed(r.counter("requests.failed",
+                               "Requests whose simulation failed")),
+      cacheHitsMem(
+          r.counter("requests.cacheHitsMem",
+                    "Requests answered from the memory cache")),
+      cacheHitsDisk(
+          r.counter("requests.cacheHitsDisk",
+                    "Requests answered from the disk cache")),
+      coalesced(r.counter(
+          "requests.coalesced",
+          "Requests coalesced onto an in-flight simulation")),
+      workerBusyMicros(r.counter("worker.busyMicros",
+                                 "Cumulative worker simulation time")),
+      framesIn(r.counter("frames.in", "Frames received")),
+      framesOut(r.counter("frames.out", "Frames sent")),
+      bytesIn(r.counter("bytes.in",
+                        "Wire bytes received, headers included")),
+      bytesOut(r.counter("bytes.out",
+                         "Wire bytes sent, headers included")),
+      queueDepth(
+          r.gauge("queue.depth", "Units waiting for a worker")),
+      clientsActive(r.gauge("clients.active", "Connected clients")),
+      requestsInflight(
+          r.gauge("requests.inflight",
+                  "Requests admitted but not yet answered")),
+      workersBusy(
+          r.gauge("workers.busy", "Workers simulating right now")),
+      workersTotal(r.gauge("workers.total", "Worker pool size")),
+      uptimeMillis(
+          r.gauge("uptime.millis", "Milliseconds since start")),
+      memCacheEntries(
+          r.gauge("cache.mem.entries", "Memory-cache entries")),
+      memCacheBytes(
+          r.gauge("cache.mem.bytes", "Memory-cache body bytes")),
+      diskCacheEntries(
+          r.gauge("cache.disk.entries", "Disk-cache entries")),
+      diskCacheBytes(
+          r.gauge("cache.disk.bytes", "Disk-cache body bytes")),
+      spanAdmit(r.histogram(
+          "span.admit", "received -> admitted, microseconds")),
+      spanQueue(r.histogram(
+          "span.queue", "admitted -> dequeued, microseconds")),
+      spanExecute(r.histogram(
+          "span.execute", "dequeued -> executed, microseconds")),
+      spanRender(r.histogram(
+          "span.render", "executed -> rendered, microseconds")),
+      spanStream(r.histogram(
+          "span.stream", "rendered -> streamed, microseconds")),
+      spanEndToEnd(r.histogram(
+          "span.endToEnd", "received -> streamed, microseconds")),
+      batchSize(
+          r.histogram("batch.size", "Requests per admitted batch"))
+{
+}
+
+namespace
+{
+
+/** The span/disk-cache hash spelling: 16 lowercase hex digits. */
+std::string
+spanHashHex(std::uint64_t hash)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return hex;
+}
+
+} // namespace
 
 /** One connected client and its write-side state. */
 struct Server::Client
@@ -41,6 +132,13 @@ struct Server::Batch
     std::atomic<std::uint64_t> nExecuted{0};
     std::atomic<std::uint64_t> nCached{0};
     std::atomic<std::uint64_t> nFailed{0};
+
+    /** Batch trace id: the client's, or daemon-synthesized. */
+    std::string traceId;
+    /** One span per request, sized at admission; the shared stamps
+     *  (received/admitted) are filled under the server lock, after
+     *  which each index is written only by its answering thread. */
+    std::vector<obs::RequestSpan> spans;
 };
 
 /**
@@ -60,6 +158,12 @@ struct Server::Unit
     std::vector<Waiter> waiters;
     /** The creating batch asked for --no-cache: do not publish. */
     bool noStore = false;
+
+    /** @{ SpanClock stamps for waiters[0]'s queue/execute segments;
+     *  coalesced waiters stamp their own at answer time. */
+    std::int64_t dequeuedAt = 0;
+    std::int64_t executedAt = 0;
+    /** @} */
 
     const harness::RunRequest &
     request() const
@@ -100,6 +204,18 @@ Server::start()
         running = true;
         stopping = false;
     }
+    ins.workersTotal.set(numJobs);
+    if (!opts.jsonLogFile.empty()) {
+        jsonLog = std::make_unique<obs::ServerLog>(opts.jsonLogFile);
+        if (!jsonLog->ok()) {
+            if (opts.log) {
+                *opts.log << "[capcheckd] cannot open --log-json "
+                          << opts.jsonLogFile << "; logging disabled\n";
+                opts.log->flush();
+            }
+            jsonLog.reset();
+        }
+    }
     if (opts.log) {
         *opts.log << "[capcheckd] listening on " << opts.socketPath
                   << " jobs=" << numJobs
@@ -110,6 +226,13 @@ Server::start()
     for (unsigned t = 0; t < numJobs; ++t)
         workers.emplace_back([this] { workerLoop(); });
     acceptor = std::thread([this] { acceptLoop(); });
+    if (!opts.metricsOutFile.empty()) {
+        {
+            std::scoped_lock mlock(metricsMtx);
+            metricsStop = false;
+        }
+        metricsThread = std::thread([this] { metricsLoop(); });
+    }
 }
 
 void
@@ -151,6 +274,18 @@ Server::stop()
         if (client->reader.joinable())
             client->reader.join();
     }
+
+    // Stop the metrics writer, then leave one final exposition
+    // behind that reflects the fully drained state.
+    {
+        std::scoped_lock mlock(metricsMtx);
+        metricsStop = true;
+    }
+    metricsWake.notify_all();
+    if (metricsThread.joinable())
+        metricsThread.join();
+    if (!opts.metricsOutFile.empty())
+        writeMetricsFile();
 
     std::error_code ec;
     std::filesystem::remove(opts.socketPath, ec);
@@ -204,7 +339,8 @@ Server::serveClient(const std::shared_ptr<Client> &client)
     while (true) {
         std::optional<std::string> payload;
         try {
-            payload = recvFrame(client->fd.get(), opts.maxFrameBytes);
+            payload = recvFrame(client->fd.get(), opts.maxFrameBytes,
+                                &frameMeter);
         } catch (const FrameError &e) {
             // Tell the peer why before hanging up; a desynchronized
             // stream cannot be resynchronized, so the connection ends
@@ -284,15 +420,21 @@ void
 Server::handleSubmit(const std::shared_ptr<Client> &client,
                      SubmitMessage &&msg)
 {
+    const std::int64_t receivedNanos = spanClock.nowNanos();
     const std::size_t n = msg.requests.size();
+    const std::string traceId =
+        msg.traceId.empty()
+            ? "client" + std::to_string(client->id) + ".batch" +
+                  std::to_string(msg.batch)
+            : msg.traceId;
+    ins.batchesReceived.inc();
+    ins.requestsReceived.inc(n);
+
     if (n > opts.maxBatchRequests) {
-        sendToClient(
-            client,
-            encodeError(errOversizeBatch,
-                        "batch of " + std::to_string(n) +
-                            " requests exceeds the daemon cap of " +
-                            std::to_string(opts.maxBatchRequests),
-                        msg.batch));
+        rejectBatch(client, msg.batch, traceId, n, errOversizeBatch,
+                    "batch of " + std::to_string(n) +
+                        " requests exceeds the daemon cap of " +
+                        std::to_string(opts.maxBatchRequests));
         return;
     }
 
@@ -303,12 +445,9 @@ Server::handleSubmit(const std::shared_ptr<Client> &client,
         const std::string errors =
             system::validationErrors(req.config);
         if (!errors.empty()) {
-            sendToClient(client,
-                         encodeError(errBadRequest,
-                                     "invalid request [" +
-                                         req.label() +
-                                         "]: " + errors,
-                                     msg.batch));
+            rejectBatch(client, msg.batch, traceId, n, errBadRequest,
+                        "invalid request [" + req.label() +
+                            "]: " + errors);
             return;
         }
     }
@@ -347,6 +486,7 @@ Server::handleSubmit(const std::shared_ptr<Client> &client,
         std::size_t index;
         std::uint64_t hash;
         system::RunResult result;
+        bool fromDisk;
     };
     std::vector<InlineHit> hits;
     std::vector<std::shared_ptr<Unit>> fresh;
@@ -359,31 +499,46 @@ Server::handleSubmit(const std::shared_ptr<Client> &client,
         if (inflight + n > opts.maxInflightPerClient) {
             ++rejectedOverload;
             lock.unlock();
-            sendToClient(
-                client,
-                encodeError(errOverloaded,
-                            "client has " + std::to_string(inflight) +
-                                " requests in flight; cap is " +
-                                std::to_string(
-                                    opts.maxInflightPerClient),
-                            batch->id, 100));
+            rejectBatch(client, batch->id, traceId, n, errOverloaded,
+                        "client has " + std::to_string(inflight) +
+                            " requests in flight; cap is " +
+                            std::to_string(opts.maxInflightPerClient),
+                        100);
             return;
         }
         if (queue.size() + n > opts.maxQueue) {
             ++rejectedOverload;
             lock.unlock();
-            sendToClient(
-                client,
-                encodeError(errOverloaded,
-                            "queue depth " +
-                                std::to_string(queue.size()) +
-                                " cannot absorb a batch of " +
-                                std::to_string(n) + " (cap " +
-                                std::to_string(opts.maxQueue) + ")",
-                            batch->id, 100));
+            rejectBatch(client, batch->id, traceId, n, errOverloaded,
+                        "queue depth " +
+                            std::to_string(queue.size()) +
+                            " cannot absorb a batch of " +
+                            std::to_string(n) + " (cap " +
+                            std::to_string(opts.maxQueue) + ")",
+                        100);
             return;
         }
         client->inflight.fetch_add(n, std::memory_order_relaxed);
+        ins.batchesAdmitted.inc();
+        ins.requestsAdmitted.inc(n);
+        ins.requestsInflight.add(static_cast<std::int64_t>(n));
+        ins.batchSize.observe(n);
+
+        // Span skeletons before any unit can be answered: the shared
+        // received/admitted stamps are written here under the lock,
+        // after which spans[i] belongs to whichever thread answers
+        // request i.
+        const std::int64_t admittedNanos = spanClock.nowNanos();
+        batch->traceId = traceId;
+        batch->spans.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            obs::RequestSpan &span = batch->spans[i];
+            span.traceId = traceId + "#" + std::to_string(i);
+            span.batch = batch->id;
+            span.index = i;
+            span.received = receivedNanos;
+            span.admitted = admittedNanos;
+        }
 
         std::map<std::uint64_t, std::shared_ptr<Unit>> batchLocal;
         for (std::size_t i = 0; i < n; ++i) {
@@ -391,14 +546,16 @@ Server::handleSubmit(const std::shared_ptr<Client> &client,
             if (useCache) {
                 if (auto cached = memCache.lookup(h)) {
                     ++totalCacheHits;
-                    hits.push_back({i, h, std::move(*cached)});
+                    hits.push_back(
+                        {i, h, std::move(*cached), false});
                     continue;
                 }
                 if (disk) {
                     if (auto stored = disk->lookup(h)) {
                         memCache.store(h, *stored);
                         ++totalCacheHits;
-                        hits.push_back({i, h, std::move(*stored)});
+                        hits.push_back(
+                            {i, h, std::move(*stored), true});
                         continue;
                     }
                 }
@@ -430,14 +587,40 @@ Server::handleSubmit(const std::shared_ptr<Client> &client,
         }
         for (const auto &unit : fresh)
             queue.push_back(unit);
+        ins.queueDepth.set(static_cast<std::int64_t>(queue.size()));
     }
     for (std::size_t k = 0; k < fresh.size(); ++k)
         wake.notify_one();
 
+    if (jsonLog) {
+        jsonLog->admit(client->id, batch->id, batch->traceId, n,
+                       fresh.size(), hits.size(),
+                       n - fresh.size() - hits.size());
+    }
+
     for (const InlineHit &hit : hits) {
         sendResult(batch, hit.index, hit.hash, RunStatus::cached,
+                   hit.fromDisk ? AnswerSource::diskCacheHit
+                                : AnswerSource::memCacheHit,
                    &hit.result, 0, std::string());
     }
+}
+
+void
+Server::rejectBatch(const std::shared_ptr<Client> &client,
+                    std::uint64_t batch_id,
+                    const std::string &trace_id, std::size_t n,
+                    const std::string &code,
+                    const std::string &message,
+                    unsigned retry_after_millis)
+{
+    ins.batchesRejected.inc();
+    ins.requestsRejected.inc(n);
+    if (jsonLog)
+        jsonLog->reject(client->id, batch_id, trace_id, code, message,
+                        n);
+    sendToClient(client, encodeError(code, message, batch_id,
+                                     retry_after_millis));
 }
 
 void
@@ -453,6 +636,8 @@ Server::workerLoop()
                 return; // stopping and drained
             unit = queue.front();
             queue.pop_front();
+            ins.queueDepth.set(
+                static_cast<std::int64_t>(queue.size()));
         }
 
         const harness::RunRequest &req = unit->request();
@@ -461,6 +646,8 @@ Server::workerLoop()
 
         system::RunResult result;
         std::string error;
+        unit->dequeuedAt = spanClock.nowNanos();
+        ins.workersBusy.add(1);
         const auto t0 = std::chrono::steady_clock::now();
         try {
             result = req.execute(
@@ -474,6 +661,10 @@ Server::workerLoop()
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - t0)
                 .count();
+        unit->executedAt = spanClock.nowNanos();
+        ins.workersBusy.sub(1);
+        ins.workerBusyMicros.inc(static_cast<std::uint64_t>(
+            (unit->executedAt - unit->dequeuedAt) / 1000));
 
         std::vector<Unit::Waiter> waiters;
         {
@@ -494,16 +685,22 @@ Server::workerLoop()
 
         for (std::size_t k = 0; k < waiters.size(); ++k) {
             const Unit::Waiter &waiter = waiters[k];
+            // Only waiters[0] owns the queue/execute stamps; everyone
+            // coalesced stamps dequeued == executed at answer time.
+            const std::int64_t dq = k == 0 ? unit->dequeuedAt : 0;
+            const std::int64_t ex = k == 0 ? unit->executedAt : 0;
             if (!error.empty()) {
                 sendResult(waiter.batch, waiter.index, unit->hash,
-                           RunStatus::failed, nullptr, wallMillis,
-                           error);
+                           RunStatus::failed, AnswerSource::failure,
+                           nullptr, wallMillis, error, dq, ex);
             } else {
                 sendResult(waiter.batch, waiter.index, unit->hash,
                            k == 0 ? RunStatus::executed
                                   : RunStatus::cached,
+                           k == 0 ? AnswerSource::fresh
+                                  : AnswerSource::coalescedHit,
                            &result, k == 0 ? wallMillis : 0,
-                           std::string());
+                           std::string(), dq, ex);
             }
         }
     }
@@ -512,8 +709,11 @@ Server::workerLoop()
 void
 Server::sendResult(const std::shared_ptr<Batch> &batch,
                    std::size_t index, std::uint64_t hash,
-                   RunStatus status, const system::RunResult *result,
-                   double wall_millis, const std::string &error)
+                   RunStatus status, AnswerSource source,
+                   const system::RunResult *result,
+                   double wall_millis, const std::string &error,
+                   std::int64_t dequeued_nanos,
+                   std::int64_t executed_nanos)
 {
     switch (status) {
       case RunStatus::executed:
@@ -526,6 +726,36 @@ Server::sendResult(const std::shared_ptr<Batch> &batch,
         batch->nFailed.fetch_add(1, std::memory_order_relaxed);
         break;
     }
+    switch (source) {
+      case AnswerSource::fresh:
+        ins.requestsExecuted.inc();
+        break;
+      case AnswerSource::memCacheHit:
+        ins.cacheHitsMem.inc();
+        break;
+      case AnswerSource::diskCacheHit:
+        ins.cacheHitsDisk.inc();
+        break;
+      case AnswerSource::coalescedHit:
+        ins.coalesced.inc();
+        break;
+      case AnswerSource::failure:
+        ins.requestsFailed.inc();
+        break;
+    }
+
+    obs::RequestSpan &span = batch->spans[index];
+    span.hash = spanHashHex(hash);
+    span.status = runStatusName(status);
+    if (executed_nanos > 0) {
+        span.dequeued = dequeued_nanos;
+        span.executed = executed_nanos;
+    } else {
+        // Never visited the queue (cache hit / coalesced waiter):
+        // whatever it waited for lands in the queue segment, and the
+        // execute segment is defined as zero.
+        span.dequeued = span.executed = spanClock.nowNanos();
+    }
 
     std::string body;
     const std::string *bodyPtr = nullptr;
@@ -533,10 +763,31 @@ Server::sendResult(const std::shared_ptr<Batch> &batch,
         body = harness::runJson(batch->requests[index], *result);
         bodyPtr = &body;
     }
+    span.rendered = spanClock.nowNanos();
     sendToClient(batch->client,
                  encodeResult(batch->id, index, hash, status, result,
                               bodyPtr, wall_millis, error));
+    span.streamed = spanClock.nowNanos();
+    span.checkInvariant();
 
+    const auto micros = [](std::int64_t nanos) {
+        return static_cast<std::uint64_t>(nanos / 1000);
+    };
+    ins.spanAdmit.observe(micros(span.admitNanos()));
+    ins.spanQueue.observe(micros(span.queueNanos()));
+    ins.spanExecute.observe(micros(span.executeNanos()));
+    ins.spanRender.observe(micros(span.renderNanos()));
+    ins.spanStream.observe(micros(span.streamNanos()));
+    ins.spanEndToEnd.observe(micros(span.endToEndNanos()));
+    if (jsonLog) {
+        jsonLog->complete(span);
+        if (opts.slowMillis > 0 &&
+            span.endToEndNanos() >=
+                static_cast<std::int64_t>(opts.slowMillis) * 1000000)
+            jsonLog->slow(span, opts.slowMillis);
+    }
+
+    ins.requestsInflight.sub(1);
     batch->client->inflight.fetch_sub(1, std::memory_order_relaxed);
     if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
         1) {
@@ -561,9 +812,78 @@ Server::sendToClient(const std::shared_ptr<Client> &client,
         return;
     std::scoped_lock lock(client->writeMtx);
     try {
-        sendFrame(client->fd.get(), payload);
+        sendFrame(client->fd.get(), payload, &frameMeter);
     } catch (const FrameError &) {
         client->dead.store(true, std::memory_order_relaxed);
+    }
+}
+
+void
+Server::refreshGaugesLocked()
+{
+    ins.queueDepth.set(static_cast<std::int64_t>(queue.size()));
+    ins.clientsActive.set(static_cast<std::int64_t>(clients.size()));
+    ins.workersTotal.set(numJobs);
+    ins.uptimeMillis.set(spanClock.nowNanos() / 1000000);
+    const harness::CacheStats mem = memCache.stats();
+    ins.memCacheEntries.set(static_cast<std::int64_t>(mem.entries));
+    ins.memCacheBytes.set(static_cast<std::int64_t>(mem.bytes));
+    if (disk) {
+        const harness::CacheStats d = disk->stats();
+        ins.diskCacheEntries.set(
+            static_cast<std::int64_t>(d.entries));
+        ins.diskCacheBytes.set(static_cast<std::int64_t>(d.bytes));
+    }
+    // The FrameMeter is the source of truth; its registry mirrors
+    // are brought up to it by delta. Refresh always runs under
+    // `mtx`, so two deltas cannot race.
+    const auto sync = [](obs::MetricsRegistry::Counter &counter,
+                         const std::atomic<std::uint64_t> &truth) {
+        const std::uint64_t now =
+            truth.load(std::memory_order_relaxed);
+        if (now > counter.value())
+            counter.inc(now - counter.value());
+    };
+    sync(ins.framesIn, frameMeter.framesIn);
+    sync(ins.framesOut, frameMeter.framesOut);
+    sync(ins.bytesIn, frameMeter.bytesIn);
+    sync(ins.bytesOut, frameMeter.bytesOut);
+}
+
+void
+Server::writeMetricsFile()
+{
+    obs::MetricsSnapshot snap;
+    {
+        std::scoped_lock lock(mtx);
+        refreshGaugesLocked();
+        snap = registry.snapshot();
+    }
+    // tmp + rename so a scraper never reads a half-written file.
+    const std::string tmp = opts.metricsOutFile + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return;
+        os << snap.prometheusText();
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, opts.metricsOutFile, ec);
+}
+
+void
+Server::metricsLoop()
+{
+    const auto interval = std::chrono::milliseconds(
+        std::max(1u, opts.metricsIntervalMillis));
+    std::unique_lock lock(metricsMtx);
+    while (!metricsStop) {
+        metricsWake.wait_for(lock, interval);
+        if (metricsStop)
+            break; // stop() writes the final exposition itself
+        lock.unlock();
+        writeMetricsFile();
+        lock.lock();
     }
 }
 
@@ -589,6 +909,9 @@ Server::statsLocked()
     s.queueDepth = queue.size();
     s.activeClients = clients.size();
     s.rejectedOverload = rejectedOverload;
+    refreshGaugesLocked();
+    s.metrics = registry.snapshot();
+    s.metricsPresent = true;
     return s;
 }
 

@@ -34,6 +34,8 @@
 
 #include "harness/disk_cache.hh"
 #include "harness/result_cache.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "service/frame.hh"
 #include "service/socket.hh"
 #include "service/sweep_service.hh"
@@ -71,6 +73,81 @@ struct ServerOptions
 
     /** Daemon log lines; nullptr silences them. */
     std::ostream *log = nullptr;
+
+    /** Prometheus text exposition file, atomically rewritten (tmp +
+     *  rename) every metricsIntervalMillis and once more at stop();
+     *  empty disables the writer thread. */
+    std::string metricsOutFile;
+    unsigned metricsIntervalMillis = 1000;
+
+    /** Structured JSONL event log (obs::ServerLog); empty = off. */
+    std::string jsonLogFile;
+
+    /** Completions slower than this (end-to-end) log an extra
+     *  "slow" event; 0 disables slow-request logging. */
+    std::uint64_t slowMillis = 1000;
+};
+
+/**
+ * References into one MetricsRegistry, bound once at construction so
+ * the serving hot paths bump instruments without any name lookup.
+ * The counters obey two conservation identities, checked by CI from
+ * the Prometheus dump:
+ *
+ *   requests.received = requests.admitted + requests.rejected
+ *   requests.admitted = requests.executed + requests.cacheHitsMem
+ *                     + requests.cacheHitsDisk + requests.coalesced
+ *                     + requests.failed
+ */
+struct ServiceInstruments
+{
+    explicit ServiceInstruments(obs::MetricsRegistry &r);
+
+    /** @{ Admission counters. */
+    obs::MetricsRegistry::Counter &batchesReceived;
+    obs::MetricsRegistry::Counter &batchesAdmitted;
+    obs::MetricsRegistry::Counter &batchesRejected;
+    obs::MetricsRegistry::Counter &requestsReceived;
+    obs::MetricsRegistry::Counter &requestsAdmitted;
+    obs::MetricsRegistry::Counter &requestsRejected;
+    /** @} */
+
+    /** @{ Outcome counters; exactly one fires per admitted request. */
+    obs::MetricsRegistry::Counter &requestsExecuted;
+    obs::MetricsRegistry::Counter &requestsFailed;
+    obs::MetricsRegistry::Counter &cacheHitsMem;
+    obs::MetricsRegistry::Counter &cacheHitsDisk;
+    obs::MetricsRegistry::Counter &coalesced;
+    /** @} */
+
+    obs::MetricsRegistry::Counter &workerBusyMicros;
+    /** @{ FrameMeter mirrors, synced on snapshot/exposition. */
+    obs::MetricsRegistry::Counter &framesIn;
+    obs::MetricsRegistry::Counter &framesOut;
+    obs::MetricsRegistry::Counter &bytesIn;
+    obs::MetricsRegistry::Counter &bytesOut;
+    /** @} */
+
+    obs::MetricsRegistry::Gauge &queueDepth;
+    obs::MetricsRegistry::Gauge &clientsActive;
+    obs::MetricsRegistry::Gauge &requestsInflight;
+    obs::MetricsRegistry::Gauge &workersBusy;
+    obs::MetricsRegistry::Gauge &workersTotal;
+    obs::MetricsRegistry::Gauge &uptimeMillis;
+    obs::MetricsRegistry::Gauge &memCacheEntries;
+    obs::MetricsRegistry::Gauge &memCacheBytes;
+    obs::MetricsRegistry::Gauge &diskCacheEntries;
+    obs::MetricsRegistry::Gauge &diskCacheBytes;
+
+    /** @{ Span segment latencies, microseconds. */
+    obs::MetricsRegistry::Histo &spanAdmit;
+    obs::MetricsRegistry::Histo &spanQueue;
+    obs::MetricsRegistry::Histo &spanExecute;
+    obs::MetricsRegistry::Histo &spanRender;
+    obs::MetricsRegistry::Histo &spanStream;
+    obs::MetricsRegistry::Histo &spanEndToEnd;
+    /** @} */
+    obs::MetricsRegistry::Histo &batchSize;
 };
 
 class Server
@@ -104,6 +181,18 @@ class Server
     struct Batch;
     struct Unit;
 
+    /** How an answer was produced; picks the one outcome counter
+     *  sendResult bumps, so the conservation identity holds even for
+     *  coalesced waiters of a failed simulation. */
+    enum class AnswerSource
+    {
+        fresh,        ///< simulated on a worker
+        memCacheHit,  ///< answered from the in-memory cache
+        diskCacheHit, ///< answered from the disk cache
+        coalescedHit, ///< rode on another in-flight simulation
+        failure,      ///< simulation raised an error
+    };
+
     void acceptLoop();
     void serveClient(const std::shared_ptr<Client> &client);
     void handleSubmit(const std::shared_ptr<Client> &client,
@@ -117,13 +206,36 @@ class Server
     /**
      * Send one result frame to @p batch's client and retire the
      * request from the batch's accounting; emits the done frame when
-     * this was the batch's last outstanding request.
+     * this was the batch's last outstanding request. Completes the
+     * request's span (stamping dequeued == executed at answer time
+     * when @p dequeued_nanos is 0 — cache hits and coalesced
+     * waiters), checks the span-sum INVARIANT, feeds the span
+     * histograms and the JSONL log.
      */
     void sendResult(const std::shared_ptr<Batch> &batch,
                     std::size_t index, std::uint64_t hash,
-                    RunStatus status,
+                    RunStatus status, AnswerSource source,
                     const system::RunResult *result,
-                    double wall_millis, const std::string &error);
+                    double wall_millis, const std::string &error,
+                    std::int64_t dequeued_nanos = 0,
+                    std::int64_t executed_nanos = 0);
+
+    /** Reject @p n requests of @p batch_id with one error frame,
+     *  bumping the rejection counters and the JSONL log. */
+    void rejectBatch(const std::shared_ptr<Client> &client,
+                     std::uint64_t batch_id,
+                     const std::string &trace_id, std::size_t n,
+                     const std::string &code,
+                     const std::string &message,
+                     unsigned retry_after_millis = 0);
+
+    /** Pull level-style values (queue depth, cache sizes, frame
+     *  meter, uptime) into the registry; call with `mtx` held. */
+    void refreshGaugesLocked();
+
+    /** Atomically rewrite opts.metricsOutFile (tmp + rename). */
+    void writeMetricsFile();
+    void metricsLoop();
 
     ServiceStats statsLocked();
 
@@ -151,6 +263,19 @@ class Server
     std::uint64_t totalExecuted = 0;
     std::uint64_t totalCacheHits = 0;
     std::uint64_t rejectedOverload = 0;
+
+    /** @{ Telemetry. `registry` must precede `ins` (references). */
+    obs::SpanClock spanClock;
+    obs::MetricsRegistry registry;
+    ServiceInstruments ins{registry};
+    FrameMeter frameMeter;
+    std::unique_ptr<obs::ServerLog> jsonLog;
+
+    std::thread metricsThread;
+    std::mutex metricsMtx;
+    std::condition_variable metricsWake;
+    bool metricsStop = false;
+    /** @} */
 };
 
 } // namespace capcheck::service

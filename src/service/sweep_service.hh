@@ -33,6 +33,7 @@
 #include "harness/result_json.hh"
 #include "harness/run_request.hh"
 #include "harness/sweep_options.hh"
+#include "obs/metrics.hh"
 
 namespace capcheck::service
 {
@@ -110,6 +111,11 @@ struct ServiceStats
     std::uint64_t activeClients = 0;
     std::uint64_t rejectedOverload = 0;
     /** @} */
+
+    /** Full telemetry registry snapshot; daemon-side stats replies
+     *  carry it (metricsPresent), in-process backends omit it. */
+    obs::MetricsSnapshot metrics;
+    bool metricsPresent = false;
 };
 
 class SweepService

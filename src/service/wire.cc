@@ -5,6 +5,7 @@
 
 #include "base/json.hh"
 #include "harness/result_json.hh"
+#include "system/soc_config_builder.hh"
 
 namespace capcheck::service
 {
@@ -72,8 +73,6 @@ oneKeyMessage(const char *type)
     json::JsonWriter w(os);
     w.beginObject();
     w.key("type").value(type);
-    if (std::string(type) == "pong")
-        w.key("protocol").value(protocolVersion);
     w.endObject();
     return os.str();
 }
@@ -121,6 +120,23 @@ u64Field(const json::JsonValue &v, const char *key)
 
 } // namespace
 
+const std::string &
+buildHash()
+{
+    // One canonical request whose hash folds in every cost parameter
+    // and config field: if two builds would hash an experiment
+    // differently, they disagree here too.
+    static const std::string hash =
+        harness::RunRequest::single(
+            "aes", system::SocConfigBuilder()
+                       .mode(system::SystemMode::ccpuCaccel)
+                       .numInstances(2)
+                       .seed(1)
+                       .build())
+            .hashHex();
+    return hash;
+}
+
 std::string
 encodePing()
 {
@@ -130,7 +146,35 @@ encodePing()
 std::string
 encodePong()
 {
-    return oneKeyMessage("pong");
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("type").value("pong");
+    w.key("protocol").value(protocolVersion);
+    w.key("protocolVersion").value(protocolVersion);
+    w.key("build").value(buildHash());
+    w.endObject();
+    return os.str();
+}
+
+std::optional<PongInfo>
+pongFromJson(const json::JsonValue &v)
+{
+    if (!v.isObject() || messageType(v) != "pong")
+        return std::nullopt;
+    PongInfo info;
+    // "protocolVersion" is the satellite-added alias; "protocol" is
+    // the v1 field every daemon has sent since PR 6.
+    const json::JsonValue *proto = v.get("protocolVersion");
+    if (!proto)
+        proto = v.get("protocol");
+    info.protocol = proto && proto->isNumber()
+                        ? static_cast<unsigned>(proto->asNumber())
+                        : 0;
+    const json::JsonValue *build = v.get("build");
+    if (build && build->isString())
+        info.build = build->asString();
+    return info;
 }
 
 std::string
@@ -159,6 +203,10 @@ encodeStats(const ServiceStats &stats)
         w.key("diskCache");
         writeCacheStats(w, stats.diskCache);
     }
+    if (stats.metricsPresent) {
+        w.key("metrics");
+        stats.metrics.writeJson(w);
+    }
     w.endObject();
     return os.str();
 }
@@ -180,13 +228,20 @@ statsFromJson(const json::JsonValue &v)
         s.diskCache = cacheStatsFrom(disk);
         s.diskCachePresent = true;
     }
+    if (const json::JsonValue *metrics = v.get("metrics")) {
+        if (auto snap = obs::MetricsSnapshot::fromJson(*metrics)) {
+            s.metrics = std::move(*snap);
+            s.metricsPresent = true;
+        }
+    }
     return s;
 }
 
 std::string
 encodeSubmit(std::uint64_t batch, const std::string &sweep_name,
              const SubmitOptions &options,
-             const std::vector<harness::RunRequest> &reqs)
+             const std::vector<harness::RunRequest> &reqs,
+             const std::string &trace_id)
 {
     std::ostringstream os;
     json::JsonWriter w(os);
@@ -194,6 +249,10 @@ encodeSubmit(std::uint64_t batch, const std::string &sweep_name,
     w.key("type").value("submit");
     w.key("batch").value(std::uint64_t{batch});
     w.key("sweep").value(sweep_name);
+    // Optional field: old daemons ignore unknown members, so the
+    // protocol stays v1-compatible in both directions.
+    if (!trace_id.empty())
+        w.key("traceId").value(trace_id);
     w.key("options").beginObject();
     w.key("jsonDir").value(options.jsonDir);
     w.key("traceDir").value(options.traceDir);
@@ -227,6 +286,9 @@ submitFromJson(const json::JsonValue &v, std::string *error)
     const json::JsonValue *sweep = v.get("sweep");
     msg.sweep = sweep && sweep->isString() ? sweep->asString()
                                            : std::string("sweep");
+    const json::JsonValue *trace = v.get("traceId");
+    if (trace && trace->isString())
+        msg.traceId = trace->asString();
     if (const json::JsonValue *o = v.get("options");
         o && o->isObject()) {
         const auto str = [&](const char *key) -> std::string {

@@ -34,6 +34,27 @@ namespace capcheck::service
 inline constexpr unsigned protocolVersion = 1;
 
 /**
+ * Hex hash identifying this build's request-hashing behaviour: the
+ * content hash of one canonical RunRequest. Two binaries that would
+ * key the same experiment differently (diverging cost tables, config
+ * fields, hash function) disagree on it, so a client can warn about
+ * build skew at ping time instead of discovering it at re-hash time
+ * mid-submit. Computed once, then cached.
+ */
+const std::string &buildHash();
+
+/** Parsed "pong" reply. */
+struct PongInfo
+{
+    unsigned protocol = 0;
+    /** Daemon's buildHash(); empty from pre-telemetry daemons. */
+    std::string build;
+};
+
+/** Decode a pong message; nullopt when @p v is not a pong. */
+std::optional<PongInfo> pongFromJson(const json::JsonValue &v);
+
+/**
  * Per-batch execution options a client sends with "submit": which
  * observability artefacts the daemon writes (into client-chosen
  * directories — the transport is a local socket, so client and
@@ -70,6 +91,9 @@ struct SubmitMessage
 {
     std::uint64_t batch = 0;
     std::string sweep;
+    /** Client-generated trace id (optional wire field; empty when
+     *  the client did not send one — the daemon synthesizes). */
+    std::string traceId;
     SubmitOptions options;
     std::vector<harness::RunRequest> requests;
 };
@@ -85,7 +109,8 @@ std::string encodeStats(const ServiceStats &stats);
 std::string encodeSubmit(std::uint64_t batch,
                          const std::string &sweep_name,
                          const SubmitOptions &options,
-                         const std::vector<harness::RunRequest> &reqs);
+                         const std::vector<harness::RunRequest> &reqs,
+                         const std::string &trace_id = std::string());
 std::string encodeResult(std::uint64_t batch, std::size_t index,
                          std::uint64_t hash, RunStatus status,
                          const system::RunResult *result,

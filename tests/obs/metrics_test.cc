@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for the serving-layer metrics registry and the request
+ * spans: get-or-create semantics, snapshot determinism, the
+ * byte-identical JSON round-trip contract the stats wire frame
+ * depends on, Prometheus exposition shape, thread-safety under
+ * concurrent writers, and the span-sum INVARIANT.
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/json_value.hh"
+#include "base/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+using namespace capcheck;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::RequestSpan;
+
+namespace
+{
+
+MetricsSnapshot
+reparse(const std::string &text)
+{
+    std::string err;
+    auto v = json::parseJson(text, &err);
+    EXPECT_TRUE(v.has_value()) << err;
+    std::string ferr;
+    auto snap = MetricsSnapshot::fromJson(*v, &ferr);
+    EXPECT_TRUE(snap.has_value()) << ferr;
+    return snap.value_or(MetricsSnapshot{});
+}
+
+} // namespace
+
+TEST(Metrics, GetOrCreateReturnsTheSameInstrument)
+{
+    MetricsRegistry reg;
+    auto &a = reg.counter("requests.executed", "fresh sims");
+    auto &b = reg.counter("requests.executed", "ignored help");
+    EXPECT_EQ(&a, &b);
+    a.inc();
+    b.inc(2);
+    EXPECT_EQ(a.value(), 3u);
+
+    auto &g = reg.gauge("queue.depth");
+    g.set(5);
+    g.add(2);
+    g.sub(3);
+    EXPECT_EQ(g.value(), 4);
+    EXPECT_EQ(&g, &reg.gauge("queue.depth"));
+
+    auto &h = reg.histogram("span.endToEnd");
+    EXPECT_EQ(&h, &reg.histogram("span.endToEnd"));
+
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].help, "fresh sims")
+        << "the first caller's help must stick";
+    EXPECT_EQ(snap.counterValue("requests.executed"), 3u);
+    EXPECT_EQ(snap.gaugeValue("queue.depth"), 4);
+    EXPECT_EQ(snap.counterValue("no.such.counter"), 0u);
+    EXPECT_EQ(snap.findHisto("span.endToEnd")->samples, 0u);
+}
+
+TEST(Metrics, SnapshotKeepsRegistrationOrder)
+{
+    MetricsRegistry reg;
+    reg.counter("zebra");
+    reg.counter("aardvark");
+    reg.gauge("zulu");
+    reg.gauge("alpha");
+    const MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].name, "zebra");
+    EXPECT_EQ(snap.counters[1].name, "aardvark");
+    ASSERT_EQ(snap.gauges.size(), 2u);
+    EXPECT_EQ(snap.gauges[0].name, "zulu");
+    EXPECT_EQ(snap.gauges[1].name, "alpha");
+}
+
+TEST(Metrics, HistogramReusesLog2BucketGeometry)
+{
+    MetricsRegistry reg;
+    auto &h = reg.histogram("span.queue", "queue wait");
+    for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 900ull, 1000ull})
+        h.observe(v);
+    const MetricsSnapshot::Histo snap = h.snapshot();
+    EXPECT_EQ(snap.samples, 6u);
+    EXPECT_EQ(snap.sum, 1906u);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_EQ(snap.max, 1000u);
+    EXPECT_GT(snap.p95, snap.p50);
+    // Sparse buckets: 0, 1, {2,3}, {512..1023}.
+    ASSERT_EQ(snap.buckets.size(), 4u);
+    EXPECT_EQ(snap.buckets[0].index, 0u);
+    EXPECT_EQ(snap.buckets[0].count, 1u);
+    EXPECT_EQ(snap.buckets[2].index, 2u);
+    EXPECT_EQ(snap.buckets[2].count, 2u);
+    EXPECT_EQ(snap.buckets[3].index, 10u);
+    EXPECT_EQ(snap.buckets[3].count, 2u);
+    EXPECT_DOUBLE_EQ(snap.mean(), 1906.0 / 6.0);
+}
+
+TEST(Metrics, JsonRoundTripIsByteIdentical)
+{
+    MetricsRegistry reg;
+    reg.counter("requests.executed", "fresh sims").inc(41);
+    reg.gauge("queue.depth", "queued units").set(-3);
+    auto &h = reg.histogram("span.endToEnd", "service time");
+    for (std::uint64_t v = 1; v <= 1000; v *= 3)
+        h.observe(v);
+
+    const std::string text = reg.snapshot().toJsonText();
+    const MetricsSnapshot back = reparse(text);
+    EXPECT_EQ(back.toJsonText(), text)
+        << "encode -> parse -> re-encode must be byte-stable";
+    EXPECT_EQ(back.counterValue("requests.executed"), 41u);
+    EXPECT_EQ(back.gaugeValue("queue.depth"), -3);
+    const MetricsSnapshot::Histo *histo =
+        back.findHisto("span.endToEnd");
+    ASSERT_NE(histo, nullptr);
+    EXPECT_EQ(histo->samples, 7u);
+    EXPECT_EQ(histo->help, "service time");
+}
+
+TEST(Metrics, EmptySnapshotRoundTripsToo)
+{
+    MetricsRegistry reg;
+    const std::string text = reg.snapshot().toJsonText();
+    const MetricsSnapshot back = reparse(text);
+    EXPECT_TRUE(back.empty());
+    EXPECT_EQ(back.toJsonText(), text);
+}
+
+TEST(Metrics, FromJsonRejectsShapeErrors)
+{
+    std::string err;
+    auto v = json::parseJson("{\"counters\":7}", &err);
+    ASSERT_TRUE(v.has_value());
+    std::string ferr;
+    EXPECT_FALSE(MetricsSnapshot::fromJson(*v, &ferr).has_value());
+    EXPECT_FALSE(ferr.empty());
+}
+
+TEST(Metrics, PrometheusExpositionShape)
+{
+    MetricsRegistry reg;
+    reg.counter("requests.executed", "fresh sims").inc(4);
+    reg.gauge("queue.depth").set(2);
+    auto &h = reg.histogram("span.endToEnd", "service time");
+    h.observe(1);
+    h.observe(5);
+    h.observe(900);
+
+    const std::string text = reg.snapshot().prometheusText();
+    EXPECT_NE(text.find("# HELP capcheck_requests_executed "
+                        "fresh sims\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE capcheck_requests_executed counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("capcheck_requests_executed 4\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE capcheck_queue_depth gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE capcheck_span_endToEnd histogram\n"),
+              std::string::npos);
+    // Cumulative buckets: le="1" sees one sample, le="7" two, +Inf
+    // all three; _count and _sum close the series.
+    EXPECT_NE(text.find("capcheck_span_endToEnd_bucket{le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("capcheck_span_endToEnd_bucket{le=\"7\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("capcheck_span_endToEnd_bucket{le=\"+Inf\"} 3\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("capcheck_span_endToEnd_count 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("capcheck_span_endToEnd_sum 906\n"),
+              std::string::npos);
+}
+
+TEST(Metrics, ConcurrentWritersLoseNothing)
+{
+    MetricsRegistry reg;
+    auto &counter = reg.counter("hits");
+    auto &gauge = reg.gauge("level");
+    auto &histo = reg.histogram("lat");
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kIters = 5000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (unsigned i = 0; i < kIters; ++i) {
+                counter.inc();
+                gauge.add(1);
+                histo.observe(i % 64);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counterValue("hits"),
+              std::uint64_t{kThreads} * kIters);
+    EXPECT_EQ(snap.gaugeValue("level"),
+              std::int64_t{kThreads} * kIters);
+    EXPECT_EQ(snap.findHisto("lat")->samples,
+              std::uint64_t{kThreads} * kIters);
+}
+
+TEST(Span, SegmentsTelescopeToEndToEnd)
+{
+    RequestSpan span;
+    span.traceId = "t#0";
+    span.received = 100;
+    span.admitted = 150;
+    span.dequeued = 400;
+    span.executed = 900;
+    span.rendered = 950;
+    span.streamed = 1000;
+    EXPECT_EQ(span.admitNanos(), 50);
+    EXPECT_EQ(span.queueNanos(), 250);
+    EXPECT_EQ(span.executeNanos(), 500);
+    EXPECT_EQ(span.renderNanos(), 50);
+    EXPECT_EQ(span.streamNanos(), 50);
+    EXPECT_EQ(span.endToEndNanos(), 900);
+    EXPECT_EQ(span.admitNanos() + span.queueNanos() +
+                  span.executeNanos() + span.renderNanos() +
+                  span.streamNanos(),
+              span.endToEndNanos());
+    EXPECT_NO_THROW(span.checkInvariant());
+}
+
+TEST(Span, NonMonotoneStampsViolateTheInvariant)
+{
+    RequestSpan span;
+    span.traceId = "t#1";
+    span.received = 100;
+    span.admitted = 90; // admitted before received
+    span.dequeued = span.executed = 200;
+    span.rendered = 210;
+    span.streamed = 220;
+    EXPECT_THROW(span.checkInvariant(), SimError);
+}
+
+TEST(Span, ClockIsMonotone)
+{
+    obs::SpanClock clock;
+    const std::int64_t a = clock.nowNanos();
+    const std::int64_t b = clock.nowNanos();
+    EXPECT_GE(a, 0);
+    EXPECT_GE(b, a);
+}

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Integration tests for the serving-layer telemetry: the versioned
+ * ping/pong handshake, the byte-identical stats frame carrying the
+ * registry snapshot, the Prometheus exposition file, the structured
+ * JSONL server log, trace-id propagation, and the span-sum INVARIANT
+ * checked under two concurrent clients with overlapping hashes.
+ */
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/json_value.hh"
+#include "harness/run_request.hh"
+#include "obs/metrics.hh"
+#include "service/frame.hh"
+#include "service/remote.hh"
+#include "service/server.hh"
+#include "service/socket.hh"
+#include "service/sweep_service.hh"
+#include "service/wire.hh"
+#include "system/soc_config_builder.hh"
+
+using namespace capcheck;
+using namespace capcheck::service;
+using harness::RunRequest;
+using harness::SweepOptions;
+using system::SocConfigBuilder;
+using system::SystemMode;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        path = fs::temp_directory_path() /
+               ("capcheck_tel_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter++));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string str(const std::string &leaf) const
+    {
+        return (path / leaf).string();
+    }
+
+    static inline int counter = 0;
+};
+
+std::vector<RunRequest>
+sampleBatch()
+{
+    std::vector<RunRequest> requests;
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        requests.push_back(
+            RunRequest::single("aes", SocConfigBuilder()
+                                          .mode(SystemMode::ccpuAccel)
+                                          .numInstances(2)
+                                          .seed(seed)
+                                          .build()));
+        requests.push_back(
+            RunRequest::single("aes", SocConfigBuilder()
+                                          .mode(SystemMode::ccpuCaccel)
+                                          .numInstances(2)
+                                          .seed(seed)
+                                          .build()));
+    }
+    return requests;
+}
+
+/** One framed request/reply against a raw connection. */
+json::JsonValue
+rawRoundTrip(Fd &conn, const std::string &payload)
+{
+    sendFrame(conn.get(), payload);
+    auto reply = recvFrame(conn.get());
+    EXPECT_TRUE(reply.has_value());
+    std::string err;
+    auto v = json::parseJson(reply.value_or("null"), &err);
+    EXPECT_TRUE(v.has_value()) << err;
+    return v ? std::move(*v) : json::JsonValue();
+}
+
+SweepOptions
+clientOptions(const std::string &socket, const std::string &trace_id)
+{
+    SweepOptions opts;
+    opts.serverSocket = socket;
+    opts.traceId = trace_id;
+    opts.jobs = 1;
+    opts.progress = nullptr;
+    return opts;
+}
+
+/** Parse every JSONL line of @p path. */
+std::vector<json::JsonValue>
+readJsonl(const std::string &path)
+{
+    std::vector<json::JsonValue> events;
+    std::ifstream in(path);
+    EXPECT_TRUE(static_cast<bool>(in)) << "missing " << path;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string err;
+        auto v = json::parseJson(line, &err);
+        EXPECT_TRUE(v.has_value()) << err << ": " << line;
+        if (v)
+            events.push_back(std::move(*v));
+    }
+    return events;
+}
+
+std::int64_t
+num(const json::JsonValue &obj, const char *key)
+{
+    const json::JsonValue *v = obj.get(key);
+    EXPECT_NE(v, nullptr) << "missing field " << key;
+    return v ? static_cast<std::int64_t>(v->asNumber()) : 0;
+}
+
+std::string
+str(const json::JsonValue &obj, const char *key)
+{
+    const json::JsonValue *v = obj.get(key);
+    return v ? v->asString() : std::string();
+}
+
+} // namespace
+
+TEST(Telemetry, PongCarriesProtocolVersionAndBuildHash)
+{
+    TempDir dir;
+    ServerOptions so;
+    so.socketPath = dir.str("d.sock");
+    so.jobs = 1;
+    Server server(so);
+    server.start();
+
+    std::string err;
+    Fd conn = connectUnix(so.socketPath, &err);
+    ASSERT_TRUE(conn.valid()) << err;
+    const json::JsonValue pongv = rawRoundTrip(conn, encodePing());
+    EXPECT_EQ(messageType(pongv), "pong");
+    // The raw frame must carry the skew-detection fields...
+    EXPECT_NE(pongv.get("protocolVersion"), nullptr);
+    EXPECT_NE(pongv.get("build"), nullptr);
+    // ...and the typed decoder must agree with this build.
+    const auto pong = pongFromJson(pongv);
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_EQ(pong->protocol, protocolVersion);
+    EXPECT_EQ(pong->build, buildHash());
+    EXPECT_EQ(pong->build.size(), 16u) << "hashHex is 16 hex chars";
+
+    server.stop();
+}
+
+TEST(Telemetry, StatsFrameReEncodesByteIdentical)
+{
+    TempDir dir;
+    ServerOptions so;
+    so.socketPath = dir.str("d.sock");
+    so.jobs = 2;
+    Server server(so);
+    server.start();
+
+    // Give the registry non-trivial state first: fresh runs plus a
+    // resubmit that hits the memory cache.
+    RemoteService client(clientOptions(so.socketPath, "rt"));
+    client.submit(sampleBatch(), "telemetry");
+    client.submit(sampleBatch(), "telemetry");
+
+    std::string err;
+    Fd conn = connectUnix(so.socketPath, &err);
+    ASSERT_TRUE(conn.valid()) << err;
+    sendFrame(conn.get(), encodeStatsQuery());
+    auto reply = recvFrame(conn.get());
+    ASSERT_TRUE(reply.has_value());
+
+    auto v = json::parseJson(*reply, &err);
+    ASSERT_TRUE(v.has_value()) << err;
+    auto stats = statsFromJson(*v);
+    ASSERT_TRUE(stats.has_value());
+    ASSERT_TRUE(stats->metricsPresent);
+    EXPECT_FALSE(stats->metrics.empty());
+    EXPECT_EQ(encodeStats(*stats), *reply)
+        << "stats decode -> re-encode must be byte-stable";
+
+    server.stop();
+}
+
+TEST(Telemetry, SpansSumAndCountersConserveUnderConcurrentClients)
+{
+    TempDir dir;
+    ServerOptions so;
+    so.socketPath = dir.str("d.sock");
+    so.jobs = 2;
+    so.jsonLogFile = dir.str("events.jsonl");
+    so.metricsOutFile = dir.str("metrics.prom");
+    so.metricsIntervalMillis = 50;
+    Server server(so);
+    server.start();
+
+    // Two concurrent clients submitting the same hashes: every
+    // admission outcome — fresh execution, coalesced waiter, memory
+    // cache hit — shows up, and sendResult's span stamping has to
+    // hold for all of them. Client B sends no trace id, so the
+    // daemon must synthesize one.
+    std::thread a([&] {
+        RemoteService c(clientOptions(so.socketPath, "alpha"));
+        c.submit(sampleBatch(), "telemetry");
+        c.submit(sampleBatch(), "telemetry");
+    });
+    std::thread b([&] {
+        RemoteService c(clientOptions(so.socketPath, ""));
+        c.submit(sampleBatch(), "telemetry");
+    });
+    a.join();
+    b.join();
+
+    const ServiceStats stats = server.stats();
+    ASSERT_TRUE(stats.metricsPresent);
+    const obs::MetricsSnapshot &m = stats.metrics;
+
+    // Conservation identities over the admission/outcome counters.
+    EXPECT_EQ(m.counterValue("requests.received"),
+              m.counterValue("requests.admitted") +
+                  m.counterValue("requests.rejected"));
+    EXPECT_EQ(m.counterValue("requests.admitted"),
+              m.counterValue("requests.executed") +
+                  m.counterValue("requests.cacheHitsMem") +
+                  m.counterValue("requests.cacheHitsDisk") +
+                  m.counterValue("requests.coalesced") +
+                  m.counterValue("requests.failed"));
+    EXPECT_EQ(m.counterValue("requests.received"), 12u);
+    EXPECT_EQ(m.counterValue("requests.rejected"), 0u);
+    EXPECT_EQ(m.counterValue("requests.executed"), 4u)
+        << "4 distinct hashes simulate once across both clients";
+    EXPECT_EQ(m.counterValue("requests.failed"), 0u);
+
+    // The span histograms saw every admitted request.
+    const obs::MetricsSnapshot::Histo *e2e =
+        m.findHisto("span.endToEnd");
+    ASSERT_NE(e2e, nullptr);
+    EXPECT_EQ(e2e->samples, 12u);
+
+    server.stop();
+
+    // The JSONL log: one complete event per admitted request, each
+    // satisfying the span-sum identity exactly, tagged with either
+    // the client-provided or the synthesized trace id.
+    std::size_t completes = 0, alpha = 0, synthesized = 0;
+    for (const json::JsonValue &ev : readJsonl(so.jsonLogFile)) {
+        if (str(ev, "event") != "complete")
+            continue;
+        ++completes;
+        const std::int64_t sum =
+            num(ev, "admitNanos") + num(ev, "queueNanos") +
+            num(ev, "executeNanos") + num(ev, "renderNanos") +
+            num(ev, "streamNanos");
+        EXPECT_EQ(sum, num(ev, "endToEndNanos"))
+            << "trace " << str(ev, "traceId");
+        const std::string trace = str(ev, "traceId");
+        if (trace.rfind("alpha#", 0) == 0)
+            ++alpha;
+        else if (trace.rfind("client", 0) == 0)
+            ++synthesized;
+        EXPECT_EQ(str(ev, "hash").size(), 16u);
+    }
+    EXPECT_EQ(completes, 12u);
+    EXPECT_EQ(alpha, 8u);
+    EXPECT_EQ(synthesized, 4u);
+
+    // stop() wrote a final Prometheus exposition; it must agree with
+    // the registry and carry the conservation inputs CI scrapes.
+    std::ifstream prom(so.metricsOutFile);
+    ASSERT_TRUE(static_cast<bool>(prom));
+    std::ostringstream text;
+    text << prom.rdbuf();
+    EXPECT_NE(text.str().find("capcheck_requests_admitted 12\n"),
+              std::string::npos)
+        << text.str();
+    EXPECT_NE(text.str().find("capcheck_span_endToEnd_count 12\n"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("# TYPE capcheck_queue_depth gauge\n"),
+              std::string::npos);
+}
+
+TEST(Telemetry, AdmitAndRejectEventsLandInTheJsonLog)
+{
+    TempDir dir;
+    ServerOptions so;
+    so.socketPath = dir.str("d.sock");
+    so.jobs = 1;
+    so.maxBatchRequests = 2; // force an oversizeBatch rejection
+    so.jsonLogFile = dir.str("events.jsonl");
+    Server server(so);
+    server.start();
+
+    RemoteService client(clientOptions(so.socketPath, "tiny"));
+    std::vector<RunRequest> two = sampleBatch();
+    two.resize(2);
+    client.submit(two, "telemetry");
+    EXPECT_THROW(client.submit(sampleBatch(), "telemetry"),
+                 ServiceError);
+
+    const ServiceStats stats = server.stats();
+    ASSERT_TRUE(stats.metricsPresent);
+    EXPECT_EQ(stats.metrics.counterValue("batches.rejected"), 1u);
+    EXPECT_EQ(stats.metrics.counterValue("requests.rejected"), 4u);
+    EXPECT_EQ(stats.metrics.counterValue("requests.received"), 6u);
+
+    server.stop();
+
+    std::size_t admits = 0, rejects = 0;
+    for (const json::JsonValue &ev : readJsonl(so.jsonLogFile)) {
+        const std::string kind = str(ev, "event");
+        if (kind == "admit") {
+            ++admits;
+            EXPECT_EQ(num(ev, "requests"), 2);
+        } else if (kind == "reject") {
+            ++rejects;
+            EXPECT_EQ(str(ev, "code"), errOversizeBatch);
+            EXPECT_EQ(num(ev, "requests"), 4);
+        }
+    }
+    EXPECT_EQ(admits, 1u);
+    EXPECT_EQ(rejects, 1u);
+}

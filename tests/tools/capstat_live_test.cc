@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for `capstat live`: argument parsing, the one-shot dashboard
+ * rendered against a live capcheckd, and the --latency-out document,
+ * which must load like any other latency artefact and self-diff green
+ * at tolerance 0 so daemon-side p95 gates can ride on it.
+ */
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/run_request.hh"
+#include "live.hh"
+#include "service/remote.hh"
+#include "service/server.hh"
+#include "statdiff.hh"
+#include "system/soc_config_builder.hh"
+
+using namespace capcheck;
+using namespace capcheck::tools;
+using harness::RunRequest;
+using harness::SweepOptions;
+using service::RemoteService;
+using service::Server;
+using service::ServerOptions;
+using system::SocConfigBuilder;
+using system::SystemMode;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        path = fs::temp_directory_path() /
+               ("capcheck_live_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter++));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string str(const std::string &leaf) const
+    {
+        return (path / leaf).string();
+    }
+
+    static inline int counter = 0;
+};
+
+std::vector<RunRequest>
+sampleBatch()
+{
+    std::vector<RunRequest> requests;
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        requests.push_back(
+            RunRequest::single("aes", SocConfigBuilder()
+                                          .mode(SystemMode::ccpuAccel)
+                                          .numInstances(2)
+                                          .seed(seed)
+                                          .build()));
+        requests.push_back(
+            RunRequest::single("aes", SocConfigBuilder()
+                                          .mode(SystemMode::ccpuCaccel)
+                                          .numInstances(2)
+                                          .seed(seed)
+                                          .build()));
+    }
+    return requests;
+}
+
+} // namespace
+
+TEST(CapstatLive, ParseArgs)
+{
+    LiveOptions opts;
+    std::string error;
+    EXPECT_TRUE(parseLiveArgs({"/tmp/d.sock", "--once",
+                               "--latency-out=/tmp/l.json",
+                               "--label", "svc", "--interval", "25"},
+                              opts, &error))
+        << error;
+    EXPECT_EQ(opts.socketPath, "/tmp/d.sock");
+    EXPECT_TRUE(opts.once);
+    EXPECT_EQ(opts.count, 1u) << "--once forces a single poll";
+    EXPECT_EQ(opts.latencyOut, "/tmp/l.json");
+    EXPECT_EQ(opts.label, "svc");
+    EXPECT_EQ(opts.intervalMillis, 25u);
+
+    LiveOptions counted;
+    EXPECT_TRUE(
+        parseLiveArgs({"--count=3", "/tmp/d.sock"}, counted, &error));
+    EXPECT_EQ(counted.count, 3u);
+
+    LiveOptions bad;
+    EXPECT_FALSE(parseLiveArgs({}, bad, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseLiveArgs({"/tmp/d.sock", "--bogus"}, bad,
+                               &error));
+    EXPECT_FALSE(
+        parseLiveArgs({"/tmp/a.sock", "/tmp/b.sock"}, bad, &error));
+}
+
+TEST(CapstatLive, AbsentSocketFailsWithExitTwo)
+{
+    TempDir dir;
+    LiveOptions opts;
+    opts.socketPath = dir.str("nothing.sock");
+    opts.once = true;
+    opts.count = 1;
+    std::ostringstream out;
+    EXPECT_EQ(runLive(out, opts), 2);
+    EXPECT_NE(out.str().find("cannot connect"), std::string::npos);
+}
+
+TEST(CapstatLive, OnceRendersDashboardAndLatencyDocumentGates)
+{
+    TempDir dir;
+    ServerOptions so;
+    so.socketPath = dir.str("d.sock");
+    so.jobs = 2;
+    Server server(so);
+    server.start();
+
+    {
+        SweepOptions copts;
+        copts.serverSocket = so.socketPath;
+        copts.progress = nullptr;
+        RemoteService client(copts);
+        client.submit(sampleBatch(), "live");
+        client.submit(sampleBatch(), "live"); // cache hits too
+    }
+
+    LiveOptions opts;
+    opts.socketPath = so.socketPath;
+    opts.once = true;
+    opts.count = 1;
+    opts.latencyOut = dir.str("service.latency.json");
+    opts.label = "service";
+    std::ostringstream out;
+    EXPECT_EQ(runLive(out, opts), 0) << out.str();
+    const std::string text = out.str();
+
+    // Non-empty dashboard: handshake line, the counter summaries and
+    // the span percentile table all rendered from live daemon state.
+    EXPECT_NE(text.find("capcheckd on " + so.socketPath),
+              std::string::npos);
+    EXPECT_EQ(text.find("warning"), std::string::npos)
+        << "no protocol/build skew against our own daemon";
+    EXPECT_NE(text.find("-- poll 1 --"), std::string::npos);
+    EXPECT_NE(text.find("requests: received=8"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("executed=4"), std::string::npos);
+    EXPECT_NE(text.find("endToEnd"), std::string::npos);
+    EXPECT_NE(text.find("wire: in"), std::string::npos);
+
+    server.stop();
+
+    // The latency document is a first-class artefact: it loads, its
+    // metrics are finite, and a self-diff at tolerance 0 is green.
+    LatencyReport report;
+    std::string error;
+    ASSERT_TRUE(loadLatencyDocument(opts.latencyOut, report, &error))
+        << error;
+    ASSERT_EQ(report.runs.size(), 1u);
+    EXPECT_EQ(report.runs[0].label, "service");
+    const double p95 = report.runs[0].metric("endToEnd.p95");
+    EXPECT_TRUE(std::isfinite(p95));
+    EXPECT_GE(p95, 0.0);
+
+    DiffOptions dopts;
+    dopts.tolerancePct = 0.0;
+    const DiffResult diff = diffReports(report, report, dopts);
+    EXPECT_FALSE(diff.deltas.empty());
+    std::ostringstream diag;
+    EXPECT_FALSE(printDiff(diag, diff, dopts))
+        << "self-diff must never regress: " << diag.str();
+}

@@ -10,9 +10,13 @@
  *   capcheckd --socket /tmp/capcheck.sock [--jobs N]
  *             [--cache-dir DIR] [--cache-max-bytes N]
  *             [--max-queue N] [--max-inflight N] [--quiet]
+ *             [--metrics-out FILE] [--metrics-interval MS]
+ *             [--log-json FILE] [--slow-millis N]
  *
  * Prints "capcheckd: ready on <socket>" once accepting connections
- * (scripts wait for that line), then runs until SIGINT/SIGTERM.
+ * (scripts wait for that line), then runs until SIGINT/SIGTERM. The
+ * shutdown summary (with the mem-vs-disk cache-hit split from the
+ * metrics registry) goes to stderr, like every other log line.
  */
 
 #include <csignal>
@@ -62,6 +66,14 @@ usage(const char *argv0, int code)
         "(default 512)\n"
         "  --max-batch N        largest accepted batch "
         "(default 4096)\n"
+        "  --metrics-out FILE   Prometheus text exposition, "
+        "atomically rewritten on an interval\n"
+        "  --metrics-interval MS  exposition rewrite period "
+        "(default 1000)\n"
+        "  --log-json FILE      structured JSONL event log "
+        "(admit/reject/complete/slow)\n"
+        "  --slow-millis N      slow-request threshold for the JSONL "
+        "log (default 1000, 0 = off)\n"
         "  --quiet              no per-client log lines\n",
         argv0);
     std::exit(code);
@@ -116,6 +128,15 @@ main(int argc, char **argv)
         } else if (arg == "--max-batch") {
             opts.maxBatchRequests =
                 static_cast<std::size_t>(std::atoll(value()));
+        } else if (arg == "--metrics-out") {
+            opts.metricsOutFile = value();
+        } else if (arg == "--metrics-interval") {
+            opts.metricsIntervalMillis =
+                static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--log-json") {
+            opts.jsonLogFile = value();
+        } else if (arg == "--slow-millis") {
+            opts.slowMillis = std::strtoull(value(), nullptr, 10);
         } else if (arg == "--quiet") {
             opts.log = nullptr;
         } else if (arg == "--help" || arg == "-h") {
@@ -165,11 +186,22 @@ main(int argc, char **argv)
 
     const service::ServiceStats stats = server.stats();
     server.stop();
-    std::printf("capcheckd: shut down (executed=%llu cacheHits=%llu "
-                "rejectedOverload=%llu)\n",
-                static_cast<unsigned long long>(stats.executed),
-                static_cast<unsigned long long>(stats.cacheHits),
-                static_cast<unsigned long long>(
-                    stats.rejectedOverload));
+    // stderr, like every log line: stdout stays reserved for the
+    // machine-readable ready line.
+    const auto c = [&](const char *name) {
+        return static_cast<unsigned long long>(
+            stats.metrics.counterValue(name));
+    };
+    std::fprintf(stderr,
+                 "capcheckd: shut down (executed=%llu cacheHits=%llu "
+                 "[mem=%llu disk=%llu coalesced=%llu] "
+                 "rejectedOverload=%llu)\n",
+                 static_cast<unsigned long long>(stats.executed),
+                 static_cast<unsigned long long>(stats.cacheHits),
+                 c("requests.cacheHitsMem"),
+                 c("requests.cacheHitsDisk"),
+                 c("requests.coalesced"),
+                 static_cast<unsigned long long>(
+                     stats.rejectedOverload));
     return 0;
 }

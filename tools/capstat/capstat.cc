@@ -8,11 +8,17 @@
  *                   [--tolerance PCT]         p50/p95/p99 regression
  *                   [--metric PATH]...
  *   capstat top     FLIGHTS.json [-n N]       slowest-requests table
+ *   capstat live    SOCKET [--interval MS]    live capcheckd dashboard
+ *                   [--count N | --once]      (queue/cache/span table)
+ *                   [--latency-out FILE]
  *
  * Both report and diff accept single-run artefacts (run-*.latency.json)
  * and merged reports interchangeably; runs are keyed by their embedded
  * label, so a committed baseline keeps matching after config-hash
- * changes. Exit codes: 0 ok, 1 latency regression, 2 usage/IO error.
+ * changes. `capstat live --latency-out` writes the daemon's span
+ * histograms as a service-latency document that diff/report consume
+ * like any other latency artefact — daemon p95 gates in CI ride on
+ * that. Exit codes: 0 ok, 1 latency regression, 2 usage/IO error.
  */
 
 #include <cstring>
@@ -21,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "live.hh"
 #include "statdiff.hh"
 
 namespace
@@ -35,7 +42,10 @@ usage(std::ostream &os)
           "       capstat merge -o OUT.json LATENCY.json...\n"
           "       capstat diff [--tolerance PCT] [--metric PATH]...\n"
           "                    BASELINE.json CURRENT.json...\n"
-          "       capstat top FLIGHTS.json [-n N]\n";
+          "       capstat top FLIGHTS.json [-n N]\n"
+          "       capstat live SOCKET [--interval MS] [--count N]\n"
+          "                    [--once] [--latency-out FILE]\n"
+          "                    [--label LABEL]\n";
 }
 
 int
@@ -147,6 +157,16 @@ cmdDiff(const std::vector<std::string> &args)
 }
 
 int
+cmdLive(const std::vector<std::string> &args)
+{
+    LiveOptions opts;
+    std::string error;
+    if (!parseLiveArgs(args, opts, &error))
+        return fail(error);
+    return runLive(std::cout, opts);
+}
+
+int
 cmdTop(const std::vector<std::string> &args)
 {
     unsigned limit = 0;
@@ -192,6 +212,8 @@ main(int argc, char **argv)
         return cmdDiff(args);
     if (cmd == "top")
         return cmdTop(args);
+    if (cmd == "live")
+        return cmdLive(args);
 
     usage(std::cerr);
     return 2;

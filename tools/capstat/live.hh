@@ -1,0 +1,59 @@
+/**
+ * @file
+ * `capstat live`: the terminal dashboard over a running capcheckd.
+ * Connects to the daemon socket, pings (printing the daemon's
+ * protocol version and build hash, warning on build skew), then polls
+ * the extended stats frame and renders queue / cache / throughput
+ * lines plus the span-latency histogram table. With --latency-out it
+ * also writes the daemon's service-latency document, which
+ * `capstat diff` consumes like any flight-recorder latency artefact —
+ * that is the CI hook for gating daemon-side p95.
+ */
+
+#ifndef CAPCHECK_TOOLS_CAPSTAT_LIVE_HH
+#define CAPCHECK_TOOLS_CAPSTAT_LIVE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capcheck::tools
+{
+
+struct LiveOptions
+{
+    /** Unix-domain socket of the capcheckd daemon. */
+    std::string socketPath;
+
+    /** Milliseconds between polls. */
+    unsigned intervalMillis = 1000;
+
+    /** Polls before exiting; 0 = until interrupted. */
+    unsigned count = 0;
+
+    /** Render one snapshot and exit (same as count = 1). */
+    bool once = false;
+
+    /** Write the daemon's service-latency document (consumable by
+     *  `capstat report` / `capstat diff`) after the final poll. */
+    std::string latencyOut;
+
+    /** Run label embedded in the latency document. */
+    std::string label = "service";
+};
+
+/**
+ * Run the dashboard against @p opts.socketPath, rendering to @p os.
+ * @return 0 on success, 2 on connect/protocol/IO errors (matching
+ * the capstat CLI's exit-code contract).
+ */
+int runLive(std::ostream &os, const LiveOptions &opts);
+
+/** Parse `capstat live` CLI arguments; false + @p error on bad
+ *  usage. The one positional argument is the socket path. */
+bool parseLiveArgs(const std::vector<std::string> &args,
+                   LiveOptions &opts, std::string *error);
+
+} // namespace capcheck::tools
+
+#endif // CAPCHECK_TOOLS_CAPSTAT_LIVE_HH
