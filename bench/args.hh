@@ -20,6 +20,7 @@
 
 #include "base/trace.hh"
 #include "harness/sweep_options.hh"
+#include "sim/kernels/registry.hh"
 #include "system/topology.hh"
 
 namespace capcheck::bench
@@ -40,6 +41,13 @@ inline std::string cliTopologyFile; // NOLINT(cert-err58-cpp)
  * shape for the non-CHERI points instead of fataling mid-sweep.
  */
 inline bool cliTopologyNeedsChecker = false;
+/**
+ * The --kernel choice from the last parseOptions() call; modeConfig()
+ * folds it into every SocConfig, so one flag switches a whole sweep
+ * between the reference and fast simulation kernels (or the
+ * differential compare harness).
+ */
+inline sim::SimKernel cliKernel = sim::SimKernel::ref;
 } // namespace detail
 
 /** The options every bench harness accepts. */
@@ -56,6 +64,9 @@ struct BenchOptions
     bool dumpTopology = false;
     /** Builtin dumped when no --topology file names one. */
     std::string dumpTopologyMode = "ccpu+caccel";
+
+    /** --kernel ref|fast|compare: simulation kernel for every run. */
+    sim::SimKernel kernel = sim::SimKernel::ref;
 };
 
 inline void
@@ -70,7 +81,8 @@ printUsage(const char *argv0)
         << " [--audit-log DIR]\n"
         << "       [--flight-out DIR] [--latency-json DIR] [--topn N]"
         << " [--debug-flags LIST]\n"
-        << "       [--topology FILE] [--dump-topology]\n"
+        << "       [--topology FILE] [--dump-topology]"
+        << " [--kernel ref|fast|compare]\n"
         << "  --jobs N            worker threads (default: all cores)\n"
         << "  --json-dir DIR      write run-<hash>.json + manifest\n"
         << "  --no-cache          re-simulate repeated requests\n"
@@ -106,6 +118,11 @@ printUsage(const char *argv0)
         << "                      shape for each mode\n"
         << "  --dump-topology     print the (builtin or loaded)\n"
         << "                      topology as canonical JSON and exit\n"
+        << "  --kernel NAME       simulation kernel: ref (default),\n"
+        << "                      fast (hash-indexed tables, bucketed\n"
+        << "                      event queue, retry-driven replay;\n"
+        << "                      bit-identical results), or compare\n"
+        << "                      (run both, fail on any divergence)\n"
         << "  --debug-flags LIST  enable debug flags (? lists them)\n";
 }
 
@@ -187,6 +204,17 @@ parseOptions(int argc, char **argv)
         } else if (arg.rfind("--latency-json=", 0) == 0) {
             opts.sweep.latencyDir =
                 arg.substr(std::strlen("--latency-json="));
+        } else if (arg == "--kernel" || arg.rfind("--kernel=", 0) == 0) {
+            const std::string name =
+                arg == "--kernel"
+                    ? std::string(next())
+                    : arg.substr(std::strlen("--kernel="));
+            if (!sim::simKernelFromName(name, opts.kernel)) {
+                std::cerr << "unknown --kernel '" << name
+                          << "'; choices: "
+                          << sim::simKernelChoices() << "\n";
+                std::exit(2);
+            }
         } else if (arg == "--topology") {
             opts.topology = next();
         } else if (arg.rfind("--topology=", 0) == 0) {
@@ -194,9 +222,24 @@ parseOptions(int argc, char **argv)
         } else if (arg == "--dump-topology" ||
                    arg.rfind("--dump-topology=", 0) == 0) {
             opts.dumpTopology = true;
-            if (arg.rfind("--dump-topology=", 0) == 0)
+            if (arg.rfind("--dump-topology=", 0) == 0) {
                 opts.dumpTopologyMode =
                     arg.substr(std::strlen("--dump-topology="));
+                bool known = false;
+                for (const std::string &n :
+                     system::Topology::builtinNames())
+                    known = known || n == opts.dumpTopologyMode;
+                if (!known) {
+                    std::cerr << "unknown --dump-topology mode '"
+                              << opts.dumpTopologyMode
+                              << "'; choices:";
+                    for (const std::string &n :
+                         system::Topology::builtinNames())
+                        std::cerr << " " << n;
+                    std::cerr << "\n";
+                    std::exit(2);
+                }
+            }
         } else if (arg == "--topn") {
             opts.sweep.topN =
                 static_cast<unsigned>(std::atoi(next()));
@@ -231,6 +274,7 @@ parseOptions(int argc, char **argv)
     }
     opts.sweep.progress = opts.quiet ? nullptr : &std::cerr;
     detail::cliTopologyFile = opts.topology;
+    detail::cliKernel = opts.kernel;
     if (!opts.topology.empty() && !opts.dumpTopology) {
         // Fail at the command line, not mid-sweep: a missing or
         // malformed file is an argument error, not a simulation one.

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "base/random.hh"
 #include "capchecker/capchecker.hh"
 #include "cheri/compressed.hh"
@@ -49,13 +51,14 @@ BM_CcDecode(benchmark::State &state)
 }
 BENCHMARK(BM_CcDecode);
 
-capchecker::CapChecker
+std::unique_ptr<capchecker::CapChecker>
 makeLoadedChecker(capchecker::Provenance prov, unsigned tasks,
                   unsigned objects)
 {
     capchecker::CapChecker::Params params;
     params.provenance = prov;
-    capchecker::CapChecker checker(params);
+    auto checker_ptr = std::make_unique<capchecker::CapChecker>(params);
+    capchecker::CapChecker &checker = *checker_ptr;
     const cheri::Capability root = cheri::Capability::root();
     for (TaskId t = 0; t < tasks; ++t) {
         for (ObjectId o = 0; o < objects; ++o) {
@@ -66,7 +69,7 @@ makeLoadedChecker(capchecker::Provenance prov, unsigned tasks,
                     .andPerms(cheri::permDataRW));
         }
     }
-    return checker;
+    return checker_ptr;
 }
 
 void
@@ -82,7 +85,7 @@ BM_CapCheckerFine(benchmark::State &state)
     req.object = static_cast<ObjectId>(state.range(0) / 2);
     req.addr = 0x100000ull * (3 * state.range(0) + req.object + 1) + 64;
     for (auto _ : state)
-        benchmark::DoNotOptimize(checker.check(req));
+        benchmark::DoNotOptimize(checker->check(req));
 }
 BENCHMARK(BM_CapCheckerFine)->Arg(3)->Arg(7)->Arg(16);
 
@@ -99,7 +102,7 @@ BM_CapCheckerCoarse(benchmark::State &state)
     const Addr phys = 0x100000ull * (3 * 7 + 2 + 1) + 64;
     req.addr = (Addr{2} << capchecker::CapChecker::coarseAddrBits) | phys;
     for (auto _ : state)
-        benchmark::DoNotOptimize(checker.check(req));
+        benchmark::DoNotOptimize(checker->check(req));
 }
 BENCHMARK(BM_CapCheckerCoarse);
 

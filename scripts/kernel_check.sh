@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Differential + performance gate for the fast simulation kernels
+# (sim/kernels registry, --kernel fast).
+#
+# Three stages:
+#  1. Run the quick benchmark grid with --kernel compare: every point
+#     executes under the reference and fast kernels back to back and
+#     the harness panics on any divergence in results, stats dumps, or
+#     observability artefacts (byte-for-byte).
+#  2. Run the grid timed under --kernel ref and --kernel fast (both
+#     --no-cache, same --jobs) with the flight recorder on, and diff
+#     the merged latency artefacts at ZERO tolerance in both
+#     directions (a one-sided diff would let improvements slip
+#     through; bit-exactness has no good direction). --strip-label
+#     kernel removes the deliberate " kernel=fast" label axis so the
+#     runs pair up. The grid wall-clocks are recorded for reference
+#     but not gated: the grid mixes in compute-bound workloads whose
+#     event streams are identical under both kernels (every beat is
+#     followed by a datapath delay, so there is no polling to remove)
+#     plus per-point host work (trace generation, functional checks)
+#     that no simulation kernel can speed up.
+#  3. Gate the wall-clock speedup on kernel_bench, which measures the
+#     configuration the fast kernels target — replaying a DMA-bound
+#     benchmark at full instance contention — interleaving ref and
+#     fast rounds and taking best-of-N to strip scheduler noise. Fast
+#     must beat ref by at least KERNEL_MIN_SPEEDUP (default 1.3); the
+#     measurement is written to OUT.json (see BENCH_kernels.json at
+#     the repo root for a sample). Unlike BENCH_baseline.json these
+#     numbers are host wall-clock, so the committed file documents
+#     one machine — the gate always recomputes.
+#
+# usage: kernel_check.sh BUILD_DIR [OUT.json]
+set -euo pipefail
+
+build=${1:?usage: kernel_check.sh BUILD_DIR [OUT.json]}
+out=${2:-BENCH_kernels.json}
+min=${KERNEL_MIN_SPEEDUP:-1.3}
+jobs=${JOBS:-2}
+rounds=${KERNEL_BENCH_ROUNDS:-3}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "kernel_check: [1/3] differential gate (--kernel compare)"
+"$build/bench/sweep_grid" --quick --quiet --no-cache --jobs "$jobs" \
+    --kernel compare
+
+echo "kernel_check: [2/3] timed grids + tolerance-0 artefact diff"
+timed_grid() { # kernel -> wall-clock seconds on stdout
+    local kernel=$1
+    local t0 t1
+    mkdir -p "$work/$kernel"
+    t0=$(date +%s%N)
+    "$build/bench/sweep_grid" --quick --quiet --no-cache \
+        --jobs "$jobs" --kernel "$kernel" \
+        --latency-json "$work/$kernel" >&2
+    t1=$(date +%s%N)
+    "$build/tools/capstat" merge -o "$work/$kernel.json" \
+        "$work/$kernel"/run-*.latency.json >&2
+    awk "BEGIN { printf \"%.3f\", ($t1 - $t0) / 1e9 }"
+}
+
+grid_ref_secs=$(timed_grid ref)
+grid_fast_secs=$(timed_grid fast)
+
+"$build/tools/capstat" diff --tolerance 0 --strip-label kernel \
+    "$work/ref.json" "$work/fast.json"
+"$build/tools/capstat" diff --tolerance 0 --strip-label kernel \
+    "$work/fast.json" "$work/ref.json"
+
+echo "kernel_check: [3/3] wall-clock gate (kernel_bench, best-of-$rounds)"
+bench_out=$("$build/bench/kernel_bench" --jobs "$jobs" \
+    --repeat "$rounds" --quiet | tee /dev/stderr | \
+    awk '/^kernel_bench: /{ print $2, $3, $4 }')
+ref_secs=$(echo "$bench_out" | sed 's/.*ref=\([0-9.]*\).*/\1/')
+fast_secs=$(echo "$bench_out" | sed 's/.*fast=\([0-9.]*\).*/\1/')
+speedup=$(echo "$bench_out" | sed 's/.*speedup=\([0-9.]*\).*/\1/')
+
+cat > "$out" <<EOF
+{
+  "bench": "kernel_bench (kmp, 8 tasks, ccpu+accel and ccpu+caccel)",
+  "jobs": $jobs,
+  "rounds": $rounds,
+  "refWallSeconds": $ref_secs,
+  "fastWallSeconds": $fast_secs,
+  "speedup": $speedup,
+  "minSpeedup": $min,
+  "quickGridRefWallSeconds": $grid_ref_secs,
+  "quickGridFastWallSeconds": $grid_fast_secs
+}
+EOF
+
+echo "kernel_check: ref ${ref_secs}s, fast ${fast_secs}s," \
+     "speedup ${speedup}x (floor ${min}x); wrote $out"
+awk "BEGIN { exit !($speedup >= $min) }" || {
+    echo "kernel_check: FAIL: speedup ${speedup}x below ${min}x floor"
+    exit 1
+}
+echo "kernel_check: PASS"

@@ -14,14 +14,15 @@ TracePlayer::TracePlayer(EventQueue &eq, stats::StatGroup *parent_stats,
                          const workloads::KernelSpec &spec,
                          InstanceTrace trace,
                          std::vector<BufferMapping> buffers, TaskId task,
-                         PortId port, AddressingMode addressing)
+                         PortId port, AddressingMode addressing,
+                         bool fast_replay)
     : TickingObject(eq, std::move(name), parent_stats,
                     Event::requestPrio),
       spec(spec), trace(std::move(trace)), buffers(std::move(buffers)),
       taskId(task), port(port),
       memSidePort(*this, "mem_side",
                   static_cast<ResponseHandler &>(*this)),
-      addressing(addressing),
+      addressing(addressing), fastReplay(fast_replay),
       beatsIssued(stats, "beats", "DMA beats issued"),
       deniedResponses(stats, "denied", "beats denied by protection")
 {
@@ -107,8 +108,44 @@ TracePlayer::handleResponse(const MemResponse &resp)
         _failed = true;
         CAPCHECK_DPRINTF(debug::accel, "%s: beat denied, aborting",
                          name().c_str());
+        activate(1);
+        return;
     }
-    activate(1);
+    // While the retry wake is armed the player is waiting on its
+    // crossbar slot, and a response alone cannot unblock the next
+    // issue — only the grant that frees the slot can (and its retry
+    // wakes us). Skipping the wake here drops one no-op tick per
+    // in-flight beat in fast replay; the reference never arms it, so
+    // its every-cycle ticking is untouched.
+    if (!awaitRetry)
+        activate(1);
+}
+
+void
+TracePlayer::handleRetry()
+{
+    // Fast replay sleeps between issues; the crossbar's grant just
+    // freed our slot, so tick again later this same cycle (the grant
+    // runs at arbitratePrio, our tick at requestPrio — the cycle the
+    // reference player's poll would issue on). Only honoured while
+    // awaitRetry is armed, i.e. while the reference would be polling:
+    // a retry arriving while both players sleep on a response-driven
+    // precondition must not wake us, because the reference reactivates
+    // one cycle after the response and a same-cycle grant would let
+    // the fast player issue a cycle early. The reference player's
+    // handleRetry is the base no-op.
+    if (fastReplay && awaitRetry)
+        activate(0);
+}
+
+bool
+TracePlayer::pollSleep()
+{
+    // The reference keeps ticking every cycle from here (the ticks do
+    // no work until the slot state changes); fast replay sleeps and
+    // lets the grant retry re-arm the tick on the issuing cycle.
+    awaitRetry = fastReplay;
+    return !fastReplay;
 }
 
 void
@@ -125,6 +162,10 @@ TracePlayer::finish()
 bool
 TracePlayer::tick()
 {
+    // Every return path below re-decides whether a grant retry may
+    // wake us; only pollSleep() arms it.
+    awaitRetry = false;
+
     if (phase == Phase::idle || phase == Phase::done)
         return false;
 
@@ -161,9 +202,22 @@ TracePlayer::tick()
         if (outstanding >= streamCredits)
             return false; // reactivated by a response
         const StreamBeat &beat = beats[streamIndex];
-        if (issue(beat.cmd, beat.obj, beat.off, beat.size))
+        if (issue(beat.cmd, beat.obj, beat.off, beat.size)) {
             ++streamIndex;
-        return true;
+            if (outstanding >= streamCredits) {
+                // This beat saturated the credit window. The reference
+                // hits the credit check on its next tick and falls into
+                // response-driven sleep; fast replay must take that
+                // same tick rather than arm the retry wake, because a
+                // grant landing on the same cycle as the
+                // credit-freeing response would otherwise pull the
+                // next issue one cycle early (grants fire at
+                // arbitratePrio, after the response has already
+                // dropped `outstanding` below the cap).
+                return true;
+            }
+        }
+        return pollSleep();
       }
 
       case Phase::body: {
@@ -189,9 +243,28 @@ TracePlayer::tick()
           case TraceOp::Kind::access:
             if (outstanding >= spec.timing.maxOutstanding)
                 return false;
-            if (issue(op.cmd, op.obj, op.off, op.size))
+            if (issue(op.cmd, op.obj, op.off, op.size)) {
                 ++opIndex;
-            return true;
+                if (outstanding >= spec.timing.maxOutstanding) {
+                    // Credit-saturating issue: take one more tick so
+                    // we land in the same response-driven sleep as
+                    // the reference (see the stream-phase comment for
+                    // the same-cycle grant/response hazard).
+                    return true;
+                }
+                if (opIndex >= trace.ops.size() ||
+                    trace.ops[opIndex].kind != TraceOp::Kind::access) {
+                    // A delay, barrier or the phase transition
+                    // follows: the reference clocks it off the next
+                    // cycle's tick, so both players must take it.
+                    return true;
+                }
+                // Next op is another beat: the reference polls until
+                // the slot frees; fast replay sleeps until the grant
+                // retry, which lands on the same issuing cycle.
+                return pollSleep();
+            }
+            return pollSleep();
         }
         return true;
       }

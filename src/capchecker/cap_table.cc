@@ -1,19 +1,31 @@
 #include "capchecker/cap_table.hh"
 
+#include "base/invariant.hh"
 #include "base/logging.hh"
+#include "capchecker/pair_index.hh"
 
 namespace capcheck::capchecker
 {
 
-CapTable::CapTable(unsigned num_entries) : entries(num_entries)
+CapTable::CapTable(unsigned num_entries, bool fast_index)
+    : entries(num_entries)
 {
     if (num_entries == 0)
         fatal("CapTable needs at least one entry");
+    if (fast_index)
+        index = std::make_unique<PairIndex>(num_entries);
 }
+
+CapTable::~CapTable() = default;
 
 CapTable::Entry *
 CapTable::find(TaskId task, ObjectId object)
 {
+    if (index) {
+        if (const auto slot = index->find(task, object))
+            return &entries[*slot];
+        return nullptr;
+    }
     for (Entry &entry : entries) {
         if (entry.valid && entry.task == task && entry.object == object)
             return &entry;
@@ -52,6 +64,10 @@ CapTable::install(TaskId task, ObjectId object,
         entry.decoded = cheri::Capability::fromCompressed(
             entry.tag, entry.pesbt, entry.cursor);
         ++liveCount;
+        if (index)
+            index->insert(task, object, i);
+        if (paranoidChecks)
+            checkConservation();
         return i;
     }
     return std::nullopt;
@@ -60,18 +76,18 @@ CapTable::install(TaskId task, ObjectId object,
 const CapTable::Entry *
 CapTable::lookup(TaskId task, ObjectId object) const
 {
-    for (const Entry &entry : entries) {
-        if (entry.valid && entry.task == task && entry.object == object)
-            return &entry;
-    }
-    return nullptr;
+    return const_cast<CapTable *>(this)->find(task, object);
 }
 
 void
 CapTable::markException(TaskId task, ObjectId object)
 {
-    if (Entry *entry = find(task, object))
-        entry->exception = true;
+    Entry *entry = find(task, object);
+    INVARIANT(entry != nullptr,
+              "CapTable: marking an exception for (task %u, object %u) "
+              "with no matching entry — driver/checker desync",
+              task, object);
+    entry->exception = true;
 }
 
 unsigned
@@ -80,12 +96,47 @@ CapTable::evictTask(TaskId task)
     unsigned freed = 0;
     for (Entry &entry : entries) {
         if (entry.valid && entry.task == task) {
+            if (index)
+                index->erase(entry.task, entry.object);
             entry = Entry{};
             ++freed;
         }
     }
+    INVARIANT(liveCount >= freed,
+              "CapTable: evicting %u entries of task %u with only %zu "
+              "live",
+              freed, task, liveCount);
     liveCount -= freed;
+    if (paranoidChecks)
+        checkConservation();
     return freed;
+}
+
+void
+CapTable::checkConservation() const
+{
+    std::size_t valid = 0;
+    for (const Entry &entry : entries)
+        valid += entry.valid;
+    INVARIANT(valid == liveCount,
+              "CapTable: liveCount %zu but %zu valid entries", liveCount,
+              valid);
+    if (index) {
+        INVARIANT(index->size() == liveCount,
+                  "CapTable: fast index holds %zu keys for %zu live "
+                  "entries",
+                  index->size(), liveCount);
+        for (unsigned i = 0; i < entries.size(); ++i) {
+            if (!entries[i].valid)
+                continue;
+            const auto slot =
+                index->find(entries[i].task, entries[i].object);
+            INVARIANT(slot && *slot == i,
+                      "CapTable: fast index out of sync for entry %u "
+                      "(task %u, object %u)",
+                      i, entries[i].task, entries[i].object);
+        }
+    }
 }
 
 std::vector<unsigned>

@@ -6,12 +6,19 @@
  * is associative; when the table is full the driver stalls until
  * another task's capabilities are evicted. Each entry carries an
  * exception bit so software can trace which pointer faulted.
+ *
+ * Lookups model a fully associative CAM, so the reference
+ * implementation scans every entry. With the "captable.index" fast
+ * kernel enabled (sim/kernels registry) the same lookups go through an
+ * open-addressed (task, object) hash instead — pure host-side
+ * bookkeeping with identical results, gated by the kernel comparator.
  */
 
 #ifndef CAPCHECK_CAPCHECKER_CAP_TABLE_HH
 #define CAPCHECK_CAPCHECKER_CAP_TABLE_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -20,6 +27,8 @@
 
 namespace capcheck::capchecker
 {
+
+class PairIndex;
 
 class CapTable
 {
@@ -38,7 +47,14 @@ class CapTable
         cheri::Capability decoded;
     };
 
-    explicit CapTable(unsigned num_entries = 256);
+    /** @param fast_index route lookups through the (task, object)
+     *        hash of the "captable.index" fast kernel. */
+    explicit CapTable(unsigned num_entries = 256,
+                      bool fast_index = false);
+    ~CapTable();
+
+    CapTable(const CapTable &) = delete;
+    CapTable &operator=(const CapTable &) = delete;
 
     unsigned capacity() const { return static_cast<unsigned>(entries.size()); }
     std::size_t used() const { return liveCount; }
@@ -56,7 +72,13 @@ class CapTable
     /** Associative lookup; nullptr when no entry matches. */
     const Entry *lookup(TaskId task, ObjectId object) const;
 
-    /** Mark the entry for (task, object) as having faulted. */
+    /**
+     * Mark the entry for (task, object) as having faulted. An entry
+     * must exist: the checker records exceptions against the entry it
+     * just matched, so a miss here means the driver and the CapChecker
+     * disagree about what is installed.
+     * @throw SimError (via INVARIANT) when no entry matches.
+     */
     void markException(TaskId task, ObjectId object);
 
     /** Evict all entries of @p task. @return entries freed. */
@@ -71,8 +93,15 @@ class CapTable
   private:
     Entry *find(TaskId task, ObjectId object);
 
+    /** Deep conservation check: liveCount equals the number of valid
+     *  entries and the fast index (when on) mirrors them exactly. Run
+     *  under CAPCHECK_PARANOID. */
+    void checkConservation() const;
+
     std::vector<Entry> entries;
     std::size_t liveCount = 0;
+    /** Non-null iff the fast kernel is selected for this table. */
+    std::unique_ptr<PairIndex> index;
 };
 
 } // namespace capcheck::capchecker

@@ -32,11 +32,12 @@ CapChecker::CapChecker() : CapChecker(Params{})
 }
 
 CapChecker::CapChecker(const Params &params)
-    : params(params), table(params.tableEntries)
+    : params(params), table(params.tableEntries, params.fastIndex)
 {
     if (params.cacheEntries > 0) {
         cache = std::make_unique<CapCache>(params.cacheEntries,
-                                           params.cacheWalkCycles);
+                                           params.cacheWalkCycles,
+                                           params.fastIndex);
     }
 }
 
@@ -77,7 +78,12 @@ CapChecker::deny(const MemRequest &req, TaskId task, ObjectId obj,
 {
     ++_denied;
     exceptionFlag = true;
-    table.markException(task, obj);
+    // The exception bit lives in the matched entry; denials with no
+    // matching entry (missing capability, missing metadata) have
+    // nothing to mark — and markException treats a miss as a
+    // driver/checker desync.
+    if (entry)
+        table.markException(task, obj);
     ExceptionRecord record{task, obj, addr, req.cmd, why};
     if (entry) {
         record.capValid = true;

@@ -22,32 +22,6 @@ CacheModel::CacheModel(std::uint64_t size_bytes, std::uint64_t line_bytes,
               static_cast<unsigned long long>(line_bytes), ways);
 }
 
-bool
-CacheModel::access(Addr addr)
-{
-    const std::uint64_t line = addr >> offsetBits;
-    const std::uint64_t set = line % numSets;
-    Way *const begin = &ways[set * numWays];
-    ++useClock;
-
-    Way *victim = begin;
-    for (Way *way = begin; way != begin + numWays; ++way) {
-        if (way->tag == line + 1) {
-            way->lastUse = useClock;
-            ++_hits;
-            return true;
-        }
-        if (way->lastUse < victim->lastUse ||
-            (way->tag == 0 && victim->tag != 0))
-            victim = way;
-    }
-
-    victim->tag = line + 1;
-    victim->lastUse = useClock;
-    ++_misses;
-    return false;
-}
-
 void
 CacheModel::flush()
 {

@@ -31,8 +31,35 @@ class CacheModel
     /**
      * Access the line containing @p addr.
      * @return true on hit; a miss fills the line (LRU victim).
+     *
+     * Inline: every simulated CPU load/store lands here, and the
+     * cross-TU call cost rivalled the way scan itself.
      */
-    bool access(Addr addr);
+    bool
+    access(Addr addr)
+    {
+        const std::uint64_t line = addr >> offsetBits;
+        const std::uint64_t set = line % numSets;
+        Way *const begin = &ways[set * numWays];
+        ++useClock;
+
+        Way *victim = begin;
+        for (Way *way = begin; way != begin + numWays; ++way) {
+            if (way->tag == line + 1) {
+                way->lastUse = useClock;
+                ++_hits;
+                return true;
+            }
+            if (way->lastUse < victim->lastUse ||
+                (way->tag == 0 && victim->tag != 0))
+                victim = way;
+        }
+
+        victim->tag = line + 1;
+        victim->lastUse = useClock;
+        ++_misses;
+        return false;
+    }
 
     /** Invalidate everything (context/task switch). */
     void flush();

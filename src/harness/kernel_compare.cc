@@ -1,0 +1,114 @@
+#include "harness/kernel_compare.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.hh"
+#include "harness/run_request.hh"
+
+namespace capcheck::harness
+{
+
+namespace
+{
+
+/** Suffix appended to each artefact path for the fast run's copy. */
+constexpr const char *fastSuffix = ".fastcmp";
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("kernel compare: cannot reopen artefact '%s'",
+              path.c_str());
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** The artefact files one run writes, in a fixed order. */
+std::vector<std::string>
+artefactPaths(const obs::ObsOptions &opts)
+{
+    std::vector<std::string> paths;
+    for (const std::string *p :
+         {&opts.traceFile, &opts.samplesFile, &opts.auditFile,
+          &opts.flightFile, &opts.latencyFile}) {
+        if (!p->empty())
+            paths.push_back(*p);
+    }
+    return paths;
+}
+
+obs::ObsOptions
+redirected(const obs::ObsOptions &opts)
+{
+    obs::ObsOptions out = opts;
+    for (std::string *p :
+         {&out.traceFile, &out.samplesFile, &out.auditFile,
+          &out.flightFile, &out.latencyFile}) {
+        if (!p->empty())
+            *p += fastSuffix;
+    }
+    return out;
+}
+
+[[noreturn]] void
+diverged(const RunRequest &req, const std::string &what)
+{
+    panic("kernel compare: fast kernel diverged from reference on "
+          "[%s]: %s (fast artefacts kept with the '%s' suffix)",
+          req.label().c_str(), what.c_str(), fastSuffix);
+}
+
+} // namespace
+
+system::RunResult
+executeComparing(const RunRequest &req, const obs::ObsOptions &obs_opts)
+{
+    // Both runs are the same experiment; only the simKernel field
+    // differs, and it is pure host-side bookkeeping with no simulated
+    // effect. The obs runLabel (caller-chosen) is shared verbatim so
+    // label-bearing artefacts can be compared byte for byte.
+    RunRequest ref_req = req;
+    ref_req.config.simKernel = sim::SimKernel::ref;
+    RunRequest fast_req = req;
+    fast_req.config.simKernel = sim::SimKernel::fast;
+
+    const system::RunResult ref_result = ref_req.execute(obs_opts);
+    const obs::ObsOptions fast_opts = redirected(obs_opts);
+    const system::RunResult fast_result = fast_req.execute(fast_opts);
+
+    if (!(fast_result == ref_result)) {
+        if (fast_result.totalCycles != ref_result.totalCycles) {
+            diverged(req,
+                     detail::formatString(
+                         "totalCycles %llu (fast) != %llu (ref)",
+                         static_cast<unsigned long long>(
+                             fast_result.totalCycles),
+                         static_cast<unsigned long long>(
+                             ref_result.totalCycles)));
+        }
+        if (fast_result.statsJson != ref_result.statsJson)
+            diverged(req, "stats dump differs");
+        diverged(req, "run result differs");
+    }
+
+    for (const std::string &path : artefactPaths(obs_opts)) {
+        const std::string fast_path = path + fastSuffix;
+        if (slurp(path) != slurp(fast_path))
+            diverged(req, "artefact '" + path + "' differs from '" +
+                              fast_path + "'");
+    }
+
+    // Identical: the fast copies carry no information; drop them.
+    for (const std::string &path : artefactPaths(obs_opts))
+        std::remove((path + fastSuffix).c_str());
+
+    return ref_result;
+}
+
+} // namespace capcheck::harness

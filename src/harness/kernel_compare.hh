@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Differential gate for the sim/kernels registry: execute one
+ * RunRequest under both the reference and the fast simulation kernels
+ * and require bit-identical results — the RunResult (stats dump
+ * included) must compare equal and every observability artefact must
+ * match byte for byte. This is what `--kernel compare` runs; it is the
+ * harness-level counterpart of `capstat diff --tolerance 0` in CI.
+ */
+
+#ifndef CAPCHECK_HARNESS_KERNEL_COMPARE_HH
+#define CAPCHECK_HARNESS_KERNEL_COMPARE_HH
+
+#include "obs/options.hh"
+#include "system/run_result.hh"
+
+namespace capcheck::harness
+{
+
+struct RunRequest;
+
+/**
+ * Run @p req under the reference kernel (producing its artefacts at
+ * the paths named in @p obs_opts) and again under the fast kernel
+ * (artefacts redirected to temporary siblings, deleted afterwards),
+ * then compare.
+ *
+ * @return the reference run's result.
+ * @throw SimError naming the first divergence (result field mismatch
+ *        or artefact file), with the fast run's artefacts left on disk
+ *        for inspection.
+ */
+system::RunResult executeComparing(const RunRequest &req,
+                                   const obs::ObsOptions &obs_opts);
+
+} // namespace capcheck::harness
+
+#endif // CAPCHECK_HARNESS_KERNEL_COMPARE_HH

@@ -18,12 +18,11 @@ TaggedMemory::TaggedMemory(std::uint64_t size_bytes)
 }
 
 void
-TaggedMemory::checkRange(Addr addr, std::uint64_t len) const
+TaggedMemory::rangeError(Addr addr, std::uint64_t len) const
 {
-    if (addr + len > data.size() || addr + len < addr)
-        panic("TaggedMemory access out of range: 0x%llx+%llu",
-              static_cast<unsigned long long>(addr),
-              static_cast<unsigned long long>(len));
+    panic("TaggedMemory access out of range: 0x%llx+%llu",
+          static_cast<unsigned long long>(addr),
+          static_cast<unsigned long long>(len));
 }
 
 void
@@ -53,13 +52,6 @@ TaggedMemory::writeRawDma(Addr addr, const void *src, std::uint64_t len)
               static_cast<unsigned long long>(len));
     checkRange(addr, len);
     std::memcpy(data.data() + addr, src, len);
-}
-
-void
-TaggedMemory::read(Addr addr, void *dst, std::uint64_t len) const
-{
-    checkRange(addr, len);
-    std::memcpy(dst, data.data() + addr, len);
 }
 
 void

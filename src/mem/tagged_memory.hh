@@ -12,6 +12,7 @@
 #define CAPCHECK_MEM_TAGGED_MEMORY_HH
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "base/types.hh"
@@ -30,9 +31,18 @@ class TaggedMemory
 
     std::uint64_t size() const { return data.size(); }
 
-    /** @{ Data access. Writes clear every overlapping granule tag. */
+    /** @{ Data access. Writes clear every overlapping granule tag.
+     *  read() is inline: it sits on the trace-generation and CPU-model
+     *  hot paths (tens of millions of calls per sweep), where the
+     *  cross-TU call cost dominated the memcpy. */
     void write(Addr addr, const void *src, std::uint64_t len);
-    void read(Addr addr, void *dst, std::uint64_t len) const;
+
+    void
+    read(Addr addr, void *dst, std::uint64_t len) const
+    {
+        checkRange(addr, len);
+        std::memcpy(dst, data.data() + addr, len);
+    }
 
     /**
      * Tag-oblivious DMA write: data bytes change but existing granule
@@ -98,7 +108,13 @@ class TaggedMemory
     bool dmaTagBarrierArmed() const { return dmaTagBarrier; }
 
   private:
-    void checkRange(Addr addr, std::uint64_t len) const;
+    void
+    checkRange(Addr addr, std::uint64_t len) const
+    {
+        if (addr + len > data.size() || addr + len < addr)
+            rangeError(addr, len);
+    }
+    [[noreturn]] void rangeError(Addr addr, std::uint64_t len) const;
 
     std::vector<std::uint8_t> data;
     std::vector<bool> tags;

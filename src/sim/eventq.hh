@@ -7,14 +7,26 @@
  * Events scheduled for the same cycle fire in (priority, sequence) order,
  * which keeps the simulation deterministic regardless of container
  * internals.
+ *
+ * Two storage implementations share that contract (and therefore
+ * produce identical event orderings): the reference binary heap over
+ * all entries, and the "eventq.bucketed" fast kernel (sim/kernels
+ * registry) — a calendar queue: a power-of-two ring of per-cycle
+ * buckets (each a small (priority, sequence) heap) for events within
+ * the ring window, plus a min-heap for the rare far-future events.
+ * Near-term scheduling is a bounded push into a reused vector, with
+ * no balanced-tree nodes or hashing on the hot path. Both
+ * implementations lazily delete descheduled entries and compact their
+ * storage when stale entries outnumber live ones, so reschedule-heavy
+ * components can no longer grow the queue without bound.
  */
 
 #ifndef CAPCHECK_SIM_EVENTQ_HH
 #define CAPCHECK_SIM_EVENTQ_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -52,8 +64,8 @@ class Event
      * the queue would be left holding a dangling pointer, so this
      * aborts (destructors cannot throw). Deschedule first. A
      * descheduled event may be destroyed immediately: the queue tracks
-     * its stale heap entry by sequence number and never touches the
-     * event again.
+     * its stale entry by sequence number and never touches the event
+     * again.
      */
     virtual ~Event();
 
@@ -101,7 +113,20 @@ class LambdaEvent : public Event
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** Storage implementation (identical observable behaviour). */
+    enum class Impl
+    {
+        /** Reference: one binary heap over every pending entry. */
+        heap,
+        /** Fast kernel "eventq.bucketed": per-cycle buckets. */
+        bucketed,
+    };
+
+    explicit EventQueue(Impl impl = Impl::heap) : impl(impl)
+    {
+        if (impl == Impl::bucketed)
+            ring.resize(ringSize);
+    }
 
     /** run() limit meaning "no horizon": drain and stop at the last
      *  processed event's cycle. */
@@ -119,11 +144,18 @@ class EventQueue
     /** Re-schedule an already scheduled event to a new time. */
     void reschedule(Event *event, Cycles when);
 
-    /** True when no live events remain (stale heap entries ignored). */
+    /** True when no live events remain (stale entries ignored). */
     bool empty() const { return live == 0; }
 
     /** Number of pending events. */
     std::size_t pending() const { return live; }
+
+    /**
+     * Entries physically held (live + not-yet-purged stale). The
+     * compaction bound: storedEntries() never exceeds 2 * pending()
+     * + 1, however reschedule-heavy the workload.
+     */
+    std::size_t storedEntries() const;
 
     /**
      * Run until the queue drains or @p limit cycles elapse. With a
@@ -165,15 +197,74 @@ class EventQueue
 
     void serviceOne();
     bool purgeStale();
+    /** Earliest live entry; call only after purgeStale() returned
+     *  true. */
+    const Entry &front() const;
+    /** Drop stale entries wholesale once they outnumber live ones. */
+    void maybeCompact();
+    /** Bucketed only: true when the next entry to fire comes from the
+     *  ring rather than the overflow heap. Call after purgeStale(). */
+    bool frontInRing() const;
+    /** First occupied ring position at or cyclically after @p pos;
+     *  ringSize when the whole ring is empty. */
+    std::size_t nextOccupied(std::size_t pos) const;
+    void markOccupied(std::size_t pos)
+    {
+        occupied[pos >> 6] |= std::uint64_t{1} << (pos & 63);
+    }
+    void clearOccupied(std::size_t pos)
+    {
+        occupied[pos >> 6] &= ~(std::uint64_t{1} << (pos & 63));
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    /** Reference storage: a min-heap (std::greater order) kept with
+     *  the <algorithm> heap primitives so compaction can filter it in
+     *  place. */
+    std::vector<Entry> heap;
+
     /**
-     * Sequence numbers of descheduled entries still sitting in the
-     * heap. Stale entries are identified by this set alone — their
-     * Event pointers are never dereferenced, so the owner may destroy
-     * a descheduled event at any time.
+     * Bucketed storage, a calendar queue. Events within ringSize
+     * cycles of schedule time go into ring[when % ringSize], a small
+     * min-heap of one cycle's entries ordered by (priority,
+     * sequence); within the window, distinct cycles can never collide
+     * on a bucket. Everything further out lands in the overflow
+     * min-heap (ordered like the reference heap) and is popped from
+     * there when it becomes the global front — by then the ring holds
+     * nothing earlier, so overflow entries never migrate.
+     */
+    static constexpr std::size_t ringSize = 1024;
+    std::vector<std::vector<Entry>> ring;
+    /**
+     * Occupancy bitmap over the ring: bit (when % ringSize) is set
+     * while that bucket stores any entry (live or tombstone). The
+     * front scan uses it to jump to the next non-empty bucket with a
+     * count-trailing-zeros walk, so sparse schedules (delay-heavy
+     * workloads with events many cycles apart) cost O(1) per event
+     * instead of a bucket-by-bucket probe across the gap.
+     */
+    std::array<std::uint64_t, ringSize / 64> occupied{};
+    std::vector<Entry> overflow;
+    /** Lower bound on the earliest cycle holding a ring entry; the
+     *  front scan advances it monotonically and schedule() lowers it,
+     *  so scans amortize to O(1) per cycle of simulated time. */
+    Cycles ringCursor = 0;
+    /** Live (non-tombstone) entries currently in the ring. */
+    std::size_t ringLive = 0;
+    /** Tombstoned entries still stored in ring + overflow. */
+    std::size_t staleCount = 0;
+
+    /**
+     * Reference implementation's lazy deletion: sequence numbers of
+     * descheduled entries still sitting in the heap. Stale entries are
+     * identified by this set alone — their Event pointers are never
+     * dereferenced, so the owner may destroy a descheduled event at
+     * any time. (The bucketed implementation instead tombstones the
+     * stored entry in place — deschedule can find it directly from
+     * the event's cycle — which keeps hashing off the hot path; a
+     * tombstone's Event pointer is nulled, never dereferenced.)
      */
     std::unordered_set<std::uint64_t> cancelled;
+    Impl impl;
     Cycles _curCycle = 0;
     std::uint64_t nextSequence = 0;
     std::size_t live = 0;

@@ -1,0 +1,93 @@
+#include "sim/kernels/registry.hh"
+
+namespace capcheck::sim
+{
+
+const char *
+simKernelName(SimKernel kernel)
+{
+    switch (kernel) {
+      case SimKernel::ref:
+        return "ref";
+      case SimKernel::fast:
+        return "fast";
+      case SimKernel::compare:
+        return "compare";
+    }
+    return "?";
+}
+
+bool
+simKernelFromName(const std::string &name, SimKernel &out)
+{
+    if (name == "ref") {
+        out = SimKernel::ref;
+        return true;
+    }
+    if (name == "fast") {
+        out = SimKernel::fast;
+        return true;
+    }
+    if (name == "compare") {
+        out = SimKernel::compare;
+        return true;
+    }
+    return false;
+}
+
+std::string
+simKernelChoices()
+{
+    return "ref, fast, compare";
+}
+
+const std::vector<KernelInfo> &
+fastKernels()
+{
+    static const std::vector<KernelInfo> kernels = {
+        {
+            "captable.index",
+            "capchecker/cap_table",
+            "O(N) associative scan over all table entries per lookup",
+            "open-addressed (task, object) -> entry-index hash kept in "
+            "sync by install/evict",
+        },
+        {
+            "capcache.index",
+            "capchecker/cap_cache",
+            "O(N) scan per access computing hit and LRU victim",
+            "(task, object) index for hits plus an intrusive LRU list "
+            "and free-line set for O(1) victim selection",
+        },
+        {
+            "eventq.bucketed",
+            "sim/eventq",
+            "one binary heap over every (cycle, priority, sequence) "
+            "entry",
+            "per-cycle buckets in a time-ordered map with per-bucket "
+            "(priority, sequence) heaps and threshold-triggered "
+            "compaction of cancelled entries",
+        },
+        {
+            "player.retry",
+            "accel/trace_player",
+            "per-cycle busy-poll ticks while the crossbar slot is "
+            "occupied",
+            "sleep until the interconnect's grant-side retry wake; the "
+            "re-issue cycle is provably identical to the poll cycle",
+        },
+    };
+    return kernels;
+}
+
+const KernelInfo *
+findKernel(const std::string &name)
+{
+    for (const KernelInfo &k : fastKernels()) {
+        if (k.name == name)
+            return &k;
+    }
+    return nullptr;
+}
+
+} // namespace capcheck::sim

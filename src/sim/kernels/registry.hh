@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Simulation-kernel registry. Hot-path components of the simulator
+ * (capability table/cache lookup, the event queue, DMA trace replay)
+ * each have a reference implementation and a fast-path implementation.
+ * A run selects between them with one knob — SocConfig::simKernel —
+ * and the registry records what each fast path replaces so tooling
+ * (`--kernel` help text, DESIGN docs, the comparator harness) can
+ * enumerate the pairs.
+ *
+ * The contract for every fast kernel is *bit-exact equivalence*: the
+ * same RunRequest must produce byte-identical results, stats dumps and
+ * latency artefacts under `fast` and `ref`. The comparator harness
+ * (harness/kernel_compare.hh, `--kernel compare`, and the CI
+ * kernel-check job) enforces this differentially, in the spirit of
+ * Myelin's KernelComparator: a fast kernel is only trusted while it
+ * cannot be distinguished from the reference.
+ */
+
+#ifndef CAPCHECK_SIM_KERNELS_REGISTRY_HH
+#define CAPCHECK_SIM_KERNELS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+namespace capcheck::sim
+{
+
+/** Which simulation-kernel set a run executes with. */
+enum class SimKernel
+{
+    /** Reference implementations only (the default; the baseline every
+     *  fast path is gated against). */
+    ref,
+    /** Fast-path implementations for every registered hot path. */
+    fast,
+    /** Run ref and fast back to back and hard-fail on any divergence
+     *  in results or stats (resolved in the harness layer; a SocSystem
+     *  itself only ever sees ref or fast). */
+    compare,
+};
+
+const char *simKernelName(SimKernel kernel);
+
+/** Inverse of simKernelName(); false when @p name matches none. */
+bool simKernelFromName(const std::string &name, SimKernel &out);
+
+/** "ref, fast, compare" — for CLI error messages and usage text. */
+std::string simKernelChoices();
+
+/** One registered fast-path kernel: what it replaces and how. */
+struct KernelInfo
+{
+    /** Stable identifier ("captable.index"). */
+    std::string name;
+    /** Component the kernel lives in ("capchecker/cap_table"). */
+    std::string component;
+    /** The reference algorithm it replaces. */
+    std::string replaces;
+    /** One-line description of the fast-path technique. */
+    std::string technique;
+};
+
+/**
+ * The fast-path kernels a `--kernel fast` run enables, in activation
+ * order. Static data: the actual switching happens where each
+ * component is constructed (Elaborator / SocSystem), keyed off
+ * SocConfig::simKernel.
+ */
+const std::vector<KernelInfo> &fastKernels();
+
+/** Kernel info by name; nullptr when unknown. */
+const KernelInfo *findKernel(const std::string &name);
+
+} // namespace capcheck::sim
+
+#endif // CAPCHECK_SIM_KERNELS_REGISTRY_HH

@@ -160,20 +160,6 @@ RequestPort::bind(ResponsePort &peer)
     bindPorts(*this, peer);
 }
 
-bool
-RequestPort::trySend(const MemRequest &req)
-{
-    requireBound("trySend");
-    return static_cast<ResponsePort *>(_peer)->tryAccept(req);
-}
-
-bool
-RequestPort::canSend() const
-{
-    requireBound("canSend");
-    return static_cast<ResponsePort *>(_peer)->canAccept();
-}
-
 ResponsePort::ResponsePort(SimObject &owner, std::string name,
                            TimingConsumer &consumer, std::string protocol)
     : PortBase(owner, std::move(name), Role::response,
@@ -197,14 +183,6 @@ void
 ResponsePort::bind(RequestPort &peer)
 {
     bindPorts(*this, peer);
-}
-
-void
-ResponsePort::sendResponse(const MemResponse &resp)
-{
-    requireBound("sendResponse");
-    static_cast<RequestPort *>(_peer)->responseHandler().handleResponse(
-        resp);
 }
 
 void

@@ -145,10 +145,10 @@ class RequestPort : public PortBase
      * @return false when the peer cannot take it (retry later).
      * @throw PortError{unbound} when no peer is bound.
      */
-    bool trySend(const MemRequest &req);
+    bool trySend(const MemRequest &req); // inline below
 
     /** True when the bound peer can take a request this cycle. */
-    bool canSend() const;
+    bool canSend() const; // inline below
 
     ResponseHandler &responseHandler() const { return handler; }
 
@@ -190,12 +190,61 @@ class ResponsePort : public PortBase
      * Deliver a response to the peer's ResponseHandler.
      * @throw PortError{unbound} when no peer is bound.
      */
-    void sendResponse(const MemResponse &resp);
+    void sendResponse(const MemResponse &resp); // inline below
+
+    /**
+     * Notify the peer's ResponseHandler that this endpoint freed up
+     * (ResponseHandler::handleRetry). No-op when unbound — retries are
+     * advisory, so an unbound slot has nobody to wake and nothing to
+     * lose.
+     */
+    void sendRetry(); // inline below
 
   private:
     TryAcceptFn tryFn;
     CanAcceptFn canFn;
 };
+
+/*
+ * The four per-packet forwarding calls are inline (defined here, after
+ * both classes, because each casts its peer to the other role): every
+ * simulated beat crosses a port twice, and the cross-TU call cost
+ * dwarfed the one-pointer forward being done. The unbound error path
+ * stays out of line in requireBound().
+ */
+
+inline bool
+RequestPort::trySend(const MemRequest &req)
+{
+    if (!_peer) [[unlikely]]
+        requireBound("trySend");
+    return static_cast<ResponsePort *>(_peer)->tryAccept(req);
+}
+
+inline bool
+RequestPort::canSend() const
+{
+    if (!_peer) [[unlikely]]
+        requireBound("canSend");
+    return static_cast<ResponsePort *>(_peer)->canAccept();
+}
+
+inline void
+ResponsePort::sendResponse(const MemResponse &resp)
+{
+    if (!_peer) [[unlikely]]
+        requireBound("sendResponse");
+    static_cast<RequestPort *>(_peer)->responseHandler().handleResponse(
+        resp);
+}
+
+inline void
+ResponsePort::sendRetry()
+{
+    if (!_peer)
+        return;
+    static_cast<RequestPort *>(_peer)->responseHandler().handleRetry();
+}
 
 /**
  * Named-component registry: the elaborator's symbol table. Components

@@ -34,12 +34,10 @@ KernelSpec::maxBufferBytes() const
     return out;
 }
 
-const BufferDef &
-KernelSpec::buffer(ObjectId obj) const
+void
+KernelSpec::noSuchBuffer(ObjectId obj) const
 {
-    if (obj >= buffers.size())
-        panic("kernel %s has no buffer %u", name.c_str(), obj);
-    return buffers[obj];
+    panic("kernel %s has no buffer %u", name.c_str(), obj);
 }
 
 Table2Row

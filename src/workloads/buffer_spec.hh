@@ -78,7 +78,17 @@ struct KernelSpec
     std::uint64_t minBufferBytes() const;
     std::uint64_t maxBufferBytes() const;
 
-    const BufferDef &buffer(ObjectId obj) const;
+    /** Inline: hit once per replayed trace operation. */
+    const BufferDef &
+    buffer(ObjectId obj) const
+    {
+        if (obj >= buffers.size())
+            noSuchBuffer(obj);
+        return buffers[obj];
+    }
+
+  private:
+    [[noreturn]] void noSuchBuffer(ObjectId obj) const;
 };
 
 /**

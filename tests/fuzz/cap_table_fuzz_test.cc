@@ -110,10 +110,17 @@ TEST(CapTableFuzz, MatchesReferenceModel)
             break;
           }
           case 6: { // markException
-            table.markException(task, object);
             const auto it = model.find(key);
-            if (it != model.end())
+            if (it != model.end()) {
+                table.markException(task, object);
                 it->second.exception = true;
+            } else {
+                // Marking a key with no entry is a driver/checker
+                // desync; the table must refuse loudly, not no-op.
+                EXPECT_THROW(table.markException(task, object),
+                             SimError)
+                    << "iteration " << i;
+            }
             break;
           }
           default:

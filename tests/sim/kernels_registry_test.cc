@@ -1,0 +1,57 @@
+/** @file Tests for the simulation-kernel registry. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/kernels/registry.hh"
+
+using namespace capcheck::sim;
+
+TEST(KernelRegistry, NamesRoundTrip)
+{
+    for (const SimKernel k :
+         {SimKernel::ref, SimKernel::fast, SimKernel::compare}) {
+        SimKernel parsed;
+        ASSERT_TRUE(simKernelFromName(simKernelName(k), parsed))
+            << simKernelName(k);
+        EXPECT_EQ(parsed, k);
+    }
+}
+
+TEST(KernelRegistry, RejectsUnknownNames)
+{
+    SimKernel parsed;
+    EXPECT_FALSE(simKernelFromName("turbo", parsed));
+    EXPECT_FALSE(simKernelFromName("", parsed));
+    EXPECT_FALSE(simKernelFromName("Fast", parsed)); // case-sensitive
+}
+
+TEST(KernelRegistry, ChoicesListsEveryKernel)
+{
+    EXPECT_EQ(simKernelChoices(), "ref, fast, compare");
+}
+
+TEST(KernelRegistry, FastKernelsAreRegistered)
+{
+    std::set<std::string> names;
+    for (const KernelInfo &info : fastKernels()) {
+        EXPECT_FALSE(info.component.empty()) << info.name;
+        EXPECT_FALSE(info.replaces.empty()) << info.name;
+        EXPECT_FALSE(info.technique.empty()) << info.name;
+        names.insert(info.name);
+    }
+    const std::set<std::string> expect{
+        "captable.index", "capcache.index", "eventq.bucketed",
+        "player.retry"};
+    EXPECT_EQ(names, expect);
+}
+
+TEST(KernelRegistry, FindKernelByName)
+{
+    const KernelInfo *info = findKernel("eventq.bucketed");
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->name, "eventq.bucketed");
+    EXPECT_EQ(findKernel("no.such.kernel"), nullptr);
+}
