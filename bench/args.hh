@@ -81,6 +81,7 @@ printUsage(const char *argv0)
         << " [--audit-log DIR]\n"
         << "       [--flight-out DIR] [--latency-json DIR] [--topn N]"
         << " [--debug-flags LIST]\n"
+        << "       [--prof-out DIR] [--prof-folded DIR]\n"
         << "       [--topology FILE] [--dump-topology]"
         << " [--kernel ref|fast|compare]\n"
         << "  --jobs N            worker threads (default: all cores)\n"
@@ -113,6 +114,14 @@ printUsage(const char *argv0)
         << "                      latency histograms (p50/p95/p99) and\n"
         << "                      per-component cycle attribution\n"
         << "  --topn N            slowest flights kept per run (10)\n"
+        << "  --prof-out DIR      write run-<hash>.prof.json host-time\n"
+        << "                      profiles (per-domain self/total nanos\n"
+        << "                      and share-of-run; read with 'capstat\n"
+        << "                      prof'). Host wall-clock: enabling it\n"
+        << "                      never changes the simulated outputs.\n"
+        << "                      In-process runs only (no --server)\n"
+        << "  --prof-folded DIR   write run-<hash>.folded stacks for\n"
+        << "                      flamegraph.pl / speedscope\n"
         << "  --topology FILE     load the platform topology from a\n"
         << "                      JSON file instead of the builtin\n"
         << "                      shape for each mode\n"
@@ -204,6 +213,16 @@ parseOptions(int argc, char **argv)
         } else if (arg.rfind("--latency-json=", 0) == 0) {
             opts.sweep.latencyDir =
                 arg.substr(std::strlen("--latency-json="));
+        } else if (arg == "--prof-out") {
+            opts.sweep.profDir = next();
+        } else if (arg.rfind("--prof-out=", 0) == 0) {
+            opts.sweep.profDir =
+                arg.substr(std::strlen("--prof-out="));
+        } else if (arg == "--prof-folded") {
+            opts.sweep.foldedDir = next();
+        } else if (arg.rfind("--prof-folded=", 0) == 0) {
+            opts.sweep.foldedDir =
+                arg.substr(std::strlen("--prof-folded="));
         } else if (arg == "--kernel" || arg.rfind("--kernel=", 0) == 0) {
             const std::string name =
                 arg == "--kernel"

@@ -31,12 +31,41 @@
 
 #include "base/table.hh"
 #include "bench/common.hh"
+#include "obs/prof.hh"
 
 using namespace capcheck;
 using system::SystemMode;
 
 namespace
 {
+
+/** Execute one request under the self-profiler and return the
+ *  accumulated host-time profile. */
+prof::RunProfile
+profileOne(const harness::RunRequest &req)
+{
+    prof::RunProfile profile;
+    {
+        const prof::ProfileSession session(profile);
+        const auto result = req.execute();
+        if (!result.functionallyCorrect)
+            fatal("kernel_bench: functional failure in %s",
+                  result.benchmark.c_str());
+    }
+    return profile;
+}
+
+/** Self milliseconds of @p domain; 0 when the domain never ran. */
+double
+domainSelfMillis(const prof::RunProfile &profile,
+                 const std::string &domain)
+{
+    for (const auto &dom : profile.domainTotals()) {
+        if (dom.domain == domain)
+            return static_cast<double>(dom.selfNanos) / 1e6;
+    }
+    return 0.0;
+}
 
 double
 wallSeconds(bench::Sweeper &runner,
@@ -127,6 +156,42 @@ main(int argc, char **argv)
     table.addRow({"fast wall (s)", std::to_string(fast_best)});
     table.addRow({"speedup", std::to_string(speedup)});
     table.print(std::cout);
+
+    // Where the saved wall-clock comes from: one checked ref point
+    // and one checked fast point re-executed under the host-time
+    // self-profiler, attributed per domain. The timed rounds above
+    // run unprofiled; this is a separate diagnostic pass.
+    if (prof::compiledIn()) {
+        const prof::RunProfile ref_prof = profileOne(ref_reqs.back());
+        const prof::RunProfile fast_prof =
+            profileOne(fast_reqs.back());
+
+        std::vector<std::string> domains;
+        for (const auto &dom : ref_prof.domainTotals())
+            domains.push_back(dom.domain);
+        for (const auto &dom : fast_prof.domainTotals()) {
+            if (std::find(domains.begin(), domains.end(),
+                          dom.domain) == domains.end())
+                domains.push_back(dom.domain);
+        }
+        std::sort(domains.begin(), domains.end());
+
+        std::cout << "\nHost-time attribution, one checked point "
+                     "(ref vs fast):\n";
+        TextTable attr({"domain", "refMs", "fastMs", "delta"});
+        for (const std::string &domain : domains) {
+            const double ref_ms =
+                domainSelfMillis(ref_prof, domain);
+            const double fast_ms =
+                domainSelfMillis(fast_prof, domain);
+            std::string delta = fmtDouble(fast_ms - ref_ms, 2);
+            if (fast_ms > ref_ms)
+                delta = "+" + delta;
+            attr.addRow({domain, fmtDouble(ref_ms, 2),
+                         fmtDouble(fast_ms, 2), delta});
+        }
+        attr.print(std::cout);
+    }
 
     // Machine-readable trailer for scripts/kernel_check.sh.
     std::cout << "kernel_bench: ref=" << ref_best

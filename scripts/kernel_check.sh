@@ -29,6 +29,12 @@
 #     numbers are host wall-clock, so the committed file documents
 #     one machine — the gate always recomputes.
 #
+# With PROF_DIR set, the timed grids additionally write host-time
+# profiles (run-*.prof.json + folded stacks) under $PROF_DIR/<kernel>
+# so a CI failure ships the attribution evidence alongside the
+# wall-clock numbers. Profiling runs are separate from the timed runs
+# — the gate never times a profiled grid.
+#
 # usage: kernel_check.sh BUILD_DIR [OUT.json]
 set -euo pipefail
 
@@ -37,6 +43,7 @@ out=${2:-BENCH_kernels.json}
 min=${KERNEL_MIN_SPEEDUP:-1.3}
 jobs=${JOBS:-2}
 rounds=${KERNEL_BENCH_ROUNDS:-3}
+prof_dir=${PROF_DIR:-}
 
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
@@ -62,6 +69,21 @@ timed_grid() { # kernel -> wall-clock seconds on stdout
 
 grid_ref_secs=$(timed_grid ref)
 grid_fast_secs=$(timed_grid fast)
+
+if [ -n "$prof_dir" ]; then
+    echo "kernel_check: profiled grids (host-time attribution)" \
+         "-> $prof_dir"
+    for kernel in ref fast; do
+        mkdir -p "$prof_dir/$kernel"
+        "$build/bench/sweep_grid" --quick --quiet --no-cache \
+            --jobs "$jobs" --kernel "$kernel" \
+            --prof-out "$prof_dir/$kernel" \
+            --prof-folded "$prof_dir/$kernel"
+        "$build/tools/capstat" prof merge \
+            -o "$prof_dir/$kernel.prof.json" \
+            "$prof_dir/$kernel"/run-*.prof.json
+    done
+fi
 
 "$build/tools/capstat" diff --tolerance 0 --strip-label kernel \
     "$work/ref.json" "$work/fast.json"

@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# Gate for the host-time self-profiler (obs/prof, --prof-out):
+# profiling must observe without perturbing.
+#
+# Four stages:
+#  1. Byte identity: the quick grid runs with the profiler off and on
+#     (at --jobs 1 and --jobs N), and every simulated artefact —
+#     per-run result JSON and latency artefacts — must be
+#     byte-identical across all four runs. Enabling --prof-out /
+#     --prof-folded may never change simulated behaviour.
+#  2. Profile shape: every profiled run must emit a
+#     run-<hash>.prof.json whose schema is capcheck.prof.v1, whose
+#     per-domain selfNanos sum exactly to its wallNanos (the "other"
+#     domain closes the books), whose shares sum to ~1, and a folded
+#     stacks file whose total matches.
+#  3. Reader tools: `capstat prof report` renders the profiles and
+#     `capstat prof merge` + self-`diff` at tolerance 0 passes — the
+#     merged document is a valid baseline format.
+#  4. Overhead ceiling: the profiled grid may be at most
+#     PROF_MAX_OVERHEAD times slower than the unprofiled grid.
+#     Profiling reads the steady clock twice per dispatched event, so
+#     event-granularity attribution roughly doubles the hot loop
+#     (~1.9x measured); the 2.5x default absorbs runner noise on top
+#     while still catching an accidentally quadratic profiler.
+#
+# usage: prof_check.sh BUILD_DIR
+set -euo pipefail
+
+build=${1:?usage: prof_check.sh BUILD_DIR}
+jobs=${JOBS:-4}
+max_overhead=${PROF_MAX_OVERHEAD:-2.5}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# run NAME [extra sweep_grid args...] -> wall seconds on stdout.
+# Runs the quick grid with result JSON + latency artefacts into
+# $work/NAME; caching is off so every run simulates.
+run_grid() {
+    local name=$1
+    shift
+    local t0 t1
+    mkdir -p "$work/$name"
+    t0=$(date +%s%N)
+    "$build/bench/sweep_grid" --quick --quiet --no-cache \
+        --json-dir "$work/$name/results" \
+        --latency-json "$work/$name/latency" "$@" >&2
+    t1=$(date +%s%N)
+    awk "BEGIN { printf \"%.3f\", ($t1 - $t0) / 1e9 }"
+}
+
+echo "prof_check: [1/4] byte identity, profiler off vs on"
+base_secs=$(run_grid off-j1 --jobs 1)
+prof_secs=$(run_grid on-j1 --jobs 1 \
+    --prof-out "$work/on-j1/prof" --prof-folded "$work/on-j1/folded")
+run_grid off-jN --jobs "$jobs" > /dev/null
+run_grid on-jN --jobs "$jobs" \
+    --prof-out "$work/on-jN/prof" \
+    --prof-folded "$work/on-jN/folded" > /dev/null
+
+# Per-run result JSON and latency artefacts must match byte for byte.
+# The sweep manifest also carries host wall-clock measurements
+# (wallMillis, the runWall profile block, workerUtilization) that
+# differ between ANY two runs; those are stripped and everything else
+# must match exactly.
+# Every per-run artefact is --jobs independent, so all four variants
+# compare against off-j1.
+for variant in on-j1 off-jN on-jN; do
+    for sub in results latency; do
+        diff -r --exclude=sweep_grid.manifest.json \
+            "$work/off-j1/$sub" "$work/$variant/$sub" > /dev/null || {
+            echo "prof_check: FAIL: $sub artefacts differ" \
+                 "between off-j1 and $variant"
+            exit 1
+        }
+    done
+done
+# The manifest carries the worker count and host wall-clock
+# measurements (wallMillis, the runWall profile block,
+# workerUtilization) that legitimately differ between ANY two runs;
+# profiler-on vs off is compared at matching --jobs with the host
+# timings stripped, and everything else must match exactly.
+for pair in j1 jN; do
+    python3 - "$work/off-$pair/results/sweep_grid.manifest.json" \
+        "$work/on-$pair/results/sweep_grid.manifest.json" <<'EOF'
+import json, sys
+
+HOST_TIME_KEYS = {
+    "wallMillis", "simWallMillis", "sweepWallMillis", "runWall",
+    "workerUtilization",
+}
+
+def strip(v):
+    if isinstance(v, dict):
+        return {k: strip(m) for k, m in v.items()
+                if k not in HOST_TIME_KEYS}
+    if isinstance(v, list):
+        return [strip(e) for e in v]
+    return v
+
+a, b = (strip(json.load(open(p))) for p in sys.argv[1:3])
+assert a == b, f"manifests diverge beyond host timings: {sys.argv[2]}"
+EOF
+done
+echo "prof_check: artefacts byte-identical across off/on, jobs 1/$jobs"
+
+echo "prof_check: [2/4] profile shape and exact books"
+python3 - "$work/on-j1/prof" "$work/on-j1/folded" <<'EOF'
+import glob, json, os, sys
+
+prof_dir, folded_dir = sys.argv[1], sys.argv[2]
+profs = sorted(glob.glob(os.path.join(prof_dir, "run-*.prof.json")))
+assert profs, "no run-*.prof.json written"
+for path in profs:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "capcheck.prof.v1", path
+    assert doc["label"], path
+    assert doc["kernel"], path
+    wall = doc["wallNanos"]
+    assert wall > 0, path
+    domains = doc["domains"]
+    assert domains[-1]["domain"] == "other", path
+    self_sum = sum(d["selfNanos"] for d in domains)
+    assert self_sum == wall, f"{path}: domain self {self_sum} != wall {wall}"
+    share_sum = sum(d["share"] for d in domains)
+    assert abs(share_sum - 1.0) < 1e-6, f"{path}: shares sum to {share_sum}"
+    for site in doc["sites"]:
+        assert site["calls"] > 0, path
+
+    # The folded twin: same hash, self times sum to the same wall.
+    folded = os.path.join(
+        folded_dir,
+        os.path.basename(path).replace(".prof.json", ".folded"))
+    assert os.path.exists(folded), f"missing {folded}"
+    folded_sum = 0
+    with open(folded) as f:
+        for line in f:
+            stack, nanos = line.rsplit(" ", 1)
+            folded_sum += int(nanos)
+    assert folded_sum == wall, \
+        f"{folded}: folded total {folded_sum} != wall {wall}"
+print(f"{len(profs)} profiles validated (self-times close the books)")
+EOF
+
+echo "prof_check: [3/4] capstat prof report / merge / diff"
+"$build/tools/capstat" prof report --sites 3 \
+    "$work"/on-j1/prof/run-*.prof.json > /dev/null
+"$build/tools/capstat" prof merge -o "$work/merged.prof.json" \
+    "$work"/on-j1/prof/run-*.prof.json
+"$build/tools/capstat" prof diff --tolerance 0 \
+    "$work/merged.prof.json" "$work/merged.prof.json"
+
+echo "prof_check: [4/4] overhead ceiling" \
+     "(off ${base_secs}s, on ${prof_secs}s, max ${max_overhead}x)"
+awk "BEGIN { exit !($prof_secs <= $base_secs * $max_overhead) }" || {
+    echo "prof_check: FAIL: profiled grid ${prof_secs}s exceeds" \
+         "${max_overhead}x of unprofiled ${base_secs}s"
+    exit 1
+}
+echo "prof_check: PASS"

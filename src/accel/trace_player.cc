@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "base/trace.hh"
 #include "capchecker/capchecker.hh"
+#include "obs/prof.hh"
 
 namespace capcheck::accel
 {
@@ -162,6 +163,7 @@ TracePlayer::finish()
 bool
 TracePlayer::tick()
 {
+    PROF_SCOPE("replay", "player.tick");
     // Every return path below re-decides whether a grant retry may
     // wake us; only pollSleep() arms it.
     awaitRetry = false;

@@ -107,6 +107,7 @@ class TracePlayer : public TickingObject, public ResponseHandler
     void handleResponse(const MemResponse &resp) override;
     void handleRetry() override;
     bool tick() override;
+    const char *profKind() const override { return "player"; }
 
   private:
     enum class Phase

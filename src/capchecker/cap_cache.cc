@@ -3,6 +3,7 @@
 #include "base/invariant.hh"
 #include "base/logging.hh"
 #include "capchecker/pair_index.hh"
+#include "obs/prof.hh"
 
 namespace capcheck::capchecker
 {
@@ -36,6 +37,7 @@ CapCache::fill(Line &line, TaskId task, ObjectId object)
 Cycles
 CapCache::access(TaskId task, ObjectId object)
 {
+    PROF_SCOPE("capcheck", "cache.walk");
     ++useClock;
     const Cycles walk = index ? accessIndexed(task, object)
                               : accessScan(task, object);

@@ -3,6 +3,7 @@
 #include "base/invariant.hh"
 #include "base/logging.hh"
 #include "capchecker/pair_index.hh"
+#include "obs/prof.hh"
 
 namespace capcheck::capchecker
 {
@@ -76,6 +77,7 @@ CapTable::install(TaskId task, ObjectId object,
 const CapTable::Entry *
 CapTable::lookup(TaskId task, ObjectId object) const
 {
+    PROF_SCOPE("capcheck", "table.lookup");
     return const_cast<CapTable *>(this)->find(task, object);
 }
 

@@ -3,6 +3,7 @@
 #include "base/bitfield.hh"
 #include "base/logging.hh"
 #include "base/trace.hh"
+#include "obs/prof.hh"
 
 namespace capcheck::capchecker
 {
@@ -105,6 +106,7 @@ CapChecker::deny(const MemRequest &req, TaskId task, ObjectId obj,
 protect::CheckResult
 CapChecker::check(const MemRequest &req)
 {
+    PROF_SCOPE("capcheck", "check");
     ++_checks;
     lastWalk = 0;
     _checkStartProbe.notify(CheckStartedEvent{&req});

@@ -11,6 +11,7 @@
 
 #include "base/json.hh"
 #include "base/json_value.hh"
+#include "obs/prof.hh"
 #include "base/logging.hh"
 #include "harness/result_json.hh"
 
@@ -111,6 +112,7 @@ DiskResultCache::indexExisting()
 std::optional<system::RunResult>
 DiskResultCache::lookup(std::uint64_t hash)
 {
+    PROF_SCOPE("harness", "cache.disk.lookup");
     {
         std::scoped_lock lock(mtx);
         ++lookupCount;
@@ -161,6 +163,7 @@ void
 DiskResultCache::store(std::uint64_t hash,
                        const system::RunResult &result)
 {
+    PROF_SCOPE("harness", "cache.disk.store");
     std::ostringstream os;
     json::JsonWriter w(os);
     w.beginObject();

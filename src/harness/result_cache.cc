@@ -1,5 +1,7 @@
 #include "harness/result_cache.hh"
 
+#include "obs/prof.hh"
+
 namespace capcheck::harness
 {
 
@@ -13,6 +15,7 @@ resultApproxBytes(const system::RunResult &result)
 std::optional<system::RunResult>
 ResultCache::lookup(std::uint64_t hash) const
 {
+    PROF_SCOPE("harness", "cache.mem.lookup");
     std::scoped_lock lock(mtx);
     ++lookupCount;
     const auto it = entries.find(hash);
@@ -25,6 +28,7 @@ ResultCache::lookup(std::uint64_t hash) const
 void
 ResultCache::store(std::uint64_t hash, const system::RunResult &result)
 {
+    PROF_SCOPE("harness", "cache.mem.store");
     std::scoped_lock lock(mtx);
     const auto [it, inserted] = entries.emplace(hash, result);
     if (inserted)

@@ -437,6 +437,11 @@ manifestJson(const std::string &sweep_name,
         w.key("cacheHits").value(std::uint64_t{profile->cacheHits});
         w.key("simWallMillis").value(profile->simWallMillis);
         w.key("sweepWallMillis").value(profile->sweepWallMillis);
+        w.key("runWall").beginObject();
+        w.key("minMillis").value(profile->runWallMinMillis);
+        w.key("p50Millis").value(profile->runWallP50Millis);
+        w.key("maxMillis").value(profile->runWallMaxMillis);
+        w.endObject();
         w.key("workerUtilization").value(profile->utilization());
         const auto writeCacheStats = [&w](const CacheStats &c) {
             w.beginObject();

@@ -92,6 +92,13 @@ struct SweepProfile
     double simWallMillis = 0;
     /** Wall-clock of the whole batch, submission to last join. */
     double sweepWallMillis = 0;
+    /** @{ Per-run wall-time spread over the fresh simulations (all
+     *  zero when the batch was fully cached): the sum above hides a
+     *  grid skewed by one slow point; min/p50/max exposes it. */
+    double runWallMinMillis = 0;
+    double runWallP50Millis = 0;
+    double runWallMaxMillis = 0;
+    /** @} */
 
     /** In-memory result-cache counters after the batch. */
     CacheStats memCache;

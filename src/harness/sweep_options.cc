@@ -44,7 +44,11 @@ obsOptionsFor(const SweepOptions &opts, const RunRequest &request)
     if (!opts.latencyDir.empty())
         oo.latencyFile =
             opts.latencyDir + "/run-" + hex + ".latency.json";
-    if (oo.flightRecording()) {
+    if (!opts.profDir.empty())
+        oo.profileFile = opts.profDir + "/run-" + hex + ".prof.json";
+    if (!opts.foldedDir.empty())
+        oo.foldedFile = opts.foldedDir + "/run-" + hex + ".folded";
+    if (oo.flightRecording() || oo.profiling()) {
         oo.topN = opts.topN;
         oo.runLabel = request.label();
     }

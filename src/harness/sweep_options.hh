@@ -84,6 +84,19 @@ struct SweepOptions
      *  p50/p95/p99 plus per-hop cycle attribution); empty = off. */
     std::string latencyDir;
 
+    /** Directory for per-run host-time profiles
+     *  (run-<hash>.prof.json: per-domain/site self/total nanos and
+     *  share-of-run, from the PROF_SCOPE self-profiler); empty = off.
+     *  Host wall-clock, so unlike the artefacts above these files are
+     *  machine-dependent — but producing them never changes the
+     *  simulated outputs. In-process sweeps only. */
+    std::string profDir;
+
+    /** Directory for per-run folded-stacks files (run-<hash>.folded,
+     *  Brendan Gregg format for flamegraph.pl/speedscope); empty =
+     *  off. In-process sweeps only. */
+    std::string foldedDir;
+
     /** Slowest flights kept per run in the flight table. */
     unsigned topN = 10;
 
@@ -158,6 +171,18 @@ struct SweepOptions
     withLatencyDir(std::string v)
     {
         latencyDir = std::move(v);
+        return *this;
+    }
+    SweepOptions &
+    withProfDir(std::string v)
+    {
+        profDir = std::move(v);
+        return *this;
+    }
+    SweepOptions &
+    withFoldedDir(std::string v)
+    {
+        foldedDir = std::move(v);
         return *this;
     }
     SweepOptions &withTopN(unsigned v) { topN = v; return *this; }

@@ -1,5 +1,6 @@
 #include "harness/sweep_runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -7,9 +8,12 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "base/logging.hh"
+#include "obs/prof.hh"
+#include "sim/kernels/registry.hh"
 #include "system/soc_config_builder.hh"
 
 namespace capcheck::harness
@@ -27,6 +31,9 @@ struct Job
     bool fromCache = false;
     /** SimError raised inside the worker, re-thrown on the caller. */
     std::string error;
+    /** Host-time profile; one buffer per job, touched by exactly one
+     *  thread at a time, so --jobs N never contends. */
+    std::unique_ptr<prof::RunProfile> profile;
 };
 
 } // namespace
@@ -116,7 +123,8 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
         std::error_code ec;
         for (const std::string *dir : {&opts.traceDir, &opts.auditDir,
                                        &opts.flightDir,
-                                       &opts.latencyDir}) {
+                                       &opts.latencyDir, &opts.profDir,
+                                       &opts.foldedDir}) {
             if (dir->empty())
                 continue;
             fs::create_directories(*dir, ec);
@@ -144,10 +152,20 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
                 return;
             Job &job = jobs[pendingJobs[slot]];
 
+            const bool profiling =
+                !opts.profDir.empty() || !opts.foldedDir.empty();
+            if (profiling)
+                job.profile = std::make_unique<prof::RunProfile>();
+
             const auto t0 = std::chrono::steady_clock::now();
             try {
                 // The worker owns this SocSystem outright; the event
-                // queue inside never crosses a thread boundary.
+                // queue inside never crosses a thread boundary. The
+                // profile session covers exactly this job, on this
+                // thread, so scopes hit a private buffer.
+                std::optional<prof::ProfileSession> session;
+                if (profiling)
+                    session.emplace(*job.profile);
                 job.result = job.request->execute(
                     obsOptionsFor(opts, *job.request));
             } catch (const SimError &e) {
@@ -195,9 +213,14 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
         }
     }
 
-    // Publish fresh results to the cache(s) and tally counters.
+    // Publish fresh results to the cache(s) and tally counters. The
+    // store cost is attributed to the run that produced the result
+    // (workers are joined, so reopening each job's session is safe).
     for (const std::size_t j : pendingJobs) {
         if (opts.cacheEnabled) {
+            std::optional<prof::ProfileSession> session;
+            if (jobs[j].profile)
+                session.emplace(*jobs[j].profile);
             resultCache.store(jobs[j].request->hash(), jobs[j].result);
             if (disk)
                 disk->store(jobs[j].request->hash(), jobs[j].result);
@@ -241,6 +264,19 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
         profile.diskCachePresent = true;
     }
 
+    // Per-run wall-clock spread: a grid with one pathological point
+    // looks healthy as a sum; min/p50/max makes the skew visible.
+    if (!pendingJobs.empty()) {
+        std::vector<double> walls;
+        walls.reserve(pendingJobs.size());
+        for (const std::size_t j : pendingJobs)
+            walls.push_back(jobs[j].wallMillis);
+        std::sort(walls.begin(), walls.end());
+        profile.runWallMinMillis = walls.front();
+        profile.runWallP50Millis = walls[walls.size() / 2];
+        profile.runWallMaxMillis = walls.back();
+    }
+
     if (opts.progress) {
         char util[16];
         std::snprintf(util, sizeof(util), "%.2f",
@@ -252,20 +288,69 @@ SweepRunner::run(const std::vector<RunRequest> &requests,
                        << static_cast<std::uint64_t>(
                               profile.sweepWallMillis)
                        << "ms, jobs=" << profile.workers
-                       << ", utilization=" << util << "\n";
+                       << ", utilization=" << util;
+        if (profile.executed > 0) {
+            *opts.progress
+                << ", runWall="
+                << static_cast<std::uint64_t>(
+                       profile.runWallMinMillis)
+                << "/"
+                << static_cast<std::uint64_t>(
+                       profile.runWallP50Millis)
+                << "/"
+                << static_cast<std::uint64_t>(
+                       profile.runWallMaxMillis)
+                << "ms min/p50/max";
+        }
+        *opts.progress << "\n";
         opts.progress->flush();
     }
 
-    if (!opts.jsonDir.empty())
-        writeJson(outcomes, sweep_name, profile);
+    std::map<std::uint64_t, prof::RunProfile *> profiles;
+    for (const std::size_t j : pendingJobs) {
+        if (jobs[j].profile)
+            profiles.emplace(jobs[j].request->hash(),
+                             jobs[j].profile.get());
+    }
+
+    if (!opts.jsonDir.empty()) {
+        writeJson(outcomes, sweep_name, profile,
+                  profiles.empty() ? nullptr : &profiles);
+    }
+
+    // All attribution windows are closed: render the profiles. Like
+    // every other artefact, only fresh simulations produce files.
+    for (const std::size_t j : pendingJobs) {
+        const Job &job = jobs[j];
+        if (!job.profile)
+            continue;
+        const obs::ObsOptions oo = obsOptionsFor(opts, *job.request);
+        const char *kernel =
+            sim::simKernelName(job.request->config.simKernel);
+        if (!oo.profileFile.empty()) {
+            std::ofstream os(oo.profileFile);
+            if (os)
+                os << job.profile->json(job.request->label(), kernel);
+            else
+                warn("cannot write '%s'", oo.profileFile.c_str());
+        }
+        if (!oo.foldedFile.empty()) {
+            std::ofstream os(oo.foldedFile);
+            if (os)
+                os << job.profile->foldedText();
+            else
+                warn("cannot write '%s'", oo.foldedFile.c_str());
+        }
+    }
 
     return outcomes;
 }
 
 void
-SweepRunner::writeJson(const std::vector<RunOutcome> &outcomes,
-                       const std::string &sweep_name,
-                       const SweepProfile &profile) const
+SweepRunner::writeJson(
+    const std::vector<RunOutcome> &outcomes,
+    const std::string &sweep_name, const SweepProfile &profile,
+    const std::map<std::uint64_t, prof::RunProfile *> *profiles) const
 {
     namespace fs = std::filesystem;
     std::error_code ec;
@@ -278,6 +363,12 @@ SweepRunner::writeJson(const std::vector<RunOutcome> &outcomes,
     }
 
     for (const RunOutcome &o : outcomes) {
+        std::optional<prof::ProfileSession> session;
+        if (profiles) {
+            const auto it = profiles->find(o.request.hash());
+            if (it != profiles->end())
+                session.emplace(*it->second);
+        }
         const fs::path file =
             fs::path(opts.jsonDir) /
             ("run-" + o.request.hashHex() + ".json");
@@ -286,7 +377,15 @@ SweepRunner::writeJson(const std::vector<RunOutcome> &outcomes,
             warn("cannot write '%s'", file.string().c_str());
             continue;
         }
-        os << runJson(o.request, o.result);
+        std::string text;
+        {
+            PROF_SCOPE("harness", "render.runjson");
+            text = runJson(o.request, o.result);
+        }
+        {
+            PROF_SCOPE("harness", "write.results");
+            os << text;
+        }
     }
 
     const fs::path manifest =

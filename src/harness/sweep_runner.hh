@@ -18,6 +18,7 @@
 #define CAPCHECK_HARNESS_SWEEP_RUNNER_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -29,6 +30,7 @@
 #include "harness/result_json.hh"
 #include "harness/run_request.hh"
 #include "harness/sweep_options.hh"
+#include "obs/prof.hh"
 
 namespace capcheck::harness
 {
@@ -76,9 +78,17 @@ class SweepRunner
     DiskResultCache *diskCache() { return disk.get(); }
 
   private:
-    void writeJson(const std::vector<RunOutcome> &outcomes,
-                   const std::string &sweep_name,
-                   const SweepProfile &profile) const;
+    /**
+     * @p profiles maps request hashes of freshly executed runs to
+     * their host-time profiles, so the JSON render and file writes
+     * are attributed to the run they serve; nullptr when profiling
+     * is off.
+     */
+    void writeJson(
+        const std::vector<RunOutcome> &outcomes,
+        const std::string &sweep_name, const SweepProfile &profile,
+        const std::map<std::uint64_t, prof::RunProfile *> *profiles)
+        const;
 
     Options opts;
     unsigned numJobs = 1;

@@ -2,6 +2,7 @@
 
 #include "base/invariant.hh"
 #include "base/logging.hh"
+#include "obs/prof.hh"
 
 namespace capcheck
 {
@@ -90,6 +91,7 @@ AxiInterconnect::resetBurst()
 bool
 AxiInterconnect::tick()
 {
+    PROF_SCOPE("xbar", "arbitrate");
     // A burst can only continue while its owner still holds a
     // back-to-back beat. If the owner went idle (or the beat it was
     // stalled on was retracted), the leftover burst budget must not

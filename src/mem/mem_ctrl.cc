@@ -2,6 +2,7 @@
 
 #include "base/invariant.hh"
 #include "base/logging.hh"
+#include "obs/prof.hh"
 
 namespace capcheck
 {
@@ -52,6 +53,7 @@ MemoryController::tryAccept(const MemRequest &req)
 void
 MemoryController::deliver()
 {
+    PROF_SCOPE("mem", "memctrl.deliver");
     while (!pipeline.empty() && pipeline.front().due <= curCycle()) {
         _respondProbe.notify(pipeline.front().resp);
         cpuSidePort.sendResponse(pipeline.front().resp);

@@ -1,5 +1,6 @@
 #include "obs/metrics.hh"
 
+#include <cstring>
 #include <sstream>
 
 #include "base/json.hh"
@@ -235,27 +236,84 @@ MetricsSnapshot::fromJson(const json::JsonValue &v, std::string *error)
 }
 
 std::string
-MetricsSnapshot::prometheusText() const
+prometheusEscapeHelp(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+prometheusEscapeLabel(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+MetricsSnapshot::prometheusText(
+    const std::vector<std::pair<std::string, std::string>>
+        &info_labels) const
 {
     std::ostringstream os;
+    if (!info_labels.empty()) {
+        os << "# HELP capcheck_info build and instance metadata\n";
+        os << "# TYPE capcheck_info gauge\n";
+        os << "capcheck_info{";
+        bool first = true;
+        for (const auto &[key, value] : info_labels) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << prometheusName(key).substr(
+                      std::strlen("capcheck_"))
+               << "=\"" << prometheusEscapeLabel(value) << "\"";
+        }
+        os << "} 1\n";
+    }
     for (const Counter &c : counters) {
         const std::string name = prometheusName(c.name);
-        if (!c.help.empty())
-            os << "# HELP " << name << " " << c.help << "\n";
+        if (!c.help.empty()) {
+            os << "# HELP " << name << " "
+               << prometheusEscapeHelp(c.help) << "\n";
+        }
         os << "# TYPE " << name << " counter\n";
         os << name << " " << c.value << "\n";
     }
     for (const Gauge &g : gauges) {
         const std::string name = prometheusName(g.name);
-        if (!g.help.empty())
-            os << "# HELP " << name << " " << g.help << "\n";
+        if (!g.help.empty()) {
+            os << "# HELP " << name << " "
+               << prometheusEscapeHelp(g.help) << "\n";
+        }
         os << "# TYPE " << name << " gauge\n";
         os << name << " " << g.value << "\n";
     }
     for (const Histo &h : histograms) {
         const std::string name = prometheusName(h.name);
-        if (!h.help.empty())
-            os << "# HELP " << name << " " << h.help << "\n";
+        if (!h.help.empty()) {
+            os << "# HELP " << name << " "
+               << prometheusEscapeHelp(h.help) << "\n";
+        }
         os << "# TYPE " << name << " histogram\n";
         std::uint64_t cumulative = 0;
         for (const Bucket &b : h.buckets) {

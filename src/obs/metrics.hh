@@ -30,6 +30,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/stats.hh"
@@ -42,6 +43,14 @@ class JsonValue;
 
 namespace capcheck::obs
 {
+
+/** Prometheus exposition-format escaping for HELP text: backslash
+ *  and newline become \\ and \n. */
+std::string prometheusEscapeHelp(const std::string &s);
+
+/** Prometheus exposition-format escaping for label values:
+ *  backslash, double-quote and newline become \\, \" and \n. */
+std::string prometheusEscapeLabel(const std::string &s);
 
 /** Point-in-time copy of a MetricsRegistry, in registration order. */
 struct MetricsSnapshot
@@ -124,9 +133,16 @@ struct MetricsSnapshot
      * Prometheus text exposition: counters and gauges as single
      * samples, histograms with cumulative le-labelled buckets plus
      * _sum/_count. Metric names are prefixed "capcheck_" with dots
-     * mapped to underscores.
+     * mapped to underscores. HELP text and label values are escaped
+     * per the exposition format (prometheusEscapeHelp /
+     * prometheusEscapeLabel). With non-empty @p info_labels, a
+     * capcheck_info gauge carrying them as labels is emitted first —
+     * the standard way to expose build/instance metadata, and the
+     * one place arbitrary strings reach label-value position.
      */
-    std::string prometheusText() const;
+    std::string prometheusText(
+        const std::vector<std::pair<std::string, std::string>>
+            &info_labels = {}) const;
 
     /**
      * A capstat-compatible service-latency document: one run labelled

@@ -38,6 +38,16 @@ struct ObsOptions
      *  and queue-occupancy stats ("" = off). */
     std::string latencyFile;
 
+    /** Host-time profile JSON (run-<hash>.prof.json; "" = off).
+     *  Unlike every other artefact, the profile measures *host*
+     *  wall-clock, so it is excluded from any() and from the
+     *  byte-identity contract — enabling it never changes simulated
+     *  behaviour or the other artefacts. */
+    std::string profileFile;
+
+    /** Folded-stacks file for flamegraph tooling ("" = off). */
+    std::string foldedFile;
+
     /** Slowest flights kept for the flight-recorder table. */
     unsigned topN = 10;
 
@@ -52,6 +62,15 @@ struct ObsOptions
         return !flightFile.empty() || !latencyFile.empty();
     }
 
+    bool
+    profiling() const
+    {
+        return !profileFile.empty() || !foldedFile.empty();
+    }
+
+    /** True when any *simulated-time* artefact is requested; the
+     *  host-time profile deliberately does not count (it must not
+     *  instantiate a RunObserver or perturb the simulation). */
     bool
     any() const
     {

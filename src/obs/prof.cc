@@ -1,0 +1,322 @@
+#include "obs/prof.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/json.hh"
+
+namespace capcheck::prof
+{
+
+namespace
+{
+
+std::uint64_t
+nowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Process-global site registry; append-only, mutex-guarded. */
+struct SiteRegistry {
+    std::mutex mutex;
+    std::vector<SiteInfo> sites;
+    std::unordered_map<std::string, SiteId> byKey;
+};
+
+SiteRegistry &
+registry()
+{
+    static SiteRegistry reg;
+    return reg;
+}
+
+} // namespace
+
+#ifndef CAPCHECK_PROF_OFF
+namespace detail
+{
+thread_local RunProfile *tlsProfile = nullptr;
+} // namespace detail
+#endif
+
+SiteId
+registerSite(const std::string &domain, const std::string &name)
+{
+    SiteRegistry &reg = registry();
+    const std::string key = domain + "\x1f" + name;
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.byKey.find(key);
+    if (it != reg.byKey.end())
+        return it->second;
+    const SiteId id = static_cast<SiteId>(reg.sites.size());
+    reg.sites.push_back(SiteInfo{domain, name});
+    reg.byKey.emplace(key, id);
+    return id;
+}
+
+std::vector<SiteInfo>
+siteTable()
+{
+    SiteRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.sites;
+}
+
+void
+RunProfile::ensureRoot()
+{
+    if (trie.empty())
+        trie.push_back(TrieNode{});
+}
+
+std::uint32_t
+RunProfile::trieChild(std::uint32_t parent, SiteId site)
+{
+    ensureRoot();
+    for (const std::uint32_t child : trie[parent].children) {
+        if (trie[child].site == site)
+            return child;
+    }
+    const auto node = static_cast<std::uint32_t>(trie.size());
+    TrieNode fresh;
+    fresh.parent = parent;
+    fresh.site = site;
+    trie.push_back(std::move(fresh));
+    trie[parent].children.push_back(node);
+    return node;
+}
+
+void
+RunProfile::enter(SiteId site)
+{
+    if (perSite.size() <= site)
+        perSite.resize(site + 1);
+    PerSite &totals = perSite[site];
+    ++totals.calls;
+    ++totals.active;
+    const std::uint32_t parent = stack.empty() ? 0 : stack.back().node;
+    Frame frame;
+    frame.site = site;
+    frame.node = trieChild(parent, site);
+    frame.startNanos = nowNanos();
+    stack.push_back(frame);
+}
+
+void
+RunProfile::exit()
+{
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const std::uint64_t now = nowNanos();
+    const std::uint64_t elapsed =
+        now >= frame.startNanos ? now - frame.startNanos : 0;
+    const std::uint64_t self =
+        elapsed >= frame.childNanos ? elapsed - frame.childNanos : 0;
+    PerSite &totals = perSite[frame.site];
+    totals.selfNanos += self;
+    --totals.active;
+    // Recursion guard: only outermost activations contribute to the
+    // site total, so recursive scopes never exceed wall time.
+    if (totals.active == 0)
+        totals.totalNanos += elapsed;
+    trie[frame.node].selfNanos += self;
+    if (!stack.empty())
+        stack.back().childNanos += elapsed;
+}
+
+void
+RunProfile::merge(const RunProfile &other)
+{
+    wall += other.wall;
+    for (SiteId site = 0; site < other.perSite.size(); ++site) {
+        const PerSite &src = other.perSite[site];
+        if (src.calls == 0)
+            continue;
+        if (perSite.size() <= site)
+            perSite.resize(site + 1);
+        perSite[site].selfNanos += src.selfNanos;
+        perSite[site].totalNanos += src.totalNanos;
+        perSite[site].calls += src.calls;
+    }
+    // Replay the other trie path by path so folded stacks merge too.
+    if (other.trie.empty())
+        return;
+    ensureRoot();
+    // Recursive lambda over (theirNode, ourNode).
+    const auto walk = [&](const auto &self, std::uint32_t theirs,
+                          std::uint32_t ours) -> void {
+        for (const std::uint32_t child : other.trie[theirs].children) {
+            const std::uint32_t mine =
+                trieChild(ours, other.trie[child].site);
+            trie[mine].selfNanos += other.trie[child].selfNanos;
+            self(self, child, mine);
+        }
+    };
+    walk(walk, 0, 0);
+}
+
+std::vector<RunProfile::SiteTotals>
+RunProfile::siteTotals() const
+{
+    const std::vector<SiteInfo> infos = siteTable();
+    std::vector<SiteTotals> out;
+    for (SiteId site = 0; site < perSite.size(); ++site) {
+        const PerSite &totals = perSite[site];
+        if (totals.calls == 0)
+            continue;
+        SiteTotals row;
+        row.site = site;
+        if (site < infos.size()) {
+            row.domain = infos[site].domain;
+            row.name = infos[site].name;
+        }
+        row.selfNanos = totals.selfNanos;
+        row.totalNanos = totals.totalNanos;
+        row.calls = totals.calls;
+        out.push_back(std::move(row));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SiteTotals &a, const SiteTotals &b) {
+                  if (a.domain != b.domain)
+                      return a.domain < b.domain;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::vector<RunProfile::DomainTotals>
+RunProfile::domainTotals() const
+{
+    std::map<std::string, DomainTotals> byDomain;
+    std::uint64_t selfSum = 0;
+    for (const SiteTotals &row : siteTotals()) {
+        DomainTotals &dom = byDomain[row.domain];
+        dom.domain = row.domain;
+        dom.selfNanos += row.selfNanos;
+        dom.totalNanos += row.totalNanos;
+        dom.calls += row.calls;
+        selfSum += row.selfNanos;
+    }
+    std::vector<DomainTotals> out;
+    for (auto &entry : byDomain)
+        out.push_back(std::move(entry.second));
+    // Close the books: "other" is the session time not inside any
+    // scope, so domain self times sum to wallNanos exactly.
+    DomainTotals other;
+    other.domain = "other";
+    other.selfNanos = wall >= selfSum ? wall - selfSum : 0;
+    other.totalNanos = other.selfNanos;
+    out.push_back(std::move(other));
+    return out;
+}
+
+std::string
+RunProfile::json(const std::string &label,
+                 const std::string &kernel) const
+{
+    std::ostringstream os;
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("capcheck.prof.v1");
+    w.key("label").value(label);
+    w.key("kernel").value(kernel);
+    w.key("wallNanos").value(wall);
+    w.key("domains").beginArray();
+    for (const DomainTotals &dom : domainTotals()) {
+        w.beginObject();
+        w.key("domain").value(dom.domain);
+        w.key("selfNanos").value(dom.selfNanos);
+        w.key("totalNanos").value(dom.totalNanos);
+        w.key("calls").value(dom.calls);
+        const double share =
+            wall > 0 ? static_cast<double>(dom.selfNanos) /
+                           static_cast<double>(wall)
+                     : 0.0;
+        w.key("share").value(share);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("sites").beginArray();
+    for (const SiteTotals &row : siteTotals()) {
+        w.beginObject();
+        w.key("domain").value(row.domain);
+        w.key("name").value(row.name);
+        w.key("selfNanos").value(row.selfNanos);
+        w.key("totalNanos").value(row.totalNanos);
+        w.key("calls").value(row.calls);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+    return os.str();
+}
+
+std::string
+RunProfile::foldedText() const
+{
+    const std::vector<SiteInfo> infos = siteTable();
+    const auto frameName = [&](SiteId site) -> std::string {
+        if (site < infos.size())
+            return infos[site].domain + "." + infos[site].name;
+        return "site#" + std::to_string(site);
+    };
+
+    std::vector<std::string> lines;
+    std::uint64_t selfSum = 0;
+    if (!trie.empty()) {
+        // Depth-first over the trie, carrying the folded prefix.
+        std::vector<std::pair<std::uint32_t, std::string>> work;
+        work.emplace_back(0, std::string());
+        while (!work.empty()) {
+            const auto [node, prefix] = work.back();
+            work.pop_back();
+            for (const std::uint32_t child : trie[node].children) {
+                const std::string path =
+                    prefix.empty()
+                        ? frameName(trie[child].site)
+                        : prefix + ";" + frameName(trie[child].site);
+                if (trie[child].selfNanos > 0) {
+                    lines.push_back(
+                        path + " " +
+                        std::to_string(trie[child].selfNanos));
+                    selfSum += trie[child].selfNanos;
+                }
+                work.emplace_back(child, path);
+            }
+        }
+    }
+    std::sort(lines.begin(), lines.end());
+    const std::uint64_t leftover = wall >= selfSum ? wall - selfSum : 0;
+    if (leftover > 0)
+        lines.push_back("other " + std::to_string(leftover));
+    std::string out;
+    for (const std::string &line : lines) {
+        out += line;
+        out += "\n";
+    }
+    return out;
+}
+
+ProfileSession::ProfileSession(RunProfile &profile)
+    : prof(profile), prev(installCurrent(&profile)),
+      startNanos(nowNanos())
+{
+}
+
+ProfileSession::~ProfileSession()
+{
+    const std::uint64_t now = nowNanos();
+    prof.addWallNanos(now >= startNanos ? now - startNanos : 0);
+    installCurrent(prev);
+}
+
+} // namespace capcheck::prof

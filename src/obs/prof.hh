@@ -1,0 +1,263 @@
+/**
+ * @file
+ * capprof: a low-overhead host-time self-profiler for the simulator.
+ *
+ * The obs stack attributes *simulated* time (ProbePoints, flights,
+ * spans); this module attributes *host* wall-clock, so the "profile
+ * the core, then add fast kernels" loop has an instrument. Scopes are
+ * declared with PROF_SCOPE(domain, name) and cost one thread-local
+ * load plus a predictable branch when profiling is disabled — the
+ * steady_clock is only read while a ProfileSession is active on the
+ * current thread. Configuring with -DCAPCHECK_PROF=OFF compiles the
+ * scopes out entirely (current() becomes constexpr nullptr, so the
+ * dispatch wrappers dead-code-eliminate).
+ *
+ * Attribution model: every scope site is registered once per process
+ * under a (domain, name) key. A RunProfile accumulates per-site
+ * {selfNanos, totalNanos, calls} — self excludes enclosed scopes,
+ * total is wall time of outermost activations only (recursion safe) —
+ * plus a call-stack trie for Brendan Gregg folded-stacks output.
+ * Profiles are strictly single-threaded accumulation buffers: one per
+ * worker/run, merged at run end, so --jobs N never contends on shared
+ * counters. The rendered JSON closes the books exactly: an "other"
+ * domain is defined as wallNanos minus the sum of all site self
+ * times, so domain self-times always sum to the session wall-clock.
+ */
+
+#ifndef CAPCHECK_OBS_PROF_HH
+#define CAPCHECK_OBS_PROF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capcheck::prof
+{
+
+/** Index of a registered (domain, name) scope site; process-global. */
+using SiteId = std::uint32_t;
+
+constexpr SiteId invalidSite = 0xffffffffu;
+
+/**
+ * Register (or look up) the site for @p domain / @p name. Thread-safe
+ * and idempotent: the same pair always returns the same id. Sites are
+ * tiny and live for the process, so callers cache the id in a static.
+ */
+SiteId registerSite(const std::string &domain, const std::string &name);
+
+struct SiteInfo {
+    std::string domain;
+    std::string name;
+};
+
+/** Snapshot of the global site table, indexed by SiteId. */
+std::vector<SiteInfo> siteTable();
+
+/** True when the profiler is compiled in (CAPCHECK_PROF=ON). */
+constexpr bool
+compiledIn()
+{
+#ifdef CAPCHECK_PROF_OFF
+    return false;
+#else
+    return true;
+#endif
+}
+
+/**
+ * One run's (or one thread's) accumulation buffer. NOT thread-safe:
+ * exactly one thread may feed it at a time (enforced by construction —
+ * the ProfileSession installs it as that thread's current profile).
+ * Merging buffers from several threads at run end is cheap and safe
+ * once their sessions have closed.
+ */
+class RunProfile
+{
+  public:
+    struct SiteTotals {
+        SiteId site = invalidSite;
+        std::string domain;
+        std::string name;
+        std::uint64_t selfNanos = 0;
+        std::uint64_t totalNanos = 0;
+        std::uint64_t calls = 0;
+    };
+
+    struct DomainTotals {
+        std::string domain;
+        std::uint64_t selfNanos = 0;
+        std::uint64_t totalNanos = 0;
+        std::uint64_t calls = 0;
+    };
+
+    RunProfile() = default;
+
+    /** Scope entry/exit; called by ScopeTimer only. */
+    void enter(SiteId site);
+    void exit();
+
+    /** Host nanoseconds spent inside ProfileSession windows. */
+    std::uint64_t wallNanos() const { return wall; }
+
+    /** Add @p nanos of session window time (ProfileSession dtor). */
+    void addWallNanos(std::uint64_t nanos) { wall += nanos; }
+
+    /** Fold @p other's sites, stacks and wall time into this buffer. */
+    void merge(const RunProfile &other);
+
+    /** Per-site totals, sorted by (domain, name); zero-call sites are
+     *  dropped so the report shape is independent of registration
+     *  order elsewhere in the process. */
+    std::vector<SiteTotals> siteTotals() const;
+
+    /**
+     * Per-domain totals, sorted by domain name, with a synthetic
+     * "other" domain appended last holding wallNanos minus the summed
+     * site self times — so self times sum to wallNanos exactly.
+     */
+    std::vector<DomainTotals> domainTotals() const;
+
+    /**
+     * Deterministic-shape profile document (fixed key order, sorted
+     * domains/sites): {schema, label, kernel, wallNanos, domains:[
+     * {domain, selfNanos, totalNanos, calls, share}...], sites:[...]}.
+     * share is selfNanos/wallNanos.
+     */
+    std::string json(const std::string &label,
+                     const std::string &kernel) const;
+
+    /**
+     * Brendan Gregg folded stacks ("d.a;d.b selfNanos" lines, sorted),
+     * with a trailing "other" line for unattributed session time —
+     * ready for flamegraph.pl / speedscope.
+     */
+    std::string foldedText() const;
+
+  private:
+    struct PerSite {
+        std::uint64_t selfNanos = 0;
+        std::uint64_t totalNanos = 0;
+        std::uint64_t calls = 0;
+        std::uint32_t active = 0;
+    };
+
+    struct Frame {
+        SiteId site = invalidSite;
+        std::uint32_t node = 0;
+        std::uint64_t childNanos = 0;
+        std::uint64_t startNanos = 0;
+    };
+
+    /** Call-stack trie node; node 0 is the root sentinel. */
+    struct TrieNode {
+        std::uint32_t parent = 0;
+        SiteId site = invalidSite;
+        std::uint64_t selfNanos = 0;
+        std::vector<std::uint32_t> children;
+    };
+
+    std::uint32_t trieChild(std::uint32_t parent, SiteId site);
+    void ensureRoot();
+
+    std::vector<PerSite> perSite;
+    std::vector<Frame> stack;
+    std::vector<TrieNode> trie;
+    std::uint64_t wall = 0;
+};
+
+#ifdef CAPCHECK_PROF_OFF
+
+constexpr RunProfile *current() { return nullptr; }
+inline RunProfile *installCurrent(RunProfile *) { return nullptr; }
+
+#else
+
+namespace detail
+{
+extern thread_local RunProfile *tlsProfile;
+} // namespace detail
+
+/** The profile receiving this thread's scopes, or nullptr. */
+inline RunProfile *current() { return detail::tlsProfile; }
+
+/** Install @p profile as this thread's sink; returns the previous. */
+inline RunProfile *
+installCurrent(RunProfile *profile)
+{
+    RunProfile *prev = detail::tlsProfile;
+    detail::tlsProfile = profile;
+    return prev;
+}
+
+#endif
+
+/**
+ * RAII scope: attributes the enclosed host time to @p site on the
+ * current thread's profile. Free when no profile is installed.
+ */
+class ScopeTimer
+{
+  public:
+    explicit ScopeTimer(SiteId site) : prof(current())
+    {
+        if (prof)
+            prof->enter(site);
+    }
+
+    ~ScopeTimer()
+    {
+        if (prof)
+            prof->exit();
+    }
+
+    ScopeTimer(const ScopeTimer &) = delete;
+    ScopeTimer &operator=(const ScopeTimer &) = delete;
+
+  private:
+    RunProfile *prof;
+};
+
+/**
+ * RAII window: installs @p profile as the current thread's sink and
+ * accumulates the window's duration into its wallNanos. Nestable
+ * (restores the previous sink) and re-openable: a run's profile may
+ * collect several windows (execute, render, cache publish).
+ */
+class ProfileSession
+{
+  public:
+    explicit ProfileSession(RunProfile &profile);
+    ~ProfileSession();
+
+    ProfileSession(const ProfileSession &) = delete;
+    ProfileSession &operator=(const ProfileSession &) = delete;
+
+  private:
+    RunProfile &prof;
+    RunProfile *prev;
+    std::uint64_t startNanos;
+};
+
+} // namespace capcheck::prof
+
+/**
+ * Declare a profiling scope covering the rest of the enclosing block.
+ * The site is registered once (thread-safe magic static); the timer
+ * is a TLS load + branch when no session is active, and nothing at
+ * all under -DCAPCHECK_PROF=OFF.
+ */
+#ifdef CAPCHECK_PROF_OFF
+#define PROF_SCOPE(domain, name) ((void)0)
+#else
+#define CAPCHECK_PROF_CONCAT2(a, b) a##b
+#define CAPCHECK_PROF_CONCAT(a, b) CAPCHECK_PROF_CONCAT2(a, b)
+#define PROF_SCOPE(domain, name)                                        \
+    static const ::capcheck::prof::SiteId CAPCHECK_PROF_CONCAT(         \
+        profSite_, __LINE__) =                                          \
+        ::capcheck::prof::registerSite(domain, name);                   \
+    const ::capcheck::prof::ScopeTimer CAPCHECK_PROF_CONCAT(            \
+        profScope_, __LINE__)(CAPCHECK_PROF_CONCAT(profSite_, __LINE__))
+#endif
+
+#endif // CAPCHECK_OBS_PROF_HH

@@ -1,6 +1,7 @@
 #include "protect/check_stage.hh"
 
 #include "base/invariant.hh"
+#include "obs/prof.hh"
 #include "base/logging.hh"
 
 namespace capcheck::protect
@@ -25,6 +26,7 @@ CheckStage::CheckStage(EventQueue &eq, stats::StatGroup *parent_stats,
 bool
 CheckStage::tryAccept(const MemRequest &req)
 {
+    PROF_SCOPE("capcheck", "stage.accept");
     // One new request per cycle (the check pipeline's issue rate).
     if (lastAcceptCycle == curCycle())
         return false;

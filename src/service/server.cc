@@ -624,6 +624,31 @@ Server::rejectBatch(const std::shared_ptr<Client> &client,
 }
 
 void
+Server::recordHostProfile(const prof::RunProfile &profile)
+{
+    // Counter get-or-create takes the registry lock, but this runs
+    // once per executed request (not per event), with a handful of
+    // domains — noise next to the simulation it just measured.
+    registry
+        .counter("prof.wallNanos",
+                 "host nanoseconds spent executing requests")
+        .inc(profile.wallNanos());
+    for (const prof::RunProfile::DomainTotals &dom :
+         profile.domainTotals()) {
+        registry
+            .counter("prof." + dom.domain + ".selfNanos",
+                     "host self-time of the " + dom.domain +
+                         " profiler domain")
+            .inc(dom.selfNanos);
+        registry
+            .counter("prof." + dom.domain + ".calls",
+                     "profiled scope entries in the " + dom.domain +
+                         " domain")
+            .inc(dom.calls);
+    }
+}
+
+void
 Server::workerLoop()
 {
     while (true) {
@@ -648,8 +673,13 @@ Server::workerLoop()
         std::string error;
         unit->dequeuedAt = spanClock.nowNanos();
         ins.workersBusy.add(1);
+        prof::RunProfile hostProfile;
         const auto t0 = std::chrono::steady_clock::now();
         try {
+            // Worker-side host-time attribution rides along on every
+            // request (the scopes are near-free), feeding aggregate
+            // prof.* counters rather than per-run files.
+            const prof::ProfileSession session(hostProfile);
             result = req.execute(
                 harness::obsOptionsFor(execOpts, req));
         } catch (const SimError &e) {
@@ -665,6 +695,7 @@ Server::workerLoop()
         ins.workersBusy.sub(1);
         ins.workerBusyMicros.inc(static_cast<std::uint64_t>(
             (unit->executedAt - unit->dequeuedAt) / 1000));
+        recordHostProfile(hostProfile);
 
         std::vector<Unit::Waiter> waiters;
         {
@@ -865,7 +896,11 @@ Server::writeMetricsFile()
         std::ofstream os(tmp, std::ios::trunc);
         if (!os)
             return;
-        os << snap.prometheusText();
+        // Instance metadata as an info gauge; socket paths are the
+        // kind of arbitrary string the label escaping exists for.
+        os << snap.prometheusText(
+            {{"socket", opts.socketPath},
+             {"protocol", std::to_string(protocolVersion)}});
     }
     std::error_code ec;
     std::filesystem::rename(tmp, opts.metricsOutFile, ec);

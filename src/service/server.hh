@@ -35,6 +35,7 @@
 #include "harness/disk_cache.hh"
 #include "harness/result_cache.hh"
 #include "obs/metrics.hh"
+#include "obs/prof.hh"
 #include "obs/span.hh"
 #include "service/frame.hh"
 #include "service/socket.hh"
@@ -228,6 +229,14 @@ class Server
                      const std::string &code,
                      const std::string &message,
                      unsigned retry_after_millis = 0);
+
+    /**
+     * Fold one executed request's host-time profile into the
+     * aggregate prof.<domain>.selfNanos / prof.<domain>.calls /
+     * prof.wallNanos counters, so `capstat live` and the Prometheus
+     * exposition show where the worker pool's wall-clock goes.
+     */
+    void recordHostProfile(const prof::RunProfile &profile);
 
     /** Pull level-style values (queue depth, cache sizes, frame
      *  meter, uptime) into the registry; call with `mtx` held. */

@@ -37,6 +37,14 @@ Event::~Event()
     }
 }
 
+prof::SiteId
+Event::profSite() const
+{
+    static const prof::SiteId site =
+        prof::registerSite("sim", "event.generic");
+    return site;
+}
+
 std::size_t
 EventQueue::storedEntries() const
 {
@@ -332,12 +340,21 @@ EventQueue::serviceOne()
                                        ? cancelled.size()
                                        : staleCount),
                        "live-count conservation after pop");
-    event->process();
+    // Event-dispatch boundary: when a profile session is active on
+    // this thread, attribute the dispatch to the event's site. The
+    // disabled path stays a TLS load + branch with no clock reads.
+    if (prof::current() != nullptr) {
+        const prof::ScopeTimer scope(event->profSite());
+        event->process();
+    } else {
+        event->process();
+    }
 }
 
 Cycles
 EventQueue::run(Cycles limit)
 {
+    PROF_SCOPE("sim", "eventq.run");
     while (purgeStale() && front().when <= limit)
         serviceOne();
     // The queue drained or the next event lies beyond the horizon:

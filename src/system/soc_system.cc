@@ -17,6 +17,7 @@
 #include "mem/mem_ctrl.hh"
 #include "mem/tagged_memory.hh"
 #include "obs/observer.hh"
+#include "obs/prof.hh"
 #include "protect/check_stage.hh"
 #include "protect/checker_bank.hh"
 #include "protect/no_protection.hh"
@@ -132,18 +133,27 @@ SocSystem::runCpuOnly(const std::vector<TaskPlan> &plan)
         // Input generation (untimed region, common to all configs).
         CpuAccessor init_acc(mem, buffers, /*cheri=*/false,
                              cfg.cpuCosts);
-        kernel->init(init_acc, rng);
+        {
+            PROF_SCOPE("workload", "init");
+            kernel->init(init_acc, rng);
+        }
         result.initCycles += init_acc.cycles();
 
         // Timed region: the kernel itself.
         CpuAccessor acc(mem, buffers, cheri, cfg.cpuCosts);
         acc.chargeTaskSetup();
-        kernel->run(acc);
+        {
+            PROF_SCOPE("workload", "functional");
+            kernel->run(acc);
+        }
         result.kernelCycles += acc.cycles();
 
         CpuAccessor check_acc(mem, buffers, /*cheri=*/false,
                               cfg.cpuCosts);
-        result.functionallyCorrect &= kernel->check(check_acc);
+        {
+            PROF_SCOPE("workload", "check");
+            result.functionallyCorrect &= kernel->check(check_acc);
+        }
 
         for (const BufferMapping &buf : buffers)
             heap.free(buf.base);
@@ -344,13 +354,19 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
             // (untimed region, identical across configurations).
             CpuAccessor init_acc(mem, task.handle.buffers,
                                  /*cheri=*/false, cfg.cpuCosts);
-            task.kernel->init(init_acc, rng);
+            {
+                PROF_SCOPE("workload", "init");
+                task.kernel->init(init_acc, rng);
+            }
             result.initCycles += init_acc.cycles();
 
             // Functional execution under the trace recorder.
             accel::TraceAccessor tracer(mem, accel.spec(),
                                         task.handle.buffers);
-            task.kernel->run(tracer);
+            {
+                PROF_SCOPE("workload", "functional");
+                task.kernel->run(tracer);
+            }
 
             task.player = std::make_unique<accel::TracePlayer>(
                 eq, &stat_root,
@@ -401,8 +417,11 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
         for (LiveTask &task : wave) {
             CpuAccessor check_acc(mem, task.handle.buffers,
                                   /*cheri=*/false, cfg.cpuCosts);
-            result.functionallyCorrect &=
-                task.kernel->check(check_acc);
+            {
+                PROF_SCOPE("workload", "check");
+                result.functionallyCorrect &=
+                    task.kernel->check(check_acc);
+            }
         }
 
         // --- Teardown (Fig. 6 (2)) ---

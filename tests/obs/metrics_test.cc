@@ -187,6 +187,64 @@ TEST(Metrics, PrometheusExpositionShape)
               std::string::npos);
 }
 
+TEST(Metrics, PrometheusEscapesHelpText)
+{
+    // HELP text escapes backslash and newline per the exposition
+    // format (quotes are legal in HELP and pass through).
+    EXPECT_EQ(obs::prometheusEscapeHelp("plain help"), "plain help");
+    EXPECT_EQ(obs::prometheusEscapeHelp("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::prometheusEscapeHelp("two\nlines"), "two\\nlines");
+    EXPECT_EQ(obs::prometheusEscapeHelp("say \"hi\""), "say \"hi\"");
+
+    MetricsRegistry reg;
+    reg.counter("odd.help", "first\nsecond \\ line").inc();
+    const std::string text = reg.snapshot().prometheusText();
+    EXPECT_NE(text.find("# HELP capcheck_odd_help "
+                        "first\\nsecond \\\\ line\n"),
+              std::string::npos);
+    // The raw newline must not have leaked into the exposition.
+    EXPECT_EQ(text.find("first\nsecond"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusEscapesLabelValues)
+{
+    // Label values escape backslash, double-quote and newline.
+    EXPECT_EQ(obs::prometheusEscapeLabel("plain"), "plain");
+    EXPECT_EQ(obs::prometheusEscapeLabel("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::prometheusEscapeLabel("say \"hi\""),
+              "say \\\"hi\\\"");
+    EXPECT_EQ(obs::prometheusEscapeLabel("two\nlines"),
+              "two\\nlines");
+
+    MetricsRegistry reg;
+    reg.counter("requests.executed").inc();
+    const std::string text = reg.snapshot().prometheusText({
+        {"socket", "/tmp/od\"d\\path\nx.sock"},
+        {"protocol", "3"},
+    });
+    // The info gauge leads the exposition and carries the metadata
+    // as properly escaped label values.
+    EXPECT_EQ(text.rfind("# HELP capcheck_info ", 0), 0u)
+        << text.substr(0, 120);
+    EXPECT_NE(
+        text.find("capcheck_info{socket=\"/tmp/od\\\"d\\\\path\\nx"
+                  ".sock\",protocol=\"3\"} 1\n"),
+        std::string::npos)
+        << text;
+    // Exactly one exposition line mentions the socket path, and no
+    // raw newline from the value survives anywhere.
+    EXPECT_EQ(text.find("x.sock"), text.rfind("x.sock"));
+    EXPECT_EQ(text.find("path\nx"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusOmitsInfoGaugeWithoutLabels)
+{
+    MetricsRegistry reg;
+    reg.counter("requests.executed").inc();
+    EXPECT_EQ(reg.snapshot().prometheusText().find("capcheck_info"),
+              std::string::npos);
+}
+
 TEST(Metrics, ConcurrentWritersLoseNothing)
 {
     MetricsRegistry reg;

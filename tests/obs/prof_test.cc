@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests for the host-time self-profiler (obs/prof): site
+ * registration idempotence, scope attribution (self vs total,
+ * nesting, recursion), the exact-books "other" domain, merge
+ * semantics for per-thread buffers, JSON/folded output shape, and
+ * the disabled fast path.
+ */
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/json_value.hh"
+#include "obs/prof.hh"
+
+using namespace capcheck;
+using prof::ProfileSession;
+using prof::RunProfile;
+using prof::ScopeTimer;
+
+namespace
+{
+
+/** Busy-wait so a scope accumulates a nonzero steady_clock delta. */
+void
+spin()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - t0 <
+           std::chrono::microseconds(200)) {
+    }
+}
+
+const RunProfile::SiteTotals *
+findSite(const std::vector<RunProfile::SiteTotals> &rows,
+         const std::string &domain, const std::string &name)
+{
+    for (const auto &row : rows) {
+        if (row.domain == domain && row.name == name)
+            return &row;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+TEST(Prof, RegisterSiteIsIdempotent)
+{
+    const prof::SiteId a = prof::registerSite("t.reg", "alpha");
+    const prof::SiteId b = prof::registerSite("t.reg", "alpha");
+    const prof::SiteId c = prof::registerSite("t.reg", "beta");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+
+    const auto table = prof::siteTable();
+    ASSERT_GT(table.size(), a);
+    EXPECT_EQ(table[a].domain, "t.reg");
+    EXPECT_EQ(table[a].name, "alpha");
+}
+
+TEST(Prof, NoScopesRecordWithoutASession)
+{
+    // current() is null outside a session, so ScopeTimer is inert.
+    ASSERT_EQ(prof::current(), nullptr);
+    const prof::SiteId site = prof::registerSite("t.idle", "scope");
+    {
+        const ScopeTimer timer(site);
+        spin();
+    }
+    RunProfile profile;
+    EXPECT_EQ(profile.wallNanos(), 0u);
+    EXPECT_TRUE(profile.siteTotals().empty());
+}
+
+TEST(Prof, SessionAttributesScopesAndWall)
+{
+    if (!prof::compiledIn())
+        GTEST_SKIP() << "profiler compiled out";
+    const prof::SiteId site = prof::registerSite("t.one", "work");
+
+    RunProfile profile;
+    {
+        const ProfileSession session(profile);
+        EXPECT_EQ(prof::current(), &profile);
+        const ScopeTimer timer(site);
+        spin();
+    }
+    EXPECT_EQ(prof::current(), nullptr);
+
+    const auto sites = profile.siteTotals();
+    const auto *row = findSite(sites, "t.one", "work");
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->calls, 1u);
+    EXPECT_GT(row->selfNanos, 0u);
+    EXPECT_EQ(row->selfNanos, row->totalNanos);
+    // The scope ran inside the session window.
+    EXPECT_GE(profile.wallNanos(), row->selfNanos);
+}
+
+TEST(Prof, NestedScopesSplitSelfFromTotal)
+{
+    if (!prof::compiledIn())
+        GTEST_SKIP() << "profiler compiled out";
+    const prof::SiteId outer = prof::registerSite("t.nest", "outer");
+    const prof::SiteId inner = prof::registerSite("t.nest", "inner");
+
+    RunProfile profile;
+    {
+        const ProfileSession session(profile);
+        const ScopeTimer a(outer);
+        spin();
+        {
+            const ScopeTimer b(inner);
+            spin();
+        }
+    }
+
+    const auto sites = profile.siteTotals();
+    const auto *o = findSite(sites, "t.nest", "outer");
+    const auto *i = findSite(sites, "t.nest", "inner");
+    ASSERT_NE(o, nullptr);
+    ASSERT_NE(i, nullptr);
+    // Outer's total covers the inner scope; its self does not.
+    EXPECT_GE(o->totalNanos, o->selfNanos + i->selfNanos);
+    EXPECT_EQ(i->selfNanos, i->totalNanos);
+}
+
+TEST(Prof, RecursionCountsTotalOnceButEveryCall)
+{
+    if (!prof::compiledIn())
+        GTEST_SKIP() << "profiler compiled out";
+    const prof::SiteId site = prof::registerSite("t.rec", "fib");
+
+    RunProfile profile;
+    {
+        const ProfileSession session(profile);
+        const ScopeTimer a(site);
+        spin();
+        {
+            const ScopeTimer b(site);
+            spin();
+            {
+                const ScopeTimer c(site);
+                spin();
+            }
+        }
+    }
+
+    const auto sites = profile.siteTotals();
+    const auto *row = findSite(sites, "t.rec", "fib");
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->calls, 3u);
+    // All three activations contribute self time, but total is the
+    // outermost activation only — no double counting, so total can
+    // never exceed the session wall.
+    EXPECT_GE(row->selfNanos, row->totalNanos * 9 / 10);
+    EXPECT_LE(row->totalNanos, profile.wallNanos());
+}
+
+TEST(Prof, OtherDomainClosesTheBooks)
+{
+    if (!prof::compiledIn())
+        GTEST_SKIP() << "profiler compiled out";
+    const prof::SiteId site = prof::registerSite("t.books", "covered");
+
+    RunProfile profile;
+    {
+        const ProfileSession session(profile);
+        {
+            const ScopeTimer timer(site);
+            spin();
+        }
+        spin(); // unattributed session time -> "other"
+    }
+
+    const auto domains = profile.domainTotals();
+    ASSERT_FALSE(domains.empty());
+    EXPECT_EQ(domains.back().domain, "other");
+    std::uint64_t selfSum = 0;
+    for (const auto &dom : domains)
+        selfSum += dom.selfNanos;
+    EXPECT_EQ(selfSum, profile.wallNanos());
+    EXPECT_GT(domains.back().selfNanos, 0u);
+}
+
+TEST(Prof, MergeFoldsSitesStacksAndWall)
+{
+    if (!prof::compiledIn())
+        GTEST_SKIP() << "profiler compiled out";
+    const prof::SiteId site = prof::registerSite("t.merge", "work");
+
+    // Two per-thread buffers, merged at "run end" like SweepRunner
+    // merges --jobs N workers.
+    RunProfile a;
+    RunProfile b;
+    const auto fill = [&](RunProfile &profile) {
+        const ProfileSession session(profile);
+        const ScopeTimer timer(site);
+        spin();
+    };
+    fill(a);
+    std::thread worker(fill, std::ref(b));
+    worker.join();
+
+    RunProfile merged;
+    merged.merge(a);
+    merged.merge(b);
+
+    const auto mergedSites = merged.siteTotals();
+    const auto *row = findSite(mergedSites, "t.merge", "work");
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->calls, 2u);
+    const auto aSites = a.siteTotals();
+    const auto bSites = b.siteTotals();
+    const auto *ra = findSite(aSites, "t.merge", "work");
+    const auto *rb = findSite(bSites, "t.merge", "work");
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    EXPECT_EQ(row->selfNanos, ra->selfNanos + rb->selfNanos);
+    EXPECT_EQ(merged.wallNanos(), a.wallNanos() + b.wallNanos());
+
+    // Folded stacks merged too: one line per distinct stack plus the
+    // trailing "other".
+    const std::string folded = merged.foldedText();
+    EXPECT_NE(folded.find("t.merge.work "), std::string::npos);
+    EXPECT_NE(folded.find("other "), std::string::npos);
+}
+
+TEST(Prof, JsonHasTheDocumentedShape)
+{
+    if (!prof::compiledIn())
+        GTEST_SKIP() << "profiler compiled out";
+    const prof::SiteId site = prof::registerSite("t.json", "work");
+
+    RunProfile profile;
+    {
+        const ProfileSession session(profile);
+        const ScopeTimer timer(site);
+        spin();
+    }
+
+    const std::string text = profile.json("kmp tasks=4", "fast");
+    std::string err;
+    const auto doc = json::parseJson(text, &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_EQ(doc->get("schema")->asString(), "capcheck.prof.v1");
+    EXPECT_EQ(doc->get("label")->asString(), "kmp tasks=4");
+    EXPECT_EQ(doc->get("kernel")->asString(), "fast");
+    EXPECT_GT(doc->get("wallNanos")->asNumber(), 0.0);
+
+    const json::JsonValue *domains = doc->get("domains");
+    ASSERT_TRUE(domains && domains->isArray());
+    double selfSum = 0;
+    double shareSum = 0;
+    for (const json::JsonValue &dom : domains->elements()) {
+        selfSum += dom.get("selfNanos")->asNumber();
+        shareSum += dom.get("share")->asNumber();
+    }
+    // Domain self times sum to the wall time exactly; shares to 1
+    // within floating-point rounding.
+    EXPECT_EQ(selfSum, doc->get("wallNanos")->asNumber());
+    EXPECT_NEAR(shareSum, 1.0, 1e-9);
+
+    const json::JsonValue *sites = doc->get("sites");
+    ASSERT_TRUE(sites && sites->isArray());
+    bool found = false;
+    for (const json::JsonValue &s : sites->elements()) {
+        if (s.get("domain")->asString() == "t.json" &&
+            s.get("name")->asString() == "work")
+            found = true;
+    }
+    EXPECT_TRUE(found);
+
+    // Deterministic shape: rendering twice yields identical bytes.
+    EXPECT_EQ(text, profile.json("kmp tasks=4", "fast"));
+}
+
+TEST(Prof, ProfScopeMacroCompilesInAnyBlock)
+{
+    RunProfile profile;
+    {
+        const ProfileSession session(profile);
+        PROF_SCOPE("t.macro", "block");
+        spin();
+    }
+    if (!prof::compiledIn()) {
+        EXPECT_TRUE(profile.siteTotals().empty());
+        return;
+    }
+    const auto sites = profile.siteTotals();
+    const auto *row = findSite(sites, "t.macro", "block");
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->calls, 1u);
+}

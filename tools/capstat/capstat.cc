@@ -13,6 +13,12 @@
  *   capstat live    SOCKET [--interval MS]    live capcheckd dashboard
  *                   [--count N | --once]      (queue/cache/span table)
  *                   [--latency-out FILE]
+ *   capstat prof report PROF.json...          host-time attribution
+ *                   [--sites N]               tables per profiled run
+ *   capstat prof merge -o OUT PROF.json...    merge profiles
+ *   capstat prof diff BASELINE CURRENT...     compare domain shares;
+ *                   [--tolerance PTS]         exit 1 when a domain
+ *                                             grows > PTS points
  *
  * Both report and diff accept single-run artefacts (run-*.latency.json)
  * and merged reports interchangeably; runs are keyed by their embedded
@@ -20,7 +26,10 @@
  * changes. `capstat live --latency-out` writes the daemon's span
  * histograms as a service-latency document that diff/report consume
  * like any other latency artefact — daemon p95 gates in CI ride on
- * that. Exit codes: 0 ok, 1 latency regression, 2 usage/IO error.
+ * that. `capstat prof` does the same for the host-time self-profiler
+ * artefacts (run-*.prof.json from --prof-out), gating on share-of-run
+ * percentage points instead of latency percent.
+ * Exit codes: 0 ok, 1 regression, 2 usage/IO error.
  */
 
 #include <cstring>
@@ -30,6 +39,7 @@
 #include <vector>
 
 #include "live.hh"
+#include "prof.hh"
 #include "statdiff.hh"
 
 namespace
@@ -48,7 +58,11 @@ usage(std::ostream &os)
           "       capstat top FLIGHTS.json [-n N]\n"
           "       capstat live SOCKET [--interval MS] [--count N]\n"
           "                    [--once] [--latency-out FILE]\n"
-          "                    [--label LABEL]\n";
+          "                    [--label LABEL]\n"
+          "       capstat prof report [--sites N] PROF.json...\n"
+          "       capstat prof merge -o OUT.json PROF.json...\n"
+          "       capstat prof diff [--tolerance PTS]\n"
+          "                    BASELINE.json CURRENT.json...\n";
 }
 
 int
@@ -206,6 +220,128 @@ cmdTop(const std::vector<std::string> &args)
     return 0;
 }
 
+bool
+loadAllProf(const std::vector<std::string> &paths, ProfReport &report)
+{
+    for (const std::string &path : paths) {
+        std::string error;
+        if (!loadProfDocument(path, report, &error)) {
+            fail(error);
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdProfReport(const std::vector<std::string> &args)
+{
+    unsigned sites = 10;
+    std::vector<std::string> paths;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--sites") {
+            if (i + 1 >= args.size())
+                return fail("--sites needs a count");
+            sites = static_cast<unsigned>(std::atoi(args[++i].c_str()));
+        } else if (args[i].rfind("--sites=", 0) == 0) {
+            sites = static_cast<unsigned>(
+                std::atoi(args[i].c_str() + std::strlen("--sites=")));
+        } else {
+            paths.push_back(args[i]);
+        }
+    }
+    if (paths.empty())
+        return fail("prof report needs at least one profile artefact");
+    ProfReport report;
+    if (!loadAllProf(paths, report))
+        return 2;
+    printProfReport(std::cout, report, sites);
+    return 0;
+}
+
+int
+cmdProfMerge(const std::vector<std::string> &args)
+{
+    std::string out;
+    std::vector<std::string> paths;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "-o" || args[i] == "--out") {
+            if (i + 1 >= args.size())
+                return fail("-o needs a file argument");
+            out = args[++i];
+        } else {
+            paths.push_back(args[i]);
+        }
+    }
+    if (paths.empty())
+        return fail("prof merge needs at least one profile artefact");
+    ProfReport report;
+    if (!loadAllProf(paths, report))
+        return 2;
+    const std::string doc = mergedProfJson(report);
+    if (out.empty()) {
+        std::cout << doc;
+        return 0;
+    }
+    std::ofstream os(out);
+    if (!os)
+        return fail("cannot write '" + out + "'");
+    os << doc;
+    return 0;
+}
+
+int
+cmdProfDiff(const std::vector<std::string> &args)
+{
+    ProfDiffOptions opts;
+    std::vector<std::string> paths;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--tolerance") {
+            if (i + 1 >= args.size())
+                return fail("--tolerance needs percentage points");
+            opts.tolerancePts = std::atof(args[++i].c_str());
+        } else if (args[i].rfind("--tolerance=", 0) == 0) {
+            opts.tolerancePts =
+                std::atof(args[i].c_str() + std::strlen("--tolerance="));
+        } else {
+            paths.push_back(args[i]);
+        }
+    }
+    if (paths.size() < 2)
+        return fail("prof diff needs a baseline and at least one "
+                    "current artefact");
+
+    ProfReport baseline;
+    std::string error;
+    if (!loadProfDocument(paths.front(), baseline, &error))
+        return fail(error);
+    ProfReport current;
+    if (!loadAllProf({paths.begin() + 1, paths.end()}, current))
+        return 2;
+
+    return printProfDiff(std::cout,
+                         diffProfReports(baseline, current, opts),
+                         opts)
+               ? 1
+               : 0;
+}
+
+int
+cmdProf(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return fail("prof needs a subcommand: report, merge or diff");
+    const std::string sub = args.front();
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (sub == "report")
+        return cmdProfReport(rest);
+    if (sub == "merge")
+        return cmdProfMerge(rest);
+    if (sub == "diff")
+        return cmdProfDiff(rest);
+    return fail("unknown prof subcommand '" + sub + "'");
+}
+
 } // namespace
 
 int
@@ -232,6 +368,8 @@ main(int argc, char **argv)
         return cmdTop(args);
     if (cmd == "live")
         return cmdLive(args);
+    if (cmd == "prof")
+        return cmdProf(args);
 
     usage(std::cerr);
     return 2;

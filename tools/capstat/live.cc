@@ -111,6 +111,38 @@ renderSnapshot(std::ostream &os, const service::ServiceStats &stats,
     }
     if (table.rows() > 0)
         table.print(os);
+
+    // Host-time attribution from the worker pool's self-profiler:
+    // prof.<domain>.selfNanos / prof.<domain>.calls counters, shares
+    // against the profiled wall total.
+    const std::uint64_t profWall = m.counterValue("prof.wallNanos");
+    if (profWall > 0) {
+        os << "  host profile: "
+           << fmtDouble(static_cast<double>(profWall) / 1e9, 2)
+           << "s profiled across executed requests\n";
+        TextTable prof({"domain", "selfMs", "share", "calls"});
+        const std::string prefix = "prof.";
+        const std::string suffix = ".selfNanos";
+        for (const obs::MetricsSnapshot::Counter &c : m.counters) {
+            if (c.name.rfind(prefix, 0) != 0 ||
+                c.name.size() <= prefix.size() + suffix.size() ||
+                c.name.compare(c.name.size() - suffix.size(),
+                               suffix.size(), suffix) != 0)
+                continue;
+            const std::string domain = c.name.substr(
+                prefix.size(),
+                c.name.size() - prefix.size() - suffix.size());
+            prof.addRow(
+                {domain,
+                 fmtDouble(static_cast<double>(c.value) / 1e6, 1),
+                 fmtDouble(static_cast<double>(c.value) /
+                               static_cast<double>(profWall),
+                           3),
+                 u64s(m.counterValue(prefix + domain + ".calls"))});
+        }
+        if (prof.rows() > 0)
+            prof.print(os);
+    }
 }
 
 } // namespace

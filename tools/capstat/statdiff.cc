@@ -105,6 +105,21 @@ fmtCycles(double v)
     return fmtDouble(v, 2);
 }
 
+/** "a.json, b.json" or "(no files)" for diff provenance messages. */
+std::string
+joinFiles(const std::vector<std::string> &files)
+{
+    if (files.empty())
+        return "(no files)";
+    std::string out;
+    for (const std::string &f : files) {
+        if (!out.empty())
+            out += ", ";
+        out += f;
+    }
+    return out;
+}
+
 } // namespace
 
 double
@@ -159,6 +174,8 @@ loadLatencyDocument(const std::string &path, LatencyReport &report,
     if (!doc->isObject())
         return shapeError(path, "not a JSON object", error);
 
+    report.sources.push_back(path);
+
     // Merged report: {"runs": [{"label": ..., "flights": {...}}]}.
     if (const json::JsonValue *runs = doc->get("runs")) {
         if (!runs->isArray())
@@ -172,7 +189,7 @@ loadLatencyDocument(const std::string &path, LatencyReport &report,
                     path, "run entry without label/flights", error);
             }
             insertRun(report,
-                      RunMetrics{label->asString(), *flights});
+                      RunMetrics{label->asString(), *flights, path});
         }
         return true;
     }
@@ -182,7 +199,7 @@ loadLatencyDocument(const std::string &path, LatencyReport &report,
     const json::JsonValue *flights = doc->get("flights");
     if (!label || !label->isString() || !flights || !flights->isObject())
         return shapeError(path, "missing label/flights members", error);
-    insertRun(report, RunMetrics{label->asString(), *flights});
+    insertRun(report, RunMetrics{label->asString(), *flights, path});
     return true;
 }
 
@@ -221,10 +238,13 @@ diffReports(const LatencyReport &baseline, const LatencyReport &current,
             const DiffOptions &opts)
 {
     DiffResult diff;
+    diff.baselineFiles = baseline.sources;
+    diff.currentFiles = current.sources;
     for (const RunMetrics &base : baseline.runs) {
         const RunMetrics *cur = current.find(base.label);
         if (!cur) {
             diff.missing.push_back(base.label);
+            diff.missingSources.push_back(base.source);
             continue;
         }
         for (const std::string &metric : opts.metrics) {
@@ -241,8 +261,10 @@ diffReports(const LatencyReport &baseline, const LatencyReport &current,
         }
     }
     for (const RunMetrics &run : current.runs) {
-        if (!baseline.find(run.label))
+        if (!baseline.find(run.label)) {
             diff.added.push_back(run.label);
+            diff.addedSources.push_back(run.source);
+        }
     }
     return diff;
 }
@@ -262,10 +284,29 @@ printDiff(std::ostream &os, const DiffResult &diff,
                       d.regression ? "REGRESSION" : "ok"});
     }
     table.print(os);
-    for (const std::string &label : diff.missing)
-        os << "missing from current: " << label << "\n";
-    for (const std::string &label : diff.added)
-        os << "new run (no baseline): " << label << "\n";
+    // One-sided labels name the file they came from and the file(s)
+    // the counterpart was expected in, so a typo'd baseline path or a
+    // renamed run label is diagnosable from the message alone.
+    for (std::size_t i = 0; i < diff.missing.size(); ++i) {
+        os << "missing from current: '" << diff.missing[i] << "'";
+        if (i < diff.missingSources.size() &&
+            !diff.missingSources[i].empty()) {
+            os << " (baselined in " << diff.missingSources[i]
+               << "; expected in " << joinFiles(diff.currentFiles)
+               << ")";
+        }
+        os << "\n";
+    }
+    for (std::size_t i = 0; i < diff.added.size(); ++i) {
+        os << "new run (no baseline): '" << diff.added[i] << "'";
+        if (i < diff.addedSources.size() &&
+            !diff.addedSources[i].empty()) {
+            os << " (found in " << diff.addedSources[i]
+               << "; no counterpart in "
+               << joinFiles(diff.baselineFiles) << ")";
+        }
+        os << "\n";
+    }
 
     const bool regressed = diff.regression();
     os << (regressed ? "FAIL" : "PASS") << ": "

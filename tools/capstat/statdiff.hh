@@ -29,6 +29,10 @@ struct RunMetrics
     std::string label;
     json::JsonValue flights;
 
+    /** File this run was loaded from; "" for in-memory runs. Used by
+     *  diff error messages to say where a missing label came from. */
+    std::string source;
+
     /** Metric by dotted path under "flights" (e.g. "endToEnd.p99");
      *  NaN when the path is absent. */
     double metric(const std::string &path) const;
@@ -38,6 +42,10 @@ struct RunMetrics
 struct LatencyReport
 {
     std::vector<RunMetrics> runs;
+
+    /** Every file loaded into this report, in load order — the set of
+     *  places a label could have been expected to appear. */
+    std::vector<std::string> sources;
 
     const RunMetrics *find(const std::string &label) const;
 };
@@ -87,6 +95,18 @@ struct DiffResult
     std::vector<std::string> missing;
     /** Labels in current with no baseline (informational). */
     std::vector<std::string> added;
+
+    /** @{ Parallel to missing/added: the file each label was loaded
+     *  from ("" when untracked). */
+    std::vector<std::string> missingSources;
+    std::vector<std::string> addedSources;
+    /** @} */
+
+    /** @{ Files the two sides were loaded from, so the "missing"
+     *  message can name where the label was expected. */
+    std::vector<std::string> baselineFiles;
+    std::vector<std::string> currentFiles;
+    /** @} */
 
     bool regression() const;
 };
