@@ -52,6 +52,15 @@ echo "kernel_check: [1/3] differential gate (--kernel compare)"
 "$build/bench/sweep_grid" --quick --quiet --no-cache --jobs "$jobs" \
     --kernel compare
 
+# The same differential gate over a generated mega-topology: 128
+# accelerators on a two-level crossbar tree with four interleaved
+# channels, so the fast kernels are also compared beat-for-beat on
+# cascaded arbitration and multi-hop flight attribution.
+"$build/tools/capgen" --accels 128 --levels 2 --fanout 4 \
+    --channels 4 --seed 7 --out "$work/mega.json"
+"$build/bench/table1_properties" --quiet --no-cache --jobs "$jobs" \
+    --kernel compare --topology "$work/mega.json"
+
 echo "kernel_check: [2/3] timed grids + tolerance-0 artefact diff"
 timed_grid() { # kernel -> wall-clock seconds on stdout
     local kernel=$1

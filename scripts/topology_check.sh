@@ -6,6 +6,14 @@
 # checks each against its checked-in examples/topologies/<name>.json,
 # so the builtins and the example files can never drift apart.
 #
+# When capgen is built, the generator is gated too: identical flags
+# must emit byte-identical topologies, the emitted graph must already
+# be canonical (load -> dump is the identity), and the committed
+# generated example (examples/topologies/gen-mega.json) must match
+# what capgen emits for its recorded parameters — so the generator
+# cannot drift away from the checked-in mega-topology, which the
+# example loop above also round-trips.
+#
 # usage: topology_check.sh [BUILD_DIR]
 set -euo pipefail
 
@@ -53,5 +61,36 @@ for mode in cpu ccpu cpu+accel ccpu+accel ccpu+caccel; do
     fi
     echo "ok builtin $mode"
 done
+
+capgen="$build/tools/capgen"
+if [ -x "$capgen" ]; then
+    # Determinism: same flags, same bytes.
+    gen_flags=(--accels 128 --levels 2 --fanout 4 --channels 4 --seed 7)
+    "$capgen" "${gen_flags[@]}" > "$work/gen1.json"
+    "$capgen" "${gen_flags[@]}" > "$work/gen2.json"
+    if ! cmp -s "$work/gen1.json" "$work/gen2.json"; then
+        echo "CAPGEN NONDETERMINISTIC: identical flags emitted" \
+             "different topologies" >&2
+        fail=1
+    fi
+    # Canonical on arrival: load -> dump must be the identity.
+    "$dumper" --topology "$work/gen1.json" --dump-topology \
+        > "$work/gen1-redump.json"
+    if ! cmp -s "$work/gen1.json" "$work/gen1-redump.json"; then
+        echo "CAPGEN NOT CANONICAL (load -> dump changed it):" >&2
+        diff "$work/gen1.json" "$work/gen1-redump.json" >&2 || true
+        fail=1
+    fi
+    # And the committed mega example is exactly what capgen emits.
+    if ! cmp -s examples/topologies/gen-mega.json "$work/gen1.json"; then
+        echo "CAPGEN DRIFT: examples/topologies/gen-mega.json no" \
+             "longer matches 'capgen ${gen_flags[*]}'" >&2
+        diff examples/topologies/gen-mega.json "$work/gen1.json" >&2 || true
+        fail=1
+    fi
+    [ $fail -eq 0 ] && echo "ok capgen determinism + gen-mega drift"
+else
+    echo "topology_check: $capgen not built, skipping generator gate" >&2
+fi
 
 exit $fail

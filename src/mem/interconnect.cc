@@ -51,6 +51,7 @@ AxiInterconnect::offer(unsigned slot, const MemRequest &req)
     ms.pending = req;
     portToSlot[req.srcPort] = slot;
     ++offeredBeats;
+    _offerProbe.notify(req);
     activate(1);
     return true;
 }

@@ -77,6 +77,14 @@ class AxiInterconnect : public TickingObject, public ResponseHandler
         return static_cast<std::uint64_t>(grants.value());
     }
 
+    /**
+     * Fired when a request enters a master slot (offer accepted) —
+     * the start of this crossbar's arbitration wait. In a cascaded
+     * tree every level fires its own offer/grant pair, which is what
+     * lets the flight recorder attribute multi-hop xbar waits exactly.
+     */
+    probe::ProbePoint<MemRequest> &offerProbe() { return _offerProbe; }
+
     /** Fired when arbitration grants a request onto the bus. */
     probe::ProbePoint<MemRequest> &grantProbe() { return _grantProbe; }
 
@@ -128,6 +136,7 @@ class AxiInterconnect : public TickingObject, public ResponseHandler
     stats::Scalar grants;
     stats::Scalar stallCycles;
 
+    probe::ProbePoint<MemRequest> _offerProbe{"xbar.offer"};
     probe::ProbePoint<MemRequest> _grantProbe{"xbar.grant"};
     probe::ProbePoint<MemResponse> _respondProbe{"xbar.respond"};
 };

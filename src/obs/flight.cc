@@ -58,6 +58,18 @@ writeFlightJson(json::JsonWriter &w, const FlightRecord &rec)
     w.key("cache").value(cacheOutcomeName(rec.cache));
     w.key("issue").value(rec.issue);
     w.key("grant").value(rec.grant);
+    // Per-level arbitration pairs, only for multi-hop trees: the flat
+    // paper shapes keep their artefact bytes unchanged.
+    if (rec.xbarHops.size() > 1) {
+        w.key("xbarHops").beginArray();
+        for (const FlightRecord::XbarHop &hop : rec.xbarHops) {
+            w.beginObject();
+            w.key("offer").value(hop.offer);
+            w.key("grant").value(hop.grant);
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.key("checkStart").value(rec.checkStart);
     w.key("checkEnd").value(rec.checkEnd);
     w.key("memAccept").value(rec.sawMem ? rec.memAccept : 0);
@@ -105,6 +117,21 @@ FlightRecorder::onIssue(const MemRequest &req)
 }
 
 void
+FlightRecorder::onOffer(const MemRequest &req)
+{
+    const auto it = open.find(Key{req.srcPort, req.id});
+    if (it == open.end())
+        return;
+    FlightRecord &rec = it->second;
+    // Re-entering arbitration at a deeper crossbar level; the first
+    // level already rode the onIssue() increment (same cycle).
+    if (!rec.xbarHops.empty())
+        ++xbarWaiting;
+    rec.xbarHops.push_back(
+        FlightRecord::XbarHop{eq.curCycle(), 0, false});
+}
+
+void
 FlightRecorder::onGrant(const MemRequest &req)
 {
     const auto it = open.find(Key{req.srcPort, req.id});
@@ -113,13 +140,43 @@ FlightRecorder::onGrant(const MemRequest &req)
     FlightRecord &rec = it->second;
     rec.grant = eq.curCycle();
     rec.sawGrant = true;
+
+    // Close the oldest open hop: offers and grants both complete in
+    // path order, so the first ungranted hop is the level this grant
+    // belongs to. Without an offer probe attached (harnesses driving
+    // the recorder directly) synthesize the slot-entry boundary.
+    bool closed = false;
+    for (FlightRecord::XbarHop &hop : rec.xbarHops) {
+        if (!hop.granted) {
+            hop.grant = rec.grant;
+            hop.granted = true;
+            closed = true;
+            break;
+        }
+    }
+    if (!closed) {
+        Cycles entry = rec.issue;
+        if (!rec.xbarHops.empty()) {
+            const FlightRecord::XbarHop &prev = rec.xbarHops.back();
+            entry = (rec.sawCheck && rec.checkEnd >= prev.grant)
+                        ? rec.checkEnd
+                        : prev.grant;
+        }
+        rec.xbarHops.push_back(
+            FlightRecord::XbarHop{entry, rec.grant, true});
+    }
+
     if (xbarWaiting > 0)
         --xbarWaiting;
 
-    // A pass-through check (zero-latency, already at the memory
+    // The stage accepts in the same frame as the final pre-check grant
+    // (its timing probe fires first, same cycle) — that grant, and
+    // only that grant, enters the beat into the stage occupancy. A
+    // pass-through check (zero-latency, already at the memory
     // controller) never occupies the stage; everything else does until
     // its verdict leaves (memory acceptance or a denial response).
-    if (!rec.sawMem) {
+    if (!rec.sawMem && rec.sawCheck &&
+        rec.checkStart == eq.curCycle() && !rec.inCheckQueue) {
         rec.inCheckQueue = true;
         ++checkOccupied;
         checkOccupancy.sample(checkOccupied);
@@ -145,6 +202,17 @@ FlightRecorder::onCheck(const MemRequest &req, bool allowed,
     rec.denied = !allowed;
     rec.cache = pendingCache;
     pendingCache = FlightRecord::CacheOutcome::none;
+
+    // In a cascade the accepting grant may already have fired this
+    // cycle (a deeper level granted in the same cycle as its parent);
+    // enter the stage occupancy here in that case — onGrant handles
+    // the common order (timing probe first, then the grant probe).
+    if (!rec.inCheckQueue && !rec.sawMem && rec.sawGrant &&
+        rec.grant == eq.curCycle()) {
+        rec.inCheckQueue = true;
+        ++checkOccupied;
+        checkOccupancy.sample(checkOccupied);
+    }
 }
 
 void
@@ -201,6 +269,24 @@ FlightRecorder::complete(FlightRecord &rec)
               "traversing arbitration and the check stage",
               static_cast<unsigned long long>(rec.flight), rec.port,
               static_cast<unsigned long long>(rec.reqId));
+
+    // Multi-level sanity: every crossbar the beat entered must have
+    // granted it, and the first slot entry is the issue itself.
+    for (const FlightRecord::XbarHop &hop : rec.xbarHops) {
+        INVARIANT(hop.granted,
+                  "flight %llu completed with an open xbar hop "
+                  "(offered at cycle %llu, never granted)",
+                  static_cast<unsigned long long>(rec.flight),
+                  static_cast<unsigned long long>(hop.offer));
+    }
+    INVARIANT(rec.xbarHops.empty() ||
+                  rec.xbarHops.front().offer == rec.issue,
+              "flight %llu: first xbar offer (cycle %llu) is not the "
+              "issue cycle (%llu)",
+              static_cast<unsigned long long>(rec.flight),
+              static_cast<unsigned long long>(
+                  rec.xbarHops.front().offer),
+              static_cast<unsigned long long>(rec.issue));
 
     // The paper's latency claims live and die on this attribution:
     // every end-to-end cycle must be charged to exactly one hop.

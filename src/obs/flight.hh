@@ -51,12 +51,27 @@ struct FlightRecord
 
     /** @{ Hop timestamps (simulated cycles). */
     Cycles issue = 0;      ///< left the accelerator into its xbar slot
-    Cycles grant = 0;      ///< won arbitration onto the bus
+    Cycles grant = 0;      ///< won the *last* arbitration it entered
     Cycles checkStart = 0; ///< accepted by the check stage
     Cycles checkEnd = 0;   ///< check verdict due (incl. miss walk)
     Cycles memAccept = 0;  ///< entered the memory controller
     Cycles respond = 0;    ///< response delivered back to the master
     /** @} */
+
+    /** One crossbar traversal: slot entry (offer) to arbitration win. */
+    struct XbarHop
+    {
+        Cycles offer = 0;
+        Cycles grant = 0;
+        bool granted = false;
+    };
+
+    /**
+     * Per-level arbitration hops in path order, one per crossbar the
+     * beat crossed. Cascaded trees push several; the flat paper shape
+     * exactly one, keeping its artefacts byte-identical.
+     */
+    std::vector<XbarHop> xbarHops;
 
     bool sawGrant = false;
     bool sawCheck = false;
@@ -74,13 +89,34 @@ struct FlightRecord
     };
     CacheOutcome cache = CacheOutcome::none;
 
-    /** @{ Per-hop cycle attribution of a completed flight. */
-    Cycles hopXbar() const { return grant - issue; }
+    /** @{ Per-hop cycle attribution of a completed flight. The hops
+     *  partition the issue->respond timeline exactly, at any tree
+     *  depth: pre-check offers chain contiguously from the issue
+     *  (each level's offer lands in the previous level's grant frame),
+     *  the check window is explicit, drain runs from the verdict to
+     *  the next observed boundary (the first post-check crossbar
+     *  offer, else memory acceptance / the response), and every
+     *  in-crossbar wait is an (offer, grant) pair. */
+    Cycles hopXbar() const
+    {
+        if (xbarHops.empty())
+            return grant - issue;
+        Cycles total = 0;
+        for (const XbarHop &hop : xbarHops)
+            total += hop.grant - hop.offer;
+        return total;
+    }
     Cycles hopCheck() const { return checkEnd - checkStart; }
     Cycles hopDrain() const
     {
-        return (denied || !sawMem) ? respond - checkEnd
-                                   : memAccept - checkEnd;
+        Cycles next = (denied || !sawMem) ? respond : memAccept;
+        for (const XbarHop &hop : xbarHops) {
+            if (hop.offer >= checkEnd) {
+                next = hop.offer;
+                break;
+            }
+        }
+        return next - checkEnd;
     }
     Cycles hopMem() const { return sawMem ? respond - memAccept : 0; }
     Cycles endToEnd() const { return respond - issue; }
@@ -103,6 +139,7 @@ class FlightRecorder
 
     /** @{ Probe entry points, called by RunObserver listeners. */
     void onIssue(const MemRequest &req);
+    void onOffer(const MemRequest &req);
     void onGrant(const MemRequest &req);
     void onCheck(const MemRequest &req, bool allowed, Cycles start,
                  Cycles end);

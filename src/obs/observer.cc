@@ -173,6 +173,9 @@ void
 RunObserver::attachXbar(AxiInterconnect &xbar)
 {
     if (recording()) {
+        xbar.offerProbe().attach([this](const MemRequest &req) {
+            flights->onOffer(req);
+        });
         xbar.grantProbe().attach([this](const MemRequest &req) {
             flights->onGrant(req);
         });

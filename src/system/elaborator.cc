@@ -1,5 +1,7 @@
 #include "system/elaborator.hh"
 
+#include <algorithm>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 
@@ -12,9 +14,9 @@ namespace
 {
 
 [[noreturn]] void
-fail(const std::string &what)
+fail(const std::string &what, const std::string &node = "")
 {
-    throw TopologyError("topology: " + what);
+    throw TopologyError("topology: " + what, node);
 }
 
 std::uint64_t
@@ -54,30 +56,76 @@ getString(const json::JsonValue &params, const char *key,
 
 /**
  * Collect every CheckStage reachable downstream of @p from (through
- * routers and cascaded interconnects).
+ * routers and cascaded interconnects). @p visited is the set of
+ * components the walk has already entered: revisiting one means the
+ * topology wired a cycle, which would otherwise recurse forever.
  */
 void
 collectStages(RequestPort &from,
-              std::vector<protect::CheckStage *> &out)
+              std::vector<protect::CheckStage *> &out,
+              std::vector<const SimObject *> &visited)
 {
     if (!from.bound())
         return;
     SimObject &owner = from.peerBase()->owner();
+    for (const SimObject *seen : visited) {
+        if (seen == &owner) {
+            fail("downstream walk revisits component '" + owner.name() +
+                     "': the topology wires a cycle; request paths "
+                     "must form a tree ending at a memory controller",
+                 owner.name());
+        }
+    }
+    visited.push_back(&owner);
     if (auto *stage = dynamic_cast<protect::CheckStage *>(&owner)) {
         out.push_back(stage);
-        collectStages(stage->memSide(), out);
+        collectStages(stage->memSide(), out, visited);
         return;
     }
     if (auto *router = dynamic_cast<AddrRouter *>(&owner)) {
         for (unsigned i = 0; i < router->numChannels(); ++i)
-            collectStages(router->memSide(i), out);
+            collectStages(router->memSide(i), out, visited);
         return;
     }
     if (auto *xbar = dynamic_cast<AxiInterconnect *>(&owner)) {
-        collectStages(xbar->memSide(), out);
+        collectStages(xbar->memSide(), out, visited);
         return;
     }
     // A memory controller (or any other sink) ends the walk.
+}
+
+/**
+ * Master slots of xbar nodes that topology edges bind (cascaded
+ * crossbars: a child xbar's mem_side plugs into "parent.accel_side<i>").
+ * Those slots are taken — task attachment must skip them.
+ */
+std::unordered_map<std::string, std::set<unsigned>>
+edgeBoundSlots(const Topology &topo)
+{
+    std::unordered_map<std::string, std::set<unsigned>> taken;
+    static const std::string prefix = "accel_side";
+    for (const TopologyEdge &edge : topo.edges) {
+        for (const std::string *end : {&edge.from, &edge.to}) {
+            const auto dot = end->find('.');
+            if (dot == std::string::npos)
+                continue;
+            const std::string component = end->substr(0, dot);
+            const std::string port = end->substr(dot + 1);
+            if (port.rfind(prefix, 0) != 0)
+                continue;
+            const std::string index = port.substr(prefix.size());
+            if (index.empty() ||
+                index.find_first_not_of("0123456789") !=
+                    std::string::npos)
+                continue;
+            const TopologyNode *node = topo.findNode(component);
+            if (node && node->kind == "xbar") {
+                taken[component].insert(
+                    static_cast<unsigned>(std::stoul(index)));
+            }
+        }
+    }
+    return taken;
 }
 
 } // namespace
@@ -115,7 +163,8 @@ Platform::protectionFor(TaskId task) const
 {
     const TaskAttach &attach = attachOf(task);
     std::vector<protect::CheckStage *> stages;
-    collectStages(attach.xbar->memSide(), stages);
+    std::vector<const SimObject *> visited;
+    collectStages(attach.xbar->memSide(), stages, visited);
 
     protect::ProtectionChecker *found = nullptr;
     for (protect::CheckStage *stage : stages) {
@@ -123,11 +172,13 @@ Platform::protectionFor(TaskId task) const
             found = &stage->protection();
         } else if (found != &stage->protection()) {
             fail("task " + std::to_string(task) +
-                 " reaches two check stages with different checkers "
-                 "('" + found->name() + "' and '" +
-                 stage->protection().name() +
-                 "'); the driver can only program one — share a "
-                 "checker or move the router below the check stage");
+                     " reaches two check stages with different "
+                     "checkers ('" +
+                     found->name() + "' and '" +
+                     stage->protection().name() +
+                     "'); the driver can only program one — share a "
+                     "checker or move the router below the check stage",
+                 stage->name());
         }
     }
     return found;
@@ -196,7 +247,8 @@ Elaborator::elaborate(const Topology &topo, unsigned num_tasks) const
         const TopologyNode *target = topo.findNode(xbar_name);
         if (!target || target->kind != "xbar") {
             fail("accel_pool '" + node.name + "' references '" +
-                 xbar_name + "', which is not an xbar node");
+                     xbar_name + "', which is not an xbar node",
+                 node.name);
         }
         pools.push_back(PoolRef{node.name, xbar_name});
     }
@@ -205,17 +257,30 @@ Elaborator::elaborate(const Topology &topo, unsigned num_tasks) const
              "' has no accel_pool node; accelerator masters have "
              "nowhere to attach");
 
+    // Cascaded crossbars: slots an edge already binds (a child xbar's
+    // mem_side plugged into accel_side<i>) are off-limits for tasks.
+    const auto taken_slots = edgeBoundSlots(topo);
+
     struct PendingAttach
     {
         std::string xbarName;
         unsigned slot;
     };
+    // Tasks round-robin across pools; within a pool's xbar they take
+    // the lowest free slots, skipping any slot an edge occupies.
+    std::unordered_map<std::string, unsigned> nextFreeSlot;
     std::unordered_map<std::string, unsigned> slotsPerXbar;
     std::vector<PendingAttach> attach;
     for (unsigned t = 0; t < num_tasks; ++t) {
         const PoolRef &pool = pools[t % pools.size()];
-        attach.push_back(
-            PendingAttach{pool.xbarName, slotsPerXbar[pool.xbarName]++});
+        unsigned &candidate = nextFreeSlot[pool.xbarName];
+        const auto taken_it = taken_slots.find(pool.xbarName);
+        if (taken_it != taken_slots.end()) {
+            while (taken_it->second.count(candidate))
+                ++candidate;
+        }
+        attach.push_back(PendingAttach{pool.xbarName, candidate});
+        slotsPerXbar[pool.xbarName] = ++candidate;
     }
 
     // --- Construct components, in node (= stat-tree) order ---
@@ -239,7 +304,8 @@ Elaborator::elaborate(const Topology &topo, unsigned num_tasks) const
             }
             if (!protect::knownCheckerScheme(params.scheme)) {
                 fail("protect node '" + node.name +
-                     "': unknown scheme '" + params.scheme + "'");
+                         "': unknown scheme '" + params.scheme + "'",
+                     node.name);
             }
             params.cap.tableEntries = getUnsigned(
                 node.params, "tableEntries", cfg.capTableEntries,
@@ -285,8 +351,9 @@ Elaborator::elaborate(const Topology &topo, unsigned num_tasks) const
             }
             if (channels == 0) {
                 fail("router '" + node.name +
-                     "' has no channels: give it a 'channels' param "
-                     "or mem_side<i> edges");
+                         "' has no channels: give it a 'channels' "
+                         "param or mem_side<i> edges",
+                     node.name);
             }
             const std::uint64_t interleave =
                 getU64(node.params, "interleaveBytes",
@@ -300,25 +367,60 @@ Elaborator::elaborate(const Topology &topo, unsigned num_tasks) const
             const auto it = checkersByName.find(checker_name);
             if (it == checkersByName.end()) {
                 fail("checkstage '" + node.name +
-                     "' references protect node '" + checker_name +
-                     "', which does not exist (or is declared after "
-                     "it)");
+                         "' references protect node '" + checker_name +
+                         "', which does not exist (or is declared "
+                         "after it)",
+                     node.name);
+            }
+            // A 'bank' param addresses one member of a CheckerBank so
+            // per-pool stages can sit above a shared interconnect.
+            // When the protect node resolves to an unbanked scheme
+            // (e.g. scheme "auto" under a mode without per-accel
+            // checkers) the param is a no-op and the stage wraps the
+            // whole checker — one file serves every sweep point.
+            protect::ProtectionChecker *target = it->second;
+            if (node.params.get("bank")) {
+                const unsigned bank =
+                    getUnsigned(node.params, "bank", 0, node.name);
+                if (auto *bankp = dynamic_cast<protect::CheckerBank *>(
+                        target)) {
+                    if (bank >= bankp->size()) {
+                        fail("checkstage '" + node.name + "': bank " +
+                                 std::to_string(bank) +
+                                 " is out of range (protect node '" +
+                                 checker_name + "' has " +
+                                 std::to_string(bankp->size()) +
+                                 " banks)",
+                             node.name);
+                    }
+                    target = &bankp->at(bank);
+                }
             }
             platform.checkStages.push_back(
                 std::make_unique<protect::CheckStage>(
-                    eq, statRoot, *it->second, node.name));
+                    eq, statRoot, *target, node.name));
             platform.registry.add(*platform.checkStages.back());
         } else if (node.kind == "xbar") {
             unsigned masters =
                 getUnsigned(node.params, "masters", 0, node.name);
             if (masters == 0) {
+                // Enough slots for the attached tasks plus every slot
+                // a topology edge binds (cascaded child crossbars).
                 const auto it = slotsPerXbar.find(node.name);
-                masters = it == slotsPerXbar.end() ? 0 : it->second;
+                if (it != slotsPerXbar.end())
+                    masters = it->second;
+                const auto taken_it = taken_slots.find(node.name);
+                if (taken_it != taken_slots.end()) {
+                    masters = std::max(
+                        masters, *taken_it->second.rbegin() + 1);
+                }
             }
             if (masters == 0) {
                 fail("xbar '" + node.name +
-                     "' has no masters: no tasks attach to it and no "
-                     "'masters' param is given");
+                         "' has no masters: no tasks or edges attach "
+                         "to its accel_side slots and no 'masters' "
+                         "param is given",
+                     node.name);
             }
             const unsigned burst = getUnsigned(
                 node.params, "maxBurst", cfg.xbarMaxBurst, node.name);
@@ -356,10 +458,13 @@ Elaborator::elaborate(const Topology &topo, unsigned num_tasks) const
     for (const PendingAttach &pending : attach) {
         AxiInterconnect *xbar = xbarsByName.at(pending.xbarName);
         if (pending.slot >= xbar->numMasters()) {
-            fail("xbar '" + pending.xbarName + "': " +
-                 std::to_string(pending.slot + 1) +
-                 " tasks attach to it but it has only " +
-                 std::to_string(xbar->numMasters()) + " master slots");
+            fail("xbar '" + pending.xbarName + "': task attachment "
+                     "needs slot " +
+                     std::to_string(pending.slot) +
+                     " but it has only " +
+                     std::to_string(xbar->numMasters()) +
+                     " master slots (tasks skip edge-bound slots)",
+                 pending.xbarName);
         }
         platform.taskAttach.push_back(
             Platform::TaskAttach{xbar, pending.slot});

@@ -205,9 +205,20 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
     Platform platform =
         elaborator.elaborate(topo, static_cast<unsigned>(plan.size()));
 
-    // The checker the driver programs for a given task.
+    // The checker the driver programs for a given task. Topology
+    // protect nodes can also declare the iommu/iopmp schemes; the
+    // driver programs whichever backend the task's downstream path
+    // actually reaches (page mappings, regions, or a cap table).
     auto checker_for = [&](TaskId task) -> capchecker::CapChecker * {
         return platform.checkerFor(task);
+    };
+    auto iommu_for = [&](TaskId task) -> protect::Iommu * {
+        return dynamic_cast<protect::Iommu *>(
+            platform.protectionFor(task));
+    };
+    auto iopmp_for = [&](TaskId task) -> protect::Iopmp * {
+        return dynamic_cast<protect::Iopmp *>(
+            platform.protectionFor(task));
     };
 
     // With a tag-clearing checker interposed, the raw tag-preserving
@@ -336,8 +347,8 @@ SocSystem::runWithAccelerators(const std::vector<TaskPlan> &plan,
                 *accels.at(plan[t].accelIndex);
 
             drivers.push_back(std::make_unique<driver::Driver>(
-                mem, heap, tree, cheri, checker_for(t), nullptr,
-                nullptr, cfg.driverCosts));
+                mem, heap, tree, cheri, checker_for(t), iommu_for(t),
+                iopmp_for(t), cfg.driverCosts));
             task.driver = drivers.back().get();
             if (observer)
                 observer->attachDriver(*task.driver);

@@ -1,0 +1,224 @@
+#include "system/topogen.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "base/random.hh"
+
+namespace capcheck::system
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw TopologyError("topogen: " + what);
+}
+
+json::JsonValue
+num(std::uint64_t v)
+{
+    return json::JsonValue::makeNumber(static_cast<double>(v));
+}
+
+json::JsonValue
+str(std::string v)
+{
+    return json::JsonValue::makeString(std::move(v));
+}
+
+json::JsonValue
+obj(std::vector<json::JsonValue::Member> members)
+{
+    return json::JsonValue::makeObject(std::move(members));
+}
+
+} // namespace
+
+std::string
+topoGenName(const TopoGenParams &p)
+{
+    std::ostringstream os;
+    os << "gen-a" << p.accels << "-l" << p.levels << "-c" << p.channels
+       << "-b" << p.banks << "-s" << p.seed;
+    return os.str();
+}
+
+Topology
+generateTopology(const TopoGenParams &p)
+{
+    if (p.accels == 0)
+        fail("need at least one accelerator (--accels)");
+    if (p.levels == 0)
+        fail("need at least one crossbar level (--levels)");
+    if (p.fanout == 0)
+        fail("crossbar fanout must be at least 1 (--fanout)");
+    if (p.channels == 0)
+        fail("need at least one memory channel (--channels)");
+
+    // Layer widths, root (layer 0) to leaves. Each layer widens by at
+    // most `fanout`, clamped so no leaf crossbar ends up with zero
+    // accelerators.
+    std::vector<unsigned> width(p.levels, 1);
+    for (unsigned l = 1; l < p.levels; ++l) {
+        const std::uint64_t grown =
+            static_cast<std::uint64_t>(width[l - 1]) * p.fanout;
+        width[l] = static_cast<unsigned>(
+            std::min<std::uint64_t>(grown, p.accels));
+    }
+    const unsigned leaves = width[p.levels - 1];
+    const unsigned perLeaf = (p.accels + leaves - 1) / leaves;
+
+    // All seed-driven draws happen here, in one fixed order, so the
+    // same flags always reproduce the same document byte for byte.
+    Rng rng(p.seed ^ 0x70706f67656eULL); // "topogen"
+    std::uint64_t interleave = p.interleaveBytes;
+    if (p.channels > 1 && interleave == 0) {
+        static const std::uint64_t strides[] = {64, 128, 256};
+        interleave = strides[rng.nextBounded(3)];
+    }
+    std::vector<unsigned> burst;
+    for (unsigned l = 0; l < p.levels; ++l) {
+        for (unsigned j = 0; j < width[l]; ++j) {
+            static const unsigned bursts[] = {1, 2, 4};
+            burst.push_back(bursts[rng.nextBounded(3)]);
+        }
+    }
+
+    const auto xbarName = [](unsigned l, unsigned j) {
+        return "xbar" + std::to_string(l) + "_" + std::to_string(j);
+    };
+    const auto memName = [](unsigned i) {
+        return "memctrl" + std::to_string(i);
+    };
+    const auto stageName = [](unsigned i) {
+        return "stage" + std::to_string(i);
+    };
+    // Parent of node j in layer l (contiguous grouping), and j's slot
+    // among that parent's children.
+    const auto parentOf = [&](unsigned l, unsigned j) {
+        return static_cast<unsigned>(
+            static_cast<std::uint64_t>(j) * width[l - 1] / width[l]);
+    };
+    const auto slotOf = [&](unsigned l, unsigned j) {
+        const unsigned parent = parentOf(l, j);
+        unsigned slot = 0;
+        for (unsigned k = 0; k < j; ++k)
+            slot += parentOf(l, k) == parent;
+        return slot;
+    };
+
+    Topology topo;
+    topo.name = topoGenName(p);
+
+    // --- Nodes, in construction (= stat-tree) order: protect,
+    // memory, router, check stages, crossbars root-first, pools. ---
+    {
+        std::vector<json::JsonValue::Member> prot{
+            {"scheme", str(p.scheme)}};
+        if (p.banks > 0)
+            prot.push_back({"banks", num(p.banks)});
+        topo.nodes.push_back(
+            TopologyNode{"protect", "protect", obj(std::move(prot))});
+    }
+    for (unsigned i = 0; i < p.channels; ++i)
+        topo.nodes.push_back(
+            TopologyNode{memName(i), "memctrl", obj({})});
+    if (p.channels > 1) {
+        topo.nodes.push_back(TopologyNode{
+            "router", "router",
+            obj({{"channels", num(p.channels)},
+                 {"interleaveBytes", num(interleave)}})});
+    }
+    if (p.banks > 0) {
+        // One bank-addressed stage above each leaf crossbar: per-pool
+        // protection over the shared upper tree.
+        for (unsigned k = 0; k < leaves; ++k) {
+            topo.nodes.push_back(TopologyNode{
+                stageName(k), "checkstage",
+                obj({{"checker", str("protect")},
+                     {"bank", num(k % p.banks)}})});
+        }
+    } else {
+        // Shared checker behind the root: one stage per channel.
+        for (unsigned i = 0; i < p.channels; ++i) {
+            topo.nodes.push_back(TopologyNode{
+                stageName(i), "checkstage",
+                obj({{"checker", str("protect")}})});
+        }
+    }
+    {
+        std::size_t b = 0;
+        for (unsigned l = 0; l < p.levels; ++l) {
+            for (unsigned j = 0; j < width[l]; ++j, ++b) {
+                unsigned masters;
+                if (l + 1 < p.levels) {
+                    masters = 0; // children of this upper-level node
+                    for (unsigned k = 0; k < width[l + 1]; ++k)
+                        masters += parentOf(l + 1, k) == j;
+                } else {
+                    masters = perLeaf;
+                }
+                topo.nodes.push_back(TopologyNode{
+                    xbarName(l, j), "xbar",
+                    obj({{"masters", num(masters)},
+                         {"maxBurst", num(burst[b])}})});
+            }
+        }
+    }
+    for (unsigned k = 0; k < leaves; ++k) {
+        topo.nodes.push_back(TopologyNode{
+            "pool" + std::to_string(k), "accel_pool",
+            obj({{"xbar", str(xbarName(p.levels - 1, k))}})});
+    }
+
+    // --- Edges: cascade (leaves upward), then root-to-memory. ---
+    const auto edge = [&](std::string from, std::string to) {
+        topo.edges.push_back(
+            TopologyEdge{std::move(from), std::move(to)});
+    };
+    for (unsigned l = p.levels - 1; l >= 1; --l) {
+        for (unsigned j = 0; j < width[l]; ++j) {
+            const std::string up =
+                xbarName(l - 1, parentOf(l, j)) + ".accel_side" +
+                std::to_string(slotOf(l, j));
+            if (p.banks > 0 && l == p.levels - 1) {
+                edge(xbarName(l, j) + ".mem_side",
+                     stageName(j) + ".cpu_side");
+                edge(stageName(j) + ".mem_side", up);
+            } else {
+                edge(xbarName(l, j) + ".mem_side", up);
+            }
+        }
+    }
+    std::string trunk = xbarName(0, 0) + ".mem_side";
+    if (p.banks > 0 && p.levels == 1) {
+        edge(trunk, stageName(0) + ".cpu_side");
+        trunk = stageName(0) + ".mem_side";
+    }
+    if (p.channels > 1) {
+        edge(trunk, "router.cpu_side");
+        for (unsigned i = 0; i < p.channels; ++i) {
+            if (p.banks > 0) {
+                edge("router.mem_side" + std::to_string(i),
+                     memName(i) + ".cpu_side");
+            } else {
+                edge("router.mem_side" + std::to_string(i),
+                     stageName(i) + ".cpu_side");
+                edge(stageName(i) + ".mem_side",
+                     memName(i) + ".cpu_side");
+            }
+        }
+    } else if (p.banks > 0) {
+        edge(trunk, memName(0) + ".cpu_side");
+    } else {
+        edge(trunk, stageName(0) + ".cpu_side");
+        edge(stageName(0) + ".mem_side", memName(0) + ".cpu_side");
+    }
+    return topo;
+}
+
+} // namespace capcheck::system

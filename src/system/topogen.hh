@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Parameterized synthetic topology generator: turns a handful of shape
+ * knobs (accelerator count, crossbar tree depth, memory channels,
+ * checker banks, seed) into a valid Topology the elaborator accepts.
+ * The same parameters always produce the same graph — the seed only
+ * perturbs *parameters within the legal envelope* (per-crossbar burst
+ * budgets, the router interleave stride), never the wiring — so capgen
+ * output is canonical: byte-identical JSON for identical flags, and a
+ * fuzzer can sweep seeds knowing every graph elaborates.
+ */
+
+#ifndef CAPCHECK_SYSTEM_TOPOGEN_HH
+#define CAPCHECK_SYSTEM_TOPOGEN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "system/topology.hh"
+
+namespace capcheck::system
+{
+
+/** Shape knobs for generateTopology(). */
+struct TopoGenParams
+{
+    /** Accelerator masters the graph must be able to attach. */
+    unsigned accels = 8;
+
+    /**
+     * Crossbar layers between the accelerators and memory. 1 is the
+     * flat paper shape; deeper trees cascade leaf crossbars into
+     * upper-level ones through accel_side<i> slots.
+     */
+    unsigned levels = 1;
+
+    /** Maximum child crossbars per upper-level crossbar. */
+    unsigned fanout = 4;
+
+    /** Interleaved memory channels (1 = no router). */
+    unsigned channels = 1;
+
+    /**
+     * Checker banks. 0 places shared per-channel check stages below
+     * the root crossbar; >0 places one bank-addressed stage above each
+     * leaf crossbar (per-pool protection over shared interconnect).
+     */
+    unsigned banks = 0;
+
+    /** Protect-node scheme ("auto" resolves from the run's mode). */
+    std::string scheme = "auto";
+
+    /** Seed for the legal-envelope parameter jitter. */
+    std::uint64_t seed = 0;
+
+    /** Router interleave stride in bytes; 0 picks one from the seed. */
+    std::uint64_t interleaveBytes = 0;
+};
+
+/**
+ * Generate the topology described by @p p. Always valid: every graph
+ * this returns elaborates under every SystemMode with accelerators.
+ *
+ * @throw TopologyError when the parameters themselves are out of the
+ *        legal envelope (zero accels, zero levels, zero fanout...).
+ */
+Topology generateTopology(const TopoGenParams &p);
+
+/** The canonical name embedded in a generated topology. */
+std::string topoGenName(const TopoGenParams &p);
+
+} // namespace capcheck::system
+
+#endif // CAPCHECK_SYSTEM_TOPOGEN_HH

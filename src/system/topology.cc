@@ -30,18 +30,18 @@ knownKind(const std::string &kind)
 }
 
 [[noreturn]] void
-fail(const std::string &what)
+fail(const std::string &what, const std::string &node = "")
 {
-    throw TopologyError("topology: " + what);
+    throw TopologyError("topology: " + what, node);
 }
 
 std::string
 requireString(const json::JsonValue &obj, const std::string &key,
-              const std::string &where)
+              const std::string &where, const std::string &node = "")
 {
     const json::JsonValue *v = obj.get(key);
     if (!v || !v->isString())
-        fail(where + " needs a string '" + key + "' member");
+        fail(where + " needs a string '" + key + "' member", node);
     return v->asString();
 }
 
@@ -136,30 +136,35 @@ Topology::fromJson(const json::JsonValue &doc)
     const json::JsonValue *nodes = doc.get("nodes");
     if (!nodes || !nodes->isArray())
         fail("document needs a 'nodes' array");
+    std::size_t index = 0;
     for (const json::JsonValue &entry : nodes->elements()) {
+        const std::string where = "nodes[" + std::to_string(index++) +
+                                  "]";
         if (!entry.isObject())
-            fail("every node must be an object");
+            fail(where + " must be an object");
         TopologyNode node;
-        node.name = requireString(entry, "name", "node");
-        node.kind = requireString(entry, "kind", "node");
+        node.name = requireString(entry, "name", where);
+        node.kind = requireString(entry, "kind", where, node.name);
         if (node.name.empty() ||
             node.name.find('.') != std::string::npos) {
-            fail("node name '" + node.name +
-                 "' must be non-empty and contain no '.'");
+            fail(where + ": node name '" + node.name +
+                     "' must be non-empty and contain no '.'",
+                 node.name);
         }
         if (!knownKind(node.kind)) {
             std::string known;
             for (const std::string &k : knownKinds())
                 known += (known.empty() ? "" : ", ") + k;
             fail("node '" + node.name + "' has unknown kind '" +
-                 node.kind + "' (known: " + known + ")");
+                     node.kind + "' (known: " + known + ")",
+                 node.name);
         }
         if (topo.findNode(node.name))
-            fail("duplicate node name '" + node.name + "'");
+            fail("duplicate node name '" + node.name + "'", node.name);
         if (const json::JsonValue *params = entry.get("params")) {
             if (!params->isObject())
-                fail("node '" + node.name +
-                     "' params must be an object");
+                fail("node '" + node.name + "' params must be an object",
+                     node.name);
             node.params = *params;
         } else {
             node.params = json::JsonValue::makeObject({});
@@ -170,16 +175,28 @@ Topology::fromJson(const json::JsonValue &doc)
     if (const json::JsonValue *edges = doc.get("edges")) {
         if (!edges->isArray())
             fail("'edges' must be an array");
+        std::size_t edge_index = 0;
         for (const json::JsonValue &entry : edges->elements()) {
+            const std::string where =
+                "edges[" + std::to_string(edge_index++) + "]";
             if (!entry.isObject())
-                fail("every edge must be an object");
+                fail(where + " must be an object");
             TopologyEdge edge;
-            edge.from = requireString(entry, "from", "edge");
-            edge.to = requireString(entry, "to", "edge");
+            edge.from = requireString(entry, "from", where);
+            edge.to = requireString(entry, "to", where, edge.from);
             for (const std::string *end : {&edge.from, &edge.to}) {
+                const std::string component =
+                    end->substr(0, end->find('.'));
                 if (end->find('.') == std::string::npos) {
-                    fail("edge endpoint '" + *end +
-                         "' must use the 'component.port' form");
+                    fail(where + ": endpoint '" + *end +
+                             "' must use the 'component.port' form",
+                         *end);
+                }
+                if (!topo.findNode(component)) {
+                    fail(where + ": endpoint '" + *end +
+                             "' names component '" + component +
+                             "', which is not a declared node",
+                         component);
                 }
             }
             topo.edges.push_back(std::move(edge));
@@ -193,13 +210,17 @@ Topology::loadFile(const std::string &path)
 {
     std::string error;
     const auto doc = json::parseJsonFile(path, &error);
-    if (!doc)
-        fail("cannot load '" + path + "': " + error);
+    if (!doc) {
+        throw TopologyError("topology: cannot load '" + path + "': " +
+                                error,
+                            "", path);
+    }
     try {
         return fromJson(*doc);
     } catch (const TopologyError &e) {
         throw TopologyError(std::string(e.what()) + " (in '" + path +
-                            "')");
+                                "')",
+                            e.node(), path);
     }
 }
 

@@ -23,11 +23,32 @@
 namespace capcheck::system
 {
 
-/** Malformed topology document or file. */
+/**
+ * Malformed topology document or file. Structured in the PortError
+ * style: the message always embeds the offending node/edge when one is
+ * known, and the accessors expose it (plus the source file) so tools
+ * and tests can key on the endpoint instead of parsing the message.
+ */
 class TopologyError : public std::runtime_error
 {
   public:
-    using std::runtime_error::runtime_error;
+    explicit TopologyError(const std::string &what,
+                           std::string node = "",
+                           std::string file = "")
+        : std::runtime_error(what), _node(std::move(node)),
+          _file(std::move(file))
+    {
+    }
+
+    /** Offending node name or edge endpoint ("" when structural). */
+    const std::string &node() const { return _node; }
+
+    /** Source file the topology loaded from ("" for in-memory). */
+    const std::string &file() const { return _file; }
+
+  private:
+    std::string _node;
+    std::string _file;
 };
 
 /**
@@ -44,8 +65,13 @@ class TopologyError : public std::runtime_error
  *                   iommu|iopmp", "banks": n, "iotlbEntries": n,
  *                   "iopmpRegions": n} — functional checker, not a
  *                   port-bearing component
- *  - "checkstage": {"checker": "<protect node name>"}
- *  - "xbar":       {"masters": n, "maxBurst": beats}
+ *  - "checkstage": {"checker": "<protect node name>", "bank": n} —
+ *                   'bank' addresses one member of a CheckerBank (so
+ *                   per-pool stages can sit above a shared crossbar);
+ *                   a no-op when the checker is not banked
+ *  - "xbar":       {"masters": n, "maxBurst": beats} — 'masters'
+ *                   defaults to the attached tasks plus any
+ *                   accel_side<i> slots edges bind (cascaded xbars)
  *  - "accel_pool": {"xbar": "<xbar node name>"} — attachment point
  *                   for accelerator masters; tasks are assigned to
  *                   pools round-robin

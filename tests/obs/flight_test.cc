@@ -189,6 +189,184 @@ TEST(FlightRecorder, PassThroughStallOverwritesTheCheckTimestamps)
               f.endToEnd());
 }
 
+TEST(FlightRecorder, CascadedHopsPartitionThePreCheckWait)
+{
+    EventQueue eq;
+    FlightRecorder rec(eq, 10, "unit");
+
+    // Two crossbar levels before a shared check stage: the beat waits
+    // 2 cycles in the leaf and 3 in the root, each its own
+    // (offer, grant) pair, and the pairs sum into hopXbar.
+    const auto req = request(0, 0);
+    at(eq, 10, [&] {
+        rec.onIssue(req);
+        rec.onOffer(req); // leaf slot entry, same frame as the issue
+    });
+    at(eq, 12, [&] {
+        rec.onGrant(req); // leaf arbitration win...
+        rec.onOffer(req); // ...lands the beat in the root's slot
+    });
+    at(eq, 15, [&] {
+        rec.onGrant(req);
+        rec.onCheck(req, true, 15, 17);
+    });
+    at(eq, 17, [&] { rec.onMemAccept(req); });
+    at(eq, 47, [&] { rec.onRespond(response(0, 0)); });
+    eq.run();
+
+    const auto flights = rec.slowestFlights();
+    ASSERT_EQ(flights.size(), 1u);
+    const FlightRecord &f = flights.front();
+    ASSERT_EQ(f.xbarHops.size(), 2u);
+    EXPECT_EQ(f.xbarHops[0].offer, 10u);
+    EXPECT_EQ(f.xbarHops[0].grant, 12u);
+    EXPECT_EQ(f.xbarHops[1].offer, 12u);
+    EXPECT_EQ(f.xbarHops[1].grant, 15u);
+    EXPECT_EQ(f.hopXbar(), 5u);
+    EXPECT_EQ(f.hopCheck(), 2u);
+    EXPECT_EQ(f.hopDrain(), 0u);
+    EXPECT_EQ(f.hopMem(), 30u);
+    EXPECT_EQ(f.endToEnd(), 37u);
+    EXPECT_EQ(f.hopXbar() + f.hopCheck() + f.hopDrain() + f.hopMem(),
+              f.endToEnd());
+}
+
+TEST(FlightRecorder, PostCheckHopBoundsTheDrainWindow)
+{
+    EventQueue eq;
+    FlightRecorder rec(eq, 10, "unit");
+
+    // A banked tree checks at the leaf, then crosses the root: the
+    // drain window runs from the verdict to the first post-check
+    // offer, and the root wait is charged to hopXbar, not drain.
+    const auto req = request(1, 5);
+    at(eq, 0, [&] {
+        rec.onIssue(req);
+        rec.onOffer(req);
+    });
+    at(eq, 2, [&] {
+        rec.onGrant(req);
+        rec.onCheck(req, true, 2, 4);
+    });
+    at(eq, 6, [&] { rec.onOffer(req); }); // left the stage at 6
+    at(eq, 9, [&] {
+        rec.onGrant(req);
+        rec.onMemAccept(req);
+    });
+    at(eq, 39, [&] { rec.onRespond(response(1, 5)); });
+    eq.run();
+
+    const auto flights = rec.slowestFlights();
+    ASSERT_EQ(flights.size(), 1u);
+    const FlightRecord &f = flights.front();
+    ASSERT_EQ(f.xbarHops.size(), 2u);
+    EXPECT_EQ(f.hopXbar(), 5u);  // (2-0) + (9-6)
+    EXPECT_EQ(f.hopCheck(), 2u); // 2..4
+    EXPECT_EQ(f.hopDrain(), 2u); // 4..6, verdict to the root offer
+    EXPECT_EQ(f.hopMem(), 30u);
+    EXPECT_EQ(f.endToEnd(), 39u);
+    EXPECT_EQ(f.hopXbar() + f.hopCheck() + f.hopDrain() + f.hopMem(),
+              f.endToEnd());
+}
+
+TEST(FlightRecorder, DeniedMultiHopFlightStillTelescopes)
+{
+    EventQueue eq;
+    FlightRecorder rec(eq, 10, "unit");
+
+    const auto req = request(2, 9);
+    at(eq, 0, [&] {
+        rec.onIssue(req);
+        rec.onOffer(req);
+    });
+    at(eq, 2, [&] {
+        rec.onGrant(req);
+        rec.onOffer(req);
+    });
+    at(eq, 5, [&] {
+        rec.onGrant(req);
+        rec.onCheck(req, false, 5, 6);
+    });
+    at(eq, 6, [&] { rec.onRespond(response(2, 9, /*ok=*/false)); });
+    eq.run();
+
+    const auto flights = rec.slowestFlights();
+    ASSERT_EQ(flights.size(), 1u);
+    const FlightRecord &f = flights.front();
+    EXPECT_TRUE(f.denied);
+    ASSERT_EQ(f.xbarHops.size(), 2u);
+    EXPECT_EQ(f.hopXbar(), 5u);
+    EXPECT_EQ(f.hopCheck(), 1u);
+    EXPECT_EQ(f.hopDrain(), 0u);
+    EXPECT_EQ(f.hopMem(), 0u);
+    EXPECT_EQ(f.hopXbar() + f.hopCheck() + f.hopDrain() + f.hopMem(),
+              f.endToEnd());
+}
+
+TEST(FlightRecorder, XbarHopsAppearInTheArtefactOnlyForMultiHopTrees)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "capcheck_flight_hops";
+    fs::create_directories(dir);
+    const fs::path flights_file = dir / "hops.flights.json";
+
+    EventQueue eq;
+    FlightRecorder rec(eq, 10, "unit");
+
+    // Flight 0: two-level path (slower, sorts first).
+    const auto multi = request(0, 0);
+    at(eq, 0, [&] {
+        rec.onIssue(multi);
+        rec.onOffer(multi);
+    });
+    at(eq, 2, [&] {
+        rec.onGrant(multi);
+        rec.onOffer(multi);
+    });
+    at(eq, 5, [&] {
+        rec.onGrant(multi);
+        rec.onCheck(multi, true, 5, 6);
+    });
+    at(eq, 6, [&] { rec.onMemAccept(multi); });
+    at(eq, 46, [&] { rec.onRespond(response(0, 0)); });
+
+    // Flight 1: the flat single-hop paper shape.
+    const auto flat = request(0, 1);
+    at(eq, 100, [&] {
+        rec.onIssue(flat);
+        rec.onOffer(flat);
+    });
+    at(eq, 101, [&] {
+        rec.onGrant(flat);
+        rec.onCheck(flat, true, 101, 102);
+    });
+    at(eq, 102, [&] { rec.onMemAccept(flat); });
+    at(eq, 110, [&] { rec.onRespond(response(0, 1)); });
+    eq.run();
+
+    rec.writeFlightsFile(flights_file.string());
+    const auto doc = json::parseJson(slurp(flights_file));
+    fs::remove_all(dir);
+    ASSERT_TRUE(doc.has_value());
+    const json::JsonValue *table = doc->at("flights");
+    ASSERT_NE(table, nullptr);
+    ASSERT_EQ(table->elements().size(), 2u);
+
+    // Slowest first: the cascaded flight carries the per-level pairs.
+    const json::JsonValue &cascaded = table->elements()[0];
+    const json::JsonValue *hops = cascaded.at("xbarHops");
+    ASSERT_NE(hops, nullptr);
+    ASSERT_EQ(hops->elements().size(), 2u);
+    EXPECT_EQ(hops->elements()[0].at("offer")->asNumber(), 0.0);
+    EXPECT_EQ(hops->elements()[0].at("grant")->asNumber(), 2.0);
+    EXPECT_EQ(hops->elements()[1].at("offer")->asNumber(), 2.0);
+    EXPECT_EQ(hops->elements()[1].at("grant")->asNumber(), 5.0);
+
+    // The flat flight's record keeps the original byte shape: no
+    // xbarHops key at all.
+    EXPECT_EQ(table->elements()[1].at("xbarHops"), nullptr);
+}
+
 TEST(FlightRecorder, TopNKeepsTheSlowestFlights)
 {
     EventQueue eq;

@@ -13,11 +13,15 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "base/json_value.hh"
+#include "harness/run_request.hh"
+#include "obs/options.hh"
 #include "system/elaborator.hh"
 #include "system/soc_config_builder.hh"
 #include "system/soc_system.hh"
+#include "system/topogen.hh"
 
 namespace capcheck::system
 {
@@ -303,6 +307,253 @@ TEST(SocSystemTopology, CheckerlessModeElaboratesProtectAsNone)
     std::remove(path.c_str());
     EXPECT_TRUE(r.functionallyCorrect);
     EXPECT_EQ(r.peakTableEntries, 0u);
+}
+
+/** Two leaf xbars cascaded into a root xbar, one shared stage. */
+const char *cascadeJson = R"({
+  "name": "cascade",
+  "nodes": [
+    {"name": "protect", "kind": "protect", "params": {"scheme": "auto"}},
+    {"name": "memctrl", "kind": "memctrl", "params": {}},
+    {"name": "checkstage", "kind": "checkstage",
+     "params": {"checker": "protect"}},
+    {"name": "root", "kind": "xbar", "params": {"masters": 2}},
+    {"name": "leaf0", "kind": "xbar", "params": {"masters": 2}},
+    {"name": "leaf1", "kind": "xbar", "params": {"masters": 2}},
+    {"name": "pool0", "kind": "accel_pool", "params": {"xbar": "leaf0"}},
+    {"name": "pool1", "kind": "accel_pool", "params": {"xbar": "leaf1"}}
+  ],
+  "edges": [
+    {"from": "leaf0.mem_side", "to": "root.accel_side0"},
+    {"from": "leaf1.mem_side", "to": "root.accel_side1"},
+    {"from": "root.mem_side", "to": "checkstage.cpu_side"},
+    {"from": "checkstage.mem_side", "to": "memctrl.cpu_side"}
+  ]
+})";
+
+TEST(Elaborator, CascadedXbarsBindAndAttachTasksToTheLeaves)
+{
+    const auto doc = json::parseJson(cascadeJson);
+    ASSERT_TRUE(doc.has_value());
+    const Topology topo = Topology::fromJson(*doc);
+
+    EventQueue eq;
+    stats::StatGroup root("soc");
+    const SocConfig cfg = config(SystemMode::ccpuCaccel);
+    const Platform platform =
+        Elaborator(eq, &root, cfg).elaborate(topo, 4);
+
+    const std::string dump = platform.graphDump();
+    // The child crossbars' mem_side ports plug into the root's
+    // accel_side slots...
+    EXPECT_NE(dump.find("mem_side [request] -> root.accel_side0"),
+              std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("mem_side [request] -> root.accel_side1"),
+              std::string::npos)
+        << dump;
+    // ...and the tasks round-robin across the two pools, never onto
+    // the root (its slots are edge-bound).
+    EXPECT_NE(dump.find("task 0 -> leaf0.accel_side0"),
+              std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("task 1 -> leaf1.accel_side0"),
+              std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("task 2 -> leaf0.accel_side1"),
+              std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("task 3 -> leaf1.accel_side1"),
+              std::string::npos)
+        << dump;
+
+    // The checker walk crosses both crossbar levels.
+    for (TaskId t = 0; t < 4; ++t)
+        EXPECT_NE(platform.protectionFor(t), nullptr) << "task " << t;
+    EXPECT_EQ(platform.protectionFor(0), platform.protectionFor(3));
+}
+
+TEST(Topology, EdgeToUndeclaredComponentNamesTheNode)
+{
+    const auto doc = json::parseJson(R"({
+      "name": "x",
+      "nodes": [{"name": "memctrl", "kind": "memctrl"}],
+      "edges": [{"from": "ghost.mem_side", "to": "memctrl.cpu_side"}]
+    })");
+    ASSERT_TRUE(doc.has_value());
+    try {
+        Topology::fromJson(*doc);
+        FAIL() << "expected TopologyError";
+    } catch (const TopologyError &e) {
+        EXPECT_EQ(e.node(), "ghost");
+        EXPECT_NE(std::string(e.what()).find("ghost.mem_side"),
+                  std::string::npos);
+    }
+}
+
+TEST(Elaborator, EdgeToUnknownPortIsAPortErrorNamingThePort)
+{
+    Topology topo = Topology::builtin(SystemMode::ccpuCaccel);
+    for (TopologyEdge &edge : topo.edges) {
+        if (edge.to == "memctrl.cpu_side")
+            edge.to = "memctrl.warp_core";
+    }
+    EventQueue eq;
+    stats::StatGroup root("soc");
+    const SocConfig cfg = config(SystemMode::ccpuCaccel);
+    try {
+        Elaborator(eq, &root, cfg).elaborate(topo, 2);
+        FAIL() << "expected PortError";
+    } catch (const PortError &e) {
+        EXPECT_EQ(e.kind(), PortError::Kind::unknownPort);
+        EXPECT_NE(std::string(e.what()).find("warp_core"),
+                  std::string::npos);
+    }
+}
+
+TEST(Elaborator, DoubleBoundPortIsAPortError)
+{
+    Topology topo = Topology::builtin(SystemMode::ccpuCaccel);
+    // A second producer into the already-bound memctrl.cpu_side.
+    topo.nodes.push_back(TopologyNode{
+        "stage2", "checkstage",
+        json::JsonValue::makeObject(
+            {{"checker", json::JsonValue::makeString("protect")}})});
+    topo.edges.push_back(
+        TopologyEdge{"stage2.mem_side", "memctrl.cpu_side"});
+    EventQueue eq;
+    stats::StatGroup root("soc");
+    const SocConfig cfg = config(SystemMode::ccpuCaccel);
+    try {
+        Elaborator(eq, &root, cfg).elaborate(topo, 2);
+        FAIL() << "expected PortError";
+    } catch (const PortError &e) {
+        EXPECT_EQ(e.kind(), PortError::Kind::doubleBind);
+        EXPECT_NE(std::string(e.what()).find("memctrl.cpu_side"),
+                  std::string::npos);
+    }
+}
+
+TEST(Elaborator, WiredCycleIsATopologyErrorNamingAComponent)
+{
+    // Two crossbars feeding each other: a request path that never
+    // reaches memory. The checker-resolution walk must diagnose the
+    // loop instead of recursing forever.
+    const auto doc = json::parseJson(R"({
+      "name": "loop",
+      "nodes": [
+        {"name": "a", "kind": "xbar", "params": {"masters": 2}},
+        {"name": "b", "kind": "xbar", "params": {"masters": 1}},
+        {"name": "pool", "kind": "accel_pool", "params": {"xbar": "a"}}
+      ],
+      "edges": [
+        {"from": "a.mem_side", "to": "b.accel_side0"},
+        {"from": "b.mem_side", "to": "a.accel_side0"}
+      ]
+    })");
+    ASSERT_TRUE(doc.has_value());
+    const Topology topo = Topology::fromJson(*doc);
+    EventQueue eq;
+    stats::StatGroup root("soc");
+    const SocConfig cfg = config(SystemMode::ccpuCaccel);
+    try {
+        Elaborator(eq, &root, cfg).elaborate(topo, 1);
+        FAIL() << "expected TopologyError";
+    } catch (const TopologyError &e) {
+        EXPECT_NE(std::string(e.what()).find("cycle"),
+                  std::string::npos);
+        EXPECT_FALSE(e.node().empty());
+    }
+}
+
+TEST(Elaborator, CheckstageBankOutOfRangeNamesTheStage)
+{
+    const auto doc = json::parseJson(R"({
+      "name": "bad-bank",
+      "nodes": [
+        {"name": "protect", "kind": "protect",
+         "params": {"scheme": "checker_bank", "banks": 2}},
+        {"name": "memctrl", "kind": "memctrl", "params": {}},
+        {"name": "checkstage", "kind": "checkstage",
+         "params": {"checker": "protect", "bank": 7}},
+        {"name": "xbar", "kind": "xbar", "params": {}},
+        {"name": "accels", "kind": "accel_pool",
+         "params": {"xbar": "xbar"}}
+      ],
+      "edges": [
+        {"from": "xbar.mem_side", "to": "checkstage.cpu_side"},
+        {"from": "checkstage.mem_side", "to": "memctrl.cpu_side"}
+      ]
+    })");
+    ASSERT_TRUE(doc.has_value());
+    const Topology topo = Topology::fromJson(*doc);
+    EventQueue eq;
+    stats::StatGroup root("soc");
+    const SocConfig cfg = config(SystemMode::ccpuCaccel);
+    try {
+        Elaborator(eq, &root, cfg).elaborate(topo, 2);
+        FAIL() << "expected TopologyError";
+    } catch (const TopologyError &e) {
+        EXPECT_EQ(e.node(), "checkstage");
+        EXPECT_NE(std::string(e.what()).find("bank 7"),
+                  std::string::npos);
+    }
+}
+
+TEST(SocSystemTopology, MegaTopologyRunsByteIdenticalUnderRefAndFast)
+{
+    // The ISSUE's acceptance shape: 128 accelerators on a two-level
+    // crossbar tree over four interleaved channels. The run must work
+    // under both simulation kernels with byte-identical flight and
+    // latency artefacts (every flight INVARIANT-checked to attribute
+    // each cycle to exactly one hop).
+    TopoGenParams params;
+    params.accels = 128;
+    params.levels = 2;
+    params.fanout = 4;
+    params.channels = 4;
+    params.seed = 7;
+    const std::string path = writeTempFile(
+        "mega", generateTopology(params).toJsonText());
+
+    const fs::path dir = fs::temp_directory_path() / "capcheck_mega";
+    fs::create_directories(dir);
+
+    std::string artefacts[2];
+    for (const sim::SimKernel kernel :
+         {sim::SimKernel::ref, sim::SimKernel::fast}) {
+        const std::string kname = sim::simKernelName(kernel);
+        const SocConfig cfg = SocConfigBuilder()
+                                  .mode(SystemMode::ccpuCaccel)
+                                  .seed(1)
+                                  .numInstances(128)
+                                  .simKernel(kernel)
+                                  .topologyFile(path)
+                                  .build();
+        const auto req =
+            harness::RunRequest::single("aes", cfg, 128);
+        const fs::path flights = dir / (kname + ".flights.json");
+        const fs::path latency = dir / (kname + ".latency.json");
+        obs::ObsOptions obs;
+        obs.flightFile = flights.string();
+        obs.latencyFile = latency.string();
+        obs.topN = 16;
+        obs.runLabel = "mega"; // same label: artefacts must be equal
+        const RunResult r = req.execute(obs);
+        EXPECT_TRUE(r.functionallyCorrect) << kname;
+        EXPECT_EQ(r.exceptions, 0u) << kname;
+
+        std::ifstream fin(flights), lin(latency);
+        std::stringstream body;
+        body << fin.rdbuf() << lin.rdbuf();
+        artefacts[kernel == sim::SimKernel::fast] = body.str();
+    }
+    fs::remove_all(dir);
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(artefacts[0].empty());
+    EXPECT_EQ(artefacts[0], artefacts[1])
+        << "fast kernel diverged from ref on the mega topology";
 }
 
 TEST(SocSystemTopology, BadTopologyFileIsATopologyError)
